@@ -1,0 +1,42 @@
+//! E13: multi-valued consensus — bitwise composition of Algorithm 1
+//! costs `Theta(B)` sequential binary rounds for `B`-bit values, while
+//! value-agnostic wPAXOS pays one round regardless of width (the
+//! concrete content of the paper's Section 2 open question).
+
+use amacl_bench::experiments::{e13, wpaxos_run_for_bench};
+use amacl_core::wpaxos::WpaxosConfig;
+use amacl_model::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_e13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e13_multivalued");
+    group.sample_size(20);
+    for bits in [1u32, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("bitwise_bits", bits), &bits, |b, &bits| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(e13::one(8, bits, 4, seed))
+            });
+        });
+    }
+    // The direct comparison: wPAXOS on the same clique carries a full
+    // u64 in a single agreement.
+    group.bench_function("wpaxos_clique8_u64", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(wpaxos_run_for_bench(
+                Topology::clique(8),
+                WpaxosConfig::new(8),
+                4,
+                seed,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e13);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E1: Two-Phase Consensus on cliques — decision time is `O(F_ack)`,
+//! independent of `n` (Theorem 4.1). The Criterion measurement times
+//! full simulated executions; the virtual-time series itself comes from
+//! the `tables` binary.
+
+use amacl_bench::experiments::e1;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_e1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_two_phase_clique");
+    group.sample_size(20);
+    for n in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(e1::one(n, 8, seed))
+            });
+        });
+    }
+    for f_ack in [1u64, 8, 64] {
+        group.bench_with_input(BenchmarkId::new("f_ack", f_ack), &f_ack, |b, &f| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(e1::one(16, f, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

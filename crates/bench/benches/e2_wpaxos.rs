@@ -1,0 +1,39 @@
+//! E2: wPAXOS on multihop topologies — decision time is
+//! `O(D * F_ack)` (Theorem 4.6).
+
+use amacl_bench::experiments::e2;
+use amacl_model::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_e2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_wpaxos");
+    group.sample_size(10);
+    for d in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("line_d", d), &d, |b, &d| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(e2::one(Topology::line(d + 1), 4, seed))
+            });
+        });
+    }
+    group.bench_function("grid_4x4", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(e2::one(Topology::grid(4, 4), 4, seed))
+        });
+    });
+    group.bench_function("random_16", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(e2::one(Topology::random_connected(16, 0.2, 3), 4, seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

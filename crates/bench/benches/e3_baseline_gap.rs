@@ -1,0 +1,43 @@
+//! E3: tree aggregation vs flooded responses on a star — the
+//! `Theta(n * F_ack)` bottleneck gap (Section 4.2 introduction).
+
+use amacl_bench::experiments::wpaxos_run_for_bench;
+use amacl_core::wpaxos::WpaxosConfig;
+use amacl_model::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_e3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_aggregation_gap");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("wpaxos_star", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(wpaxos_run_for_bench(
+                    Topology::star(n),
+                    WpaxosConfig::new(n),
+                    4,
+                    seed,
+                ))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("flooded_star", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(wpaxos_run_for_bench(
+                    Topology::star(n),
+                    WpaxosConfig::new(n).flooded_responses(),
+                    4,
+                    seed,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

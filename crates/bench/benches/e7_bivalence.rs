@@ -1,0 +1,33 @@
+//! E7: throughput of the exhaustive valid-step explorer (Theorem 3.2
+//! machinery): how fast the bivalence census of the two- and three-node
+//! configuration spaces runs.
+
+use amacl_core::two_phase::TwoPhase;
+use amacl_lowerbounds::bivalence::Explorer;
+use amacl_lowerbounds::step::StepMachine;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_e7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_bivalence_explorer");
+    group.sample_size(10);
+    group.bench_function("two_nodes_one_crash", |b| {
+        b.iter(|| {
+            let machine = StepMachine::new(vec![TwoPhase::new(0), TwoPhase::new(1)]);
+            let mut ex = Explorer::new(1, 120);
+            black_box(ex.explore(&machine))
+        });
+    });
+    group.bench_function("three_nodes_one_crash", |b| {
+        b.iter(|| {
+            let machine =
+                StepMachine::new(vec![TwoPhase::new(0), TwoPhase::new(1), TwoPhase::new(1)]);
+            let mut ex = Explorer::new(1, 200);
+            black_box(ex.explore(&machine))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e7);
+criterion_main!(benches);

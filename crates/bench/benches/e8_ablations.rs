@@ -1,0 +1,36 @@
+//! E8: wPAXOS ablations — aggregation, leader-priority queueing, tree
+//! routing — end-to-end execution cost per configuration.
+
+use amacl_bench::experiments::wpaxos_run_for_bench;
+use amacl_core::wpaxos::WpaxosConfig;
+use amacl_model::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_e8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_ablations_star24");
+    group.sample_size(10);
+    let n = 24;
+    let configs: [(&str, WpaxosConfig); 4] = [
+        ("full", WpaxosConfig::new(n)),
+        ("no_aggregation", WpaxosConfig::new(n).without_aggregation()),
+        (
+            "no_leader_priority",
+            WpaxosConfig::new(n).without_leader_priority(),
+        ),
+        ("flooded", WpaxosConfig::new(n).flooded_responses()),
+    ];
+    for (name, cfg) in configs {
+        group.bench_function(name, |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(wpaxos_run_for_bench(Topology::star(n), cfg, 4, seed))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e8);
+criterion_main!(benches);

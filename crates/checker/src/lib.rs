@@ -1,0 +1,59 @@
+//! # `amacl-checker`: exhaustive model checking for the abstract MAC layer
+//!
+//! The paper's guarantees quantify over *every* message scheduler: "the
+//! scheduler" may deliver the in-flight messages in any order and
+//! acknowledge completed broadcasts at any point. Randomized and
+//! scripted schedulers (in [`amacl_model`]) sample that space; this
+//! crate *enumerates* it. For small networks, [`Explorer`] walks every
+//! reachable execution of a [`Process`](amacl_model::proc::Process)
+//! implementation — every delivery interleaving, every ack placement,
+//! and optionally every crash placement up to a budget — and checks
+//! the consensus properties in every state it visits:
+//!
+//! * **agreement** and **validity** are checked in *every* reachable
+//!   state (safety must never be violated, even transiently);
+//! * **termination** is checked in every *terminal* state (a state
+//!   with no enabled delivery or ack is one the scheduler can make
+//!   permanent, so an undecided live node there is a genuine liveness
+//!   failure — the scheduler has run out of fairness obligations).
+//!
+//! A clean exhaustive run is a machine-checked proof of the algorithm's
+//! correctness *for that network and those inputs* — stronger than any
+//! number of randomized trials. A failure comes with the exact
+//! scheduler choice sequence that produced it, replayable through
+//! [`ExploreMachine`].
+//!
+//! The state space is tamed by memoizing global-state fingerprints
+//! (different interleavings frequently converge to the same state), a
+//! state-count cap, and a depth cap; truncated runs are reported as
+//! such rather than silently passing.
+//!
+//! This complements the bivalence explorer in `amacl-lowerbounds`:
+//! that tool searches for the *existence* of adversarial extensions
+//! (the FLP argument); this one verifies the *absence* of bad states.
+//!
+//! For instances too large to cover, [`fuzz`] runs random walks over
+//! the same unrestricted-adversary branching structure — strictly more
+//! adversarial than the delay-based `RandomScheduler` (which cannot
+//! starve a node indefinitely or decouple order from time), while
+//! scaling far past the exhaustive walk.
+//!
+//! ## Scope
+//!
+//! The explorer treats executions as untimed event sequences — all
+//! callbacks observe clock value zero — which merges states that
+//! differ only in timing and matches the paper's safety arguments
+//! (they never appeal to real time). Algorithms whose *logic* reads
+//! the clock (e.g. failure-detector timeouts) should be checked with
+//! randomized schedulers instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod fuzz;
+pub mod machine;
+
+pub use explore::{ExploreConfig, ExploreOutcome, Explorer, SearchOrder, Violation, ViolationKind};
+pub use fuzz::{FuzzConfig, FuzzOutcome};
+pub use machine::{Choice, ExploreMachine};

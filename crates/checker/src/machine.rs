@@ -1,0 +1,434 @@
+//! The branching-execution machine: one abstract-MAC-layer state plus
+//! every scheduler move available from it.
+//!
+//! Where the simulator in [`amacl_model::sim`] follows *one* schedule
+//! chosen by a [`Scheduler`], an
+//! [`ExploreMachine`] exposes the full set of moves the model's
+//! nondeterministic scheduler could make — each in-flight message may
+//! next be delivered to any neighbor that has not yet received it, any
+//! fully-delivered broadcast may be acknowledged, and (within a
+//! budget) any live node may crash, freezing its in-flight message
+//! mid-broadcast. The [`Explorer`](crate::explore::Explorer) forks the
+//! machine at every branch point.
+
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+
+use amacl_model::ids::{NodeId, Slot};
+use amacl_model::prelude::*;
+use amacl_model::proc::NodeCell;
+
+/// One scheduler move.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Choice {
+    /// Deliver `from`'s current message to neighbor `to`.
+    Deliver {
+        /// Broadcasting node (slot index).
+        from: usize,
+        /// Receiving neighbor (slot index).
+        to: usize,
+    },
+    /// Acknowledge `0`'s current message (enabled once every live
+    /// neighbor has received it).
+    Ack(usize),
+    /// Crash the node, freezing any in-flight message (mid-broadcast
+    /// partial delivery). Consumes one unit of the crash budget.
+    Crash(usize),
+}
+
+/// A forkable global state of an algorithm running on an arbitrary
+/// topology under the abstract MAC layer rules.
+///
+/// `P` must be `Clone` (the explorer forks states) and `Debug` (global
+/// states are fingerprinted through their debug representation, which
+/// is deterministic for the `BTree`-based algorithm states used in
+/// this workspace).
+pub struct ExploreMachine<P: Process + Clone + std::fmt::Debug> {
+    topo: Topology,
+    procs: Vec<P>,
+    cells: Vec<NodeCell<P::Msg>>,
+    ids: Vec<NodeId>,
+    /// The message each node currently has in flight, if any.
+    outstanding: Vec<Option<P::Msg>>,
+    /// Neighbors that have not yet received the current message.
+    pending: Vec<BTreeSet<usize>>,
+    crashed: Vec<bool>,
+    crash_budget: usize,
+    moves_taken: u64,
+}
+
+impl<P> Clone for ExploreMachine<P>
+where
+    P: Process + Clone + std::fmt::Debug,
+    P::Msg: Clone,
+{
+    fn clone(&self) -> Self {
+        // NodeCell owns an RNG and is not Clone; rebuild with
+        // deterministic seeds and copy the observable state. Only
+        // deterministic algorithms are explored, so RNG state is
+        // irrelevant.
+        let mut cells: Vec<NodeCell<P::Msg>> = (0..self.procs.len())
+            .map(|i| NodeCell::new(i as u64))
+            .collect();
+        for (i, cell) in cells.iter_mut().enumerate() {
+            cell.decision = self.cells[i].decision;
+            cell.ts_seq = self.cells[i].ts_seq;
+            cell.busy_discards = self.cells[i].busy_discards;
+        }
+        Self {
+            topo: self.topo.clone(),
+            procs: self.procs.clone(),
+            cells,
+            ids: self.ids.clone(),
+            outstanding: self.outstanding.clone(),
+            pending: self.pending.clone(),
+            crashed: self.crashed.clone(),
+            crash_budget: self.crash_budget,
+            moves_taken: self.moves_taken,
+        }
+    }
+}
+
+impl<P> ExploreMachine<P>
+where
+    P: Process + Clone + std::fmt::Debug,
+    P::Msg: Clone + std::fmt::Debug,
+{
+    /// Builds a machine over `topo` (ids equal slot indices), runs
+    /// every `on_start`, and collects the initial broadcasts.
+    /// `crash_budget` bounds how many [`Choice::Crash`] moves the
+    /// explored scheduler may make.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` does not provide one process per topology
+    /// vertex.
+    pub fn new(topo: Topology, mut procs: Vec<P>, crash_budget: usize) -> Self {
+        let n = topo.len();
+        assert_eq!(procs.len(), n, "one process per node");
+        let ids: Vec<NodeId> = (0..n).map(|i| NodeId(i as u64)).collect();
+        let mut cells: Vec<NodeCell<P::Msg>> = (0..n).map(|i| NodeCell::new(i as u64)).collect();
+        let mut outstanding: Vec<Option<P::Msg>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut ctx = cells[i].ctx(ids[i], Time::ZERO, false);
+            procs[i].on_start(&mut ctx);
+            outstanding.push(cells[i].outbox.take());
+        }
+        let mut m = Self {
+            pending: vec![BTreeSet::new(); n],
+            topo,
+            procs,
+            cells,
+            ids,
+            outstanding,
+            crashed: vec![false; n],
+            crash_budget,
+            moves_taken: 0,
+        };
+        for i in 0..n {
+            if m.outstanding[i].is_some() {
+                m.pending[i] = m.neighbor_set(i);
+            }
+        }
+        m
+    }
+
+    fn neighbor_set(&self, u: usize) -> BTreeSet<usize> {
+        self.topo
+            .neighbors(Slot(u))
+            .iter()
+            .map(|s| s.index())
+            .collect()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// `true` if the machine has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// The process at `slot`, for state inspection.
+    pub fn process(&self, slot: usize) -> &P {
+        &self.procs[slot]
+    }
+
+    /// Whether `slot` has crashed.
+    pub fn is_crashed(&self, slot: usize) -> bool {
+        self.crashed[slot]
+    }
+
+    /// Remaining crash budget.
+    pub fn crash_budget(&self) -> usize {
+        self.crash_budget
+    }
+
+    /// Scheduler moves applied so far on this branch.
+    pub fn moves_taken(&self) -> u64 {
+        self.moves_taken
+    }
+
+    /// Per-slot decisions so far.
+    pub fn decisions(&self) -> Vec<Option<Value>> {
+        self.cells
+            .iter()
+            .map(|c| c.decision.map(|d| d.value))
+            .collect()
+    }
+
+    /// Distinct decided values so far.
+    pub fn decided_values(&self) -> BTreeSet<Value> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.decision.map(|d| d.value))
+            .collect()
+    }
+
+    /// `true` when every non-crashed node has decided.
+    pub fn all_alive_decided(&self) -> bool {
+        (0..self.len()).all(|i| self.crashed[i] || self.cells[i].decision.is_some())
+    }
+
+    /// Live neighbors of `u` that still owe a receipt of `u`'s current
+    /// message.
+    fn live_pending(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.pending[u].iter().copied().filter(|&v| !self.crashed[v])
+    }
+
+    /// Every scheduler move enabled in this state. Deliveries and acks
+    /// come first, then crashes (if budget remains).
+    pub fn choices(&self) -> Vec<Choice> {
+        let mut out = Vec::new();
+        for u in 0..self.len() {
+            if self.crashed[u] || self.outstanding[u].is_none() {
+                continue;
+            }
+            let mut any = false;
+            for v in self.live_pending(u) {
+                out.push(Choice::Deliver { from: u, to: v });
+                any = true;
+            }
+            if !any {
+                out.push(Choice::Ack(u));
+            }
+        }
+        if self.crash_budget > 0 {
+            for u in 0..self.len() {
+                if !self.crashed[u] {
+                    out.push(Choice::Crash(u));
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` when no delivery or ack is enabled — the scheduler can
+    /// stay here forever without violating any model obligation, so
+    /// liveness properties are judged in these states. (Crash moves do
+    /// not count: the scheduler is never obliged to crash anyone.)
+    pub fn is_terminal(&self) -> bool {
+        // A live node with a message in flight always enables a move
+        // (a delivery while live recipients remain, the ack after).
+        (0..self.len()).all(|u| self.crashed[u] || self.outstanding[u].is_none())
+    }
+
+    /// Applies a scheduler move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the move is not currently enabled.
+    pub fn apply(&mut self, choice: Choice) {
+        self.moves_taken += 1;
+        // All callbacks observe clock zero: executions are untimed
+        // event sequences (see the crate docs on scope).
+        let now = Time::ZERO;
+        match choice {
+            Choice::Deliver { from, to } => {
+                assert!(!self.crashed[from] && !self.crashed[to], "dead endpoint");
+                assert!(self.pending[from].remove(&to), "no pending delivery");
+                let msg = self.outstanding[from].clone().expect("message in flight");
+                let busy = self.outstanding[to].is_some();
+                let mut ctx = self.cells[to].ctx(self.ids[to], now, busy);
+                self.procs[to].on_receive(msg, &mut ctx);
+                if let Some(m) = self.cells[to].outbox.take() {
+                    debug_assert!(self.outstanding[to].is_none());
+                    self.outstanding[to] = Some(m);
+                    self.pending[to] = self.neighbor_set(to);
+                }
+            }
+            Choice::Ack(u) => {
+                assert!(!self.crashed[u], "dead node");
+                assert!(
+                    self.outstanding[u].is_some() && self.live_pending(u).next().is_none(),
+                    "ack requires full delivery to live neighbors"
+                );
+                self.outstanding[u] = None;
+                self.pending[u].clear();
+                let mut ctx = self.cells[u].ctx(self.ids[u], now, false);
+                self.procs[u].on_ack(&mut ctx);
+                if let Some(m) = self.cells[u].outbox.take() {
+                    self.outstanding[u] = Some(m);
+                    self.pending[u] = self.neighbor_set(u);
+                }
+            }
+            Choice::Crash(u) => {
+                assert!(!self.crashed[u], "node already crashed");
+                assert!(self.crash_budget > 0, "crash budget exhausted");
+                self.crash_budget -= 1;
+                self.crashed[u] = true;
+                // The in-flight message (if any) is frozen: remaining
+                // neighbors never receive it.
+            }
+        }
+    }
+
+    /// A deterministic fingerprint of the global state, for memoized
+    /// exploration. Excludes `moves_taken` so that converging
+    /// interleavings merge.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for i in 0..self.len() {
+            format!("{:?}", self.procs[i]).hash(&mut h);
+            format!("{:?}", self.outstanding[i]).hash(&mut h);
+            self.pending[i].iter().for_each(|v| v.hash(&mut h));
+            0xFFu8.hash(&mut h);
+            self.crashed[i].hash(&mut h);
+            self.cells[i].decision.map(|d| d.value).hash(&mut h);
+        }
+        self.crash_budget.hash(&mut h);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Broadcast once; decide own input on ack.
+    #[derive(Clone, Debug)]
+    struct OneShot(Value);
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    struct Ping(u64);
+    impl Payload for Ping {
+        fn id_count(&self) -> usize {
+            0
+        }
+    }
+
+    impl Process for OneShot {
+        type Msg = Ping;
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            ctx.broadcast(Ping(self.0));
+        }
+        fn on_receive(&mut self, _msg: Ping, _ctx: &mut Context<'_, Ping>) {}
+        fn on_ack(&mut self, ctx: &mut Context<'_, Ping>) {
+            ctx.decide(self.0);
+        }
+    }
+
+    fn line3() -> ExploreMachine<OneShot> {
+        ExploreMachine::new(
+            Topology::line(3),
+            vec![OneShot(0), OneShot(0), OneShot(0)],
+            0,
+        )
+    }
+
+    #[test]
+    fn initial_choices_follow_topology() {
+        let m = line3();
+        let choices = m.choices();
+        // Middle node owes two deliveries, endpoints one each.
+        assert_eq!(choices.len(), 4);
+        assert!(choices.contains(&Choice::Deliver { from: 1, to: 0 }));
+        assert!(choices.contains(&Choice::Deliver { from: 1, to: 2 }));
+        assert!(choices.contains(&Choice::Deliver { from: 0, to: 1 }));
+        assert!(!choices.contains(&Choice::Deliver { from: 0, to: 2 }), "not adjacent");
+    }
+
+    #[test]
+    fn ack_enabled_after_full_delivery() {
+        let mut m = line3();
+        m.apply(Choice::Deliver { from: 0, to: 1 });
+        assert!(m.choices().contains(&Choice::Ack(0)));
+        m.apply(Choice::Ack(0));
+        assert_eq!(m.decisions()[0], Some(0));
+    }
+
+    #[test]
+    fn terminal_once_everyone_acked() {
+        let mut m = line3();
+        for c in [
+            Choice::Deliver { from: 0, to: 1 },
+            Choice::Deliver { from: 1, to: 0 },
+            Choice::Deliver { from: 1, to: 2 },
+            Choice::Deliver { from: 2, to: 1 },
+            Choice::Ack(0),
+            Choice::Ack(1),
+            Choice::Ack(2),
+        ] {
+            assert!(!m.is_terminal());
+            m.apply(c);
+        }
+        assert!(m.is_terminal());
+        assert!(m.all_alive_decided());
+        assert_eq!(m.moves_taken(), 7);
+    }
+
+    #[test]
+    fn crash_consumes_budget_and_freezes_message() {
+        let mut m = ExploreMachine::new(
+            Topology::line(3),
+            vec![OneShot(0), OneShot(0), OneShot(0)],
+            1,
+        );
+        assert!(m.choices().contains(&Choice::Crash(1)));
+        m.apply(Choice::Crash(1));
+        assert!(m.is_crashed(1));
+        assert_eq!(m.crash_budget(), 0);
+        assert!(!m.choices().iter().any(|c| matches!(c, Choice::Crash(_))));
+        // Node 1's message is frozen; endpoints' messages had only node
+        // 1 as recipient, which is now dead, so their acks fire.
+        assert!(m.choices().contains(&Choice::Ack(0)));
+        assert!(m.choices().contains(&Choice::Ack(2)));
+    }
+
+    #[test]
+    fn fingerprints_merge_converging_interleavings() {
+        let mut a = line3();
+        let mut b = line3();
+        a.apply(Choice::Deliver { from: 1, to: 0 });
+        a.apply(Choice::Deliver { from: 1, to: 2 });
+        b.apply(Choice::Deliver { from: 1, to: 2 });
+        b.apply(Choice::Deliver { from: 1, to: 0 });
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), line3().fingerprint());
+    }
+
+    #[test]
+    fn clone_is_a_true_fork() {
+        let mut m = line3();
+        let fork = m.clone();
+        m.apply(Choice::Deliver { from: 0, to: 1 });
+        assert_ne!(m.fingerprint(), fork.fingerprint());
+        assert_eq!(fork.moves_taken(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no pending delivery")]
+    fn double_delivery_rejected() {
+        let mut m = line3();
+        m.apply(Choice::Deliver { from: 0, to: 1 });
+        m.apply(Choice::Deliver { from: 0, to: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "one process per node")]
+    fn process_count_mismatch_rejected() {
+        ExploreMachine::new(Topology::line(3), vec![OneShot(0)], 0);
+    }
+}

@@ -1,0 +1,600 @@
+//! Executes parsed [`Command`]s against the workspace libraries and
+//! renders plain-text reports.
+
+use std::fmt::Write as _;
+
+use amacl_checker::{ExploreConfig, Explorer, FuzzConfig, SearchOrder};
+use amacl_core::baselines::flood_gather::FloodGather;
+use amacl_core::extensions::ben_or::BenOr;
+use amacl_core::extensions::fd_paxos::FdPaxos;
+use amacl_core::multivalued::BitwiseTwoPhase;
+use amacl_core::tree_gather::TreeGather;
+use amacl_core::two_phase::TwoPhase;
+use amacl_core::verify::check_consensus;
+use amacl_core::wpaxos::{WpaxosConfig, WpaxosNode};
+use amacl_model::prelude::*;
+use amacl_model::sim::conformance::check_trace;
+use amacl_model::sim::trace::TraceEvent;
+
+use crate::spec::{AlgoSpec, Command, InputSpec, SchedSpec, TopoSpec};
+
+/// Executes a parsed command, returning the rendered report.
+///
+/// # Errors
+///
+/// Returns a message when the instance is invalid (e.g. a multihop
+/// topology for a single-hop algorithm) or a property fails.
+pub fn execute(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Run {
+            algo,
+            topo,
+            sched,
+            inputs,
+            crashes,
+            trace,
+            audit,
+            id_budget,
+        } => run(algo, topo, sched, inputs, crashes, trace, audit, id_budget),
+        Command::Check {
+            algo,
+            topo,
+            inputs,
+            crash_budget,
+            max_states,
+            bfs,
+        } => check(algo, topo, inputs, crash_budget, max_states, bfs),
+        Command::Fuzz {
+            algo,
+            topo,
+            inputs,
+            crash_budget,
+            walks,
+            seed,
+        } => fuzz(algo, topo, inputs, crash_budget, walks, seed),
+        Command::Topo { topo } => Ok(describe_topo(&topo)),
+    }
+}
+
+/// The single-hop algorithms insist on a clique; catching it here gives
+/// a friendlier message than a stuck simulation.
+fn require_clique(algo: AlgoSpec, topo: &Topology) -> Result<(), String> {
+    let is_clique = topo.edge_count() == topo.len() * topo.len().saturating_sub(1) / 2;
+    if is_clique {
+        Ok(())
+    } else {
+        Err(format!(
+            "`{}` is a single-hop algorithm; use a clique topology (got {} nodes, {} edges)",
+            algo.name(),
+            topo.len(),
+            topo.edge_count()
+        ))
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run(
+    algo: AlgoSpec,
+    topo_spec: TopoSpec,
+    sched: SchedSpec,
+    inputs_spec: InputSpec,
+    crashes: Vec<CrashSpec>,
+    trace: bool,
+    audit: bool,
+    id_budget: Option<usize>,
+) -> Result<String, String> {
+    let topo = topo_spec.build();
+    let n = topo.len();
+    let inputs = inputs_spec.materialize(n)?;
+    for c in &crashes {
+        if c.slot().index() >= n {
+            return Err(format!("crash slot {} out of range (n={n})", c.slot()));
+        }
+    }
+    let crashed: Vec<bool> = (0..n).map(|i| crashes.iter().any(|c| c.slot() == Slot(i))).collect();
+
+    // One builder per algorithm arm: each has a distinct message type.
+    macro_rules! simulate {
+        ($mk:expr, $budget:expr) => {{
+            let mut sim = SimBuilder::new(topo.clone(), $mk)
+                .scheduler(sched.build())
+                .crashes(CrashPlan::new(crashes.clone()))
+                .message_id_budget(id_budget.unwrap_or($budget))
+                .trace(trace || audit)
+                .max_time(Time(2_000_000))
+                .build();
+            let report = sim.run();
+            let audit_text = if audit {
+                let a = check_trace(sim.topology(), sim.trace(), Some(sched.f_ack()), None);
+                Some(format!(
+                    "audit: {} broadcasts, {} deliveries, {} acks — violations: {}",
+                    a.broadcasts,
+                    a.deliveries,
+                    a.acks,
+                    if a.violations.is_empty() {
+                        "none".to_string()
+                    } else {
+                        format!("{:?}", a.violations)
+                    }
+                ))
+            } else {
+                None
+            };
+            let trace_text = if trace {
+                Some(render_trace(sim.trace().events()))
+            } else {
+                None
+            };
+            (report, trace_text, audit_text)
+        }};
+    }
+
+    let iv = inputs.clone();
+    let (report, trace_text, audit_text) = match algo {
+        AlgoSpec::TwoPhase => {
+            require_clique(algo, &topo)?;
+            for &v in &inputs {
+                if v > 1 {
+                    return Err("two-phase is binary; use --inputs with 0/1 values".into());
+                }
+            }
+            simulate!(|s: Slot| TwoPhase::new(iv[s.index()]), 1)
+        }
+        AlgoSpec::Wpaxos => {
+            simulate!(|s: Slot| WpaxosNode::new(iv[s.index()], WpaxosConfig::new(n)), 10)
+        }
+        AlgoSpec::TreeGather => simulate!(|s: Slot| TreeGather::new(iv[s.index()], n), 10),
+        AlgoSpec::FloodGather => simulate!(|s: Slot| FloodGather::new(iv[s.index()], n), 1),
+        AlgoSpec::Bitwise(bits) => {
+            require_clique(algo, &topo)?;
+            let top = if bits >= 64 { u64::MAX } else { (1 << bits) - 1 };
+            for &v in &inputs {
+                if v > top {
+                    return Err(format!("input {v} does not fit in {bits} bits"));
+                }
+            }
+            simulate!(|s: Slot| BitwiseTwoPhase::new(iv[s.index()], bits), 1)
+        }
+        AlgoSpec::BenOr => {
+            require_clique(algo, &topo)?;
+            if n < 3 {
+                return Err("ben-or needs n >= 3".into());
+            }
+            for &v in &inputs {
+                if v > 1 {
+                    return Err("ben-or is binary; use --inputs with 0/1 values".into());
+                }
+            }
+            simulate!(|s: Slot| BenOr::new(iv[s.index()], n), 1)
+        }
+        AlgoSpec::FdPaxos(timeout) => {
+            require_clique(algo, &topo)?;
+            simulate!(|s: Slot| FdPaxos::new(iv[s.index()], n, timeout), 3)
+        }
+    };
+
+    let check = check_consensus(&inputs, &report, &crashed);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "algo {} | topo {} (n={n}, D={}) | sched {:?} | inputs {:?}",
+        algo.name(),
+        topo_spec.text,
+        topo.diameter(),
+        sched,
+        inputs
+    );
+    if !crashes.is_empty() {
+        let _ = writeln!(out, "crashes: {crashes:?}");
+    }
+    let _ = writeln!(
+        out,
+        "outcome: {:?} at t={} | broadcasts {} | deliveries {}",
+        report.outcome,
+        report.end_time.ticks(),
+        report.metrics.broadcasts,
+        report.metrics.deliveries
+    );
+    let _ = writeln!(
+        out,
+        "consensus: agreement={} validity={} termination={} decided={:?}",
+        check.agreement, check.validity, check.termination, check.decided
+    );
+    if let Some(t) = report.max_decision_time() {
+        let _ = writeln!(
+            out,
+            "latest decision: t={} ({:.2} x F_ack)",
+            t.ticks(),
+            t.ticks() as f64 / sched.f_ack() as f64
+        );
+    }
+    if let Some(tt) = trace_text {
+        let _ = writeln!(out, "{tt}");
+    }
+    if let Some(at) = audit_text {
+        let _ = writeln!(out, "{at}");
+    }
+    if let Some(v) = check.violation {
+        return Err(format!("{out}\nconsensus violation: {v}"));
+    }
+    Ok(out)
+}
+
+fn render_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("trace (decide/crash events):");
+    for ev in events {
+        match ev {
+            TraceEvent::Decide { time, slot, value } => {
+                let _ = write!(out, "\n  t={:>6} {slot} decides {value}", time.ticks());
+            }
+            TraceEvent::Crash { time, slot } => {
+                let _ = write!(out, "\n  t={:>6} {slot} CRASHES", time.ticks());
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn check(
+    algo: AlgoSpec,
+    topo_spec: TopoSpec,
+    inputs_spec: InputSpec,
+    crash_budget: usize,
+    max_states: usize,
+    bfs: bool,
+) -> Result<String, String> {
+    let topo = topo_spec.build();
+    let n = topo.len();
+    let inputs = inputs_spec.materialize(n)?;
+    let cfg = ExploreConfig {
+        max_states,
+        order: if bfs {
+            SearchOrder::Bfs
+        } else {
+            SearchOrder::Dfs
+        },
+        ..ExploreConfig::default()
+    };
+
+    macro_rules! explore {
+        ($procs:expr) => {{
+            let explorer = Explorer::new(topo.clone(), $procs, inputs.clone(), crash_budget);
+            explorer.run(cfg)
+        }};
+    }
+
+    let out = match algo {
+        AlgoSpec::TwoPhase => {
+            require_clique(algo, &topo)?;
+            explore!(inputs.iter().map(|&v| TwoPhase::new(v)).collect())
+        }
+        AlgoSpec::Bitwise(bits) => {
+            require_clique(algo, &topo)?;
+            explore!(inputs
+                .iter()
+                .map(|&v| BitwiseTwoPhase::new(v, bits))
+                .collect())
+        }
+        AlgoSpec::TreeGather => explore!(inputs.iter().map(|&v| TreeGather::new(v, n)).collect()),
+        AlgoSpec::FloodGather => {
+            explore!(inputs.iter().map(|&v| FloodGather::new(v, n)).collect())
+        }
+        other => {
+            return Err(format!(
+                "`{}` is not checker-compatible (randomized or clock-driven); \
+                 supported: two-phase, bitwise:<b>, tree-gather, flood-gather",
+                other.name()
+            ))
+        }
+    };
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "checked {} on {} (n={n}), inputs {:?}, crash budget {crash_budget}",
+        algo.name(),
+        topo_spec.text,
+        inputs
+    );
+    let _ = writeln!(
+        text,
+        "explored {} states ({} terminal), deepest schedule {} moves{}",
+        out.states,
+        out.terminal_states,
+        out.max_depth_reached,
+        if out.truncated { " — TRUNCATED" } else { "" }
+    );
+    match out.violations.first() {
+        None if !out.truncated => {
+            let _ = writeln!(
+                text,
+                "VERIFIED: agreement, validity, and termination hold on every schedule"
+            );
+        }
+        None => {
+            let _ = writeln!(
+                text,
+                "no violation found, but the cover is incomplete — raise --max-states"
+            );
+        }
+        Some(v) => {
+            let _ = writeln!(text, "VIOLATION: {:?}", v.kind);
+            let _ = writeln!(text, "decisions: {:?}", v.decisions);
+            let _ = writeln!(text, "schedule ({} moves):", v.schedule.len());
+            for c in &v.schedule {
+                let _ = writeln!(text, "  {c:?}");
+            }
+        }
+    }
+    Ok(text)
+}
+
+fn fuzz(
+    algo: AlgoSpec,
+    topo_spec: TopoSpec,
+    inputs_spec: InputSpec,
+    crash_budget: usize,
+    walks: usize,
+    seed: u64,
+) -> Result<String, String> {
+    let topo = topo_spec.build();
+    let n = topo.len();
+    let inputs = inputs_spec.materialize(n)?;
+    let cfg = FuzzConfig {
+        walks,
+        seed,
+        ..FuzzConfig::default()
+    };
+
+    macro_rules! campaign {
+        ($procs:expr) => {{
+            Explorer::new(topo.clone(), $procs, inputs.clone(), crash_budget).fuzz(cfg)
+        }};
+    }
+
+    let out = match algo {
+        AlgoSpec::TwoPhase => {
+            require_clique(algo, &topo)?;
+            campaign!(inputs.iter().map(|&v| TwoPhase::new(v)).collect())
+        }
+        AlgoSpec::Bitwise(bits) => {
+            require_clique(algo, &topo)?;
+            campaign!(inputs
+                .iter()
+                .map(|&v| BitwiseTwoPhase::new(v, bits))
+                .collect())
+        }
+        AlgoSpec::Wpaxos => {
+            campaign!(inputs
+                .iter()
+                .map(|&v| WpaxosNode::new(v, WpaxosConfig::new(n)))
+                .collect())
+        }
+        AlgoSpec::TreeGather => campaign!(inputs.iter().map(|&v| TreeGather::new(v, n)).collect()),
+        AlgoSpec::FloodGather => {
+            campaign!(inputs.iter().map(|&v| FloodGather::new(v, n)).collect())
+        }
+        other => {
+            return Err(format!(
+                "`{}` is not fuzz-compatible (randomized or clock-driven); \
+                 supported: two-phase, bitwise:<b>, wpaxos, tree-gather, flood-gather",
+                other.name()
+            ))
+        }
+    };
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "fuzzed {} on {} (n={n}), inputs {:?}, crash budget {crash_budget}",
+        algo.name(),
+        topo_spec.text,
+        inputs
+    );
+    let _ = writeln!(
+        text,
+        "{} walks ({} decided, {} stuck-terminal, {} truncated), {} total moves, longest walk {}",
+        out.walks,
+        out.decided_walks,
+        out.terminal_walks,
+        out.truncated_walks,
+        out.total_moves,
+        out.max_walk_moves
+    );
+    match out.violations.first() {
+        None => {
+            let _ = writeln!(text, "CLEAN: no walk violated agreement/validity/termination");
+        }
+        Some(v) => {
+            let _ = writeln!(text, "VIOLATION: {:?}", v.kind);
+            let _ = writeln!(text, "decisions: {:?}", v.decisions);
+            let _ = writeln!(text, "schedule ({} moves):", v.schedule.len());
+            for c in &v.schedule {
+                let _ = writeln!(text, "  {c:?}");
+            }
+        }
+    }
+    Ok(text)
+}
+
+fn describe_topo(spec: &TopoSpec) -> String {
+    let topo = spec.build();
+    let n = topo.len();
+    let degrees: Vec<usize> = (0..n).map(|i| topo.degree(Slot(i))).collect();
+    let mut out = String::new();
+    let _ = writeln!(out, "topology {}", spec.text);
+    let _ = writeln!(
+        out,
+        "n = {n}, edges = {}, connected = {}, diameter = {}",
+        topo.edge_count(),
+        topo.is_connected(),
+        topo.diameter()
+    );
+    let _ = writeln!(
+        out,
+        "degree: min {} / max {} / mean {:.2}",
+        degrees.iter().min().copied().unwrap_or(0),
+        degrees.iter().max().copied().unwrap_or(0),
+        if n == 0 {
+            0.0
+        } else {
+            degrees.iter().sum::<usize>() as f64 / n as f64
+        }
+    );
+    if n <= 16 {
+        for i in 0..n {
+            let nb: Vec<String> = topo
+                .neighbors(Slot(i))
+                .iter()
+                .map(|s| s.index().to_string())
+                .collect();
+            let _ = writeln!(out, "  {i}: {}", nb.join(" "));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run_cli;
+
+    fn cli(s: &str) -> Result<String, String> {
+        run_cli(&s.split_whitespace().map(str::to_string).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn run_two_phase_on_clique() {
+        let out = cli("run --algo two-phase --topo clique:5 --sched sync:2").unwrap();
+        assert!(out.contains("agreement=true"), "{out}");
+        assert!(out.contains("latest decision: t=4"), "{out}");
+    }
+
+    #[test]
+    fn run_wpaxos_on_grid_with_trace_and_audit() {
+        let out = cli("run --algo wpaxos --topo grid:3x2 --sched random:3:9 --trace --audit")
+            .unwrap();
+        assert!(out.contains("decides"), "{out}");
+        assert!(out.contains("violations: none"), "{out}");
+    }
+
+    #[test]
+    fn run_fd_paxos_with_crash() {
+        let out = cli(
+            "run --algo fd-paxos --topo clique:5 --sched random:4:3 \
+             --crash slot=0,bcast=1,delivered=2 --inputs const:6",
+        )
+        .unwrap();
+        assert!(out.contains("decided=Some(6)"), "{out}");
+    }
+
+    #[test]
+    fn run_bitwise_with_wide_inputs() {
+        let out =
+            cli("run --algo bitwise:4 --topo clique:3 --sched max-delay:2 --inputs 9,5,12")
+                .unwrap();
+        assert!(out.contains("agreement=true"), "{out}");
+    }
+
+    #[test]
+    fn single_hop_algorithms_reject_multihop_topologies() {
+        let err = cli("run --algo two-phase --topo line:4").unwrap_err();
+        assert!(err.contains("single-hop"), "{err}");
+        let err = cli("run --algo ben-or --topo ring:5").unwrap_err();
+        assert!(err.contains("single-hop"), "{err}");
+    }
+
+    #[test]
+    fn binary_algorithms_reject_wide_inputs() {
+        let err = cli("run --algo two-phase --topo clique:3 --inputs 0,1,2").unwrap_err();
+        assert!(err.contains("binary"), "{err}");
+        let err = cli("run --algo bitwise:2 --topo clique:2 --inputs 1,9").unwrap_err();
+        assert!(err.contains("does not fit"), "{err}");
+    }
+
+    #[test]
+    fn check_verifies_two_phase_pair() {
+        let out = cli("check --algo two-phase --topo clique:2 --inputs 0,1").unwrap();
+        assert!(out.contains("VERIFIED"), "{out}");
+    }
+
+    #[test]
+    fn check_finds_crash_violation() {
+        let out =
+            cli("check --algo two-phase --topo clique:2 --inputs 0,1 --crash-budget 1").unwrap();
+        assert!(out.contains("VIOLATION"), "{out}");
+        assert!(out.contains("schedule"), "{out}");
+    }
+
+    #[test]
+    fn check_bfs_gives_a_schedule_no_longer_than_dfs() {
+        let sched_len = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("schedule ("))
+                .and_then(|l| {
+                    l.split_once('(')?
+                        .1
+                        .split_whitespace()
+                        .next()?
+                        .parse::<usize>()
+                        .ok()
+                })
+                .expect("schedule length line")
+        };
+        let dfs =
+            cli("check --algo two-phase --topo clique:2 --inputs 0,1 --crash-budget 1").unwrap();
+        let bfs = cli(
+            "check --algo two-phase --topo clique:2 --inputs 0,1 --crash-budget 1 --bfs",
+        )
+        .unwrap();
+        assert!(sched_len(&bfs) <= sched_len(&dfs), "bfs: {bfs}\ndfs: {dfs}");
+    }
+
+    #[test]
+    fn check_rejects_randomized_algorithms() {
+        let err = cli("check --algo ben-or --topo clique:3").unwrap_err();
+        assert!(err.contains("not checker-compatible"), "{err}");
+    }
+
+    #[test]
+    fn fuzz_wpaxos_clean_on_a_grid() {
+        let out = cli("fuzz --algo wpaxos --topo grid:2x2 --walks 5 --seed 3").unwrap();
+        assert!(out.contains("CLEAN"), "{out}");
+        assert!(out.contains("5 walks (5 decided"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_finds_crash_violation() {
+        let out = cli(
+            "fuzz --algo flood-gather --topo clique:3 --inputs 0,1,1 \
+             --crash-budget 1 --walks 50 --seed 2",
+        )
+        .unwrap();
+        assert!(out.contains("VIOLATION: Termination"), "{out}");
+    }
+
+    #[test]
+    fn fuzz_rejects_clock_driven_algorithms() {
+        let err = cli("fuzz --algo fd-paxos --topo clique:3").unwrap_err();
+        assert!(err.contains("not fuzz-compatible"), "{err}");
+    }
+
+    #[test]
+    fn topo_report_includes_stats() {
+        let out = cli("topo --topo barbell:4:2").unwrap();
+        assert!(out.contains("n = 10"), "{out}");
+        assert!(out.contains("connected = true"), "{out}");
+    }
+
+    #[test]
+    fn crash_slot_out_of_range_is_rejected() {
+        let err = cli("run --algo wpaxos --topo line:3 --crash slot=9,time=1").unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn explicit_input_length_mismatch_is_rejected() {
+        let err = cli("run --algo wpaxos --topo line:3 --inputs 0,1").unwrap_err();
+        assert!(err.contains("2 inputs given"), "{err}");
+    }
+}

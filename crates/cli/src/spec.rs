@@ -1,0 +1,698 @@
+//! Plain-text specs (`family:params`) and argument parsing.
+
+use amacl_model::prelude::*;
+
+/// Which algorithm to run.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum AlgoSpec {
+    /// Algorithm 1 (single-hop, binary, no knowledge of `n`).
+    TwoPhase,
+    /// wPAXOS (multihop, needs `n`).
+    Wpaxos,
+    /// The §4.2 "simpler alternative" on the same services.
+    TreeGather,
+    /// Flood-and-gather baseline.
+    FloodGather,
+    /// Bitwise multi-valued composition with the given width.
+    Bitwise(u32),
+    /// Randomized Ben-Or (binary, f = 1).
+    BenOr,
+    /// Failure-detector-guided Paxos with the given initial timeout.
+    FdPaxos(u64),
+}
+
+impl AlgoSpec {
+    /// Parses `two-phase`, `bitwise:16`, `fd-paxos:8`, ...
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (head, tail) = split_head(s);
+        match head {
+            "two-phase" => no_params(tail, s).map(|()| AlgoSpec::TwoPhase),
+            "wpaxos" => no_params(tail, s).map(|()| AlgoSpec::Wpaxos),
+            "tree-gather" => no_params(tail, s).map(|()| AlgoSpec::TreeGather),
+            "flood-gather" => no_params(tail, s).map(|()| AlgoSpec::FloodGather),
+            "bitwise" => Ok(AlgoSpec::Bitwise(one_param(tail, s)?)),
+            "ben-or" => no_params(tail, s).map(|()| AlgoSpec::BenOr),
+            "fd-paxos" => Ok(match tail {
+                None => AlgoSpec::FdPaxos(4),
+                Some(_) => AlgoSpec::FdPaxos(one_param(tail, s)?),
+            }),
+            _ => Err(format!("unknown algorithm `{s}`")),
+        }
+    }
+
+    /// Short human label.
+    pub fn name(&self) -> String {
+        match self {
+            AlgoSpec::TwoPhase => "two-phase".into(),
+            AlgoSpec::Wpaxos => "wpaxos".into(),
+            AlgoSpec::TreeGather => "tree-gather".into(),
+            AlgoSpec::FloodGather => "flood-gather".into(),
+            AlgoSpec::Bitwise(b) => format!("bitwise:{b}"),
+            AlgoSpec::BenOr => "ben-or".into(),
+            AlgoSpec::FdPaxos(t) => format!("fd-paxos:{t}"),
+        }
+    }
+}
+
+/// Which topology to build.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TopoSpec {
+    /// The original spec text (for reports).
+    pub text: String,
+    topo: Topology,
+}
+
+impl TopoSpec {
+    /// Parses `clique:8`, `grid:4x3`, `random:12:0.2:7`, ...
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (head, tail) = split_head(s);
+        let topo = match head {
+            "clique" => Topology::clique(one_param(tail, s)?),
+            "line" => Topology::line(one_param(tail, s)?),
+            "ring" => Topology::ring(one_param(tail, s)?),
+            "star" => Topology::star(one_param(tail, s)?),
+            "grid" => {
+                let (w, h) = wh_param(tail, s)?;
+                Topology::grid(w, h)
+            }
+            "torus" => {
+                let (w, h) = wh_param(tail, s)?;
+                Topology::torus(w, h)
+            }
+            "hypercube" => Topology::hypercube(one_param(tail, s)?),
+            "binary-tree" => Topology::binary_tree(one_param(tail, s)?),
+            "barbell" => {
+                let (k, bridge) = two_params(tail, s)?;
+                Topology::barbell(k, bridge)
+            }
+            "star-of-lines" => {
+                let (arms, len) = two_params(tail, s)?;
+                Topology::star_of_lines(arms, len)
+            }
+            "caterpillar" => {
+                let (spine, legs) = two_params(tail, s)?;
+                Topology::caterpillar(spine, legs)
+            }
+            "lollipop" => {
+                let (k, t) = two_params(tail, s)?;
+                Topology::lollipop(k, t)
+            }
+            "random" => {
+                let parts = params(tail, s, 3)?;
+                let n: usize = num(&parts[0], s)?;
+                let p: f64 = parts[1]
+                    .parse()
+                    .map_err(|_| format!("bad probability in `{s}`"))?;
+                let seed: u64 = num(&parts[2], s)?;
+                Topology::random_connected(n, p, seed)
+            }
+            "random-tree" => {
+                let (n, seed) = two_params::<usize, u64>(tail, s)?;
+                Topology::random_tree(n, seed)
+            }
+            _ => return Err(format!("unknown topology `{s}`")),
+        };
+        Ok(Self {
+            text: s.to_string(),
+            topo,
+        })
+    }
+
+    /// The built topology.
+    pub fn build(&self) -> Topology {
+        self.topo.clone()
+    }
+}
+
+/// Which scheduler adversary to use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedSpec {
+    /// Lockstep rounds of `F_ack` ticks.
+    Sync(u64),
+    /// Every broadcast takes the full `F_ack`.
+    MaxDelay(u64),
+    /// Seeded random delays.
+    Random(u64, u64),
+    /// Deliveries within `F_prog`, acks within `F_ack`.
+    Dual(u64, u64, u64),
+}
+
+impl SchedSpec {
+    /// Parses `sync:2`, `random:4:42`, `dual:2:8:7`, ...
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (head, tail) = split_head(s);
+        match head {
+            "sync" => Ok(SchedSpec::Sync(one_param(tail, s)?)),
+            "max-delay" => Ok(SchedSpec::MaxDelay(one_param(tail, s)?)),
+            "random" => {
+                let (f, seed) = two_params(tail, s)?;
+                Ok(SchedSpec::Random(f, seed))
+            }
+            "dual" => {
+                let parts = params(tail, s, 3)?;
+                Ok(SchedSpec::Dual(
+                    num(&parts[0], s)?,
+                    num(&parts[1], s)?,
+                    num(&parts[2], s)?,
+                ))
+            }
+            _ => Err(format!("unknown scheduler `{s}`")),
+        }
+    }
+
+    /// The `F_ack` bound this spec honors.
+    pub fn f_ack(&self) -> u64 {
+        match *self {
+            SchedSpec::Sync(f) | SchedSpec::MaxDelay(f) | SchedSpec::Random(f, _) => f,
+            SchedSpec::Dual(_, f_ack, _) => f_ack,
+        }
+    }
+
+    /// Builds the boxed scheduler.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match *self {
+            SchedSpec::Sync(f) => Box::new(SynchronousScheduler::new(f)),
+            SchedSpec::MaxDelay(f) => Box::new(MaxDelayScheduler::new(f)),
+            SchedSpec::Random(f, seed) => Box::new(RandomScheduler::new(f, seed)),
+            SchedSpec::Dual(f_prog, f_ack, seed) => {
+                Box::new(DualBoundScheduler::new(f_prog, f_ack, seed))
+            }
+        }
+    }
+}
+
+/// How to assign initial values.
+#[derive(Clone, PartialEq, Debug)]
+pub enum InputSpec {
+    /// `0,1,0,1,...`
+    Alternating,
+    /// Everyone starts with `v`.
+    Const(Value),
+    /// Seeded uniform draw from `0..=max`.
+    Random {
+        /// RNG seed.
+        seed: u64,
+        /// Inclusive maximum value.
+        max: Value,
+    },
+    /// Explicit per-slot values.
+    Explicit(Vec<Value>),
+}
+
+impl InputSpec {
+    /// Parses `alt`, `const:3`, `random:7`, `random:7:15`, or a CSV
+    /// list like `0,1,1`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        if s == "alt" {
+            return Ok(InputSpec::Alternating);
+        }
+        let (head, tail) = split_head(s);
+        match head {
+            "const" => return Ok(InputSpec::Const(one_param(tail, s)?)),
+            "random" => {
+                let parts = params(tail, s, usize::MAX)?;
+                return match parts.len() {
+                    1 => Ok(InputSpec::Random {
+                        seed: num(&parts[0], s)?,
+                        max: 1,
+                    }),
+                    2 => Ok(InputSpec::Random {
+                        seed: num(&parts[0], s)?,
+                        max: num(&parts[1], s)?,
+                    }),
+                    _ => Err(format!("`{s}`: expected random:<seed>[:<max>]")),
+                };
+            }
+            _ => {}
+        }
+        let values: Result<Vec<Value>, _> = s.split(',').map(|p| p.trim().parse()).collect();
+        values
+            .map(InputSpec::Explicit)
+            .map_err(|_| format!("bad inputs `{s}`"))
+    }
+
+    /// Materializes `n` inputs.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an explicit list's length does not match `n`.
+    pub fn materialize(&self, n: usize) -> Result<Vec<Value>, String> {
+        match self {
+            InputSpec::Alternating => Ok((0..n).map(|i| (i % 2) as Value).collect()),
+            InputSpec::Const(v) => Ok(vec![*v; n]),
+            InputSpec::Random { seed, max } => {
+                use rand::{Rng, SeedableRng};
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(*seed);
+                Ok((0..n).map(|_| rng.gen_range(0..=*max)).collect())
+            }
+            InputSpec::Explicit(v) => {
+                if v.len() == n {
+                    Ok(v.clone())
+                } else {
+                    Err(format!(
+                        "{} inputs given for a topology of {n} nodes",
+                        v.len()
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Parses `slot=2,time=5` or `slot=2,bcast=1,delivered=0`.
+pub fn parse_crash(s: &str) -> Result<CrashSpec, String> {
+    let mut slot = None;
+    let mut time = None;
+    let mut bcast = None;
+    let mut delivered = None;
+    for part in s.split(',') {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad crash field `{part}` in `{s}`"))?;
+        let v: u64 = v
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad number in crash field `{part}`"))?;
+        match k.trim() {
+            "slot" => slot = Some(v as usize),
+            "time" => time = Some(v),
+            "bcast" => bcast = Some(v),
+            "delivered" => delivered = Some(v as usize),
+            _ => return Err(format!("unknown crash field `{k}` in `{s}`")),
+        }
+    }
+    let slot = slot.ok_or_else(|| format!("crash `{s}` needs slot=<s>"))?;
+    match (time, bcast, delivered) {
+        (Some(t), None, None) => Ok(CrashSpec::AtTime {
+            slot: Slot(slot),
+            time: Time(t),
+        }),
+        (None, Some(nth), Some(k)) => Ok(CrashSpec::MidBroadcast {
+            slot: Slot(slot),
+            nth_broadcast: nth,
+            delivered: k,
+        }),
+        _ => Err(format!(
+            "crash `{s}` needs either time=<t> or bcast=<n>,delivered=<k>"
+        )),
+    }
+}
+
+/// A fully parsed invocation.
+#[derive(Clone, Debug)]
+pub enum Command {
+    /// `amacl run ...`
+    Run {
+        /// Algorithm.
+        algo: AlgoSpec,
+        /// Topology.
+        topo: TopoSpec,
+        /// Scheduler.
+        sched: SchedSpec,
+        /// Input assignment.
+        inputs: InputSpec,
+        /// Crashes to inject.
+        crashes: Vec<CrashSpec>,
+        /// Print decide/crash trace events.
+        trace: bool,
+        /// Replay the trace through the conformance checker.
+        audit: bool,
+        /// Per-message id budget override.
+        id_budget: Option<usize>,
+    },
+    /// `amacl check ...`
+    Check {
+        /// Algorithm (must be checker-compatible).
+        algo: AlgoSpec,
+        /// Topology.
+        topo: TopoSpec,
+        /// Input assignment.
+        inputs: InputSpec,
+        /// Crash moves the explored scheduler may take.
+        crash_budget: usize,
+        /// State cap.
+        max_states: usize,
+        /// Breadth-first search (minimal counterexample schedules).
+        bfs: bool,
+    },
+    /// `amacl fuzz ...`
+    Fuzz {
+        /// Algorithm (must be deterministic and clock-oblivious).
+        algo: AlgoSpec,
+        /// Topology.
+        topo: TopoSpec,
+        /// Input assignment.
+        inputs: InputSpec,
+        /// Crash moves each walk's scheduler may take.
+        crash_budget: usize,
+        /// Number of random walks.
+        walks: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// `amacl topo ...`
+    Topo {
+        /// Topology to describe.
+        topo: TopoSpec,
+    },
+}
+
+impl Command {
+    /// Parses the argument vector (without the program name).
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let Some((verb, rest)) = args.split_first() else {
+            return Err(crate::USAGE.to_string());
+        };
+        let mut opts = Opts::scan(rest)?;
+        let cmd = match verb.as_str() {
+            "run" => Command::Run {
+                algo: AlgoSpec::parse(&opts.required("--algo")?)?,
+                topo: TopoSpec::parse(&opts.required("--topo")?)?,
+                sched: SchedSpec::parse(
+                    &opts.optional("--sched").unwrap_or("random:4:42".into()),
+                )?,
+                inputs: InputSpec::parse(&opts.optional("--inputs").unwrap_or("alt".into()))?,
+                crashes: opts
+                    .all("--crash")
+                    .iter()
+                    .map(|s| parse_crash(s))
+                    .collect::<Result<_, _>>()?,
+                trace: opts.flag("--trace"),
+                audit: opts.flag("--audit"),
+                id_budget: match opts.optional("--id-budget") {
+                    Some(s) => Some(num(&s, "--id-budget")?),
+                    None => None,
+                },
+            },
+            "check" => Command::Check {
+                algo: AlgoSpec::parse(&opts.required("--algo")?)?,
+                topo: TopoSpec::parse(&opts.required("--topo")?)?,
+                inputs: InputSpec::parse(&opts.optional("--inputs").unwrap_or("alt".into()))?,
+                crash_budget: match opts.optional("--crash-budget") {
+                    Some(s) => num(&s, "--crash-budget")?,
+                    None => 0,
+                },
+                max_states: match opts.optional("--max-states") {
+                    Some(s) => num(&s, "--max-states")?,
+                    None => 2_000_000,
+                },
+                bfs: opts.flag("--bfs"),
+            },
+            "fuzz" => Command::Fuzz {
+                algo: AlgoSpec::parse(&opts.required("--algo")?)?,
+                topo: TopoSpec::parse(&opts.required("--topo")?)?,
+                inputs: InputSpec::parse(&opts.optional("--inputs").unwrap_or("alt".into()))?,
+                crash_budget: match opts.optional("--crash-budget") {
+                    Some(s) => num(&s, "--crash-budget")?,
+                    None => 0,
+                },
+                walks: match opts.optional("--walks") {
+                    Some(s) => num(&s, "--walks")?,
+                    None => 100,
+                },
+                seed: match opts.optional("--seed") {
+                    Some(s) => num(&s, "--seed")?,
+                    None => 0,
+                },
+            },
+            "topo" => Command::Topo {
+                topo: TopoSpec::parse(&opts.required("--topo")?)?,
+            },
+            "help" | "--help" | "-h" => return Err(crate::USAGE.to_string()),
+            other => return Err(format!("unknown command `{other}`\n\n{}", crate::USAGE)),
+        };
+        opts.finish()?;
+        Ok(cmd)
+    }
+}
+
+/// Minimal `--key value` / `--flag` scanner with leftovers detection.
+struct Opts {
+    pairs: Vec<(String, Option<String>)>,
+    used: Vec<bool>,
+}
+
+impl Opts {
+    fn scan(args: &[String]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if !a.starts_with("--") {
+                return Err(format!("unexpected argument `{a}`"));
+            }
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => Some(it.next().unwrap().clone()),
+                _ => None,
+            };
+            pairs.push((a.clone(), value));
+        }
+        let used = vec![false; pairs.len()];
+        Ok(Self { pairs, used })
+    }
+
+    fn take(&mut self, key: &str) -> Option<Option<String>> {
+        for (i, (k, v)) in self.pairs.iter().enumerate() {
+            if !self.used[i] && k == key {
+                self.used[i] = true;
+                return Some(v.clone());
+            }
+        }
+        None
+    }
+
+    fn required(&mut self, key: &str) -> Result<String, String> {
+        self.take(key)
+            .flatten()
+            .ok_or_else(|| format!("missing required option `{key} <value>`"))
+    }
+
+    fn optional(&mut self, key: &str) -> Option<String> {
+        self.take(key).flatten()
+    }
+
+    fn all(&mut self, key: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        while let Some(Some(v)) = self.take(key) {
+            out.push(v);
+        }
+        out
+    }
+
+    fn flag(&mut self, key: &str) -> bool {
+        self.take(key).is_some()
+    }
+
+    fn finish(self) -> Result<(), String> {
+        for (i, (k, _)) in self.pairs.iter().enumerate() {
+            if !self.used[i] {
+                return Err(format!("unknown or duplicate option `{k}`"));
+            }
+        }
+        Ok(())
+    }
+}
+
+// --- tiny param helpers -------------------------------------------------
+
+fn split_head(s: &str) -> (&str, Option<&str>) {
+    match s.split_once(':') {
+        Some((h, t)) => (h, Some(t)),
+        None => (s, None),
+    }
+}
+
+fn no_params(tail: Option<&str>, full: &str) -> Result<(), String> {
+    match tail {
+        None => Ok(()),
+        Some(_) => Err(format!("`{full}` takes no parameters")),
+    }
+}
+
+fn params(tail: Option<&str>, full: &str, want: usize) -> Result<Vec<String>, String> {
+    let tail = tail.ok_or_else(|| format!("`{full}` needs parameters"))?;
+    let parts: Vec<String> = tail.split(':').map(str::to_string).collect();
+    if want != usize::MAX && parts.len() != want {
+        return Err(format!("`{full}`: expected {want} parameter(s)"));
+    }
+    Ok(parts)
+}
+
+fn num<T: std::str::FromStr>(s: &str, ctx: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad number `{s}` in `{ctx}`"))
+}
+
+fn one_param<T: std::str::FromStr>(tail: Option<&str>, full: &str) -> Result<T, String> {
+    let parts = params(tail, full, 1)?;
+    num(&parts[0], full)
+}
+
+fn two_params<A: std::str::FromStr, B: std::str::FromStr>(
+    tail: Option<&str>,
+    full: &str,
+) -> Result<(A, B), String> {
+    let parts = params(tail, full, 2)?;
+    Ok((num(&parts[0], full)?, num(&parts[1], full)?))
+}
+
+fn wh_param(tail: Option<&str>, full: &str) -> Result<(usize, usize), String> {
+    let parts = params(tail, full, 1)?;
+    let (w, h) = parts[0]
+        .split_once('x')
+        .ok_or_else(|| format!("`{full}`: expected <w>x<h>"))?;
+    Ok((num(w, full)?, num(h, full)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn algo_specs_parse() {
+        assert_eq!(AlgoSpec::parse("two-phase").unwrap(), AlgoSpec::TwoPhase);
+        assert_eq!(AlgoSpec::parse("bitwise:16").unwrap(), AlgoSpec::Bitwise(16));
+        assert_eq!(AlgoSpec::parse("fd-paxos").unwrap(), AlgoSpec::FdPaxos(4));
+        assert_eq!(AlgoSpec::parse("fd-paxos:9").unwrap(), AlgoSpec::FdPaxos(9));
+        assert!(AlgoSpec::parse("raft").is_err());
+        assert!(AlgoSpec::parse("two-phase:3").is_err());
+    }
+
+    #[test]
+    fn topo_specs_parse_and_build() {
+        assert_eq!(TopoSpec::parse("clique:5").unwrap().build().len(), 5);
+        assert_eq!(TopoSpec::parse("grid:4x3").unwrap().build().len(), 12);
+        assert_eq!(TopoSpec::parse("hypercube:3").unwrap().build().len(), 8);
+        assert_eq!(TopoSpec::parse("barbell:4:2").unwrap().build().len(), 10);
+        let r = TopoSpec::parse("random:10:0.3:7").unwrap().build();
+        assert_eq!(r.len(), 10);
+        assert!(r.is_connected());
+        assert!(TopoSpec::parse("grid:4").is_err());
+        assert!(TopoSpec::parse("blob:4").is_err());
+    }
+
+    #[test]
+    fn sched_specs_parse() {
+        assert_eq!(SchedSpec::parse("sync:2").unwrap(), SchedSpec::Sync(2));
+        assert_eq!(
+            SchedSpec::parse("random:4:42").unwrap(),
+            SchedSpec::Random(4, 42)
+        );
+        assert_eq!(
+            SchedSpec::parse("dual:2:8:1").unwrap(),
+            SchedSpec::Dual(2, 8, 1)
+        );
+        assert_eq!(SchedSpec::parse("dual:2:8:1").unwrap().f_ack(), 8);
+        assert!(SchedSpec::parse("sync").is_err());
+    }
+
+    #[test]
+    fn input_specs_materialize() {
+        assert_eq!(
+            InputSpec::parse("alt").unwrap().materialize(4).unwrap(),
+            vec![0, 1, 0, 1]
+        );
+        assert_eq!(
+            InputSpec::parse("const:7").unwrap().materialize(3).unwrap(),
+            vec![7, 7, 7]
+        );
+        assert_eq!(
+            InputSpec::parse("0,1,1").unwrap().materialize(3).unwrap(),
+            vec![0, 1, 1]
+        );
+        assert!(InputSpec::parse("0,1").unwrap().materialize(3).is_err());
+        let r = InputSpec::parse("random:9:15")
+            .unwrap()
+            .materialize(100)
+            .unwrap();
+        assert!(r.iter().all(|&v| v <= 15));
+        assert!(InputSpec::parse("x,y").is_err());
+    }
+
+    #[test]
+    fn crash_specs_parse() {
+        assert_eq!(
+            parse_crash("slot=2,time=5").unwrap(),
+            CrashSpec::AtTime {
+                slot: Slot(2),
+                time: Time(5)
+            }
+        );
+        assert_eq!(
+            parse_crash("slot=1,bcast=0,delivered=2").unwrap(),
+            CrashSpec::MidBroadcast {
+                slot: Slot(1),
+                nth_broadcast: 0,
+                delivered: 2
+            }
+        );
+        assert!(parse_crash("slot=1").is_err());
+        assert!(parse_crash("time=5").is_err());
+        assert!(parse_crash("slot=1,time=2,bcast=0").is_err());
+    }
+
+    #[test]
+    fn command_parse_run_with_defaults() {
+        let cmd = Command::parse(&argv("run --algo two-phase --topo clique:4")).unwrap();
+        match cmd {
+            Command::Run {
+                algo,
+                sched,
+                inputs,
+                crashes,
+                trace,
+                audit,
+                ..
+            } => {
+                assert_eq!(algo, AlgoSpec::TwoPhase);
+                assert_eq!(sched, SchedSpec::Random(4, 42));
+                assert_eq!(inputs, InputSpec::Alternating);
+                assert!(crashes.is_empty());
+                assert!(!trace && !audit);
+            }
+            _ => panic!("expected Run"),
+        }
+    }
+
+    #[test]
+    fn command_parse_repeated_crashes() {
+        let cmd = Command::parse(&argv(
+            "run --algo ben-or --topo clique:5 --crash slot=0,time=1 --crash slot=1,bcast=0,delivered=1",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Run { crashes, .. } => assert_eq!(crashes.len(), 2),
+            _ => panic!("expected Run"),
+        }
+    }
+
+    #[test]
+    fn command_rejects_unknown_options() {
+        let err = Command::parse(&argv("run --algo two-phase --topo clique:4 --bogus 1"))
+            .unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+        let err = Command::parse(&argv("fly --algo two-phase")).unwrap_err();
+        assert!(err.contains("unknown command"), "{err}");
+    }
+
+    #[test]
+    fn command_parse_check() {
+        let cmd = Command::parse(&argv(
+            "check --algo two-phase --topo clique:3 --inputs 0,1,1 --crash-budget 1",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Check {
+                crash_budget,
+                max_states,
+                ..
+            } => {
+                assert_eq!(crash_budget, 1);
+                assert_eq!(max_states, 2_000_000);
+            }
+            _ => panic!("expected Check"),
+        }
+    }
+}

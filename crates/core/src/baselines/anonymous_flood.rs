@@ -1,0 +1,212 @@
+//! `SyncFloodMin`: the anonymous algorithm behind the Theorem 3.3 and
+//! Theorem 3.10 demonstrations.
+//!
+//! Each node floods the *set of values it has seen* (two bits — no ids
+//! anywhere, making the algorithm anonymous) for a fixed number of
+//! broadcast rounds, then decides the minimum value seen. Under the
+//! synchronous scheduler, information travels one hop per round, so
+//! `rounds >= D` makes the algorithm correct on every network of
+//! diameter at most `D` *under that scheduler*.
+//!
+//! Theorem 3.3 shows no anonymous algorithm can be correct on **all**
+//! schedulers and networks of a known size and diameter: in Network A
+//! of Figure 1 (with the bridge node silenced for `t` steps) this
+//! algorithm's executions inside the two gadgets are indistinguishable
+//! from the uniform-input executions in Network B, so the gadgets
+//! decide their own inputs — violating agreement (experiment E5).
+//!
+//! Run with `rounds < floor(D/2)` under the maximum-delay scheduler, it
+//! also demonstrates the Theorem 3.10 time bound: a node that decides
+//! before `floor(D/2) * F_ack` has provably not heard from the far half
+//! of a line, and the partition argument produces disagreement
+//! (experiment E4).
+
+use amacl_model::prelude::*;
+
+/// The set of binary values seen, as a two-bit mask. Carries no ids.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ValueMask(pub u8);
+
+impl ValueMask {
+    /// Mask containing only `value`.
+    pub fn of(value: Value) -> Self {
+        assert!(value <= 1, "SyncFloodMin is binary");
+        ValueMask(1 << value)
+    }
+
+    /// Union of two masks.
+    pub fn union(self, other: ValueMask) -> ValueMask {
+        ValueMask(self.0 | other.0)
+    }
+
+    /// The minimum value present.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty mask.
+    pub fn min_value(self) -> Value {
+        if self.0 & 1 != 0 {
+            0
+        } else if self.0 & 2 != 0 {
+            1
+        } else {
+            panic!("empty value mask")
+        }
+    }
+}
+
+impl Payload for ValueMask {
+    fn id_count(&self) -> usize {
+        0 // anonymous: no ids, ever
+    }
+}
+
+/// An anonymous flooding node that decides after a fixed number of its
+/// own broadcast rounds complete.
+#[derive(Clone, Debug)]
+pub struct SyncFloodMin {
+    seen: ValueMask,
+    rounds_left: u64,
+}
+
+impl SyncFloodMin {
+    /// Creates a node with a binary input that will decide after
+    /// `rounds` of its own broadcasts are acknowledged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0` or the input is not binary.
+    pub fn new(input: Value, rounds: u64) -> Self {
+        assert!(rounds > 0, "need at least one round");
+        Self {
+            seen: ValueMask::of(input),
+            rounds_left: rounds,
+        }
+    }
+
+    /// The current seen-set (state fingerprint for the
+    /// indistinguishability checks of experiment E5).
+    pub fn seen(&self) -> ValueMask {
+        self.seen
+    }
+
+    /// Rounds remaining before the decision.
+    pub fn rounds_left(&self) -> u64 {
+        self.rounds_left
+    }
+}
+
+impl Process for SyncFloodMin {
+    type Msg = ValueMask;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ValueMask>) {
+        ctx.broadcast(self.seen);
+    }
+
+    fn on_receive(&mut self, msg: ValueMask, _ctx: &mut Context<'_, ValueMask>) {
+        self.seen = self.seen.union(msg);
+    }
+
+    fn on_ack(&mut self, ctx: &mut Context<'_, ValueMask>) {
+        self.rounds_left -= 1;
+        if self.rounds_left == 0 {
+            ctx.decide(self.seen.min_value());
+        } else {
+            ctx.broadcast(self.seen);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_consensus;
+
+    fn run(
+        topo: Topology,
+        inputs: &[Value],
+        rounds: u64,
+        scheduler: impl Scheduler + 'static,
+    ) -> RunReport {
+        let iv = inputs.to_vec();
+        let mut sim = SimBuilder::new(topo, |s| SyncFloodMin::new(iv[s.index()], rounds))
+            .scheduler(scheduler)
+            .message_id_budget(0) // proves anonymity mechanically
+            .build();
+        sim.run()
+    }
+
+    #[test]
+    fn correct_on_lines_with_enough_rounds() {
+        // rounds = D suffices under the synchronous scheduler.
+        for n in [2usize, 5, 9] {
+            let d = (n - 1) as u64;
+            let inputs: Vec<Value> = (0..n).map(|i| (i % 2) as Value).collect();
+            let report = run(
+                Topology::line(n),
+                &inputs,
+                d,
+                SynchronousScheduler::new(1),
+            );
+            let check = check_consensus(&inputs, &report, &[]);
+            check.assert_ok();
+            assert_eq!(check.decided, Some(0));
+        }
+    }
+
+    #[test]
+    fn uniform_inputs_decide_that_value() {
+        let inputs = vec![1, 1, 1, 1];
+        let report = run(
+            Topology::ring(4),
+            &inputs,
+            2,
+            SynchronousScheduler::new(1),
+        );
+        let check = check_consensus(&inputs, &report, &[]);
+        check.assert_ok();
+        assert_eq!(check.decided, Some(1));
+    }
+
+    #[test]
+    fn decides_exactly_at_round_budget() {
+        let inputs = vec![0, 1, 1];
+        let report = run(
+            Topology::clique(3),
+            &inputs,
+            5,
+            SynchronousScheduler::new(1),
+        );
+        assert_eq!(report.max_decision_time(), Some(Time(5)));
+    }
+
+    #[test]
+    fn too_few_rounds_violates_agreement_on_a_line() {
+        // The eager configuration: 2 rounds on a diameter-8 line with
+        // split inputs. Endpoints decide before hearing the far half —
+        // the Theorem 3.10 partition argument in action.
+        let n = 9;
+        let inputs: Vec<Value> = (0..n).map(|i| if i < n / 2 { 0 } else { 1 }).collect();
+        let report = run(
+            Topology::line(n),
+            &inputs,
+            2,
+            MaxDelayScheduler::new(3),
+        );
+        let check = check_consensus(&inputs, &report, &[]);
+        assert!(!check.agreement, "expected the partition violation");
+    }
+
+    #[test]
+    fn mask_operations() {
+        assert_eq!(ValueMask::of(0).min_value(), 0);
+        assert_eq!(ValueMask::of(1).min_value(), 1);
+        assert_eq!(ValueMask::of(1).union(ValueMask::of(0)).min_value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn non_binary_rejected() {
+        SyncFloodMin::new(2, 1);
+    }
+}

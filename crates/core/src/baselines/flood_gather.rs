@@ -1,0 +1,181 @@
+//! Flood-and-gather consensus: the simple-but-slow alternative.
+//!
+//! With unique ids, knowledge of `n`, and no crash failures, consensus
+//! does not *need* Paxos: every node floods every `(id, value)` pair it
+//! learns, and decides the minimum value once it has seen all `n` pairs
+//! (Section 4.2: "we could, for example, simply gather all values at
+//! all nodes"). The catch is the model's message-size restriction: each
+//! broadcast carries `O(1)` pairs, so a bottleneck node that must relay
+//! `Ω(n)` pairs needs `Ω(n)` broadcasts — `Θ(n * F_ack)` overall, the
+//! gap wPAXOS's aggregation closes (experiment E3).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use amacl_model::prelude::*;
+use amacl_model::ids::NodeId;
+
+/// One `(id, value)` pair in flight.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct PairMsg {
+    /// The node the value belongs to.
+    pub id: NodeId,
+    /// That node's initial value.
+    pub value: Value,
+}
+
+impl Payload for PairMsg {
+    fn id_count(&self) -> usize {
+        1
+    }
+}
+
+/// A flood-and-gather node.
+#[derive(Clone, Debug)]
+pub struct FloodGather {
+    input: Value,
+    n: usize,
+    known: BTreeMap<NodeId, Value>,
+    outq: VecDeque<PairMsg>,
+    queued: BTreeSet<NodeId>,
+}
+
+impl FloodGather {
+    /// Creates a node with its input value and the known network size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(input: Value, n: usize) -> Self {
+        assert!(n > 0);
+        Self {
+            input,
+            n,
+            known: BTreeMap::new(),
+            outq: VecDeque::new(),
+            queued: BTreeSet::new(),
+        }
+    }
+
+    /// Number of `(id, value)` pairs learned so far.
+    pub fn known_count(&self) -> usize {
+        self.known.len()
+    }
+
+    fn learn(&mut self, pair: PairMsg) -> bool {
+        if self.known.contains_key(&pair.id) {
+            return false;
+        }
+        self.known.insert(pair.id, pair.value);
+        if self.queued.insert(pair.id) {
+            self.outq.push_back(pair);
+        }
+        true
+    }
+
+    fn maybe_decide(&mut self, ctx: &mut Context<'_, PairMsg>) {
+        if ctx.decided().is_none() && self.known.len() == self.n {
+            let min = *self.known.values().min().expect("n > 0");
+            ctx.decide(min);
+        }
+    }
+
+    fn maybe_send(&mut self, ctx: &mut Context<'_, PairMsg>) {
+        if ctx.is_busy() {
+            return;
+        }
+        if let Some(pair) = self.outq.pop_front() {
+            ctx.broadcast(pair);
+        }
+    }
+}
+
+impl Process for FloodGather {
+    type Msg = PairMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, PairMsg>) {
+        let own = PairMsg {
+            id: ctx.id(),
+            value: self.input,
+        };
+        self.learn(own);
+        self.maybe_decide(ctx);
+        self.maybe_send(ctx);
+    }
+
+    fn on_receive(&mut self, msg: PairMsg, ctx: &mut Context<'_, PairMsg>) {
+        self.learn(msg);
+        self.maybe_decide(ctx);
+        self.maybe_send(ctx);
+    }
+
+    fn on_ack(&mut self, ctx: &mut Context<'_, PairMsg>) {
+        self.maybe_send(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_consensus;
+
+    fn run(
+        topo: Topology,
+        inputs: &[Value],
+        scheduler: impl Scheduler + 'static,
+    ) -> (Sim<FloodGather>, RunReport) {
+        let n = topo.len();
+        let iv = inputs.to_vec();
+        let mut sim = SimBuilder::new(topo, |s| FloodGather::new(iv[s.index()], n))
+            .scheduler(scheduler)
+            .message_id_budget(1)
+            .build();
+        let report = sim.run();
+        (sim, report)
+    }
+
+    #[test]
+    fn decides_minimum_on_clique() {
+        let inputs = [4, 2, 9];
+        let (_, report) = run(Topology::clique(3), &inputs, SynchronousScheduler::new(1));
+        let check = check_consensus(&inputs, &report, &[]);
+        check.assert_ok();
+        assert_eq!(check.decided, Some(2));
+    }
+
+    #[test]
+    fn works_on_multihop_topologies() {
+        for seed in 0..8 {
+            let topo = Topology::random_connected(12, 0.15, seed);
+            let inputs: Vec<Value> = (0..12).map(|i| (i as u64) % 2).collect();
+            let (_, report) = run(topo, &inputs, RandomScheduler::new(3, seed));
+            let check = check_consensus(&inputs, &report, &[]);
+            assert!(check.ok(), "seed {seed}: {:?}", check.violation);
+            assert_eq!(check.decided, Some(0));
+        }
+    }
+
+    #[test]
+    fn hub_relays_theta_n_pairs_on_a_star() {
+        // The bottleneck: the hub must forward almost every pair one
+        // message at a time.
+        let n = 20;
+        let inputs: Vec<Value> = (0..n as u64).map(|i| i % 2).collect();
+        let (sim, report) = run(Topology::star(n), &inputs, SynchronousScheduler::new(1));
+        assert!(report.all_decided());
+        let hub_broadcasts = sim.metrics().per_slot_broadcasts[0];
+        assert!(
+            hub_broadcasts >= (n as u64) - 1,
+            "hub sent only {hub_broadcasts} broadcasts"
+        );
+        // Decision time scales with n, not diameter (D = 2 here).
+        assert!(report.max_decision_time().unwrap() >= Time(n as u64 - 2));
+    }
+
+    #[test]
+    fn singleton_decides_immediately() {
+        let (_, report) = run(Topology::from_edges(1, &[]), &[7], SynchronousScheduler::new(1));
+        let check = check_consensus(&[7], &report, &[]);
+        check.assert_ok();
+        assert_eq!(report.max_decision_time(), Some(Time(0)));
+    }
+}

@@ -1,0 +1,25 @@
+//! Baseline and foil algorithms.
+//!
+//! These are the comparison points and counterexample algorithms the
+//! paper reasons about but does not spell out:
+//!
+//! * [`flood_gather::FloodGather`] — the "something simpler" the paper
+//!   mentions replacing Paxos with (Section 4.2, footnote on gathering
+//!   all values): flood every `(id, value)` pair, decide once all `n`
+//!   are known. Correct, but `Θ(n * F_ack)` at bottlenecks because each
+//!   message carries `O(1)` pairs. The flooding-Paxos baseline is
+//!   [`WpaxosConfig::flooded_responses`](crate::wpaxos::WpaxosConfig::flooded_responses).
+//! * [`anonymous_flood::SyncFloodMin`] — an *anonymous* algorithm
+//!   (never reads its id) that is correct on known-diameter networks
+//!   under the synchronous scheduler; Theorem 3.3's construction makes
+//!   it violate agreement (experiment E5). Run with fewer rounds than
+//!   `floor(D/2)`, it also serves as the "eager" algorithm that the
+//!   Theorem 3.10 partition argument catches (experiment E4).
+//! * [`quiesce::IdFloodQuiesce`] — an id-using algorithm that does
+//!   *not* know `n` and instead detects quiescence; correct on every
+//!   line under the synchronous scheduler (Lemma 3.8's premise), broken
+//!   by the `K_D` construction of Theorem 3.9 (experiment E6).
+
+pub mod anonymous_flood;
+pub mod flood_gather;
+pub mod quiesce;

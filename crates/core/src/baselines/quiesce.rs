@@ -1,0 +1,190 @@
+//! `IdFloodQuiesce`: consensus by quiescence detection — the algorithm
+//! Theorem 3.9 defeats.
+//!
+//! A node that knows the diameter `D` but **not** the network size can
+//! try to substitute quiescence for counting: flood `(id, value)`
+//! pairs, and decide the minimum value seen once `quiet` consecutive
+//! own-broadcast rounds brought no new information. Under the
+//! synchronous scheduler this is correct on every line `L_d` with
+//! `d <= D` (Lemma 3.8's premise — note the algorithm works for *all*
+//! line lengths without knowing which one it is on).
+//!
+//! Theorem 3.9's `K_D` network (Figure 2) breaks it: the
+//! semi-synchronous scheduler silences the hub long enough that each
+//! `L_D` copy quiesces on its own uniform input and decides it —
+//! disagreeing with the other copy (experiment E6). Knowing `n` is what
+//! rules this trap out, because the copies would still be waiting for
+//! `n - |L_D|` missing ids.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use amacl_model::ids::NodeId;
+use amacl_model::prelude::*;
+
+/// Flood payload: a learned `(id, value)` pair, or a bare heartbeat
+/// that keeps rounds ticking once the queue drains.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QuiesceMsg(pub Option<(NodeId, Value)>);
+
+impl Payload for QuiesceMsg {
+    fn id_count(&self) -> usize {
+        usize::from(self.0.is_some())
+    }
+}
+
+/// A quiescence-detecting flooding node.
+#[derive(Clone, Debug)]
+pub struct IdFloodQuiesce {
+    input: Value,
+    quiet_threshold: u64,
+    known: BTreeMap<NodeId, Value>,
+    outq: VecDeque<(NodeId, Value)>,
+    forwarded: BTreeSet<NodeId>,
+    quiet_rounds: u64,
+}
+
+impl IdFloodQuiesce {
+    /// Creates a node that decides after `quiet_threshold` consecutive
+    /// acknowledged broadcasts during which nothing new arrived.
+    /// Callers typically pass a function of the known diameter, e.g.
+    /// `2 * D`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quiet_threshold == 0`.
+    pub fn new(input: Value, quiet_threshold: u64) -> Self {
+        assert!(quiet_threshold > 0);
+        Self {
+            input,
+            quiet_threshold,
+            known: BTreeMap::new(),
+            outq: VecDeque::new(),
+            forwarded: BTreeSet::new(),
+            quiet_rounds: 0,
+        }
+    }
+
+    /// Ids learned so far (diagnostics for the E6 demo).
+    pub fn known_ids(&self) -> usize {
+        self.known.len()
+    }
+
+    fn learn(&mut self, id: NodeId, value: Value) -> bool {
+        if self.known.contains_key(&id) {
+            return false;
+        }
+        self.known.insert(id, value);
+        if self.forwarded.insert(id) {
+            self.outq.push_back((id, value));
+        }
+        true
+    }
+
+    fn next_payload(&mut self) -> QuiesceMsg {
+        QuiesceMsg(self.outq.pop_front())
+    }
+}
+
+impl Process for IdFloodQuiesce {
+    type Msg = QuiesceMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, QuiesceMsg>) {
+        let me = ctx.id();
+        self.learn(me, self.input);
+        let payload = self.next_payload();
+        ctx.broadcast(payload);
+    }
+
+    fn on_receive(&mut self, msg: QuiesceMsg, _ctx: &mut Context<'_, QuiesceMsg>) {
+        if let QuiesceMsg(Some((id, value))) = msg {
+            if self.learn(id, value) {
+                self.quiet_rounds = 0;
+            }
+        }
+    }
+
+    fn on_ack(&mut self, ctx: &mut Context<'_, QuiesceMsg>) {
+        if ctx.decided().is_some() {
+            return;
+        }
+        if self.outq.is_empty() {
+            self.quiet_rounds += 1;
+            if self.quiet_rounds >= self.quiet_threshold {
+                let min = *self.known.values().min().expect("knows own value");
+                ctx.decide(min);
+                return;
+            }
+        }
+        let payload = self.next_payload();
+        ctx.broadcast(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_consensus;
+
+    fn run(
+        topo: Topology,
+        inputs: &[Value],
+        quiet: u64,
+        scheduler: impl Scheduler + 'static,
+    ) -> RunReport {
+        let iv = inputs.to_vec();
+        let mut sim = SimBuilder::new(topo, |s| IdFloodQuiesce::new(iv[s.index()], quiet))
+            .scheduler(scheduler)
+            .message_id_budget(1)
+            .build();
+        sim.run()
+    }
+
+    #[test]
+    fn correct_on_every_line_length_without_knowing_n() {
+        // The same quiet threshold (derived from D = 8) works on all
+        // shorter lines — Lemma 3.8's requirement.
+        let quiet = 2 * 8;
+        for n in [2usize, 4, 6, 9] {
+            for b in [0u64, 1] {
+                let inputs = vec![b; n];
+                let report = run(
+                    Topology::line(n),
+                    &inputs,
+                    quiet,
+                    SynchronousScheduler::new(1),
+                );
+                let check = check_consensus(&inputs, &report, &[]);
+                check.assert_ok();
+                assert_eq!(check.decided, Some(b), "n={n} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_converge_to_min_on_lines() {
+        let inputs = vec![1, 0, 1, 1, 0, 1];
+        let report = run(
+            Topology::line(6),
+            &inputs,
+            12,
+            SynchronousScheduler::new(1),
+        );
+        let check = check_consensus(&inputs, &report, &[]);
+        check.assert_ok();
+        assert_eq!(check.decided, Some(0));
+    }
+
+    #[test]
+    fn decision_time_tracks_quiet_threshold() {
+        let inputs = vec![1, 1];
+        let fast = run(Topology::line(2), &inputs, 3, SynchronousScheduler::new(1));
+        let slow = run(Topology::line(2), &inputs, 9, SynchronousScheduler::new(1));
+        assert!(fast.max_decision_time().unwrap() < slow.max_decision_time().unwrap());
+    }
+
+    #[test]
+    fn heartbeats_carry_no_ids() {
+        assert_eq!(QuiesceMsg(None).id_count(), 0);
+        assert_eq!(QuiesceMsg(Some((NodeId(1), 0))).id_count(), 1);
+    }
+}

@@ -1,0 +1,268 @@
+//! An eventually-perfect failure detector on the abstract MAC layer.
+//!
+//! The paper's conclusion (Section 5) names, as its second future-work
+//! direction, finding "additional formalisms \[that\] might allow
+//! deterministic consensus solutions to circumvent the impossibility
+//! concerning crash failures", noting that in the classical setting
+//! *failure detectors* played this role. This module makes that
+//! concrete: a heartbeat-based detector with the `◇P`
+//! (eventually-perfect) interface — *strong completeness* (every
+//! crashed node is eventually suspected by every correct node, forever)
+//! and *eventual strong accuracy* (correct nodes are eventually never
+//! suspected).
+//!
+//! ## Why the abstract MAC layer supports `◇P`
+//!
+//! In the plain asynchronous model `◇P` cannot be implemented; it is an
+//! oracle. The abstract MAC layer's `F_ack` bound changes that: a node
+//! that broadcasts *continuously* (re-broadcasting as soon as each ack
+//! arrives) delivers a message to every neighbor at least once every
+//! `2 * F_ack` ticks — each broadcast completes within `F_ack`, and the
+//! gap between the previous delivery to a particular neighbor and the
+//! next spans at most two broadcast windows. `F_ack` is unknown to the
+//! nodes, so a fixed timeout cannot work; instead each false suspicion
+//! doubles the suspect's timeout, so per monitored node the timeout
+//! exceeds `2 * F_ack` after finitely many mistakes and accuracy holds
+//! thereafter. Completeness is immediate: a crashed node stops
+//! broadcasting, so its silence eventually exceeds any finite timeout.
+//!
+//! The detector is a passive component: the embedding algorithm calls
+//! [`EventualDetector::heard`] for every received message and
+//! [`EventualDetector::tick`] on every callback (receipts and acks both
+//! work — a continuously-broadcasting node gets callbacks at least
+//! every `F_ack`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use amacl_model::ids::NodeId;
+use amacl_model::sim::time::Time;
+
+/// A heartbeat-driven eventually-perfect (`◇P`-style) failure detector
+/// for one node.
+///
+/// Monitors every node it has ever heard from. Time is the simulator's
+/// virtual clock as observed through callback timestamps; the detector
+/// never assumes a relationship between the clock and `F_ack`.
+///
+/// # Examples
+///
+/// ```
+/// use amacl_core::extensions::failure_detector::EventualDetector;
+/// use amacl_model::ids::NodeId;
+/// use amacl_model::sim::time::Time;
+///
+/// let mut fd = EventualDetector::new(4);
+/// fd.heard(NodeId(9), Time(10));
+/// fd.tick(Time(12));
+/// assert!(!fd.is_suspected(NodeId(9)));
+/// fd.tick(Time(20)); // silence beyond the timeout
+/// assert!(fd.is_suspected(NodeId(9)));
+/// fd.heard(NodeId(9), Time(21)); // false suspicion: timeout doubles
+/// assert!(!fd.is_suspected(NodeId(9)));
+/// assert_eq!(fd.timeout_of(NodeId(9)), Some(8));
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventualDetector {
+    initial_timeout: u64,
+    last_heard: BTreeMap<NodeId, Time>,
+    timeout: BTreeMap<NodeId, u64>,
+    suspects: BTreeSet<NodeId>,
+    false_suspicions: u64,
+}
+
+impl EventualDetector {
+    /// Creates a detector whose per-node timeout starts at
+    /// `initial_timeout` ticks.
+    ///
+    /// The starting value only affects how many early mistakes are
+    /// made, not correctness; it must be at least 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_timeout` is 0 (a zero timeout would suspect a
+    /// node in the same instant it was heard).
+    pub fn new(initial_timeout: u64) -> Self {
+        assert!(initial_timeout >= 1, "timeout must be at least 1 tick");
+        Self {
+            initial_timeout,
+            last_heard: BTreeMap::new(),
+            timeout: BTreeMap::new(),
+            suspects: BTreeSet::new(),
+            false_suspicions: 0,
+        }
+    }
+
+    /// Records a message from `id` at time `now`. If `id` was
+    /// suspected, the suspicion was false: it is withdrawn and `id`'s
+    /// timeout doubles (saturating), which is what makes accuracy
+    /// *eventual*.
+    pub fn heard(&mut self, id: NodeId, now: Time) {
+        self.last_heard.insert(id, now);
+        self.timeout.entry(id).or_insert(self.initial_timeout);
+        if self.suspects.remove(&id) {
+            self.false_suspicions += 1;
+            let t = self.timeout.get_mut(&id).expect("timeout entry exists");
+            *t = t.saturating_mul(2);
+        }
+    }
+
+    /// Re-evaluates suspicions at time `now`: any monitored node silent
+    /// for longer than its current timeout becomes suspected.
+    pub fn tick(&mut self, now: Time) {
+        for (&id, &last) in &self.last_heard {
+            let timeout = self.timeout[&id];
+            if now.ticks().saturating_sub(last.ticks()) > timeout {
+                self.suspects.insert(id);
+            }
+        }
+    }
+
+    /// `true` if `id` is currently suspected of having crashed.
+    pub fn is_suspected(&self, id: NodeId) -> bool {
+        self.suspects.contains(&id)
+    }
+
+    /// Every node this detector has ever heard from.
+    pub fn known(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.last_heard.keys().copied()
+    }
+
+    /// The currently trusted (heard-from and unsuspected) nodes.
+    pub fn trusted(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.last_heard
+            .keys()
+            .copied()
+            .filter(move |id| !self.suspects.contains(id))
+    }
+
+    /// The current timeout for `id`, if monitored.
+    pub fn timeout_of(&self, id: NodeId) -> Option<u64> {
+        self.timeout.get(&id).copied()
+    }
+
+    /// Number of suspicions later withdrawn (diagnostics; bounded per
+    /// node once its timeout exceeds `2 * F_ack`).
+    pub fn false_suspicions(&self) -> u64 {
+        self.false_suspicions
+    }
+
+    /// An Ω-style leader heuristic: the smallest trusted id, falling
+    /// back to `me` when it is smaller or nothing is trusted.
+    ///
+    /// Once the detector is accurate and complete, every correct node
+    /// computes the same leader: the smallest id among correct nodes
+    /// it has heard from — and with continuous broadcasting everyone
+    /// hears everyone within `F_ack`.
+    pub fn leader(&self, me: NodeId) -> NodeId {
+        self.trusted().chain(std::iter::once(me)).min().expect("me")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_detector_trusts_nobody_but_suspects_nobody() {
+        let fd = EventualDetector::new(4);
+        assert!(!fd.is_suspected(NodeId(1)));
+        assert_eq!(fd.trusted().count(), 0);
+        assert_eq!(fd.known().count(), 0);
+        assert_eq!(fd.false_suspicions(), 0);
+    }
+
+    #[test]
+    fn silence_beyond_timeout_suspects() {
+        let mut fd = EventualDetector::new(3);
+        fd.heard(NodeId(5), Time(0));
+        fd.tick(Time(3));
+        assert!(!fd.is_suspected(NodeId(5)), "exactly at timeout: trusted");
+        fd.tick(Time(4));
+        assert!(fd.is_suspected(NodeId(5)));
+        assert_eq!(fd.trusted().count(), 0);
+        assert_eq!(fd.known().count(), 1);
+    }
+
+    #[test]
+    fn false_suspicion_doubles_timeout() {
+        let mut fd = EventualDetector::new(2);
+        fd.heard(NodeId(5), Time(0));
+        fd.tick(Time(5));
+        assert!(fd.is_suspected(NodeId(5)));
+        fd.heard(NodeId(5), Time(6));
+        assert!(!fd.is_suspected(NodeId(5)));
+        assert_eq!(fd.false_suspicions(), 1);
+        assert_eq!(fd.timeout_of(NodeId(5)), Some(4));
+        // Now a gap of 4 is tolerated.
+        fd.tick(Time(10));
+        assert!(!fd.is_suspected(NodeId(5)));
+        fd.tick(Time(11));
+        assert!(fd.is_suspected(NodeId(5)));
+    }
+
+    #[test]
+    fn timeouts_are_per_node() {
+        let mut fd = EventualDetector::new(2);
+        fd.heard(NodeId(1), Time(0));
+        fd.heard(NodeId(2), Time(0));
+        fd.tick(Time(3));
+        fd.heard(NodeId(1), Time(3)); // only node 1's timeout doubles
+        assert_eq!(fd.timeout_of(NodeId(1)), Some(4));
+        assert_eq!(fd.timeout_of(NodeId(2)), Some(2));
+    }
+
+    #[test]
+    fn leader_is_smallest_trusted_or_self() {
+        let mut fd = EventualDetector::new(10);
+        assert_eq!(fd.leader(NodeId(7)), NodeId(7));
+        fd.heard(NodeId(3), Time(0));
+        fd.heard(NodeId(12), Time(0));
+        assert_eq!(fd.leader(NodeId(7)), NodeId(3));
+        fd.tick(Time(100)); // 3 and 12 both go silent
+        assert_eq!(fd.leader(NodeId(7)), NodeId(7));
+        fd.heard(NodeId(12), Time(101));
+        assert_eq!(fd.leader(NodeId(7)), NodeId(7));
+        assert_eq!(fd.leader(NodeId(20)), NodeId(12));
+    }
+
+    #[test]
+    fn completeness_holds_forever_after_crash() {
+        // A node that stops sending stays suspected through any number
+        // of later ticks.
+        let mut fd = EventualDetector::new(1);
+        fd.heard(NodeId(4), Time(0));
+        for t in 2..50 {
+            fd.tick(Time(t));
+            assert!(fd.is_suspected(NodeId(4)), "t={t}");
+        }
+    }
+
+    #[test]
+    fn eventual_accuracy_with_bounded_gap() {
+        // A correct node delivering at least every g ticks is suspected
+        // only finitely often: after enough doublings the timeout
+        // exceeds g.
+        let g = 16u64;
+        let mut fd = EventualDetector::new(1);
+        let mut t = 0u64;
+        for _ in 0..200 {
+            fd.heard(NodeId(9), Time(t));
+            t += g;
+            fd.tick(Time(t));
+        }
+        let before = fd.false_suspicions();
+        for _ in 0..200 {
+            fd.heard(NodeId(9), Time(t));
+            t += g;
+            fd.tick(Time(t));
+        }
+        assert_eq!(fd.false_suspicions(), before, "no further mistakes");
+        assert!(fd.timeout_of(NodeId(9)).unwrap() >= g);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_timeout_rejected() {
+        EventualDetector::new(0);
+    }
+}

@@ -1,0 +1,575 @@
+//! Deterministic crash-tolerant consensus from a failure detector:
+//! single-hop Paxos driven by [`EventualDetector`].
+//!
+//! Theorem 3.2 rules out deterministic consensus with one crash in the
+//! bare abstract MAC layer model. The classical escape (named in the
+//! paper's Section 5 future work) is to augment the model with a
+//! failure detector. This module shows the augmentation suffices: with
+//! the `◇P`-style detector of [`failure_detector`](super::failure_detector)
+//! — itself implementable on the abstract MAC layer because of `F_ack`
+//! — Paxos solves consensus deterministically in single-hop networks
+//! with known `n`, tolerating any minority of crash failures,
+//! including mid-broadcast crashes with partial delivery.
+//!
+//! ## Structure
+//!
+//! Every node is simultaneously a proposer, an acceptor, and a
+//! learner; all traffic is acknowledged local broadcast, so every
+//! message is seen by everyone and doubles as a failure-detector
+//! heartbeat. A node with nothing queued broadcasts an explicit
+//! heartbeat, so silence always means a crash (eventually).
+//!
+//! * The detector's Ω-style heuristic (smallest trusted id) picks the
+//!   would-be proposer. While detectors disagree, several nodes may
+//!   run ballots concurrently — safety is Paxos's and never depends on
+//!   the detector.
+//! * A proposer that observes a ballot above its own abandons its
+//!   attempt; if it still believes itself leader it retries with a
+//!   larger tag (observation is free: every ballot travels by
+//!   broadcast).
+//! * Any node that sees `Accepted` for one ballot from a majority of
+//!   distinct acceptors decides and floods `Decide`.
+//!
+//! Liveness: once the detector stabilizes, exactly one correct node
+//! considers itself leader; its next ballot outnumbers all others, a
+//! correct majority of acceptors answers (their broadcasts complete,
+//! by the model), and everyone decides within `O(F_ack)` — the same
+//! order as Two-Phase Consensus, now with crashes.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use amacl_model::ids::NodeId;
+use amacl_model::prelude::*;
+
+use super::failure_detector::EventualDetector;
+
+/// A Paxos ballot: compared by tag, then by proposer id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Ballot {
+    /// Monotone per-proposer attempt counter.
+    pub tag: u64,
+    /// Proposer id (ties are impossible across proposers).
+    pub proposer: NodeId,
+}
+
+/// Messages of the FD-guided Paxos. Every message carries its sender,
+/// so each receipt feeds the failure detector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FdPaxosMsg {
+    /// Keep-alive from a node with nothing else to say.
+    Heartbeat {
+        /// Sender id.
+        id: NodeId,
+    },
+    /// Phase-1a: a proposer solicits promises for `ballot`.
+    Prepare {
+        /// Sender (= proposer) id.
+        id: NodeId,
+        /// The ballot being prepared.
+        ballot: Ballot,
+    },
+    /// Phase-1b: an acceptor promises not to accept below `ballot`,
+    /// reporting its most recently accepted proposal, if any.
+    Promise {
+        /// Sender (= acceptor) id.
+        id: NodeId,
+        /// The ballot being promised to.
+        ballot: Ballot,
+        /// The acceptor's highest accepted `(ballot, value)`, if any.
+        accepted: Option<(Ballot, Value)>,
+    },
+    /// Phase-2a: the proposer asks acceptors to accept `value` at
+    /// `ballot`.
+    AcceptReq {
+        /// Sender (= proposer) id.
+        id: NodeId,
+        /// The ballot.
+        ballot: Ballot,
+        /// The proposed value.
+        value: Value,
+    },
+    /// Phase-2b: an acceptor accepted `value` at `ballot`.
+    Accepted {
+        /// Sender (= acceptor) id.
+        id: NodeId,
+        /// The ballot.
+        ballot: Ballot,
+        /// The accepted value.
+        value: Value,
+    },
+    /// A learner observed a majority and decided.
+    Decide {
+        /// Sender id.
+        id: NodeId,
+        /// The decided value.
+        value: Value,
+    },
+}
+
+impl FdPaxosMsg {
+    /// The sender id (heartbeat source for the failure detector).
+    pub fn sender(&self) -> NodeId {
+        match *self {
+            FdPaxosMsg::Heartbeat { id }
+            | FdPaxosMsg::Prepare { id, .. }
+            | FdPaxosMsg::Promise { id, .. }
+            | FdPaxosMsg::AcceptReq { id, .. }
+            | FdPaxosMsg::Accepted { id, .. }
+            | FdPaxosMsg::Decide { id, .. } => id,
+        }
+    }
+
+    /// The ballot the message is about, if any.
+    fn ballot(&self) -> Option<Ballot> {
+        match *self {
+            FdPaxosMsg::Prepare { ballot, .. }
+            | FdPaxosMsg::Promise { ballot, .. }
+            | FdPaxosMsg::AcceptReq { ballot, .. }
+            | FdPaxosMsg::Accepted { ballot, .. } => Some(ballot),
+            FdPaxosMsg::Heartbeat { .. } | FdPaxosMsg::Decide { .. } => None,
+        }
+    }
+}
+
+impl Payload for FdPaxosMsg {
+    fn id_count(&self) -> usize {
+        match *self {
+            FdPaxosMsg::Heartbeat { .. } | FdPaxosMsg::Decide { .. } => 1,
+            FdPaxosMsg::Prepare { .. } | FdPaxosMsg::AcceptReq { .. } => 2,
+            FdPaxosMsg::Accepted { .. } => 2,
+            // Own id + ballot proposer + possibly an accepted ballot's
+            // proposer: still a constant.
+            FdPaxosMsg::Promise { .. } => 3,
+        }
+    }
+}
+
+/// Proposer progress within the current ballot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ProposerPhase {
+    /// Not currently running a ballot.
+    Idle,
+    /// Collecting promises.
+    Preparing {
+        promises: BTreeSet<NodeId>,
+        best_accepted: Option<(Ballot, Value)>,
+    },
+    /// Accept requests are out; learners take it from here.
+    Accepting,
+}
+
+/// One node of FD-guided single-hop Paxos.
+///
+/// Requires knowledge of `n` (for majorities) and unique ids, and
+/// tolerates any minority of crashes — parameters consistent with the
+/// paper's lower bounds, which this algorithm circumvents only through
+/// the added failure-detector power.
+#[derive(Clone, Debug)]
+pub struct FdPaxos {
+    n: usize,
+    input: Value,
+    fd: EventualDetector,
+    queue: VecDeque<FdPaxosMsg>,
+    /// Acceptor state: never accept below this.
+    promised: Option<Ballot>,
+    /// Acceptor state: highest accepted proposal.
+    accepted: Option<(Ballot, Value)>,
+    /// Learner state: acceptors seen per ballot (value rides along).
+    tallies: BTreeMap<Ballot, (Value, BTreeSet<NodeId>)>,
+    /// Proposer state.
+    phase: ProposerPhase,
+    my_ballot: Option<Ballot>,
+    max_seen_tag: u64,
+    ballots_started: u64,
+    decided: bool,
+}
+
+impl FdPaxos {
+    /// Creates a node with the given input for a single-hop network of
+    /// known size `n`, with the detector's initial timeout set to
+    /// `initial_timeout` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or `initial_timeout` is 0.
+    pub fn new(input: Value, n: usize, initial_timeout: u64) -> Self {
+        assert!(n >= 1, "network size must be positive");
+        Self {
+            n,
+            input,
+            fd: EventualDetector::new(initial_timeout),
+            queue: VecDeque::new(),
+            promised: None,
+            accepted: None,
+            tallies: BTreeMap::new(),
+            phase: ProposerPhase::Idle,
+            my_ballot: None,
+            max_seen_tag: 0,
+            ballots_started: 0,
+            decided: false,
+        }
+    }
+
+    /// The node's input.
+    pub fn input(&self) -> Value {
+        self.input
+    }
+
+    /// The embedded failure detector (diagnostics).
+    pub fn detector(&self) -> &EventualDetector {
+        &self.fd
+    }
+
+    /// Ballots this node started (post-stabilization this stops
+    /// growing; diagnostics for experiment E14).
+    pub fn ballots_started(&self) -> u64 {
+        self.ballots_started
+    }
+
+    fn majority(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Queues `m` for broadcast and, because every broadcast loops back
+    /// conceptually (the sender knows its own message), processes it
+    /// locally right away.
+    fn send(&mut self, m: FdPaxosMsg, ctx: &mut Context<'_, FdPaxosMsg>) {
+        self.queue.push_back(m);
+        self.deliver_local(m, ctx);
+    }
+
+    /// Applies a message to the local acceptor/learner roles without
+    /// feeding the failure detector (used for self-delivery).
+    fn deliver_local(&mut self, msg: FdPaxosMsg, ctx: &mut Context<'_, FdPaxosMsg>) {
+        if let Some(b) = msg.ballot() {
+            self.max_seen_tag = self.max_seen_tag.max(b.tag);
+        }
+        match msg {
+            FdPaxosMsg::Heartbeat { .. } => {}
+            FdPaxosMsg::Prepare { id, ballot } => {
+                if self.promised.map_or(true, |p| ballot > p) {
+                    self.promised = Some(ballot);
+                    let reply = FdPaxosMsg::Promise {
+                        id: ctx.id(),
+                        ballot,
+                        accepted: self.accepted,
+                    };
+                    if id == ctx.id() {
+                        // Our own prepare: answer without a broadcast.
+                        self.deliver_local(reply, ctx);
+                    } else {
+                        self.queue.push_back(reply);
+                    }
+                }
+                self.observe_rival(ballot);
+            }
+            FdPaxosMsg::Promise {
+                id,
+                ballot,
+                accepted,
+            } => {
+                if self.my_ballot == Some(ballot) {
+                    let majority = self.majority();
+                    let mut ready_value = None;
+                    if let ProposerPhase::Preparing {
+                        promises,
+                        best_accepted,
+                    } = &mut self.phase
+                    {
+                        promises.insert(id);
+                        if let Some((b, v)) = accepted {
+                            if best_accepted.map_or(true, |(bb, _)| b > bb) {
+                                *best_accepted = Some((b, v));
+                            }
+                        }
+                        if promises.len() >= majority {
+                            ready_value =
+                                Some(best_accepted.map(|(_, v)| v).unwrap_or(self.input));
+                        }
+                    }
+                    if let Some(value) = ready_value {
+                        self.phase = ProposerPhase::Accepting;
+                        self.send(
+                            FdPaxosMsg::AcceptReq {
+                                id: ctx.id(),
+                                ballot,
+                                value,
+                            },
+                            ctx,
+                        );
+                    }
+                } else {
+                    self.observe_rival(ballot);
+                }
+            }
+            FdPaxosMsg::AcceptReq { id, ballot, value } => {
+                if self.promised.map_or(true, |p| ballot >= p) {
+                    self.promised = Some(ballot);
+                    self.accepted = Some((ballot, value));
+                    let reply = FdPaxosMsg::Accepted {
+                        id: ctx.id(),
+                        ballot,
+                        value,
+                    };
+                    if id == ctx.id() {
+                        self.deliver_local(reply, ctx);
+                    } else {
+                        self.queue.push_back(reply);
+                    }
+                }
+                self.observe_rival(ballot);
+            }
+            FdPaxosMsg::Accepted { id, ballot, value } => {
+                let entry = self
+                    .tallies
+                    .entry(ballot)
+                    .or_insert_with(|| (value, BTreeSet::new()));
+                debug_assert_eq!(entry.0, value, "one value per ballot");
+                entry.1.insert(id);
+                if entry.1.len() >= self.majority() {
+                    self.learn(value, ctx);
+                }
+            }
+            FdPaxosMsg::Decide { value, .. } => {
+                self.learn(value, ctx);
+            }
+        }
+    }
+
+    /// A ballot above our own was observed: abandon the current
+    /// attempt. The leadership check will retry with a larger tag if
+    /// this node still believes itself leader.
+    fn observe_rival(&mut self, ballot: Ballot) {
+        if let Some(mine) = self.my_ballot {
+            if ballot > mine && self.phase != ProposerPhase::Idle {
+                self.phase = ProposerPhase::Idle;
+            }
+        }
+    }
+
+    fn learn(&mut self, value: Value, ctx: &mut Context<'_, FdPaxosMsg>) {
+        if !self.decided {
+            self.decided = true;
+            ctx.decide(value);
+            self.queue.push_back(FdPaxosMsg::Decide {
+                id: ctx.id(),
+                value,
+            });
+        }
+    }
+
+    /// If this node currently believes itself leader and has no ballot
+    /// in flight, start one.
+    fn maybe_lead(&mut self, ctx: &mut Context<'_, FdPaxosMsg>) {
+        if self.decided || self.phase != ProposerPhase::Idle {
+            return;
+        }
+        if self.fd.leader(ctx.id()) != ctx.id() {
+            return;
+        }
+        let ballot = Ballot {
+            tag: self.max_seen_tag + 1,
+            proposer: ctx.id(),
+        };
+        self.my_ballot = Some(ballot);
+        self.ballots_started += 1;
+        self.phase = ProposerPhase::Preparing {
+            promises: BTreeSet::new(),
+            best_accepted: None,
+        };
+        self.send(
+            FdPaxosMsg::Prepare {
+                id: ctx.id(),
+                ballot,
+            },
+            ctx,
+        );
+    }
+
+    /// Keeps exactly one broadcast outstanding: the next queued
+    /// message, or a heartbeat when the queue is empty.
+    fn pump(&mut self, ctx: &mut Context<'_, FdPaxosMsg>) {
+        if ctx.is_busy() {
+            return;
+        }
+        let msg = self
+            .queue
+            .pop_front()
+            .unwrap_or(FdPaxosMsg::Heartbeat { id: ctx.id() });
+        ctx.broadcast(msg);
+    }
+}
+
+impl Process for FdPaxos {
+    type Msg = FdPaxosMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, FdPaxosMsg>) {
+        self.maybe_lead(ctx);
+        self.pump(ctx);
+    }
+
+    fn on_receive(&mut self, msg: FdPaxosMsg, ctx: &mut Context<'_, FdPaxosMsg>) {
+        self.fd.heard(msg.sender(), ctx.now());
+        self.fd.tick(ctx.now());
+        self.deliver_local(msg, ctx);
+        self.maybe_lead(ctx);
+        self.pump(ctx);
+    }
+
+    fn on_ack(&mut self, ctx: &mut Context<'_, FdPaxosMsg>) {
+        self.fd.tick(ctx.now());
+        self.maybe_lead(ctx);
+        self.pump(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_consensus;
+
+    fn run(
+        inputs: &[Value],
+        scheduler: impl Scheduler + 'static,
+        crashes: CrashPlan,
+    ) -> RunReport {
+        let n = inputs.len();
+        let iv = inputs.to_vec();
+        let mut sim = SimBuilder::new(Topology::clique(n), |s| FdPaxos::new(iv[s.index()], n, 4))
+            .scheduler(scheduler)
+            .crashes(crashes)
+            .message_id_budget(3)
+            .max_time(Time(200_000))
+            .build();
+        sim.run()
+    }
+
+    fn crashed_flags(n: usize, slots: &[usize]) -> Vec<bool> {
+        let mut v = vec![false; n];
+        for &s in slots {
+            v[s] = true;
+        }
+        v
+    }
+
+    #[test]
+    fn crash_free_run_decides_an_input() {
+        let inputs = vec![3, 7, 3, 9, 7];
+        let report = run(&inputs, SynchronousScheduler::new(1), CrashPlan::none());
+        let check = check_consensus(&inputs, &report, &[]);
+        check.assert_ok();
+        assert!(inputs.contains(&check.decided.unwrap()));
+    }
+
+    #[test]
+    fn random_schedules_without_crashes() {
+        for seed in 0..25 {
+            let inputs = vec![0, 1, 2, 3, 4];
+            let report = run(&inputs, RandomScheduler::new(5, seed), CrashPlan::none());
+            let check = check_consensus(&inputs, &report, &[]);
+            assert!(check.ok(), "seed {seed}: {:?}", check.violation);
+        }
+    }
+
+    #[test]
+    fn survives_one_crash_at_time_zero() {
+        // The configuration Theorem 3.2 proves fatal for bare
+        // deterministic algorithms.
+        for seed in 0..20 {
+            let inputs = vec![0, 1, 0, 1, 1];
+            let crashes = CrashPlan::new(vec![CrashSpec::AtTime {
+                slot: Slot(0),
+                time: Time(0),
+            }]);
+            let report = run(&inputs, RandomScheduler::new(4, seed), crashes);
+            let check = check_consensus(&inputs, &report, &crashed_flags(5, &[0]));
+            assert!(check.ok(), "seed {seed}: {:?}", check.violation);
+        }
+    }
+
+    #[test]
+    fn survives_mid_broadcast_crash() {
+        for seed in 0..20 {
+            let inputs = vec![5, 6, 7, 8, 9];
+            let crashes = CrashPlan::new(vec![CrashSpec::MidBroadcast {
+                slot: Slot(1),
+                nth_broadcast: 2,
+                delivered: 2,
+            }]);
+            let report = run(&inputs, RandomScheduler::new(3, seed), crashes);
+            let check = check_consensus(&inputs, &report, &crashed_flags(5, &[1]));
+            assert!(check.ok(), "seed {seed}: {:?}", check.violation);
+        }
+    }
+
+    #[test]
+    fn survives_two_crashes_with_n_five() {
+        // f = 2 < n/2: the decisive majority is the three survivors.
+        for seed in 0..15 {
+            let inputs = vec![1, 2, 3, 4, 5];
+            let crashes = CrashPlan::new(vec![
+                CrashSpec::AtTime {
+                    slot: Slot(3),
+                    time: Time(2),
+                },
+                CrashSpec::MidBroadcast {
+                    slot: Slot(4),
+                    nth_broadcast: 1,
+                    delivered: 1,
+                },
+            ]);
+            let report = run(&inputs, RandomScheduler::new(4, seed), crashes);
+            let check = check_consensus(&inputs, &report, &crashed_flags(5, &[3, 4]));
+            assert!(check.ok(), "seed {seed}: {:?}", check.violation);
+        }
+    }
+
+    #[test]
+    fn crashing_the_initial_leader_recovers() {
+        // Ids equal slot indices, so slot 0 is the initial leader
+        // everywhere; kill it mid-ballot.
+        for seed in 0..15 {
+            let inputs = vec![0, 1, 0, 1, 0];
+            let crashes = CrashPlan::new(vec![CrashSpec::MidBroadcast {
+                slot: Slot(0),
+                nth_broadcast: 0,
+                delivered: 2,
+            }]);
+            let report = run(&inputs, RandomScheduler::new(6, seed), crashes);
+            let check = check_consensus(&inputs, &report, &crashed_flags(5, &[0]));
+            assert!(check.ok(), "seed {seed}: {:?}", check.violation);
+        }
+    }
+
+    #[test]
+    fn uniform_inputs_stay_valid_under_crashes() {
+        for seed in 0..10 {
+            let inputs = vec![7; 5];
+            let crashes = CrashPlan::new(vec![CrashSpec::AtTime {
+                slot: Slot(2),
+                time: Time(1),
+            }]);
+            let report = run(&inputs, RandomScheduler::new(3, seed), crashes);
+            let check = check_consensus(&inputs, &report, &crashed_flags(5, &[2]));
+            assert!(check.ok(), "seed {seed}: {:?}", check.violation);
+            assert_eq!(check.decided, Some(7));
+        }
+    }
+
+    #[test]
+    fn singleton_decides_itself() {
+        let inputs = vec![11];
+        let report = run(&inputs, SynchronousScheduler::new(1), CrashPlan::none());
+        let check = check_consensus(&inputs, &report, &[]);
+        check.assert_ok();
+        assert_eq!(check.decided, Some(11));
+    }
+
+    #[test]
+    fn diagnostics_accessors() {
+        let node = FdPaxos::new(4, 3, 2);
+        assert_eq!(node.input(), 4);
+        assert_eq!(node.ballots_started(), 0);
+        assert_eq!(node.detector().false_suspicions(), 0);
+    }
+}

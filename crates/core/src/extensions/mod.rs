@@ -1,0 +1,24 @@
+//! Extensions: the paper's future-work directions, made concrete.
+//!
+//! Section 5 names three next steps; all three are exercised in this
+//! repo:
+//!
+//! * **Randomization** ([`ben_or`]): Theorem 3.2 kills *deterministic*
+//!   consensus under a single crash failure. A Ben-Or-style randomized
+//!   algorithm terminates with probability 1 and keeps agreement and
+//!   validity deterministic — experiment E10 runs it through the very
+//!   mid-broadcast crash schedules that break the deterministic
+//!   algorithms.
+//! * **Failure detectors** ([`failure_detector`], [`fd_paxos`]): the
+//!   classical formalism the paper suggests for circumventing the
+//!   crash impossibility *deterministically*. The `F_ack` bound makes
+//!   an eventually-perfect detector implementable inside the model
+//!   (impossible in plain asynchrony), and Paxos guided by it
+//!   tolerates any minority of crashes — experiment E14.
+//! * **Unreliable links**: handled at the model layer
+//!   ([`amacl_model::topo::unreliable`]); experiment E10 checks that
+//!   wPAXOS's safety survives spurious extra deliveries.
+
+pub mod ben_or;
+pub mod failure_detector;
+pub mod fd_paxos;

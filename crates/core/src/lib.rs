@@ -1,0 +1,46 @@
+//! # `amacl-core`: consensus algorithms for the abstract MAC layer
+//!
+//! This crate implements the algorithmic contributions of Newport,
+//! *Consensus with an Abstract MAC Layer* (PODC 2014), on top of the
+//! model substrate in [`amacl_model`]:
+//!
+//! * [`two_phase`] — **Two-Phase Consensus** (Algorithm 1): solves
+//!   consensus in single-hop networks in `O(F_ack)` time with unique
+//!   ids but *no* knowledge of the network size or participants
+//!   (Theorem 4.1). This separates the abstract MAC layer model from
+//!   the plain asynchronous broadcast model, where consensus is
+//!   impossible under those assumptions.
+//! * [`wpaxos`] — **wireless PAXOS** (Section 4.2): solves consensus in
+//!   arbitrary connected multihop networks in `O(D * F_ack)` time,
+//!   assuming unique ids and knowledge of `n` (both required by the
+//!   paper's lower bounds). Combines Paxos proposer/acceptor logic with
+//!   the paper's four support services: leader election, shortest-path
+//!   tree building, change notification, and a broadcast multiplexer
+//!   (Algorithms 2–5), plus in-network response aggregation.
+//! * [`baselines`] — the comparison points the paper argues against:
+//!   flooding-based Paxos without tree aggregation (`Theta(n * F_ack)`
+//!   at bottlenecks), a flood-and-gather algorithm that needs `n`, and
+//!   the anonymous flooding algorithm used by the lower-bound demos.
+//! * [`extensions`] — the paper's named future-work directions made
+//!   concrete: a Ben-Or-style randomized consensus that circumvents the
+//!   crash-failure impossibility of Theorem 3.2, and an
+//!   eventually-perfect failure detector with a rotating-coordinator
+//!   consensus built on it.
+//! * [`multivalued`] — the paper's open question of generalizing
+//!   binary consensus to arbitrary value sets: bitwise composition of
+//!   the Algorithm 1 logic (`O(B * F_ack)` for `B`-bit values, still
+//!   with no knowledge of `n`).
+//! * [`harness`] / [`verify`] — run helpers and mechanical checking of
+//!   agreement, validity, and termination.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod extensions;
+pub mod harness;
+pub mod multivalued;
+pub mod tree_gather;
+pub mod two_phase;
+pub mod verify;
+pub mod wpaxos;

@@ -1,0 +1,191 @@
+//! Mechanical verification of the consensus properties.
+//!
+//! The consensus problem (paper Section 2) requires:
+//!
+//! 1. **agreement** — no two nodes decide different values;
+//! 2. **validity** — a decided value was some node's initial value;
+//! 3. **termination** — every non-faulty node eventually decides.
+//!
+//! [`check_consensus`] evaluates all three against a finished
+//! [`RunReport`], so tests assert on a structured verdict instead of
+//! re-deriving the conditions ad hoc.
+
+use amacl_model::prelude::*;
+use amacl_model::proc::Decision;
+
+/// Verdict on one execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConsensusCheck {
+    /// No two decided values differ.
+    pub agreement: bool,
+    /// Every decided value was somebody's input.
+    pub validity: bool,
+    /// Every non-crashed node decided.
+    pub termination: bool,
+    /// The single agreed value, when agreement holds and someone
+    /// decided.
+    pub decided: Option<Value>,
+    /// Human-readable description of the first violation found.
+    pub violation: Option<String>,
+}
+
+impl ConsensusCheck {
+    /// `true` when all three properties hold.
+    pub fn ok(&self) -> bool {
+        self.agreement && self.validity && self.termination
+    }
+
+    /// Panics with the violation description unless all properties
+    /// hold. Convenient in tests.
+    pub fn assert_ok(&self) {
+        assert!(
+            self.ok(),
+            "consensus violation: {}",
+            self.violation.as_deref().unwrap_or("unknown")
+        );
+    }
+}
+
+/// Checks agreement, validity, and termination for an execution with
+/// the given per-slot `inputs`. `crashed[i]` marks nodes exempt from
+/// termination; pass `&[]` when nothing crashed.
+///
+/// # Panics
+///
+/// Panics if `inputs` length does not match the report, or `crashed`
+/// is non-empty with a mismatched length.
+pub fn check_consensus(
+    inputs: &[Value],
+    report: &RunReport,
+    crashed: &[bool],
+) -> ConsensusCheck {
+    assert_eq!(
+        inputs.len(),
+        report.decisions.len(),
+        "one input per simulated node"
+    );
+    assert!(
+        crashed.is_empty() || crashed.len() == inputs.len(),
+        "crash vector length mismatch"
+    );
+    let is_crashed = |i: usize| crashed.get(i).copied().unwrap_or(false);
+
+    let mut violation = None;
+    let decided_values = report.decided_values();
+
+    let agreement = decided_values.len() <= 1;
+    if !agreement {
+        violation = Some(format!(
+            "agreement violated: decided values {decided_values:?}"
+        ));
+    }
+
+    let mut validity = true;
+    for (i, d) in report.decisions.iter().enumerate() {
+        if let Some(Decision { value, .. }) = d {
+            if !inputs.contains(value) {
+                validity = false;
+                violation.get_or_insert(format!(
+                    "validity violated: slot {i} decided {value}, not an input"
+                ));
+                break;
+            }
+        }
+    }
+
+    let mut termination = true;
+    for (i, d) in report.decisions.iter().enumerate() {
+        if d.is_none() && !is_crashed(i) {
+            termination = false;
+            violation.get_or_insert(format!(
+                "termination violated: non-faulty slot {i} never decided"
+            ));
+            break;
+        }
+    }
+
+    ConsensusCheck {
+        agreement,
+        validity,
+        termination,
+        decided: if agreement {
+            decided_values.first().copied()
+        } else {
+            None
+        },
+        violation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amacl_model::proc::Decision;
+    use amacl_model::sim::engine::{RunOutcome, RunReport};
+    use amacl_model::sim::trace::Metrics;
+
+    fn report(decisions: Vec<Option<Decision>>) -> RunReport {
+        RunReport {
+            outcome: RunOutcome::AllDecided,
+            end_time: Time(10),
+            decisions,
+            metrics: Metrics::new(0),
+        }
+    }
+
+    fn d(value: Value) -> Option<Decision> {
+        Some(Decision {
+            value,
+            time: Time(1),
+        })
+    }
+
+    #[test]
+    fn clean_run_passes() {
+        let r = report(vec![d(1), d(1), d(1)]);
+        let c = check_consensus(&[0, 1, 1], &r, &[]);
+        assert!(c.ok());
+        assert_eq!(c.decided, Some(1));
+        c.assert_ok();
+    }
+
+    #[test]
+    fn detects_agreement_violation() {
+        let r = report(vec![d(0), d(1)]);
+        let c = check_consensus(&[0, 1], &r, &[]);
+        assert!(!c.agreement);
+        assert!(!c.ok());
+        assert!(c.violation.unwrap().contains("agreement"));
+    }
+
+    #[test]
+    fn detects_validity_violation() {
+        let r = report(vec![d(7), d(7)]);
+        let c = check_consensus(&[0, 1], &r, &[]);
+        assert!(!c.validity);
+        assert!(c.violation.unwrap().contains("validity"));
+    }
+
+    #[test]
+    fn detects_termination_violation() {
+        let r = report(vec![d(1), None]);
+        let c = check_consensus(&[1, 1], &r, &[]);
+        assert!(!c.termination);
+        assert!(c.violation.unwrap().contains("termination"));
+    }
+
+    #[test]
+    fn crashed_nodes_exempt_from_termination() {
+        let r = report(vec![d(1), None]);
+        let c = check_consensus(&[1, 1], &r, &[false, true]);
+        assert!(c.termination);
+        assert!(c.ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "consensus violation")]
+    fn assert_ok_panics_on_violation() {
+        let r = report(vec![d(0), d(1)]);
+        check_consensus(&[0, 1], &r, &[]).assert_ok();
+    }
+}

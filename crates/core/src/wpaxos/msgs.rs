@@ -1,0 +1,267 @@
+//! wPAXOS message types.
+//!
+//! Every physical broadcast carries one [`WMsg`]: the broadcast service
+//! (Algorithm 5) packs at most one message from each service queue into
+//! it. Each component is `O(1)` ids, so the whole message respects the
+//! model's constant-ids-per-message restriction regardless of `n` —
+//! the property that makes response aggregation necessary in the first
+//! place.
+
+use amacl_model::ids::NodeId;
+use amacl_model::msg::Payload;
+use amacl_model::proc::Value;
+use amacl_model::sim::time::Timestamp;
+
+/// A Paxos proposal number: a `(tag, id)` pair compared
+/// lexicographically (Section 4.2.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProposalNum {
+    /// Monotone counter component.
+    pub tag: u64,
+    /// Proposer id (ties broken by id).
+    pub id: NodeId,
+}
+
+impl ProposalNum {
+    /// Creates a proposal number.
+    pub fn new(tag: u64, id: NodeId) -> Self {
+        Self { tag, id }
+    }
+}
+
+/// Flooded proposer-role messages.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProposerMsg {
+    /// Paxos phase-1 request: ask acceptors to promise.
+    Prepare {
+        /// The proposal number being prepared.
+        pn: ProposalNum,
+    },
+    /// Paxos phase-2 request (the paper also calls it *accept*).
+    Propose {
+        /// The proposal number.
+        pn: ProposalNum,
+        /// The proposed value.
+        value: Value,
+    },
+    /// A decision announcement, flooded once the proposer counts a
+    /// majority of accepts.
+    Decide {
+        /// The decided value.
+        value: Value,
+    },
+}
+
+impl ProposerMsg {
+    /// The proposal number, if this is a prepare/propose.
+    pub fn pn(&self) -> Option<ProposalNum> {
+        match *self {
+            ProposerMsg::Prepare { pn } | ProposerMsg::Propose { pn, .. } => Some(pn),
+            ProposerMsg::Decide { .. } => None,
+        }
+    }
+
+    /// Ordering rank within one proposal number: a `Propose` supersedes
+    /// the `Prepare` it followed.
+    pub fn rank(&self) -> u8 {
+        match self {
+            ProposerMsg::Prepare { .. } => 0,
+            ProposerMsg::Propose { .. } => 1,
+            ProposerMsg::Decide { .. } => 2,
+        }
+    }
+
+    /// Flood-dedup key: `(pn, rank)`.
+    pub fn key(&self) -> Option<(ProposalNum, u8)> {
+        self.pn().map(|pn| (pn, self.rank()))
+    }
+}
+
+/// The four acceptor-response types.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RespKind {
+    /// Promise in response to a prepare.
+    PrepareAck,
+    /// Rejection of a prepare (already promised higher).
+    PrepareNack,
+    /// Acceptance of a propose.
+    ProposeAck,
+    /// Rejection of a propose.
+    ProposeNack,
+}
+
+impl RespKind {
+    /// `true` for the two affirmative kinds (the ones Lemma 4.2
+    /// counts).
+    pub fn is_affirmative(self) -> bool {
+        matches!(self, RespKind::PrepareAck | RespKind::ProposeAck)
+    }
+}
+
+/// An (optionally aggregated) acceptor response in transit toward its
+/// proposer.
+///
+/// In tree-routing mode the response travels hop by hop: `dest` names
+/// the next hop (`parent[about.id]` at the sender), and every relay
+/// re-addresses it. Counts of like responses merge along the way; the
+/// highest-numbered previous proposal and commitment hint survive the
+/// merge (Section 4.2.1, "Acceptors").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AcceptorMsg {
+    /// Next hop (tree mode). Nodes other than `dest` ignore the
+    /// message. In flood mode this is the proposer id and is unused.
+    pub dest: NodeId,
+    /// The proposition being answered.
+    pub about: ProposalNum,
+    /// Response type.
+    pub kind: RespKind,
+    /// Number of acceptor responses aggregated into this message.
+    pub count: u64,
+    /// For `PrepareAck`: the highest-numbered previously-accepted
+    /// proposal among the aggregated responders.
+    pub prev: Option<(ProposalNum, Value)>,
+    /// For nacks: the largest proposal number a rejecting acceptor had
+    /// committed to (the standard rejection-hint optimization).
+    pub hint: Option<ProposalNum>,
+    /// Originating acceptor, set only in flood mode (needed for
+    /// network-wide dedup when responses are not aggregated).
+    pub origin: Option<NodeId>,
+}
+
+/// One step of the tree-building service (Algorithm 4): "a tree rooted
+/// at `root` can be reached through me in `hops` hops".
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SearchMsg {
+    /// Tree root.
+    pub root: NodeId,
+    /// Hop count offered to receivers.
+    pub hops: u32,
+}
+
+/// One step of the change service (Algorithm 3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChangeMsg {
+    /// Freshness timestamp of the change.
+    pub ts: Timestamp,
+    /// Node that observed the change.
+    pub id: NodeId,
+}
+
+/// The multiplexed per-broadcast message (Algorithm 5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WMsg {
+    /// Sending node (the tree service stores it as the parent
+    /// candidate, per Algorithm 4's `m.sender`).
+    pub sender: Option<NodeId>,
+    /// Leader-election payload.
+    pub leader: Option<NodeId>,
+    /// Change-service payload.
+    pub change: Option<ChangeMsg>,
+    /// Tree-building payload.
+    pub search: Option<SearchMsg>,
+    /// Proposer-role payload.
+    pub proposer: Option<ProposerMsg>,
+    /// Acceptor-response payload.
+    pub acceptor: Option<AcceptorMsg>,
+}
+
+impl WMsg {
+    /// `true` when no service contributed anything (such a message is
+    /// never broadcast).
+    pub fn is_empty(&self) -> bool {
+        self.leader.is_none()
+            && self.change.is_none()
+            && self.search.is_none()
+            && self.proposer.is_none()
+            && self.acceptor.is_none()
+    }
+}
+
+impl Payload for WMsg {
+    fn id_count(&self) -> usize {
+        let mut ids = usize::from(self.sender.is_some());
+        ids += usize::from(self.leader.is_some());
+        ids += usize::from(self.change.is_some());
+        ids += usize::from(self.search.is_some());
+        ids += match self.proposer {
+            Some(ProposerMsg::Prepare { .. }) | Some(ProposerMsg::Propose { .. }) => 1,
+            Some(ProposerMsg::Decide { .. }) | None => 0,
+        };
+        if let Some(a) = &self.acceptor {
+            ids += 2; // dest + about.id
+            ids += usize::from(a.prev.is_some());
+            ids += usize::from(a.hint.is_some());
+            ids += usize::from(a.origin.is_some());
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amacl_model::sim::time::Time;
+
+    #[test]
+    fn proposal_numbers_order_lexicographically() {
+        let a = ProposalNum::new(1, NodeId(9));
+        let b = ProposalNum::new(2, NodeId(0));
+        let c = ProposalNum::new(2, NodeId(3));
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn proposer_msg_keys() {
+        let pn = ProposalNum::new(3, NodeId(1));
+        assert_eq!(ProposerMsg::Prepare { pn }.key(), Some((pn, 0)));
+        assert_eq!(ProposerMsg::Propose { pn, value: 1 }.key(), Some((pn, 1)));
+        assert_eq!(ProposerMsg::Decide { value: 1 }.key(), None);
+        assert!(RespKind::PrepareAck.is_affirmative());
+        assert!(!RespKind::ProposeNack.is_affirmative());
+    }
+
+    #[test]
+    fn id_count_is_bounded_constant() {
+        // Worst case: every slot filled, acceptor msg with all options.
+        let pn = ProposalNum::new(7, NodeId(2));
+        let m = WMsg {
+            sender: Some(NodeId(0)),
+            leader: Some(NodeId(1)),
+            change: Some(ChangeMsg {
+                ts: Timestamp {
+                    time: Time(1),
+                    node: 0,
+                    seq: 0,
+                },
+                id: NodeId(3),
+            }),
+            search: Some(SearchMsg {
+                root: NodeId(4),
+                hops: 2,
+            }),
+            proposer: Some(ProposerMsg::Propose { pn, value: 1 }),
+            acceptor: Some(AcceptorMsg {
+                dest: NodeId(5),
+                about: pn,
+                kind: RespKind::PrepareAck,
+                count: 40,
+                prev: Some((pn, 0)),
+                hint: Some(pn),
+                origin: Some(NodeId(6)),
+            }),
+        };
+        assert_eq!(m.id_count(), 1 + 1 + 1 + 1 + 1 + 5);
+        assert!(m.id_count() <= 10, "constant bound independent of count=40");
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn empty_message_detected() {
+        let m = WMsg {
+            sender: Some(NodeId(0)),
+            ..WMsg::default()
+        };
+        assert!(m.is_empty(), "sender alone carries no payload");
+        assert_eq!(WMsg::default().id_count(), 0);
+    }
+}

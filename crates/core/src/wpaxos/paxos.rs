@@ -1,0 +1,471 @@
+//! The Paxos proposer and acceptor state machines used by wPAXOS.
+//!
+//! These implement the "high-level PAXOS logic" the paper plugs into
+//! its support services (Section 4.2.1): single-decree Paxos with the
+//! standard rejection-hint optimization, restricted so that a proposer
+//! attempts at most **two** proposal numbers per change-service
+//! notification — the property Lemma 4.4 uses to bound proposal tags
+//! polynomially and Lemma 4.5 uses for the `Θ(1)`-proposals-after-GST
+//! argument.
+
+use amacl_model::ids::NodeId;
+use amacl_model::proc::Value;
+
+use super::msgs::{ProposalNum, ProposerMsg, RespKind};
+
+/// A single acceptor response (pre-aggregation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Response {
+    /// Which proposition this answers.
+    pub about: ProposalNum,
+    /// Response type.
+    pub kind: RespKind,
+    /// Previously accepted proposal (for `PrepareAck`).
+    pub prev: Option<(ProposalNum, Value)>,
+    /// Largest committed proposal number (for nacks).
+    pub hint: Option<ProposalNum>,
+}
+
+/// Paxos acceptor state.
+///
+/// Each distinct proposition (proposal number × message type) is
+/// answered at most once, so re-flooded copies of the same prepare or
+/// propose never inflate response counts.
+#[derive(Clone, Debug, Default)]
+pub struct Acceptor {
+    promised: Option<ProposalNum>,
+    accepted: Option<(ProposalNum, Value)>,
+    answered: std::collections::BTreeSet<(u64, u64, u8)>,
+}
+
+impl Acceptor {
+    /// Creates a fresh acceptor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The highest proposal number promised so far.
+    pub fn promised(&self) -> Option<ProposalNum> {
+        self.promised
+    }
+
+    /// The last accepted proposal, if any.
+    pub fn accepted(&self) -> Option<(ProposalNum, Value)> {
+        self.accepted
+    }
+
+    /// Processes a prepare/propose; returns the response, or `None`
+    /// for a duplicate (already answered) or a `Decide` message.
+    pub fn handle(&mut self, msg: &ProposerMsg) -> Option<Response> {
+        let (pn, rank) = msg.key()?;
+        if !self.answered.insert((pn.tag, pn.id.raw(), rank)) {
+            return None;
+        }
+        match *msg {
+            ProposerMsg::Prepare { pn } => {
+                if self.promised.map_or(true, |p| pn > p) {
+                    self.promised = Some(pn);
+                    Some(Response {
+                        about: pn,
+                        kind: RespKind::PrepareAck,
+                        prev: self.accepted,
+                        hint: None,
+                    })
+                } else {
+                    Some(Response {
+                        about: pn,
+                        kind: RespKind::PrepareNack,
+                        prev: None,
+                        hint: self.promised,
+                    })
+                }
+            }
+            ProposerMsg::Propose { pn, value } => {
+                if self.promised.map_or(true, |p| pn >= p) {
+                    self.promised = Some(pn);
+                    self.accepted = Some((pn, value));
+                    Some(Response {
+                        about: pn,
+                        kind: RespKind::ProposeAck,
+                        prev: None,
+                        hint: None,
+                    })
+                } else {
+                    Some(Response {
+                        about: pn,
+                        kind: RespKind::ProposeNack,
+                        prev: None,
+                        hint: self.promised,
+                    })
+                }
+            }
+            ProposerMsg::Decide { .. } => None,
+        }
+    }
+}
+
+/// Proposer phase.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PPhase {
+    /// Not currently running a proposal (waiting for the change
+    /// service).
+    Idle,
+    /// Waiting for prepare responses.
+    Preparing,
+    /// Waiting for propose responses.
+    Proposing,
+}
+
+/// What the caller must do after feeding the proposer an event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProposerAction {
+    /// Nothing to do.
+    None,
+    /// Flood this proposer message.
+    Emit(ProposerMsg),
+    /// A majority accepted: decide this value.
+    Decide(Value),
+}
+
+/// Paxos proposer state.
+#[derive(Clone, Debug)]
+pub struct Proposer {
+    initial: Value,
+    n: u64,
+    majority: u64,
+    phase: PPhase,
+    pn: ProposalNum,
+    value: Value,
+    ack_count: u64,
+    nack_count: u64,
+    best_prev: Option<(ProposalNum, Value)>,
+    attempts_left: u32,
+    max_tag_seen: u64,
+    proposals_started: u64,
+}
+
+impl Proposer {
+    /// Creates a proposer with the node's initial consensus value and
+    /// the known network size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(initial: Value, n: u64) -> Self {
+        assert!(n > 0);
+        Self {
+            initial,
+            n,
+            majority: n / 2 + 1,
+            phase: PPhase::Idle,
+            pn: ProposalNum::new(0, NodeId(0)),
+            value: initial,
+            ack_count: 0,
+            nack_count: 0,
+            best_prev: None,
+            attempts_left: 0,
+            max_tag_seen: 0,
+            proposals_started: 0,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> PPhase {
+        self.phase
+    }
+
+    /// Current proposal number (meaningful while not idle).
+    pub fn current_pn(&self) -> ProposalNum {
+        self.pn
+    }
+
+    /// Number of proposals this node has started (Lemma 4.4 / E8
+    /// instrumentation).
+    pub fn proposals_started(&self) -> u64 {
+        self.proposals_started
+    }
+
+    /// Largest proposal tag observed anywhere (Lemma 4.4
+    /// instrumentation).
+    pub fn max_tag_seen(&self) -> u64 {
+        self.max_tag_seen
+    }
+
+    /// Notes a proposal number observed in the network (flooded
+    /// proposer traffic, hints, previous proposals).
+    pub fn observe_pn(&mut self, pn: ProposalNum) {
+        self.max_tag_seen = self.max_tag_seen.max(pn.tag);
+    }
+
+    /// Change-service notification (`GenerateNewPAXOSProposal`): grants
+    /// a budget of two proposal numbers and starts a prepare.
+    pub fn on_change(&mut self, me: NodeId) -> ProposerAction {
+        self.attempts_left = 2;
+        self.start_prepare(me)
+    }
+
+    fn start_prepare(&mut self, me: NodeId) -> ProposerAction {
+        debug_assert!(self.attempts_left > 0);
+        self.attempts_left -= 1;
+        self.max_tag_seen += 1;
+        self.pn = ProposalNum::new(self.max_tag_seen, me);
+        self.phase = PPhase::Preparing;
+        self.ack_count = 0;
+        self.nack_count = 0;
+        self.best_prev = None;
+        self.proposals_started += 1;
+        ProposerAction::Emit(ProposerMsg::Prepare { pn: self.pn })
+    }
+
+    /// The number of rejections that makes an affirmative majority
+    /// unreachable (every acceptor answers each proposition exactly
+    /// once, so `n - nacks < majority` means give up).
+    fn nack_threshold(&self) -> u64 {
+        self.n - self.majority + 1
+    }
+
+    /// Feeds an (aggregated) response addressed to this proposer.
+    ///
+    /// `still_leader` gates the retry: a deposed proposer goes idle on
+    /// failure instead of escalating its proposal number.
+    pub fn on_response(
+        &mut self,
+        about: ProposalNum,
+        kind: RespKind,
+        count: u64,
+        prev: Option<(ProposalNum, Value)>,
+        hint: Option<ProposalNum>,
+        me: NodeId,
+        still_leader: bool,
+    ) -> ProposerAction {
+        if let Some(h) = hint {
+            self.observe_pn(h);
+        }
+        if let Some((p, _)) = prev {
+            self.observe_pn(p);
+        }
+        if about != self.pn {
+            return ProposerAction::None; // stale response
+        }
+        match (self.phase, kind) {
+            (PPhase::Preparing, RespKind::PrepareAck) => {
+                self.ack_count += count;
+                self.best_prev = match (self.best_prev, prev) {
+                    (Some(a), Some(b)) => Some(if a.0 >= b.0 { a } else { b }),
+                    (a, b) => a.or(b),
+                };
+                if self.ack_count >= self.majority {
+                    self.phase = PPhase::Proposing;
+                    self.value = self.best_prev.map_or(self.initial, |(_, v)| v);
+                    self.ack_count = 0;
+                    self.nack_count = 0;
+                    ProposerAction::Emit(ProposerMsg::Propose {
+                        pn: self.pn,
+                        value: self.value,
+                    })
+                } else {
+                    ProposerAction::None
+                }
+            }
+            (PPhase::Preparing, RespKind::PrepareNack)
+            | (PPhase::Proposing, RespKind::ProposeNack) => {
+                self.nack_count += count;
+                if self.nack_count >= self.nack_threshold() {
+                    if self.attempts_left > 0 && still_leader {
+                        self.start_prepare(me)
+                    } else {
+                        self.phase = PPhase::Idle;
+                        ProposerAction::None
+                    }
+                } else {
+                    ProposerAction::None
+                }
+            }
+            (PPhase::Proposing, RespKind::ProposeAck) => {
+                self.ack_count += count;
+                if self.ack_count >= self.majority {
+                    self.phase = PPhase::Idle;
+                    ProposerAction::Decide(self.value)
+                } else {
+                    ProposerAction::None
+                }
+            }
+            // Late responses from a superseded phase.
+            _ => ProposerAction::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ME: NodeId = NodeId(9);
+
+    fn prepare_pn(p: &Proposer) -> ProposalNum {
+        assert_eq!(p.phase(), PPhase::Preparing);
+        p.current_pn()
+    }
+
+    #[test]
+    fn acceptor_promises_and_accepts_in_order() {
+        let mut a = Acceptor::new();
+        let p1 = ProposalNum::new(1, NodeId(1));
+        let p2 = ProposalNum::new(2, NodeId(2));
+
+        let r = a.handle(&ProposerMsg::Prepare { pn: p1 }).unwrap();
+        assert_eq!(r.kind, RespKind::PrepareAck);
+        assert_eq!(r.prev, None);
+
+        // A higher prepare also gets a promise.
+        let r = a.handle(&ProposerMsg::Prepare { pn: p2 }).unwrap();
+        assert_eq!(r.kind, RespKind::PrepareAck);
+
+        // The superseded propose is rejected with a hint.
+        let r = a.handle(&ProposerMsg::Propose { pn: p1, value: 0 }).unwrap();
+        assert_eq!(r.kind, RespKind::ProposeNack);
+        assert_eq!(r.hint, Some(p2));
+
+        // The current propose is accepted.
+        let r = a.handle(&ProposerMsg::Propose { pn: p2, value: 1 }).unwrap();
+        assert_eq!(r.kind, RespKind::ProposeAck);
+        assert_eq!(a.accepted(), Some((p2, 1)));
+
+        // A later prepare ack reports the accepted proposal.
+        let p3 = ProposalNum::new(3, NodeId(1));
+        let r = a.handle(&ProposerMsg::Prepare { pn: p3 }).unwrap();
+        assert_eq!(r.kind, RespKind::PrepareAck);
+        assert_eq!(r.prev, Some((p2, 1)));
+    }
+
+    #[test]
+    fn acceptor_answers_each_proposition_once() {
+        let mut a = Acceptor::new();
+        let pn = ProposalNum::new(1, NodeId(1));
+        assert!(a.handle(&ProposerMsg::Prepare { pn }).is_some());
+        assert!(a.handle(&ProposerMsg::Prepare { pn }).is_none());
+        assert!(a.handle(&ProposerMsg::Propose { pn, value: 0 }).is_some());
+        assert!(a.handle(&ProposerMsg::Propose { pn, value: 0 }).is_none());
+        assert!(a.handle(&ProposerMsg::Decide { value: 0 }).is_none());
+    }
+
+    #[test]
+    fn acceptor_rejects_stale_prepare_with_hint() {
+        let mut a = Acceptor::new();
+        let low = ProposalNum::new(1, NodeId(1));
+        let high = ProposalNum::new(5, NodeId(2));
+        a.handle(&ProposerMsg::Prepare { pn: high });
+        let r = a.handle(&ProposerMsg::Prepare { pn: low }).unwrap();
+        assert_eq!(r.kind, RespKind::PrepareNack);
+        assert_eq!(r.hint, Some(high));
+    }
+
+    #[test]
+    fn proposer_happy_path_decides_own_value() {
+        // n = 5, majority 3.
+        let mut p = Proposer::new(7, 5);
+        assert_eq!(p.phase(), PPhase::Idle);
+        let act = p.on_change(ME);
+        let pn = prepare_pn(&p);
+        assert_eq!(act, ProposerAction::Emit(ProposerMsg::Prepare { pn }));
+
+        assert_eq!(
+            p.on_response(pn, RespKind::PrepareAck, 2, None, None, ME, true),
+            ProposerAction::None
+        );
+        let act = p.on_response(pn, RespKind::PrepareAck, 1, None, None, ME, true);
+        assert_eq!(act, ProposerAction::Emit(ProposerMsg::Propose { pn, value: 7 }));
+
+        assert_eq!(
+            p.on_response(pn, RespKind::ProposeAck, 3, None, None, ME, true),
+            ProposerAction::Decide(7)
+        );
+        assert_eq!(p.proposals_started(), 1);
+    }
+
+    #[test]
+    fn proposer_adopts_highest_previous_value() {
+        let mut p = Proposer::new(0, 3);
+        p.on_change(ME);
+        let pn = prepare_pn(&p);
+        let old_small = ProposalNum::new(1, NodeId(1));
+        let old_big = ProposalNum::new(2, NodeId(2));
+        p.on_response(pn, RespKind::PrepareAck, 1, Some((old_small, 5)), None, ME, true);
+        let act = p.on_response(pn, RespKind::PrepareAck, 1, Some((old_big, 9)), None, ME, true);
+        assert_eq!(act, ProposerAction::Emit(ProposerMsg::Propose { pn, value: 9 }));
+    }
+
+    #[test]
+    fn proposer_retries_once_with_higher_tag_after_nack_majority() {
+        let mut p = Proposer::new(0, 4); // majority 3, nack threshold 2
+        p.on_change(ME);
+        let pn1 = prepare_pn(&p);
+        let committed = ProposalNum::new(10, NodeId(2));
+        let act = p.on_response(pn1, RespKind::PrepareNack, 2, None, Some(committed), ME, true);
+        // Retry with a tag above the hint.
+        match act {
+            ProposerAction::Emit(ProposerMsg::Prepare { pn: pn2 }) => {
+                assert!(pn2.tag > committed.tag);
+                assert!(pn2 > pn1);
+            }
+            other => panic!("expected retry prepare, got {other:?}"),
+        }
+        assert_eq!(p.proposals_started(), 2);
+
+        // A second nack majority exhausts the budget: idle until the
+        // next change notification.
+        let pn2 = p.current_pn();
+        let act = p.on_response(pn2, RespKind::PrepareNack, 2, None, None, ME, true);
+        assert_eq!(act, ProposerAction::None);
+        assert_eq!(p.phase(), PPhase::Idle);
+    }
+
+    #[test]
+    fn deposed_proposer_goes_idle_instead_of_retrying() {
+        let mut p = Proposer::new(0, 3); // nack threshold 2
+        p.on_change(ME);
+        let pn = prepare_pn(&p);
+        let act = p.on_response(pn, RespKind::PrepareNack, 2, None, None, ME, false);
+        assert_eq!(act, ProposerAction::None);
+        assert_eq!(p.phase(), PPhase::Idle);
+    }
+
+    #[test]
+    fn stale_and_mismatched_responses_ignored() {
+        let mut p = Proposer::new(0, 3);
+        p.on_change(ME);
+        let pn = prepare_pn(&p);
+        let other = ProposalNum::new(99, NodeId(1));
+        assert_eq!(
+            p.on_response(other, RespKind::PrepareAck, 2, None, None, ME, true),
+            ProposerAction::None
+        );
+        // Propose-phase responses during prepare are ignored.
+        assert_eq!(
+            p.on_response(pn, RespKind::ProposeAck, 2, None, None, ME, true),
+            ProposerAction::None
+        );
+        // But the hint still advanced max_tag_seen.
+        assert!(p.max_tag_seen() >= 1);
+    }
+
+    #[test]
+    fn singleton_network_decides_immediately_via_self_responses() {
+        let mut p = Proposer::new(4, 1); // majority 1
+        let act = p.on_change(ME);
+        let pn = prepare_pn(&p);
+        assert_eq!(act, ProposerAction::Emit(ProposerMsg::Prepare { pn }));
+        let act = p.on_response(pn, RespKind::PrepareAck, 1, None, None, ME, true);
+        assert_eq!(act, ProposerAction::Emit(ProposerMsg::Propose { pn, value: 4 }));
+        let act = p.on_response(pn, RespKind::ProposeAck, 1, None, None, ME, true);
+        assert_eq!(act, ProposerAction::Decide(4));
+    }
+
+    #[test]
+    fn observe_pn_raises_next_tag() {
+        let mut p = Proposer::new(0, 3);
+        p.observe_pn(ProposalNum::new(41, NodeId(5)));
+        p.on_change(ME);
+        assert_eq!(p.current_pn().tag, 42);
+    }
+}

@@ -1,0 +1,539 @@
+//! The wPAXOS support services (paper Figure 3, Algorithms 2–5).
+//!
+//! Each service owns a message queue; the broadcast multiplexer in
+//! [`node`](super::node) drains one message per queue per physical
+//! broadcast (Algorithm 5). The services here are pure state machines —
+//! they never touch the MAC layer directly, which keeps them unit
+//! testable in isolation.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use amacl_model::ids::NodeId;
+use amacl_model::sim::time::Timestamp;
+
+use super::msgs::{AcceptorMsg, ChangeMsg, ProposerMsg, SearchMsg};
+
+/// Leader election service (Algorithm 2): flood the maximum id.
+///
+/// Maintains `Ω`, the current leader estimate. The queue holds at most
+/// one pending announcement (`UpdateQ` empties it before enqueueing).
+#[derive(Clone, Debug)]
+pub struct LeaderService {
+    omega: NodeId,
+    queue: Option<NodeId>,
+}
+
+impl LeaderService {
+    /// Initializes with `Ω = my own id` and that id queued for
+    /// announcement.
+    pub fn new(me: NodeId) -> Self {
+        Self {
+            omega: me,
+            queue: Some(me),
+        }
+    }
+
+    /// Current leader estimate `Ω`.
+    pub fn omega(&self) -> NodeId {
+        self.omega
+    }
+
+    /// Handles a received leader announcement. Returns `true` when `Ω`
+    /// changed (the caller must then notify the other services).
+    pub fn receive(&mut self, id: NodeId) -> bool {
+        if id > self.omega {
+            self.omega = id;
+            self.queue = Some(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Takes the queued announcement for the next broadcast.
+    pub fn pop(&mut self) -> Option<NodeId> {
+        self.queue.take()
+    }
+}
+
+/// Change service (Algorithm 3): flood freshness timestamps so the
+/// eventual leader proposes after stabilization.
+///
+/// `lastChange` starts at minus infinity; a change (local or received)
+/// with a larger timestamp replaces the queue content. Every accepted
+/// update is an `UpdateQ` call — the caller checks `Ω == me` and, if
+/// so, generates a new Paxos proposal.
+#[derive(Clone, Debug)]
+pub struct ChangeService {
+    last: Timestamp,
+    queue: Option<ChangeMsg>,
+}
+
+impl ChangeService {
+    /// Initializes with `lastChange = -infinity` and an empty queue.
+    pub fn new() -> Self {
+        Self {
+            last: Timestamp::MINUS_INFINITY,
+            queue: None,
+        }
+    }
+
+    /// The current `lastChange` watermark.
+    pub fn last(&self) -> Timestamp {
+        self.last
+    }
+
+    /// Records a *local* change (`Ω` or some `dist` entry updated):
+    /// unconditionally bumps `lastChange` to the fresh timestamp and
+    /// queues the announcement.
+    pub fn local_change(&mut self, ts: Timestamp, me: NodeId) {
+        self.last = ts;
+        self.queue = Some(ChangeMsg { ts, id: me });
+    }
+
+    /// Handles a received change announcement. Returns `true` when it
+    /// was fresher than `lastChange` (i.e. `UpdateQ` ran).
+    pub fn receive(&mut self, msg: ChangeMsg) -> bool {
+        if msg.ts > self.last {
+            self.last = msg.ts;
+            self.queue = Some(msg);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Takes the queued announcement for the next broadcast.
+    pub fn pop(&mut self) -> Option<ChangeMsg> {
+        self.queue.take()
+    }
+}
+
+impl Default for ChangeService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Tree-building service (Algorithm 4): Bellman-Ford iterative
+/// refinement of shortest-path trees rooted at every node, with
+/// leader-priority queueing.
+#[derive(Clone, Debug)]
+pub struct TreeService {
+    dist: BTreeMap<NodeId, u32>,
+    parent: BTreeMap<NodeId, NodeId>,
+    queue: VecDeque<SearchMsg>,
+    leader_priority: bool,
+}
+
+impl TreeService {
+    /// Initializes: `dist[me] = 0`, `parent[me] = me`, and a
+    /// `(search, me, 1)` announcement queued.
+    pub fn new(me: NodeId, leader_priority: bool) -> Self {
+        let mut dist = BTreeMap::new();
+        dist.insert(me, 0);
+        let mut parent = BTreeMap::new();
+        parent.insert(me, me);
+        let mut queue = VecDeque::new();
+        queue.push_back(SearchMsg { root: me, hops: 1 });
+        Self {
+            dist,
+            parent,
+            queue,
+            leader_priority,
+        }
+    }
+
+    /// Best-known hop distance to `root`, if any.
+    pub fn dist_of(&self, root: NodeId) -> Option<u32> {
+        self.dist.get(&root).copied()
+    }
+
+    /// Current parent (next hop) toward `root`, if known.
+    pub fn parent_of(&self, root: NodeId) -> Option<NodeId> {
+        self.parent.get(&root).copied()
+    }
+
+    /// Handles a received search message from `sender`. Returns `true`
+    /// when it improved a distance (a change event for the change
+    /// service).
+    pub fn receive(&mut self, msg: SearchMsg, sender: NodeId, omega: NodeId) -> bool {
+        let cur = self.dist.get(&msg.root).copied().unwrap_or(u32::MAX);
+        if msg.hops < cur {
+            self.dist.insert(msg.root, msg.hops);
+            self.parent.insert(msg.root, sender);
+            self.update_q(
+                SearchMsg {
+                    root: msg.root,
+                    hops: msg.hops + 1,
+                },
+                omega,
+            );
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `UpdateQ` (Algorithm 4): enqueue, discard stale entries for the
+    /// same root with larger hop counts, and move the current leader's
+    /// entry to the front.
+    fn update_q(&mut self, msg: SearchMsg, omega: NodeId) {
+        // At most one entry per root survives; an existing entry for
+        // this root necessarily has a larger hop count (distances only
+        // improve), so it is the stale one to discard.
+        self.queue.retain(|e| e.root != msg.root);
+        self.queue.push_back(msg);
+        self.promote(omega);
+    }
+
+    /// `OnLeaderChange` (Algorithm 4): re-prioritize the leader's
+    /// pending search message.
+    pub fn on_leader_change(&mut self, omega: NodeId) {
+        self.promote(omega);
+    }
+
+    fn promote(&mut self, omega: NodeId) {
+        if !self.leader_priority {
+            return;
+        }
+        if let Some(pos) = self.queue.iter().position(|e| e.root == omega) {
+            if pos > 0 {
+                let m = self.queue.remove(pos).expect("position exists");
+                self.queue.push_front(m);
+            }
+        }
+    }
+
+    /// Takes the front search message for the next broadcast.
+    pub fn pop(&mut self) -> Option<SearchMsg> {
+        self.queue.pop_front()
+    }
+
+    /// Number of queued search messages (diagnostics).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Flooding queue for proposer messages, with the paper's two
+/// invariants: only the current leader's messages, and only those for
+/// the largest proposal number seen so far from that leader.
+#[derive(Clone, Debug, Default)]
+pub struct ProposerFlood {
+    queue: Option<ProposerMsg>,
+    seen: BTreeSet<(u64, u64, u8)>,
+}
+
+impl ProposerFlood {
+    /// Creates an empty flood queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` if this prepare/propose was already offered here (flood
+    /// dedup: "if you see a proposer message from `u` for the first
+    /// time...").
+    pub fn has_seen(&self, msg: &ProposerMsg) -> bool {
+        msg.key()
+            .is_some_and(|(pn, rank)| self.seen.contains(&(pn.tag, pn.id.raw(), rank)))
+    }
+
+    /// Offers a message for re-flooding. Returns `true` when queued.
+    ///
+    /// `Decide` messages are handled at the node level (a decided node
+    /// announces its decision in every broadcast), so they are never
+    /// queued here.
+    pub fn offer(&mut self, msg: ProposerMsg, omega: NodeId) -> bool {
+        let Some((pn, rank)) = msg.key() else {
+            return false;
+        };
+        if !self.seen.insert((pn.tag, pn.id.raw(), rank)) {
+            return false;
+        }
+        if pn.id != omega {
+            return false;
+        }
+        match self.queue.and_then(|q| q.key()) {
+            Some(existing) if existing >= (pn, rank) => false,
+            _ => {
+                self.queue = Some(msg);
+                true
+            }
+        }
+    }
+
+    /// Drops a queued message that no longer belongs to the current
+    /// leader.
+    pub fn on_leader_change(&mut self, omega: NodeId) {
+        if let Some(q) = self.queue {
+            if q.pn().is_some_and(|pn| pn.id != omega) {
+                self.queue = None;
+            }
+        }
+    }
+
+    /// Takes the queued message for the next broadcast.
+    pub fn pop(&mut self) -> Option<ProposerMsg> {
+        self.queue.take()
+    }
+}
+
+/// Queue of acceptor responses awaiting relay, with optional
+/// aggregation.
+#[derive(Clone, Debug)]
+pub struct AcceptorQueue {
+    items: VecDeque<AcceptorMsg>,
+    aggregate: bool,
+}
+
+impl AcceptorQueue {
+    /// Creates an empty queue; `aggregate` enables count-merging.
+    pub fn new(aggregate: bool) -> Self {
+        Self {
+            items: VecDeque::new(),
+            aggregate,
+        }
+    }
+
+    /// Enqueues a response, merging it into an existing compatible
+    /// entry (same destination, proposition, and kind) when aggregation
+    /// is on: counts add, and the highest-numbered `prev` / `hint`
+    /// survive.
+    pub fn push(&mut self, msg: AcceptorMsg) {
+        if self.aggregate {
+            if let Some(existing) = self.items.iter_mut().find(|e| {
+                e.dest == msg.dest && e.about == msg.about && e.kind == msg.kind
+            }) {
+                existing.count += msg.count;
+                existing.prev = match (existing.prev, msg.prev) {
+                    (Some(a), Some(b)) => Some(if a.0 >= b.0 { a } else { b }),
+                    (a, b) => a.or(b),
+                };
+                existing.hint = existing.hint.max(msg.hint);
+                return;
+            }
+        }
+        self.items.push_back(msg);
+    }
+
+    /// Drops responses that are not about the given proposition (the
+    /// paper's invariant: only the current leader's largest proposal
+    /// number survives in the queue).
+    pub fn prune_except(&mut self, keep: super::msgs::ProposalNum) {
+        self.items.retain(|e| e.about == keep);
+    }
+
+    /// Takes the front response for the next broadcast.
+    pub fn pop(&mut self) -> Option<AcceptorMsg> {
+        self.items.pop_front()
+    }
+
+    /// Number of queued responses (the bottleneck signal in E3).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wpaxos::msgs::{ProposalNum, RespKind};
+    use amacl_model::sim::time::Time;
+
+    fn ts(t: u64, node: u64) -> Timestamp {
+        Timestamp {
+            time: Time(t),
+            node,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn leader_service_floods_max_id() {
+        let mut svc = LeaderService::new(NodeId(3));
+        assert_eq!(svc.omega(), NodeId(3));
+        assert_eq!(svc.pop(), Some(NodeId(3)));
+        assert_eq!(svc.pop(), None);
+        assert!(!svc.receive(NodeId(2)), "smaller id ignored");
+        assert!(svc.receive(NodeId(7)));
+        assert_eq!(svc.omega(), NodeId(7));
+        assert_eq!(svc.pop(), Some(NodeId(7)));
+        assert!(!svc.receive(NodeId(7)), "duplicate ignored");
+    }
+
+    #[test]
+    fn change_service_keeps_freshest() {
+        let mut svc = ChangeService::new();
+        assert!(svc.receive(ChangeMsg {
+            ts: ts(5, 1),
+            id: NodeId(1)
+        }));
+        assert!(!svc.receive(ChangeMsg {
+            ts: ts(4, 9),
+            id: NodeId(9)
+        }));
+        svc.local_change(ts(9, 2), NodeId(2));
+        assert_eq!(svc.last(), ts(9, 2));
+        let q = svc.pop().unwrap();
+        assert_eq!(q.id, NodeId(2));
+        assert_eq!(svc.pop(), None, "UpdateQ keeps at most one entry");
+    }
+
+    #[test]
+    fn tree_service_improves_distances() {
+        let me = NodeId(0);
+        let omega = NodeId(9);
+        let mut svc = TreeService::new(me, true);
+        assert_eq!(svc.dist_of(me), Some(0));
+        assert_eq!(svc.parent_of(me), Some(me));
+
+        assert!(svc.receive(SearchMsg { root: NodeId(5), hops: 3 }, NodeId(2), omega));
+        assert_eq!(svc.dist_of(NodeId(5)), Some(3));
+        assert_eq!(svc.parent_of(NodeId(5)), Some(NodeId(2)));
+
+        // Worse offer rejected; better offer replaces parent.
+        assert!(!svc.receive(SearchMsg { root: NodeId(5), hops: 4 }, NodeId(3), omega));
+        assert!(svc.receive(SearchMsg { root: NodeId(5), hops: 1 }, NodeId(4), omega));
+        assert_eq!(svc.parent_of(NodeId(5)), Some(NodeId(4)));
+        // Only the improved entry remains queued for root 5.
+        let msgs: Vec<SearchMsg> = std::iter::from_fn(|| svc.pop()).collect();
+        let for5: Vec<_> = msgs.iter().filter(|m| m.root == NodeId(5)).collect();
+        assert_eq!(for5.len(), 1);
+        assert_eq!(for5[0].hops, 2);
+    }
+
+    #[test]
+    fn tree_service_promotes_leader_entries() {
+        let me = NodeId(0);
+        let omega = NodeId(9);
+        let mut svc = TreeService::new(me, true);
+        svc.receive(SearchMsg { root: NodeId(5), hops: 1 }, NodeId(5), omega);
+        svc.receive(SearchMsg { root: NodeId(9), hops: 2 }, NodeId(5), omega);
+        // Leader 9's entry jumps the queue.
+        assert_eq!(svc.pop().unwrap().root, NodeId(9));
+    }
+
+    #[test]
+    fn tree_service_without_priority_is_fifo() {
+        let me = NodeId(0);
+        let omega = NodeId(9);
+        let mut svc = TreeService::new(me, false);
+        svc.receive(SearchMsg { root: NodeId(5), hops: 1 }, NodeId(5), omega);
+        svc.receive(SearchMsg { root: NodeId(9), hops: 2 }, NodeId(5), omega);
+        assert_eq!(svc.pop().unwrap().root, me, "initial self entry first");
+        assert_eq!(svc.pop().unwrap().root, NodeId(5));
+        assert_eq!(svc.pop().unwrap().root, NodeId(9));
+    }
+
+    #[test]
+    fn on_leader_change_repromotes() {
+        let me = NodeId(0);
+        let mut svc = TreeService::new(me, true);
+        svc.receive(SearchMsg { root: NodeId(5), hops: 1 }, NodeId(5), NodeId(0));
+        svc.receive(SearchMsg { root: NodeId(7), hops: 1 }, NodeId(7), NodeId(0));
+        svc.on_leader_change(NodeId(7));
+        assert_eq!(svc.pop().unwrap().root, NodeId(7));
+    }
+
+    #[test]
+    fn proposer_flood_applies_invariants() {
+        let omega = NodeId(9);
+        let mut q = ProposerFlood::new();
+        let low = ProposalNum::new(1, NodeId(9));
+        let high = ProposalNum::new(2, NodeId(9));
+        let foreign = ProposalNum::new(5, NodeId(3));
+
+        assert!(q.offer(ProposerMsg::Prepare { pn: low }, omega));
+        // Duplicate dropped.
+        assert!(!q.offer(ProposerMsg::Prepare { pn: low }, omega));
+        assert!(q.has_seen(&ProposerMsg::Prepare { pn: low }));
+        // Non-leader message dropped (but remembered as seen).
+        assert!(!q.offer(ProposerMsg::Prepare { pn: foreign }, omega));
+        // Larger pn replaces queued smaller one.
+        assert!(q.offer(ProposerMsg::Prepare { pn: high }, omega));
+        assert_eq!(q.pop(), Some(ProposerMsg::Prepare { pn: high }));
+        assert_eq!(q.pop(), None);
+        // Propose supersedes prepare at the same pn.
+        let mut q = ProposerFlood::new();
+        q.offer(ProposerMsg::Prepare { pn: high }, omega);
+        assert!(q.offer(ProposerMsg::Propose { pn: high, value: 1 }, omega));
+        assert_eq!(q.pop(), Some(ProposerMsg::Propose { pn: high, value: 1 }));
+    }
+
+    #[test]
+    fn proposer_flood_drops_stale_leader_on_change() {
+        let mut q = ProposerFlood::new();
+        let pn = ProposalNum::new(1, NodeId(3));
+        q.offer(ProposerMsg::Prepare { pn }, NodeId(3));
+        q.on_leader_change(NodeId(9));
+        assert_eq!(q.pop(), None);
+    }
+
+    fn resp(dest: u64, tag: u64, kind: RespKind, count: u64) -> AcceptorMsg {
+        AcceptorMsg {
+            dest: NodeId(dest),
+            about: ProposalNum::new(tag, NodeId(9)),
+            kind,
+            count,
+            prev: None,
+            hint: None,
+            origin: None,
+        }
+    }
+
+    #[test]
+    fn acceptor_queue_aggregates_counts() {
+        let mut q = AcceptorQueue::new(true);
+        q.push(resp(1, 1, RespKind::PrepareAck, 1));
+        q.push(resp(1, 1, RespKind::PrepareAck, 3));
+        q.push(resp(1, 1, RespKind::PrepareNack, 1)); // different kind
+        q.push(resp(2, 1, RespKind::PrepareAck, 1)); // different dest
+        assert_eq!(q.len(), 3);
+        let first = q.pop().unwrap();
+        assert_eq!(first.count, 4);
+    }
+
+    #[test]
+    fn aggregation_keeps_max_prev_and_hint() {
+        let mut q = AcceptorQueue::new(true);
+        let small = ProposalNum::new(1, NodeId(1));
+        let big = ProposalNum::new(2, NodeId(2));
+        let mut a = resp(1, 5, RespKind::PrepareAck, 1);
+        a.prev = Some((small, 10));
+        a.hint = Some(small);
+        let mut b = resp(1, 5, RespKind::PrepareAck, 1);
+        b.prev = Some((big, 20));
+        b.hint = Some(big);
+        q.push(a);
+        q.push(b);
+        let merged = q.pop().unwrap();
+        assert_eq!(merged.count, 2);
+        assert_eq!(merged.prev, Some((big, 20)));
+        assert_eq!(merged.hint, Some(big));
+    }
+
+    #[test]
+    fn unaggregated_queue_keeps_entries_separate() {
+        let mut q = AcceptorQueue::new(false);
+        q.push(resp(1, 1, RespKind::PrepareAck, 1));
+        q.push(resp(1, 1, RespKind::PrepareAck, 1));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn prune_keeps_only_current_proposition() {
+        let mut q = AcceptorQueue::new(true);
+        q.push(resp(1, 1, RespKind::PrepareAck, 1));
+        q.push(resp(1, 2, RespKind::PrepareAck, 1));
+        q.prune_except(ProposalNum::new(2, NodeId(9)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().about.tag, 2);
+        assert!(q.is_empty());
+    }
+}

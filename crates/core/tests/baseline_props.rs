@@ -1,0 +1,149 @@
+//! Property tests for the baseline algorithms — including the premises
+//! the lower-bound demonstrations lean on (Lemma 3.8's "correct on
+//! every line", Lemma 3.5's "terminates deciding the uniform input").
+
+use amacl_core::baselines::anonymous_flood::SyncFloodMin;
+use amacl_core::baselines::flood_gather::FloodGather;
+use amacl_core::baselines::quiesce::IdFloodQuiesce;
+use amacl_core::verify::check_consensus;
+use amacl_model::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Lemma 3.8's premise: the quiescence algorithm (no knowledge of
+    /// n) is correct on *every* line length under the synchronous
+    /// scheduler, for every uniform input — with one threshold derived
+    /// from a single diameter bound.
+    #[test]
+    fn quiesce_correct_on_all_lines_up_to_bound(
+        n in 1usize..12,
+        b in 0u64..2,
+    ) {
+        let d_bound = 12u64;
+        let quiet = 2 * d_bound;
+        let inputs = vec![b; n];
+        let iv = inputs.clone();
+        let mut sim = SimBuilder::new(Topology::line(n.max(1)), |s| {
+            IdFloodQuiesce::new(iv[s.index()], quiet)
+        })
+        .scheduler(SynchronousScheduler::new(1))
+        .message_id_budget(1)
+        .build();
+        let report = sim.run();
+        let check = check_consensus(&inputs, &report, &[]);
+        prop_assert!(check.ok(), "{:?}", check.violation);
+        prop_assert_eq!(check.decided, Some(b));
+    }
+
+    /// Quiescence with mixed inputs still satisfies consensus on lines
+    /// (everyone converges on the global minimum before quiescing).
+    #[test]
+    fn quiesce_mixed_inputs_on_lines(
+        n in 2usize..10,
+        input_bits in 0u64..1024,
+    ) {
+        let inputs: Vec<Value> = (0..n).map(|i| (input_bits >> i) & 1).collect();
+        let iv = inputs.clone();
+        let mut sim = SimBuilder::new(Topology::line(n), |s| {
+            IdFloodQuiesce::new(iv[s.index()], 2 * n as u64 + 4)
+        })
+        .scheduler(SynchronousScheduler::new(1))
+        .build();
+        let report = sim.run();
+        let check = check_consensus(&inputs, &report, &[]);
+        prop_assert!(check.ok(), "{:?}", check.violation);
+        prop_assert_eq!(check.decided, Some(*inputs.iter().min().unwrap()));
+    }
+
+    /// Lemma 3.5's premise: the anonymous algorithm with `rounds >= D`
+    /// terminates on any connected graph of diameter `<= D` under the
+    /// synchronous scheduler, deciding its uniform input.
+    #[test]
+    fn anonymous_flood_correct_at_diameter_rounds(
+        n in 2usize..16,
+        seed in 0u64..10_000,
+        b in 0u64..2,
+    ) {
+        let topo = Topology::random_connected(n, 0.2, seed);
+        let d = topo.diameter() as u64;
+        let inputs = vec![b; n];
+        let mut sim = SimBuilder::new(topo, |_| SyncFloodMin::new(b, d.max(1)))
+            .scheduler(SynchronousScheduler::new(1))
+            .message_id_budget(0)
+            .build();
+        let report = sim.run();
+        let check = check_consensus(&inputs, &report, &[]);
+        prop_assert!(check.ok(), "{:?}", check.violation);
+        prop_assert_eq!(check.decided, Some(b));
+    }
+
+    /// Anonymous flooding with mixed inputs and enough rounds decides
+    /// the minimum under the synchronous scheduler.
+    #[test]
+    fn anonymous_flood_mixed_inputs(
+        n in 2usize..14,
+        seed in 0u64..10_000,
+        input_bits in 0u64..16_384,
+    ) {
+        let topo = Topology::random_connected(n, 0.2, seed);
+        let d = (topo.diameter() as u64).max(1);
+        let inputs: Vec<Value> = (0..n).map(|i| (input_bits >> i) & 1).collect();
+        let iv = inputs.clone();
+        let mut sim = SimBuilder::new(topo, |s| SyncFloodMin::new(iv[s.index()], d))
+            .scheduler(SynchronousScheduler::new(1))
+            .message_id_budget(0)
+            .build();
+        let report = sim.run();
+        let check = check_consensus(&inputs, &report, &[]);
+        prop_assert!(check.ok(), "{:?}", check.violation);
+        prop_assert_eq!(check.decided, Some(*inputs.iter().min().unwrap()));
+    }
+
+    /// Flood-gather's message complexity: every node broadcasts at most
+    /// n pair-messages (one per learned id), so total broadcasts are at
+    /// most n^2 — and at least n (everyone sends its own).
+    #[test]
+    fn flood_gather_message_complexity_bounds(
+        n in 1usize..14,
+        seed in 0u64..10_000,
+    ) {
+        let topo = Topology::random_connected(n, 0.25, seed);
+        let inputs: Vec<Value> = (0..n).map(|i| (i % 2) as Value).collect();
+        let iv = inputs.clone();
+        let mut sim = SimBuilder::new(topo, |s| FloodGather::new(iv[s.index()], n))
+            .scheduler(RandomScheduler::new(4, seed))
+            .stop_when_all_decided(false)
+            .build();
+        let report = sim.run();
+        let check = check_consensus(&inputs, &report, &[]);
+        prop_assert!(check.ok(), "{:?}", check.violation);
+        prop_assert!(report.metrics.broadcasts >= n as u64 - u64::from(n == 1));
+        prop_assert!(
+            report.metrics.broadcasts <= (n * n) as u64,
+            "broadcasts {} above n^2",
+            report.metrics.broadcasts
+        );
+    }
+}
+
+#[test]
+fn quiesce_learns_all_ids_before_deciding_on_lines() {
+    // Supporting detail for the E6 narrative: on an honest line run the
+    // algorithm has every id by decision time.
+    for n in [2usize, 5, 8] {
+        let inputs = vec![1; n];
+        let iv = inputs.clone();
+        let mut sim = SimBuilder::new(Topology::line(n), |s| {
+            IdFloodQuiesce::new(iv[s.index()], 2 * n as u64)
+        })
+        .scheduler(SynchronousScheduler::new(1))
+        .build();
+        let report = sim.run();
+        assert!(report.all_decided());
+        for i in 0..n {
+            assert_eq!(sim.process(Slot(i)).known_ids(), n, "slot {i}");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Scripted adversarial schedules exercising the case analysis in the
+//! proof of Theorem 4.1, plus randomized stress over the schedule
+//! space.
+
+use amacl_core::two_phase::{TpStage, TpStatus, TwoPhase};
+use amacl_core::verify::check_consensus;
+use amacl_model::prelude::*;
+
+fn run_scripted(
+    inputs: &[Value],
+    sched: ScriptedScheduler,
+) -> (Sim<TwoPhase>, RunReport) {
+    let iv = inputs.to_vec();
+    let mut sim = SimBuilder::new(Topology::clique(inputs.len()), |s| {
+        TwoPhase::new(iv[s.index()])
+    })
+    .scheduler(sched)
+    .message_id_budget(1)
+    .build();
+    let report = sim.run();
+    (sim, report)
+}
+
+#[test]
+fn proof_case_1_witness_forces_waiting() {
+    // Case 1 of the proof: v receives a message from u before v
+    // finishes its phase-2 broadcast, so u lands on v's witness list
+    // and v must wait for (and obey) u's decided(0) status.
+    //
+    // Schedule: u (slot 0, input 0) completes phase 1 quickly; v
+    // (slot 1, input 1) receives u's phase-1 message before its own
+    // slow phase-1 broadcast completes, making v bivalent with
+    // u ∈ W_v.
+    let sched = ScriptedScheduler::new(1)
+        .delay(Slot(0), 0, 1)
+        .delay(Slot(0), 1, 4)
+        .delay(Slot(1), 0, 2)
+        .delay(Slot(1), 1, 2);
+    let inputs = [0, 1];
+    let (sim, report) = run_scripted(&inputs, sched);
+    let check = check_consensus(&inputs, &report, &[]);
+    check.assert_ok();
+    assert_eq!(check.decided, Some(0), "v must adopt u's decided(0)");
+    assert_eq!(sim.process(Slot(0)).status(), Some(TpStatus::Decided(0)));
+    assert_eq!(sim.process(Slot(1)).status(), Some(TpStatus::Bivalent));
+    assert!(sim
+        .process(Slot(1))
+        .witnesses()
+        .contains(&sim.id_of(Slot(0))));
+}
+
+#[test]
+fn proof_case_2_cannot_happen() {
+    // Case 2 of the proof argues by contradiction that a decided(0)
+    // node u and a bivalent v with u ∉ W_v cannot coexist: if v never
+    // heard u before finishing phase 2, then u received v's bivalent
+    // phase-2 message during its own phase 1 — which would have made u
+    // bivalent. Verify the invariant over many random schedules:
+    // whenever some node has status decided(0), every bivalent node
+    // either has it as a witness or decides 0 anyway.
+    for seed in 0..80u64 {
+        let n = 2 + (seed as usize % 5);
+        let inputs: Vec<Value> = (0..n).map(|i| ((i as u64 + seed) % 2) as Value).collect();
+        let iv = inputs.clone();
+        let mut sim = SimBuilder::new(Topology::clique(n), |s| TwoPhase::new(iv[s.index()]))
+            .scheduler(RandomScheduler::new(6, seed))
+            .build();
+        let report = sim.run();
+        let check = check_consensus(&inputs, &report, &[]);
+        assert!(check.ok(), "seed {seed}: {:?}", check.violation);
+
+        let deciders: Vec<usize> = (0..n)
+            .filter(|&i| sim.process(Slot(i)).status() == Some(TpStatus::Decided(0)))
+            .collect();
+        if deciders.is_empty() {
+            continue;
+        }
+        for i in 0..n {
+            let p = sim.process(Slot(i));
+            if p.status() == Some(TpStatus::Bivalent) {
+                let has_witness = deciders
+                    .iter()
+                    .any(|&u| p.witnesses().contains(&sim.id_of(Slot(u))));
+                let decided_zero = report.decisions[i].unwrap().value == 0;
+                assert!(
+                    has_witness || decided_zero,
+                    "seed {seed}: bivalent node {i} escaped the decided(0) evidence"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_bivalent_defaults_to_one() {
+    // When everyone sees both values in phase 1 (the synchronous
+    // schedule with mixed inputs), all statuses are bivalent and the
+    // default value 1 wins.
+    let inputs = [0, 1, 0, 1];
+    let iv = inputs.to_vec();
+    let mut sim = SimBuilder::new(Topology::clique(4), |s| TwoPhase::new(iv[s.index()]))
+        .scheduler(SynchronousScheduler::new(1))
+        .build();
+    let report = sim.run();
+    for i in 0..4 {
+        assert_eq!(sim.process(Slot(i)).status(), Some(TpStatus::Bivalent));
+    }
+    let check = check_consensus(&inputs, &report, &[]);
+    check.assert_ok();
+    assert_eq!(check.decided, Some(1));
+}
+
+#[test]
+fn decided_one_statuses_are_obeyed() {
+    // Symmetric to the decided(0) flow: a fast all-1 observer chooses
+    // decided(1); since no decided(0) exists, everyone decides 1.
+    let sched = ScriptedScheduler::new(2)
+        .delay(Slot(2), 0, 1) // the input-1 node races
+        .delay(Slot(2), 1, 1);
+    let inputs = [1, 1, 1, 0];
+    // Give the input-0 node the slowest first broadcast so the racer
+    // cannot see the 0.
+    let sched = sched.delay(Slot(3), 0, 8);
+    let (sim, report) = run_scripted(&inputs, sched);
+    let check = check_consensus(&inputs, &report, &[]);
+    check.assert_ok();
+    assert_eq!(check.decided, Some(1));
+    assert_eq!(sim.process(Slot(2)).status(), Some(TpStatus::Decided(1)));
+}
+
+#[test]
+fn stages_progress_monotonically() {
+    // Pause mid-execution and observe the stage machine.
+    let iv = vec![0, 1, 1];
+    let mut sim = SimBuilder::new(Topology::clique(3), |s| TwoPhase::new(iv[s.index()]))
+        .scheduler(SynchronousScheduler::new(4))
+        .build();
+    // Before anything happens: everyone is in phase 1.
+    for i in 0..3 {
+        assert_eq!(sim.process(Slot(i)).stage(), TpStage::Phase1);
+    }
+    sim.run_until(Time(4)); // first round: phase-1 acks
+    for i in 0..3 {
+        assert_ne!(sim.process(Slot(i)).stage(), TpStage::Phase1);
+    }
+    let report = sim.run();
+    assert!(report.all_decided());
+    for i in 0..3 {
+        assert_eq!(sim.process(Slot(i)).stage(), TpStage::Done);
+    }
+}
+
+#[test]
+fn skewed_per_node_delays_never_break_agreement() {
+    // Heavily asymmetric scripted schedules: node k's phase-i broadcast
+    // takes (k * 7 + i * 3) % 13 + 1 ticks.
+    for shift in 0..20u64 {
+        let n = 5;
+        let mut sched = ScriptedScheduler::new(1);
+        for k in 0..n as u64 {
+            for b in 0..2u64 {
+                sched = sched.delay(Slot(k as usize), b, (k * 7 + b * 3 + shift) % 13 + 1);
+            }
+        }
+        let inputs: Vec<Value> = (0..n).map(|i| ((i as u64 + shift) % 2) as Value).collect();
+        let (_, report) = run_scripted(&inputs, sched);
+        let check = check_consensus(&inputs, &report, &[]);
+        assert!(check.ok(), "shift {shift}: {:?}", check.violation);
+    }
+}

@@ -1,0 +1,198 @@
+//! Integration tests for wPAXOS's stabilization structure — the
+//! skeleton of Lemma 4.5's liveness argument:
+//!
+//! 1. the leader election service stabilizes network-wide to the
+//!    maximum id within `O(D * F_ack)`;
+//! 2. once it has, the tree rooted at the leader completes (correct
+//!    shortest-path distances at every node) within another
+//!    `O(D * F_ack)`;
+//! 3. after the change service quiesces, the leader generates only
+//!    `Θ(1)` further proposals before deciding.
+
+use amacl_core::harness::alternating_inputs;
+use amacl_core::verify::check_consensus;
+use amacl_core::wpaxos::{wpaxos_node, WpaxosConfig, WpaxosNode};
+use amacl_model::ids::NodeId;
+use amacl_model::prelude::*;
+
+fn build(topo: Topology, scoped: bool) -> Sim<WpaxosNode> {
+    let n = topo.len();
+    let inputs = alternating_inputs(n);
+    let cfg = if scoped {
+        WpaxosConfig::new(n).with_leader_scoped_changes()
+    } else {
+        WpaxosConfig::new(n)
+    };
+    SimBuilder::new(topo, move |s| WpaxosNode::new(inputs[s.index()], cfg))
+        .scheduler(SynchronousScheduler::new(1))
+        .stop_when_all_decided(false)
+        .build()
+}
+
+#[test]
+fn leader_election_stabilizes_within_diameter_rounds() {
+    // Under the synchronous scheduler (F_ack = 1), the max id floods at
+    // one hop per round... except that Algorithm 5 multiplexes one
+    // leader message per broadcast, so a small constant slack per hop
+    // is allowed. We check 3 * D + 3.
+    for topo in [
+        Topology::line(12),
+        Topology::grid(5, 4),
+        Topology::ring(14),
+        Topology::random_connected(16, 0.15, 3),
+    ] {
+        let n = topo.len();
+        let d = topo.diameter() as u64;
+        let max_id = NodeId(n as u64 - 1);
+        let mut sim = build(topo, false);
+        sim.run_until(Time(3 * d + 3));
+        for i in 0..n {
+            assert_eq!(
+                sim.process(Slot(i)).omega(),
+                Some(max_id),
+                "slot {i} not stabilized by 3D+3 rounds (D={d})"
+            );
+        }
+    }
+}
+
+#[test]
+fn leader_tree_matches_bfs_distances_after_stabilization() {
+    for topo in [
+        Topology::line(10),
+        Topology::grid(4, 4),
+        Topology::random_connected(14, 0.2, 9),
+    ] {
+        let n = topo.len();
+        let d = topo.diameter() as u64;
+        let leader_slot = Slot(n - 1); // ids == slots, max id wins
+        let bfs = topo.bfs_distances(leader_slot);
+        let mut sim = build(topo, false);
+        // Generous stabilization window: leaders flood, then the
+        // leader-priority tree completes.
+        sim.run_until(Time(8 * d + 8));
+        let leader_id = NodeId(n as u64 - 1);
+        for i in 0..n {
+            assert_eq!(
+                sim.process(Slot(i)).dist_to(leader_id),
+                Some(bfs[i]),
+                "slot {i}: wrong tree distance to the leader"
+            );
+        }
+    }
+}
+
+#[test]
+fn tree_distances_never_undershoot_bfs() {
+    // Safety of the Bellman-Ford refinement: at *any* point in any
+    // execution, recorded distances are lower-bounded by the true
+    // shortest paths (they only ever converge down to them).
+    for seed in 0..6u64 {
+        let topo = Topology::random_connected(12, 0.2, seed);
+        let n = topo.len();
+        let inputs = alternating_inputs(n);
+        let mut sim = SimBuilder::new(topo.clone(), |s| wpaxos_node(inputs[s.index()], n))
+            .scheduler(RandomScheduler::new(4, seed))
+            .stop_when_all_decided(false)
+            .build();
+        for checkpoint in [5u64, 20, 60, 200] {
+            sim.run_until(Time(checkpoint));
+            for root in 0..n {
+                let bfs = topo.bfs_distances(Slot(root));
+                for i in 0..n {
+                    if let Some(dist) = sim.process(Slot(i)).dist_to(NodeId(root as u64)) {
+                        assert!(
+                            dist >= bfs[i],
+                            "seed {seed} t={checkpoint}: slot {i} claims dist {dist} < bfs {} to {root}",
+                            bfs[i]
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn leader_proposal_count_is_constant_after_quiescence() {
+    // With the leader-scoped change trigger, the number of proposals
+    // the eventual leader starts is tiny and independent of n — the
+    // Θ(1)-after-GST property (Lemma 4.5).
+    for n in [6usize, 12, 24] {
+        let topo = Topology::star(n);
+        let mut sim = build(topo, true);
+        let report = sim.run();
+        assert!(sim.all_alive_decided(), "n={n}: {report:?}");
+        let leader = sim.process(Slot(n - 1));
+        assert!(
+            leader.proposals_started() <= 6,
+            "n={n}: leader started {} proposals",
+            leader.proposals_started()
+        );
+    }
+}
+
+#[test]
+fn total_proposals_bounded_by_change_updates() {
+    // Every proposal traces back to a change notification with a
+    // 2-proposal budget (the Lemma 4.4 accounting).
+    for seed in 0..5u64 {
+        let n = 10;
+        let topo = Topology::random_connected(n, 0.25, seed);
+        let inputs = alternating_inputs(n);
+        let mut sim = SimBuilder::new(topo, |s| wpaxos_node(inputs[s.index()], n))
+            .scheduler(RandomScheduler::new(3, seed))
+            .build();
+        let report = sim.run();
+        assert!(report.all_decided());
+        for i in 0..n {
+            let node = sim.process(Slot(i));
+            assert!(
+                node.proposals_started() <= 2 * node.stats().change_updates,
+                "slot {i}: {} proposals from {} change updates",
+                node.proposals_started(),
+                node.stats().change_updates
+            );
+        }
+    }
+}
+
+#[test]
+fn decisions_agree_between_scoped_and_literal_change_triggers() {
+    // The optimization changes performance, never the decision
+    // properties.
+    for seed in 0..5u64 {
+        let topo = Topology::random_connected(9, 0.2, seed);
+        let inputs = alternating_inputs(9);
+        for scoped in [false, true] {
+            let cfg = if scoped {
+                WpaxosConfig::new(9).with_leader_scoped_changes()
+            } else {
+                WpaxosConfig::new(9)
+            };
+            let iv = inputs.clone();
+            let mut sim = SimBuilder::new(topo.clone(), |s| WpaxosNode::new(iv[s.index()], cfg))
+                .scheduler(RandomScheduler::new(4, seed))
+                .build();
+            let report = sim.run();
+            let check = check_consensus(&inputs, &report, &[]);
+            assert!(check.ok(), "seed {seed} scoped={scoped}: {:?}", check.violation);
+        }
+    }
+}
+
+#[test]
+fn multi_valued_inputs_work() {
+    // The implementation accepts arbitrary u64 values (the paper's
+    // binary restriction strengthens its lower bounds; the upper bound
+    // logic is value-agnostic).
+    let inputs: Vec<Value> = vec![17, 3, 99, 1_000_000, 3, 42];
+    let iv = inputs.clone();
+    let mut sim = SimBuilder::new(Topology::ring(6), |s| wpaxos_node(iv[s.index()], 6))
+        .scheduler(RandomScheduler::new(5, 7))
+        .build();
+    let report = sim.run();
+    let check = check_consensus(&inputs, &report, &[]);
+    check.assert_ok();
+    assert!(inputs.contains(&check.decided.unwrap()));
+}

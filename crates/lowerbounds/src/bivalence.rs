@@ -1,0 +1,346 @@
+//! Exhaustive bivalence exploration: the computational content of
+//! Theorem 3.2 and Lemma 3.1.
+//!
+//! The FLP generalization argues: (1) some initial configuration is
+//! *bivalent* — both decision values are reachable by valid-step
+//! schedules (with the adversary allowed one crash); (2) bivalence can
+//! always be extended (Lemma 3.1), so a fair schedule exists on which
+//! no node ever decides, contradicting termination.
+//!
+//! [`Explorer`] performs memoized exhaustive search over the valid-step
+//! schedule space (plus up to `crash_budget` crash steps) of a
+//! [`StepMachine`] and reports which decision values are reachable and
+//! whether the adversary can strand the execution undecided. On the
+//! paper's own Two-Phase Consensus it verifies, mechanically:
+//!
+//! * mixed-input initial configurations are bivalent with one crash
+//!   allowed;
+//! * without crashes every valid schedule terminates with agreement;
+//! * with one crash there are *stuck* schedules — a live node waits
+//!   forever (the termination loss that the impossibility predicts);
+//! * Two-Phase Consensus has **critical configurations** — bivalent
+//!   states where some node's next step forces univalence. Lemma 3.1
+//!   proves a 1-crash-tolerant algorithm cannot have one, so their
+//!   existence is a machine-checked certificate that Two-Phase (like
+//!   every deterministic algorithm, by Theorem 3.2) fails under a
+//!   single crash.
+
+use std::collections::HashMap;
+
+use amacl_model::prelude::*;
+
+use crate::step::{Step, StepMachine};
+
+/// What the schedule space reachable from a state contains.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ExploreResult {
+    /// Some schedule decides 0.
+    pub zero: bool,
+    /// Some schedule decides 1.
+    pub one: bool,
+    /// Some schedule reaches a dead end with a non-crashed node
+    /// undecided (a termination violation).
+    pub stuck_undecided: bool,
+    /// The depth limit truncated the search (results are then lower
+    /// bounds on reachability).
+    pub truncated: bool,
+}
+
+impl ExploreResult {
+    /// Both decision values reachable.
+    pub fn bivalent(&self) -> bool {
+        self.zero && self.one
+    }
+
+    fn merge(&mut self, other: ExploreResult) {
+        self.zero |= other.zero;
+        self.one |= other.one;
+        self.stuck_undecided |= other.stuck_undecided;
+        self.truncated |= other.truncated;
+    }
+}
+
+/// Valency of a configuration (Section 3.1's definitions).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Valency {
+    /// Every deciding schedule decides 0.
+    ZeroValent,
+    /// Every deciding schedule decides 1.
+    OneValent,
+    /// Schedules deciding 0 and schedules deciding 1 both exist.
+    Bivalent,
+    /// The search was truncated before finding any decision.
+    Unknown,
+}
+
+/// Memoized exhaustive explorer over valid-step schedules.
+pub struct Explorer {
+    crash_budget: usize,
+    max_depth: usize,
+    memo: HashMap<(u64, usize), ExploreResult>,
+    states_visited: u64,
+}
+
+impl Explorer {
+    /// Creates an explorer allowing up to `crash_budget` crashes and
+    /// searching schedules up to `max_depth` steps long.
+    pub fn new(crash_budget: usize, max_depth: usize) -> Self {
+        Self {
+            crash_budget,
+            max_depth,
+            memo: HashMap::new(),
+            states_visited: 0,
+        }
+    }
+
+    /// States examined so far (diagnostics).
+    pub fn states_visited(&self) -> u64 {
+        self.states_visited
+    }
+
+    /// Explores every schedule from `machine`'s current state.
+    pub fn explore<P>(&mut self, machine: &StepMachine<P>) -> ExploreResult
+    where
+        P: Process + Clone + std::fmt::Debug,
+        P::Msg: Clone + std::fmt::Debug,
+    {
+        self.explore_inner(machine, self.crash_budget, 0)
+    }
+
+    fn explore_inner<P>(
+        &mut self,
+        machine: &StepMachine<P>,
+        crashes_left: usize,
+        depth: usize,
+    ) -> ExploreResult
+    where
+        P: Process + Clone + std::fmt::Debug,
+        P::Msg: Clone + std::fmt::Debug,
+    {
+        self.states_visited += 1;
+        // A decision fixes the branch outcome: for the algorithms under
+        // study agreement holds among deciders, so the first decision
+        // determines the value (the explorer still records multiple
+        // values if an unsafe algorithm produces them).
+        let decided = machine.decided_values();
+        if !decided.is_empty() {
+            return ExploreResult {
+                zero: decided.contains(&0),
+                one: decided.contains(&1),
+                stuck_undecided: false,
+                truncated: false,
+            };
+        }
+        if depth >= self.max_depth {
+            return ExploreResult {
+                truncated: true,
+                ..ExploreResult::default()
+            };
+        }
+        let key = (machine.fingerprint(), crashes_left);
+        if let Some(&cached) = self.memo.get(&key) {
+            return cached;
+        }
+
+        let mut steps = machine.valid_steps();
+        if crashes_left > 0 {
+            for u in 0..machine.len() {
+                if !machine.is_crashed(u) {
+                    steps.push(Step::Crash(u));
+                }
+            }
+        }
+
+        let mut result = ExploreResult::default();
+        if steps.iter().all(|s| matches!(s, Step::Crash(_))) {
+            // No valid non-crash steps: a dead end. Undecided live
+            // nodes mean the adversary won (termination violated).
+            result.stuck_undecided = !machine.all_alive_decided();
+        }
+        for step in steps {
+            let mut next = machine.clone();
+            let left = match step {
+                Step::Crash(_) => crashes_left - 1,
+                _ => crashes_left,
+            };
+            next.apply(step);
+            result.merge(self.explore_inner(&next, left, depth + 1));
+            if result.bivalent() && result.stuck_undecided {
+                break; // nothing more to learn on this branch
+            }
+        }
+        self.memo.insert(key, result);
+        result
+    }
+
+    /// Classifies a configuration's valency.
+    pub fn classify<P>(&mut self, machine: &StepMachine<P>) -> Valency
+    where
+        P: Process + Clone + std::fmt::Debug,
+        P::Msg: Clone + std::fmt::Debug,
+    {
+        let r = self.explore(machine);
+        match (r.zero, r.one) {
+            (true, true) => Valency::Bivalent,
+            (true, false) => Valency::ZeroValent,
+            (false, true) => Valency::OneValent,
+            (false, false) => Valency::Unknown,
+        }
+    }
+}
+
+/// Searches (breadth-first, over crash-free valid-step extensions up to
+/// `max_len`) for an extension `alpha'` of the machine's current state
+/// such that `alpha' . s_u` is still bivalent — the object Lemma 3.1
+/// proves must exist *for any algorithm that solves consensus under one
+/// crash*. Returns the extension's steps, or `None` when no such
+/// extension exists within the horizon: a `None` at a bivalent state is
+/// a *critical configuration*, certifying (by the lemma's
+/// contrapositive) that the algorithm is not 1-crash-tolerant.
+pub fn lemma_3_1_extension<P>(
+    machine: &StepMachine<P>,
+    u: usize,
+    crash_budget: usize,
+    max_len: usize,
+    classify_depth: usize,
+) -> Option<Vec<Step>>
+where
+    P: Process + Clone + std::fmt::Debug,
+    P::Msg: Clone + std::fmt::Debug,
+{
+    let mut frontier: Vec<(StepMachine<P>, Vec<Step>)> = vec![(machine.clone(), Vec::new())];
+    for _ in 0..=max_len {
+        let mut next_frontier = Vec::new();
+        for (state, path) in frontier {
+            // Does appending u's next valid step keep bivalence?
+            if let Some(su) = state.next_step_of(u) {
+                let mut probe = state.clone();
+                probe.apply(su);
+                let mut explorer = Explorer::new(crash_budget, classify_depth);
+                if explorer.classify(&probe) == Valency::Bivalent {
+                    return Some(path);
+                }
+            }
+            for step in state.valid_steps() {
+                let mut next = state.clone();
+                next.apply(step);
+                let mut p = path.clone();
+                p.push(step);
+                next_frontier.push((next, p));
+            }
+        }
+        frontier = next_frontier;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amacl_core::two_phase::TwoPhase;
+
+    fn machine(inputs: &[Value]) -> StepMachine<TwoPhase> {
+        StepMachine::new(inputs.iter().map(|&v| TwoPhase::new(v)).collect())
+    }
+
+    #[test]
+    fn uniform_configs_are_univalent() {
+        let mut ex = Explorer::new(1, 60);
+        assert_eq!(ex.classify(&machine(&[0, 0])), Valency::ZeroValent);
+        let mut ex = Explorer::new(1, 60);
+        assert_eq!(ex.classify(&machine(&[1, 1])), Valency::OneValent);
+    }
+
+    #[test]
+    fn mixed_config_is_bivalent_with_one_crash() {
+        // The FLP-style starting point: with a single crash allowed,
+        // the (0, 1) configuration can go either way.
+        let mut ex = Explorer::new(1, 80);
+        assert_eq!(ex.classify(&machine(&[0, 1])), Valency::Bivalent);
+    }
+
+    #[test]
+    fn crash_free_schedules_always_terminate_with_agreement() {
+        // Budget 0: two-phase is correct, so no schedule gets stuck and
+        // values never conflict per-branch.
+        let mut ex = Explorer::new(0, 120);
+        let r = ex.explore(&machine(&[0, 1]));
+        assert!(!r.stuck_undecided, "crash-free schedules all terminate");
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn one_crash_can_strand_a_live_node() {
+        // The termination loss Theorem 3.2 predicts: with one crash the
+        // adversary can leave a non-crashed node undecided forever.
+        let mut ex = Explorer::new(1, 120);
+        let r = ex.explore(&machine(&[0, 1]));
+        assert!(r.stuck_undecided, "a crash schedule strands a live node");
+        assert!(r.bivalent());
+    }
+
+    #[test]
+    fn three_node_mixed_config_is_bivalent() {
+        let mut ex = Explorer::new(1, 200);
+        let r = ex.explore(&machine(&[0, 1, 1]));
+        assert!(r.bivalent(), "{r:?}");
+    }
+
+    #[test]
+    fn two_phase_has_critical_configurations() {
+        // Lemma 3.1 says: for an algorithm that SOLVES consensus under
+        // one crash, bivalence can always be extended past any node's
+        // next step. Its contrapositive is checkable: Two-Phase
+        // Consensus has a *critical* configuration — a bivalent state
+        // where some node's next step forces univalence along every
+        // extension — therefore Two-Phase cannot be 1-crash-tolerant
+        // (and indeed `one_crash_can_strand_a_live_node` shows the
+        // termination loss directly).
+        let m = machine(&[0, 1]);
+        let mut ex = Explorer::new(1, 80);
+        assert_eq!(ex.classify(&m), Valency::Bivalent);
+        let critical_node = (0..2)
+            .find(|&u| lemma_3_1_extension(&m, u, 1, 8, 80).is_none());
+        assert!(
+            critical_node.is_some(),
+            "every node had a Lemma 3.1 extension — two-phase would be 1-crash-tolerant"
+        );
+    }
+
+    #[test]
+    fn critical_step_forces_univalence() {
+        // Pin down one critical configuration concretely: after node
+        // 0's phase-1 message is delivered, the state is bivalent, but
+        // node 1's next step (delivering phase1(1) to node 0) makes it
+        // 1-valent, and node 0's next step (its phase-1 ack, fixing
+        // status decided(0)) makes it 0-valent.
+        let mut m = machine(&[0, 1]);
+        m.apply(Step::Deliver(0));
+        let mut ex = Explorer::new(1, 80);
+        assert_eq!(ex.classify(&m), Valency::Bivalent);
+
+        let mut after_s1 = m.clone();
+        after_s1.apply(after_s1.next_step_of(1).unwrap());
+        let mut ex = Explorer::new(1, 80);
+        assert_eq!(ex.classify(&after_s1), Valency::OneValent);
+
+        let mut after_s0 = m.clone();
+        after_s0.apply(after_s0.next_step_of(0).unwrap());
+        let mut ex = Explorer::new(1, 80);
+        assert_eq!(ex.classify(&after_s0), Valency::ZeroValent);
+    }
+
+    #[test]
+    fn explorer_memoization_is_effective() {
+        let mut ex = Explorer::new(1, 80);
+        ex.explore(&machine(&[0, 1]));
+        let visited = ex.states_visited();
+        assert!(visited > 0);
+        // Exploring again reuses the memo (only the root is re-visited).
+        ex.explore(&machine(&[0, 1]));
+        assert!(ex.states_visited() < visited * 2 + 10);
+    }
+}

@@ -1,0 +1,96 @@
+//! A concrete crash schedule that defeats Two-Phase Consensus
+//! (Theorem 3.2 made tangible).
+//!
+//! The impossibility proof is abstract; this module exhibits the
+//! failure directly. Node 0 (input 0) races through phase 1, chooses
+//! status `decided(0)`, and **crashes at the instant its phase-2
+//! broadcast starts** — delivering it to nobody. Node 1 has already
+//! heard node 0's phase-1 message, so node 0 is on node 1's witness
+//! list, and node 1 waits forever for a phase-2 message that will never
+//! come: termination is lost, exactly the property the paper proves no
+//! deterministic algorithm can preserve under one crash.
+
+use amacl_core::two_phase::TwoPhase;
+use amacl_core::verify::{check_consensus, ConsensusCheck};
+use amacl_model::prelude::*;
+
+/// Outcome of the crash demonstration.
+#[derive(Clone, Debug)]
+pub struct CrashDemoOutcome {
+    /// The run with the crash: expected to end `Quiescent` with node 1
+    /// undecided.
+    pub with_crash: ConsensusCheck,
+    /// Whether the crashed run ended quiescent (nothing left to do,
+    /// yet not everyone decided).
+    pub with_crash_quiescent: bool,
+    /// The same schedule without the crash: expected clean consensus.
+    pub without_crash: ConsensusCheck,
+}
+
+/// The scripted schedule: node 0 fast, node 1's first broadcast slow
+/// (so node 1 sees node 0's value before choosing its status).
+fn schedule() -> ScriptedScheduler {
+    ScriptedScheduler::new(1)
+        .delay(Slot(0), 0, 1)
+        .delay(Slot(0), 1, 1)
+        .delay(Slot(1), 0, 3)
+        .delay(Slot(1), 1, 1)
+}
+
+/// Runs the demonstration.
+pub fn run_crash_demo() -> CrashDemoOutcome {
+    let inputs = [0u64, 1];
+
+    let run = |crashes: CrashPlan| -> (RunReport, bool) {
+        let mut sim = SimBuilder::new(Topology::clique(2), |s| TwoPhase::new(inputs[s.index()]))
+            .scheduler(schedule())
+            .crashes(crashes)
+            .build();
+        let report = sim.run();
+        let quiescent = report.outcome == RunOutcome::Quiescent;
+        (report, quiescent)
+    };
+
+    // Crash node 0 during its second broadcast (phase 2), before any
+    // delivery.
+    let crash = CrashPlan::new(vec![CrashSpec::MidBroadcast {
+        slot: Slot(0),
+        nth_broadcast: 1,
+        delivered: 0,
+    }]);
+    let (crashed_report, with_crash_quiescent) = run(crash);
+    let with_crash = check_consensus(&inputs, &crashed_report, &[true, false]);
+
+    let (clean_report, _) = run(CrashPlan::none());
+    let without_crash = check_consensus(&inputs, &clean_report, &[]);
+
+    CrashDemoOutcome {
+        with_crash,
+        with_crash_quiescent,
+        without_crash,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_strands_the_survivor() {
+        let out = run_crash_demo();
+        assert!(
+            !out.with_crash.termination,
+            "node 1 should wait forever for the dead witness"
+        );
+        assert!(out.with_crash_quiescent, "nothing left to deliver");
+        // Safety is intact — nobody decided wrongly, nobody decided at all.
+        assert!(out.with_crash.agreement && out.with_crash.validity);
+    }
+
+    #[test]
+    fn same_schedule_without_crash_is_clean() {
+        let out = run_crash_demo();
+        out.without_crash.assert_ok();
+        assert_eq!(out.without_crash.decided, Some(0));
+    }
+}

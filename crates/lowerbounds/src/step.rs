@@ -1,0 +1,353 @@
+//! The valid-step machine of Section 3.1.
+//!
+//! The FLP generalization defines a *step* of node `u` as either (a)
+//! some node `v != u` receiving `u`'s current message, or (b) `u`
+//! receiving the ack for its current message. A step is **valid** when
+//! deliveries happen in a fixed node order (the smallest non-crashed
+//! node that has not yet received the message goes next) and acks only
+//! fire once every non-crashed neighbor has received the message.
+//! Restricting to valid steps picks out one well-behaved scheduler per
+//! choice sequence, which is all the proof needs — and it makes the
+//! schedule space small enough to explore exhaustively.
+//!
+//! [`StepMachine`] executes any [`Process`] over a single-hop network
+//! under exactly these semantics, one step at a time, with optional
+//! crash steps (a crashed node takes no further steps and its in-flight
+//! message is never delivered further — the mid-broadcast partial
+//! delivery the model allows).
+
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+
+use amacl_model::ids::NodeId;
+use amacl_model::prelude::*;
+use amacl_model::proc::NodeCell;
+
+/// One step of the valid-step semantics.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Step {
+    /// Deliver node `u`'s current message to the smallest non-crashed
+    /// node that has not yet received it (a type-(a) step of `u`).
+    Deliver(usize),
+    /// Acknowledge node `u`'s current message (a type-(b) step of `u`,
+    /// valid only once all non-crashed peers have received it).
+    Ack(usize),
+    /// Crash node `u` (the adversary's move; consumes one unit of the
+    /// crash budget).
+    Crash(usize),
+}
+
+/// A single-hop valid-step executor.
+///
+/// `P` must be `Clone` (the explorer forks states) and `Debug` (global
+/// states are fingerprinted via their debug representation, which is
+/// deterministic for the `BTree`-based algorithm states used here).
+pub struct StepMachine<P: Process + Clone + std::fmt::Debug> {
+    procs: Vec<P>,
+    cells: Vec<NodeCell<P::Msg>>,
+    ids: Vec<NodeId>,
+    outstanding: Vec<Option<P::Msg>>,
+    delivered: Vec<BTreeSet<usize>>,
+    crashed: Vec<bool>,
+    steps_taken: u64,
+}
+
+impl<P> Clone for StepMachine<P>
+where
+    P: Process + Clone + std::fmt::Debug,
+    P::Msg: Clone,
+{
+    fn clone(&self) -> Self {
+        // NodeCell is not Clone (it owns an RNG); rebuild cells with
+        // deterministic seeds and copy the observable state. Only
+        // deterministic algorithms are explored, so the RNG state is
+        // irrelevant.
+        let mut cells: Vec<NodeCell<P::Msg>> = (0..self.procs.len())
+            .map(|i| NodeCell::new(i as u64))
+            .collect();
+        for (i, cell) in cells.iter_mut().enumerate() {
+            cell.decision = self.cells[i].decision;
+            cell.ts_seq = self.cells[i].ts_seq;
+            cell.busy_discards = self.cells[i].busy_discards;
+        }
+        Self {
+            procs: self.procs.clone(),
+            cells,
+            ids: self.ids.clone(),
+            outstanding: self.outstanding.clone(),
+            delivered: self.delivered.clone(),
+            crashed: self.crashed.clone(),
+            steps_taken: self.steps_taken,
+        }
+    }
+}
+
+impl<P> StepMachine<P>
+where
+    P: Process + Clone + std::fmt::Debug,
+    P::Msg: Clone + std::fmt::Debug,
+{
+    /// Builds a machine over a clique of `procs.len()` nodes (ids equal
+    /// to indices) and runs every `on_start`, collecting initial
+    /// broadcasts.
+    pub fn new(mut procs: Vec<P>) -> Self {
+        let n = procs.len();
+        assert!(n >= 2, "step semantics need at least two nodes");
+        let ids: Vec<NodeId> = (0..n).map(|i| NodeId(i as u64)).collect();
+        let mut cells: Vec<NodeCell<P::Msg>> =
+            (0..n).map(|i| NodeCell::new(i as u64)).collect();
+        let mut outstanding: Vec<Option<P::Msg>> = vec![None; n];
+        for i in 0..n {
+            let mut ctx = cells[i].ctx(ids[i], Time::ZERO, false);
+            procs[i].on_start(&mut ctx);
+            outstanding[i] = cells[i].outbox.take();
+        }
+        Self {
+            procs,
+            cells,
+            ids,
+            outstanding,
+            delivered: vec![BTreeSet::new(); n],
+            crashed: vec![false; n],
+            steps_taken: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// `true` if the machine has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// The process at `slot`, for state inspection.
+    pub fn process(&self, slot: usize) -> &P {
+        &self.procs[slot]
+    }
+
+    /// Whether `slot` has crashed.
+    pub fn is_crashed(&self, slot: usize) -> bool {
+        self.crashed[slot]
+    }
+
+    /// Decisions so far.
+    pub fn decisions(&self) -> Vec<Option<Value>> {
+        self.cells.iter().map(|c| c.decision.map(|d| d.value)).collect()
+    }
+
+    /// Distinct decided values.
+    pub fn decided_values(&self) -> BTreeSet<Value> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.decision.map(|d| d.value))
+            .collect()
+    }
+
+    /// `true` when every non-crashed node has decided.
+    pub fn all_alive_decided(&self) -> bool {
+        (0..self.len()).all(|i| self.crashed[i] || self.cells[i].decision.is_some())
+    }
+
+    /// Steps taken so far (the machine's logical clock).
+    pub fn steps_taken(&self) -> u64 {
+        self.steps_taken
+    }
+
+    /// The pending recipient for `u`'s current message: the smallest
+    /// non-crashed other node that has not yet received it.
+    fn next_recipient(&self, u: usize) -> Option<usize> {
+        self.outstanding[u].as_ref()?;
+        (0..self.len())
+            .find(|&v| v != u && !self.crashed[v] && !self.delivered[u].contains(&v))
+    }
+
+    /// The valid non-crash steps available now: for each non-crashed
+    /// node with a current message, either its next delivery or (once
+    /// fully delivered) its ack.
+    pub fn valid_steps(&self) -> Vec<Step> {
+        let mut steps = Vec::new();
+        for u in 0..self.len() {
+            if self.crashed[u] || self.outstanding[u].is_none() {
+                continue;
+            }
+            match self.next_recipient(u) {
+                Some(_) => steps.push(Step::Deliver(u)),
+                None => steps.push(Step::Ack(u)),
+            }
+        }
+        steps
+    }
+
+    /// The next valid non-crash step *of node `u`*, if it has one.
+    pub fn next_step_of(&self, u: usize) -> Option<Step> {
+        if self.crashed[u] || self.outstanding[u].is_none() {
+            return None;
+        }
+        Some(match self.next_recipient(u) {
+            Some(_) => Step::Deliver(u),
+            None => Step::Ack(u),
+        })
+    }
+
+    /// Applies a step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step is not currently valid.
+    pub fn apply(&mut self, step: Step) {
+        self.steps_taken += 1;
+        let now = Time(self.steps_taken);
+        match step {
+            Step::Deliver(u) => {
+                let v = self
+                    .next_recipient(u)
+                    .expect("Deliver step requires a pending recipient");
+                let msg = self.outstanding[u].clone().expect("current message");
+                self.delivered[u].insert(v);
+                let busy = self.outstanding[v].is_some();
+                let mut ctx = self.cells[v].ctx(self.ids[v], now, busy);
+                self.procs[v].on_receive(msg, &mut ctx);
+                if let Some(m) = self.cells[v].outbox.take() {
+                    debug_assert!(self.outstanding[v].is_none());
+                    self.outstanding[v] = Some(m);
+                    self.delivered[v].clear();
+                }
+            }
+            Step::Ack(u) => {
+                assert!(
+                    self.next_recipient(u).is_none() && self.outstanding[u].is_some(),
+                    "Ack step requires full delivery"
+                );
+                self.outstanding[u] = None;
+                self.delivered[u].clear();
+                let mut ctx = self.cells[u].ctx(self.ids[u], now, false);
+                self.procs[u].on_ack(&mut ctx);
+                if let Some(m) = self.cells[u].outbox.take() {
+                    self.outstanding[u] = Some(m);
+                }
+            }
+            Step::Crash(u) => {
+                assert!(!self.crashed[u], "node already crashed");
+                self.crashed[u] = true;
+                // The in-flight message (if any) is frozen: remaining
+                // nodes never receive it — mid-broadcast partial
+                // delivery.
+            }
+        }
+    }
+
+    /// A deterministic fingerprint of the full global state, for
+    /// memoized exploration.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for i in 0..self.len() {
+            format!("{:?}", self.procs[i]).hash(&mut h);
+            format!("{:?}", self.outstanding[i]).hash(&mut h);
+            self.delivered[i].iter().for_each(|v| v.hash(&mut h));
+            0xFFu8.hash(&mut h);
+            self.crashed[i].hash(&mut h);
+            self.cells[i].decision.map(|d| d.value).hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amacl_core::two_phase::{TpStage, TwoPhase};
+
+    fn machine(inputs: &[Value]) -> StepMachine<TwoPhase> {
+        StepMachine::new(inputs.iter().map(|&v| TwoPhase::new(v)).collect())
+    }
+
+    #[test]
+    fn initial_steps_are_deliveries() {
+        let m = machine(&[0, 1]);
+        assert_eq!(m.valid_steps(), vec![Step::Deliver(0), Step::Deliver(1)]);
+        assert_eq!(m.next_step_of(0), Some(Step::Deliver(0)));
+    }
+
+    #[test]
+    fn delivery_then_ack_ordering() {
+        let mut m = machine(&[0, 1]);
+        // Deliver node 0's phase-1 message to node 1.
+        m.apply(Step::Deliver(0));
+        // Now node 0's message is fully delivered: its next step is the ack.
+        assert_eq!(m.next_step_of(0), Some(Step::Ack(0)));
+        m.apply(Step::Ack(0));
+        // Node 0 moved to phase 2 and has a new message outstanding.
+        assert_eq!(m.process(0).stage(), TpStage::Phase2);
+        assert_eq!(m.next_step_of(0), Some(Step::Deliver(0)));
+    }
+
+    #[test]
+    fn round_robin_valid_steps_reach_decision() {
+        let mut m = machine(&[0, 1, 1]);
+        let mut guard = 0;
+        while !m.all_alive_decided() {
+            let steps = m.valid_steps();
+            assert!(!steps.is_empty(), "live nodes must have steps");
+            for s in steps {
+                m.apply(s);
+            }
+            guard += 1;
+            assert!(guard < 1000, "execution should terminate");
+        }
+        assert_eq!(m.decided_values().len(), 1, "agreement under valid steps");
+    }
+
+    #[test]
+    fn smallest_node_receives_first() {
+        let mut m = machine(&[1, 0, 0]);
+        // Node 2's message goes to node 0 before node 1.
+        m.apply(Step::Deliver(2));
+        assert!(m.process(0).stage() == TpStage::Phase1);
+        // Still one recipient pending (node 1), so no ack yet.
+        assert_eq!(m.next_step_of(2), Some(Step::Deliver(2)));
+        m.apply(Step::Deliver(2));
+        assert_eq!(m.next_step_of(2), Some(Step::Ack(2)));
+    }
+
+    #[test]
+    fn crash_freezes_in_flight_message() {
+        let mut m = machine(&[0, 1, 1]);
+        m.apply(Step::Deliver(0)); // node 1 got node 0's phase-1 msg
+        m.apply(Step::Crash(0)); // node 0 dies mid-broadcast
+        assert!(m.is_crashed(0));
+        // Node 0 has no further steps; node 2 never receives its message.
+        assert_eq!(m.next_step_of(0), None);
+        assert!(!m.valid_steps().contains(&Step::Deliver(0)));
+    }
+
+    #[test]
+    fn crashed_recipients_are_skipped() {
+        let mut m = machine(&[0, 1, 1]);
+        m.apply(Step::Crash(0));
+        // Node 1's message now only needs node 2 (node 0 is crashed).
+        m.apply(Step::Deliver(1));
+        assert_eq!(m.next_step_of(1), Some(Step::Ack(1)));
+    }
+
+    #[test]
+    fn fingerprints_distinguish_states() {
+        let m1 = machine(&[0, 1]);
+        let m2 = machine(&[1, 1]);
+        assert_ne!(m1.fingerprint(), m2.fingerprint());
+        let mut m3 = machine(&[0, 1]);
+        assert_eq!(m1.fingerprint(), m3.fingerprint());
+        m3.apply(Step::Deliver(0));
+        assert_ne!(m1.fingerprint(), m3.fingerprint());
+    }
+
+    #[test]
+    fn clone_preserves_state() {
+        let mut m = machine(&[0, 1]);
+        m.apply(Step::Deliver(0));
+        let c = m.clone();
+        assert_eq!(m.fingerprint(), c.fingerprint());
+    }
+}

@@ -1,0 +1,153 @@
+//! Theorem 3.10, executably: consensus takes `Ω(D * F_ack)` time.
+//!
+//! Under the max-delay adversary (every broadcast takes the full
+//! `F_ack`), information travels one hop per `F_ack` ticks. On a line
+//! of diameter `D`, an endpoint that decides before
+//! `floor(D/2) * F_ack` has decided without any influence from the far
+//! half — so splitting the inputs 0/1 across the halves forces a
+//! disagreement (the partition argument).
+//!
+//! Two demonstrations:
+//!
+//! * [`earliest_decision`] — runs *correct* algorithms (wPAXOS, flood
+//!   gather) on the line under the adversary and confirms nobody ever
+//!   decides before the bound.
+//! * [`partition_violation`] — runs an algorithm that *does* decide
+//!   early (anonymous flooding with too few rounds) and exhibits the
+//!   agreement violation the bound predicts.
+
+use amacl_core::baselines::anonymous_flood::SyncFloodMin;
+use amacl_core::harness::{run_flood_gather, run_wpaxos};
+use amacl_core::verify::{check_consensus, ConsensusCheck};
+use amacl_model::prelude::*;
+
+/// Which correct algorithm to measure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Algorithm {
+    /// wPAXOS with the paper's default configuration.
+    Wpaxos,
+    /// The flood-and-gather baseline.
+    FloodGather,
+}
+
+/// Measurement of one run against the bound.
+#[derive(Clone, Debug)]
+pub struct TimeLbMeasurement {
+    /// Line diameter `D` (the line has `D + 1` nodes).
+    pub diameter: usize,
+    /// The adversary's `F_ack`.
+    pub f_ack: u64,
+    /// The theorem's bound: `floor(D/2) * F_ack` ticks.
+    pub bound: u64,
+    /// Earliest decision across all nodes.
+    pub earliest: u64,
+    /// Latest decision (for the upper-bound side of the story).
+    pub latest: u64,
+    /// The run satisfied consensus.
+    pub ok: bool,
+}
+
+impl TimeLbMeasurement {
+    /// `true` when the earliest decision respects the lower bound.
+    pub fn respects_bound(&self) -> bool {
+        self.earliest >= self.bound
+    }
+}
+
+/// Runs `algorithm` on a line of diameter `d` with split inputs under
+/// the max-delay adversary and measures decision times against the
+/// `floor(D/2) * F_ack` bound.
+pub fn earliest_decision(algorithm: Algorithm, d: usize, f_ack: u64) -> TimeLbMeasurement {
+    let n = d + 1;
+    // Split inputs: the two halves start with different values, the
+    // configuration the partition argument uses.
+    let inputs: Vec<Value> = (0..n).map(|i| if i <= d / 2 { 0 } else { 1 }).collect();
+    let topo = Topology::line(n);
+    let sched = MaxDelayScheduler::new(f_ack);
+    let run = match algorithm {
+        Algorithm::Wpaxos => run_wpaxos(topo, &inputs, sched),
+        Algorithm::FloodGather => run_flood_gather(topo, &inputs, sched),
+    };
+    TimeLbMeasurement {
+        diameter: d,
+        f_ack,
+        bound: (d as u64 / 2) * f_ack,
+        earliest: run
+            .report
+            .min_decision_time()
+            .expect("somebody decided")
+            .ticks(),
+        latest: run.decision_ticks(),
+        ok: run.check.ok(),
+    }
+}
+
+/// Runs the "eager" algorithm — anonymous flooding configured to decide
+/// after only `rounds < floor(D/2)` of its own broadcasts — under the
+/// max-delay adversary with split inputs, and returns the (expected
+/// violated) verdict together with the earliest decision time.
+pub fn partition_violation(d: usize, f_ack: u64, rounds: u64) -> (ConsensusCheck, u64) {
+    assert!(
+        rounds < (d as u64) / 2,
+        "the eager algorithm must decide before the bound"
+    );
+    let n = d + 1;
+    let inputs: Vec<Value> = (0..n).map(|i| if i <= d / 2 { 0 } else { 1 }).collect();
+    let iv = inputs.clone();
+    let mut sim = SimBuilder::new(Topology::line(n), |s| {
+        SyncFloodMin::new(iv[s.index()], rounds)
+    })
+    .scheduler(MaxDelayScheduler::new(f_ack))
+    .build();
+    let report = sim.run();
+    let earliest = report.min_decision_time().expect("decided").ticks();
+    (check_consensus(&inputs, &report, &[]), earliest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wpaxos_respects_the_bound() {
+        for (d, f_ack) in [(4usize, 1u64), (6, 3), (10, 2), (16, 1)] {
+            let m = earliest_decision(Algorithm::Wpaxos, d, f_ack);
+            assert!(m.ok, "D={d} F_ack={f_ack} consensus failed");
+            assert!(
+                m.respects_bound(),
+                "D={d} F_ack={f_ack}: earliest {} < bound {}",
+                m.earliest,
+                m.bound
+            );
+        }
+    }
+
+    #[test]
+    fn flood_gather_respects_the_bound() {
+        for (d, f_ack) in [(4usize, 2u64), (8, 1), (12, 2)] {
+            let m = earliest_decision(Algorithm::FloodGather, d, f_ack);
+            assert!(m.ok, "D={d}");
+            assert!(m.respects_bound(), "earliest {} < bound {}", m.earliest, m.bound);
+        }
+    }
+
+    #[test]
+    fn eager_deciders_get_partitioned() {
+        for (d, f_ack) in [(8usize, 2u64), (12, 1)] {
+            let (check, earliest) = partition_violation(d, f_ack, 2);
+            assert!(
+                !check.agreement,
+                "D={d}: deciding at {earliest} should violate agreement"
+            );
+            assert!(earliest < (d as u64 / 2) * f_ack);
+        }
+    }
+
+    #[test]
+    fn bound_tightens_with_f_ack() {
+        let slow = earliest_decision(Algorithm::Wpaxos, 6, 8);
+        let fast = earliest_decision(Algorithm::Wpaxos, 6, 1);
+        assert!(slow.earliest > fast.earliest);
+        assert!(slow.bound == 8 * fast.bound);
+    }
+}

@@ -1,0 +1,189 @@
+//! Theorem 3.9, executably: without knowledge of `n`, consensus is
+//! impossible in multihop networks — even with unique ids and knowledge
+//! of `D`.
+//!
+//! The construction (Figure 2's `K_D`): two line copies `L_D` and a
+//! tail `L_{D-1}` whose *hub* endpoint touches every copy node. The
+//! semi-synchronous scheduler withholds everything the hub sends into
+//! the copies for `t` steps. During that window a copy node's execution
+//! is **identical** to the same algorithm running alone on a plain line
+//! `L_D` with a uniform input (Lemma 3.8 supplies the `t` by which
+//! those line executions terminate). So copy 1 decides 0, copy 2
+//! decides 1, and agreement dies.
+//!
+//! The victim here is [`IdFloodQuiesce`] — a perfectly reasonable
+//! `n`-free algorithm (unique ids, knows `D`, detects quiescence) that
+//! is provably correct on every line under the synchronous scheduler.
+//! Knowing `n` is exactly what would have saved it: each copy holds
+//! only `D + 1` of the `3D + 2` ids.
+
+use amacl_core::baselines::quiesce::IdFloodQuiesce;
+use amacl_core::verify::{check_consensus, ConsensusCheck};
+use amacl_model::ids::NodeId;
+use amacl_model::prelude::*;
+use amacl_model::sim::engine::{RunOutcome, RunReport};
+use amacl_model::topo::kd::KdNetwork;
+
+/// Result of the Theorem 3.9 demonstration.
+#[derive(Clone, Debug)]
+pub struct UnknownNOutcome {
+    /// Diameter `D` of `K_D` (verified).
+    pub diameter: usize,
+    /// Network size `3D + 2` — which the algorithm never learns.
+    pub n: usize,
+    /// Termination step `t` of the line executions (Lemma 3.8).
+    pub t: u64,
+    /// Per-step state comparisons between the line runs and the `K_D`
+    /// copies.
+    pub states_compared: usize,
+    /// Whether all comparisons matched (the indistinguishability).
+    pub indistinguishable: bool,
+    /// Verdict on the `K_D` execution `beta_D` — agreement is expected
+    /// to be violated.
+    pub beta_d: ConsensusCheck,
+    /// The two decided values of the copies (expected `[0, 1]`).
+    pub copy_decisions: [Option<Value>; 2],
+}
+
+/// Builds the line `L_D` simulation with the given uniform input and
+/// explicit ids (so its states are comparable to a `K_D` copy that was
+/// assigned the same ids).
+fn line_sim(d: usize, b: Value, quiet: u64, ids: Vec<NodeId>) -> Sim<IdFloodQuiesce> {
+    SimBuilder::new(Topology::line(d + 1), move |_| IdFloodQuiesce::new(b, quiet))
+        .ids(ids)
+        .scheduler(SynchronousScheduler::new(1))
+        .message_id_budget(1)
+        .stop_when_all_decided(false)
+        .build()
+}
+
+/// State fingerprint of one `IdFloodQuiesce` node: its full debug
+/// representation (all fields are ordered containers, so this is
+/// deterministic).
+fn state_of(p: &IdFloodQuiesce) -> String {
+    format!("{p:?}")
+}
+
+/// Runs the full demonstration for diameter `D >= 2`.
+pub fn run_unknown_n_demo(diameter: usize) -> UnknownNOutcome {
+    let kd = KdNetwork::new(diameter);
+    let n = kd.topology().len();
+    let quiet = 2 * diameter as u64;
+
+    // Ids for the two copies in K_D (defaults: slot index).
+    let copy_ids: [Vec<NodeId>; 2] = [
+        kd.copy1_slots().iter().map(|s| NodeId(s.index() as u64)).collect(),
+        kd.copy2_slots().iter().map(|s| NodeId(s.index() as u64)).collect(),
+    ];
+
+    // --- Lemma 3.8: discover t from the two line executions (each
+    // with the ids its K_D copy will have).
+    let mut t = 0;
+    for b in 0..2u64 {
+        let mut sim = line_sim(diameter, b, quiet, copy_ids[b as usize].clone());
+        let report = sim.run();
+        assert!(report.all_decided(), "alpha^{b}_D must terminate");
+        t = t.max(report.max_decision_time().expect("decided").ticks());
+    }
+
+    // --- beta_D: K_D with copy 1 all-0, copy 2 all-1, tail arbitrary,
+    // and the semi-synchronous scheduler (hub -> copies cut until t+1).
+    let copy1 = kd.copy1_slots();
+    let copy2 = kd.copy2_slots();
+    let inputs: Vec<Value> = (0..n)
+        .map(|i| {
+            if copy1.contains(&Slot(i)) {
+                0
+            } else if copy2.contains(&Slot(i)) {
+                1
+            } else {
+                (i % 2) as Value
+            }
+        })
+        .collect();
+    let cut_targets: Vec<Slot> = copy1.iter().chain(copy2.iter()).copied().collect();
+    let cut = DirectedCut::new([kd.hub()], cut_targets, Time(t + 1));
+    let iv = inputs.clone();
+    let mut beta = SimBuilder::new(kd.topology().clone(), |s| {
+        IdFloodQuiesce::new(iv[s.index()], quiet)
+    })
+    .scheduler(EdgeDelayScheduler::new(
+        SynchronousScheduler::new(1),
+        vec![cut],
+    ))
+    .message_id_budget(1)
+    .stop_when_all_decided(false)
+    .build();
+
+    // --- Fresh line executions advanced in lockstep with beta_D.
+    let mut lines: Vec<Sim<IdFloodQuiesce>> = (0..2u64)
+        .map(|b| line_sim(diameter, b, quiet, copy_ids[b as usize].clone()))
+        .collect();
+
+    let mut states_compared = 0;
+    let mut indistinguishable = true;
+    for step in 0..=t {
+        beta.run_until(Time(step));
+        for line in lines.iter_mut() {
+            line.run_until(Time(step));
+        }
+        for (c, copies) in [(0usize, &copy1), (1usize, &copy2)] {
+            for (pos, &slot) in copies.iter().enumerate() {
+                states_compared += 1;
+                if state_of(beta.process(slot)) != state_of(lines[c].process(Slot(pos))) {
+                    indistinguishable = false;
+                }
+            }
+        }
+    }
+
+    let copy_decisions = [
+        beta.decisions()[copy1[0].index()].map(|d| d.value),
+        beta.decisions()[copy2[0].index()].map(|d| d.value),
+    ];
+
+    // Run beta_D past the release so the tail settles too.
+    beta.run_until(Time(t + 6 * diameter as u64 + 10));
+    let report = RunReport {
+        outcome: RunOutcome::MaxTime,
+        end_time: beta.now(),
+        decisions: beta.decisions().to_vec(),
+        metrics: beta.metrics().clone(),
+    };
+    let beta_d = check_consensus(&inputs, &report, &[]);
+
+    UnknownNOutcome {
+        diameter,
+        n,
+        t,
+        states_compared,
+        indistinguishable,
+        beta_d,
+        copy_decisions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem_3_9_demonstration_holds() {
+        let out = run_unknown_n_demo(4);
+        assert_eq!(out.n, 14);
+        assert!(out.states_compared > 0);
+        assert!(out.indistinguishable, "copy states diverged from lines");
+        // Copy 1 decided 0, copy 2 decided 1 — inside one network.
+        assert_eq!(out.copy_decisions, [Some(0), Some(1)]);
+        assert!(!out.beta_d.agreement, "expected the violation");
+    }
+
+    #[test]
+    fn violation_persists_across_diameters() {
+        for d in [2usize, 3, 6] {
+            let out = run_unknown_n_demo(d);
+            assert!(out.indistinguishable, "D={d}");
+            assert!(!out.beta_d.agreement, "D={d}");
+        }
+    }
+}

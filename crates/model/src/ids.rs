@@ -1,0 +1,76 @@
+//! Node identity types.
+//!
+//! The model distinguishes between a node's *position* in the topology
+//! (its [`Slot`], an index into the adjacency structure, known only to
+//! the simulator) and its *logical identifier* (its [`NodeId`], the
+//! unique id an algorithm may compare and embed in messages).
+//!
+//! Keeping these separate lets tests check that algorithms do not
+//! depend on any relationship between ids and topology positions, and
+//! lets *anonymous* algorithms simply never consult their [`NodeId`].
+
+use std::fmt;
+
+/// A node's position in the topology graph (simulator-internal).
+///
+/// Slots index the adjacency lists of a [`Topology`](crate::topo::Topology)
+/// and are dense in `0..n`. Algorithms never see slots; they see
+/// [`NodeId`]s.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Slot(pub usize);
+
+impl Slot {
+    /// Returns the underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A node's unique logical identifier.
+///
+/// The paper assumes ids are comparable and that messages may carry at
+/// most a constant number of them (see [`Payload`](crate::msg::Payload)).
+/// Ids are arbitrary `u64`s: the simulator can assign them as a
+/// permutation unrelated to topology positions.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// Returns the raw id value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_ordering_and_display() {
+        assert!(Slot(1) < Slot(2));
+        assert_eq!(Slot(7).to_string(), "s7");
+        assert_eq!(Slot(7).index(), 7);
+    }
+
+    #[test]
+    fn node_id_ordering_and_display() {
+        assert!(NodeId(10) > NodeId(2));
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(NodeId(3).raw(), 3);
+    }
+}

@@ -1,0 +1,77 @@
+//! Message payload accounting.
+//!
+//! The paper restricts messages to carry **at most a constant number of
+//! unique ids** (Section 2). This restriction is what separates the
+//! optimal `O(D * F_ack)` wPAXOS from the naive `O(n * F_ack)` flooding
+//! approach: a bottleneck node relaying `Θ(n)` id/value pairs needs
+//! `Θ(n)` broadcasts if each message holds only `O(1)` of them.
+//!
+//! Every message type used with the simulator implements [`Payload`],
+//! reporting how many node ids it carries. The simulator records the
+//! maximum observed id count and can optionally enforce a hard budget
+//! (see [`SimBuilder::message_id_budget`](crate::sim::engine::SimBuilder::message_id_budget)),
+//! so a test can prove an algorithm honors the model's message-size
+//! restriction rather than merely claiming it.
+
+/// Trait implemented by all message types run through the simulator.
+pub trait Payload {
+    /// Number of node ids carried by this message.
+    ///
+    /// Counts every [`NodeId`](crate::ids::NodeId) (or id-sized field,
+    /// such as the id half of a Paxos proposal number) embedded in the
+    /// message. Constant-size non-id data (bits, counters, hop counts)
+    /// is not counted.
+    fn id_count(&self) -> usize;
+
+    /// Approximate size of the non-id portion of this message in bytes.
+    ///
+    /// Used only for reporting; defaults to zero.
+    fn aux_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl Payload for () {
+    fn id_count(&self) -> usize {
+        0
+    }
+}
+
+impl<T: Payload> Payload for Option<T> {
+    fn id_count(&self) -> usize {
+        self.as_ref().map_or(0, Payload::id_count)
+    }
+
+    fn aux_bytes(&self) -> usize {
+        self.as_ref().map_or(0, Payload::aux_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct TwoIds;
+    impl Payload for TwoIds {
+        fn id_count(&self) -> usize {
+            2
+        }
+        fn aux_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    #[test]
+    fn unit_payload_is_id_free() {
+        assert_eq!(().id_count(), 0);
+        assert_eq!(().aux_bytes(), 0);
+    }
+
+    #[test]
+    fn option_payload_delegates() {
+        assert_eq!(Some(TwoIds).id_count(), 2);
+        assert_eq!(Some(TwoIds).aux_bytes(), 8);
+        assert_eq!(None::<TwoIds>.id_count(), 0);
+    }
+}

@@ -1,0 +1,418 @@
+//! Post-hoc conformance checking: did an execution actually honor the
+//! abstract MAC layer guarantees?
+//!
+//! The engine enforces the model by construction, but "by construction"
+//! is an argument, not a check. [`check_trace`] independently validates
+//! a recorded [`Trace`] against the model's observable contract:
+//!
+//! 1. a node never has two broadcasts in flight (broadcasts and acks
+//!    alternate per sender);
+//! 2. every reliable delivery of a broadcast happens inside its
+//!    `[broadcast, ack]` window;
+//! 3. no neighbor receives the same broadcast twice;
+//! 4. an acked broadcast was delivered to **every** neighbor that was
+//!    non-crashed at ack time;
+//! 5. deliveries only travel along topology edges (or declared
+//!    unreliable overlay edges);
+//! 6. acks arrive within `F_ack` of the broadcast, when a bound is
+//!    supplied;
+//! 7. crashed nodes take no further steps; nodes decide at most once.
+//!
+//! Property tests run the checker over engine traces for every
+//! scheduler and crash plan — a meta-test that the simulator itself is
+//! a sound implementation of the model it claims to implement.
+
+use std::collections::BTreeSet;
+
+use crate::ids::Slot;
+use crate::topo::unreliable::UnreliableOverlay;
+use crate::topo::Topology;
+
+use super::time::Time;
+use super::trace::{Trace, TraceEvent};
+
+/// Result of a conformance check.
+#[derive(Clone, Debug, Default)]
+pub struct ConformanceReport {
+    /// Broadcasts examined.
+    pub broadcasts: u64,
+    /// Reliable deliveries examined.
+    pub deliveries: u64,
+    /// Acks examined.
+    pub acks: u64,
+    /// Human-readable violations, in trace order.
+    pub violations: Vec<String>,
+}
+
+impl ConformanceReport {
+    /// `true` when no violations were found.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics listing the first violations, for use in tests.
+    pub fn assert_ok(&self) {
+        assert!(
+            self.ok(),
+            "model conformance violated ({} issues), first: {}",
+            self.violations.len(),
+            self.violations.first().map(String::as_str).unwrap_or("")
+        );
+    }
+}
+
+/// Per-sender in-flight broadcast bookkeeping.
+struct InFlight {
+    since: Time,
+    delivered: BTreeSet<usize>,
+}
+
+/// Checks a trace against the model contract.
+///
+/// `f_ack`: when `Some`, ack latency is checked against it.
+/// `overlay`: unreliable edges on which spurious (non-window-bound)
+/// deliveries are permitted.
+pub fn check_trace(
+    topo: &Topology,
+    trace: &Trace,
+    f_ack: Option<u64>,
+    overlay: Option<&UnreliableOverlay>,
+) -> ConformanceReport {
+    let n = topo.len();
+    let mut report = ConformanceReport::default();
+    let mut in_flight: Vec<Option<InFlight>> = (0..n).map(|_| None).collect();
+    let mut crashed = vec![false; n];
+    let mut crash_time: Vec<Option<Time>> = vec![None; n];
+    let mut decided = vec![false; n];
+
+    let violate = |violations: &mut Vec<String>, msg: String| {
+        if violations.len() < 64 {
+            violations.push(msg);
+        }
+    };
+
+    for ev in trace.events() {
+        match *ev {
+            TraceEvent::Broadcast { time, slot, .. } => {
+                report.broadcasts += 1;
+                if crashed[slot.0] {
+                    violate(
+                        &mut report.violations,
+                        format!("{time}: crashed node {slot} broadcast"),
+                    );
+                }
+                if in_flight[slot.0].is_some() {
+                    violate(
+                        &mut report.violations,
+                        format!("{time}: {slot} broadcast with one already in flight"),
+                    );
+                }
+                in_flight[slot.0] = Some(InFlight {
+                    since: time,
+                    delivered: BTreeSet::new(),
+                });
+            }
+            TraceEvent::Deliver {
+                time,
+                from,
+                to,
+                unreliable,
+            } => {
+                let on_topo_edge = topo.has_edge(from, to);
+                let on_overlay_edge = overlay.is_some_and(|o| {
+                    o.neighbors(from).contains(&to)
+                });
+                if unreliable {
+                    if !on_overlay_edge {
+                        violate(
+                            &mut report.violations,
+                            format!("{time}: unreliable delivery {from}->{to} off overlay"),
+                        );
+                    }
+                    // Unreliable deliveries have no window obligations.
+                    continue;
+                }
+                report.deliveries += 1;
+                if !on_topo_edge {
+                    violate(
+                        &mut report.violations,
+                        format!("{time}: delivery {from}->{to} without an edge"),
+                    );
+                }
+                match in_flight[from.0].as_mut() {
+                    None => violate(
+                        &mut report.violations,
+                        format!("{time}: delivery {from}->{to} outside any broadcast window"),
+                    ),
+                    Some(fl) => {
+                        if !fl.delivered.insert(to.0) {
+                            violate(
+                                &mut report.violations,
+                                format!("{time}: duplicate delivery {from}->{to}"),
+                            );
+                        }
+                    }
+                }
+                if crashed[to.0] {
+                    violate(
+                        &mut report.violations,
+                        format!("{time}: delivery to crashed node {to}"),
+                    );
+                }
+            }
+            TraceEvent::Ack { time, slot } => {
+                report.acks += 1;
+                if crashed[slot.0] {
+                    violate(
+                        &mut report.violations,
+                        format!("{time}: ack to crashed node {slot}"),
+                    );
+                }
+                match in_flight[slot.0].take() {
+                    None => violate(
+                        &mut report.violations,
+                        format!("{time}: ack for {slot} without a broadcast"),
+                    ),
+                    Some(fl) => {
+                        if let Some(bound) = f_ack {
+                            let latency = time - fl.since;
+                            if latency > bound {
+                                violate(
+                                    &mut report.violations,
+                                    format!(
+                                        "{time}: ack latency {latency} exceeds F_ack {bound} at {slot}"
+                                    ),
+                                );
+                            }
+                        }
+                        for &nbr in topo.neighbors(slot) {
+                            if fl.delivered.contains(&nbr.0) {
+                                continue;
+                            }
+                            // A missing delivery is excused only if the
+                            // neighbor crashed before the ack.
+                            let excused = crashed[nbr.0]
+                                && crash_time[nbr.0].is_some_and(|ct| ct <= time);
+                            if !excused {
+                                violate(
+                                    &mut report.violations,
+                                    format!(
+                                        "{time}: {slot} acked but neighbor {nbr} never received"
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            TraceEvent::Crash { time, slot } => {
+                crashed[slot.0] = true;
+                crash_time[slot.0] = Some(time);
+                in_flight[slot.0] = None; // in-flight broadcast voided
+            }
+            TraceEvent::Decide { time, slot, .. } => {
+                if decided[slot.0] {
+                    violate(
+                        &mut report.violations,
+                        format!("{time}: {slot} decided twice"),
+                    );
+                }
+                decided[slot.0] = true;
+                if crashed[slot.0] {
+                    violate(
+                        &mut report.violations,
+                        format!("{time}: crashed node {slot} decided"),
+                    );
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Convenience wrapper for [`Slot`]-keyed neighbor lookups in tests.
+pub fn neighbors_of(topo: &Topology, s: Slot) -> Vec<Slot> {
+    topo.neighbors(s).to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::trace::Trace;
+
+    fn mk_trace(events: Vec<TraceEvent>) -> Trace {
+        let mut t = Trace::new(true);
+        for e in events {
+            t.push(e);
+        }
+        t
+    }
+
+    fn bcast(t: u64, s: usize) -> TraceEvent {
+        TraceEvent::Broadcast {
+            time: Time(t),
+            slot: Slot(s),
+            ids: 0,
+        }
+    }
+    fn deliver(t: u64, from: usize, to: usize) -> TraceEvent {
+        TraceEvent::Deliver {
+            time: Time(t),
+            from: Slot(from),
+            to: Slot(to),
+            unreliable: false,
+        }
+    }
+    fn ack(t: u64, s: usize) -> TraceEvent {
+        TraceEvent::Ack {
+            time: Time(t),
+            slot: Slot(s),
+        }
+    }
+
+    #[test]
+    fn clean_single_broadcast_passes() {
+        let topo = Topology::line(3);
+        let trace = mk_trace(vec![
+            bcast(0, 1),
+            deliver(1, 1, 0),
+            deliver(2, 1, 2),
+            ack(2, 1),
+        ]);
+        let report = check_trace(&topo, &trace, Some(2), None);
+        report.assert_ok();
+        assert_eq!(report.broadcasts, 1);
+        assert_eq!(report.deliveries, 2);
+        assert_eq!(report.acks, 1);
+    }
+
+    #[test]
+    fn detects_missing_delivery_before_ack() {
+        let topo = Topology::line(3);
+        let trace = mk_trace(vec![bcast(0, 1), deliver(1, 1, 0), ack(2, 1)]);
+        let report = check_trace(&topo, &trace, None, None);
+        assert!(!report.ok());
+        assert!(report.violations[0].contains("never received"));
+    }
+
+    #[test]
+    fn detects_duplicate_delivery() {
+        let topo = Topology::line(2);
+        let trace = mk_trace(vec![bcast(0, 0), deliver(1, 0, 1), deliver(2, 0, 1), ack(2, 0)]);
+        let report = check_trace(&topo, &trace, None, None);
+        assert!(!report.ok());
+        assert!(report.violations[0].contains("duplicate"));
+    }
+
+    #[test]
+    fn detects_delivery_without_edge() {
+        let topo = Topology::line(3); // no edge 0-2
+        let trace = mk_trace(vec![bcast(0, 0), deliver(1, 0, 2), deliver(1, 0, 1), ack(1, 0)]);
+        let report = check_trace(&topo, &trace, None, None);
+        assert!(!report.ok());
+        assert!(report.violations.iter().any(|v| v.contains("without an edge")));
+    }
+
+    #[test]
+    fn detects_double_broadcast_in_flight() {
+        let topo = Topology::line(2);
+        let trace = mk_trace(vec![bcast(0, 0), bcast(1, 0)]);
+        let report = check_trace(&topo, &trace, None, None);
+        assert!(!report.ok());
+        assert!(report.violations[0].contains("already in flight"));
+    }
+
+    #[test]
+    fn detects_f_ack_violation() {
+        let topo = Topology::line(2);
+        let trace = mk_trace(vec![bcast(0, 0), deliver(5, 0, 1), ack(5, 0)]);
+        let report = check_trace(&topo, &trace, Some(3), None);
+        assert!(!report.ok());
+        assert!(report.violations[0].contains("exceeds F_ack"));
+    }
+
+    #[test]
+    fn crash_excuses_missing_delivery() {
+        let topo = Topology::line(3);
+        let trace = mk_trace(vec![
+            bcast(0, 1),
+            deliver(1, 1, 0),
+            TraceEvent::Crash {
+                time: Time(1),
+                slot: Slot(2),
+            },
+            ack(2, 1),
+        ]);
+        let report = check_trace(&topo, &trace, None, None);
+        report.assert_ok();
+    }
+
+    #[test]
+    fn crashed_node_acting_is_flagged() {
+        let topo = Topology::line(2);
+        let trace = mk_trace(vec![
+            TraceEvent::Crash {
+                time: Time(0),
+                slot: Slot(0),
+            },
+            bcast(1, 0),
+        ]);
+        let report = check_trace(&topo, &trace, None, None);
+        assert!(!report.ok());
+        assert!(report.violations[0].contains("crashed node"));
+    }
+
+    #[test]
+    fn double_decision_is_flagged() {
+        let topo = Topology::line(2);
+        let trace = mk_trace(vec![
+            TraceEvent::Decide {
+                time: Time(1),
+                slot: Slot(0),
+                value: 1,
+            },
+            TraceEvent::Decide {
+                time: Time(2),
+                slot: Slot(0),
+                value: 1,
+            },
+        ]);
+        let report = check_trace(&topo, &trace, None, None);
+        assert!(!report.ok());
+        assert!(report.violations[0].contains("decided twice"));
+    }
+
+    #[test]
+    fn unreliable_delivery_requires_overlay_edge() {
+        let topo = Topology::line(3);
+        let overlay = UnreliableOverlay::new(&topo, &[(0, 2)]);
+        let ok_trace = mk_trace(vec![
+            bcast(0, 0),
+            TraceEvent::Deliver {
+                time: Time(1),
+                from: Slot(0),
+                to: Slot(2),
+                unreliable: true,
+            },
+            deliver(1, 0, 1),
+            ack(1, 0),
+        ]);
+        check_trace(&topo, &ok_trace, None, Some(&overlay)).assert_ok();
+
+        let bad_trace = mk_trace(vec![
+            bcast(0, 1),
+            TraceEvent::Deliver {
+                time: Time(1),
+                from: Slot(1),
+                to: Slot(0),
+                unreliable: true,
+            },
+            deliver(1, 1, 0),
+            deliver(1, 1, 2),
+            ack(1, 1),
+        ]);
+        let report = check_trace(&topo, &bad_trace, None, Some(&overlay));
+        assert!(!report.ok());
+        assert!(report.violations[0].contains("off overlay"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Crash-failure injection.
+//!
+//! The model lets the scheduler crash a node at any point, *including
+//! mid-broadcast*: "the timing of the crash is determined by the
+//! scheduler and can happen in the middle of a broadcast (i.e., after
+//! some neighbors have received the message but not all)" (Section 2).
+//! That partial-delivery behavior is exactly what breaks deterministic
+//! consensus (Theorem 3.2), so the simulator supports it precisely.
+
+use crate::ids::Slot;
+
+use super::time::Time;
+
+/// When a node should crash.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CrashSpec {
+    /// Crash at the given virtual time, before any deliveries or acks
+    /// scheduled at that time fire. Deliveries of the node's in-flight
+    /// broadcast that have not yet happened are cancelled.
+    AtTime {
+        /// Node to crash.
+        slot: Slot,
+        /// Crash instant.
+        time: Time,
+    },
+    /// Crash in the middle of the node's `nth` accepted broadcast
+    /// (0-indexed), immediately after exactly `delivered` neighbors
+    /// have received it. With `delivered = 0` the broadcast reaches
+    /// nobody; remaining neighbors never receive the message.
+    MidBroadcast {
+        /// Node to crash.
+        slot: Slot,
+        /// Which of the node's broadcasts (0-indexed, counting accepted
+        /// broadcasts only) to interrupt.
+        nth_broadcast: u64,
+        /// How many neighbor deliveries to allow before the crash.
+        delivered: usize,
+    },
+}
+
+impl CrashSpec {
+    /// The crashing node.
+    pub fn slot(&self) -> Slot {
+        match *self {
+            CrashSpec::AtTime { slot, .. } | CrashSpec::MidBroadcast { slot, .. } => slot,
+        }
+    }
+}
+
+/// A set of scheduled crashes (at most one per node).
+#[derive(Clone, Debug, Default)]
+pub struct CrashPlan {
+    specs: Vec<CrashSpec>,
+}
+
+impl CrashPlan {
+    /// No crashes — the assumption under which the paper's upper
+    /// bounds operate.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Builds a plan from specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two specs name the same node.
+    pub fn new(specs: Vec<CrashSpec>) -> Self {
+        for (i, a) in specs.iter().enumerate() {
+            for b in &specs[i + 1..] {
+                assert_ne!(a.slot(), b.slot(), "duplicate crash for {:?}", a.slot());
+            }
+        }
+        Self { specs }
+    }
+
+    /// Number of scheduled crashes.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` when no crashes are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The scheduled specs.
+    pub fn specs(&self) -> &[CrashSpec] {
+        &self.specs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_accessors() {
+        let plan = CrashPlan::new(vec![
+            CrashSpec::AtTime {
+                slot: Slot(1),
+                time: Time(5),
+            },
+            CrashSpec::MidBroadcast {
+                slot: Slot(2),
+                nth_broadcast: 0,
+                delivered: 1,
+            },
+        ]);
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.specs()[0].slot(), Slot(1));
+        assert!(CrashPlan::none().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate crash")]
+    fn duplicate_node_rejected() {
+        CrashPlan::new(vec![
+            CrashSpec::AtTime {
+                slot: Slot(1),
+                time: Time(5),
+            },
+            CrashSpec::AtTime {
+                slot: Slot(1),
+                time: Time(9),
+            },
+        ]);
+    }
+}

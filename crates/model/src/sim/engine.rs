@@ -1,0 +1,985 @@
+//! The discrete-event execution engine.
+
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::{NodeId, Slot};
+use crate::msg::Payload;
+use crate::proc::{Context, Decision, Process, Value};
+use crate::topo::unreliable::UnreliableOverlay;
+use crate::topo::Topology;
+
+use super::crash::{CrashPlan, CrashSpec};
+use super::event::{BcastId, Event, EventKind};
+use super::sched::random::RandomScheduler;
+use super::sched::Scheduler;
+use super::time::Time;
+use super::trace::{Metrics, Trace, TraceEvent};
+
+/// Why an execution stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// Every non-crashed node has decided.
+    AllDecided,
+    /// No events remain (the algorithm went quiescent without all
+    /// nodes deciding).
+    Quiescent,
+    /// The virtual-time horizon was reached.
+    MaxTime,
+    /// The event-count safety limit was reached.
+    EventLimit,
+}
+
+/// Summary of a completed [`Sim::run`].
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Why the run stopped.
+    pub outcome: RunOutcome,
+    /// Virtual time when it stopped.
+    pub end_time: Time,
+    /// Per-slot decisions (`None` for undecided or crashed-undecided).
+    pub decisions: Vec<Option<Decision>>,
+    /// Aggregate counters.
+    pub metrics: Metrics,
+}
+
+impl RunReport {
+    /// `true` when the run ended with every non-crashed node decided.
+    pub fn all_decided(&self) -> bool {
+        self.outcome == RunOutcome::AllDecided
+    }
+
+    /// The distinct decided values, sorted.
+    pub fn decided_values(&self) -> Vec<Value> {
+        let mut vals: Vec<Value> = self
+            .decisions
+            .iter()
+            .flatten()
+            .map(|d| d.value)
+            .collect();
+        vals.sort_unstable();
+        vals.dedup();
+        vals
+    }
+
+    /// The common decided value, if all deciders agree and at least one
+    /// node decided.
+    pub fn agreement_value(&self) -> Option<Value> {
+        match self.decided_values().as_slice() {
+            [v] => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Latest decision time among deciders.
+    pub fn max_decision_time(&self) -> Option<Time> {
+        self.decisions.iter().flatten().map(|d| d.time).max()
+    }
+
+    /// Earliest decision time among deciders.
+    pub fn min_decision_time(&self) -> Option<Time> {
+        self.decisions.iter().flatten().map(|d| d.time).min()
+    }
+}
+
+/// Builder for a [`Sim`].
+pub struct SimBuilder<P: Process> {
+    topo: Topology,
+    procs: Vec<P>,
+    ids: Vec<NodeId>,
+    scheduler: Box<dyn Scheduler>,
+    crash_plan: CrashPlan,
+    max_time: Time,
+    max_events: u64,
+    stop_when_all_decided: bool,
+    message_id_budget: Option<usize>,
+    trace_enabled: bool,
+    seed: u64,
+    unreliable: Option<(UnreliableOverlay, f64)>,
+}
+
+impl<P: Process> SimBuilder<P> {
+    /// Starts a builder, constructing one process per topology slot via
+    /// `init`.
+    ///
+    /// Defaults: ids equal to slot indices, a seeded
+    /// [`RandomScheduler`] with `F_ack = 8`, no crashes, a large time
+    /// horizon, stop-on-all-decided, no id-budget enforcement, tracing
+    /// off.
+    pub fn new(topo: Topology, mut init: impl FnMut(Slot) -> P) -> Self {
+        let n = topo.len();
+        let procs: Vec<P> = (0..n).map(|i| init(Slot(i))).collect();
+        let ids: Vec<NodeId> = (0..n).map(|i| NodeId(i as u64)).collect();
+        Self {
+            topo,
+            procs,
+            ids,
+            scheduler: Box::new(RandomScheduler::new(8, 0)),
+            crash_plan: CrashPlan::none(),
+            max_time: Time(10_000_000),
+            max_events: 200_000_000,
+            stop_when_all_decided: true,
+            message_id_budget: None,
+            trace_enabled: false,
+            seed: 0,
+            unreliable: None,
+        }
+    }
+
+    /// Sets the message scheduler (the model's adversary).
+    pub fn scheduler(mut self, s: impl Scheduler + 'static) -> Self {
+        self.scheduler = Box::new(s);
+        self
+    }
+
+    /// Assigns custom unique node ids (length must equal `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or duplicate ids.
+    pub fn ids(mut self, ids: Vec<NodeId>) -> Self {
+        assert_eq!(ids.len(), self.topo.len(), "one id per slot");
+        let mut sorted: Vec<_> = ids.iter().map(|i| i.raw()).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "ids must be unique");
+        self.ids = ids;
+        self
+    }
+
+    /// Schedules crash failures.
+    pub fn crashes(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
+    }
+
+    /// Sets the virtual-time horizon.
+    pub fn max_time(mut self, t: Time) -> Self {
+        self.max_time = t;
+        self
+    }
+
+    /// Sets the event-count safety limit.
+    pub fn max_events(mut self, n: u64) -> Self {
+        self.max_events = n;
+        self
+    }
+
+    /// Whether [`Sim::run`] stops as soon as all non-crashed nodes have
+    /// decided (default `true`).
+    pub fn stop_when_all_decided(mut self, stop: bool) -> Self {
+        self.stop_when_all_decided = stop;
+        self
+    }
+
+    /// Enforces the model's `O(1)`-ids-per-message restriction: any
+    /// broadcast whose [`Payload::id_count`] exceeds `budget` panics.
+    pub fn message_id_budget(mut self, budget: usize) -> Self {
+        self.message_id_budget = Some(budget);
+        self
+    }
+
+    /// Enables event tracing.
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace_enabled = enabled;
+        self
+    }
+
+    /// Seeds per-node randomness and unreliable-overlay sampling.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds an unreliable-link overlay: each broadcast is additionally
+    /// delivered over each overlay edge with probability `p`, at an
+    /// arbitrary time within the `F_ack` window, without the ack ever
+    /// waiting for it (the dual-graph model variant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn unreliable(mut self, overlay: UnreliableOverlay, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.unreliable = Some((overlay, p));
+        self
+    }
+
+    /// Builds the simulator (processes have not started yet; the first
+    /// call to [`Sim::run`] or [`Sim::run_until`] starts them).
+    pub fn build(self) -> Sim<P> {
+        let n = self.topo.len();
+        let mut crashed = vec![false; n];
+        let mut heap = BinaryHeap::new();
+        let mut event_seq = 0u64;
+        let mut watches_by_slot: HashMap<usize, (u64, usize)> = HashMap::new();
+        let mut undecided = n;
+        for spec in self.crash_plan.specs() {
+            match *spec {
+                CrashSpec::AtTime { slot, time } => {
+                    if time == Time::ZERO {
+                        crashed[slot.0] = true;
+                        undecided -= 1;
+                    } else {
+                        heap.push(Event {
+                            time,
+                            seq: event_seq,
+                            kind: EventKind::Crash { node: slot },
+                        });
+                        event_seq += 1;
+                    }
+                }
+                CrashSpec::MidBroadcast {
+                    slot,
+                    nth_broadcast,
+                    delivered,
+                } => {
+                    watches_by_slot.insert(slot.0, (nth_broadcast, delivered));
+                }
+            }
+        }
+        let rngs: Vec<SmallRng> = (0..n)
+            .map(|i| {
+                SmallRng::seed_from_u64(
+                    self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+                )
+            })
+            .collect();
+        let metrics = Metrics::new(n);
+        Sim {
+            topo: self.topo,
+            procs: self.procs,
+            ids: self.ids,
+            scheduler: self.scheduler,
+            heap,
+            now: Time::ZERO,
+            started: false,
+            event_seq,
+            bcast_seq: 0,
+            messages: HashMap::new(),
+            cancelled: HashMap::new(),
+            outstanding: vec![None; n],
+            bcast_counters: vec![0; n],
+            watches_by_slot,
+            active_watches: HashMap::new(),
+            crashed,
+            decisions: vec![None; n],
+            ts_seqs: vec![0; n],
+            rngs,
+            engine_rng: SmallRng::seed_from_u64(self.seed.wrapping_add(0xA5A5_5A5A)),
+            undecided,
+            max_time: self.max_time,
+            max_events: self.max_events,
+            stop_when_all_decided: self.stop_when_all_decided,
+            message_id_budget: self.message_id_budget,
+            trace: Trace::new(self.trace_enabled),
+            metrics,
+            unreliable: self.unreliable,
+        }
+    }
+}
+
+/// A running (or runnable) simulation.
+pub struct Sim<P: Process> {
+    topo: Topology,
+    procs: Vec<P>,
+    ids: Vec<NodeId>,
+    scheduler: Box<dyn Scheduler>,
+    heap: BinaryHeap<Event>,
+    now: Time,
+    started: bool,
+    event_seq: u64,
+    bcast_seq: u64,
+    /// In-flight message payloads with a reference count of pending
+    /// heap events; dropped when the count reaches zero.
+    messages: HashMap<u64, (P::Msg, usize)>,
+    /// Broadcasts cancelled by a sender crash.
+    cancelled: HashMap<u64, ()>,
+    outstanding: Vec<Option<BcastId>>,
+    bcast_counters: Vec<u64>,
+    /// MidBroadcast specs not yet armed: slot -> (nth broadcast, deliveries allowed).
+    watches_by_slot: HashMap<usize, (u64, usize)>,
+    /// Armed mid-broadcast watches: bcast id -> deliveries remaining
+    /// before the sender crashes.
+    active_watches: HashMap<u64, usize>,
+    crashed: Vec<bool>,
+    decisions: Vec<Option<Decision>>,
+    ts_seqs: Vec<u64>,
+    rngs: Vec<SmallRng>,
+    engine_rng: SmallRng,
+    undecided: usize,
+    max_time: Time,
+    max_events: u64,
+    stop_when_all_decided: bool,
+    message_id_budget: Option<usize>,
+    trace: Trace,
+    metrics: Metrics,
+    unreliable: Option<(UnreliableOverlay, f64)>,
+}
+
+impl<P: Process> Sim<P> {
+    /// The topology under simulation.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The id assigned to `slot`.
+    pub fn id_of(&self, slot: Slot) -> NodeId {
+        self.ids[slot.0]
+    }
+
+    /// Immutable access to a process (for state inspection between
+    /// [`Sim::run_until`] calls, e.g. indistinguishability checks).
+    pub fn process(&self, slot: Slot) -> &P {
+        &self.procs[slot.0]
+    }
+
+    /// Whether `slot` has crashed.
+    pub fn is_crashed(&self, slot: Slot) -> bool {
+        self.crashed[slot.0]
+    }
+
+    /// Per-slot decisions so far.
+    pub fn decisions(&self) -> &[Option<Decision>] {
+        &self.decisions
+    }
+
+    /// Counters so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The event trace (empty unless enabled at build time).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// `true` when every non-crashed node has decided.
+    pub fn all_alive_decided(&self) -> bool {
+        self.undecided == 0
+    }
+
+    /// Runs to completion and reports.
+    pub fn run(&mut self) -> RunReport {
+        let outcome = self.run_inner(None);
+        RunReport {
+            outcome,
+            end_time: self.now,
+            decisions: self.decisions.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Processes all events up to and including virtual time `until`,
+    /// ignoring the stop-on-all-decided rule (used for lockstep
+    /// inspection of executions).
+    pub fn run_until(&mut self, until: Time) -> RunOutcome {
+        let saved = self.stop_when_all_decided;
+        self.stop_when_all_decided = false;
+        let outcome = self.run_inner(Some(until));
+        self.stop_when_all_decided = saved;
+        if self.now < until {
+            self.now = until;
+        }
+        outcome
+    }
+
+    fn run_inner(&mut self, until: Option<Time>) -> RunOutcome {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.topo.len() {
+                if !self.crashed[i] {
+                    self.dispatch(Slot(i), |p, ctx| p.on_start(ctx));
+                }
+            }
+        }
+        loop {
+            if self.stop_when_all_decided && self.undecided == 0 {
+                return RunOutcome::AllDecided;
+            }
+            let Some(next_time) = self.heap.peek().map(|e| e.time) else {
+                return if self.undecided == 0 {
+                    RunOutcome::AllDecided
+                } else {
+                    RunOutcome::Quiescent
+                };
+            };
+            if let Some(limit) = until {
+                if next_time > limit {
+                    return RunOutcome::MaxTime;
+                }
+            }
+            if next_time > self.max_time {
+                return RunOutcome::MaxTime;
+            }
+            if self.metrics.events >= self.max_events {
+                return RunOutcome::EventLimit;
+            }
+            let ev = self.heap.pop().expect("peeked");
+            self.now = ev.time;
+            self.metrics.events += 1;
+            match ev.kind {
+                EventKind::Crash { node } => self.handle_crash(node),
+                EventKind::Receive {
+                    to,
+                    from,
+                    bcast,
+                    unreliable,
+                } => self.handle_receive(to, from, bcast, unreliable),
+                EventKind::Ack { node, bcast } => self.handle_ack(node, bcast),
+            }
+        }
+    }
+
+    fn handle_crash(&mut self, node: Slot) {
+        if self.crashed[node.0] {
+            return;
+        }
+        self.crashed[node.0] = true;
+        self.metrics.crashes += 1;
+        self.trace.push(TraceEvent::Crash {
+            time: self.now,
+            slot: node,
+        });
+        if self.decisions[node.0].is_none() {
+            self.undecided -= 1;
+        }
+        if let Some(BcastId(b)) = self.outstanding[node.0] {
+            self.cancelled.insert(b, ());
+        }
+    }
+
+    fn handle_receive(&mut self, to: Slot, from: Slot, bcast: BcastId, unreliable: bool) {
+        let msg = {
+            let entry = self
+                .messages
+                .get_mut(&bcast.0)
+                .expect("message for pending delivery");
+            entry.1 -= 1;
+            let msg = entry.0.clone();
+            if entry.1 == 0 {
+                self.messages.remove(&bcast.0);
+            }
+            msg
+        };
+        if self.cancelled.contains_key(&bcast.0) || self.crashed[to.0] {
+            return;
+        }
+        self.metrics.deliveries += u64::from(!unreliable);
+        self.metrics.unreliable_deliveries += u64::from(unreliable);
+        self.trace.push(TraceEvent::Deliver {
+            time: self.now,
+            from,
+            to,
+            unreliable,
+        });
+        self.dispatch(to, |p, ctx| p.on_receive(msg, ctx));
+        // Mid-broadcast crash: the sender dies immediately after this
+        // delivery; the rest of the broadcast never happens.
+        if !unreliable {
+            if let Some(rem) = self.active_watches.get_mut(&bcast.0) {
+                *rem -= 1;
+                if *rem == 0 {
+                    self.active_watches.remove(&bcast.0);
+                    self.handle_crash(from);
+                }
+            }
+        }
+    }
+
+    fn handle_ack(&mut self, node: Slot, bcast: BcastId) {
+        if let Some(entry) = self.messages.get_mut(&bcast.0) {
+            entry.1 -= 1;
+            if entry.1 == 0 {
+                self.messages.remove(&bcast.0);
+            }
+        }
+        if self.cancelled.contains_key(&bcast.0) || self.crashed[node.0] {
+            return;
+        }
+        debug_assert_eq!(self.outstanding[node.0], Some(bcast));
+        self.outstanding[node.0] = None;
+        self.metrics.acks += 1;
+        self.trace.push(TraceEvent::Ack {
+            time: self.now,
+            slot: node,
+        });
+        self.dispatch(node, |p, ctx| p.on_ack(ctx));
+    }
+
+    /// Runs one process callback with a fresh context, then services
+    /// any broadcast it requested and records any new decision.
+    fn dispatch<F>(&mut self, slot: Slot, f: F)
+    where
+        F: FnOnce(&mut P, &mut Context<'_, P::Msg>),
+    {
+        let had_decision = self.decisions[slot.0].is_some();
+        let mut outbox: Option<P::Msg> = None;
+        {
+            let mut ctx = Context {
+                id: self.ids[slot.0],
+                now: self.now,
+                busy: self.outstanding[slot.0].is_some(),
+                outbox: &mut outbox,
+                decision: &mut self.decisions[slot.0],
+                ts_seq: &mut self.ts_seqs[slot.0],
+                busy_discards: &mut self.metrics.busy_discards,
+                rng: &mut self.rngs[slot.0],
+            };
+            f(&mut self.procs[slot.0], &mut ctx);
+        }
+        if let Some(m) = outbox {
+            self.start_broadcast(slot, m);
+        }
+        if !had_decision {
+            if let Some(d) = self.decisions[slot.0] {
+                self.trace.push(TraceEvent::Decide {
+                    time: d.time,
+                    slot,
+                    value: d.value,
+                });
+                if !self.crashed[slot.0] {
+                    self.undecided -= 1;
+                }
+            }
+        }
+    }
+
+    fn start_broadcast(&mut self, slot: Slot, msg: P::Msg) {
+        debug_assert!(!self.crashed[slot.0], "crashed node broadcast");
+        debug_assert!(self.outstanding[slot.0].is_none(), "double broadcast");
+        let ids = msg.id_count();
+        if let Some(budget) = self.message_id_budget {
+            assert!(
+                ids <= budget,
+                "message from {} carries {ids} ids, exceeding the O(1) budget of {budget}: {msg:?}",
+                self.ids[slot.0],
+            );
+        }
+        self.metrics.broadcasts += 1;
+        self.metrics.per_slot_broadcasts[slot.0] += 1;
+        self.metrics.max_message_ids = self.metrics.max_message_ids.max(ids);
+        self.metrics.total_message_ids += ids as u64;
+        self.trace.push(TraceEvent::Broadcast {
+            time: self.now,
+            slot,
+            ids,
+        });
+
+        let bcast = BcastId(self.bcast_seq);
+        self.bcast_seq += 1;
+        self.outstanding[slot.0] = Some(bcast);
+
+        let neighbors: Vec<Slot> = self.topo.neighbors(slot).to_vec();
+        let plan = self.scheduler.plan(self.now, slot, &neighbors);
+        if let Err(e) = plan.validate(neighbors.len(), self.scheduler.f_ack()) {
+            panic!("scheduler produced an invalid plan for {slot}: {e}");
+        }
+
+        let mut refs = neighbors.len() + 1; // deliveries + ack
+        for (i, &nbr) in neighbors.iter().enumerate() {
+            self.heap.push(Event {
+                time: self.now + plan.receive_delays[i],
+                seq: self.event_seq,
+                kind: EventKind::Receive {
+                    to: nbr,
+                    from: slot,
+                    bcast,
+                    unreliable: false,
+                },
+            });
+            self.event_seq += 1;
+        }
+        self.heap.push(Event {
+            time: self.now + plan.ack_delay,
+            seq: self.event_seq,
+            kind: EventKind::Ack { node: slot, bcast },
+        });
+        self.event_seq += 1;
+
+        if let Some((overlay, p)) = &self.unreliable {
+            let f_ack = self.scheduler.f_ack().max(1);
+            for nbr in overlay.neighbors(slot) {
+                if self.engine_rng.gen_bool(*p) {
+                    let delay = self.engine_rng.gen_range(1..=f_ack);
+                    self.heap.push(Event {
+                        time: self.now + delay,
+                        seq: self.event_seq,
+                        kind: EventKind::Receive {
+                            to: nbr,
+                            from: slot,
+                            bcast,
+                            unreliable: true,
+                        },
+                    });
+                    self.event_seq += 1;
+                    refs += 1;
+                }
+            }
+        }
+
+        self.messages.insert(bcast.0, (msg, refs));
+
+        // Arm (or immediately fire) a mid-broadcast crash watch.
+        let counter = self.bcast_counters[slot.0];
+        self.bcast_counters[slot.0] += 1;
+        if let Some(&(nth, delivered)) = self.watches_by_slot.get(&slot.0) {
+            if nth == counter {
+                self.watches_by_slot.remove(&slot.0);
+                if delivered == 0 {
+                    self.handle_crash(slot);
+                } else {
+                    assert!(
+                        delivered <= neighbors.len(),
+                        "mid-broadcast crash wants {delivered} deliveries but {slot} has {} neighbors",
+                        neighbors.len()
+                    );
+                    self.active_watches.insert(bcast.0, delivered);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::sched::sync::SynchronousScheduler;
+
+    /// Floods a token; decides 1 on first receive, or 0 at start for
+    /// the initiator.
+    struct Flood {
+        initiator: bool,
+        relayed: bool,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Token;
+    impl Payload for Token {
+        fn id_count(&self) -> usize {
+            0
+        }
+    }
+
+    impl Process for Flood {
+        type Msg = Token;
+        fn on_start(&mut self, ctx: &mut Context<'_, Token>) {
+            if self.initiator {
+                self.relayed = true;
+                ctx.broadcast(Token);
+                ctx.decide(0);
+            }
+        }
+        fn on_receive(&mut self, _m: Token, ctx: &mut Context<'_, Token>) {
+            if !self.relayed {
+                self.relayed = true;
+                ctx.broadcast(Token);
+            }
+            if ctx.decided().is_none() {
+                ctx.decide(1);
+            }
+        }
+        fn on_ack(&mut self, _ctx: &mut Context<'_, Token>) {}
+    }
+
+    fn flood_sim(topo: Topology) -> Sim<Flood> {
+        SimBuilder::new(topo, |s| Flood {
+            initiator: s.0 == 0,
+            relayed: false,
+        })
+        .scheduler(SynchronousScheduler::new(1))
+        .build()
+    }
+
+    #[test]
+    fn flood_crosses_line_in_d_rounds() {
+        let mut sim = flood_sim(Topology::line(6));
+        let report = sim.run();
+        assert!(report.all_decided());
+        // Node i (i >= 1) receives the token at round i.
+        for i in 1..6 {
+            assert_eq!(report.decisions[i].unwrap().time, Time(i as u64));
+        }
+        assert_eq!(report.metrics.broadcasts, 6);
+        // The run stops the instant the last node decides; acks still
+        // in the heap at that point are never processed.
+        assert!(report.metrics.acks >= 4);
+    }
+
+    #[test]
+    fn single_hop_flood_takes_one_round() {
+        let mut sim = flood_sim(Topology::clique(5));
+        let report = sim.run();
+        assert!(report.all_decided());
+        assert_eq!(report.max_decision_time(), Some(Time(1)));
+        // Each delivery of the initial broadcast plus relays.
+        assert!(report.metrics.deliveries >= 4);
+    }
+
+    #[test]
+    fn run_until_pauses_mid_execution() {
+        let mut sim = flood_sim(Topology::line(8));
+        sim.run_until(Time(3));
+        assert_eq!(sim.now(), Time(3));
+        // Nodes 1..=3 decided, the rest not yet.
+        assert!(sim.decisions()[3].is_some());
+        assert!(sim.decisions()[4].is_none());
+        let report = sim.run();
+        assert!(report.all_decided());
+    }
+
+    #[test]
+    fn crash_at_time_halts_node() {
+        let mut sim = SimBuilder::new(Topology::line(4), |s| Flood {
+            initiator: s.0 == 0,
+            relayed: false,
+        })
+        .scheduler(SynchronousScheduler::new(1))
+        .crashes(CrashPlan::new(vec![CrashSpec::AtTime {
+            slot: Slot(2),
+            time: Time(1),
+        }]))
+        .build();
+        let report = sim.run();
+        // Node 2 crashes as the token reaches node 1; the flood dies there.
+        assert_eq!(report.metrics.crashes, 1);
+        assert!(report.decisions[1].is_some());
+        assert!(report.decisions[3].is_none());
+        assert_eq!(report.outcome, RunOutcome::Quiescent);
+    }
+
+    #[test]
+    fn crash_at_time_zero_excludes_node() {
+        let mut sim = SimBuilder::new(Topology::clique(3), |s| Flood {
+            initiator: s.0 == 0,
+            relayed: false,
+        })
+        .scheduler(SynchronousScheduler::new(1))
+        .crashes(CrashPlan::new(vec![CrashSpec::AtTime {
+            slot: Slot(1),
+            time: Time::ZERO,
+        }]))
+        .build();
+        let report = sim.run();
+        assert!(report.all_decided());
+        assert!(report.decisions[1].is_none());
+        assert!(report.decisions[2].is_some());
+    }
+
+    /// Records every received token.
+    struct Counter {
+        received: usize,
+        emit: bool,
+    }
+
+    impl Process for Counter {
+        type Msg = Token;
+        fn on_start(&mut self, ctx: &mut Context<'_, Token>) {
+            if self.emit {
+                ctx.broadcast(Token);
+            }
+        }
+        fn on_receive(&mut self, _m: Token, _ctx: &mut Context<'_, Token>) {
+            self.received += 1;
+        }
+        fn on_ack(&mut self, _ctx: &mut Context<'_, Token>) {}
+    }
+
+    #[test]
+    fn mid_broadcast_crash_delivers_to_prefix_only() {
+        // Clique of 5; node 0 broadcasts and crashes after exactly 2
+        // deliveries. Exactly two other nodes get the message.
+        let mut sim = SimBuilder::new(Topology::clique(5), |s| Counter {
+            received: 0,
+            emit: s.0 == 0,
+        })
+        .scheduler(SynchronousScheduler::new(1))
+        .crashes(CrashPlan::new(vec![CrashSpec::MidBroadcast {
+            slot: Slot(0),
+            nth_broadcast: 0,
+            delivered: 2,
+        }]))
+        .build();
+        let report = sim.run();
+        assert_eq!(report.metrics.crashes, 1);
+        let total: usize = (1..5).map(|i| sim.process(Slot(i)).received).sum();
+        assert_eq!(total, 2, "exactly the allowed prefix was delivered");
+        // The sender never got an ack.
+        assert_eq!(report.metrics.acks, 0);
+    }
+
+    #[test]
+    fn mid_broadcast_crash_with_zero_deliveries() {
+        let mut sim = SimBuilder::new(Topology::clique(4), |s| Counter {
+            received: 0,
+            emit: s.0 == 0,
+        })
+        .scheduler(SynchronousScheduler::new(1))
+        .crashes(CrashPlan::new(vec![CrashSpec::MidBroadcast {
+            slot: Slot(0),
+            nth_broadcast: 0,
+            delivered: 0,
+        }]))
+        .build();
+        let report = sim.run();
+        let total: usize = (1..4).map(|i| sim.process(Slot(i)).received).sum();
+        assert_eq!(total, 0);
+        assert_eq!(report.metrics.crashes, 1);
+    }
+
+    /// Broadcasts forever; used to exercise busy-discard and horizons.
+    struct Chatter;
+    impl Process for Chatter {
+        type Msg = Token;
+        fn on_start(&mut self, ctx: &mut Context<'_, Token>) {
+            ctx.broadcast(Token);
+            ctx.broadcast(Token); // discarded: already busy
+        }
+        fn on_receive(&mut self, _m: Token, ctx: &mut Context<'_, Token>) {
+            ctx.broadcast(Token); // discarded whenever busy
+        }
+        fn on_ack(&mut self, ctx: &mut Context<'_, Token>) {
+            ctx.broadcast(Token);
+        }
+    }
+
+    #[test]
+    fn busy_broadcasts_are_discarded_and_horizon_stops() {
+        let mut sim = SimBuilder::new(Topology::clique(3), |_| Chatter)
+            .scheduler(SynchronousScheduler::new(1))
+            .max_time(Time(50))
+            .build();
+        let report = sim.run();
+        assert_eq!(report.outcome, RunOutcome::MaxTime);
+        assert!(report.metrics.busy_discards > 0);
+        // One broadcast per node per round, including the start round
+        // and the round at the horizon itself.
+        assert_eq!(report.metrics.broadcasts, 3 * 51);
+    }
+
+    #[test]
+    fn trace_records_event_sequence() {
+        let mut sim = SimBuilder::new(Topology::line(2), |s| Flood {
+            initiator: s.0 == 0,
+            relayed: false,
+        })
+        .scheduler(SynchronousScheduler::new(1))
+        .trace(true)
+        .build();
+        sim.run();
+        let events = sim.trace().events();
+        assert!(matches!(events[0], TraceEvent::Broadcast { slot: Slot(0), .. }));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Deliver { from: Slot(0), to: Slot(1), .. })));
+        assert!(sim.trace().decisions().count() >= 2);
+    }
+
+    #[test]
+    fn deterministic_across_identical_builds() {
+        let run = |seed| {
+            let mut sim = SimBuilder::new(Topology::random_connected(12, 0.2, 3), |s| Flood {
+                initiator: s.0 == 0,
+                relayed: false,
+            })
+            .scheduler(RandomScheduler::new(5, seed))
+            .seed(seed)
+            .build();
+            let r = sim.run();
+            (r.end_time, r.metrics.deliveries, r.metrics.broadcasts)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    /// Message carrying a configurable id count.
+    #[derive(Clone, Debug)]
+    struct Wide(usize);
+    impl Payload for Wide {
+        fn id_count(&self) -> usize {
+            self.0
+        }
+    }
+
+    struct WideSender(usize);
+    impl Process for WideSender {
+        type Msg = Wide;
+        fn on_start(&mut self, ctx: &mut Context<'_, Wide>) {
+            ctx.broadcast(Wide(self.0));
+        }
+        fn on_receive(&mut self, _m: Wide, _ctx: &mut Context<'_, Wide>) {}
+        fn on_ack(&mut self, ctx: &mut Context<'_, Wide>) {
+            ctx.decide(0);
+        }
+    }
+
+    #[test]
+    fn id_budget_allows_within_budget() {
+        let mut sim = SimBuilder::new(Topology::clique(2), |_| WideSender(3))
+            .scheduler(SynchronousScheduler::new(1))
+            .message_id_budget(4)
+            .build();
+        let report = sim.run();
+        assert!(report.all_decided());
+        assert_eq!(report.metrics.max_message_ids, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeding the O(1) budget")]
+    fn id_budget_panics_on_violation() {
+        let mut sim = SimBuilder::new(Topology::clique(2), |_| WideSender(9))
+            .scheduler(SynchronousScheduler::new(1))
+            .message_id_budget(4)
+            .build();
+        sim.run();
+    }
+
+    #[test]
+    fn ack_arrives_after_all_deliveries() {
+        // With the random scheduler over many seeds, a node's ack is
+        // always processed after its message reached all neighbors:
+        // deliveries of broadcast b never follow b's ack.
+        for seed in 0..20 {
+            let mut sim = SimBuilder::new(Topology::clique(6), |s| Flood {
+                initiator: s.0 == 0,
+                relayed: false,
+            })
+            .scheduler(RandomScheduler::new(9, seed))
+            .trace(true)
+            .build();
+            sim.run();
+            let mut acked = std::collections::HashSet::new();
+            for ev in sim.trace().events() {
+                match *ev {
+                    TraceEvent::Ack { slot, .. } => {
+                        acked.insert(slot);
+                    }
+                    TraceEvent::Deliver { from, .. } => {
+                        assert!(
+                            !acked.contains(&from),
+                            "seed {seed}: delivery from {from} after its ack"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn custom_ids_rejected_when_duplicated() {
+        let build = || {
+            SimBuilder::new(Topology::clique(2), |_| Chatter)
+                .ids(vec![NodeId(1), NodeId(1)])
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(build));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Internal event queue types for the discrete-event engine.
+
+use std::cmp::Ordering;
+
+use crate::ids::Slot;
+
+use super::time::Time;
+
+/// Identifier of one broadcast instance (unique per execution).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub(crate) struct BcastId(pub u64);
+
+/// Event classes, ordered by processing priority at equal times.
+///
+/// Crashes fire first (so a crash at time `t` can cut off deliveries at
+/// `t`), then receives, then acks — the latter matching the
+/// synchronous scheduler's "deliver all current messages, *then* give
+/// all nodes their acks" semantics within one lockstep round.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub(crate) enum EventClass {
+    Crash = 0,
+    Receive = 1,
+    Ack = 2,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum EventKind {
+    /// Deliver broadcast `bcast` (sent by `from`) to node `to`.
+    Receive {
+        to: Slot,
+        from: Slot,
+        bcast: BcastId,
+        /// Delivery over an unreliable overlay edge: does not count
+        /// toward the ack precondition.
+        unreliable: bool,
+    },
+    /// Acknowledge completion of `bcast` to its sender.
+    Ack { node: Slot, bcast: BcastId },
+    /// Crash `node` (scheduled from a [`CrashPlan`](super::crash::CrashPlan)).
+    Crash { node: Slot },
+}
+
+impl EventKind {
+    fn class(&self) -> EventClass {
+        match self {
+            EventKind::Crash { .. } => EventClass::Crash,
+            EventKind::Receive { .. } => EventClass::Receive,
+            EventKind::Ack { .. } => EventClass::Ack,
+        }
+    }
+}
+
+/// A scheduled event. Orders by `(time, class, seq)` so the event heap
+/// pops deterministically.
+#[derive(Clone, Debug)]
+pub(crate) struct Event {
+    pub time: Time,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl Event {
+    fn key(&self) -> (Time, EventClass, u64) {
+        (self.time, self.kind.class(), self.seq)
+    }
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+// Reversed: BinaryHeap is a max-heap, we want earliest-first.
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.key().cmp(&self.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    fn ev(time: u64, seq: u64, kind: EventKind) -> Event {
+        Event {
+            time: Time(time),
+            seq,
+            kind,
+        }
+    }
+
+    #[test]
+    fn heap_pops_time_then_class_then_seq() {
+        let mut heap = BinaryHeap::new();
+        heap.push(ev(
+            2,
+            0,
+            EventKind::Ack {
+                node: Slot(0),
+                bcast: BcastId(0),
+            },
+        ));
+        heap.push(ev(
+            2,
+            1,
+            EventKind::Receive {
+                to: Slot(1),
+                from: Slot(0),
+                bcast: BcastId(0),
+                unreliable: false,
+            },
+        ));
+        heap.push(ev(1, 5, EventKind::Crash { node: Slot(2) }));
+        heap.push(ev(2, 9, EventKind::Crash { node: Slot(3) }));
+
+        let order: Vec<_> = std::iter::from_fn(|| heap.pop())
+            .map(|e| (e.time.ticks(), e.kind.class()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (1, EventClass::Crash),
+                (2, EventClass::Crash),
+                (2, EventClass::Receive),
+                (2, EventClass::Ack),
+            ]
+        );
+    }
+
+    #[test]
+    fn same_class_orders_by_seq() {
+        let mut heap = BinaryHeap::new();
+        for seq in [3u64, 1, 2] {
+            heap.push(ev(
+                1,
+                seq,
+                EventKind::Ack {
+                    node: Slot(seq as usize),
+                    bcast: BcastId(seq),
+                },
+            ));
+        }
+        let seqs: Vec<_> = std::iter::from_fn(|| heap.pop()).map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+}

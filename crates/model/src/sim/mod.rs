@@ -1,0 +1,26 @@
+//! Discrete-event simulator for the abstract MAC layer.
+//!
+//! The engine ([`engine::Sim`]) executes a set of
+//! [`Process`](crate::proc::Process)es over a
+//! [`Topology`](crate::topo::Topology), with all nondeterminism
+//! delegated to a [`Scheduler`](sched::Scheduler). It enforces the
+//! model's guarantees mechanically:
+//!
+//! * every accepted broadcast is delivered to each non-faulty neighbor
+//!   exactly once, before the sender's ack;
+//! * the ack arrives within `F_ack` ticks of the broadcast (plans are
+//!   validated, so a buggy scheduler panics rather than cheats);
+//! * a node with an outstanding broadcast has further broadcast
+//!   attempts discarded;
+//! * crashes can interrupt a broadcast mid-delivery
+//!   ([`crash::CrashSpec::MidBroadcast`]), leaving only a prefix of
+//!   neighbors with the message;
+//! * local computation takes zero virtual time.
+
+pub mod conformance;
+pub mod crash;
+pub mod engine;
+mod event;
+pub mod sched;
+pub mod time;
+pub mod trace;

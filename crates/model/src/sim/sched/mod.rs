@@ -1,0 +1,140 @@
+//! Message schedulers: the model's adversary.
+//!
+//! The abstract MAC layer quantifies over all schedulers that (a)
+//! deliver each broadcast to every non-faulty neighbor before the
+//! sender's ack and (b) issue the ack within `F_ack` ticks of the
+//! broadcast. Everything else — delivery order, skew between
+//! neighbors, how close to the bound the ack sits — is adversarial.
+//!
+//! Each lower bound in the paper is proved by *exhibiting* a scheduler;
+//! the implementations here make those adversaries runnable:
+//!
+//! * [`sync::SynchronousScheduler`] — the lockstep scheduler defined in
+//!   Section 3.2 and reused in 3.3,
+//! * [`partition::EdgeDelayScheduler`] — wraps any scheduler and
+//!   withholds messages across directed cuts until a release time (the
+//!   "semi-synchronous" scheduler of Section 3.3, the `q`-silencing
+//!   scheduler of Section 3.2, and the partition argument of 3.4),
+//! * [`stall::MaxDelayScheduler`] — takes the full `F_ack` on every
+//!   broadcast (the Theorem 3.10 adversary),
+//! * [`random::RandomScheduler`] — seeded random delays and skew, for
+//!   property tests that sample the scheduler space.
+
+pub mod dual;
+pub mod partition;
+pub mod random;
+pub mod scripted;
+pub mod stall;
+pub mod sync;
+
+use crate::ids::Slot;
+
+use super::time::Time;
+
+/// A delivery plan for one broadcast, produced by a [`Scheduler`].
+///
+/// `receive_delays[i]` is the delay (in ticks, relative to the
+/// broadcast instant) before `neighbors[i]` receives the message;
+/// `ack_delay` is the delay before the sender's ack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BroadcastPlan {
+    /// Per-neighbor delivery delays, parallel to the `neighbors` slice
+    /// passed to [`Scheduler::plan`].
+    pub receive_delays: Vec<u64>,
+    /// Delay before the sender's ack. Must be at least 1, at least
+    /// every receive delay, and at most [`Scheduler::f_ack`].
+    pub ack_delay: u64,
+}
+
+impl BroadcastPlan {
+    /// Checks the model invariants; returns a description of the first
+    /// violation. `n_neighbors` is the expected plan width.
+    pub fn validate(&self, n_neighbors: usize, f_ack: u64) -> Result<(), String> {
+        if self.receive_delays.len() != n_neighbors {
+            return Err(format!(
+                "plan covers {} neighbors, expected {n_neighbors}",
+                self.receive_delays.len()
+            ));
+        }
+        if self.ack_delay == 0 {
+            return Err("ack_delay must be >= 1".into());
+        }
+        if self.ack_delay > f_ack {
+            return Err(format!(
+                "ack_delay {} exceeds F_ack {f_ack}",
+                self.ack_delay
+            ));
+        }
+        if let Some(&max_recv) = self.receive_delays.iter().max() {
+            if max_recv > self.ack_delay {
+                return Err(format!(
+                    "receive delay {max_recv} after ack delay {}",
+                    self.ack_delay
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The adversary controlling message delivery.
+///
+/// Implementations must be deterministic (seeded randomness only) so
+/// executions are reproducible.
+pub trait Scheduler {
+    /// The bound `F_ack` this scheduler honors: the maximum delay
+    /// between any broadcast and its ack. Finite, but unknown to the
+    /// *nodes* — only the simulator and the analysis see it.
+    fn f_ack(&self) -> u64;
+
+    /// Plans delivery for a broadcast issued by `sender` at `now` to
+    /// the given neighbors (in sorted slot order).
+    ///
+    /// The engine validates the plan against [`BroadcastPlan::validate`]
+    /// and panics on violations, so a buggy adversary cannot silently
+    /// break the model guarantees.
+    fn plan(&mut self, now: Time, sender: Slot, neighbors: &[Slot]) -> BroadcastPlan;
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn f_ack(&self) -> u64 {
+        (**self).f_ack()
+    }
+    fn plan(&mut self, now: Time, sender: Slot, neighbors: &[Slot]) -> BroadcastPlan {
+        (**self).plan(now, sender, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_violations() {
+        let ok = BroadcastPlan {
+            receive_delays: vec![1, 2],
+            ack_delay: 2,
+        };
+        assert!(ok.validate(2, 5).is_ok());
+
+        assert!(ok.validate(3, 5).is_err(), "width mismatch");
+
+        let zero_ack = BroadcastPlan {
+            receive_delays: vec![],
+            ack_delay: 0,
+        };
+        assert!(zero_ack.validate(0, 5).is_err());
+
+        let late_recv = BroadcastPlan {
+            receive_delays: vec![4],
+            ack_delay: 3,
+        };
+        assert!(late_recv.validate(1, 5).is_err());
+
+        let over_f_ack = BroadcastPlan {
+            receive_delays: vec![1],
+            ack_delay: 9,
+        };
+        assert!(over_f_ack.validate(1, 5).is_err());
+    }
+}

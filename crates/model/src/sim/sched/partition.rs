@@ -1,0 +1,166 @@
+//! Cut-delaying scheduler wrapper: the workhorse of the paper's
+//! partitioning arguments.
+//!
+//! [`EdgeDelayScheduler`] wraps any base scheduler and postpones
+//! deliveries that cross configured *directed cuts* until a release
+//! time. The sender's ack is postponed along with them (the model
+//! requires the ack to follow every delivery), which is legal because
+//! `F_ack` merely has to be finite — the nodes never know it.
+//!
+//! This single wrapper implements three of the paper's adversaries:
+//!
+//! * Section 3.2 (`alpha_A`): delay everything *from* the bridge `q`
+//!   until after step `t`, so the two gadgets cannot tell Network A
+//!   from Network B.
+//! * Section 3.3 (semi-synchronous scheduler): delay everything from
+//!   the `L_{D-1}` hub into the two `L_D` copies until after step `t`.
+//! * Section 3.4: delay everything across the middle of a line, so the
+//!   endpoints must decide on half the information.
+
+use std::collections::BTreeSet;
+
+use crate::ids::Slot;
+use crate::sim::time::Time;
+
+use super::{BroadcastPlan, Scheduler};
+
+/// One directed cut with a release time: deliveries from a node in
+/// `from` to a node in `to` are withheld until `release`.
+#[derive(Clone, Debug)]
+pub struct DirectedCut {
+    from: BTreeSet<Slot>,
+    to: BTreeSet<Slot>,
+    release: Time,
+}
+
+impl DirectedCut {
+    /// Creates a cut delaying `from -> to` deliveries until `release`.
+    pub fn new(
+        from: impl IntoIterator<Item = Slot>,
+        to: impl IntoIterator<Item = Slot>,
+        release: Time,
+    ) -> Self {
+        Self {
+            from: from.into_iter().collect(),
+            to: to.into_iter().collect(),
+            release,
+        }
+    }
+
+    /// The release time of this cut.
+    pub fn release(&self) -> Time {
+        self.release
+    }
+
+    fn applies(&self, sender: Slot, receiver: Slot) -> bool {
+        self.from.contains(&sender) && self.to.contains(&receiver)
+    }
+}
+
+/// Scheduler wrapper that enforces a set of [`DirectedCut`]s on top of
+/// a base scheduler.
+#[derive(Clone, Debug)]
+pub struct EdgeDelayScheduler<S> {
+    inner: S,
+    cuts: Vec<DirectedCut>,
+}
+
+impl<S: Scheduler> EdgeDelayScheduler<S> {
+    /// Wraps `inner` with the given cuts.
+    pub fn new(inner: S, cuts: Vec<DirectedCut>) -> Self {
+        Self { inner, cuts }
+    }
+
+    /// The latest release time among all cuts (zero when empty).
+    pub fn max_release(&self) -> Time {
+        self.cuts
+            .iter()
+            .map(DirectedCut::release)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+}
+
+impl<S: Scheduler> Scheduler for EdgeDelayScheduler<S> {
+    /// `F_ack` must cover the worst stalled broadcast: one issued at
+    /// time zero and held until the last release, then delivered under
+    /// the base scheduler's bound.
+    fn f_ack(&self) -> u64 {
+        self.max_release().ticks() + self.inner.f_ack()
+    }
+
+    fn plan(&mut self, now: Time, sender: Slot, neighbors: &[Slot]) -> BroadcastPlan {
+        let mut plan = self.inner.plan(now, sender, neighbors);
+        for (i, &nbr) in neighbors.iter().enumerate() {
+            for cut in &self.cuts {
+                if cut.applies(sender, nbr) && now + plan.receive_delays[i] < cut.release {
+                    plan.receive_delays[i] = cut.release - now;
+                }
+            }
+        }
+        let floor = plan.receive_delays.iter().copied().max().unwrap_or(0);
+        plan.ack_delay = plan.ack_delay.max(floor).max(1);
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::sched::sync::SynchronousScheduler;
+
+    fn cut_scheduler(release: u64) -> EdgeDelayScheduler<SynchronousScheduler> {
+        EdgeDelayScheduler::new(
+            SynchronousScheduler::new(1),
+            vec![DirectedCut::new([Slot(0)], [Slot(1)], Time(release))],
+        )
+    }
+
+    #[test]
+    fn delays_only_cut_edges() {
+        let mut s = cut_scheduler(50);
+        let plan = s.plan(Time(0), Slot(0), &[Slot(1), Slot(2)]);
+        assert_eq!(plan.receive_delays, vec![50, 1]);
+        assert_eq!(plan.ack_delay, 50, "ack stalls with the delivery");
+        plan.validate(2, s.f_ack()).unwrap();
+    }
+
+    #[test]
+    fn reverse_direction_unaffected() {
+        let mut s = cut_scheduler(50);
+        let plan = s.plan(Time(0), Slot(1), &[Slot(0), Slot(2)]);
+        assert_eq!(plan.receive_delays, vec![1, 1]);
+        assert_eq!(plan.ack_delay, 1);
+    }
+
+    #[test]
+    fn after_release_behaves_like_base() {
+        let mut s = cut_scheduler(5);
+        let plan = s.plan(Time(9), Slot(0), &[Slot(1)]);
+        assert_eq!(plan.receive_delays, vec![1]);
+        assert_eq!(plan.ack_delay, 1);
+    }
+
+    #[test]
+    fn straddling_release_shortens_delay() {
+        let mut s = cut_scheduler(5);
+        // Broadcast at time 3: held until 5, so delay 2.
+        let plan = s.plan(Time(3), Slot(0), &[Slot(1)]);
+        assert_eq!(plan.receive_delays, vec![5 - 3]);
+    }
+
+    #[test]
+    fn multiple_cuts_take_max() {
+        let mut s = EdgeDelayScheduler::new(
+            SynchronousScheduler::new(1),
+            vec![
+                DirectedCut::new([Slot(0)], [Slot(1)], Time(10)),
+                DirectedCut::new([Slot(0)], [Slot(1), Slot(2)], Time(20)),
+            ],
+        );
+        let plan = s.plan(Time(0), Slot(0), &[Slot(1), Slot(2)]);
+        assert_eq!(plan.receive_delays, vec![20, 20]);
+        assert_eq!(s.max_release(), Time(20));
+        assert_eq!(s.f_ack(), 21);
+    }
+}

@@ -1,0 +1,125 @@
+//! Seeded random adversary.
+//!
+//! Samples per-neighbor delivery delays and ack slack uniformly inside
+//! the model's envelope. Property tests run algorithms against many
+//! seeds to sample the scheduler space the paper quantifies over.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::Slot;
+use crate::sim::time::Time;
+
+use super::{BroadcastPlan, Scheduler};
+
+/// Random-delay scheduler, deterministic in its seed.
+#[derive(Clone, Debug)]
+pub struct RandomScheduler {
+    f_ack: u64,
+    min_delay: u64,
+    rng: SmallRng,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler with delays in `[1, f_ack]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_ack == 0`.
+    pub fn new(f_ack: u64, seed: u64) -> Self {
+        Self::with_min_delay(f_ack, 1, seed)
+    }
+
+    /// As [`RandomScheduler::new`], with delays at least `min_delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= min_delay <= f_ack`.
+    pub fn with_min_delay(f_ack: u64, min_delay: u64, seed: u64) -> Self {
+        assert!(f_ack >= 1, "F_ack must be at least 1");
+        assert!(
+            (1..=f_ack).contains(&min_delay),
+            "min_delay must be in [1, F_ack]"
+        );
+        Self {
+            f_ack,
+            min_delay,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn f_ack(&self) -> u64 {
+        self.f_ack
+    }
+
+    fn plan(&mut self, _now: Time, _sender: Slot, neighbors: &[Slot]) -> BroadcastPlan {
+        let receive_delays: Vec<u64> = neighbors
+            .iter()
+            .map(|_| self.rng.gen_range(self.min_delay..=self.f_ack))
+            .collect();
+        let floor = receive_delays.iter().copied().max().unwrap_or(1).max(1);
+        let ack_delay = self.rng.gen_range(floor..=self.f_ack);
+        BroadcastPlan {
+            receive_delays,
+            ack_delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_always_valid() {
+        let mut s = RandomScheduler::new(7, 42);
+        let neighbors: Vec<Slot> = (1..6).map(Slot).collect();
+        for i in 0..200 {
+            let plan = s.plan(Time(i), Slot(0), &neighbors);
+            plan.validate(neighbors.len(), s.f_ack()).unwrap();
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = RandomScheduler::new(9, 7);
+        let mut b = RandomScheduler::new(9, 7);
+        let nbrs = [Slot(1), Slot(2), Slot(3)];
+        for i in 0..50 {
+            assert_eq!(
+                a.plan(Time(i), Slot(0), &nbrs),
+                b.plan(Time(i), Slot(0), &nbrs)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = RandomScheduler::new(100, 1);
+        let mut b = RandomScheduler::new(100, 2);
+        let nbrs: Vec<Slot> = (1..10).map(Slot).collect();
+        let pa = a.plan(Time(0), Slot(0), &nbrs);
+        let pb = b.plan(Time(0), Slot(0), &nbrs);
+        assert_ne!(pa, pb);
+    }
+
+    #[test]
+    fn respects_min_delay() {
+        let mut s = RandomScheduler::with_min_delay(10, 5, 3);
+        for _ in 0..100 {
+            let plan = s.plan(Time(0), Slot(0), &[Slot(1), Slot(2)]);
+            assert!(plan.receive_delays.iter().all(|&d| d >= 5));
+        }
+    }
+
+    #[test]
+    fn handles_leaf_nodes() {
+        // A node with no neighbors still gets a valid ack.
+        let mut s = RandomScheduler::new(4, 0);
+        let plan = s.plan(Time(0), Slot(0), &[]);
+        plan.validate(0, 4).unwrap();
+        assert!(plan.ack_delay >= 1);
+    }
+}

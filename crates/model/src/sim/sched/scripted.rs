@@ -1,0 +1,98 @@
+//! A scripted scheduler for constructing exact adversarial executions.
+//!
+//! Assigns each broadcast a single delay (applied to every delivery and
+//! the ack) looked up by `(sender, per-sender broadcast index)`. Lower
+//! bound demos and regression tests use it to pin down the precise
+//! message orderings their arguments need.
+
+use std::collections::HashMap;
+
+use crate::ids::Slot;
+use crate::sim::time::Time;
+
+use super::{BroadcastPlan, Scheduler};
+
+/// Table-driven scheduler: delay per (sender, nth broadcast).
+#[derive(Clone, Debug)]
+pub struct ScriptedScheduler {
+    delays: HashMap<(usize, u64), u64>,
+    default: u64,
+    f_ack: u64,
+    counters: HashMap<usize, u64>,
+}
+
+impl ScriptedScheduler {
+    /// Creates a scripted scheduler with a default per-broadcast delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `default == 0`.
+    pub fn new(default: u64) -> Self {
+        assert!(default >= 1, "delays must be at least 1");
+        Self {
+            delays: HashMap::new(),
+            default,
+            f_ack: default,
+            counters: HashMap::new(),
+        }
+    }
+
+    /// Assigns `delay` to the `nth` broadcast (0-indexed) of `sender`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay == 0`.
+    pub fn delay(mut self, sender: Slot, nth: u64, delay: u64) -> Self {
+        assert!(delay >= 1, "delays must be at least 1");
+        self.delays.insert((sender.0, nth), delay);
+        self.f_ack = self.f_ack.max(delay);
+        self
+    }
+}
+
+impl Scheduler for ScriptedScheduler {
+    fn f_ack(&self) -> u64 {
+        self.f_ack
+    }
+
+    fn plan(&mut self, _now: Time, sender: Slot, neighbors: &[Slot]) -> BroadcastPlan {
+        let nth = self.counters.entry(sender.0).or_insert(0);
+        let delay = self
+            .delays
+            .get(&(sender.0, *nth))
+            .copied()
+            .unwrap_or(self.default);
+        *nth += 1;
+        BroadcastPlan {
+            receive_delays: vec![delay; neighbors.len()],
+            ack_delay: delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn looks_up_per_broadcast_delays() {
+        let mut s = ScriptedScheduler::new(1)
+            .delay(Slot(0), 0, 5)
+            .delay(Slot(0), 1, 2);
+        assert_eq!(s.f_ack(), 5);
+        let p0 = s.plan(Time(0), Slot(0), &[Slot(1)]);
+        assert_eq!(p0.ack_delay, 5);
+        let p1 = s.plan(Time(5), Slot(0), &[Slot(1)]);
+        assert_eq!(p1.ack_delay, 2);
+        let p2 = s.plan(Time(7), Slot(0), &[Slot(1)]);
+        assert_eq!(p2.ack_delay, 1, "falls back to default");
+        let q = s.plan(Time(0), Slot(1), &[Slot(0)]);
+        assert_eq!(q.ack_delay, 1, "other senders use default");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_delay_rejected() {
+        ScriptedScheduler::new(1).delay(Slot(0), 0, 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! The maximum-delay adversary of Theorem 3.10.
+//!
+//! "Consider an execution ... with a variant of the synchronous
+//! scheduler that delays the maximum `F_ack` time between each
+//! synchronous step." Every broadcast takes the full `F_ack`: all
+//! neighbors receive at `now + F_ack` and the ack lands at the same
+//! instant (after the deliveries, by event-class ordering). Information
+//! therefore propagates at exactly one hop per `F_ack`, which is what
+//! forces the `floor(D/2) * F_ack` decision lower bound.
+
+use crate::ids::Slot;
+use crate::sim::time::Time;
+
+use super::{BroadcastPlan, Scheduler};
+
+/// Scheduler that stalls every broadcast for the full `F_ack`.
+#[derive(Clone, Copy, Debug)]
+pub struct MaxDelayScheduler {
+    f_ack: u64,
+}
+
+impl MaxDelayScheduler {
+    /// Creates the adversary for a given `F_ack >= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_ack == 0`.
+    pub fn new(f_ack: u64) -> Self {
+        assert!(f_ack >= 1, "F_ack must be at least 1");
+        Self { f_ack }
+    }
+}
+
+impl Scheduler for MaxDelayScheduler {
+    fn f_ack(&self) -> u64 {
+        self.f_ack
+    }
+
+    fn plan(&mut self, _now: Time, _sender: Slot, neighbors: &[Slot]) -> BroadcastPlan {
+        BroadcastPlan {
+            receive_delays: vec![self.f_ack; neighbors.len()],
+            ack_delay: self.f_ack,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_takes_full_f_ack() {
+        let mut s = MaxDelayScheduler::new(6);
+        let plan = s.plan(Time(11), Slot(0), &[Slot(1), Slot(2)]);
+        assert_eq!(plan.receive_delays, vec![6, 6]);
+        assert_eq!(plan.ack_delay, 6);
+        plan.validate(2, 6).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_f_ack_rejected() {
+        MaxDelayScheduler::new(0);
+    }
+}

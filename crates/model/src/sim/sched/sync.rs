@@ -1,0 +1,97 @@
+//! The synchronous (lockstep) scheduler of Section 3.2.
+//!
+//! "We define the synchronous scheduler ... to be a message scheduler
+//! that delivers messages in lock step rounds. That is, it delivers all
+//! nodes' current message to all recipients, then provides all nodes
+//! with an ack, and then moves on to the next batch of messages."
+//!
+//! Rounds end at multiples of `round_len` ticks. A broadcast issued at
+//! any point inside round `r` is delivered to all neighbors exactly at
+//! the round boundary, and the ack arrives at the same boundary —
+//! ordered after all deliveries by the engine's event-class ordering,
+//! matching the quoted semantics. With `round_len = 1`, "synchronous
+//! step `t`" in the proofs corresponds to virtual time `t`.
+
+use crate::ids::Slot;
+use crate::sim::time::Time;
+
+use super::{BroadcastPlan, Scheduler};
+
+/// Lockstep round-based scheduler.
+#[derive(Clone, Debug)]
+pub struct SynchronousScheduler {
+    round_len: u64,
+}
+
+impl SynchronousScheduler {
+    /// Creates a synchronous scheduler with the given round length in
+    /// ticks (`F_ack = round_len`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round_len == 0`.
+    pub fn new(round_len: u64) -> Self {
+        assert!(round_len > 0, "round length must be positive");
+        Self { round_len }
+    }
+
+    /// The round length in ticks.
+    pub fn round_len(&self) -> u64 {
+        self.round_len
+    }
+
+    /// The first round boundary strictly after `now`.
+    pub fn next_boundary(&self, now: Time) -> Time {
+        Time((now.ticks() / self.round_len + 1) * self.round_len)
+    }
+}
+
+impl Scheduler for SynchronousScheduler {
+    fn f_ack(&self) -> u64 {
+        self.round_len
+    }
+
+    fn plan(&mut self, now: Time, _sender: Slot, neighbors: &[Slot]) -> BroadcastPlan {
+        let delay = self.next_boundary(now) - now;
+        BroadcastPlan {
+            receive_delays: vec![delay; neighbors.len()],
+            ack_delay: delay,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_at_next_boundary() {
+        let mut s = SynchronousScheduler::new(10);
+        let plan = s.plan(Time(0), Slot(0), &[Slot(1), Slot(2)]);
+        assert_eq!(plan.receive_delays, vec![10, 10]);
+        assert_eq!(plan.ack_delay, 10);
+        assert!(plan.validate(2, s.f_ack()).is_ok());
+
+        // Mid-round broadcasts still land on the boundary.
+        let plan = s.plan(Time(13), Slot(0), &[Slot(1)]);
+        assert_eq!(plan.receive_delays, vec![7]);
+        assert_eq!(plan.ack_delay, 7);
+
+        // A broadcast exactly at a boundary waits a full round.
+        let plan = s.plan(Time(20), Slot(0), &[Slot(1)]);
+        assert_eq!(plan.ack_delay, 10);
+    }
+
+    #[test]
+    fn unit_rounds_count_steps() {
+        let s = SynchronousScheduler::new(1);
+        assert_eq!(s.next_boundary(Time(0)), Time(1));
+        assert_eq!(s.next_boundary(Time(5)), Time(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_round_rejected() {
+        SynchronousScheduler::new(0);
+    }
+}

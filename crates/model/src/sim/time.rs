@@ -1,0 +1,119 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in abstract *ticks*.
+///
+/// The scheduler's `F_ack` bound is expressed in the same ticks. Nodes
+/// may read the clock but learn nothing about `F_ack` from it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// Time zero, when every execution starts.
+    pub const ZERO: Time = Time(0);
+
+    /// Raw tick count.
+    #[inline]
+    pub fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+    fn add(self, rhs: u64) -> Time {
+        Time(self.0.checked_add(rhs).expect("virtual time overflow"))
+    }
+}
+
+impl AddAssign<u64> for Time {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = u64;
+    fn sub(self, rhs: Time) -> u64 {
+        self.0.checked_sub(rhs.0).expect("negative time difference")
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A globally unique logical timestamp, as produced by
+/// [`Context::timestamp`](crate::proc::Context::timestamp).
+///
+/// Ordered lexicographically by `(time, node, seq)`: timestamps taken
+/// later in virtual time are larger; ties at the same instant break by
+/// node id, then by the node's own call sequence.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Timestamp {
+    /// Virtual time of the call.
+    pub time: Time,
+    /// Raw id of the calling node.
+    pub node: u64,
+    /// Per-node call counter.
+    pub seq: u64,
+}
+
+impl Timestamp {
+    /// A timestamp smaller than any the simulator will ever produce
+    /// (used as the initial `lastChange = -infinity` of Algorithm 3).
+    pub const MINUS_INFINITY: Timestamp = Timestamp {
+        time: Time(0),
+        node: 0,
+        seq: 0,
+    };
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}", self.time, self.node, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Time(5) + 3;
+        assert_eq!(t, Time(8));
+        assert_eq!(t - Time(5), 3);
+        assert_eq!(Time(2).saturating_sub(Time(5)), Time::ZERO);
+        let mut t = Time(1);
+        t += 9;
+        assert_eq!(t.ticks(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative time difference")]
+    fn negative_difference_panics() {
+        let _ = Time(1) - Time(2);
+    }
+
+    #[test]
+    fn timestamp_ordering_is_time_major() {
+        let a = Timestamp { time: Time(1), node: 9, seq: 9 };
+        let b = Timestamp { time: Time(2), node: 0, seq: 0 };
+        assert!(a < b);
+        let c = Timestamp { time: Time(2), node: 1, seq: 0 };
+        assert!(b < c);
+        let d = Timestamp { time: Time(2), node: 1, seq: 1 };
+        assert!(c < d);
+        assert!(Timestamp::MINUS_INFINITY <= a);
+    }
+}

@@ -1,0 +1,197 @@
+//! Execution traces and aggregate metrics.
+
+use crate::ids::Slot;
+use crate::proc::Value;
+
+use super::time::Time;
+
+/// One observable event in an execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceEvent {
+    /// A node's broadcast was accepted by the MAC layer.
+    Broadcast {
+        /// Event time.
+        time: Time,
+        /// Sending node.
+        slot: Slot,
+        /// Number of ids in the message (see [`Payload`](crate::msg::Payload)).
+        ids: usize,
+    },
+    /// A message was delivered.
+    Deliver {
+        /// Event time.
+        time: Time,
+        /// Sender.
+        from: Slot,
+        /// Receiver.
+        to: Slot,
+        /// Delivered over an unreliable overlay edge.
+        unreliable: bool,
+    },
+    /// A node received the ack for its outstanding broadcast.
+    Ack {
+        /// Event time.
+        time: Time,
+        /// Acked node.
+        slot: Slot,
+    },
+    /// A node crashed.
+    Crash {
+        /// Event time.
+        time: Time,
+        /// Crashed node.
+        slot: Slot,
+    },
+    /// A node performed its irrevocable decide action.
+    Decide {
+        /// Event time.
+        time: Time,
+        /// Deciding node.
+        slot: Slot,
+        /// Decided value.
+        value: Value,
+    },
+}
+
+impl TraceEvent {
+    /// The event's time.
+    pub fn time(&self) -> Time {
+        match *self {
+            TraceEvent::Broadcast { time, .. }
+            | TraceEvent::Deliver { time, .. }
+            | TraceEvent::Ack { time, .. }
+            | TraceEvent::Crash { time, .. }
+            | TraceEvent::Decide { time, .. } => time,
+        }
+    }
+}
+
+/// An optionally-recorded event log.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates a trace; events are recorded only when `enabled`.
+    ///
+    /// Traces are normally produced by the simulation engine, but
+    /// constructing one by hand is useful for feeding synthetic event
+    /// logs to the [conformance checker](super::conformance).
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends an event (no-op when recording is disabled).
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.enabled {
+            self.events.push(ev);
+        }
+    }
+
+    /// `true` when recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// All recorded events, in processing order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Recorded decide events, in order.
+    pub fn decisions(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Decide { .. }))
+    }
+}
+
+/// Aggregate counters for one execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Broadcasts accepted by the MAC layer.
+    pub broadcasts: u64,
+    /// Broadcast attempts discarded because one was outstanding.
+    pub busy_discards: u64,
+    /// Reliable-edge message deliveries.
+    pub deliveries: u64,
+    /// Unreliable-overlay deliveries.
+    pub unreliable_deliveries: u64,
+    /// Acks delivered to senders.
+    pub acks: u64,
+    /// Crashes that fired.
+    pub crashes: u64,
+    /// Total events processed by the engine.
+    pub events: u64,
+    /// Largest per-message id count observed.
+    pub max_message_ids: usize,
+    /// Sum of id counts over all broadcasts.
+    pub total_message_ids: u64,
+    /// Broadcast count per node (bottleneck analysis, experiment E3).
+    pub per_slot_broadcasts: Vec<u64>,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics for an `n`-node execution.
+    pub fn new(n: usize) -> Self {
+        Self {
+            per_slot_broadcasts: vec![0; n],
+            ..Self::default()
+        }
+    }
+
+    /// The largest number of broadcasts performed by any single node —
+    /// the bottleneck measure behind the `Theta(n * F_ack)` flooding
+    /// lower bound discussed in Section 4.2.
+    pub fn max_broadcasts_per_slot(&self) -> u64 {
+        self.per_slot_broadcasts.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(false);
+        t.push(TraceEvent::Ack {
+            time: Time(1),
+            slot: Slot(0),
+        });
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_and_filters() {
+        let mut t = Trace::new(true);
+        t.push(TraceEvent::Broadcast {
+            time: Time(1),
+            slot: Slot(0),
+            ids: 2,
+        });
+        t.push(TraceEvent::Decide {
+            time: Time(3),
+            slot: Slot(0),
+            value: 1,
+        });
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.decisions().count(), 1);
+        assert_eq!(t.events()[1].time(), Time(3));
+    }
+
+    #[test]
+    fn metrics_bottleneck_helper() {
+        let mut m = Metrics::new(3);
+        m.per_slot_broadcasts[1] = 7;
+        m.per_slot_broadcasts[2] = 3;
+        assert_eq!(m.max_broadcasts_per_slot(), 7);
+        assert_eq!(Metrics::new(0).max_broadcasts_per_slot(), 0);
+    }
+}

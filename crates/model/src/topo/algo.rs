@@ -1,0 +1,196 @@
+//! Graph algorithms over [`Topology`]: BFS, distances, diameter,
+//! connectivity, and shortest-path trees.
+//!
+//! The lower-bound constructions (Figures 1 and 2) make exact claims
+//! about diameter (Claim 3.4); these routines let tests verify those
+//! claims rather than trust them.
+
+use std::collections::VecDeque;
+
+use crate::ids::Slot;
+
+use super::Topology;
+
+/// Distance value for unreachable vertices.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+impl Topology {
+    /// Breadth-first distances from `src` to every vertex.
+    ///
+    /// Unreachable vertices get [`UNREACHABLE`].
+    pub fn bfs_distances(&self, src: Slot) -> Vec<u32> {
+        let mut dist = vec![UNREACHABLE; self.len()];
+        let mut q = VecDeque::new();
+        dist[src.0] = 0;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u.0];
+            for &v in self.neighbors(u) {
+                if dist[v.0] == UNREACHABLE {
+                    dist[v.0] = du + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Hop distance between two vertices, or [`UNREACHABLE`].
+    pub fn distance(&self, u: Slot, v: Slot) -> u32 {
+        self.bfs_distances(u)[v.0]
+    }
+
+    /// `true` iff the graph is connected (the empty graph counts as
+    /// connected).
+    pub fn is_connected(&self) -> bool {
+        if self.len() == 0 {
+            return true;
+        }
+        self.bfs_distances(Slot(0))
+            .iter()
+            .all(|&d| d != UNREACHABLE)
+    }
+
+    /// Eccentricity of `src`: the maximum BFS distance to any vertex.
+    ///
+    /// Returns [`UNREACHABLE`] if some vertex is unreachable.
+    pub fn eccentricity(&self, src: Slot) -> u32 {
+        self.bfs_distances(src).into_iter().max().unwrap_or(0)
+    }
+
+    /// Exact diameter by running BFS from every vertex.
+    ///
+    /// Returns `0` for graphs with at most one vertex and
+    /// [`UNREACHABLE`] for disconnected graphs. Quadratic in `n`; fine
+    /// for the test- and bench-scale graphs used here.
+    pub fn diameter(&self) -> u32 {
+        if self.len() <= 1 {
+            return 0;
+        }
+        let mut best = 0;
+        for s in self.slots() {
+            let e = self.eccentricity(s);
+            if e == UNREACHABLE {
+                return UNREACHABLE;
+            }
+            best = best.max(e);
+        }
+        best
+    }
+
+    /// BFS parent pointers from `root`: `parent[root] = root`,
+    /// `parent[v] = u` for the BFS tree edge `u -> v`, and `None` for
+    /// unreachable vertices.
+    ///
+    /// Ties (multiple shortest predecessors) resolve to the
+    /// smallest-slot parent, deterministically.
+    pub fn bfs_tree(&self, root: Slot) -> Vec<Option<Slot>> {
+        let mut parent = vec![None; self.len()];
+        let mut dist = vec![UNREACHABLE; self.len()];
+        let mut q = VecDeque::new();
+        parent[root.0] = Some(root);
+        dist[root.0] = 0;
+        q.push_back(root);
+        while let Some(u) = q.pop_front() {
+            for &v in self.neighbors(u) {
+                if dist[v.0] == UNREACHABLE {
+                    dist[v.0] = dist[u.0] + 1;
+                    parent[v.0] = Some(u);
+                    q.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Number of connected components.
+    pub fn component_count(&self) -> usize {
+        let mut seen = vec![false; self.len()];
+        let mut count = 0;
+        for s in self.slots() {
+            if seen[s.0] {
+                continue;
+            }
+            count += 1;
+            let mut q = VecDeque::new();
+            seen[s.0] = true;
+            q.push_back(s);
+            while let Some(u) = q.pop_front() {
+                for &v in self.neighbors(u) {
+                    if !seen[v.0] {
+                        seen[v.0] = true;
+                        q.push_back(v);
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_distances() {
+        let t = Topology::line(5);
+        let d = t.bfs_distances(Slot(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.distance(Slot(0), Slot(4)), 4);
+        assert_eq!(t.diameter(), 4);
+    }
+
+    #[test]
+    fn clique_diameter_is_one() {
+        assert_eq!(Topology::clique(6).diameter(), 1);
+        assert_eq!(Topology::clique(1).diameter(), 0);
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let t = Topology::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!t.is_connected());
+        assert_eq!(t.diameter(), UNREACHABLE);
+        assert_eq!(t.component_count(), 2);
+        assert_eq!(t.distance(Slot(0), Slot(3)), UNREACHABLE);
+    }
+
+    #[test]
+    fn bfs_tree_parents_point_toward_root() {
+        let t = Topology::line(4);
+        let p = t.bfs_tree(Slot(0));
+        assert_eq!(p[0], Some(Slot(0)));
+        assert_eq!(p[1], Some(Slot(0)));
+        assert_eq!(p[2], Some(Slot(1)));
+        assert_eq!(p[3], Some(Slot(2)));
+    }
+
+    #[test]
+    fn bfs_tree_breaks_ties_deterministically() {
+        // Square: 0-1, 0-2, 1-3, 2-3. Vertex 3 has two shortest parents
+        // (1 and 2); the smaller slot wins.
+        let t = Topology::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let p = t.bfs_tree(Slot(0));
+        assert_eq!(p[3], Some(Slot(1)));
+    }
+
+    #[test]
+    fn eccentricity_of_line_center() {
+        let t = Topology::line(5);
+        assert_eq!(t.eccentricity(Slot(2)), 2);
+        assert_eq!(t.eccentricity(Slot(0)), 4);
+    }
+
+    #[test]
+    fn ring_diameter() {
+        assert_eq!(Topology::ring(8).diameter(), 4);
+        assert_eq!(Topology::ring(7).diameter(), 3);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(Topology::from_edges(0, &[]).is_connected());
+        assert_eq!(Topology::from_edges(1, &[]).diameter(), 0);
+    }
+}

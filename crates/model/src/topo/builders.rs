@@ -1,0 +1,282 @@
+//! Standard topology builders.
+//!
+//! These cover the workloads used throughout the evaluation: cliques
+//! for the single-hop algorithm (Section 4.1), lines for the time lower
+//! bound (Theorem 3.10), grids/tori/random graphs for general multihop
+//! wPAXOS runs, and stars / stars-of-lines for the aggregation
+//! bottleneck experiment (E3): a hub that must relay `Θ(n)` acceptor
+//! responses with `O(1)` ids per message.
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use super::graph::{Topology, TopologyBuilder};
+
+impl Topology {
+    /// Complete graph on `n` vertices (the single-hop setting).
+    pub fn clique(n: usize) -> Self {
+        let mut b = TopologyBuilder::new(n);
+        let verts: Vec<usize> = (0..n).collect();
+        b.clique_among(&verts);
+        b.build()
+    }
+
+    /// Path `0 - 1 - ... - n-1` (diameter `n - 1`).
+    pub fn line(n: usize) -> Self {
+        let mut b = TopologyBuilder::new(n);
+        let verts: Vec<usize> = (0..n).collect();
+        b.path(&verts);
+        b.build()
+    }
+
+    /// Cycle on `n >= 3` vertices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "ring needs at least 3 vertices");
+        let mut b = TopologyBuilder::new(n);
+        let verts: Vec<usize> = (0..n).collect();
+        b.path(&verts);
+        b.edge(n - 1, 0);
+        b.build()
+    }
+
+    /// Star with hub `0` and `n - 1` leaves (diameter 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 2, "star needs at least 2 vertices");
+        let mut b = TopologyBuilder::new(n);
+        for v in 1..n {
+            b.edge(0, v);
+        }
+        b.build()
+    }
+
+    /// `w x h` grid; vertex `(x, y)` is slot `y * w + x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn grid(w: usize, h: usize) -> Self {
+        assert!(w > 0 && h > 0, "grid dimensions must be positive");
+        let mut b = TopologyBuilder::new(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                let s = y * w + x;
+                if x + 1 < w {
+                    b.edge(s, s + 1);
+                }
+                if y + 1 < h {
+                    b.edge(s, s + w);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// `w x h` torus (grid with wraparound); requires `w, h >= 3`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 3 (smaller wraps would
+    /// create duplicate or self edges).
+    pub fn torus(w: usize, h: usize) -> Self {
+        assert!(w >= 3 && h >= 3, "torus needs both dimensions >= 3");
+        let mut b = TopologyBuilder::new(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                let s = y * w + x;
+                b.edge(s, y * w + (x + 1) % w);
+                b.edge(s, ((y + 1) % h) * w + x);
+            }
+        }
+        b.build()
+    }
+
+    /// Connected Erdos-Renyi-style random graph: a random spanning tree
+    /// (guaranteeing connectivity) plus each remaining edge with
+    /// probability `p`. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `p` is not in `[0, 1]`.
+    pub fn random_connected(n: usize, p: f64, seed: u64) -> Self {
+        assert!(n > 0, "random_connected needs at least one vertex");
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = TopologyBuilder::new(n);
+        // Random spanning tree: attach each vertex (in a random order)
+        // to a uniformly random earlier vertex.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut rng);
+        for i in 1..n {
+            let j = rng.gen_range(0..i);
+            b.edge(order[i], order[j]);
+        }
+        for u in 0..n {
+            for v in u + 1..n {
+                if rng.gen_bool(p) {
+                    b.edge(u, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Uniformly random labeled tree on `n` vertices (via random
+    /// attachment). Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn random_tree(n: usize, seed: u64) -> Self {
+        Self::random_connected(n, 0.0, seed)
+    }
+
+    /// Barbell: two `k`-cliques joined by a path of `bridge` extra
+    /// vertices. With `bridge = 0` the cliques share a single edge
+    /// between their endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 1`.
+    pub fn barbell(k: usize, bridge: usize) -> Self {
+        assert!(k >= 1, "barbell cliques need at least one vertex");
+        let n = 2 * k + bridge;
+        let mut b = TopologyBuilder::new(n);
+        let left: Vec<usize> = (0..k).collect();
+        let right: Vec<usize> = (k + bridge..n).collect();
+        b.clique_among(&left);
+        b.clique_among(&right);
+        let mut chain = vec![k - 1];
+        chain.extend(k..k + bridge);
+        chain.push(k + bridge);
+        b.path(&chain);
+        b.build()
+    }
+
+    /// Star of lines: `arms` paths of `arm_len` vertices, all attached
+    /// to a central hub (slot 0). Diameter `2 * arm_len`; size
+    /// `arms * arm_len + 1`.
+    ///
+    /// This is the bottleneck workload for experiment E3: all traffic
+    /// between arms funnels through the hub.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms < 1` or `arm_len < 1`.
+    pub fn star_of_lines(arms: usize, arm_len: usize) -> Self {
+        assert!(arms >= 1 && arm_len >= 1);
+        let n = arms * arm_len + 1;
+        let mut b = TopologyBuilder::new(n);
+        for a in 0..arms {
+            let base = 1 + a * arm_len;
+            b.edge(0, base);
+            for i in 0..arm_len - 1 {
+                b.edge(base + i, base + i + 1);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Slot;
+
+    #[test]
+    fn clique_shape() {
+        let t = Topology::clique(5);
+        assert_eq!(t.edge_count(), 10);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), 1);
+    }
+
+    #[test]
+    fn line_shape() {
+        let t = Topology::line(6);
+        assert_eq!(t.edge_count(), 5);
+        assert_eq!(t.diameter(), 5);
+        assert_eq!(t.degree(Slot(0)), 1);
+        assert_eq!(t.degree(Slot(3)), 2);
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = Topology::star(7);
+        assert_eq!(t.edge_count(), 6);
+        assert_eq!(t.diameter(), 2);
+        assert_eq!(t.degree(Slot(0)), 6);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let t = Topology::grid(4, 3);
+        assert_eq!(t.len(), 12);
+        assert_eq!(t.edge_count(), 3 * 3 + 4 * 2); // horizontal + vertical
+        assert_eq!(t.diameter(), 3 + 2);
+    }
+
+    #[test]
+    fn torus_shape() {
+        let t = Topology::torus(4, 4);
+        assert_eq!(t.len(), 16);
+        assert_eq!(t.edge_count(), 32);
+        assert_eq!(t.diameter(), 4);
+        for s in t.slots() {
+            assert_eq!(t.degree(s), 4);
+        }
+    }
+
+    #[test]
+    fn random_connected_is_connected_and_deterministic() {
+        for seed in 0..20 {
+            let t = Topology::random_connected(40, 0.05, seed);
+            assert!(t.is_connected(), "seed {seed} disconnected");
+            let t2 = Topology::random_connected(40, 0.05, seed);
+            assert_eq!(t, t2, "seed {seed} not deterministic");
+        }
+    }
+
+    #[test]
+    fn random_tree_has_n_minus_1_edges() {
+        for seed in 0..10 {
+            let t = Topology::random_tree(25, seed);
+            assert_eq!(t.edge_count(), 24);
+            assert!(t.is_connected());
+        }
+    }
+
+    #[test]
+    fn barbell_shape() {
+        let t = Topology::barbell(4, 3);
+        assert_eq!(t.len(), 11);
+        assert!(t.is_connected());
+        // Left clique internal diameter 1, bridge length 4 hops, right 1.
+        assert_eq!(t.diameter(), 1 + 4 + 1);
+    }
+
+    #[test]
+    fn barbell_zero_bridge() {
+        let t = Topology::barbell(3, 0);
+        assert_eq!(t.len(), 6);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), 3);
+    }
+
+    #[test]
+    fn star_of_lines_shape() {
+        let t = Topology::star_of_lines(5, 3);
+        assert_eq!(t.len(), 16);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter(), 6);
+        assert_eq!(t.degree(Slot(0)), 5);
+    }
+}

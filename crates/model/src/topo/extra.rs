@@ -1,0 +1,156 @@
+//! Additional topology families used by the wider experiment sweeps:
+//! hypercubes (logarithmic diameter at exponential size), complete
+//! binary trees (logarithmic diameter with relay bottlenecks at the
+//! root), caterpillars (long spines with leaf load), and lollipops
+//! (clique + tail, the classic mixing-time pathology).
+
+use super::graph::{Topology, TopologyBuilder};
+
+impl Topology {
+    /// The `dim`-dimensional hypercube: `2^dim` vertices, diameter
+    /// `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `dim > 16`.
+    pub fn hypercube(dim: usize) -> Self {
+        assert!(dim >= 1 && dim <= 16, "dimension must be in 1..=16");
+        let n = 1usize << dim;
+        let mut b = TopologyBuilder::new(n);
+        for v in 0..n {
+            for bit in 0..dim {
+                let u = v ^ (1 << bit);
+                if u > v {
+                    b.edge(v, u);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Complete binary tree with the given number of levels (root at
+    /// slot 0; `2^levels - 1` vertices; diameter `2 * (levels - 1)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0` or `levels > 16`.
+    pub fn binary_tree(levels: usize) -> Self {
+        assert!(levels >= 1 && levels <= 16, "levels must be in 1..=16");
+        let n = (1usize << levels) - 1;
+        let mut b = TopologyBuilder::new(n);
+        for v in 1..n {
+            b.edge(v, (v - 1) / 2);
+        }
+        b.build()
+    }
+
+    /// Caterpillar: a spine path of `spine` vertices with `legs` leaves
+    /// attached to every spine vertex. Size `spine * (legs + 1)`;
+    /// diameter `spine + 1` for `legs >= 1` (leaf to far leaf).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spine == 0`.
+    pub fn caterpillar(spine: usize, legs: usize) -> Self {
+        assert!(spine >= 1, "need a spine");
+        let n = spine * (legs + 1);
+        let mut b = TopologyBuilder::new(n);
+        for s in 0..spine.saturating_sub(1) {
+            b.edge(s, s + 1);
+        }
+        for s in 0..spine {
+            for l in 0..legs {
+                b.edge(s, spine + s * legs + l);
+            }
+        }
+        b.build()
+    }
+
+    /// Lollipop: a `k`-clique with a tail path of `tail` extra
+    /// vertices. Size `k + tail`; diameter `tail + 1` for `k >= 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn lollipop(k: usize, tail: usize) -> Self {
+        assert!(k >= 1, "need a clique head");
+        let n = k + tail;
+        let mut b = TopologyBuilder::new(n);
+        let head: Vec<usize> = (0..k).collect();
+        b.clique_among(&head);
+        let mut chain = vec![k - 1];
+        chain.extend(k..n);
+        b.path(&chain);
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Slot;
+
+    #[test]
+    fn hypercube_shape() {
+        for dim in 1..=6 {
+            let t = Topology::hypercube(dim);
+            assert_eq!(t.len(), 1 << dim);
+            assert!(t.is_connected());
+            assert_eq!(t.diameter() as usize, dim, "dim {dim}");
+            for s in t.slots() {
+                assert_eq!(t.degree(s), dim);
+            }
+            assert_eq!(t.edge_count(), dim * (1 << dim) / 2);
+        }
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        for levels in 1..=6 {
+            let t = Topology::binary_tree(levels);
+            assert_eq!(t.len(), (1 << levels) - 1);
+            assert!(t.is_connected());
+            assert_eq!(t.edge_count(), t.len() - 1);
+            assert_eq!(t.diameter() as usize, 2 * (levels - 1), "levels {levels}");
+        }
+        // Root degree 2, internal degree 3, leaf degree 1.
+        let t = Topology::binary_tree(4);
+        assert_eq!(t.degree(Slot(0)), 2);
+        assert_eq!(t.degree(Slot(1)), 3);
+        assert_eq!(t.degree(Slot(14)), 1);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = Topology::caterpillar(5, 2);
+        assert_eq!(t.len(), 15);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter() as usize, 6);
+        assert_eq!(t.degree(Slot(0)), 3); // spine end: 1 spine + 2 legs
+        assert_eq!(t.degree(Slot(2)), 4); // mid spine: 2 spine + 2 legs
+
+        let bare = Topology::caterpillar(4, 0);
+        assert_eq!(bare.diameter() as usize, 3);
+    }
+
+    #[test]
+    fn lollipop_shape() {
+        let t = Topology::lollipop(5, 3);
+        assert_eq!(t.len(), 8);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter() as usize, 4);
+        assert_eq!(t.degree(Slot(0)), 4);
+        assert_eq!(t.degree(Slot(7)), 1);
+
+        let no_tail = Topology::lollipop(4, 0);
+        assert_eq!(no_tail.diameter(), 1);
+    }
+
+    #[test]
+    fn singleton_corner_cases() {
+        assert_eq!(Topology::hypercube(1).len(), 2);
+        assert_eq!(Topology::binary_tree(1).len(), 1);
+        assert_eq!(Topology::caterpillar(1, 0).len(), 1);
+        assert_eq!(Topology::lollipop(1, 2).len(), 3);
+    }
+}

@@ -1,0 +1,402 @@
+//! Figure 1 of the paper: Networks A and B for the anonymity lower
+//! bound (Theorem 3.3).
+//!
+//! The theorem shows that no *anonymous* algorithm solves consensus in
+//! all networks of a given (even) diameter `D` and size `n'`, even when
+//! nodes know both. The proof builds two networks of identical size and
+//! diameter:
+//!
+//! * **Network A** contains two disjoint copies of a *gadget* joined
+//!   through a bridge node `q` (plus a clique `C` hanging off `q` to
+//!   pad the size). One gadget starts with input 0, the other with 1.
+//! * **Network B** is a connected **3-fold covering graph (3-lift)** of
+//!   the gadget: three copies of every gadget vertex, with edges
+//!   arranged so each copy of `u` has *exactly one* neighbor in the
+//!   copy-set `S_v` of each gadget-neighbor `v`, and no other edges —
+//!   this is property (*) used by Lemma 3.6.
+//!
+//! While `q` stays silent, an anonymous node in a Network A gadget
+//! cannot distinguish its execution from Network B, where all nodes
+//! share one input and must decide it. Running the same algorithm with
+//! inputs 0 and 1 in the two A-gadgets then violates agreement.
+//!
+//! ## Construction details (and one deviation from the paper)
+//!
+//! A covering graph of a tree is a forest, so for Network B to be
+//! *connected* the gadget must contain a cycle. We realize the gadget
+//! as:
+//!
+//! * a chain `c - a_1 - a_2 - ... - a_d`,
+//! * a 4-cycle `a_1 - a^+_2 - a^+_3 - a^+_4 - a_1` (the three `a^+`
+//!   nodes of Figure 1),
+//! * `k` leaves `a^*_1..a^*_k` attached to `a_{d-1}`.
+//!
+//! Gadget size is `g = d + k + 4`, so `n' = 3g = 3(d + k) + 12`,
+//! exactly the paper's count. Network B identity-lifts every gadget
+//! edge except `a^+_4 - a_1`, which is lifted with a cyclic shift
+//! (`a^+_4` of copy `i` connects to `a_1` of copy `i+1 mod 3`). This
+//! makes B connected, puts the three `a_1` copies pairwise at distance
+//! 4, and gives both networks diameter exactly `2d + 2 = D`.
+//!
+//! The paper's garbled figure does not pin down where the `a^+` nodes
+//! attach; our 4-cycle placement is the (unique, up to symmetry) choice
+//! that satisfies all of the proof's stated requirements — size
+//! `3(d+k)+12`, diameter exactly `D` for both networks, and property
+//! (*) — but it needs `d >= 3`, i.e. even `D >= 8`, rather than the
+//! paper's `D >= 4`. Tests verify Claim 3.4 (size and diameter) and
+//! property (*) programmatically for a sweep of `D` and `n`.
+
+use crate::ids::Slot;
+
+use super::graph::{Topology, TopologyBuilder};
+
+/// Local (within-gadget) vertex indices.
+///
+/// `c = 0`, `a_i = i` for `1 <= i <= d`, `a^+_2.. a^+_4 = d+1..d+3`,
+/// `a^*_j = d + 4 + j` for `0 <= j < k`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GadgetVertex(pub usize);
+
+/// The Figure 1 pair of networks, with bookkeeping for the
+/// indistinguishability argument.
+#[derive(Clone, Debug)]
+pub struct Fig1 {
+    d: usize,
+    k: usize,
+    network_a: Topology,
+    network_b: Topology,
+}
+
+/// Parameters derived from a `(D, n)` pair per Theorem 3.3.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Fig1Params {
+    /// Half the gadget-chain length: `d = (D - 2) / 2`.
+    pub d: usize,
+    /// Number of `a^*` padding leaves per gadget.
+    pub k: usize,
+    /// The realized network size `n' = 3(d + k) + 12 >= n`.
+    pub n_prime: usize,
+}
+
+impl Fig1Params {
+    /// Computes `(d, k, n')` for a requested even diameter `D >= 8` and
+    /// size floor `n`, following the theorem: `k` is the smallest
+    /// integer `>= 0` with `3((D-2)/2 + k) + 12 >= n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `D` is odd or below 8 (see module docs for why this
+    /// construction needs `d >= 3`).
+    pub fn for_diameter_and_size(diameter: usize, n: usize) -> Self {
+        assert!(diameter >= 8, "this construction needs even D >= 8");
+        assert_eq!(diameter % 2, 0, "D must be even");
+        let d = (diameter - 2) / 2;
+        let base = 3 * d + 12;
+        let k = if n > base {
+            // Smallest k with 3(d + k) + 12 >= n.
+            (n - base).div_ceil(3)
+        } else {
+            0
+        };
+        Self {
+            d,
+            k,
+            n_prime: 3 * (d + k) + 12,
+        }
+    }
+}
+
+impl Fig1 {
+    /// Builds the Network A / Network B pair for the given parameters.
+    pub fn new(params: Fig1Params) -> Self {
+        let Fig1Params { d, k, .. } = params;
+        assert!(d >= 3, "gadget chain parameter d must be >= 3");
+        let g = d + k + 4;
+
+        // Network A: gadget 0 at offset 0, gadget 1 at offset g,
+        // bridge q at 2g, clique C at 2g+1 .. 3g.
+        let mut a = TopologyBuilder::new(3 * g);
+        for off in [0, g] {
+            add_gadget_edges(&mut a, off, d, k, None);
+        }
+        let q = 2 * g;
+        a.edge(q, 0); // q - c of gadget 0
+        a.edge(q, g); // q - c of gadget 1
+        let clique: Vec<usize> = (2 * g + 1..3 * g).collect();
+        a.clique_among(&clique);
+        for &x in &clique {
+            a.edge(q, x);
+        }
+
+        // Network B: three gadget copies at offsets 0, g, 2g; identity
+        // lift everywhere except the a^+_4 - a_1 edge, which shifts to
+        // the next copy.
+        let mut b = TopologyBuilder::new(3 * g);
+        for i in 0..3 {
+            let next_a1 = ((i + 1) % 3) * g + 1;
+            add_gadget_edges(&mut b, i * g, d, k, Some(next_a1));
+        }
+
+        Self {
+            d,
+            k,
+            network_a: a.build(),
+            network_b: b.build(),
+        }
+    }
+
+    /// Builds directly from a `(D, n)` request.
+    pub fn for_diameter_and_size(diameter: usize, n: usize) -> Self {
+        Self::new(Fig1Params::for_diameter_and_size(diameter, n))
+    }
+
+    /// Gadget size `g = d + k + 4`.
+    pub fn gadget_size(&self) -> usize {
+        self.d + self.k + 4
+    }
+
+    /// Realized network size `n' = 3g` (both networks).
+    pub fn n_prime(&self) -> usize {
+        3 * self.gadget_size()
+    }
+
+    /// The target diameter `D = 2d + 2` of both networks.
+    pub fn diameter(&self) -> usize {
+        2 * self.d + 2
+    }
+
+    /// Network A (two gadgets + bridge `q` + clique `C`).
+    pub fn network_a(&self) -> &Topology {
+        &self.network_a
+    }
+
+    /// Network B (connected 3-lift of the gadget).
+    pub fn network_b(&self) -> &Topology {
+        &self.network_b
+    }
+
+    /// Slots of gadget `idx` (0 or 1) in Network A — the node sets
+    /// `A_0` and `A_1` of the proof.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx > 1`.
+    pub fn a_gadget_slots(&self, idx: usize) -> Vec<Slot> {
+        assert!(idx <= 1);
+        let g = self.gadget_size();
+        (idx * g..(idx + 1) * g).map(Slot).collect()
+    }
+
+    /// The bridge node `q` in Network A.
+    pub fn q_slot(&self) -> Slot {
+        Slot(2 * self.gadget_size())
+    }
+
+    /// The padding-clique slots `C` in Network A.
+    pub fn clique_slots(&self) -> Vec<Slot> {
+        let g = self.gadget_size();
+        (2 * g + 1..3 * g).map(Slot).collect()
+    }
+
+    /// For gadget-local vertex `u`, the copy-set `S_u`: the three slots
+    /// of Network B corresponding to `u`.
+    pub fn s_u(&self, u: GadgetVertex) -> [Slot; 3] {
+        let g = self.gadget_size();
+        assert!(u.0 < g, "gadget vertex out of range");
+        [Slot(u.0), Slot(g + u.0), Slot(2 * g + u.0)]
+    }
+
+    /// Maps a Network A gadget slot to its gadget-local vertex, or
+    /// `None` for `q` / clique slots.
+    pub fn local_vertex(&self, slot: Slot) -> Option<GadgetVertex> {
+        let g = self.gadget_size();
+        if slot.0 < 2 * g {
+            Some(GadgetVertex(slot.0 % g))
+        } else {
+            None
+        }
+    }
+
+    /// Gadget-local edge list (used by the lift verification).
+    pub fn gadget_edges(&self) -> Vec<(usize, usize)> {
+        let mut b = TopologyBuilder::new(self.gadget_size());
+        add_gadget_edges(&mut b, 0, self.d, self.k, None);
+        b.build().edges().map(|(u, v)| (u.0, v.0)).collect()
+    }
+
+    /// Verifies property (*) of Lemma 3.6: Network B is an exact 3-lift
+    /// of the gadget — every copy `u'` of gadget vertex `u` has exactly
+    /// one neighbor in `S_v` for each gadget neighbor `v` of `u`, and
+    /// no neighbors outside those sets.
+    ///
+    /// Returns `Err` with a description of the first violation.
+    pub fn verify_lift_property(&self) -> Result<(), String> {
+        let g = self.gadget_size();
+        let gadget = Topology::from_edges(g, &self.gadget_edges());
+        for u in 0..g {
+            let su = self.s_u(GadgetVertex(u));
+            let nbrs_in_gadget: Vec<usize> =
+                gadget.neighbors(Slot(u)).iter().map(|s| s.0).collect();
+            for &u_copy in &su {
+                let actual: Vec<usize> = self
+                    .network_b
+                    .neighbors(u_copy)
+                    .iter()
+                    .map(|s| s.0)
+                    .collect();
+                if actual.len() != nbrs_in_gadget.len() {
+                    return Err(format!(
+                        "copy {u_copy:?} of gadget vertex {u} has degree {} != gadget degree {}",
+                        actual.len(),
+                        nbrs_in_gadget.len()
+                    ));
+                }
+                for &v in &nbrs_in_gadget {
+                    let sv = self.s_u(GadgetVertex(v));
+                    let count = actual.iter().filter(|&&w| sv.iter().any(|s| s.0 == w)).count();
+                    if count != 1 {
+                        return Err(format!(
+                            "copy {u_copy:?} of vertex {u} has {count} neighbors in S_{v} (want 1)"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Adds one gadget copy's edges at slot offset `off`.
+///
+/// `lifted_a1`: when `Some(t)`, the `a^+_4 - a_1` cycle-closing edge
+/// attaches `a^+_4` to absolute slot `t` instead of this copy's own
+/// `a_1` (the Network B cyclic lift). When `None`, the edge stays
+/// within the copy (Network A / the base gadget).
+fn add_gadget_edges(
+    b: &mut TopologyBuilder,
+    off: usize,
+    d: usize,
+    k: usize,
+    lifted_a1: Option<usize>,
+) {
+    let c = off;
+    let a = |i: usize| off + i; // a_i, 1 <= i <= d
+    let ap2 = off + d + 1;
+    let ap3 = off + d + 2;
+    let ap4 = off + d + 3;
+
+    b.edge(c, a(1));
+    for i in 1..d {
+        b.edge(a(i), a(i + 1));
+    }
+    b.edge(a(1), ap2);
+    b.edge(ap2, ap3);
+    b.edge(ap3, ap4);
+    b.edge(ap4, lifted_a1.unwrap_or_else(|| a(1)));
+    for j in 0..k {
+        b.edge(a(d - 1), off + d + 4 + j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_match_theorem_formula() {
+        let p = Fig1Params::for_diameter_and_size(10, 30);
+        assert_eq!(p.d, 4);
+        // base = 3*4 + 12 = 24 < 30 => k = ceil(6/3) = 2, n' = 3*6+12 = 30.
+        assert_eq!(p.k, 2);
+        assert_eq!(p.n_prime, 30);
+        assert!(p.n_prime >= 30);
+    }
+
+    #[test]
+    fn params_with_small_n_use_k_zero() {
+        let p = Fig1Params::for_diameter_and_size(12, 10);
+        assert_eq!(p.d, 5);
+        assert_eq!(p.k, 0);
+        assert_eq!(p.n_prime, 27);
+    }
+
+    #[test]
+    fn n_prime_is_within_constant_factor_of_n() {
+        // Theorem 3.3 promises n' in {n, ..., c*n} for a constant c.
+        for n in 12..200 {
+            let p = Fig1Params::for_diameter_and_size(8, n);
+            assert!(p.n_prime >= n);
+            assert!(p.n_prime <= 3 * n + 27, "n={n} gave n'={}", p.n_prime);
+        }
+    }
+
+    #[test]
+    fn claim_3_4_sizes_and_diameters() {
+        // Claim 3.4: both networks have size n' and diameter D.
+        for diameter in [8usize, 10, 12, 16] {
+            for n in [10usize, 40, 100] {
+                let fig = Fig1::for_diameter_and_size(diameter, n);
+                let a = fig.network_a();
+                let b = fig.network_b();
+                assert_eq!(a.len(), fig.n_prime(), "D={diameter} n={n} A size");
+                assert_eq!(b.len(), fig.n_prime(), "D={diameter} n={n} B size");
+                assert!(a.is_connected());
+                assert!(b.is_connected());
+                assert_eq!(a.diameter() as usize, diameter, "D={diameter} n={n} A diam");
+                assert_eq!(b.diameter() as usize, diameter, "D={diameter} n={n} B diam");
+            }
+        }
+    }
+
+    #[test]
+    fn network_b_is_an_exact_3_lift() {
+        for diameter in [8usize, 10, 14] {
+            let fig = Fig1::for_diameter_and_size(diameter, 20);
+            fig.verify_lift_property().expect("property (*)");
+        }
+    }
+
+    #[test]
+    fn gadget_bookkeeping_is_consistent() {
+        let fig = Fig1::for_diameter_and_size(8, 24);
+        let g = fig.gadget_size();
+        assert_eq!(fig.n_prime(), 3 * g);
+        assert_eq!(fig.a_gadget_slots(0).len(), g);
+        assert_eq!(fig.a_gadget_slots(1).len(), g);
+        assert_eq!(fig.q_slot().0, 2 * g);
+        assert_eq!(fig.clique_slots().len(), g - 1);
+        // Every gadget slot maps back to a local vertex; q and clique do not.
+        assert_eq!(fig.local_vertex(Slot(0)), Some(GadgetVertex(0)));
+        assert_eq!(fig.local_vertex(Slot(g + 2)), Some(GadgetVertex(2)));
+        assert_eq!(fig.local_vertex(fig.q_slot()), None);
+        assert_eq!(fig.local_vertex(fig.clique_slots()[0]), None);
+    }
+
+    #[test]
+    fn q_touches_both_gadgets_at_c_only() {
+        let fig = Fig1::for_diameter_and_size(10, 30);
+        let g = fig.gadget_size();
+        let a = fig.network_a();
+        let q = fig.q_slot();
+        let nbrs = a.neighbors(q);
+        // q's gadget neighbors are exactly the two c nodes.
+        let gadget_nbrs: Vec<_> = nbrs.iter().filter(|s| s.0 < 2 * g).collect();
+        assert_eq!(gadget_nbrs.len(), 2);
+        assert_eq!(gadget_nbrs[0].0, 0);
+        assert_eq!(gadget_nbrs[1].0, g);
+        // Plus the whole clique.
+        assert_eq!(nbrs.len(), 2 + (g - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "even D >= 8")]
+    fn rejects_small_diameter() {
+        Fig1Params::for_diameter_and_size(6, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn rejects_odd_diameter() {
+        Fig1Params::for_diameter_and_size(9, 20);
+    }
+}

@@ -1,0 +1,179 @@
+//! Figure 2 of the paper: the `K_D` network for the knowledge-of-`n`
+//! lower bound (Theorem 3.9).
+//!
+//! `K_D` consists of two copies of the line `L_D` (each `D + 1` nodes)
+//! and one line `L_{D-1}` (`D` nodes), with an edge from **every** node
+//! of both `L_D` copies to one fixed endpoint (the *hub*) of the
+//! `L_{D-1}` line. The long tail gives the network diameter exactly
+//! `D`, while each `L_D` copy sits one hop from the hub.
+//!
+//! The proof starts copy 1 with input 0 and copy 2 with input 1 and
+//! uses a *semi-synchronous* scheduler that withholds all messages from
+//! the hub to the `L_D` copies for `t` synchronous steps. During that
+//! window each copy's execution is indistinguishable from running alone
+//! on a plain line `L_D` with a uniform input — so an algorithm that
+//! (lacking knowledge of `n`) terminates on every line within `t` steps
+//! decides 0 in copy 1 and 1 in copy 2, violating agreement.
+
+use crate::ids::Slot;
+
+use super::graph::{Topology, TopologyBuilder};
+
+/// The `K_D` network with slot bookkeeping.
+#[derive(Clone, Debug)]
+pub struct KdNetwork {
+    diameter: usize,
+    topo: Topology,
+}
+
+impl KdNetwork {
+    /// Builds `K_D` for the given diameter `D >= 2`.
+    ///
+    /// Slot layout: copy 1 of `L_D` at `0..=D`, copy 2 at
+    /// `D+1..=2D+1`, the `L_{D-1}` tail at `2D+2..3D+2` with the hub at
+    /// slot `2D+2`. Total size `3D + 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diameter < 2` (the tail would be empty).
+    pub fn new(diameter: usize) -> Self {
+        assert!(diameter >= 2, "K_D needs D >= 2");
+        let d = diameter;
+        let n = 3 * d + 2;
+        let mut b = TopologyBuilder::new(n);
+        // The two L_D copies: lines of D+1 nodes.
+        let copy1: Vec<usize> = (0..=d).collect();
+        let copy2: Vec<usize> = (d + 1..=2 * d + 1).collect();
+        b.path(&copy1);
+        b.path(&copy2);
+        // The L_{D-1} tail: a line of D nodes, hub first.
+        let tail: Vec<usize> = (2 * d + 2..n).collect();
+        b.path(&tail);
+        // Every node of both copies attaches to the hub.
+        let hub = 2 * d + 2;
+        for &v in copy1.iter().chain(copy2.iter()) {
+            b.edge(v, hub);
+        }
+        Self {
+            diameter: d,
+            topo: b.build(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The requested diameter `D`.
+    pub fn diameter(&self) -> usize {
+        self.diameter
+    }
+
+    /// Slots of `L_D` copy 1 (started with input 0 in the proof).
+    pub fn copy1_slots(&self) -> Vec<Slot> {
+        (0..=self.diameter).map(Slot).collect()
+    }
+
+    /// Slots of `L_D` copy 2 (started with input 1 in the proof).
+    pub fn copy2_slots(&self) -> Vec<Slot> {
+        (self.diameter + 1..=2 * self.diameter + 1).map(Slot).collect()
+    }
+
+    /// Slots of the `L_{D-1}` tail, hub first.
+    pub fn tail_slots(&self) -> Vec<Slot> {
+        (2 * self.diameter + 2..3 * self.diameter + 2)
+            .map(Slot)
+            .collect()
+    }
+
+    /// The hub: the tail endpoint adjacent to every copy node.
+    pub fn hub(&self) -> Slot {
+        Slot(2 * self.diameter + 2)
+    }
+
+    /// Within copy `idx` (1 or 2), the slot at line position `pos`
+    /// (`0..=D`).
+    ///
+    /// # Panics
+    ///
+    /// Panics for `idx` not in `{1, 2}` or `pos > D`.
+    pub fn copy_slot(&self, idx: usize, pos: usize) -> Slot {
+        assert!(pos <= self.diameter);
+        match idx {
+            1 => Slot(pos),
+            2 => Slot(self.diameter + 1 + pos),
+            _ => panic!("copy index must be 1 or 2"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_matches_figure() {
+        for d in 2..10 {
+            let kd = KdNetwork::new(d);
+            assert_eq!(kd.topology().len(), 3 * d + 2);
+            assert_eq!(kd.copy1_slots().len(), d + 1);
+            assert_eq!(kd.copy2_slots().len(), d + 1);
+            assert_eq!(kd.tail_slots().len(), d);
+        }
+    }
+
+    #[test]
+    fn diameter_is_exactly_d() {
+        for d in 2..12 {
+            let kd = KdNetwork::new(d);
+            assert!(kd.topology().is_connected());
+            assert_eq!(kd.topology().diameter() as usize, d, "D = {d}");
+        }
+    }
+
+    #[test]
+    fn every_copy_node_touches_hub() {
+        let kd = KdNetwork::new(5);
+        let hub = kd.hub();
+        for s in kd.copy1_slots().iter().chain(kd.copy2_slots().iter()) {
+            assert!(kd.topology().has_edge(*s, hub), "{s:?} not on hub");
+        }
+        // Hub degree: 2(D+1) copy nodes + 1 tail neighbor.
+        assert_eq!(kd.topology().degree(hub), 2 * 6 + 1);
+    }
+
+    #[test]
+    fn copies_are_lines_internally() {
+        let kd = KdNetwork::new(4);
+        for idx in [1, 2] {
+            for pos in 0..4 {
+                assert!(kd
+                    .topology()
+                    .has_edge(kd.copy_slot(idx, pos), kd.copy_slot(idx, pos + 1)));
+            }
+        }
+        // No direct edges between the two copies.
+        for a in kd.copy1_slots() {
+            for b in kd.copy2_slots() {
+                assert!(!kd.topology().has_edge(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn copy_slot_round_trips() {
+        let kd = KdNetwork::new(3);
+        assert_eq!(kd.copy_slot(1, 0), Slot(0));
+        assert_eq!(kd.copy_slot(1, 3), Slot(3));
+        assert_eq!(kd.copy_slot(2, 0), Slot(4));
+        assert_eq!(kd.copy_slot(2, 3), Slot(7));
+        assert_eq!(kd.hub(), Slot(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "D >= 2")]
+    fn rejects_tiny_diameter() {
+        KdNetwork::new(1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Network topologies.
+//!
+//! The abstract MAC layer model fixes an undirected graph `G = (V, E)`
+//! whose vertices are the wireless devices and whose edges connect
+//! nodes within reliable communication range (paper Section 2).
+//!
+//! This module provides:
+//!
+//! * [`Topology`] — an immutable undirected graph with adjacency lists,
+//! * standard builders (clique, line, ring, star, grid, torus, random
+//!   connected, random tree, barbell, star-of-lines) in
+//!   [`builders`](self),
+//! * the paper's lower-bound constructions:
+//!   [`gadgets`] for Figure 1's Networks A and B (Theorem 3.3, the
+//!   anonymity lower bound) and [`kd`] for Figure 2's `K_D` network
+//!   (Theorem 3.9, the knowledge-of-`n` lower bound),
+//! * graph algorithms (BFS, diameter, connectivity) in `algo`,
+//! * an optional overlay of *unreliable* edges ([`unreliable`]),
+//!   modeling the dual-graph abstract MAC layer variant the paper
+//!   lists as future work.
+
+mod algo;
+mod builders;
+mod extra;
+pub mod gadgets;
+mod graph;
+pub mod kd;
+pub mod unreliable;
+
+pub use algo::UNREACHABLE;
+pub use graph::{Topology, TopologyBuilder};

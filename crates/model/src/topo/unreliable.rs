@@ -1,0 +1,116 @@
+//! Unreliable-link overlay (dual-graph model variant).
+//!
+//! Some abstract MAC layer definitions include a second topology graph
+//! `G'` of *unreliable* links that sometimes deliver messages and
+//! sometimes do not; the paper omits it (which strengthens its lower
+//! bounds) and lists adapting the multihop upper bound to such links as
+//! an open question (Sections 2 and 5).
+//!
+//! This module provides the overlay as an extension point: a set of
+//! extra edges on which the simulator *may* deliver a broadcast, at the
+//! scheduler's whim, without the ack ever waiting for them. Experiment
+//! E10 uses it to check that wPAXOS's safety argument (Lemma 4.2's
+//! count invariant) is unaffected by spurious extra deliveries.
+
+use std::collections::BTreeSet;
+
+use crate::ids::Slot;
+
+use super::Topology;
+
+/// A set of unreliable extra edges over a base topology.
+///
+/// Overlay edges must not duplicate base edges (a link is either
+/// reliable or unreliable, not both).
+#[derive(Clone, Debug, Default)]
+pub struct UnreliableOverlay {
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl UnreliableOverlay {
+    /// Creates an overlay from undirected edge pairs, validated against
+    /// the base topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge is out of range, a self-loop, or already a
+    /// reliable edge of `base`.
+    pub fn new(base: &Topology, edges: &[(usize, usize)]) -> Self {
+        let mut set = BTreeSet::new();
+        for &(u, v) in edges {
+            assert!(u < base.len() && v < base.len(), "overlay edge out of range");
+            assert_ne!(u, v, "overlay self-loop");
+            assert!(
+                !base.has_edge(Slot(u), Slot(v)),
+                "({u},{v}) is already a reliable edge"
+            );
+            set.insert(if u <= v { (u, v) } else { (v, u) });
+        }
+        Self { edges: set }
+    }
+
+    /// Number of unreliable edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` when the overlay has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Unreliable neighbors of `slot`, in sorted order.
+    pub fn neighbors(&self, slot: Slot) -> Vec<Slot> {
+        let mut out: Vec<Slot> = self
+            .edges
+            .iter()
+            .filter_map(|&(u, v)| {
+                if u == slot.0 {
+                    Some(Slot(v))
+                } else if v == slot.0 {
+                    Some(Slot(u))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlay_neighbors() {
+        let base = Topology::line(4);
+        let ov = UnreliableOverlay::new(&base, &[(0, 2), (0, 3)]);
+        assert_eq!(ov.len(), 2);
+        assert_eq!(ov.neighbors(Slot(0)), vec![Slot(2), Slot(3)]);
+        assert_eq!(ov.neighbors(Slot(2)), vec![Slot(0)]);
+        assert!(ov.neighbors(Slot(1)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already a reliable edge")]
+    fn rejects_duplicate_of_reliable_edge() {
+        let base = Topology::line(4);
+        UnreliableOverlay::new(&base, &[(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let base = Topology::line(3);
+        UnreliableOverlay::new(&base, &[(0, 5)]);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let ov = UnreliableOverlay::default();
+        assert!(ov.is_empty());
+        assert_eq!(ov.len(), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! The deployability claim: the same algorithm code on a real
+//! concurrent MAC layer.
+//!
+//! Runs Two-Phase Consensus and wPAXOS — the identical `Process`
+//! implementations the discrete-event simulator executes — on the
+//! threaded channel-based MAC runtime, with OS-scheduler timing and
+//! injected jitter instead of a simulated clock.
+//!
+//! Run with: `cargo run --example threaded_mac`
+
+use std::time::Duration;
+
+use amacl::algorithms::two_phase::TwoPhase;
+use amacl::algorithms::wpaxos::wpaxos_node;
+use amacl::model::prelude::*;
+use amacl::runtime::{MacRuntime, RuntimeConfig};
+
+fn main() {
+    let cfg = RuntimeConfig {
+        max_jitter: Duration::from_micros(400),
+        seed: 7,
+        timeout: Duration::from_secs(20),
+        crashes: Vec::new(),
+    };
+
+    println!("Two-Phase Consensus on the threaded MAC (clique of 8):");
+    let rt = MacRuntime::new(Topology::clique(8), cfg.clone());
+    let report = rt.run(|s| TwoPhase::new((s.index() % 2) as Value));
+    assert!(report.all_decided, "undecided: {:?}", report.decisions);
+    let values = report.decided_values();
+    assert_eq!(values.len(), 1, "agreement violated: {values:?}");
+    println!(
+        "  all 8 threads agreed on {} in {:?} ({} broadcasts, {} deliveries)\n",
+        values[0], report.elapsed, report.broadcasts, report.deliveries
+    );
+
+    println!("wPAXOS on the threaded MAC (4x3 grid):");
+    let topo = Topology::grid(4, 3);
+    let n = topo.len();
+    let rt = MacRuntime::new(topo, cfg);
+    let report = rt.run(|s| wpaxos_node((s.index() % 2) as Value, n));
+    assert!(report.all_decided, "undecided: {:?}", report.decisions);
+    let values = report.decided_values();
+    assert_eq!(values.len(), 1, "agreement violated: {values:?}");
+    let slowest = report
+        .decision_latency
+        .iter()
+        .flatten()
+        .max()
+        .expect("decisions");
+    println!(
+        "  all {n} threads agreed on {} — slowest decision after {:?}",
+        values[0], slowest
+    );
+    println!("\nSame structs, same trait impls as the simulator — only the MAC changed.");
+}

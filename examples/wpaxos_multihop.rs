@@ -1,0 +1,51 @@
+//! wPAXOS on multihop topologies.
+//!
+//! Runs the paper's Section 4.2 algorithm on a line, a grid, and a
+//! random connected graph, printing the stabilized leader, the
+//! decision times against the `O(D * F_ack)` bound, and the
+//! instrumentation the analysis cares about (proposal counts, message
+//! id budget).
+//!
+//! Run with: `cargo run --example wpaxos_multihop`
+
+use amacl::algorithms::verify::check_consensus;
+use amacl::algorithms::wpaxos::wpaxos_node;
+use amacl::model::prelude::*;
+
+fn run_one(name: &str, topo: Topology, f_ack: u64, seed: u64) {
+    let n = topo.len();
+    let d = topo.diameter() as u64;
+    let inputs: Vec<Value> = (0..n).map(|i| (i % 2) as Value).collect();
+    let iv = inputs.clone();
+    let mut sim = SimBuilder::new(topo, |s| wpaxos_node(iv[s.index()], n))
+        .scheduler(RandomScheduler::new(f_ack, seed))
+        .message_id_budget(10)
+        .build();
+    let report = sim.run();
+    let check = check_consensus(&inputs, &report, &[]);
+    check.assert_ok();
+
+    let leader = sim.process(Slot(0)).omega().expect("started");
+    let proposals: u64 = (0..n).map(|i| sim.process(Slot(i)).proposals_started()).sum();
+    let latest = report.max_decision_time().expect("decided").ticks();
+    println!(
+        "{name:<22} n={n:<4} D={d:<3} decided={} latest={latest:>6} ticks  ({:.1} x D*F_ack)  leader={leader}  proposals={proposals}  max_msg_ids={}",
+        check.decided.expect("agreed"),
+        latest as f64 / (d.max(1) * f_ack) as f64,
+        sim.metrics().max_message_ids,
+    );
+}
+
+fn main() {
+    let f_ack = 8;
+    println!("wPAXOS (Section 4.2), random adversarial scheduler, F_ack = {f_ack}\n");
+    run_one("line(16)", Topology::line(16), f_ack, 1);
+    run_one("grid(6x4)", Topology::grid(6, 4), f_ack, 2);
+    run_one("ring(20)", Topology::ring(20), f_ack, 3);
+    run_one("star(24)", Topology::star(24), f_ack, 4);
+    run_one("random(24, p=0.15)", Topology::random_connected(24, 0.15, 7), f_ack, 5);
+    run_one("torus(5x5)", Topology::torus(5, 5), f_ack, 6);
+    println!();
+    println!("Decision time scales with D * F_ack (Theorem 4.6), and every");
+    println!("message stayed within the O(1) id budget despite aggregation.");
+}

@@ -1,0 +1,44 @@
+//! # `amacl` — Consensus with an Abstract MAC Layer
+//!
+//! A full reproduction of Calvin Newport, *Consensus with an Abstract
+//! MAC Layer* (PODC 2014): the model, both consensus algorithms, all
+//! four lower-bound constructions, the baselines the paper argues
+//! against, and a threaded runtime backing the paper's deployability
+//! claim.
+//!
+//! This crate re-exports the workspace members:
+//!
+//! * [`model`] — the abstract MAC layer model: topologies (including
+//!   the Figure 1 and Figure 2 worst-case constructions), the
+//!   `Process` trait, and a deterministic discrete-event simulator with
+//!   adversarial schedulers and crash injection.
+//! * [`algorithms`] — Two-Phase Consensus (single-hop, `O(F_ack)`),
+//!   wPAXOS (multihop, `O(D * F_ack)`), baselines, and the randomized
+//!   Ben-Or extension.
+//! * [`lowerbounds`] — the paper's four impossibility/lower-bound
+//!   proofs as executable, mechanically-checked demonstrations.
+//! * [`runtime`] — the same algorithms on real threads and channels.
+//! * [`checker`] — a bounded exhaustive model checker that covers the
+//!   *entire* scheduler space of small instances, proving the
+//!   algorithms correct for those networks and rediscovering the
+//!   paper's crash impossibility as concrete violating schedules.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use amacl::algorithms::harness::{alternating_inputs, run_two_phase};
+//! use amacl::model::prelude::*;
+//!
+//! // Five nodes, single hop, mixed inputs, adversarial random delays.
+//! let run = run_two_phase(&alternating_inputs(5), RandomScheduler::new(8, 42));
+//! run.check.assert_ok(); // agreement + validity + termination
+//! assert!(run.decision_ticks() <= 4 * 8); // O(F_ack), constant in n
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use amacl_checker as checker;
+pub use amacl_core as algorithms;
+pub use amacl_lowerbounds as lowerbounds;
+pub use amacl_model as model;
+pub use amacl_runtime as runtime;

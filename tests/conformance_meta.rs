@@ -1,0 +1,114 @@
+//! Meta-tests: the simulator's own traces always satisfy the model
+//! contract, as judged by the *independent* conformance checker — for
+//! every algorithm, scheduler family, and crash plan.
+
+use amacl::algorithms::extensions::ben_or::BenOr;
+use amacl::algorithms::tree_gather::TreeGather;
+use amacl::algorithms::two_phase::TwoPhase;
+use amacl::algorithms::wpaxos::wpaxos_node;
+use amacl::model::prelude::*;
+use amacl::model::sim::conformance::check_trace;
+use amacl::model::topo::unreliable::UnreliableOverlay;
+use proptest::prelude::*;
+
+fn conformant_two_phase(n: usize, scheduler: impl Scheduler + 'static, f_ack: u64) {
+    let mut sim = SimBuilder::new(Topology::clique(n), |s| {
+        TwoPhase::new((s.index() % 2) as Value)
+    })
+    .scheduler(scheduler)
+    .trace(true)
+    .stop_when_all_decided(false)
+    .build();
+    sim.run();
+    let report = check_trace(sim.topology(), sim.trace(), Some(f_ack), None);
+    report.assert_ok();
+    assert!(report.broadcasts > 0 && report.acks > 0);
+}
+
+#[test]
+fn engine_traces_conform_for_two_phase() {
+    conformant_two_phase(5, SynchronousScheduler::new(3), 3);
+    conformant_two_phase(5, MaxDelayScheduler::new(7), 7);
+    for seed in 0..10 {
+        conformant_two_phase(4, RandomScheduler::new(5, seed), 5);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_traces_conform_for_wpaxos(
+        n in 2usize..10,
+        seed in 0u64..100_000,
+        f_ack in 1u64..8,
+    ) {
+        let topo = Topology::random_connected(n, 0.2, seed);
+        let mut sim = SimBuilder::new(topo, |s| wpaxos_node((s.index() % 2) as Value, n))
+            .scheduler(RandomScheduler::new(f_ack, seed))
+            .trace(true)
+            .build();
+        sim.run();
+        let report = check_trace(sim.topology(), sim.trace(), Some(f_ack), None);
+        prop_assert!(report.ok(), "first violation: {:?}", report.violations.first());
+    }
+
+    #[test]
+    fn engine_traces_conform_under_crashes(
+        n in 3usize..9,
+        seed in 0u64..100_000,
+        crash_slot in 0usize..9,
+        delivered in 0usize..3,
+    ) {
+        let crash_slot = crash_slot % n;
+        let delivered = delivered.min(n - 2);
+        let mut sim = SimBuilder::new(Topology::clique(n), |s| {
+            BenOr::new((s.index() % 2) as Value, n)
+        })
+        .scheduler(RandomScheduler::new(4, seed))
+        .crashes(CrashPlan::new(vec![CrashSpec::MidBroadcast {
+            slot: Slot(crash_slot),
+            nth_broadcast: 1,
+            delivered,
+        }]))
+        .seed(seed)
+        .trace(true)
+        .build();
+        sim.run();
+        let report = check_trace(sim.topology(), sim.trace(), Some(4), None);
+        prop_assert!(report.ok(), "first violation: {:?}", report.violations.first());
+    }
+
+    #[test]
+    fn engine_traces_conform_with_unreliable_overlay(
+        seed in 0u64..100_000,
+        p in 0.0f64..1.0,
+    ) {
+        let base = Topology::ring(8);
+        let overlay = UnreliableOverlay::new(&base, &[(0, 4), (1, 5)]);
+        let mut sim = SimBuilder::new(base, |s| wpaxos_node((s.index() % 2) as Value, 8))
+            .scheduler(RandomScheduler::new(3, seed))
+            .unreliable(overlay.clone(), p)
+            .seed(seed)
+            .trace(true)
+            .build();
+        sim.run();
+        let report = check_trace(sim.topology(), sim.trace(), Some(3), Some(&overlay));
+        prop_assert!(report.ok(), "first violation: {:?}", report.violations.first());
+    }
+
+    #[test]
+    fn engine_traces_conform_for_tree_gather(
+        n in 2usize..10,
+        seed in 0u64..100_000,
+    ) {
+        let topo = Topology::random_connected(n, 0.25, seed);
+        let mut sim = SimBuilder::new(topo, |s| TreeGather::new((s.index() % 2) as Value, n))
+            .scheduler(RandomScheduler::new(4, seed))
+            .trace(true)
+            .build();
+        sim.run();
+        let report = check_trace(sim.topology(), sim.trace(), Some(4), None);
+        prop_assert!(report.ok(), "first violation: {:?}", report.violations.first());
+    }
+}

@@ -1,0 +1,235 @@
+//! Cross-crate property tests: agreement, validity, and termination for
+//! every algorithm, over randomized topologies, inputs, schedulers, and
+//! id assignments.
+
+use amacl::algorithms::extensions::ben_or::BenOr;
+use amacl::algorithms::harness::{run_flood_gather, run_two_phase, run_wpaxos, run_wpaxos_with};
+use amacl::algorithms::verify::check_consensus;
+use amacl::algorithms::wpaxos::{wpaxos_node, WpaxosConfig};
+use amacl::model::ids::NodeId;
+use amacl::model::prelude::*;
+use proptest::prelude::*;
+
+/// A random connected topology drawn from several families.
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (2usize..20).prop_map(Topology::clique),
+        (2usize..24).prop_map(Topology::line),
+        (3usize..24).prop_map(Topology::ring),
+        (2usize..24).prop_map(Topology::star),
+        ((2usize..6), (2usize..5)).prop_map(|(w, h)| Topology::grid(w, h)),
+        ((4usize..20), (0u64..1000)).prop_map(|(n, s)| Topology::random_connected(n, 0.15, s)),
+        ((4usize..20), (0u64..1000)).prop_map(|(n, s)| Topology::random_tree(n, s)),
+    ]
+}
+
+fn arb_inputs(n: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..2, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn two_phase_satisfies_consensus(
+        n in 1usize..24,
+        inputs_seed in 0u64..1_000_000,
+        sched_seed in 0u64..1_000_000,
+        f_ack in 1u64..12,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(inputs_seed);
+        let inputs: Vec<Value> = (0..n).map(|_| rng.gen_range(0..2)).collect();
+        let run = run_two_phase(&inputs, RandomScheduler::new(f_ack, sched_seed));
+        prop_assert!(run.check.ok(), "{:?}", run.check.violation);
+        // Theorem 4.1: O(F_ack), with the constant bounded by 4.
+        prop_assert!(run.decision_ticks() <= 4 * f_ack);
+    }
+
+    #[test]
+    fn wpaxos_satisfies_consensus(
+        topo in arb_topology(),
+        sched_seed in 0u64..1_000_000,
+        f_ack in 1u64..8,
+    ) {
+        let n = topo.len();
+        let inputs: Vec<Value> = (0..n).map(|i| (i % 2) as Value).collect();
+        let run = run_wpaxos(topo, &inputs, RandomScheduler::new(f_ack, sched_seed));
+        prop_assert!(run.check.ok(), "{:?}", run.check.violation);
+    }
+
+    #[test]
+    fn wpaxos_satisfies_consensus_with_arbitrary_inputs(
+        (topo, inputs) in arb_topology().prop_flat_map(|t| {
+            let n = t.len();
+            (Just(t), arb_inputs(n))
+        }),
+        sched_seed in 0u64..1_000_000,
+    ) {
+        let run = run_wpaxos(topo, &inputs, RandomScheduler::new(3, sched_seed));
+        prop_assert!(run.check.ok(), "inputs {inputs:?}: {:?}", run.check.violation);
+        prop_assert!(inputs.contains(&run.check.decided.unwrap()));
+    }
+
+    #[test]
+    fn wpaxos_ablations_satisfy_consensus(
+        topo in arb_topology(),
+        sched_seed in 0u64..1_000_000,
+        which in 0usize..4,
+    ) {
+        let n = topo.len();
+        let cfg = match which {
+            0 => WpaxosConfig::new(n).without_aggregation(),
+            1 => WpaxosConfig::new(n).without_leader_priority(),
+            2 => WpaxosConfig::new(n).flooded_responses(),
+            _ => WpaxosConfig::new(n).with_leader_scoped_changes(),
+        };
+        let inputs: Vec<Value> = (0..n).map(|i| (i % 2) as Value).collect();
+        let run = run_wpaxos_with(topo, &inputs, cfg, RandomScheduler::new(3, sched_seed));
+        prop_assert!(run.check.ok(), "config {which}: {:?}", run.check.violation);
+    }
+
+    #[test]
+    fn tree_gather_satisfies_consensus_and_decides_min(
+        topo in arb_topology(),
+        sched_seed in 0u64..1_000_000,
+    ) {
+        use amacl::algorithms::tree_gather::run_tree_gather;
+        let n = topo.len();
+        let inputs: Vec<Value> = (0..n).map(|i| ((i + 1) % 3) as Value).collect();
+        let min = *inputs.iter().min().unwrap();
+        let run = run_tree_gather(topo, &inputs, RandomScheduler::new(4, sched_seed));
+        prop_assert!(run.check.ok(), "{:?}", run.check.violation);
+        prop_assert_eq!(run.check.decided, Some(min));
+    }
+
+    #[test]
+    fn flood_gather_satisfies_consensus_and_decides_min(
+        topo in arb_topology(),
+        sched_seed in 0u64..1_000_000,
+    ) {
+        let n = topo.len();
+        let inputs: Vec<Value> = (0..n).map(|i| ((i + 1) % 2) as Value).collect();
+        let min = *inputs.iter().min().unwrap();
+        let run = run_flood_gather(topo, &inputs, RandomScheduler::new(4, sched_seed));
+        prop_assert!(run.check.ok(), "{:?}", run.check.violation);
+        prop_assert_eq!(run.check.decided, Some(min));
+    }
+
+    #[test]
+    fn wpaxos_is_insensitive_to_id_assignment(
+        n in 2usize..14,
+        perm_seed in 0u64..1_000_000,
+        sched_seed in 0u64..1_000_000,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(perm_seed);
+        let mut ids: Vec<NodeId> = (0..n as u64).map(NodeId).collect();
+        ids.shuffle(&mut rng);
+        let inputs: Vec<Value> = (0..n).map(|i| (i % 2) as Value).collect();
+        let iv = inputs.clone();
+        let mut sim = SimBuilder::new(Topology::random_connected(n, 0.2, perm_seed), |s| {
+            wpaxos_node(iv[s.index()], n)
+        })
+        .ids(ids)
+        .scheduler(RandomScheduler::new(4, sched_seed))
+        .message_id_budget(10)
+        .build();
+        let report = sim.run();
+        let check = check_consensus(&inputs, &report, &[]);
+        prop_assert!(check.ok(), "{:?}", check.violation);
+    }
+
+    #[test]
+    fn ben_or_survives_one_crash(
+        n in 3usize..9,
+        sched_seed in 0u64..1_000_000,
+        crash_slot_raw in 0usize..9,
+        crash_nth in 0u64..3,
+        delivered in 0usize..3,
+    ) {
+        let crash_slot = crash_slot_raw % n;
+        let delivered = delivered.min(n - 2);
+        let inputs: Vec<Value> = (0..n).map(|i| (i % 2) as Value).collect();
+        let iv = inputs.clone();
+        let mut sim = SimBuilder::new(Topology::clique(n), |s| BenOr::new(iv[s.index()], n))
+            .scheduler(RandomScheduler::new(3, sched_seed))
+            .crashes(CrashPlan::new(vec![CrashSpec::MidBroadcast {
+                slot: Slot(crash_slot),
+                nth_broadcast: crash_nth,
+                delivered,
+            }]))
+            .seed(sched_seed)
+            .build();
+        let report = sim.run();
+        let mut crashed = vec![false; n];
+        crashed[crash_slot] = true;
+        let check = check_consensus(&inputs, &report, &crashed);
+        prop_assert!(check.ok(), "{:?}", check.violation);
+    }
+
+    #[test]
+    fn wpaxos_message_sizes_are_constant(
+        topo in arb_topology(),
+        sched_seed in 0u64..1_000_000,
+    ) {
+        let n = topo.len();
+        let inputs: Vec<Value> = (0..n).map(|i| (i % 2) as Value).collect();
+        let iv = inputs.clone();
+        let mut sim = SimBuilder::new(topo, |s| wpaxos_node(iv[s.index()], n))
+            .scheduler(RandomScheduler::new(4, sched_seed))
+            .message_id_budget(10) // panics on violation
+            .build();
+        let report = sim.run();
+        prop_assert!(report.all_decided());
+        prop_assert!(report.metrics.max_message_ids <= 10);
+    }
+}
+
+#[test]
+fn two_phase_under_every_builtin_scheduler() {
+    let inputs = [0u64, 1, 1, 0, 1];
+    for (name, run) in [
+        (
+            "sync",
+            run_two_phase(&inputs, SynchronousScheduler::new(3)),
+        ),
+        ("max_delay", run_two_phase(&inputs, MaxDelayScheduler::new(5))),
+        ("random", run_two_phase(&inputs, RandomScheduler::new(7, 3))),
+    ] {
+        assert!(run.check.ok(), "{name}: {:?}", run.check.violation);
+    }
+}
+
+#[test]
+fn wpaxos_lemma_4_2_invariant_across_many_seeds() {
+    use std::collections::BTreeMap;
+    for seed in 0..25u64 {
+        let n = 4 + (seed as usize % 8);
+        let topo = Topology::random_connected(n, 0.25, seed);
+        let inputs: Vec<Value> = (0..n).map(|i| (i % 2) as Value).collect();
+        let iv = inputs.clone();
+        let mut sim = SimBuilder::new(topo, |s| wpaxos_node(iv[s.index()], n))
+            .scheduler(RandomScheduler::new(5, seed.wrapping_mul(131)))
+            .build();
+        sim.run();
+        let mut generated = BTreeMap::new();
+        let mut counted = BTreeMap::new();
+        for i in 0..n {
+            let stats = sim.process(Slot(i)).stats();
+            for (k, v) in &stats.affirmative_generated {
+                *generated.entry(*k).or_insert(0u64) += v;
+            }
+            for (k, v) in &stats.responses_counted {
+                if k.1.is_affirmative() {
+                    *counted.entry(*k).or_insert(0u64) += v;
+                }
+            }
+        }
+        for (k, c) in &counted {
+            let a = generated.get(k).copied().unwrap_or(0);
+            assert!(c <= &a, "seed {seed}: c({k:?}) = {c} > a(p) = {a}");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Experiment E9: the same `Process` implementations on the threaded
+//! MAC runtime, cross-validated against the simulator.
+
+use std::time::Duration;
+
+use amacl::algorithms::extensions::ben_or::BenOr;
+use amacl::algorithms::two_phase::TwoPhase;
+use amacl::algorithms::wpaxos::wpaxos_node;
+use amacl::model::prelude::*;
+use amacl::runtime::{MacRuntime, RuntimeConfig};
+
+fn cfg(seed: u64) -> RuntimeConfig {
+    RuntimeConfig {
+        max_jitter: Duration::from_micros(250),
+        seed,
+        timeout: Duration::from_secs(30),
+        crashes: Vec::new(),
+    }
+}
+
+#[test]
+fn two_phase_agrees_on_threads() {
+    for seed in 0..3 {
+        let rt = MacRuntime::new(Topology::clique(6), cfg(seed));
+        let report = rt.run(|s| TwoPhase::new((s.index() % 2) as Value));
+        assert!(report.all_decided, "seed {seed}: {:?}", report.decisions);
+        assert_eq!(
+            report.decided_values().len(),
+            1,
+            "seed {seed}: disagreement {:?}",
+            report.decisions
+        );
+    }
+}
+
+#[test]
+fn two_phase_validity_on_threads() {
+    // Uniform inputs must decide that value even under thread racing.
+    for v in [0u64, 1] {
+        let rt = MacRuntime::new(Topology::clique(5), cfg(v + 10));
+        let report = rt.run(|_| TwoPhase::new(v));
+        assert!(report.all_decided);
+        assert_eq!(report.decided_values(), vec![v]);
+    }
+}
+
+#[test]
+fn wpaxos_agrees_on_threads_multihop() {
+    for (seed, topo) in [
+        (0u64, Topology::line(6)),
+        (1, Topology::grid(3, 3)),
+        (2, Topology::star(8)),
+        (3, Topology::random_connected(9, 0.25, 4)),
+    ] {
+        let n = topo.len();
+        let rt = MacRuntime::new(topo, cfg(seed));
+        let report = rt.run(|s| wpaxos_node((s.index() % 2) as Value, n));
+        assert!(report.all_decided, "seed {seed}: {:?}", report.decisions);
+        assert_eq!(
+            report.decided_values().len(),
+            1,
+            "seed {seed}: disagreement {:?}",
+            report.decisions
+        );
+    }
+}
+
+#[test]
+fn ben_or_agrees_on_threads() {
+    let n = 5;
+    let rt = MacRuntime::new(Topology::clique(n), cfg(42));
+    let report = rt.run(|s| BenOr::new((s.index() % 2) as Value, n));
+    assert!(report.all_decided, "{:?}", report.decisions);
+    assert_eq!(report.decided_values().len(), 1);
+}
+
+#[test]
+fn simulator_and_runtime_agree_on_validity() {
+    // Same algorithm, same uniform input, both substrates: both must
+    // decide exactly that input.
+    let n = 6;
+    let mut sim = SimBuilder::new(Topology::clique(n), |_| TwoPhase::new(1))
+        .scheduler(RandomScheduler::new(5, 9))
+        .build();
+    let sim_report = sim.run();
+    assert_eq!(sim_report.decided_values(), vec![1]);
+
+    let rt = MacRuntime::new(Topology::clique(n), cfg(9));
+    let rt_report = rt.run(|_| TwoPhase::new(1));
+    assert_eq!(rt_report.decided_values(), vec![1]);
+}

@@ -1,0 +1,161 @@
+//! Asserts the headline experimental *shapes* the paper predicts —
+//! the same series EXPERIMENTS.md records, kept honest by CI.
+
+use amacl_bench::experiments::{e1, e13, e14, e15, e2, e3, e4};
+
+#[test]
+fn e1_two_phase_is_flat_in_n_and_linear_in_f_ack() {
+    let rows = e1::series(&[2, 8, 32, 128], &[1, 8]);
+    // Flat in n: same tick count at fixed F_ack.
+    for f in [1u64, 8] {
+        let ticks: Vec<u64> = rows
+            .iter()
+            .filter(|r| r.f_ack == f)
+            .map(|r| r.ticks)
+            .collect();
+        assert!(
+            ticks.windows(2).all(|w| w[0] == w[1]),
+            "F_ack={f}: not flat in n: {ticks:?}"
+        );
+    }
+    // Linear in F_ack with slope exactly 2 under the max-delay
+    // adversary.
+    for r in &rows {
+        assert_eq!(r.ticks, 2 * r.f_ack, "n={} F_ack={}", r.n, r.f_ack);
+    }
+}
+
+#[test]
+fn e2_wpaxos_scales_linearly_in_diameter() {
+    let rows = e2::series(2);
+    let lines: Vec<&e2::Row> = rows.iter().filter(|r| r.name.starts_with("line")).collect();
+    assert!(lines.len() >= 4);
+    // The normalized ratio ticks/(D*F_ack) stays within a small
+    // constant band across an 16x diameter range.
+    let ratios: Vec<f64> = lines.iter().map(|r| r.ratio).collect();
+    let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ratios.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        max / min < 2.0,
+        "ratio drifted beyond a constant band: {ratios:?}"
+    );
+    // And the raw time really grows with D (sanity against a vacuous
+    // ratio check).
+    assert!(lines.last().unwrap().ticks > 4 * lines[0].ticks);
+}
+
+#[test]
+fn e3_aggregation_beats_flooding_with_a_growing_gap() {
+    let rows = e3::series(&[8, 16, 32], 2);
+    for r in &rows {
+        assert!(
+            r.flood_ticks > r.wpaxos_ticks,
+            "n={}: flooding {} not slower than wPAXOS {}",
+            r.n,
+            r.flood_ticks,
+            r.wpaxos_ticks
+        );
+        assert!(
+            r.flood_hub > r.wpaxos_hub,
+            "n={}: hub bottleneck absent",
+            r.n
+        );
+    }
+    // The gap grows with n.
+    let gap_first = rows[0].flood_ticks as f64 / rows[0].wpaxos_ticks as f64;
+    let gap_last = rows.last().unwrap().flood_ticks as f64 / rows.last().unwrap().wpaxos_ticks as f64;
+    assert!(
+        gap_last > gap_first,
+        "gap did not grow: {gap_first:.2} -> {gap_last:.2}"
+    );
+    // The leader-scoped variant is flat in n (the E8 finding).
+    let scoped: Vec<u64> = rows.iter().map(|r| r.scoped_ticks).collect();
+    let smin = *scoped.iter().min().unwrap() as f64;
+    let smax = *scoped.iter().max().unwrap() as f64;
+    assert!(
+        smax / smin < 1.5,
+        "leader-scoped wPAXOS not flat in n: {scoped:?}"
+    );
+}
+
+#[test]
+fn e4_no_correct_algorithm_beats_the_bound() {
+    for row in e4::series(2) {
+        assert!(
+            row.wpaxos_earliest >= row.bound,
+            "D={}: wPAXOS decided at {} < bound {}",
+            row.d,
+            row.wpaxos_earliest,
+            row.bound
+        );
+        assert!(
+            row.gather_earliest >= row.bound,
+            "D={}: gather decided at {} < bound {}",
+            row.d,
+            row.gather_earliest,
+            row.bound
+        );
+    }
+    let (agreement, _) = e4::violation(10, 2, 2);
+    assert!(!agreement, "the eager decider must get partitioned");
+}
+
+#[test]
+fn e13_bitwise_is_linear_in_bits_while_wpaxos_is_flat() {
+    let rows = e13::series(6, &[1, 4, 16], 2);
+    // Bitwise: per-bit ratio constant (exactly 2 under the max-delay
+    // adversary: two phases per bit).
+    for r in &rows {
+        assert_eq!(
+            r.bitwise_ticks,
+            2 * r.bits as u64 * r.f_ack,
+            "bits={}",
+            r.bits
+        );
+    }
+    // Direct wPAXOS: identical cost at every width.
+    let wp: Vec<u64> = rows.iter().map(|r| r.wpaxos_ticks).collect();
+    assert!(
+        wp.windows(2).all(|w| w[0] == w[1]),
+        "wPAXOS not flat in bits: {wp:?}"
+    );
+    // The crossover: at 1 bit the composition wins; at 16 bits the
+    // direct algorithm does.
+    assert!(rows[0].bitwise_ticks < rows[0].wpaxos_ticks);
+    assert!(rows.last().unwrap().bitwise_ticks > rows.last().unwrap().wpaxos_ticks);
+}
+
+#[test]
+fn e14_fd_paxos_is_clean_at_every_minority_crash_count() {
+    for row in e14::series(5, &[0, 1, 2], 6) {
+        assert!(
+            row.all_ok,
+            "crashes={}: some run violated consensus",
+            row.crashes
+        );
+        // Stabilization: ballot attempts stay small and bounded.
+        assert!(
+            row.worst_ballots <= 8,
+            "crashes={}: {} ballots — leader duel did not settle",
+            row.crashes,
+            row.worst_ballots
+        );
+    }
+}
+
+#[test]
+fn e15_crash_free_instances_verify_and_crashed_ones_fail() {
+    for row in e15::series() {
+        if row.name.contains("literal-R2") {
+            assert!(!row.verified, "{}: the known bug must surface", row.name);
+        } else if row.crash_budget == 0 {
+            assert!(row.verified, "{}: expected full verification", row.name);
+        } else {
+            assert!(
+                !row.verified && row.violation.is_some(),
+                "{}: Theorem 3.2 demands a violating schedule",
+                row.name
+            );
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! End-to-end runs of all four lower-bound demonstrations (experiments
+//! E4–E7), spanning the model, algorithm, and lowerbounds crates.
+
+use amacl::algorithms::two_phase::TwoPhase;
+use amacl::lowerbounds::anonymity::run_anonymity_demo;
+use amacl::lowerbounds::bivalence::{lemma_3_1_extension, Explorer};
+use amacl::lowerbounds::crash_demo::run_crash_demo;
+use amacl::lowerbounds::step::StepMachine;
+use amacl::lowerbounds::time_lb::{earliest_decision, partition_violation, Algorithm};
+use amacl::lowerbounds::unknown_n::run_unknown_n_demo;
+use amacl::model::topo::gadgets::Fig1;
+use amacl::model::topo::kd::KdNetwork;
+
+#[test]
+fn theorem_3_2_census() {
+    // Bivalent initial configuration + a critical configuration + a
+    // stuck schedule: the full impossibility witness set.
+    let machine = StepMachine::new(vec![TwoPhase::new(0), TwoPhase::new(1)]);
+    let mut explorer = Explorer::new(1, 120);
+    let result = explorer.explore(&machine);
+    assert!(result.bivalent());
+    assert!(result.stuck_undecided);
+    assert!((0..2).any(|u| lemma_3_1_extension(&machine, u, 1, 8, 80).is_none()));
+
+    let demo = run_crash_demo();
+    assert!(!demo.with_crash.termination);
+    assert!(demo.with_crash.agreement && demo.with_crash.validity);
+    assert!(demo.without_crash.ok());
+}
+
+#[test]
+fn theorem_3_3_full_demo() {
+    let out = run_anonymity_demo(8, 30);
+    assert!(out.n_prime >= 30);
+    assert!(out.indistinguishable);
+    assert!(!out.alpha_a.agreement);
+    for check in &out.alpha_b {
+        assert!(check.ok());
+    }
+}
+
+#[test]
+fn claim_3_4_holds_across_parameter_sweep() {
+    for diameter in [8usize, 10, 12, 14, 16] {
+        for n in [12usize, 30, 60, 90] {
+            let fig = Fig1::for_diameter_and_size(diameter, n);
+            assert_eq!(fig.network_a().len(), fig.n_prime());
+            assert_eq!(fig.network_b().len(), fig.n_prime());
+            assert_eq!(fig.network_a().diameter() as usize, diameter);
+            assert_eq!(fig.network_b().diameter() as usize, diameter);
+            assert!(fig.n_prime() >= n);
+            fig.verify_lift_property().expect("property (*)");
+        }
+    }
+}
+
+#[test]
+fn theorem_3_9_full_demo() {
+    for d in [2usize, 5] {
+        let out = run_unknown_n_demo(d);
+        assert!(out.indistinguishable, "D={d}");
+        assert_eq!(out.copy_decisions, [Some(0), Some(1)], "D={d}");
+        assert!(!out.beta_d.agreement, "D={d}");
+        // The construction really has diameter D.
+        assert_eq!(KdNetwork::new(d).topology().diameter() as usize, d);
+    }
+}
+
+#[test]
+fn theorem_3_10_bound_and_violation() {
+    for (d, f_ack) in [(6usize, 2u64), (10, 4)] {
+        for alg in [Algorithm::Wpaxos, Algorithm::FloodGather] {
+            let m = earliest_decision(alg, d, f_ack);
+            assert!(m.ok, "{alg:?} D={d}");
+            assert!(
+                m.respects_bound(),
+                "{alg:?} D={d}: earliest {} < bound {}",
+                m.earliest,
+                m.bound
+            );
+        }
+    }
+    let (check, _) = partition_violation(10, 3, 2);
+    assert!(!check.agreement);
+}

@@ -1,0 +1,218 @@
+//! Property tests over the model substrate: topology builders,
+//! scheduler plans, and engine guarantees.
+
+use amacl::model::ids::Slot;
+use amacl::model::msg::Payload;
+use amacl::model::prelude::*;
+use amacl::model::proc::Context;
+use amacl::model::topo::gadgets::Fig1Params;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_connected_is_connected(n in 1usize..60, p in 0.0f64..0.3, seed in 0u64..10_000) {
+        let t = Topology::random_connected(n, p, seed);
+        prop_assert!(t.is_connected());
+        prop_assert_eq!(t.len(), n);
+        // At least a spanning tree's worth of edges.
+        prop_assert!(t.edge_count() >= n.saturating_sub(1));
+    }
+
+    #[test]
+    fn grid_diameter_formula(w in 1usize..9, h in 1usize..9) {
+        let t = Topology::grid(w, h);
+        prop_assert_eq!(t.diameter() as usize, (w - 1) + (h - 1));
+    }
+
+    #[test]
+    fn line_and_ring_diameters(n in 3usize..40) {
+        prop_assert_eq!(Topology::line(n).diameter() as usize, n - 1);
+        prop_assert_eq!(Topology::ring(n).diameter() as usize, n / 2);
+    }
+
+    #[test]
+    fn star_of_lines_shape(arms in 1usize..6, len in 1usize..6) {
+        let t = Topology::star_of_lines(arms, len);
+        prop_assert_eq!(t.len(), arms * len + 1);
+        prop_assert!(t.is_connected());
+        let expect = if arms >= 2 { 2 * len } else { len };
+        prop_assert_eq!(t.diameter() as usize, expect);
+    }
+
+    #[test]
+    fn hypercube_and_binary_tree_diameters(dim in 1usize..8, levels in 1usize..8) {
+        assert_eq!(Topology::hypercube(dim).diameter() as usize, dim);
+        assert_eq!(
+            Topology::binary_tree(levels).diameter() as usize,
+            2 * (levels - 1)
+        );
+    }
+
+    #[test]
+    fn caterpillar_and_lollipop_shapes(spine in 1usize..8, legs in 0usize..4, k in 2usize..8, tail in 0usize..8) {
+        let cat = Topology::caterpillar(spine, legs);
+        prop_assert!(cat.is_connected());
+        prop_assert_eq!(cat.len(), spine * (legs + 1));
+        let lol = Topology::lollipop(k, tail);
+        prop_assert!(lol.is_connected());
+        prop_assert_eq!(lol.len(), k + tail);
+        if tail > 0 {
+            prop_assert_eq!(lol.diameter() as usize, tail + 1);
+        }
+    }
+
+    #[test]
+    fn dual_bound_scheduler_plans_are_valid(
+        f_prog in 1u64..20,
+        extra in 0u64..20,
+        seed in 0u64..10_000,
+        degree in 0usize..10,
+    ) {
+        let f_ack = f_prog + extra;
+        let mut s = DualBoundScheduler::new(f_prog, f_ack, seed);
+        let neighbors: Vec<Slot> = (1..=degree).map(Slot).collect();
+        let plan = s.plan(Time(0), Slot(0), &neighbors);
+        prop_assert!(plan.validate(degree, f_ack).is_ok());
+        prop_assert!(plan.receive_delays.iter().all(|&d| d <= f_prog));
+    }
+
+    #[test]
+    fn fig1_params_honor_the_theorem(d2 in 4usize..40, n in 1usize..300) {
+        // Theorem 3.3: for every even D >= 8 and size floor n, the
+        // realized n' is >= n and within a constant factor.
+        let diameter = 2 * d2; // even, >= 8
+        let p = Fig1Params::for_diameter_and_size(diameter, n);
+        prop_assert!(p.n_prime >= n);
+        prop_assert_eq!(p.n_prime, 3 * (p.d + p.k) + 12);
+        prop_assert!(p.n_prime <= 3 * n + 3 * diameter + 15);
+    }
+
+    #[test]
+    fn random_scheduler_plans_are_valid(
+        f_ack in 1u64..40,
+        seed in 0u64..10_000,
+        degree in 0usize..12,
+        now in 0u64..10_000,
+    ) {
+        let mut s = RandomScheduler::new(f_ack, seed);
+        let neighbors: Vec<Slot> = (1..=degree).map(Slot).collect();
+        let plan = s.plan(Time(now), Slot(0), &neighbors);
+        prop_assert!(plan.validate(degree, f_ack).is_ok());
+    }
+
+    #[test]
+    fn sync_scheduler_lands_on_boundaries(round in 1u64..30, now in 0u64..500) {
+        let mut s = SynchronousScheduler::new(round);
+        let plan = s.plan(Time(now), Slot(0), &[Slot(1)]);
+        let due = now + plan.receive_delays[0];
+        prop_assert_eq!(due % round, 0, "delivery not on a boundary");
+        prop_assert!(due > now);
+        prop_assert!(plan.validate(1, round).is_ok());
+    }
+
+    #[test]
+    fn edge_delay_scheduler_respects_release(release in 1u64..200, now in 0u64..400) {
+        let cut = DirectedCut::new([Slot(0)], [Slot(1)], Time(release));
+        let mut s = EdgeDelayScheduler::new(SynchronousScheduler::new(1), vec![cut]);
+        let plan = s.plan(Time(now), Slot(0), &[Slot(1), Slot(2)]);
+        let due_cut = now + plan.receive_delays[0];
+        prop_assert!(due_cut >= release.min(now + 1).max(now + 1) || due_cut >= release);
+        // The uncut neighbor is served at the next boundary.
+        prop_assert_eq!(plan.receive_delays[1], 1);
+        prop_assert!(plan.validate(2, s.f_ack()).is_ok());
+    }
+}
+
+/// A process that floods once and counts receipts — used to check
+/// engine delivery guarantees below.
+struct CountAndRelay {
+    relayed: bool,
+    received: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Ping;
+impl Payload for Ping {
+    fn id_count(&self) -> usize {
+        0
+    }
+}
+
+impl Process for CountAndRelay {
+    type Msg = Ping;
+    fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+        if !self.relayed {
+            self.relayed = true;
+            ctx.broadcast(Ping);
+        }
+    }
+    fn on_receive(&mut self, _m: Ping, ctx: &mut Context<'_, Ping>) {
+        self.received += 1;
+        if !self.relayed {
+            self.relayed = true;
+            ctx.broadcast(Ping);
+        }
+    }
+    fn on_ack(&mut self, ctx: &mut Context<'_, Ping>) {
+        if ctx.decided().is_none() {
+            ctx.decide(0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_broadcast_reaches_every_neighbor_exactly_once(
+        n in 2usize..16,
+        p in 0.0f64..0.4,
+        topo_seed in 0u64..10_000,
+        sched_seed in 0u64..10_000,
+        f_ack in 1u64..10,
+    ) {
+        // Everyone relays once => every node receives exactly
+        // one message per neighbor.
+        let topo = Topology::random_connected(n, p, topo_seed);
+        let expected: Vec<usize> = topo.slots().map(|s| topo.degree(s)).collect();
+        let mut sim = SimBuilder::new(topo, |s| CountAndRelay {
+            relayed: s.index() == usize::MAX, // false for all
+            received: 0,
+        })
+        .scheduler(RandomScheduler::new(f_ack, sched_seed))
+        .stop_when_all_decided(false)
+        .build();
+        let report = sim.run();
+        // The run drains fully (stop_when_all_decided is off), so the
+        // engine reports AllDecided once the heap empties.
+        prop_assert_eq!(report.outcome, RunOutcome::AllDecided);
+        for i in 0..n {
+            prop_assert_eq!(
+                sim.process(Slot(i)).received,
+                expected[i],
+                "slot {} received {} of {} neighbor messages",
+                i, sim.process(Slot(i)).received, expected[i]
+            );
+        }
+    }
+
+    #[test]
+    fn engine_is_deterministic(
+        n in 2usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let run = || {
+            let topo = Topology::random_connected(n, 0.2, seed);
+            let mut sim = SimBuilder::new(topo, |_| CountAndRelay { relayed: false, received: 0 })
+                .scheduler(RandomScheduler::new(6, seed))
+                .seed(seed)
+                .stop_when_all_decided(false)
+                .build();
+            let report = sim.run();
+            (report.end_time, report.metrics.deliveries, report.metrics.broadcasts, report.metrics.acks)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
