@@ -11,12 +11,10 @@ use std::hint::black_box;
 fn explore(n: usize, crash_budget: usize) -> usize {
     let inputs: Vec<Value> = (0..n).map(|i| (i % 2) as Value).collect();
     let procs: Vec<TwoPhase> = inputs.iter().map(|&v| TwoPhase::new(v)).collect();
-    let out = Explorer::new(Topology::clique(n), procs, inputs, crash_budget).run(
-        ExploreConfig {
-            max_violations: usize::MAX,
-            ..ExploreConfig::default()
-        },
-    );
+    let out = Explorer::new(Topology::clique(n), procs, inputs, crash_budget).run(ExploreConfig {
+        max_violations: usize::MAX,
+        ..ExploreConfig::default()
+    });
     black_box(out.states)
 }
 

@@ -105,7 +105,13 @@ fn print_e3() {
     );
     println!(
         "{:>5} {:>13} {:>10} {:>13} {:>12} {:>10} {:>13}",
-        "n", "wPAXOS ticks", "hub bcasts", "scoped ticks", "flood ticks", "hub bcasts", "gather ticks"
+        "n",
+        "wPAXOS ticks",
+        "hub bcasts",
+        "scoped ticks",
+        "flood ticks",
+        "hub bcasts",
+        "gather ticks"
     );
     for row in e3::series(&[8, 16, 32, 48], 4) {
         println!(
@@ -138,7 +144,9 @@ fn print_e4() {
         );
     }
     let (agreement, earliest) = e4::violation(12, 3, 2);
-    println!("eager decider (2 rounds, D=12): decided at {earliest} < bound 18; agreement = {agreement}");
+    println!(
+        "eager decider (2 rounds, D=12): decided at {earliest} < bound 18; agreement = {agreement}"
+    );
     println!("shape: correct algorithms always clear the bound; deciding early gets partitioned");
 }
 
@@ -165,7 +173,10 @@ fn print_e5() {
 }
 
 fn print_e6() {
-    header("E6", "knowledge of n is required in multihop networks (Thm 3.9, Fig 2)");
+    header(
+        "E6",
+        "knowledge of n is required in multihop networks (Thm 3.9, Fig 2)",
+    );
     println!(
         "{:>4} {:>5} {:>5} {:>9} {:>14} {:>10} {:>10}",
         "D", "n", "t", "compared", "line-identical", "copy1", "copy2"
@@ -186,9 +197,15 @@ fn print_e6() {
 }
 
 fn print_e7() {
-    header("E7", "consensus is impossible with one crash (Thm 3.2 / FLP)");
+    header(
+        "E7",
+        "consensus is impossible with one crash (Thm 3.2 / FLP)",
+    );
     let s = e7::run();
-    println!("  mixed (0,1) config valency with 1 crash: {:?}", s.mixed_valency);
+    println!(
+        "  mixed (0,1) config valency with 1 crash: {:?}",
+        s.mixed_valency
+    );
     println!("  explorer states visited: {}", s.states_visited);
     println!(
         "  critical configuration (Lemma 3.1 contrapositive) at node: {:?}",
@@ -230,7 +247,10 @@ fn print_e8() {
 }
 
 fn print_e9() {
-    header("E9", "same code, real threads: simulator vs threaded MAC runtime");
+    header(
+        "E9",
+        "same code, real threads: simulator vs threaded MAC runtime",
+    );
     println!(
         "  {:<22} {:>12} {:>12} {:>14} {:>12}",
         "scenario", "sim agreed", "rt agreed", "rt latency", "rt bcasts"
@@ -245,7 +265,10 @@ fn print_e9() {
 }
 
 fn print_e10() {
-    header("E10", "extensions: randomization beats the crash bound; unreliable links stay safe");
+    header(
+        "E10",
+        "extensions: randomization beats the crash bound; unreliable links stay safe",
+    );
     let s = e10::run(25);
     println!(
         "  Ben-Or, 1 mid-broadcast crash, {} seeds: all consensus-clean = {}",

@@ -89,11 +89,7 @@ pub mod e2 {
     fn measure(name: &str, topo: Topology, f_ack: u64) -> Row {
         let n = topo.len();
         let d = topo.diameter() as u64;
-        let run = run_wpaxos(
-            topo,
-            &alternating_inputs(n),
-            MaxDelayScheduler::new(f_ack),
-        );
+        let run = run_wpaxos(topo, &alternating_inputs(n), MaxDelayScheduler::new(f_ack));
         run.check.assert_ok();
         let ticks = run.decision_ticks();
         Row {
@@ -110,7 +106,11 @@ pub mod e2 {
     pub fn series(f_ack: u64) -> Vec<Row> {
         let mut rows = Vec::new();
         for d in [2usize, 4, 8, 16, 32] {
-            rows.push(measure(&format!("line(D={d})"), Topology::line(d + 1), f_ack));
+            rows.push(measure(
+                &format!("line(D={d})"),
+                Topology::line(d + 1),
+                f_ack,
+            ));
         }
         rows.push(measure("grid(6x4)", Topology::grid(6, 4), f_ack));
         rows.push(measure("torus(5x5)", Topology::torus(5, 5), f_ack));
@@ -128,7 +128,11 @@ pub mod e2 {
     /// A single run, used by the Criterion bench.
     pub fn one(topo: Topology, f_ack: u64, seed: u64) -> u64 {
         let n = topo.len();
-        let run = run_wpaxos(topo, &alternating_inputs(n), RandomScheduler::new(f_ack, seed));
+        let run = run_wpaxos(
+            topo,
+            &alternating_inputs(n),
+            RandomScheduler::new(f_ack, seed),
+        );
         run.check.assert_ok();
         run.decision_ticks()
     }
@@ -269,7 +273,10 @@ pub mod e6 {
 
     /// Runs the demonstration at several diameters.
     pub fn series() -> Vec<UnknownNOutcome> {
-        [2usize, 4, 8].iter().map(|&d| run_unknown_n_demo(d)).collect()
+        [2usize, 4, 8]
+            .iter()
+            .map(|&d| run_unknown_n_demo(d))
+            .collect()
     }
 }
 
@@ -306,8 +313,7 @@ pub mod e7 {
             (false, true) => Valency::OneValent,
             _ => Valency::Unknown,
         };
-        let critical_node =
-            (0..2).find(|&u| lemma_3_1_extension(&machine, u, 1, 8, 80).is_none());
+        let critical_node = (0..2).find(|&u| lemma_3_1_extension(&machine, u, 1, 8, 80).is_none());
         Summary {
             mixed_valency,
             states_visited: explorer.states_visited(),
@@ -418,7 +424,7 @@ pub mod e9 {
             max_jitter: Duration::from_micros(300),
             seed,
             timeout: Duration::from_secs(30),
-        crashes: Vec::new(),
+            crashes: Vec::new(),
         };
         let mut rows = Vec::new();
 
@@ -444,7 +450,11 @@ pub mod e9 {
         // wPAXOS on a 4x3 grid.
         let topo = Topology::grid(4, 3);
         let n = topo.len();
-        let sim_run = run_wpaxos(topo.clone(), &alternating_inputs(n), RandomScheduler::new(5, seed));
+        let sim_run = run_wpaxos(
+            topo.clone(),
+            &alternating_inputs(n),
+            RandomScheduler::new(5, seed),
+        );
         let rt = MacRuntime::new(topo, cfg);
         let report = rt.run(|s| wpaxos_node((s.index() % 2) as Value, n));
         rows.push(Row {
@@ -671,11 +681,10 @@ pub mod e12 {
                 let wpaxos_ticks = non_laggard_latest(&wreport);
 
                 let iv = inputs.clone();
-                let mut sim = SimBuilder::new(Topology::clique(n), |s| {
-                    TreeGather::new(iv[s.index()], n)
-                })
-                .scheduler(laggard_sched(n, release))
-                .build();
+                let mut sim =
+                    SimBuilder::new(Topology::clique(n), |s| TreeGather::new(iv[s.index()], n))
+                        .scheduler(laggard_sched(n, release))
+                        .build();
                 let greport = sim.run();
                 check_consensus(&inputs, &greport, &[]).assert_ok();
                 let gather_ticks = non_laggard_latest(&greport);
@@ -728,15 +737,19 @@ pub mod e13 {
     /// Distinct `bits`-wide inputs for an `n`-clique (adversarially
     /// spread across the value range so every round has conflicts).
     fn wide_inputs(n: usize, bits: u32) -> Vec<Value> {
-        let top = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let top = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
         (0..n)
             .map(|i| {
                 // Alternate complementary patterns plus extremes.
                 match i % 4 {
                     0 => 0,
                     1 => top,
-                    2 => top / 3,           // 0b0101...
-                    _ => top - (top / 3),   // 0b1010...
+                    2 => top / 3,         // 0b0101...
+                    _ => top - (top / 3), // 0b1010...
                 }
             })
             .collect()
@@ -760,11 +773,7 @@ pub mod e13 {
                 check_consensus(&inputs, &report, &[]).assert_ok();
                 let bitwise_ticks = report.max_decision_time().expect("decided").ticks();
 
-                let run = run_wpaxos(
-                    Topology::clique(n),
-                    &inputs,
-                    MaxDelayScheduler::new(f_ack),
-                );
+                let run = run_wpaxos(Topology::clique(n), &inputs, MaxDelayScheduler::new(f_ack));
                 run.check.assert_ok();
 
                 Row {
@@ -848,24 +857,22 @@ pub mod e14 {
                             }
                         })
                         .collect();
-                    let mut sim = SimBuilder::new(Topology::clique(n), |s| {
-                        FdPaxos::new(iv[s.index()], n, 4)
-                    })
-                    .scheduler(RandomScheduler::new(4, seed))
-                    .crashes(CrashPlan::new(specs))
-                    .message_id_budget(3)
-                    .max_time(Time(500_000))
-                    .build();
+                    let mut sim =
+                        SimBuilder::new(Topology::clique(n), |s| FdPaxos::new(iv[s.index()], n, 4))
+                            .scheduler(RandomScheduler::new(4, seed))
+                            .crashes(CrashPlan::new(specs))
+                            .message_id_budget(3)
+                            .max_time(Time(500_000))
+                            .build();
                     let report = sim.run();
                     let crashed: Vec<bool> = (0..n).map(|i| i < crashes).collect();
                     let check = check_consensus(&inputs, &report, &crashed);
                     all_ok &= check.ok();
-                    worst_ticks = worst_ticks
-                        .max(report.max_decision_time().map_or(0, |t| t.ticks()));
+                    worst_ticks =
+                        worst_ticks.max(report.max_decision_time().map_or(0, |t| t.ticks()));
                     for i in 0..n {
                         worst_ballots = worst_ballots.max(sim.process(Slot(i)).ballots_started());
-                        worst_fs = worst_fs
-                            .max(sim.process(Slot(i)).detector().false_suspicions());
+                        worst_fs = worst_fs.max(sim.process(Slot(i)).detector().false_suspicions());
                     }
                 }
                 Row {

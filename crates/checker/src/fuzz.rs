@@ -207,23 +207,21 @@ mod tests {
 
     #[test]
     fn clean_campaign_on_uniform_inputs() {
-        let out = Explorer::new(
-            Topology::ring(5),
-            vec![Selfish(1); 5],
-            vec![1; 5],
-            0,
-        )
-        .fuzz(FuzzConfig {
-            walks: 50,
-            seed: 3,
-            ..FuzzConfig::default()
-        });
+        let out =
+            Explorer::new(Topology::ring(5), vec![Selfish(1); 5], vec![1; 5], 0).fuzz(FuzzConfig {
+                walks: 50,
+                seed: 3,
+                ..FuzzConfig::default()
+            });
         out.assert_clean();
         assert_eq!(out.walks, 50);
         assert_eq!(out.decided_walks, 50);
         assert_eq!(out.terminal_walks, 0);
         assert!(out.total_moves > 0);
-        assert!(out.max_walk_moves >= 15, "5 broadcasts, 2 deliveries + ack each");
+        assert!(
+            out.max_walk_moves >= 15,
+            "5 broadcasts, 2 deliveries + ack each"
+        );
     }
 
     #[test]

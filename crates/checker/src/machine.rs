@@ -195,7 +195,10 @@ where
     /// Live neighbors of `u` that still owe a receipt of `u`'s current
     /// message.
     fn live_pending(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
-        self.pending[u].iter().copied().filter(|&v| !self.crashed[v])
+        self.pending[u]
+            .iter()
+            .copied()
+            .filter(|&v| !self.crashed[v])
     }
 
     /// Every scheduler move enabled in this state. Deliveries and acks
@@ -347,7 +350,10 @@ mod tests {
         assert!(choices.contains(&Choice::Deliver { from: 1, to: 0 }));
         assert!(choices.contains(&Choice::Deliver { from: 1, to: 2 }));
         assert!(choices.contains(&Choice::Deliver { from: 0, to: 1 }));
-        assert!(!choices.contains(&Choice::Deliver { from: 0, to: 2 }), "not adjacent");
+        assert!(
+            !choices.contains(&Choice::Deliver { from: 0, to: 2 }),
+            "not adjacent"
+        );
     }
 
     #[test]

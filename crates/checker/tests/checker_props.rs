@@ -73,7 +73,7 @@ proptest! {
     ) {
         let n = topo.len();
         let inputs: Vec<Value> = (0..n).map(|i| (i % 2) as Value).collect();
-        prop_assume!(inputs.iter().any(|&v| v == 1));
+        prop_assume!(inputs.contains(&1));
         let procs: Vec<Selfish> = inputs.iter().map(|&v| Selfish(v)).collect();
         let explorer = Explorer::new(topo, procs, inputs, 0);
         let out = explorer.run(ExploreConfig::default());

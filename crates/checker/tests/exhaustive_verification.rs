@@ -126,10 +126,8 @@ fn bitwise_two_phase_verified_for_every_two_bit_pair() {
     for a in 0..4u64 {
         for b in 0..4u64 {
             let inputs = vec![a, b];
-            let procs: Vec<BitwiseTwoPhase> = inputs
-                .iter()
-                .map(|&v| BitwiseTwoPhase::new(v, 2))
-                .collect();
+            let procs: Vec<BitwiseTwoPhase> =
+                inputs.iter().map(|&v| BitwiseTwoPhase::new(v, 2)).collect();
             let out = Explorer::new(Topology::clique(2), procs, inputs.clone(), 0).run(cfg());
             assert!(out.verified(), "inputs {inputs:?}: {:?}", out.violations);
         }
@@ -141,10 +139,7 @@ fn bitwise_two_phase_bounded_on_three_cliques() {
     // The 3-node two-round space runs to millions of states; check the
     // first 60k breadth of it for safety violations.
     let inputs = vec![0b10, 0b01, 0b11];
-    let procs: Vec<BitwiseTwoPhase> = inputs
-        .iter()
-        .map(|&v| BitwiseTwoPhase::new(v, 2))
-        .collect();
+    let procs: Vec<BitwiseTwoPhase> = inputs.iter().map(|&v| BitwiseTwoPhase::new(v, 2)).collect();
     let out = Explorer::new(Topology::clique(3), procs, inputs.clone(), 0).run(bounded(60_000));
     assert!(out.violations.is_empty(), "{:?}", out.violations);
 }
@@ -157,8 +152,7 @@ fn flood_gather_verified_on_multihop_topologies() {
         (Topology::ring(3), vec![0, 1, 1]),
     ] {
         let n = topo.len();
-        let procs: Vec<FloodGather> =
-            inputs.iter().map(|&v| FloodGather::new(v, n)).collect();
+        let procs: Vec<FloodGather> = inputs.iter().map(|&v| FloodGather::new(v, n)).collect();
         let out = Explorer::new(topo, procs, inputs.clone(), 0).run(cfg());
         assert!(out.verified(), "inputs {inputs:?}: {:?}", out.violations);
     }

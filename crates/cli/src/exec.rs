@@ -91,7 +91,9 @@ fn run(
             return Err(format!("crash slot {} out of range (n={n})", c.slot()));
         }
     }
-    let crashed: Vec<bool> = (0..n).map(|i| crashes.iter().any(|c| c.slot() == Slot(i))).collect();
+    let crashed: Vec<bool> = (0..n)
+        .map(|i| crashes.iter().any(|c| c.slot() == Slot(i)))
+        .collect();
 
     // One builder per algorithm arm: each has a distinct message type.
     macro_rules! simulate {
@@ -141,13 +143,20 @@ fn run(
             simulate!(|s: Slot| TwoPhase::new(iv[s.index()]), 1)
         }
         AlgoSpec::Wpaxos => {
-            simulate!(|s: Slot| WpaxosNode::new(iv[s.index()], WpaxosConfig::new(n)), 10)
+            simulate!(
+                |s: Slot| WpaxosNode::new(iv[s.index()], WpaxosConfig::new(n)),
+                10
+            )
         }
         AlgoSpec::TreeGather => simulate!(|s: Slot| TreeGather::new(iv[s.index()], n), 10),
         AlgoSpec::FloodGather => simulate!(|s: Slot| FloodGather::new(iv[s.index()], n), 1),
         AlgoSpec::Bitwise(bits) => {
             require_clique(algo, &topo)?;
-            let top = if bits >= 64 { u64::MAX } else { (1 << bits) - 1 };
+            let top = if bits >= 64 {
+                u64::MAX
+            } else {
+                (1 << bits) - 1
+            };
             for &v in &inputs {
                 if v > top {
                     return Err(format!("input {v} does not fit in {bits} bits"));
@@ -404,7 +413,10 @@ fn fuzz(
     );
     match out.violations.first() {
         None => {
-            let _ = writeln!(text, "CLEAN: no walk violated agreement/validity/termination");
+            let _ = writeln!(
+                text,
+                "CLEAN: no walk violated agreement/validity/termination"
+            );
         }
         Some(v) => {
             let _ = writeln!(text, "VIOLATION: {:?}", v.kind);
@@ -472,27 +484,24 @@ mod tests {
 
     #[test]
     fn run_wpaxos_on_grid_with_trace_and_audit() {
-        let out = cli("run --algo wpaxos --topo grid:3x2 --sched random:3:9 --trace --audit")
-            .unwrap();
+        let out =
+            cli("run --algo wpaxos --topo grid:3x2 --sched random:3:9 --trace --audit").unwrap();
         assert!(out.contains("decides"), "{out}");
         assert!(out.contains("violations: none"), "{out}");
     }
 
     #[test]
     fn run_fd_paxos_with_crash() {
-        let out = cli(
-            "run --algo fd-paxos --topo clique:5 --sched random:4:3 \
-             --crash slot=0,bcast=1,delivered=2 --inputs const:6",
-        )
+        let out = cli("run --algo fd-paxos --topo clique:5 --sched random:4:3 \
+             --crash slot=0,bcast=1,delivered=2 --inputs const:6")
         .unwrap();
         assert!(out.contains("decided=Some(6)"), "{out}");
     }
 
     #[test]
     fn run_bitwise_with_wide_inputs() {
-        let out =
-            cli("run --algo bitwise:4 --topo clique:3 --sched max-delay:2 --inputs 9,5,12")
-                .unwrap();
+        let out = cli("run --algo bitwise:4 --topo clique:3 --sched max-delay:2 --inputs 9,5,12")
+            .unwrap();
         assert!(out.contains("agreement=true"), "{out}");
     }
 
@@ -543,10 +552,8 @@ mod tests {
         };
         let dfs =
             cli("check --algo two-phase --topo clique:2 --inputs 0,1 --crash-budget 1").unwrap();
-        let bfs = cli(
-            "check --algo two-phase --topo clique:2 --inputs 0,1 --crash-budget 1 --bfs",
-        )
-        .unwrap();
+        let bfs = cli("check --algo two-phase --topo clique:2 --inputs 0,1 --crash-budget 1 --bfs")
+            .unwrap();
         assert!(sched_len(&bfs) <= sched_len(&dfs), "bfs: {bfs}\ndfs: {dfs}");
     }
 
@@ -565,10 +572,8 @@ mod tests {
 
     #[test]
     fn fuzz_finds_crash_violation() {
-        let out = cli(
-            "fuzz --algo flood-gather --topo clique:3 --inputs 0,1,1 \
-             --crash-budget 1 --walks 50 --seed 2",
-        )
+        let out = cli("fuzz --algo flood-gather --topo clique:3 --inputs 0,1,1 \
+             --crash-budget 1 --walks 50 --seed 2")
         .unwrap();
         assert!(out.contains("VIOLATION: Termination"), "{out}");
     }

@@ -368,9 +368,7 @@ impl Command {
             "run" => Command::Run {
                 algo: AlgoSpec::parse(&opts.required("--algo")?)?,
                 topo: TopoSpec::parse(&opts.required("--topo")?)?,
-                sched: SchedSpec::parse(
-                    &opts.optional("--sched").unwrap_or("random:4:42".into()),
-                )?,
+                sched: SchedSpec::parse(&opts.optional("--sched").unwrap_or("random:4:42".into()))?,
                 inputs: InputSpec::parse(&opts.optional("--inputs").unwrap_or("alt".into()))?,
                 crashes: opts
                     .all("--crash")
@@ -518,7 +516,8 @@ fn params(tail: Option<&str>, full: &str, want: usize) -> Result<Vec<String>, St
 }
 
 fn num<T: std::str::FromStr>(s: &str, ctx: &str) -> Result<T, String> {
-    s.parse().map_err(|_| format!("bad number `{s}` in `{ctx}`"))
+    s.parse()
+        .map_err(|_| format!("bad number `{s}` in `{ctx}`"))
 }
 
 fn one_param<T: std::str::FromStr>(tail: Option<&str>, full: &str) -> Result<T, String> {
@@ -553,7 +552,10 @@ mod tests {
     #[test]
     fn algo_specs_parse() {
         assert_eq!(AlgoSpec::parse("two-phase").unwrap(), AlgoSpec::TwoPhase);
-        assert_eq!(AlgoSpec::parse("bitwise:16").unwrap(), AlgoSpec::Bitwise(16));
+        assert_eq!(
+            AlgoSpec::parse("bitwise:16").unwrap(),
+            AlgoSpec::Bitwise(16)
+        );
         assert_eq!(AlgoSpec::parse("fd-paxos").unwrap(), AlgoSpec::FdPaxos(4));
         assert_eq!(AlgoSpec::parse("fd-paxos:9").unwrap(), AlgoSpec::FdPaxos(9));
         assert!(AlgoSpec::parse("raft").is_err());
@@ -670,8 +672,8 @@ mod tests {
 
     #[test]
     fn command_rejects_unknown_options() {
-        let err = Command::parse(&argv("run --algo two-phase --topo clique:4 --bogus 1"))
-            .unwrap_err();
+        let err =
+            Command::parse(&argv("run --algo two-phase --topo clique:4 --bogus 1")).unwrap_err();
         assert!(err.contains("--bogus"), "{err}");
         let err = Command::parse(&argv("fly --algo two-phase")).unwrap_err();
         assert!(err.contains("unknown command"), "{err}");

@@ -142,12 +142,7 @@ mod tests {
         for n in [2usize, 5, 9] {
             let d = (n - 1) as u64;
             let inputs: Vec<Value> = (0..n).map(|i| (i % 2) as Value).collect();
-            let report = run(
-                Topology::line(n),
-                &inputs,
-                d,
-                SynchronousScheduler::new(1),
-            );
+            let report = run(Topology::line(n), &inputs, d, SynchronousScheduler::new(1));
             let check = check_consensus(&inputs, &report, &[]);
             check.assert_ok();
             assert_eq!(check.decided, Some(0));
@@ -157,12 +152,7 @@ mod tests {
     #[test]
     fn uniform_inputs_decide_that_value() {
         let inputs = vec![1, 1, 1, 1];
-        let report = run(
-            Topology::ring(4),
-            &inputs,
-            2,
-            SynchronousScheduler::new(1),
-        );
+        let report = run(Topology::ring(4), &inputs, 2, SynchronousScheduler::new(1));
         let check = check_consensus(&inputs, &report, &[]);
         check.assert_ok();
         assert_eq!(check.decided, Some(1));
@@ -187,12 +177,7 @@ mod tests {
         // the Theorem 3.10 partition argument in action.
         let n = 9;
         let inputs: Vec<Value> = (0..n).map(|i| if i < n / 2 { 0 } else { 1 }).collect();
-        let report = run(
-            Topology::line(n),
-            &inputs,
-            2,
-            MaxDelayScheduler::new(3),
-        );
+        let report = run(Topology::line(n), &inputs, 2, MaxDelayScheduler::new(3));
         let check = check_consensus(&inputs, &report, &[]);
         assert!(!check.agreement, "expected the partition violation");
     }

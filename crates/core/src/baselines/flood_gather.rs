@@ -11,8 +11,8 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use amacl_model::prelude::*;
 use amacl_model::ids::NodeId;
+use amacl_model::prelude::*;
 
 /// One `(id, value)` pair in flight.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
@@ -173,7 +173,11 @@ mod tests {
 
     #[test]
     fn singleton_decides_immediately() {
-        let (_, report) = run(Topology::from_edges(1, &[]), &[7], SynchronousScheduler::new(1));
+        let (_, report) = run(
+            Topology::from_edges(1, &[]),
+            &[7],
+            SynchronousScheduler::new(1),
+        );
         let check = check_consensus(&[7], &report, &[]);
         check.assert_ok();
         assert_eq!(report.max_decision_time(), Some(Time(0)));

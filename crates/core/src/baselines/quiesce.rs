@@ -163,12 +163,7 @@ mod tests {
     #[test]
     fn mixed_inputs_converge_to_min_on_lines() {
         let inputs = vec![1, 0, 1, 1, 0, 1];
-        let report = run(
-            Topology::line(6),
-            &inputs,
-            12,
-            SynchronousScheduler::new(1),
-        );
+        let report = run(Topology::line(6), &inputs, 12, SynchronousScheduler::new(1));
         let check = check_consensus(&inputs, &report, &[]);
         check.assert_ok();
         assert_eq!(check.decided, Some(0));

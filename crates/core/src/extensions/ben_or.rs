@@ -87,7 +87,7 @@ impl BenOr {
     ///
     /// Panics if `n < 3` or the input is not binary.
     pub fn new(input: Value, n: usize) -> Self {
-        assert!(n >= 2 * Self::F + 1, "Ben-Or with f=1 needs n >= 3");
+        assert!(n > 2 * Self::F, "Ben-Or with f=1 needs n >= 3");
         assert!(input <= 1, "Ben-Or is binary");
         Self {
             n,
@@ -201,7 +201,7 @@ impl BenOr {
                     } else {
                         (counts[1], 1)
                     };
-                    if support >= Self::F + 1 {
+                    if support > Self::F {
                         self.x = v;
                         ctx.decide(v);
                     } else if support >= 1 {
@@ -290,7 +290,12 @@ mod tests {
     fn mixed_inputs_terminate_and_agree_without_crashes() {
         for seed in 0..20 {
             let inputs = vec![0, 1, 0, 1, 1];
-            let report = run(&inputs, RandomScheduler::new(4, seed), CrashPlan::none(), seed);
+            let report = run(
+                &inputs,
+                RandomScheduler::new(4, seed),
+                CrashPlan::none(),
+                seed,
+            );
             let check = check_consensus(&inputs, &report, &[]);
             assert!(check.ok(), "seed {seed}: {:?}", check.violation);
         }

@@ -247,7 +247,7 @@ impl FdPaxos {
         match msg {
             FdPaxosMsg::Heartbeat { .. } => {}
             FdPaxosMsg::Prepare { id, ballot } => {
-                if self.promised.map_or(true, |p| ballot > p) {
+                if self.promised.is_none_or(|p| ballot > p) {
                     self.promised = Some(ballot);
                     let reply = FdPaxosMsg::Promise {
                         id: ctx.id(),
@@ -278,13 +278,12 @@ impl FdPaxos {
                     {
                         promises.insert(id);
                         if let Some((b, v)) = accepted {
-                            if best_accepted.map_or(true, |(bb, _)| b > bb) {
+                            if best_accepted.is_none_or(|(bb, _)| b > bb) {
                                 *best_accepted = Some((b, v));
                             }
                         }
                         if promises.len() >= majority {
-                            ready_value =
-                                Some(best_accepted.map(|(_, v)| v).unwrap_or(self.input));
+                            ready_value = Some(best_accepted.map(|(_, v)| v).unwrap_or(self.input));
                         }
                     }
                     if let Some(value) = ready_value {
@@ -303,7 +302,7 @@ impl FdPaxos {
                 }
             }
             FdPaxosMsg::AcceptReq { id, ballot, value } => {
-                if self.promised.map_or(true, |p| ballot >= p) {
+                if self.promised.is_none_or(|p| ballot >= p) {
                     self.promised = Some(ballot);
                     self.accepted = Some((ballot, value));
                     let reply = FdPaxosMsg::Accepted {
@@ -428,11 +427,7 @@ mod tests {
     use super::*;
     use crate::verify::check_consensus;
 
-    fn run(
-        inputs: &[Value],
-        scheduler: impl Scheduler + 'static,
-        crashes: CrashPlan,
-    ) -> RunReport {
+    fn run(inputs: &[Value], scheduler: impl Scheduler + 'static, crashes: CrashPlan) -> RunReport {
         let n = inputs.len();
         let iv = inputs.to_vec();
         let mut sim = SimBuilder::new(Topology::clique(n), |s| FdPaxos::new(iv[s.index()], n, 4))

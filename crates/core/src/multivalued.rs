@@ -600,7 +600,11 @@ mod tests {
     #[test]
     fn align_round_trip() {
         for bits in [1u32, 4, 63, 64] {
-            let v = if bits == 64 { u64::MAX } else { (1 << bits) - 1 };
+            let v = if bits == 64 {
+                u64::MAX
+            } else {
+                (1 << bits) - 1
+            };
             assert_eq!(unalign(align(v, bits), bits), v);
         }
     }

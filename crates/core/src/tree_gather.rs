@@ -304,7 +304,11 @@ mod tests {
 
     #[test]
     fn singleton_decides_itself() {
-        let run = run_tree_gather(Topology::from_edges(1, &[]), &[9], SynchronousScheduler::new(1));
+        let run = run_tree_gather(
+            Topology::from_edges(1, &[]),
+            &[9],
+            SynchronousScheduler::new(1),
+        );
         run.check.assert_ok();
         assert_eq!(run.check.decided, Some(9));
     }

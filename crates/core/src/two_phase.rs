@@ -176,8 +176,15 @@ impl TwoPhase {
     }
 
     fn decided_zero_visible(&self) -> bool {
-        let check =
-            |m: &TpMsg| matches!(*m, TpMsg::Phase2 { status: TpStatus::Decided(0), .. });
+        let check = |m: &TpMsg| {
+            matches!(
+                *m,
+                TpMsg::Phase2 {
+                    status: TpStatus::Decided(0),
+                    ..
+                }
+            )
+        };
         if self.literal_r2 {
             self.r2.iter().any(check)
         } else {

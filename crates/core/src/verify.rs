@@ -54,11 +54,7 @@ impl ConsensusCheck {
 ///
 /// Panics if `inputs` length does not match the report, or `crashed`
 /// is non-empty with a mismatched length.
-pub fn check_consensus(
-    inputs: &[Value],
-    report: &RunReport,
-    crashed: &[bool],
-) -> ConsensusCheck {
+pub fn check_consensus(inputs: &[Value], report: &RunReport, crashed: &[bool]) -> ConsensusCheck {
     assert_eq!(
         inputs.len(),
         report.decisions.len(),

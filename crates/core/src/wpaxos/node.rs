@@ -92,7 +92,9 @@ impl WpaxosNode {
 
     /// Number of Paxos proposals this node has started.
     pub fn proposals_started(&self) -> u64 {
-        self.inner.as_ref().map_or(0, |i| i.proposer.proposals_started())
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.proposer.proposals_started())
     }
 
     /// Largest proposal tag observed (Lemma 4.4 instrumentation).
@@ -159,7 +161,7 @@ impl WpaxosNode {
     fn note_pn(&mut self, pn: ProposalNum) {
         let inner = self.inner();
         inner.proposer.observe_pn(pn);
-        if pn.id == inner.leader.omega() && inner.best_leader_pn.map_or(true, |b| pn > b) {
+        if pn.id == inner.leader.omega() && inner.best_leader_pn.is_none_or(|b| pn > b) {
             inner.best_leader_pn = Some(pn);
             inner.aqueue.prune_except(pn);
         }
@@ -274,10 +276,7 @@ impl WpaxosNode {
                 self.handle_action(action, ctx);
             } else {
                 match self.inner().tree.parent_of(am.about.id) {
-                    Some(parent) => self.inner().aqueue.push(AcceptorMsg {
-                        dest: parent,
-                        ..am
-                    }),
+                    Some(parent) => self.inner().aqueue.push(AcceptorMsg { dest: parent, ..am }),
                     None => self.stats.responses_dropped_no_parent += 1,
                 }
             }
@@ -445,11 +444,8 @@ mod tests {
     fn clique_reaches_consensus_under_random_schedulers() {
         for seed in 0..15 {
             let inputs: Vec<Value> = (0..6).map(|i| (i as u64 + seed) % 2).collect();
-            let (_, report) = run_wpaxos(
-                Topology::clique(6),
-                &inputs,
-                RandomScheduler::new(4, seed),
-            );
+            let (_, report) =
+                run_wpaxos(Topology::clique(6), &inputs, RandomScheduler::new(4, seed));
             let check = check_consensus(&inputs, &report, &[]);
             assert!(check.ok(), "seed {seed}: {:?}", check.violation);
         }
@@ -459,11 +455,8 @@ mod tests {
     fn grid_reaches_consensus_under_random_schedulers() {
         for seed in 0..8 {
             let inputs: Vec<Value> = (0..12).map(|i| (i as u64) % 2).collect();
-            let (_, report) = run_wpaxos(
-                Topology::grid(4, 3),
-                &inputs,
-                RandomScheduler::new(3, seed),
-            );
+            let (_, report) =
+                run_wpaxos(Topology::grid(4, 3), &inputs, RandomScheduler::new(3, seed));
             let check = check_consensus(&inputs, &report, &[]);
             assert!(check.ok(), "seed {seed}: {:?}", check.violation);
         }
@@ -512,10 +505,7 @@ mod tests {
                 Some(NodeId(i as u64 + 1)),
                 "slot {i} parent"
             );
-            assert_eq!(
-                sim.process(Slot(i)).dist_to(NodeId(5)),
-                Some(5 - i as u32)
-            );
+            assert_eq!(sim.process(Slot(i)).dist_to(NodeId(5)), Some(5 - i as u32));
         }
     }
 
@@ -637,16 +627,10 @@ mod tests {
         let n = 24;
         let f_ack = 4;
         let inputs: Vec<Value> = (0..n).map(|i| (i as u64) % 2).collect();
-        let (_, line_report) = run_wpaxos(
-            Topology::line(n),
-            &inputs,
-            MaxDelayScheduler::new(f_ack),
-        );
-        let (_, star_report) = run_wpaxos(
-            Topology::star(n),
-            &inputs,
-            MaxDelayScheduler::new(f_ack),
-        );
+        let (_, line_report) =
+            run_wpaxos(Topology::line(n), &inputs, MaxDelayScheduler::new(f_ack));
+        let (_, star_report) =
+            run_wpaxos(Topology::star(n), &inputs, MaxDelayScheduler::new(f_ack));
         assert!(line_report.all_decided() && star_report.all_decided());
         let line_t = line_report.max_decision_time().unwrap().ticks();
         let star_t = star_report.max_decision_time().unwrap().ticks();

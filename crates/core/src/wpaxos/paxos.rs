@@ -63,7 +63,7 @@ impl Acceptor {
         }
         match *msg {
             ProposerMsg::Prepare { pn } => {
-                if self.promised.map_or(true, |p| pn > p) {
+                if self.promised.is_none_or(|p| pn > p) {
                     self.promised = Some(pn);
                     Some(Response {
                         about: pn,
@@ -81,7 +81,7 @@ impl Acceptor {
                 }
             }
             ProposerMsg::Propose { pn, value } => {
-                if self.promised.map_or(true, |p| pn >= p) {
+                if self.promised.is_none_or(|p| pn >= p) {
                     self.promised = Some(pn);
                     self.accepted = Some((pn, value));
                     Some(Response {
@@ -228,6 +228,7 @@ impl Proposer {
     ///
     /// `still_leader` gates the retry: a deposed proposer goes idle on
     /// failure instead of escalating its proposal number.
+    #[allow(clippy::too_many_arguments)]
     pub fn on_response(
         &mut self,
         about: ProposalNum,
@@ -322,12 +323,16 @@ mod tests {
         assert_eq!(r.kind, RespKind::PrepareAck);
 
         // The superseded propose is rejected with a hint.
-        let r = a.handle(&ProposerMsg::Propose { pn: p1, value: 0 }).unwrap();
+        let r = a
+            .handle(&ProposerMsg::Propose { pn: p1, value: 0 })
+            .unwrap();
         assert_eq!(r.kind, RespKind::ProposeNack);
         assert_eq!(r.hint, Some(p2));
 
         // The current propose is accepted.
-        let r = a.handle(&ProposerMsg::Propose { pn: p2, value: 1 }).unwrap();
+        let r = a
+            .handle(&ProposerMsg::Propose { pn: p2, value: 1 })
+            .unwrap();
         assert_eq!(r.kind, RespKind::ProposeAck);
         assert_eq!(a.accepted(), Some((p2, 1)));
 
@@ -374,7 +379,10 @@ mod tests {
             ProposerAction::None
         );
         let act = p.on_response(pn, RespKind::PrepareAck, 1, None, None, ME, true);
-        assert_eq!(act, ProposerAction::Emit(ProposerMsg::Propose { pn, value: 7 }));
+        assert_eq!(
+            act,
+            ProposerAction::Emit(ProposerMsg::Propose { pn, value: 7 })
+        );
 
         assert_eq!(
             p.on_response(pn, RespKind::ProposeAck, 3, None, None, ME, true),
@@ -390,9 +398,28 @@ mod tests {
         let pn = prepare_pn(&p);
         let old_small = ProposalNum::new(1, NodeId(1));
         let old_big = ProposalNum::new(2, NodeId(2));
-        p.on_response(pn, RespKind::PrepareAck, 1, Some((old_small, 5)), None, ME, true);
-        let act = p.on_response(pn, RespKind::PrepareAck, 1, Some((old_big, 9)), None, ME, true);
-        assert_eq!(act, ProposerAction::Emit(ProposerMsg::Propose { pn, value: 9 }));
+        p.on_response(
+            pn,
+            RespKind::PrepareAck,
+            1,
+            Some((old_small, 5)),
+            None,
+            ME,
+            true,
+        );
+        let act = p.on_response(
+            pn,
+            RespKind::PrepareAck,
+            1,
+            Some((old_big, 9)),
+            None,
+            ME,
+            true,
+        );
+        assert_eq!(
+            act,
+            ProposerAction::Emit(ProposerMsg::Propose { pn, value: 9 })
+        );
     }
 
     #[test]
@@ -401,7 +428,15 @@ mod tests {
         p.on_change(ME);
         let pn1 = prepare_pn(&p);
         let committed = ProposalNum::new(10, NodeId(2));
-        let act = p.on_response(pn1, RespKind::PrepareNack, 2, None, Some(committed), ME, true);
+        let act = p.on_response(
+            pn1,
+            RespKind::PrepareNack,
+            2,
+            None,
+            Some(committed),
+            ME,
+            true,
+        );
         // Retry with a tag above the hint.
         match act {
             ProposerAction::Emit(ProposerMsg::Prepare { pn: pn2 }) => {
@@ -456,7 +491,10 @@ mod tests {
         let pn = prepare_pn(&p);
         assert_eq!(act, ProposerAction::Emit(ProposerMsg::Prepare { pn }));
         let act = p.on_response(pn, RespKind::PrepareAck, 1, None, None, ME, true);
-        assert_eq!(act, ProposerAction::Emit(ProposerMsg::Propose { pn, value: 4 }));
+        assert_eq!(
+            act,
+            ProposerAction::Emit(ProposerMsg::Propose { pn, value: 4 })
+        );
         let act = p.on_response(pn, RespKind::ProposeAck, 1, None, None, ME, true);
         assert_eq!(act, ProposerAction::Decide(4));
     }

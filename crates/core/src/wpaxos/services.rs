@@ -302,9 +302,11 @@ impl AcceptorQueue {
     /// survive.
     pub fn push(&mut self, msg: AcceptorMsg) {
         if self.aggregate {
-            if let Some(existing) = self.items.iter_mut().find(|e| {
-                e.dest == msg.dest && e.about == msg.about && e.kind == msg.kind
-            }) {
+            if let Some(existing) = self
+                .items
+                .iter_mut()
+                .find(|e| e.dest == msg.dest && e.about == msg.about && e.kind == msg.kind)
+            {
                 existing.count += msg.count;
                 existing.prev = match (existing.prev, msg.prev) {
                     (Some(a), Some(b)) => Some(if a.0 >= b.0 { a } else { b }),
@@ -393,13 +395,34 @@ mod tests {
         assert_eq!(svc.dist_of(me), Some(0));
         assert_eq!(svc.parent_of(me), Some(me));
 
-        assert!(svc.receive(SearchMsg { root: NodeId(5), hops: 3 }, NodeId(2), omega));
+        assert!(svc.receive(
+            SearchMsg {
+                root: NodeId(5),
+                hops: 3
+            },
+            NodeId(2),
+            omega
+        ));
         assert_eq!(svc.dist_of(NodeId(5)), Some(3));
         assert_eq!(svc.parent_of(NodeId(5)), Some(NodeId(2)));
 
         // Worse offer rejected; better offer replaces parent.
-        assert!(!svc.receive(SearchMsg { root: NodeId(5), hops: 4 }, NodeId(3), omega));
-        assert!(svc.receive(SearchMsg { root: NodeId(5), hops: 1 }, NodeId(4), omega));
+        assert!(!svc.receive(
+            SearchMsg {
+                root: NodeId(5),
+                hops: 4
+            },
+            NodeId(3),
+            omega
+        ));
+        assert!(svc.receive(
+            SearchMsg {
+                root: NodeId(5),
+                hops: 1
+            },
+            NodeId(4),
+            omega
+        ));
         assert_eq!(svc.parent_of(NodeId(5)), Some(NodeId(4)));
         // Only the improved entry remains queued for root 5.
         let msgs: Vec<SearchMsg> = std::iter::from_fn(|| svc.pop()).collect();
@@ -413,8 +436,22 @@ mod tests {
         let me = NodeId(0);
         let omega = NodeId(9);
         let mut svc = TreeService::new(me, true);
-        svc.receive(SearchMsg { root: NodeId(5), hops: 1 }, NodeId(5), omega);
-        svc.receive(SearchMsg { root: NodeId(9), hops: 2 }, NodeId(5), omega);
+        svc.receive(
+            SearchMsg {
+                root: NodeId(5),
+                hops: 1,
+            },
+            NodeId(5),
+            omega,
+        );
+        svc.receive(
+            SearchMsg {
+                root: NodeId(9),
+                hops: 2,
+            },
+            NodeId(5),
+            omega,
+        );
         // Leader 9's entry jumps the queue.
         assert_eq!(svc.pop().unwrap().root, NodeId(9));
     }
@@ -424,8 +461,22 @@ mod tests {
         let me = NodeId(0);
         let omega = NodeId(9);
         let mut svc = TreeService::new(me, false);
-        svc.receive(SearchMsg { root: NodeId(5), hops: 1 }, NodeId(5), omega);
-        svc.receive(SearchMsg { root: NodeId(9), hops: 2 }, NodeId(5), omega);
+        svc.receive(
+            SearchMsg {
+                root: NodeId(5),
+                hops: 1,
+            },
+            NodeId(5),
+            omega,
+        );
+        svc.receive(
+            SearchMsg {
+                root: NodeId(9),
+                hops: 2,
+            },
+            NodeId(5),
+            omega,
+        );
         assert_eq!(svc.pop().unwrap().root, me, "initial self entry first");
         assert_eq!(svc.pop().unwrap().root, NodeId(5));
         assert_eq!(svc.pop().unwrap().root, NodeId(9));
@@ -435,8 +486,22 @@ mod tests {
     fn on_leader_change_repromotes() {
         let me = NodeId(0);
         let mut svc = TreeService::new(me, true);
-        svc.receive(SearchMsg { root: NodeId(5), hops: 1 }, NodeId(5), NodeId(0));
-        svc.receive(SearchMsg { root: NodeId(7), hops: 1 }, NodeId(7), NodeId(0));
+        svc.receive(
+            SearchMsg {
+                root: NodeId(5),
+                hops: 1,
+            },
+            NodeId(5),
+            NodeId(0),
+        );
+        svc.receive(
+            SearchMsg {
+                root: NodeId(7),
+                hops: 1,
+            },
+            NodeId(7),
+            NodeId(0),
+        );
         svc.on_leader_change(NodeId(7));
         assert_eq!(svc.pop().unwrap().root, NodeId(7));
     }

@@ -6,10 +6,7 @@ use amacl_core::two_phase::{TpStage, TpStatus, TwoPhase};
 use amacl_core::verify::check_consensus;
 use amacl_model::prelude::*;
 
-fn run_scripted(
-    inputs: &[Value],
-    sched: ScriptedScheduler,
-) -> (Sim<TwoPhase>, RunReport) {
+fn run_scripted(inputs: &[Value], sched: ScriptedScheduler) -> (Sim<TwoPhase>, RunReport) {
     let iv = inputs.to_vec();
     let mut sim = SimBuilder::new(Topology::clique(inputs.len()), |s| {
         TwoPhase::new(iv[s.index()])
@@ -131,7 +128,7 @@ fn decided_one_statuses_are_obeyed() {
 #[test]
 fn stages_progress_monotonically() {
     // Pause mid-execution and observe the stage machine.
-    let iv = vec![0, 1, 1];
+    let iv = [0, 1, 1];
     let mut sim = SimBuilder::new(Topology::clique(3), |s| TwoPhase::new(iv[s.index()]))
         .scheduler(SynchronousScheduler::new(4))
         .build();

@@ -72,10 +72,10 @@ fn leader_tree_matches_bfs_distances_after_stabilization() {
         // leader-priority tree completes.
         sim.run_until(Time(8 * d + 8));
         let leader_id = NodeId(n as u64 - 1);
-        for i in 0..n {
+        for (i, &want) in bfs.iter().enumerate() {
             assert_eq!(
                 sim.process(Slot(i)).dist_to(leader_id),
-                Some(bfs[i]),
+                Some(want),
                 "slot {i}: wrong tree distance to the leader"
             );
         }
@@ -99,12 +99,11 @@ fn tree_distances_never_undershoot_bfs() {
             sim.run_until(Time(checkpoint));
             for root in 0..n {
                 let bfs = topo.bfs_distances(Slot(root));
-                for i in 0..n {
+                for (i, &lower) in bfs.iter().enumerate() {
                     if let Some(dist) = sim.process(Slot(i)).dist_to(NodeId(root as u64)) {
                         assert!(
-                            dist >= bfs[i],
-                            "seed {seed} t={checkpoint}: slot {i} claims dist {dist} < bfs {} to {root}",
-                            bfs[i]
+                            dist >= lower,
+                            "seed {seed} t={checkpoint}: slot {i} claims dist {dist} < bfs {lower} to {root}"
                         );
                     }
                 }
@@ -176,7 +175,11 @@ fn decisions_agree_between_scoped_and_literal_change_triggers() {
                 .build();
             let report = sim.run();
             let check = check_consensus(&inputs, &report, &[]);
-            assert!(check.ok(), "seed {seed} scoped={scoped}: {:?}", check.violation);
+            assert!(
+                check.ok(),
+                "seed {seed} scoped={scoped}: {:?}",
+                check.violation
+            );
         }
     }
 }

@@ -55,11 +55,13 @@ fn state_of(p: &SyncFloodMin) -> (u8, u64) {
 }
 
 fn b_sim(fig: &Fig1, b: Value, rounds: u64) -> Sim<SyncFloodMin> {
-    SimBuilder::new(fig.network_b().clone(), move |_| SyncFloodMin::new(b, rounds))
-        .scheduler(SynchronousScheduler::new(1))
-        .message_id_budget(0) // anonymity, mechanically enforced
-        .stop_when_all_decided(false)
-        .build()
+    SimBuilder::new(fig.network_b().clone(), move |_| {
+        SyncFloodMin::new(b, rounds)
+    })
+    .scheduler(SynchronousScheduler::new(1))
+    .message_id_budget(0) // anonymity, mechanically enforced
+    .stop_when_all_decided(false)
+    .build()
 }
 
 fn snapshot(sim: &Sim<SyncFloodMin>, inputs: &[Value]) -> ConsensusCheck {

@@ -302,8 +302,7 @@ mod tests {
         let m = machine(&[0, 1]);
         let mut ex = Explorer::new(1, 80);
         assert_eq!(ex.classify(&m), Valency::Bivalent);
-        let critical_node = (0..2)
-            .find(|&u| lemma_3_1_extension(&m, u, 1, 8, 80).is_none());
+        let critical_node = (0..2).find(|&u| lemma_3_1_extension(&m, u, 1, 8, 80).is_none());
         assert!(
             critical_node.is_some(),
             "every node had a Lemma 3.1 extension — two-phase would be 1-crash-tolerant"

@@ -94,8 +94,7 @@ where
         let n = procs.len();
         assert!(n >= 2, "step semantics need at least two nodes");
         let ids: Vec<NodeId> = (0..n).map(|i| NodeId(i as u64)).collect();
-        let mut cells: Vec<NodeCell<P::Msg>> =
-            (0..n).map(|i| NodeCell::new(i as u64)).collect();
+        let mut cells: Vec<NodeCell<P::Msg>> = (0..n).map(|i| NodeCell::new(i as u64)).collect();
         let mut outstanding: Vec<Option<P::Msg>> = vec![None; n];
         for i in 0..n {
             let mut ctx = cells[i].ctx(ids[i], Time::ZERO, false);
@@ -135,7 +134,10 @@ where
 
     /// Decisions so far.
     pub fn decisions(&self) -> Vec<Option<Value>> {
-        self.cells.iter().map(|c| c.decision.map(|d| d.value)).collect()
+        self.cells
+            .iter()
+            .map(|c| c.decision.map(|d| d.value))
+            .collect()
     }
 
     /// Distinct decided values.
@@ -160,8 +162,7 @@ where
     /// non-crashed other node that has not yet received it.
     fn next_recipient(&self, u: usize) -> Option<usize> {
         self.outstanding[u].as_ref()?;
-        (0..self.len())
-            .find(|&v| v != u && !self.crashed[v] && !self.delivered[u].contains(&v))
+        (0..self.len()).find(|&v| v != u && !self.crashed[v] && !self.delivered[u].contains(&v))
     }
 
     /// The valid non-crash steps available now: for each non-crashed

@@ -127,7 +127,12 @@ mod tests {
         for (d, f_ack) in [(4usize, 2u64), (8, 1), (12, 2)] {
             let m = earliest_decision(Algorithm::FloodGather, d, f_ack);
             assert!(m.ok, "D={d}");
-            assert!(m.respects_bound(), "earliest {} < bound {}", m.earliest, m.bound);
+            assert!(
+                m.respects_bound(),
+                "earliest {} < bound {}",
+                m.earliest,
+                m.bound
+            );
         }
     }
 

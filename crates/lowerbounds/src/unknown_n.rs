@@ -49,12 +49,14 @@ pub struct UnknownNOutcome {
 /// explicit ids (so its states are comparable to a `K_D` copy that was
 /// assigned the same ids).
 fn line_sim(d: usize, b: Value, quiet: u64, ids: Vec<NodeId>) -> Sim<IdFloodQuiesce> {
-    SimBuilder::new(Topology::line(d + 1), move |_| IdFloodQuiesce::new(b, quiet))
-        .ids(ids)
-        .scheduler(SynchronousScheduler::new(1))
-        .message_id_budget(1)
-        .stop_when_all_decided(false)
-        .build()
+    SimBuilder::new(Topology::line(d + 1), move |_| {
+        IdFloodQuiesce::new(b, quiet)
+    })
+    .ids(ids)
+    .scheduler(SynchronousScheduler::new(1))
+    .message_id_budget(1)
+    .stop_when_all_decided(false)
+    .build()
 }
 
 /// State fingerprint of one `IdFloodQuiesce` node: its full debug
@@ -72,8 +74,14 @@ pub fn run_unknown_n_demo(diameter: usize) -> UnknownNOutcome {
 
     // Ids for the two copies in K_D (defaults: slot index).
     let copy_ids: [Vec<NodeId>; 2] = [
-        kd.copy1_slots().iter().map(|s| NodeId(s.index() as u64)).collect(),
-        kd.copy2_slots().iter().map(|s| NodeId(s.index() as u64)).collect(),
+        kd.copy1_slots()
+            .iter()
+            .map(|s| NodeId(s.index() as u64))
+            .collect(),
+        kd.copy2_slots()
+            .iter()
+            .map(|s| NodeId(s.index() as u64))
+            .collect(),
     ];
 
     // --- Lemma 3.8: discover t from the two line executions (each

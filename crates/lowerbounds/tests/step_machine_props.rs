@@ -22,22 +22,16 @@ proptest! {
     ) {
         let inputs: Vec<u64> = (0..n).map(|i| (input_bits >> i) & 1).collect();
         let mut m = machine(&inputs);
-        let mut idx = 0;
         // Drive with the random choice stream, then round-robin to
         // completion.
-        for _ in 0..2000 {
+        let stream = choices.iter().copied().chain(std::iter::repeat(0)).take(2000);
+        for raw in stream {
             if m.all_alive_decided() {
                 break;
             }
             let steps = m.valid_steps();
             prop_assert!(!steps.is_empty(), "live undecided nodes must have steps");
-            let pick = if idx < choices.len() {
-                choices[idx] % steps.len()
-            } else {
-                0
-            };
-            idx += 1;
-            m.apply(steps[pick]);
+            m.apply(steps[raw % steps.len()]);
         }
         prop_assert!(m.all_alive_decided(), "crash-free schedule did not terminate");
         let decided = m.decided_values();

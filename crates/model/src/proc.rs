@@ -266,7 +266,6 @@ mod tests {
         assert!(c.broadcast(1).is_accepted());
         assert!(c.is_busy());
         assert_eq!(c.broadcast(2), BroadcastOutcome::Discarded);
-        drop(c);
         assert_eq!(outbox, Some(1));
         assert_eq!(disc, 1);
     }
@@ -283,7 +282,6 @@ mod tests {
         c.decide(1);
         c.decide(1);
         assert_eq!(c.decided(), Some(1));
-        drop(c);
         assert_eq!(decision.unwrap().time, Time(42));
     }
 

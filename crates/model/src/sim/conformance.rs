@@ -119,9 +119,7 @@ pub fn check_trace(
                 unreliable,
             } => {
                 let on_topo_edge = topo.has_edge(from, to);
-                let on_overlay_edge = overlay.is_some_and(|o| {
-                    o.neighbors(from).contains(&to)
-                });
+                let on_overlay_edge = overlay.is_some_and(|o| o.neighbors(from).contains(&to));
                 if unreliable {
                     if !on_overlay_edge {
                         violate(
@@ -191,8 +189,8 @@ pub fn check_trace(
                             }
                             // A missing delivery is excused only if the
                             // neighbor crashed before the ack.
-                            let excused = crashed[nbr.0]
-                                && crash_time[nbr.0].is_some_and(|ct| ct <= time);
+                            let excused =
+                                crashed[nbr.0] && crash_time[nbr.0].is_some_and(|ct| ct <= time);
                             if !excused {
                                 violate(
                                     &mut report.violations,
@@ -298,7 +296,12 @@ mod tests {
     #[test]
     fn detects_duplicate_delivery() {
         let topo = Topology::line(2);
-        let trace = mk_trace(vec![bcast(0, 0), deliver(1, 0, 1), deliver(2, 0, 1), ack(2, 0)]);
+        let trace = mk_trace(vec![
+            bcast(0, 0),
+            deliver(1, 0, 1),
+            deliver(2, 0, 1),
+            ack(2, 0),
+        ]);
         let report = check_trace(&topo, &trace, None, None);
         assert!(!report.ok());
         assert!(report.violations[0].contains("duplicate"));
@@ -307,10 +310,18 @@ mod tests {
     #[test]
     fn detects_delivery_without_edge() {
         let topo = Topology::line(3); // no edge 0-2
-        let trace = mk_trace(vec![bcast(0, 0), deliver(1, 0, 2), deliver(1, 0, 1), ack(1, 0)]);
+        let trace = mk_trace(vec![
+            bcast(0, 0),
+            deliver(1, 0, 2),
+            deliver(1, 0, 1),
+            ack(1, 0),
+        ]);
         let report = check_trace(&topo, &trace, None, None);
         assert!(!report.ok());
-        assert!(report.violations.iter().any(|v| v.contains("without an edge")));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| v.contains("without an edge")));
     }
 
     #[test]

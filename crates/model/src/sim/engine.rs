@@ -53,12 +53,7 @@ impl RunReport {
 
     /// The distinct decided values, sorted.
     pub fn decided_values(&self) -> Vec<Value> {
-        let mut vals: Vec<Value> = self
-            .decisions
-            .iter()
-            .flatten()
-            .map(|d| d.value)
-            .collect();
+        let mut vals: Vec<Value> = self.decisions.iter().flatten().map(|d| d.value).collect();
         vals.sort_unstable();
         vals.dedup();
         vals
@@ -243,7 +238,10 @@ impl<P: Process> SimBuilder<P> {
         let rngs: Vec<SmallRng> = (0..n)
             .map(|i| {
                 SmallRng::seed_from_u64(
-                    self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+                    self.seed
+                        ^ (i as u64)
+                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            .wrapping_add(1),
                 )
             })
             .collect();
@@ -875,10 +873,18 @@ mod tests {
         .build();
         sim.run();
         let events = sim.trace().events();
-        assert!(matches!(events[0], TraceEvent::Broadcast { slot: Slot(0), .. }));
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, TraceEvent::Deliver { from: Slot(0), to: Slot(1), .. })));
+        assert!(matches!(
+            events[0],
+            TraceEvent::Broadcast { slot: Slot(0), .. }
+        ));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::Deliver {
+                from: Slot(0),
+                to: Slot(1),
+                ..
+            }
+        )));
         assert!(sim.trace().decisions().count() >= 2);
     }
 
@@ -975,10 +981,8 @@ mod tests {
 
     #[test]
     fn custom_ids_rejected_when_duplicated() {
-        let build = || {
-            SimBuilder::new(Topology::clique(2), |_| Chatter)
-                .ids(vec![NodeId(1), NodeId(1)])
-        };
+        let build =
+            || SimBuilder::new(Topology::clique(2), |_| Chatter).ids(vec![NodeId(1), NodeId(1)]);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(build));
         assert!(result.is_err());
     }

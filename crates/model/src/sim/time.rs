@@ -107,12 +107,28 @@ mod tests {
 
     #[test]
     fn timestamp_ordering_is_time_major() {
-        let a = Timestamp { time: Time(1), node: 9, seq: 9 };
-        let b = Timestamp { time: Time(2), node: 0, seq: 0 };
+        let a = Timestamp {
+            time: Time(1),
+            node: 9,
+            seq: 9,
+        };
+        let b = Timestamp {
+            time: Time(2),
+            node: 0,
+            seq: 0,
+        };
         assert!(a < b);
-        let c = Timestamp { time: Time(2), node: 1, seq: 0 };
+        let c = Timestamp {
+            time: Time(2),
+            node: 1,
+            seq: 0,
+        };
         assert!(b < c);
-        let d = Timestamp { time: Time(2), node: 1, seq: 1 };
+        let d = Timestamp {
+            time: Time(2),
+            node: 1,
+            seq: 1,
+        };
         assert!(c < d);
         assert!(Timestamp::MINUS_INFINITY <= a);
     }

@@ -43,7 +43,7 @@ impl Topology {
     /// `true` iff the graph is connected (the empty graph counts as
     /// connected).
     pub fn is_connected(&self) -> bool {
-        if self.len() == 0 {
+        if self.is_empty() {
             return true;
         }
         self.bfs_distances(Slot(0))

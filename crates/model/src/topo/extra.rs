@@ -14,7 +14,7 @@ impl Topology {
     ///
     /// Panics if `dim == 0` or `dim > 16`.
     pub fn hypercube(dim: usize) -> Self {
-        assert!(dim >= 1 && dim <= 16, "dimension must be in 1..=16");
+        assert!((1..=16).contains(&dim), "dimension must be in 1..=16");
         let n = 1usize << dim;
         let mut b = TopologyBuilder::new(n);
         for v in 0..n {
@@ -35,7 +35,7 @@ impl Topology {
     ///
     /// Panics if `levels == 0` or `levels > 16`.
     pub fn binary_tree(levels: usize) -> Self {
-        assert!(levels >= 1 && levels <= 16, "levels must be in 1..=16");
+        assert!((1..=16).contains(&levels), "levels must be in 1..=16");
         let n = (1usize << levels) - 1;
         let mut b = TopologyBuilder::new(n);
         for v in 1..n {

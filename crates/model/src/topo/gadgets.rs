@@ -253,7 +253,10 @@ impl Fig1 {
                 }
                 for &v in &nbrs_in_gadget {
                     let sv = self.s_u(GadgetVertex(v));
-                    let count = actual.iter().filter(|&&w| sv.iter().any(|s| s.0 == w)).count();
+                    let count = actual
+                        .iter()
+                        .filter(|&&w| sv.iter().any(|s| s.0 == w))
+                        .count();
                     if count != 1 {
                         return Err(format!(
                             "copy {u_copy:?} of vertex {u} has {count} neighbors in S_{v} (want 1)"

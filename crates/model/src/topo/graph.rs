@@ -128,7 +128,11 @@ impl TopologyBuilder {
     ///
     /// Panics on out-of-range endpoints or self-loops.
     pub fn edge(&mut self, u: usize, v: usize) -> &mut Self {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range (n={})", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range (n={})",
+            self.n
+        );
         assert_ne!(u, v, "self-loop at {u}");
         self.edges.insert(if u <= v { (u, v) } else { (v, u) });
         self

@@ -77,7 +77,9 @@ impl KdNetwork {
 
     /// Slots of `L_D` copy 2 (started with input 1 in the proof).
     pub fn copy2_slots(&self) -> Vec<Slot> {
-        (self.diameter + 1..=2 * self.diameter + 1).map(Slot).collect()
+        (self.diameter + 1..=2 * self.diameter + 1)
+            .map(Slot)
+            .collect()
     }
 
     /// Slots of the `L_{D-1}` tail, hub first.

@@ -38,7 +38,10 @@ impl UnreliableOverlay {
     pub fn new(base: &Topology, edges: &[(usize, usize)]) -> Self {
         let mut set = BTreeSet::new();
         for &(u, v) in edges {
-            assert!(u < base.len() && v < base.len(), "overlay edge out of range");
+            assert!(
+                u < base.len() && v < base.len(),
+                "overlay edge out of range"
+            );
             assert_ne!(u, v, "overlay self-loop");
             assert!(
                 !base.has_edge(Slot(u), Slot(v)),

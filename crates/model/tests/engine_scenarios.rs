@@ -64,7 +64,7 @@ fn max_delay_wavefront_is_exactly_hop_times_f_ack() {
             .build();
         sim.run();
         // Node i first receives the wave at exactly i * f_ack.
-        let mut first_recv = vec![None; 7];
+        let mut first_recv = [None; 7];
         for ev in sim.trace().events() {
             if let amacl_model::sim::trace::TraceEvent::Deliver { time, to, .. } = ev {
                 first_recv[to.index()].get_or_insert(*time);
@@ -111,7 +111,10 @@ fn unreliable_overlay_delivers_probabilistically() {
             .build();
         let report = sim.run();
         if expect_extra {
-            assert!(report.metrics.unreliable_deliveries > 0, "p=1 delivered nothing");
+            assert!(
+                report.metrics.unreliable_deliveries > 0,
+                "p=1 delivered nothing"
+            );
             // Nodes 2 and 3 heard node 0 directly despite no edge.
             assert!(sim.process(Slot(2)).received >= 2);
         } else {
@@ -159,7 +162,10 @@ fn edge_delay_cut_plus_crash_interact_cleanly() {
         .build();
     let report = sim.run();
     assert_eq!(report.metrics.crashes, 1);
-    assert_eq!(report.metrics.deliveries, 0, "the cut + crash silenced node 0");
+    assert_eq!(
+        report.metrics.deliveries, 0,
+        "the cut + crash silenced node 0"
+    );
     for i in 1..4 {
         assert_eq!(sim.process(Slot(i)).received, 0);
     }

@@ -23,8 +23,14 @@ fn main() {
         let n = 8 + (deployment as usize % 17);
         let topo = Topology::random_connected(n, 0.12, deployment);
         let d = topo.diameter() as u64;
-        let inputs: Vec<Value> = (0..n).map(|i| ((i as u64 + deployment) % 2) as Value).collect();
-        let run = run_wpaxos(topo, &inputs, RandomScheduler::new(f_ack, deployment * 31 + 7));
+        let inputs: Vec<Value> = (0..n)
+            .map(|i| ((i as u64 + deployment) % 2) as Value)
+            .collect();
+        let run = run_wpaxos(
+            topo,
+            &inputs,
+            RandomScheduler::new(f_ack, deployment * 31 + 7),
+        );
         run.check.assert_ok();
         let t = run.decision_ticks();
         worst = worst.max(t);

@@ -46,7 +46,10 @@ fn main() {
         let check = check_consensus(&inputs, &report, &[]);
         check.assert_ok();
         let agreed = check.decided.expect("agreed");
-        assert!(inputs.contains(&agreed), "validity: agreed value was proposed");
+        assert!(
+            inputs.contains(&agreed),
+            "validity: agreed value was proposed"
+        );
         let ticks = report.max_decision_time().expect("decided").ticks();
         println!(
             "{:>6} {:>22} {:>#14x} {:>14} {:>12.2}",

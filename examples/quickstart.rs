@@ -13,7 +13,10 @@ use amacl::model::prelude::*;
 fn main() {
     let f_ack = 16;
     println!("Two-Phase Consensus (Algorithm 1), F_ack = {f_ack} ticks");
-    println!("{:>6} {:>10} {:>14} {:>12}", "n", "decided", "latest (ticks)", "x F_ack");
+    println!(
+        "{:>6} {:>10} {:>14} {:>12}",
+        "n", "decided", "latest (ticks)", "x F_ack"
+    );
     for n in [2usize, 4, 8, 16, 32, 64, 128] {
         let inputs = alternating_inputs(n);
         let run = run_two_phase(&inputs, RandomScheduler::new(f_ack, n as u64));

@@ -26,7 +26,9 @@ fn run_one(name: &str, topo: Topology, f_ack: u64, seed: u64) {
     check.assert_ok();
 
     let leader = sim.process(Slot(0)).omega().expect("started");
-    let proposals: u64 = (0..n).map(|i| sim.process(Slot(i)).proposals_started()).sum();
+    let proposals: u64 = (0..n)
+        .map(|i| sim.process(Slot(i)).proposals_started())
+        .sum();
     let latest = report.max_decision_time().expect("decided").ticks();
     println!(
         "{name:<22} n={n:<4} D={d:<3} decided={} latest={latest:>6} ticks  ({:.1} x D*F_ack)  leader={leader}  proposals={proposals}  max_msg_ids={}",
@@ -43,7 +45,12 @@ fn main() {
     run_one("grid(6x4)", Topology::grid(6, 4), f_ack, 2);
     run_one("ring(20)", Topology::ring(20), f_ack, 3);
     run_one("star(24)", Topology::star(24), f_ack, 4);
-    run_one("random(24, p=0.15)", Topology::random_connected(24, 0.15, 7), f_ack, 5);
+    run_one(
+        "random(24, p=0.15)",
+        Topology::random_connected(24, 0.15, 7),
+        f_ack,
+        5,
+    );
     run_one("torus(5x5)", Topology::torus(5, 5), f_ack, 6);
     println!();
     println!("Decision time scales with D * F_ack (Theorem 4.6), and every");

@@ -191,11 +191,11 @@ proptest! {
 fn two_phase_under_every_builtin_scheduler() {
     let inputs = [0u64, 1, 1, 0, 1];
     for (name, run) in [
+        ("sync", run_two_phase(&inputs, SynchronousScheduler::new(3))),
         (
-            "sync",
-            run_two_phase(&inputs, SynchronousScheduler::new(3)),
+            "max_delay",
+            run_two_phase(&inputs, MaxDelayScheduler::new(5)),
         ),
-        ("max_delay", run_two_phase(&inputs, MaxDelayScheduler::new(5))),
         ("random", run_two_phase(&inputs, RandomScheduler::new(7, 3))),
     ] {
         assert!(run.check.ok(), "{name}: {:?}", run.check.violation);

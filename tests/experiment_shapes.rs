@@ -63,7 +63,8 @@ fn e3_aggregation_beats_flooding_with_a_growing_gap() {
     }
     // The gap grows with n.
     let gap_first = rows[0].flood_ticks as f64 / rows[0].wpaxos_ticks as f64;
-    let gap_last = rows.last().unwrap().flood_ticks as f64 / rows.last().unwrap().wpaxos_ticks as f64;
+    let gap_last =
+        rows.last().unwrap().flood_ticks as f64 / rows.last().unwrap().wpaxos_ticks as f64;
     assert!(
         gap_last > gap_first,
         "gap did not grow: {gap_first:.2} -> {gap_last:.2}"

@@ -188,12 +188,12 @@ proptest! {
         // The run drains fully (stop_when_all_decided is off), so the
         // engine reports AllDecided once the heap empties.
         prop_assert_eq!(report.outcome, RunOutcome::AllDecided);
-        for i in 0..n {
+        for (i, &want) in expected.iter().enumerate() {
             prop_assert_eq!(
                 sim.process(Slot(i)).received,
-                expected[i],
+                want,
                 "slot {} received {} of {} neighbor messages",
-                i, sim.process(Slot(i)).received, expected[i]
+                i, sim.process(Slot(i)).received, want
             );
         }
     }
