@@ -3,12 +3,38 @@
 //! Usage: `cargo run -p amacl-bench --release --bin tables [-- e1 e2 ...]`
 //! With no arguments, all experiments run in order. Output is the
 //! source of the measured numbers recorded in `EXPERIMENTS.md`.
+//!
+//! Special modes:
+//!
+//! * `tables -- --smoke` — a seconds-long sanity pass (tiny e1/e2
+//!   slices plus a short engine throughput run) for CI.
+//! * `tables -- bench-engine [--out <path>]` — measures engine
+//!   events/sec on the reference multi-seed wPAXOS workload, serially
+//!   and with the parallel multi-seed driver, and writes the JSON
+//!   baseline (`BENCH_engine.json` at the repo root by convention).
+
+use std::time::Instant;
 
 use amacl_bench::experiments::*;
+use amacl_bench::parallel::{self, run_seeds};
+use amacl_core::harness::{alternating_inputs, run_wpaxos};
 use amacl_model::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        run_smoke();
+        return;
+    }
+    if args.first().map(String::as_str) == Some("bench-engine") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .cloned();
+        bench_engine(out.as_deref());
+        return;
+    }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
     if want("e1") {
@@ -60,6 +86,72 @@ fn main() {
 
 fn header(id: &str, claim: &str) {
     println!("\n=== {id}: {claim} ===");
+}
+
+/// One engine run of the reference workload; returns the event count
+/// the engine processed. Used by both the smoke pass and the JSON
+/// baseline.
+fn reference_workload(seed: u64) -> u64 {
+    let topo = Topology::random_connected(32, 0.15, seed);
+    let n = topo.len();
+    let run = run_wpaxos(topo, &alternating_inputs(n), RandomScheduler::new(4, seed));
+    run.check.assert_ok();
+    run.report.metrics.events
+}
+
+/// Seconds-long sanity pass for CI: tiny slices of e1/e2 plus a short
+/// engine-throughput measurement, all asserting their consensus
+/// checks.
+fn run_smoke() {
+    println!("=== smoke: e1 slice ===");
+    for row in e1::series(&[2, 8], &[1, 4]) {
+        println!("n={} F_ack={} ticks={}", row.n, row.f_ack, row.ticks);
+    }
+    println!("=== smoke: e2 slice ===");
+    for row in e2::series(1).into_iter().take(2) {
+        println!("{} n={} D={} ticks={}", row.name, row.n, row.d, row.ticks);
+    }
+    println!("=== smoke: engine throughput (4 seeds) ===");
+    let t0 = Instant::now();
+    let results = run_seeds(
+        &[0, 1, 2, 3],
+        parallel::default_threads(),
+        reference_workload,
+    );
+    let events: u64 = results.iter().map(|r| r.result).sum();
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "events={events} wall={wall:.3}s events/sec={:.0}",
+        events as f64 / wall
+    );
+    println!("smoke OK");
+}
+
+/// Measures engine events/sec on the reference workload and writes the
+/// JSON baseline.
+fn bench_engine(out: Option<&str>) {
+    let seeds: Vec<u64> = (0..32).collect();
+    let threads = parallel::default_threads();
+
+    // Warm-up (page in code and allocator state).
+    let _ = reference_workload(0);
+
+    let report = parallel::measure_speedup(&seeds, threads, reference_workload);
+    let serial_wall = report.serial.as_secs_f64();
+    let parallel_wall = report.parallel.as_secs_f64();
+    let events: u64 = report.results.iter().map(|r| r.result).sum();
+
+    let events_per_sec = events as f64 / serial_wall;
+    let speedup = report.speedup();
+    let json = format!(
+        "{{\n  \"schema\": \"amacl-bench-engine/v1\",\n  \"workload\": \"wpaxos random_connected(32,0.15,seed), RandomScheduler(F_ack=4), seeds 0..32\",\n  \"seeds\": {},\n  \"events_total\": {events},\n  \"serial_wall_s\": {serial_wall:.4},\n  \"events_per_sec\": {events_per_sec:.0},\n  \"threads\": {threads},\n  \"parallel_wall_s\": {parallel_wall:.4},\n  \"parallel_speedup\": {speedup:.2}\n}}\n",
+        seeds.len()
+    );
+    print!("{json}");
+    if let Some(path) = out {
+        std::fs::write(path, &json).expect("write baseline");
+        eprintln!("wrote {path}");
+    }
 }
 
 fn print_e1() {

@@ -9,8 +9,15 @@
 //! Each `eN` module here corresponds to one row of the experiment index
 //! in `DESIGN.md` and produces the series whose *shape* the paper
 //! predicts (who wins, by what factor, where the gaps open).
+//!
+//! Multi-seed sweeps parallelize with [`parallel::run_seeds`] — one
+//! single-threaded engine per seed over crossbeam scoped threads, with
+//! results returned in seed order so parallel and serial sweeps are
+//! byte-identical. The `tables` binary's `bench-engine` mode uses it
+//! to produce the `BENCH_engine.json` throughput baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod parallel;

@@ -1,0 +1,220 @@
+//! Parallel multi-seed experiment driver.
+//!
+//! Large experiment sweeps (e1–e15) repeat the same measurement over
+//! many seeds; every run is independent, and the discrete-event engine
+//! is single-threaded — so the natural unit of parallelism is *one
+//! engine per seed*, fanned out over crossbeam scoped threads. The
+//! driver is generic over the per-seed measurement closure, so any
+//! experiment series can be parallelized by swapping
+//! `seeds.iter().map(run)` for [`run_seeds`].
+//!
+//! Determinism is preserved: each seed's measurement depends only on
+//! the seed (engines are seeded, never wall-clock-dependent), and
+//! results are returned **in input seed order** regardless of which
+//! thread finished first — a parallel sweep and a serial sweep produce
+//! byte-identical result vectors.
+
+use std::time::{Duration, Instant};
+
+/// One seed's measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeedResult<R> {
+    /// The seed that produced this result.
+    pub seed: u64,
+    /// The measurement closure's output.
+    pub result: R,
+}
+
+/// Runs `run(seed)` for every seed, fanning out over `threads` scoped
+/// worker threads. Results come back in input order.
+///
+/// `threads == 1` degenerates to a serial loop (no thread spawn), so
+/// callers can use one code path everywhere. Panics in `run`
+/// propagate.
+pub fn run_seeds<R, F>(seeds: &[u64], threads: usize, run: F) -> Vec<SeedResult<R>>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    let threads = threads.max(1).min(seeds.len().max(1));
+    if threads <= 1 {
+        return seeds
+            .iter()
+            .map(|&seed| SeedResult {
+                seed,
+                result: run(seed),
+            })
+            .collect();
+    }
+    // Static block partition: contiguous chunks keep result reassembly
+    // trivially order-preserving, and seed workloads are statistically
+    // uniform so dynamic stealing would buy little.
+    let chunk = seeds.len().div_ceil(threads);
+    let run = &run;
+    let mut chunks: Vec<Vec<SeedResult<R>>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .chunks(chunk)
+            .map(|block| {
+                scope.spawn(move |_| {
+                    block
+                        .iter()
+                        .map(|&seed| SeedResult {
+                            seed,
+                            result: run(seed),
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("seed worker panicked"))
+            .collect()
+    })
+    .expect("scope");
+    let mut out = Vec::with_capacity(seeds.len());
+    for c in chunks.iter_mut() {
+        out.append(c);
+    }
+    out
+}
+
+/// Wall-clock comparison of a serial vs. parallel multi-seed sweep of
+/// the same measurement, carrying the (serial == parallel, verified)
+/// per-seed results.
+#[derive(Clone, Debug)]
+pub struct SpeedupReport<R> {
+    /// Worker threads used for the parallel leg.
+    pub threads: usize,
+    /// Serial wall-clock time.
+    pub serial: Duration,
+    /// Parallel wall-clock time.
+    pub parallel: Duration,
+    /// Per-seed results, in seed order (identical between the legs by
+    /// construction — [`measure_speedup`] asserts it).
+    pub results: Vec<SeedResult<R>>,
+}
+
+impl<R> SpeedupReport<R> {
+    /// Seeds measured.
+    pub fn seeds(&self) -> usize {
+        self.results.len()
+    }
+
+    /// `serial / parallel` (1.0 when parallel gave nothing).
+    pub fn speedup(&self) -> f64 {
+        let p = self.parallel.as_secs_f64();
+        if p == 0.0 {
+            1.0
+        } else {
+            self.serial.as_secs_f64() / p
+        }
+    }
+}
+
+/// Times the same sweep serially and with `threads` workers, checking
+/// that both produce identical results (the determinism contract).
+///
+/// Meaningful speedup (> 1.5x) needs >= 4 physical cores and per-seed
+/// work that dwarfs the thread spawn cost; on a single-core machine
+/// the report will honestly show ~1.0x.
+pub fn measure_speedup<R, F>(seeds: &[u64], threads: usize, run: F) -> SpeedupReport<R>
+where
+    R: Send + PartialEq + std::fmt::Debug,
+    F: Fn(u64) -> R + Sync,
+{
+    let t0 = Instant::now();
+    let serial = run_seeds(seeds, 1, &run);
+    let serial_elapsed = t0.elapsed();
+    let t1 = Instant::now();
+    let parallel = run_seeds(seeds, threads, &run);
+    let parallel_elapsed = t1.elapsed();
+    assert_eq!(
+        serial, parallel,
+        "parallel sweep diverged from serial sweep"
+    );
+    SpeedupReport {
+        threads,
+        serial: serial_elapsed,
+        parallel: parallel_elapsed,
+        results: serial,
+    }
+}
+
+/// The worker-thread count to use by default: the machine's available
+/// parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amacl_core::harness::{alternating_inputs, run_wpaxos};
+    use amacl_model::prelude::*;
+
+    fn wpaxos_ticks(seed: u64) -> u64 {
+        let topo = Topology::random_connected(10, 0.25, seed);
+        let n = topo.len();
+        let run = run_wpaxos(topo, &alternating_inputs(n), RandomScheduler::new(3, seed));
+        run.check.assert_ok();
+        run.decision_ticks()
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_sweep_exactly() {
+        let seeds: Vec<u64> = (0..12).collect();
+        let serial = run_seeds(&seeds, 1, wpaxos_ticks);
+        let parallel = run_seeds(&seeds, 4, wpaxos_ticks);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel.len(), seeds.len());
+        // Input order preserved.
+        for (r, &seed) in parallel.iter().zip(&seeds) {
+            assert_eq!(r.seed, seed);
+        }
+    }
+
+    #[test]
+    fn thread_count_edge_cases() {
+        let seeds = [7u64];
+        // More threads than seeds, and zero threads, both behave.
+        assert_eq!(run_seeds(&seeds, 16, |s| s * 2)[0].result, 14);
+        assert_eq!(run_seeds(&seeds, 0, |s| s * 2)[0].result, 14);
+        assert!(run_seeds::<u64, _>(&[], 4, |s| s).is_empty());
+    }
+
+    #[test]
+    fn speedup_report_verifies_determinism() {
+        let seeds: Vec<u64> = (0..6).collect();
+        let report = measure_speedup(&seeds, 2, wpaxos_ticks);
+        assert_eq!(report.seeds(), 6);
+        assert!(report.speedup() > 0.0);
+        // The report carries the verified per-seed results.
+        assert_eq!(report.results, run_seeds(&seeds, 1, wpaxos_ticks));
+    }
+
+    /// Wall-clock speedup needs real cores; run explicitly with
+    /// `cargo test -p amacl-bench -- --ignored` on a >= 4-core
+    /// machine.
+    #[test]
+    #[ignore = "requires >= 4 physical cores for a meaningful speedup"]
+    fn multi_core_speedup_exceeds_1_5x() {
+        let threads = default_threads();
+        assert!(threads >= 4, "need >= 4 cores, have {threads}");
+        let seeds: Vec<u64> = (0..4 * threads as u64).collect();
+        let report = measure_speedup(&seeds, threads, |seed| {
+            let topo = Topology::random_connected(40, 0.12, seed);
+            let n = topo.len();
+            let run = run_wpaxos(topo, &alternating_inputs(n), RandomScheduler::new(4, seed));
+            run.check.assert_ok();
+            run.decision_ticks()
+        });
+        assert!(
+            report.speedup() > 1.5,
+            "expected > 1.5x on {threads} threads, got {:.2}x",
+            report.speedup()
+        );
+    }
+}

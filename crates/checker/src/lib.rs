@@ -38,6 +38,12 @@
 //! starve a node indefinitely or decouple order from time), while
 //! scaling far past the exhaustive walk.
 //!
+//! Orthogonally, [`crosscheck`] validates the *executors* against each
+//! other: the same algorithm runs on the discrete-event engine and the
+//! threaded runtime through the shared
+//! [`MacLayer`](amacl_model::mac::MacLayer) trait, and any mismatch is
+//! reported as the first diverging slot with both backends' views.
+//!
 //! ## Scope
 //!
 //! The explorer treats executions as untimed event sequences — all
@@ -50,10 +56,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crosscheck;
 pub mod explore;
 pub mod fuzz;
 pub mod machine;
 
+pub use crosscheck::{cross_check, CrossCheckConfig, CrossCheckOutcome};
 pub use explore::{ExploreConfig, ExploreOutcome, Explorer, SearchOrder, Violation, ViolationKind};
 pub use fuzz::{FuzzConfig, FuzzOutcome};
 pub use machine::{Choice, ExploreMachine};

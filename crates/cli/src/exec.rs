@@ -2,8 +2,11 @@
 //! renders plain-text reports.
 
 use std::fmt::Write as _;
+use std::time::Duration;
 
-use amacl_checker::{ExploreConfig, Explorer, FuzzConfig, SearchOrder};
+use amacl_checker::{
+    cross_check, CrossCheckConfig, ExploreConfig, Explorer, FuzzConfig, SearchOrder,
+};
 use amacl_core::baselines::flood_gather::FloodGather;
 use amacl_core::extensions::ben_or::BenOr;
 use amacl_core::extensions::fd_paxos::FdPaxos;
@@ -15,6 +18,7 @@ use amacl_core::wpaxos::{WpaxosConfig, WpaxosNode};
 use amacl_model::prelude::*;
 use amacl_model::sim::conformance::check_trace;
 use amacl_model::sim::trace::TraceEvent;
+use amacl_runtime::{MacRuntime, RuntimeConfig};
 
 use crate::spec::{AlgoSpec, Command, InputSpec, SchedSpec, TopoSpec};
 
@@ -53,6 +57,110 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             seed,
         } => fuzz(algo, topo, inputs, crash_budget, walks, seed),
         Command::Topo { topo } => Ok(describe_topo(&topo)),
+        Command::CrossCheck {
+            algo,
+            topo,
+            inputs,
+            f_ack,
+            seed,
+            jitter_us,
+            timeout_ms,
+            strict,
+        } => crosscheck(
+            algo, topo, inputs, f_ack, seed, jitter_us, timeout_ms, strict,
+        ),
+    }
+}
+
+/// Runs `algo` on the engine and the threaded runtime through the
+/// shared `MacLayer` trait and diffs the outcomes.
+#[allow(clippy::too_many_arguments)]
+fn crosscheck(
+    algo: AlgoSpec,
+    topo_spec: TopoSpec,
+    inputs_spec: InputSpec,
+    f_ack: u64,
+    seed: u64,
+    jitter_us: u64,
+    timeout_ms: u64,
+    strict: bool,
+) -> Result<String, String> {
+    let topo = topo_spec.build();
+    let n = topo.len();
+    let inputs = inputs_spec.materialize(n)?;
+    let mut sim = SimBackend::new(topo.clone(), BackendSched::Random { f_ack, seed }).seed(seed);
+    let mut rt = MacRuntime::new(
+        topo,
+        RuntimeConfig {
+            max_jitter: Duration::from_micros(jitter_us),
+            seed,
+            timeout: Duration::from_millis(timeout_ms),
+            crashes: Vec::new(),
+        },
+    );
+    let cfg = CrossCheckConfig {
+        expect_identical_decisions: strict,
+        check_validity: true,
+    };
+    macro_rules! cc {
+        ($mk:expr) => {
+            cross_check(&mut sim, &mut rt, &mut $mk, &inputs, cfg)
+        };
+    }
+    let iv = inputs.clone();
+    let outcome = match algo {
+        AlgoSpec::TwoPhase => cc!(|s: Slot| TwoPhase::new(iv[s.index()])),
+        AlgoSpec::Wpaxos => {
+            cc!(|s: Slot| WpaxosNode::new(iv[s.index()], WpaxosConfig::new(n)))
+        }
+        AlgoSpec::TreeGather => cc!(|s: Slot| TreeGather::new(iv[s.index()], n)),
+        AlgoSpec::FloodGather => cc!(|s: Slot| FloodGather::new(iv[s.index()], n)),
+        AlgoSpec::Bitwise(bits) => cc!(|s: Slot| BitwiseTwoPhase::new(iv[s.index()], bits)),
+        AlgoSpec::BenOr => cc!(|s: Slot| BenOr::new(iv[s.index()], n)),
+        AlgoSpec::FdPaxos(_) => {
+            return Err(
+                "fd-paxos timeouts are clock-scale dependent; crosscheck does not support it"
+                    .into(),
+            )
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "crosscheck {} on {} (n={n}): {} vs {}",
+        algo.name(),
+        topo_spec.text,
+        outcome.left.backend,
+        outcome.right.backend
+    );
+    for report in [&outcome.left, &outcome.right] {
+        let _ = writeln!(
+            out,
+            "  {:>8}: all_decided={} broadcasts={} deliveries={} decided={:?}",
+            report.backend,
+            report.all_decided,
+            report.broadcasts,
+            report.deliveries,
+            report.decided_values()
+        );
+    }
+    match &outcome.divergence {
+        None => {
+            let _ = writeln!(out, "  decisions: identical per slot");
+        }
+        Some(d) => {
+            let _ = writeln!(out, "  {d}");
+        }
+    }
+    if outcome.ok() {
+        let _ = writeln!(out, "cross-check OK");
+        Ok(out)
+    } else {
+        Err(format!(
+            "{out}cross-check FAILED: {}",
+            outcome.failures.join("; ")
+        ))
     }
 }
 

@@ -47,6 +47,9 @@ USAGE:
   amacl fuzz  --algo <ALGO> --topo <TOPO> [--inputs <INPUTS>]
               [--crash-budget <N>] [--walks <N>] [--seed <S>]
   amacl topo  --topo <TOPO>
+  amacl crosscheck --algo <ALGO> --topo <TOPO> [--inputs <INPUTS>]
+              [--f-ack <N>] [--seed <S>] [--jitter-us <N>]
+              [--timeout-ms <N>] [--strict]
 
 ALGO:    two-phase | wpaxos | tree-gather | flood-gather | bitwise:<bits>
          | ben-or | fd-paxos[:<initial-timeout>]
@@ -68,4 +71,12 @@ schedule. Supported: two-phase, bitwise, tree-gather, flood-gather.
 `fuzz` runs random walks over the same unrestricted scheduler space at
 sizes `check` cannot cover (additionally supports wpaxos), checking
 safety at every move.
+
+`crosscheck` runs the same algorithm on BOTH execution backends — the
+discrete-event engine and the threaded runtime — through the shared
+`MacLayer` trait, verifies agreement/termination/validity on each, and
+reports the first diverging slot with both backends' views. `--strict`
+additionally demands bit-identical decisions (sound only for
+input-determined algorithms, e.g. uniform inputs). fd-paxos is
+excluded (its timeouts are clock-scale dependent).
 ";

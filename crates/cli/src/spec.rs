@@ -355,6 +355,28 @@ pub enum Command {
         /// Topology to describe.
         topo: TopoSpec,
     },
+    /// `amacl crosscheck ...`: the same algorithm on the discrete-event
+    /// engine and the threaded runtime, diffed through the shared
+    /// `MacLayer` trait.
+    CrossCheck {
+        /// Algorithm.
+        algo: AlgoSpec,
+        /// Topology.
+        topo: TopoSpec,
+        /// Input assignment.
+        inputs: InputSpec,
+        /// Engine scheduler bound.
+        f_ack: u64,
+        /// Seed for both backends.
+        seed: u64,
+        /// Runtime delivery jitter, microseconds.
+        jitter_us: u64,
+        /// Runtime wall-clock budget, milliseconds.
+        timeout_ms: u64,
+        /// Demand bit-identical per-slot decisions (only sound for
+        /// input-determined algorithms).
+        strict: bool,
+    },
 }
 
 impl Command {
@@ -415,6 +437,28 @@ impl Command {
             },
             "topo" => Command::Topo {
                 topo: TopoSpec::parse(&opts.required("--topo")?)?,
+            },
+            "crosscheck" => Command::CrossCheck {
+                algo: AlgoSpec::parse(&opts.required("--algo")?)?,
+                topo: TopoSpec::parse(&opts.required("--topo")?)?,
+                inputs: InputSpec::parse(&opts.optional("--inputs").unwrap_or("alt".into()))?,
+                f_ack: match opts.optional("--f-ack") {
+                    Some(s) => num(&s, "--f-ack")?,
+                    None => 4,
+                },
+                seed: match opts.optional("--seed") {
+                    Some(s) => num(&s, "--seed")?,
+                    None => 0,
+                },
+                jitter_us: match opts.optional("--jitter-us") {
+                    Some(s) => num(&s, "--jitter-us")?,
+                    None => 200,
+                },
+                timeout_ms: match opts.optional("--timeout-ms") {
+                    Some(s) => num(&s, "--timeout-ms")?,
+                    None => 10_000,
+                },
+                strict: opts.flag("--strict"),
             },
             "help" | "--help" | "-h" => return Err(crate::USAGE.to_string()),
             other => return Err(format!("unknown command `{other}`\n\n{}", crate::USAGE)),

@@ -32,7 +32,12 @@
 //! * [`sim`] — a deterministic discrete-event simulator that executes
 //!   processes under a pluggable [`Scheduler`](sim::sched::Scheduler),
 //!   with crash injection (including mid-broadcast partial delivery),
-//!   tracing, and metrics.
+//!   tracing, and metrics,
+//! * [`mac`] — the backend-agnostic [`MacLayer`](mac::MacLayer) trait
+//!   (one `Process` implementation, many execution substrates) and the
+//!   [`BcastLedger`](mac::BcastLedger) delivery/ack/crash bookkeeping
+//!   shared by the simulator and the threaded runtime in
+//!   `amacl-runtime`.
 //!
 //! ## Quick example
 //!
@@ -71,6 +76,7 @@
 #![warn(missing_docs)]
 
 pub mod ids;
+pub mod mac;
 pub mod msg;
 pub mod proc;
 pub mod sim;
@@ -79,10 +85,12 @@ pub mod topo;
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::ids::{NodeId, Slot};
+    pub use crate::mac::{BackendSched, MacLayer, MacReport, SimBackend};
     pub use crate::msg::Payload;
     pub use crate::proc::{Context, Decision, NodeCell, Process, Value};
     pub use crate::sim::crash::{CrashPlan, CrashSpec};
     pub use crate::sim::engine::{RunOutcome, RunReport, Sim, SimBuilder};
+    pub use crate::sim::queue::{EventId, EventQueue, ScheduledEvent};
     pub use crate::sim::sched::{
         dual::DualBoundScheduler,
         partition::{DirectedCut, EdgeDelayScheduler},

@@ -1,0 +1,533 @@
+//! The backend-agnostic abstract MAC layer interface.
+//!
+//! The paper defines one object — a MAC layer that (1) broadcasts to
+//! all neighbors, (2) delivers each broadcast to every non-faulty
+//! neighbor before acking the sender, (3) acks within `F_ack`, and
+//! (4) lets a crash cut a broadcast off after an arbitrary prefix of
+//! deliveries. This crate used to implement that object twice, with
+//! subtly independent bookkeeping: once inside the discrete-event
+//! engine and once inside the threaded runtime's ether. This module is
+//! the single home for what they share:
+//!
+//! * [`MacLayer`] — the trait both execution backends implement. A
+//!   backend takes a per-slot [`Process`] factory, runs the execution
+//!   its own way (virtual time vs. real threads), and returns a
+//!   [`MacReport`] in a common shape, so algorithms, conformance
+//!   cross-checks, and experiment drivers are written once and run on
+//!   either substrate.
+//! * [`BcastLedger`] — the shared delivery/ack/crash state machine:
+//!   which nodes are crashed, how many broadcasts each has issued,
+//!   which broadcast a planned mid-broadcast crash interrupts and
+//!   after how many deliveries, and which confirmations an in-flight
+//!   broadcast still awaits before its sender may be acked. Both
+//!   backends drive their delivery planes through this one ledger, so
+//!   the partial-delivery crash semantics cannot drift apart again.
+//!
+//! The engine-backed implementation lives here as [`SimBackend`]; the
+//! thread-backed implementation is `MacRuntime` in the `amacl-runtime`
+//! crate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::ids::Slot;
+use crate::proc::{Process, Value};
+use crate::sim::engine::{RunReport, SimBuilder};
+use crate::sim::sched::random::RandomScheduler;
+use crate::sim::sched::stall::MaxDelayScheduler;
+use crate::sim::sched::sync::SynchronousScheduler;
+use crate::sim::time::Time;
+use crate::topo::Topology;
+
+/// One execution substrate for the abstract MAC layer.
+///
+/// Implementations construct one process per topology slot via `init`,
+/// run the execution to completion (decision, quiescence, horizon, or
+/// timeout — whatever the backend's stopping rule is), and report in
+/// the backend-neutral [`MacReport`] shape.
+///
+/// The same [`Process`] implementation must behave identically under
+/// every backend up to the nondeterminism the model grants the
+/// scheduler; `amacl-checker`'s cross-check runs one algorithm through
+/// two backends via this trait and diffs the reports.
+pub trait MacLayer<P: Process> {
+    /// Short stable name for reports and divergence messages.
+    fn backend_name(&self) -> &'static str;
+
+    /// Runs one execution with processes built by `init`.
+    fn execute(&mut self, init: &mut dyn FnMut(Slot) -> P) -> MacReport;
+}
+
+/// Backend-neutral outcome of one MAC-layer execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MacReport {
+    /// Which backend produced the report.
+    pub backend: &'static str,
+    /// Per-slot decided values (`None`: undecided or crashed).
+    pub decisions: Vec<Option<Value>>,
+    /// Whether every node expected to decide did so.
+    pub all_decided: bool,
+    /// Broadcasts accepted by the MAC layer.
+    pub broadcasts: u64,
+    /// Reliable deliveries performed.
+    pub deliveries: u64,
+}
+
+impl MacReport {
+    /// Builds a report from an engine [`RunReport`].
+    pub fn from_run(report: &RunReport) -> Self {
+        Self {
+            backend: "sim",
+            decisions: report
+                .decisions
+                .iter()
+                .map(|d| d.map(|d| d.value))
+                .collect(),
+            all_decided: report.all_decided(),
+            broadcasts: report.metrics.broadcasts,
+            deliveries: report.metrics.deliveries,
+        }
+    }
+
+    /// Distinct decided values, sorted.
+    pub fn decided_values(&self) -> Vec<Value> {
+        let mut v: Vec<Value> = self.decisions.iter().flatten().copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// The common decided value, if at least one node decided and all
+    /// deciders agree.
+    pub fn agreement_value(&self) -> Option<Value> {
+        match self.decided_values().as_slice() {
+            [v] => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// How a broadcast is admitted by the [`BcastLedger`]: normally, or
+/// interrupted by a planned mid-broadcast crash.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Admission {
+    /// Deliver to every non-faulty neighbor, then ack.
+    Deliver,
+    /// The sender's planned crash interrupts this broadcast before any
+    /// delivery: nobody receives, nobody acks.
+    CrashImmediately,
+    /// The sender's planned crash interrupts this broadcast after at
+    /// most `delivered` neighbor deliveries; no ack is ever issued.
+    ///
+    /// The ledger arms a countdown; backends either report each
+    /// delivery attempt via [`BcastLedger::note_delivery`]
+    /// (virtual-time engine: the sender crashes the instant the
+    /// countdown hits zero) or truncate the delivery set up front
+    /// (threaded ether: the sender crashes at broadcast time,
+    /// `delivered` messages already in flight). The unified contract
+    /// both realize: **the sender always crashes**, and at most
+    /// `delivered` neighbors receive — fewer when some of the allowed
+    /// slots fall on receivers that are themselves dead (a delivery
+    /// attempt on a dead receiver consumes its slot on both backends).
+    /// *Which* subset of neighbors receives remains
+    /// scheduler-dependent nondeterminism the model explicitly
+    /// permits (the engine consumes slots in scheduled-delivery-time
+    /// order, the ether in neighbor order), so crash-plan
+    /// cross-checks must not demand identical decisions unless the
+    /// algorithm's outcome is insensitive to the surviving subset.
+    PartialThenCrash {
+        /// Deliveries allowed before the sender dies.
+        delivered: usize,
+    },
+}
+
+/// Per-broadcast ack obligation: the confirmations still awaited
+/// before the sender may be acked.
+#[derive(Clone, Debug)]
+struct AckObligation {
+    sender: usize,
+    awaiting: BTreeSet<usize>,
+}
+
+/// The shared delivery/ack/crash bookkeeping of the abstract MAC
+/// layer.
+///
+/// Deliberately free of any notion of time or transport: the engine
+/// schedules deliveries on a virtual-time queue, the threaded ether
+/// pushes them through channels with jitter, and both consult this
+/// ledger for the *semantic* questions — is this node crashed, does a
+/// planned crash interrupt this broadcast, which confirmations gate
+/// this ack, which acks does a node's death release.
+///
+/// All internal maps are ordered (`BTreeMap`/`BTreeSet`), so every
+/// list the ledger returns is deterministic across runs and platforms.
+#[derive(Clone, Debug)]
+pub struct BcastLedger {
+    crashed: Vec<bool>,
+    counts: Vec<u64>,
+    /// Armed mid-broadcast crash plans: slot -> (nth broadcast,
+    /// deliveries allowed).
+    watches: BTreeMap<usize, (u64, usize)>,
+    /// Live partial-delivery countdowns: broadcast id -> deliveries
+    /// remaining before the sender crashes.
+    active: BTreeMap<u64, usize>,
+    /// Outstanding ack obligations by broadcast id.
+    awaiting: BTreeMap<u64, AckObligation>,
+}
+
+impl BcastLedger {
+    /// A ledger for `n` nodes, with no crashes planned.
+    pub fn new(n: usize) -> Self {
+        Self {
+            crashed: vec![false; n],
+            counts: vec![0; n],
+            watches: BTreeMap::new(),
+            active: BTreeMap::new(),
+            awaiting: BTreeMap::new(),
+        }
+    }
+
+    /// Plans a mid-broadcast crash: `slot` dies during its
+    /// `nth_broadcast` (0-indexed), after exactly `delivered` neighbor
+    /// deliveries. At most one plan per slot; a later call replaces an
+    /// earlier one.
+    pub fn arm_watch(&mut self, slot: usize, nth_broadcast: u64, delivered: usize) {
+        self.watches.insert(slot, (nth_broadcast, delivered));
+    }
+
+    /// Whether `slot` has crashed.
+    pub fn is_crashed(&self, slot: usize) -> bool {
+        self.crashed[slot]
+    }
+
+    /// Marks `slot` crashed. Returns `false` if it already was (the
+    /// caller should then skip its crash side effects).
+    pub fn mark_crashed(&mut self, slot: usize) -> bool {
+        if self.crashed[slot] {
+            false
+        } else {
+            self.crashed[slot] = true;
+            true
+        }
+    }
+
+    /// Broadcasts `slot` has issued so far.
+    pub fn broadcast_count(&self, slot: usize) -> u64 {
+        self.counts[slot]
+    }
+
+    /// Admits broadcast `bcast` from `from`: counts it against the
+    /// sender's sequence and resolves any armed mid-broadcast crash
+    /// plan into an [`Admission`].
+    pub fn admit_broadcast(&mut self, from: usize, bcast: u64) -> Admission {
+        let nth = self.counts[from];
+        self.counts[from] += 1;
+        match self.watches.get(&from) {
+            Some(&(watch_nth, delivered)) if watch_nth == nth => {
+                self.watches.remove(&from);
+                if delivered == 0 {
+                    Admission::CrashImmediately
+                } else {
+                    self.active.insert(bcast, delivered);
+                    Admission::PartialThenCrash { delivered }
+                }
+            }
+            _ => Admission::Deliver,
+        }
+    }
+
+    /// Records one delivery of `bcast`. Returns `true` when this was
+    /// the last delivery a [`Admission::PartialThenCrash`] countdown
+    /// allows — the sender must crash now. Broadcasts without a
+    /// countdown always return `false`.
+    pub fn note_delivery(&mut self, bcast: u64) -> bool {
+        if let Some(rem) = self.active.get_mut(&bcast) {
+            *rem -= 1;
+            if *rem == 0 {
+                self.active.remove(&bcast);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Registers the ack obligation for `bcast`: `sender` may be acked
+    /// once every slot in `awaiting` has confirmed. Returns `true`
+    /// when the obligation is already complete (no awaited slots) and
+    /// the sender should be acked immediately.
+    pub fn register_ack_obligation(
+        &mut self,
+        bcast: u64,
+        sender: usize,
+        awaiting: BTreeSet<usize>,
+    ) -> bool {
+        if awaiting.is_empty() {
+            true
+        } else {
+            self.awaiting
+                .insert(bcast, AckObligation { sender, awaiting });
+            false
+        }
+    }
+
+    /// Records that `by` confirmed `bcast` (it received and processed
+    /// the message, or died and is excused). Returns the sender to ack
+    /// when this was the final awaited confirmation; the ack must be
+    /// suppressed if the sender is itself crashed by then, which the
+    /// ledger checks for the caller.
+    pub fn confirm(&mut self, bcast: u64, by: usize) -> Option<usize> {
+        let obligation = self.awaiting.get_mut(&bcast)?;
+        obligation.awaiting.remove(&by);
+        if obligation.awaiting.is_empty() {
+            let sender = obligation.sender;
+            self.awaiting.remove(&bcast);
+            if self.crashed[sender] {
+                None
+            } else {
+                Some(sender)
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Releases every obligation awaiting the dead node `dead` (acks
+    /// never wait on crashed neighbors). Returns the `(broadcast,
+    /// sender)` pairs whose acks this completes, in deterministic
+    /// (broadcast id) order.
+    pub fn release_obligations_of(&mut self, dead: usize) -> Vec<(u64, usize)> {
+        let completed: Vec<u64> = self
+            .awaiting
+            .iter_mut()
+            .filter_map(|(&bcast, ob)| {
+                ob.awaiting.remove(&dead);
+                (ob.awaiting.is_empty()).then_some(bcast)
+            })
+            .collect();
+        completed
+            .into_iter()
+            .filter_map(|bcast| {
+                let ob = self.awaiting.remove(&bcast)?;
+                (!self.crashed[ob.sender]).then_some((bcast, ob.sender))
+            })
+            .collect()
+    }
+}
+
+/// Scheduler selection for an engine-backed [`MacLayer`].
+#[derive(Clone, Copy, Debug)]
+pub enum BackendSched {
+    /// Lockstep rounds with the given `F_ack` (see
+    /// [`SynchronousScheduler`]).
+    Synchronous(u64),
+    /// Seeded random delays under the given `F_ack` bound.
+    Random {
+        /// The scheduler's `F_ack` bound.
+        f_ack: u64,
+        /// Scheduler seed.
+        seed: u64,
+    },
+    /// Every broadcast takes the full `F_ack` (the worst-case
+    /// adversary).
+    MaxDelay(u64),
+}
+
+/// The discrete-event engine packaged as a [`MacLayer`] backend.
+///
+/// Owns everything needed to build a fresh [`SimBuilder`] per
+/// [`execute`](MacLayer::execute) call, so one `SimBackend` can run
+/// many algorithms (or the same algorithm repeatedly) with identical
+/// settings — exactly what the conformance cross-check and multi-seed
+/// sweeps need.
+#[derive(Clone, Debug)]
+pub struct SimBackend {
+    topo: Topology,
+    sched: BackendSched,
+    seed: u64,
+    max_time: Time,
+}
+
+impl SimBackend {
+    /// A backend over `topo` driven by `sched`.
+    pub fn new(topo: Topology, sched: BackendSched) -> Self {
+        Self {
+            topo,
+            sched,
+            seed: 0,
+            max_time: Time(10_000_000),
+        }
+    }
+
+    /// Sets the per-node randomness seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the virtual-time horizon.
+    pub fn max_time(mut self, t: Time) -> Self {
+        self.max_time = t;
+        self
+    }
+
+    /// The topology this backend runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Runs one execution and also returns the full engine report
+    /// (metrics, decision times) alongside the portable [`MacReport`].
+    pub fn execute_full<P: Process>(
+        &mut self,
+        init: &mut dyn FnMut(Slot) -> P,
+    ) -> (MacReport, RunReport) {
+        let builder = SimBuilder::new(self.topo.clone(), init)
+            .seed(self.seed)
+            .max_time(self.max_time);
+        let builder = match self.sched {
+            BackendSched::Synchronous(f_ack) => builder.scheduler(SynchronousScheduler::new(f_ack)),
+            BackendSched::Random { f_ack, seed } => {
+                builder.scheduler(RandomScheduler::new(f_ack, seed))
+            }
+            BackendSched::MaxDelay(f_ack) => builder.scheduler(MaxDelayScheduler::new(f_ack)),
+        };
+        let report = builder.build().run();
+        (MacReport::from_run(&report), report)
+    }
+}
+
+impl<P: Process> MacLayer<P> for SimBackend {
+    fn backend_name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn execute(&mut self, init: &mut dyn FnMut(Slot) -> P) -> MacReport {
+        self.execute_full(init).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Payload;
+    use crate::proc::Context;
+
+    #[test]
+    fn ledger_admits_and_counts() {
+        let mut ledger = BcastLedger::new(3);
+        assert_eq!(ledger.admit_broadcast(0, 0), Admission::Deliver);
+        assert_eq!(ledger.admit_broadcast(0, 1), Admission::Deliver);
+        assert_eq!(ledger.broadcast_count(0), 2);
+        assert_eq!(ledger.broadcast_count(1), 0);
+    }
+
+    #[test]
+    fn ledger_watch_interrupts_the_right_broadcast() {
+        let mut ledger = BcastLedger::new(2);
+        ledger.arm_watch(0, 1, 2);
+        assert_eq!(ledger.admit_broadcast(0, 0), Admission::Deliver);
+        assert_eq!(
+            ledger.admit_broadcast(0, 1),
+            Admission::PartialThenCrash { delivered: 2 }
+        );
+        // The countdown fires on the second delivery.
+        assert!(!ledger.note_delivery(1));
+        assert!(ledger.note_delivery(1));
+        // Later broadcasts (were the sender alive) admit normally.
+        assert_eq!(ledger.admit_broadcast(0, 2), Admission::Deliver);
+    }
+
+    #[test]
+    fn ledger_zero_delivery_watch_crashes_immediately() {
+        let mut ledger = BcastLedger::new(1);
+        ledger.arm_watch(0, 0, 0);
+        assert_eq!(ledger.admit_broadcast(0, 0), Admission::CrashImmediately);
+    }
+
+    #[test]
+    fn ledger_ack_obligation_lifecycle() {
+        let mut ledger = BcastLedger::new(4);
+        let awaiting: BTreeSet<usize> = [1, 2, 3].into();
+        assert!(!ledger.register_ack_obligation(0, 0, awaiting));
+        assert_eq!(ledger.confirm(0, 1), None);
+        assert_eq!(ledger.confirm(0, 2), None);
+        assert_eq!(ledger.confirm(0, 3), Some(0));
+        // Completed obligations are gone.
+        assert_eq!(ledger.confirm(0, 3), None);
+        // Empty obligations complete immediately.
+        assert!(ledger.register_ack_obligation(1, 2, BTreeSet::new()));
+    }
+
+    #[test]
+    fn ledger_death_releases_obligations_in_order() {
+        let mut ledger = BcastLedger::new(4);
+        ledger.register_ack_obligation(7, 1, [3].into());
+        ledger.register_ack_obligation(2, 0, [3].into());
+        ledger.register_ack_obligation(5, 2, [0, 3].into());
+        ledger.mark_crashed(3);
+        let released = ledger.release_obligations_of(3);
+        // Broadcasts 2 and 7 complete (deterministic id order); 5 still
+        // awaits node 0.
+        assert_eq!(released, vec![(2, 0), (7, 1)]);
+        assert_eq!(ledger.confirm(5, 0), Some(2));
+    }
+
+    #[test]
+    fn ledger_suppresses_acks_to_crashed_senders() {
+        let mut ledger = BcastLedger::new(3);
+        ledger.register_ack_obligation(0, 0, [1, 2].into());
+        ledger.confirm(0, 1);
+        ledger.mark_crashed(0);
+        assert_eq!(ledger.confirm(0, 2), None);
+    }
+
+    /// Minimal process: broadcast once, decide own value on ack.
+    #[derive(Clone, Debug)]
+    struct Once(Value);
+    #[derive(Clone, Copy, Debug)]
+    struct Ping;
+    impl Payload for Ping {
+        fn id_count(&self) -> usize {
+            0
+        }
+    }
+    impl Process for Once {
+        type Msg = Ping;
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            ctx.broadcast(Ping);
+        }
+        fn on_receive(&mut self, _m: Ping, _ctx: &mut Context<'_, Ping>) {}
+        fn on_ack(&mut self, ctx: &mut Context<'_, Ping>) {
+            ctx.decide(self.0);
+        }
+    }
+
+    #[test]
+    fn sim_backend_runs_through_the_trait() {
+        let mut backend = SimBackend::new(
+            Topology::clique(4),
+            BackendSched::Random { f_ack: 3, seed: 5 },
+        );
+        let layer: &mut dyn MacLayer<Once> = &mut backend;
+        assert_eq!(layer.backend_name(), "sim");
+        let report = layer.execute(&mut |s| Once(s.index() as Value));
+        assert!(report.all_decided);
+        assert_eq!(report.broadcasts, 4);
+        assert_eq!(report.decisions.len(), 4);
+        for (i, d) in report.decisions.iter().enumerate() {
+            assert_eq!(*d, Some(i as Value));
+        }
+        assert_eq!(report.agreement_value(), None);
+    }
+
+    #[test]
+    fn sim_backend_is_reusable_and_deterministic() {
+        let mut backend = SimBackend::new(
+            Topology::random_connected(8, 0.3, 1),
+            BackendSched::Random { f_ack: 4, seed: 9 },
+        )
+        .seed(9);
+        let a = MacLayer::<Once>::execute(&mut backend, &mut |s| Once(s.index() as Value));
+        let b = MacLayer::<Once>::execute(&mut backend, &mut |s| Once(s.index() as Value));
+        assert_eq!(a, b);
+    }
+}

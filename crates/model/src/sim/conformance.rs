@@ -21,10 +21,20 @@
 //! Property tests run the checker over engine traces for every
 //! scheduler and crash plan — a meta-test that the simulator itself is
 //! a sound implementation of the model it claims to implement.
+//!
+//! Beyond single-execution checking, [`compare_traces`] and
+//! [`compare_reports`] diff two executions — two engine runs that
+//! should be bit-identical, or the engine vs. the threaded runtime via
+//! [`MacLayer`](crate::mac::MacLayer) — and report the **first
+//! diverging event with both sides' views** (a [`Divergence`]) rather
+//! than a bare boolean mismatch. `amacl-checker`'s cross-check is
+//! built on these.
 
 use std::collections::BTreeSet;
+use std::fmt;
 
 use crate::ids::Slot;
+use crate::mac::MacReport;
 use crate::topo::unreliable::UnreliableOverlay;
 use crate::topo::Topology;
 
@@ -233,6 +243,136 @@ pub fn neighbors_of(topo: &Topology, s: Slot) -> Vec<Slot> {
     topo.neighbors(s).to_vec()
 }
 
+/// The first point where two executions disagree, with both sides'
+/// views — so a failing cross-check names the divergence instead of
+/// reporting a bare boolean mismatch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Divergence {
+    /// Name of the first execution's backend/run.
+    pub left_name: String,
+    /// Name of the second execution's backend/run.
+    pub right_name: String,
+    /// Index of the diverging item: an event index for trace
+    /// comparisons, a slot index for report comparisons.
+    pub index: usize,
+    /// What the first execution saw there.
+    pub left_view: String,
+    /// What the second execution saw there.
+    pub right_view: String,
+    /// Which aspect diverged.
+    pub kind: DivergenceKind,
+}
+
+/// Which aspect of two executions diverged.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DivergenceKind {
+    /// The traces differ at an event index (including one trace being
+    /// a strict prefix of the other).
+    TraceEvent,
+    /// A slot's decision differs between the two reports.
+    Decision,
+    /// An aggregate property (completion, node count) differs.
+    Aggregate,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.kind {
+            DivergenceKind::TraceEvent => "event",
+            DivergenceKind::Decision => "slot",
+            DivergenceKind::Aggregate => "aggregate",
+        };
+        write!(
+            f,
+            "first divergence at {what} {}: {} saw {}, {} saw {}",
+            self.index, self.left_name, self.left_view, self.right_name, self.right_view
+        )
+    }
+}
+
+/// Compares two event traces, reporting the first diverging event with
+/// both sides' views (`None` when identical). A strict-prefix
+/// relationship diverges at the shorter trace's end, shown as
+/// `<no event>`.
+///
+/// Meaningful for executions expected to be bit-identical — e.g. two
+/// engine runs with the same seeds, the reproducibility contract the
+/// queue core guarantees.
+pub fn compare_traces(
+    left_name: &str,
+    left: &Trace,
+    right_name: &str,
+    right: &Trace,
+) -> Option<Divergence> {
+    let (l, r) = (left.events(), right.events());
+    let index = l
+        .iter()
+        .zip(r.iter())
+        .position(|(a, b)| a != b)
+        .or_else(|| (l.len() != r.len()).then(|| l.len().min(r.len())))?;
+    let view = |events: &[TraceEvent]| {
+        events
+            .get(index)
+            .map_or("<no event>".to_string(), |e| format!("{e:?}"))
+    };
+    Some(Divergence {
+        left_name: left_name.to_string(),
+        right_name: right_name.to_string(),
+        index,
+        left_view: view(l),
+        right_view: view(r),
+        kind: DivergenceKind::TraceEvent,
+    })
+}
+
+/// Compares two backend reports of the same algorithm on the same
+/// instance, reporting the first diverging slot decision with both
+/// backends' views (`None` when they agree).
+///
+/// Used by the simulator↔runtime conformance cross-check for
+/// executions whose decisions are expected to coincide (deterministic
+/// algorithms, uniform inputs). For merely *consistent* executions
+/// (agreement within each backend, possibly different values), check
+/// [`MacReport::agreement_value`] per side instead.
+pub fn compare_reports(left: &MacReport, right: &MacReport) -> Option<Divergence> {
+    let mk = |index, lv: String, rv: String, kind| {
+        Some(Divergence {
+            left_name: left.backend.to_string(),
+            right_name: right.backend.to_string(),
+            index,
+            left_view: lv,
+            right_view: rv,
+            kind,
+        })
+    };
+    if left.decisions.len() != right.decisions.len() {
+        return mk(
+            0,
+            format!("{} slots", left.decisions.len()),
+            format!("{} slots", right.decisions.len()),
+            DivergenceKind::Aggregate,
+        );
+    }
+    for (i, (l, r)) in left.decisions.iter().zip(&right.decisions).enumerate() {
+        if l != r {
+            let view = |d: &Option<u64>| match d {
+                Some(v) => format!("decided {v}"),
+                None => "undecided".to_string(),
+            };
+            return mk(i, view(l), view(r), DivergenceKind::Decision);
+        }
+    }
+    if left.all_decided != right.all_decided {
+        return mk(
+            0,
+            format!("all_decided={}", left.all_decided),
+            format!("all_decided={}", right.all_decided),
+            DivergenceKind::Aggregate,
+        );
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,5 +565,65 @@ mod tests {
         let report = check_trace(&topo, &bad_trace, None, Some(&overlay));
         assert!(!report.ok());
         assert!(report.violations[0].contains("off overlay"));
+    }
+
+    #[test]
+    fn compare_traces_finds_first_differing_event() {
+        let a = mk_trace(vec![bcast(0, 0), deliver(1, 0, 1), ack(1, 0)]);
+        let b = mk_trace(vec![bcast(0, 0), deliver(2, 0, 1), ack(2, 0)]);
+        let d = compare_traces("left", &a, "right", &b).expect("diverges");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.kind, DivergenceKind::TraceEvent);
+        assert!(d.left_view.contains("Deliver"), "{d}");
+        let msg = d.to_string();
+        assert!(msg.contains("left") && msg.contains("right"), "{msg}");
+        assert_eq!(compare_traces("l", &a, "r", &a), None);
+    }
+
+    #[test]
+    fn compare_traces_reports_prefix_truncation() {
+        let a = mk_trace(vec![bcast(0, 0), deliver(1, 0, 1)]);
+        let b = mk_trace(vec![bcast(0, 0)]);
+        let d = compare_traces("full", &a, "short", &b).expect("diverges");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.right_view, "<no event>");
+    }
+
+    #[test]
+    fn compare_reports_finds_first_differing_decision() {
+        use crate::mac::MacReport;
+        let left = MacReport {
+            backend: "sim",
+            decisions: vec![Some(1), Some(1), None],
+            all_decided: false,
+            broadcasts: 3,
+            deliveries: 6,
+        };
+        let mut right = left.clone();
+        right.backend = "threads";
+        assert_eq!(compare_reports(&left, &right), None);
+        right.decisions[1] = Some(0);
+        let d = compare_reports(&left, &right).expect("diverges");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.kind, DivergenceKind::Decision);
+        assert_eq!(d.left_view, "decided 1");
+        assert_eq!(d.right_view, "decided 0");
+        assert!(d.to_string().contains("sim saw decided 1"), "{d}");
+    }
+
+    #[test]
+    fn compare_reports_flags_aggregate_mismatch() {
+        use crate::mac::MacReport;
+        let left = MacReport {
+            backend: "sim",
+            decisions: vec![Some(1)],
+            all_decided: true,
+            broadcasts: 1,
+            deliveries: 0,
+        };
+        let mut right = left.clone();
+        right.all_decided = false;
+        let d = compare_reports(&left, &right).expect("diverges");
+        assert_eq!(d.kind, DivergenceKind::Aggregate);
     }
 }

@@ -1,10 +1,11 @@
-//! Internal event queue types for the discrete-event engine.
-
-use std::cmp::Ordering;
+//! Internal event payload types for the discrete-event engine.
+//!
+//! Ordering and cancellation live in the generic
+//! [`queue::EventQueue`](super::queue::EventQueue); this module only
+//! defines what the engine schedules ([`EventKind`]) and the priority
+//! band each kind occupies at equal times ([`EventClass`]).
 
 use crate::ids::Slot;
-
-use super::time::Time;
 
 /// Identifier of one broadcast instance (unique per execution).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -41,115 +42,71 @@ pub(crate) enum EventKind {
 }
 
 impl EventKind {
-    fn class(&self) -> EventClass {
-        match self {
+    /// The queue priority band for this event kind.
+    pub(crate) fn class(&self) -> u8 {
+        (match self {
             EventKind::Crash { .. } => EventClass::Crash,
             EventKind::Receive { .. } => EventClass::Receive,
             EventKind::Ack { .. } => EventClass::Ack,
-        }
-    }
-}
-
-/// A scheduled event. Orders by `(time, class, seq)` so the event heap
-/// pops deterministically.
-#[derive(Clone, Debug)]
-pub(crate) struct Event {
-    pub time: Time,
-    pub seq: u64,
-    pub kind: EventKind,
-}
-
-impl Event {
-    fn key(&self) -> (Time, EventClass, u64) {
-        (self.time, self.kind.class(), self.seq)
-    }
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.key() == other.key()
-    }
-}
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-// Reversed: BinaryHeap is a max-heap, we want earliest-first.
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.key().cmp(&self.key())
+        }) as u8
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::BinaryHeap;
+    use crate::sim::queue::EventQueue;
+    use crate::sim::time::Time;
 
-    fn ev(time: u64, seq: u64, kind: EventKind) -> Event {
-        Event {
-            time: Time(time),
-            seq,
-            kind,
+    fn recv(to: usize) -> EventKind {
+        EventKind::Receive {
+            to: Slot(to),
+            from: Slot(0),
+            bcast: BcastId(0),
+            unreliable: false,
         }
     }
 
     #[test]
-    fn heap_pops_time_then_class_then_seq() {
-        let mut heap = BinaryHeap::new();
-        heap.push(ev(
-            2,
-            0,
-            EventKind::Ack {
-                node: Slot(0),
-                bcast: BcastId(0),
-            },
-        ));
-        heap.push(ev(
-            2,
-            1,
-            EventKind::Receive {
-                to: Slot(1),
-                from: Slot(0),
-                bcast: BcastId(0),
-                unreliable: false,
-            },
-        ));
-        heap.push(ev(1, 5, EventKind::Crash { node: Slot(2) }));
-        heap.push(ev(2, 9, EventKind::Crash { node: Slot(3) }));
+    fn queue_pops_time_then_class_then_seq() {
+        let mut q = EventQueue::new();
+        let ack = EventKind::Ack {
+            node: Slot(0),
+            bcast: BcastId(0),
+        };
+        q.push(Time(2), ack.class(), ack);
+        q.push(Time(2), recv(1).class(), recv(1));
+        let c2 = EventKind::Crash { node: Slot(2) };
+        let c3 = EventKind::Crash { node: Slot(3) };
+        q.push(Time(1), c2.class(), c2);
+        q.push(Time(2), c3.class(), c3);
 
-        let order: Vec<_> = std::iter::from_fn(|| heap.pop())
-            .map(|e| (e.time.ticks(), e.kind.class()))
+        let order: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|e| (e.time.ticks(), e.payload.class()))
             .collect();
         assert_eq!(
             order,
             vec![
-                (1, EventClass::Crash),
-                (2, EventClass::Crash),
-                (2, EventClass::Receive),
-                (2, EventClass::Ack),
+                (1, EventClass::Crash as u8),
+                (2, EventClass::Crash as u8),
+                (2, EventClass::Receive as u8),
+                (2, EventClass::Ack as u8),
             ]
         );
     }
 
     #[test]
-    fn same_class_orders_by_seq() {
-        let mut heap = BinaryHeap::new();
-        for seq in [3u64, 1, 2] {
-            heap.push(ev(
-                1,
-                seq,
-                EventKind::Ack {
-                    node: Slot(seq as usize),
-                    bcast: BcastId(seq),
-                },
-            ));
+    fn same_class_orders_by_insertion() {
+        let mut q = EventQueue::new();
+        for to in [3usize, 1, 2] {
+            q.push(Time(1), recv(to).class(), recv(to));
         }
-        let seqs: Vec<_> = std::iter::from_fn(|| heap.pop()).map(|e| e.seq).collect();
-        assert_eq!(seqs, vec![1, 2, 3]);
+        let order: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.payload {
+                EventKind::Receive { to, .. } => to.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![3, 1, 2], "insertion order, not slot order");
     }
 }

@@ -21,6 +21,7 @@ pub mod conformance;
 pub mod crash;
 pub mod engine;
 mod event;
+pub mod queue;
 pub mod sched;
 pub mod time;
 pub mod trace;

@@ -1,0 +1,273 @@
+//! The cancellable event-queue core of the discrete-event engine.
+//!
+//! [`EventQueue`] is a priority queue of timestamped payloads with
+//! three properties the engine (and any future discrete-event driver)
+//! needs:
+//!
+//! * **Deterministic tie-breaking.** Entries pop in `(time, class,
+//!   insertion order)` order. `class` is a small caller-chosen priority
+//!   band (the engine uses crash < receive < ack, see the sim-internal
+//!   `EventClass`); within a band, earlier pushes pop first. Two runs
+//!   that push the same sequence pop the same sequence, on every
+//!   platform — nothing about the queue depends on hash iteration
+//!   order or pointer values.
+//! * **O(log n) cancellation.** [`EventQueue::push`] returns an
+//!   [`EventId`]; [`EventQueue::cancel`] marks that entry dead in O(1)
+//!   by adding the id to a tombstone set (the dslab-style scheme).
+//!   Dead entries are skipped — and their tombstones reclaimed — when
+//!   they surface at the heap top, so a cancel costs O(1) now plus the
+//!   O(log n) pop it would have cost anyway. Cancelling an id that
+//!   already fired (or was already cancelled) is a detectable no-op,
+//!   so callers may bulk-cancel bookkeeping lists without tracking
+//!   which entries already ran.
+//! * **Exact liveness accounting.** [`EventQueue::len`] and
+//!   [`EventQueue::is_empty`] count only live (un-cancelled, un-popped)
+//!   entries, so "no events remain" means what a quiescence check
+//!   wants it to mean even while tombstoned entries still sit in the
+//!   heap.
+//!
+//! The queue is deliberately ignorant of what the payloads mean: the
+//! engine stores its internal `EventKind`s, tests store integers. All
+//! model semantics (what a delivery does, when acks are due) live in
+//! the driver and in [`crate::mac::BcastLedger`].
+
+use std::collections::{BinaryHeap, HashSet};
+
+use super::time::Time;
+
+/// Handle to one scheduled entry, returned by [`EventQueue::push`] and
+/// accepted by [`EventQueue::cancel`].
+///
+/// Ids are unique per queue and allocated in push order; the id
+/// doubles as the deterministic tie-breaker within a `(time, class)`
+/// band.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    /// The raw id value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One entry popped from the queue.
+#[derive(Clone, Debug)]
+pub struct ScheduledEvent<E> {
+    /// The entry's due time.
+    pub time: Time,
+    /// The id [`EventQueue::push`] returned for it.
+    pub id: EventId,
+    /// The caller's payload.
+    pub payload: E,
+}
+
+/// Internal heap entry. Ordering is reversed (`BinaryHeap` is a
+/// max-heap) over the key `(time, class, id)`.
+struct Entry<E> {
+    time: Time,
+    class: u8,
+    id: u64,
+    payload: E,
+}
+
+impl<E> Entry<E> {
+    fn key(&self) -> (Time, u8, u64) {
+        (self.time, self.class, self.id)
+    }
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.key().cmp(&self.key())
+    }
+}
+
+/// A deterministic, cancellable discrete-event priority queue.
+///
+/// See the [module docs](self) for the contract. `E` is the event
+/// payload type.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Ids of entries still in the heap and not cancelled. Membership
+    /// checks only — never iterated, so a hash set cannot leak
+    /// nondeterminism into pop order.
+    pending: HashSet<u64>,
+    /// Ids cancelled but not yet physically removed from the heap.
+    tombstones: HashSet<u64>,
+    next_id: u64,
+    cancellations: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            tombstones: HashSet::new(),
+            next_id: 0,
+            cancellations: 0,
+        }
+    }
+
+    /// Schedules `payload` at `time` in priority band `class` (lower
+    /// classes pop first at equal times). Returns the entry's id.
+    pub fn push(&mut self, time: Time, class: u8, payload: E) -> EventId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.insert(id);
+        self.heap.push(Entry {
+            time,
+            class,
+            id,
+            payload,
+        });
+        EventId(id)
+    }
+
+    /// Cancels the entry with the given id, if it is still pending.
+    ///
+    /// Returns `true` if the entry was live (it will now never pop) and
+    /// `false` if it had already popped or been cancelled — making
+    /// bulk cancellation of stale id lists safe.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.pending.remove(&id.0) {
+            self.tombstones.insert(id.0);
+            self.cancellations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The due time of the earliest live entry, purging any cancelled
+    /// entries that have reached the heap top.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        self.purge_cancelled_head();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest live entry.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.purge_cancelled_head();
+        let entry = self.heap.pop()?;
+        self.pending.remove(&entry.id);
+        Some(ScheduledEvent {
+            time: entry.time,
+            id: EventId(entry.id),
+            payload: entry.payload,
+        })
+    }
+
+    /// Drops cancelled entries sitting at the top of the heap,
+    /// reclaiming their tombstones.
+    fn purge_cancelled_head(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.tombstones.remove(&top.id) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of live (pending, un-cancelled) entries.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// `true` when no live entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Total entries ever scheduled (also the next id to be assigned).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Total successful cancellations so far.
+    pub fn cancelled_total(&self) -> u64 {
+        self.cancellations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_by_time_then_class_then_insertion() {
+        let mut q = EventQueue::new();
+        q.push(Time(2), 2, "t2-ack");
+        q.push(Time(2), 1, "t2-recv-a");
+        q.push(Time(1), 2, "t1-ack");
+        q.push(Time(2), 1, "t2-recv-b");
+        q.push(Time(2), 0, "t2-crash");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(
+            order,
+            vec!["t1-ack", "t2-crash", "t2-recv-a", "t2-recv-b", "t2-ack"]
+        );
+    }
+
+    #[test]
+    fn cancelled_entries_never_pop_and_len_tracks_live() {
+        let mut q = EventQueue::new();
+        let a = q.push(Time(1), 0, 'a');
+        let b = q.push(Time(2), 0, 'b');
+        let c = q.push(Time(3), 0, 'c');
+        assert_eq!(q.len(), 3);
+        assert!(q.cancel(b));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.cancelled_total(), 1);
+        assert_eq!(q.pop().unwrap().payload, 'a');
+        assert_eq!(q.peek_time(), Some(Time(3)));
+        assert_eq!(q.pop().unwrap().payload, 'c');
+        assert!(q.is_empty());
+        // Already-fired and already-cancelled ids are safe no-ops.
+        assert!(!q.cancel(a));
+        assert!(!q.cancel(b));
+        assert!(!q.cancel(c));
+        assert_eq!(q.cancelled_total(), 1);
+    }
+
+    #[test]
+    fn cancel_head_purges_lazily() {
+        let mut q = EventQueue::new();
+        let a = q.push(Time(1), 0, 1u32);
+        q.push(Time(5), 0, 2u32);
+        assert!(q.cancel(a));
+        // peek_time must skip the dead head.
+        assert_eq!(q.peek_time(), Some(Time(5)));
+        assert_eq!(q.pop().unwrap().payload, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn empty_queue_behaves() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        assert!(q.pop().is_none());
+        assert_eq!(q.scheduled_total(), 0);
+    }
+}

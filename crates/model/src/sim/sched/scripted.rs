@@ -5,7 +5,7 @@
 //! bound demos and regression tests use it to pin down the precise
 //! message orderings their arguments need.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::ids::Slot;
 use crate::sim::time::Time;
@@ -13,12 +13,17 @@ use crate::sim::time::Time;
 use super::{BroadcastPlan, Scheduler};
 
 /// Table-driven scheduler: delay per (sender, nth broadcast).
+///
+/// Ordered maps (rather than hash maps) keep `Debug` output — which
+/// lower-bound demos print into their reports — deterministic across
+/// runs and platforms; lookups are by key only, so scheduling itself
+/// never depended on iteration order.
 #[derive(Clone, Debug)]
 pub struct ScriptedScheduler {
-    delays: HashMap<(usize, u64), u64>,
+    delays: BTreeMap<(usize, u64), u64>,
     default: u64,
     f_ack: u64,
-    counters: HashMap<usize, u64>,
+    counters: BTreeMap<usize, u64>,
 }
 
 impl ScriptedScheduler {
@@ -30,10 +35,10 @@ impl ScriptedScheduler {
     pub fn new(default: u64) -> Self {
         assert!(default >= 1, "delays must be at least 1");
         Self {
-            delays: HashMap::new(),
+            delays: BTreeMap::new(),
             default,
             f_ack: default,
-            counters: HashMap::new(),
+            counters: BTreeMap::new(),
         }
     }
 

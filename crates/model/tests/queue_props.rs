@@ -1,0 +1,176 @@
+//! Property tests for the cancellable event-queue core and the
+//! determinism contract it gives the engine.
+//!
+//! 1. Pop order always equals the stable sort of pushes by
+//!    `(time, class, insertion order)`.
+//! 2. Cancelled events never fire; everything else fires exactly once.
+//! 3. Identical seeds give identical traces (bit-reproducible engine
+//!    runs), and differing runs are reported with a first-divergence
+//!    diff, not a boolean.
+
+use amacl_model::prelude::*;
+use amacl_model::sim::conformance::compare_traces;
+use amacl_model::sim::queue::EventQueue;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pops come out in (time, class, insertion) order — the queue's
+    /// deterministic tie-break contract.
+    #[test]
+    fn pop_order_matches_stable_sort(
+        pushes in vec((0u64..50, 0u8..3), 1..80),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &(t, c)) in pushes.iter().enumerate() {
+            q.push(Time(t), c, i);
+        }
+        let mut expected: Vec<(u64, u8, usize)> = pushes
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, c))| (t, c, i))
+            .collect();
+        expected.sort(); // stable; index is the final tie-break anyway
+        let popped: Vec<(u64, u8, usize)> = std::iter::from_fn(|| q.pop())
+            .map(|e| {
+                let (t, c) = pushes[e.payload];
+                prop_assert_eq!(e.time, Time(t));
+                (t, c, e.payload)
+            })
+            .collect();
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Cancelled entries never pop; live entries all pop, in order,
+    /// and `len` tracks exactly the live count.
+    #[test]
+    fn cancelled_events_never_fire(
+        pushes in vec((0u64..40, 0u8..3), 1..60),
+        cancel_mask in vec(any::<bool>(), 60),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = pushes
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, c))| q.push(Time(t), c, i))
+            .collect();
+        let mut live = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if cancel_mask[i % cancel_mask.len()] {
+                prop_assert!(q.cancel(*id), "first cancel must succeed");
+                prop_assert!(!q.cancel(*id), "second cancel must be a no-op");
+            } else {
+                live.push(i);
+            }
+        }
+        prop_assert_eq!(q.len(), live.len());
+        let mut fired = Vec::new();
+        while let Some(e) = q.pop() {
+            fired.push(e.payload);
+        }
+        // Exactly the live set fired, in (time, class, insertion) order.
+        let mut expected = live.clone();
+        expected.sort_by_key(|&i| (pushes[i].0, pushes[i].1, i));
+        prop_assert_eq!(fired, expected);
+        prop_assert!(q.is_empty());
+    }
+
+    /// Identical seeds → bit-identical engine traces, on any topology
+    /// and schedule; `compare_traces` confirms with `None`.
+    #[test]
+    fn identical_seeds_give_identical_traces(
+        seed in 0u64..500,
+        n in 3usize..10,
+        f_ack in 1u64..6,
+    ) {
+        let run = |s: u64| {
+            let mut sim = SimBuilder::new(
+                Topology::random_connected(n, 0.3, s),
+                |slot| Flood { initiator: slot.index() == 0, relayed: false },
+            )
+            .scheduler(RandomScheduler::new(f_ack, s))
+            .seed(s)
+            .trace(true)
+            .build();
+            sim.run();
+            sim.trace().events().to_vec()
+        };
+        let a = run(seed);
+        let b = run(seed);
+        let (ta, tb) = (to_trace(&a), to_trace(&b));
+        prop_assert_eq!(compare_traces("a", &ta, "b", &tb), None);
+    }
+}
+
+/// Minimal flooding process for the determinism properties.
+struct Flood {
+    initiator: bool,
+    relayed: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Tok;
+impl Payload for Tok {
+    fn id_count(&self) -> usize {
+        0
+    }
+}
+
+impl Process for Flood {
+    type Msg = Tok;
+    fn on_start(&mut self, ctx: &mut Context<'_, Tok>) {
+        if self.initiator {
+            self.relayed = true;
+            ctx.broadcast(Tok);
+            ctx.decide(0);
+        }
+    }
+    fn on_receive(&mut self, _m: Tok, ctx: &mut Context<'_, Tok>) {
+        if !self.relayed {
+            self.relayed = true;
+            ctx.broadcast(Tok);
+        }
+        if ctx.decided().is_none() {
+            ctx.decide(1);
+        }
+    }
+    fn on_ack(&mut self, _ctx: &mut Context<'_, Tok>) {}
+}
+
+fn to_trace(events: &[amacl_model::sim::trace::TraceEvent]) -> amacl_model::sim::trace::Trace {
+    let mut t = amacl_model::sim::trace::Trace::new(true);
+    for &e in events {
+        t.push(e);
+    }
+    t
+}
+
+/// Different seeds almost always diverge — and when they do, the diff
+/// names the first differing event with both views.
+#[test]
+fn differing_seeds_report_a_first_divergence() {
+    let run = |s: u64| {
+        let mut sim = SimBuilder::new(Topology::random_connected(8, 0.3, 1), |slot| Flood {
+            initiator: slot.index() == 0,
+            relayed: false,
+        })
+        .scheduler(RandomScheduler::new(5, s))
+        .seed(s)
+        .trace(true)
+        .build();
+        sim.run();
+        sim.trace().events().to_vec()
+    };
+    let mut diverged = 0;
+    for seed in 0..10u64 {
+        let (a, b) = (run(seed), run(seed + 100));
+        if let Some(d) = compare_traces("left", &to_trace(&a), "right", &to_trace(&b)) {
+            assert!(!d.left_view.is_empty() && !d.right_view.is_empty());
+            assert!(d.to_string().contains("first divergence"), "{d}");
+            diverged += 1;
+        }
+    }
+    assert!(diverged > 0, "no seed pair diverged at all");
+}

@@ -26,6 +26,14 @@
 //! thread scheduling plus the configured jitter, exactly as it would
 //! from a deployed MAC. Experiment E9 cross-validates decisions and
 //! relative latencies against the simulator.
+//!
+//! The delivery/ack/crash *semantics* — which confirmations gate an
+//! ack, how a planned mid-broadcast crash truncates delivery, which
+//! acks a node's death releases — are not implemented here: the ether
+//! drives the same [`BcastLedger`](amacl_model::mac::BcastLedger) the
+//! discrete-event engine uses, and [`MacRuntime`] implements the
+//! backend-agnostic [`MacLayer`](amacl_model::mac::MacLayer) trait, so
+//! the two substrates expose one MAC layer through one interface.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

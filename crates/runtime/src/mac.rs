@@ -1,6 +1,21 @@
 //! The threaded MAC layer implementation.
+//!
+//! Real OS threads and channels stand in for radios: one thread per
+//! node, one "ether" thread standing in for the shared medium. The
+//! ether owns *timing* (jittered deliveries, wall-clock deadlines) but
+//! delegates every *semantic* decision — which confirmations gate an
+//! ack, which broadcast a planned crash interrupts and after how many
+//! deliveries, which acks a node's death releases — to the shared
+//! [`BcastLedger`] in `amacl-model`. The discrete-event engine drives
+//! the very same ledger, so the two backends cannot drift apart on the
+//! model's delivery/ack/crash contract; they differ only in how time
+//! passes.
+//!
+//! [`MacRuntime`] also implements the backend-agnostic
+//! [`MacLayer`] trait, so any [`Process`] can run here or on the
+//! simulator through one interface.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
@@ -11,6 +26,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use amacl_model::ids::{NodeId, Slot};
+use amacl_model::mac::{Admission, BcastLedger, MacLayer, MacReport};
 use amacl_model::proc::{NodeCell, Process, Value};
 use amacl_model::sim::time::Time;
 use amacl_model::topo::Topology;
@@ -78,6 +94,17 @@ impl RuntimeReport {
         v.sort_unstable();
         v.dedup();
         v
+    }
+
+    /// Converts to the backend-neutral [`MacReport`] shape.
+    pub fn to_mac_report(&self) -> MacReport {
+        MacReport {
+            backend: "threads",
+            decisions: self.decisions.clone(),
+            all_decided: self.all_decided,
+            broadcasts: self.broadcasts,
+            deliveries: self.deliveries,
+        }
     }
 }
 
@@ -215,6 +242,20 @@ impl MacRuntime {
     }
 }
 
+impl<P> MacLayer<P> for MacRuntime
+where
+    P: Process + Send,
+    P::Msg: Send,
+{
+    fn backend_name(&self) -> &'static str {
+        "threads"
+    }
+
+    fn execute(&mut self, init: &mut dyn FnMut(Slot) -> P) -> MacReport {
+        self.run(init).to_mac_report()
+    }
+}
+
 /// One node's event loop: process deliveries and acks in arrival order,
 /// forwarding broadcast requests to the ether and decisions to the
 /// collector.
@@ -310,8 +351,8 @@ impl<M> Ord for PendingDelivery<M> {
     }
 }
 
-/// The shared ether: jittered deliveries, confirmation counting, and
-/// ack release.
+/// The shared ether: wall-clock jitter and channel transport around
+/// the model semantics in [`BcastLedger`].
 fn ether_loop<M: Clone>(
     topo: &Topology,
     cfg: &RuntimeConfig,
@@ -323,45 +364,57 @@ fn ether_loop<M: Clone>(
     let n = topo.len();
     let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(0x5EED));
     let mut heap: BinaryHeap<PendingDelivery<M>> = BinaryHeap::new();
-    // bcast id -> (sender, receivers whose confirmation is awaited)
-    let mut pending: HashMap<u64, (usize, std::collections::BTreeSet<usize>)> = HashMap::new();
+    let mut ledger = BcastLedger::new(n);
+    for c in &cfg.crashes {
+        ledger.arm_watch(c.slot, c.nth_broadcast, c.delivered);
+    }
     let mut next_bcast = 0u64;
     let mut seq = 0u64;
-    let mut bcast_counts = vec![0u64; n];
-    let mut crashed = vec![false; n];
 
-    // Removes `by` from a broadcast's awaited set, acking the sender
-    // when the set empties (the model's ack condition: every non-faulty
-    // neighbor has received and processed the message).
-    fn note_confirm<M>(
-        pending: &mut HashMap<u64, (usize, std::collections::BTreeSet<usize>)>,
-        inboxes: &[Sender<NodeEvent<M>>],
-        crashed: &[bool],
-        bcast: u64,
-        by: usize,
-    ) {
-        if let Some((sender, awaiting)) = pending.get_mut(&bcast) {
-            awaiting.remove(&by);
-            if awaiting.is_empty() {
-                let sender = *sender;
-                pending.remove(&bcast);
-                if !crashed[sender] {
-                    let _ = inboxes[sender].send(NodeEvent::Ack);
-                }
-            }
+    // Kills `node`: marks it crashed in the ledger, stops its thread,
+    // and delivers any acks its death releases (acks wait for
+    // non-faulty neighbors only).
+    let crash_node = |ledger: &mut BcastLedger, node: usize| {
+        if !ledger.mark_crashed(node) {
+            return;
         }
-    }
+        let _ = inboxes[node].send(NodeEvent::Stop);
+        for (_bcast, sender) in ledger.release_obligations_of(node) {
+            let _ = inboxes[sender].send(NodeEvent::Ack);
+        }
+    };
+
+    let mut schedule = |heap: &mut BinaryHeap<PendingDelivery<M>>,
+                        rng: &mut SmallRng,
+                        to: usize,
+                        msg: M,
+                        bcast: u64| {
+        let jitter_us = if cfg.max_jitter.is_zero() {
+            0
+        } else {
+            rng.gen_range(0..cfg.max_jitter.as_micros() as u64)
+        };
+        heap.push(PendingDelivery {
+            due: Instant::now() + Duration::from_micros(jitter_us),
+            seq,
+            to,
+            msg,
+            bcast,
+        });
+        seq += 1;
+    };
 
     loop {
         // Flush due deliveries.
         let now = Instant::now();
         while heap.peek().is_some_and(|d| d.due <= now) {
             let d = heap.pop().expect("peeked");
-            if crashed[d.to] {
-                // A dead receiver never confirms; release the sender's
-                // obligation toward it (acks wait for non-faulty
-                // neighbors only).
-                note_confirm(&mut pending, inboxes, &crashed, d.bcast, d.to);
+            if ledger.is_crashed(d.to) {
+                // A dead receiver never confirms; its obligation is
+                // excused, which may complete the sender's ack.
+                if let Some(sender) = ledger.confirm(d.bcast, d.to) {
+                    let _ = inboxes[sender].send(NodeEvent::Ack);
+                }
                 continue;
             }
             deliveries.fetch_add(1, Ordering::Relaxed);
@@ -382,87 +435,56 @@ fn ether_loop<M: Clone>(
         };
         match msg {
             EtherMsg::Broadcast { from, msg } => {
-                if crashed[from] {
+                if ledger.is_crashed(from) {
                     continue;
                 }
-                let count = bcast_counts[from];
-                bcast_counts[from] += 1;
                 broadcasts.fetch_add(1, Ordering::Relaxed);
-
-                let crash_now = cfg
-                    .crashes
-                    .iter()
-                    .find(|c| c.slot == from && c.nth_broadcast == count);
+                let bcast = next_bcast;
+                next_bcast += 1;
                 let alive_neighbors: Vec<usize> = topo
                     .neighbors(Slot(from))
                     .iter()
                     .map(|s| s.index())
-                    .filter(|&v| !crashed[v])
+                    .filter(|&v| !ledger.is_crashed(v))
                     .collect();
 
-                if let Some(crash) = crash_now {
-                    // Mid-broadcast crash: only a prefix of neighbors
-                    // receives, nobody acks, the node thread stops.
-                    crashed[from] = true;
-                    let _ = inboxes[from].send(NodeEvent::Stop);
-                    // Release any obligations other senders had toward
-                    // the dead node.
-                    let stuck: Vec<u64> = pending
-                        .iter()
-                        .filter(|(_, (_, awaiting))| awaiting.contains(&from))
-                        .map(|(b, _)| *b)
-                        .collect();
-                    for b in stuck {
-                        note_confirm(&mut pending, inboxes, &crashed, b, from);
+                match ledger.admit_broadcast(from, bcast) {
+                    Admission::CrashImmediately => {
+                        // The planned crash interrupts before any
+                        // delivery: nobody receives, nobody acks.
+                        crash_node(&mut ledger, from);
                     }
-                    let bcast = next_bcast;
-                    next_bcast += 1;
-                    let now = Instant::now();
-                    for &to in alive_neighbors.iter().take(crash.delivered) {
-                        let jitter_us = if cfg.max_jitter.is_zero() {
-                            0
-                        } else {
-                            rng.gen_range(0..cfg.max_jitter.as_micros() as u64)
-                        };
-                        heap.push(PendingDelivery {
-                            due: now + Duration::from_micros(jitter_us),
-                            seq,
-                            to,
-                            msg: msg.clone(),
-                            bcast,
-                        });
-                        seq += 1;
+                    Admission::PartialThenCrash { delivered } => {
+                        // The sender dies now and is never acked; at
+                        // most `delivered` neighbors receive. The
+                        // prefix is taken over ALL neighbors — a slot
+                        // falling on a dead receiver is consumed and
+                        // lost at the flush above, matching the
+                        // engine, where a scheduled delivery to a dead
+                        // receiver also consumes its countdown slot.
+                        crash_node(&mut ledger, from);
+                        for &to in topo.neighbors(Slot(from)).iter().take(delivered) {
+                            schedule(&mut heap, &mut rng, to.index(), msg.clone(), bcast);
+                        }
                     }
-                    continue;
-                }
-
-                let bcast = next_bcast;
-                next_bcast += 1;
-                if alive_neighbors.is_empty() {
-                    // Degenerate: nothing to deliver, ack immediately.
-                    let _ = inboxes[from].send(NodeEvent::Ack);
-                    continue;
-                }
-                pending.insert(bcast, (from, alive_neighbors.iter().copied().collect()));
-                let now = Instant::now();
-                for &to in &alive_neighbors {
-                    let jitter_us = if cfg.max_jitter.is_zero() {
-                        0
-                    } else {
-                        rng.gen_range(0..cfg.max_jitter.as_micros() as u64)
-                    };
-                    heap.push(PendingDelivery {
-                        due: now + Duration::from_micros(jitter_us),
-                        seq,
-                        to,
-                        msg: msg.clone(),
-                        bcast,
-                    });
-                    seq += 1;
+                    Admission::Deliver => {
+                        let awaiting = alive_neighbors.iter().copied().collect();
+                        if ledger.register_ack_obligation(bcast, from, awaiting) {
+                            // Degenerate: nothing to deliver, ack
+                            // immediately.
+                            let _ = inboxes[from].send(NodeEvent::Ack);
+                            continue;
+                        }
+                        for &to in &alive_neighbors {
+                            schedule(&mut heap, &mut rng, to, msg.clone(), bcast);
+                        }
+                    }
                 }
             }
             EtherMsg::Confirm { bcast, by } => {
-                note_confirm(&mut pending, inboxes, &crashed, bcast, by);
+                if let Some(sender) = ledger.confirm(bcast, by) {
+                    let _ = inboxes[sender].send(NodeEvent::Ack);
+                }
             }
             EtherMsg::Stop => return,
         }
@@ -665,5 +687,22 @@ mod tests {
         });
         assert!(report.all_decided);
         assert_eq!(report.decided_values(), vec![0]);
+    }
+
+    #[test]
+    fn runtime_runs_through_the_mac_layer_trait() {
+        let mut rt = MacRuntime::new(Topology::clique(4), cfg(7));
+        let layer: &mut dyn MacLayer<MinOnce> = &mut rt;
+        assert_eq!(layer.backend_name(), "threads");
+        let report = layer.execute(&mut |s| MinOnce {
+            n: 4,
+            own: 20 + s.index() as u64,
+            seen: Default::default(),
+            acked: false,
+        });
+        assert!(report.all_decided);
+        assert_eq!(report.backend, "threads");
+        assert_eq!(report.decided_values(), vec![20]);
+        assert_eq!(report.agreement_value(), Some(20));
     }
 }

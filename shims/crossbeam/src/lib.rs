@@ -3,13 +3,66 @@
 //! Provides [`channel`] with `bounded` / `unbounded` constructors and
 //! `Sender` / `Receiver` handles matching the crossbeam-channel
 //! signatures the amacl threaded runtime uses, implemented over
-//! `std::sync::mpsc`. The runtime's usage is strictly multi-producer /
-//! single-consumer (senders are cloned, each receiver lives on one
-//! thread), which `mpsc` covers exactly; swapping the real crate back
-//! in requires no call-site changes.
+//! `std::sync::mpsc`, plus [`thread::scope`] scoped threads (matching
+//! the crossbeam-utils signature where the spawn closure receives the
+//! scope handle) implemented over `std::thread::scope`. The runtime's
+//! channel usage is strictly multi-producer / single-consumer (senders
+//! are cloned, each receiver lives on one thread), which `mpsc` covers
+//! exactly; swapping the real crate back in requires no call-site
+//! changes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::thread as stdthread;
+
+    pub use std::thread::Result;
+
+    /// A scope for spawning borrowing threads, mirroring
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to join one scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(stdthread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish and returns its result.
+        pub fn join(self) -> Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam (and unlike
+        /// `std::thread::Scope::spawn`), the closure receives the
+        /// scope handle so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Creates a scope in which threads may borrow from the enclosing
+    /// stack frame; all spawned threads are joined before `scope`
+    /// returns. Always `Ok` in this shim (`std::thread::scope`
+    /// propagates panics instead of collecting them), but the
+    /// `Result` return matches crossbeam's signature so call sites
+    /// keep their `.unwrap()`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
 
 /// Multi-producer channels, mirroring `crossbeam::channel`.
 pub mod channel {
@@ -118,5 +171,30 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(5)),
             Err(RecvTimeoutError::Timeout)
         );
+    }
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let sum: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn scoped_threads_can_nest_via_the_handle() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21u32).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
     }
 }

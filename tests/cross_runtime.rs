@@ -89,3 +89,73 @@ fn simulator_and_runtime_agree_on_validity() {
     let rt_report = rt.run(|_| TwoPhase::new(1));
     assert_eq!(rt_report.decided_values(), vec![1]);
 }
+
+#[test]
+fn both_backends_run_the_same_process_through_the_mac_layer_trait() {
+    // The unification claim, end to end: one Process type, one init
+    // closure, two backends behind `&mut dyn MacLayer`, outcomes
+    // diffed by the checker's conformance cross-check.
+    use amacl::checker::{cross_check, CrossCheckConfig};
+
+    let n = 6;
+    let mut sim = SimBackend::new(
+        Topology::clique(n),
+        BackendSched::Random { f_ack: 5, seed: 9 },
+    );
+    let mut rt = MacRuntime::new(Topology::clique(n), cfg(9));
+    let backends: [&mut dyn MacLayer<TwoPhase>; 2] = [&mut sim, &mut rt];
+    let mut reports = Vec::new();
+    for backend in backends {
+        let report = backend.execute(&mut |_s| TwoPhase::new(1));
+        assert!(
+            report.all_decided,
+            "{}: {:?}",
+            report.backend, report.decisions
+        );
+        reports.push(report);
+    }
+    assert_eq!(reports[0].backend, "sim");
+    assert_eq!(reports[1].backend, "threads");
+
+    // Uniform inputs: the decision is input-determined, so demand
+    // bit-identical per-slot decisions across the backends.
+    let outcome = cross_check(
+        &mut sim,
+        &mut rt,
+        &mut |_s| TwoPhase::new(1),
+        &[1; 6],
+        CrossCheckConfig {
+            expect_identical_decisions: true,
+            check_validity: true,
+        },
+    );
+    outcome.assert_ok();
+    assert_eq!(outcome.divergence, None);
+}
+
+#[test]
+fn wpaxos_cross_check_multihop_through_the_trait() {
+    use amacl::checker::{cross_check, CrossCheckConfig};
+    use amacl::model::prelude::Value;
+
+    for (seed, topo) in [(0u64, Topology::line(5)), (1, Topology::grid(3, 2))] {
+        let n = topo.len();
+        let inputs: Vec<Value> = (0..n as u64).map(|i| i % 2).collect();
+        let iv = inputs.clone();
+        let mut sim = SimBackend::new(topo.clone(), BackendSched::Random { f_ack: 4, seed });
+        let mut rt = MacRuntime::new(topo, cfg(seed));
+        let outcome = cross_check(
+            &mut sim,
+            &mut rt,
+            &mut |s| wpaxos_node(iv[s.index()], n),
+            &inputs,
+            CrossCheckConfig {
+                expect_identical_decisions: false,
+                check_validity: true,
+            },
+        );
+        outcome.assert_ok();
+        assert!(outcome.left.agreement_value().is_some(), "seed {seed}");
+        assert!(outcome.right.agreement_value().is_some(), "seed {seed}");
+    }
+}
