@@ -1,0 +1,135 @@
+//! The engine-throughput baseline file and the CI regression gate
+//! over it.
+//!
+//! `BENCH_engine.json` (repo root) is the committed source of truth
+//! for engine throughput on the reference workload. CI reruns the
+//! measurement on every PR and calls [`gate`] against the committed
+//! number with a generous machine-variance tolerance: CI runners are
+//! shared, noisy hardware, so the gate is not "as fast as the
+//! baseline" but "not collapsed" — a real regression (an accidental
+//! O(n) in the event queue, a lost cancellation path) shows up as a
+//! multiple-of-x slowdown that no runner noise produces.
+//!
+//! The JSON is parsed with a deliberately tiny field extractor rather
+//! than a serde dependency: the file is machine-written by `tables
+//! bench-engine`, flat, and one schema version old at most.
+
+/// Extracts a numeric field's value from a flat JSON object, e.g.
+/// `json_number(s, "events_per_sec")`. Returns `None` when the field
+/// is missing or not a number.
+pub fn json_number(json: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\"");
+    let rest = &json[json.find(&key)? + key.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Outcome of one baseline comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateReport {
+    /// The committed baseline events/sec.
+    pub baseline: f64,
+    /// The freshly measured events/sec.
+    pub fresh: f64,
+    /// The tolerance factor the gate allowed.
+    pub tolerance: f64,
+}
+
+impl GateReport {
+    /// `fresh / baseline` — below `1 / tolerance` fails the gate.
+    pub fn ratio(&self) -> f64 {
+        if self.baseline == 0.0 {
+            1.0
+        } else {
+            self.fresh / self.baseline
+        }
+    }
+}
+
+/// Gates a fresh `events_per_sec` measurement against the committed
+/// baseline JSON: the gate fails only when throughput collapsed below
+/// `baseline / tolerance` (so `tolerance = 3.0` tolerates a 3x-slower
+/// machine but catches an order-of-magnitude regression).
+///
+/// # Errors
+///
+/// Returns a message when the baseline is unreadable or the fresh
+/// measurement collapsed.
+pub fn gate(
+    baseline_json: &str,
+    fresh_events_per_sec: f64,
+    tolerance: f64,
+) -> Result<GateReport, String> {
+    assert!(tolerance >= 1.0, "tolerance must be >= 1");
+    let baseline = json_number(baseline_json, "events_per_sec")
+        .ok_or("baseline JSON has no numeric events_per_sec field")?;
+    if baseline <= 0.0 {
+        return Err(format!(
+            "baseline events_per_sec {baseline} is not positive"
+        ));
+    }
+    let report = GateReport {
+        baseline,
+        fresh: fresh_events_per_sec,
+        tolerance,
+    };
+    if fresh_events_per_sec * tolerance < baseline {
+        return Err(format!(
+            "engine throughput collapsed: {fresh_events_per_sec:.0} events/sec vs baseline \
+             {baseline:.0} ({}x slower, tolerance {tolerance}x)",
+            (baseline / fresh_events_per_sec).round()
+        ));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": "amacl-bench-engine/v1",
+  "workload": "wpaxos",
+  "seeds": 32,
+  "events_total": 281669,
+  "serial_wall_s": 0.1154,
+  "events_per_sec": 2441367,
+  "threads": 1,
+  "parallel_speedup": 1.04
+}"#;
+
+    #[test]
+    fn json_number_extracts_fields() {
+        assert_eq!(json_number(SAMPLE, "events_per_sec"), Some(2_441_367.0));
+        assert_eq!(json_number(SAMPLE, "serial_wall_s"), Some(0.1154));
+        assert_eq!(json_number(SAMPLE, "seeds"), Some(32.0));
+        assert_eq!(json_number(SAMPLE, "missing"), None);
+        assert_eq!(json_number(SAMPLE, "schema"), None, "string field");
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        // Equal, faster, and 2.9x slower all pass a 3x gate.
+        for fresh in [2_441_367.0, 9_000_000.0, 850_000.0] {
+            let r = gate(SAMPLE, fresh, 3.0).unwrap();
+            assert_eq!(r.baseline, 2_441_367.0);
+            assert!(r.ratio() > 0.0);
+        }
+    }
+
+    #[test]
+    fn gate_fails_on_collapse() {
+        let err = gate(SAMPLE, 100_000.0, 3.0).unwrap_err();
+        assert!(err.contains("collapsed"), "{err}");
+        assert!(err.contains("tolerance 3"), "{err}");
+    }
+
+    #[test]
+    fn gate_rejects_broken_baselines() {
+        assert!(gate("{}", 1.0, 3.0).is_err());
+        assert!(gate("{\"events_per_sec\": 0}", 1.0, 3.0).is_err());
+    }
+}

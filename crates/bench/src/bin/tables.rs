@@ -12,9 +12,15 @@
 //!   events/sec on the reference multi-seed wPAXOS workload, serially
 //!   and with the parallel multi-seed driver, and writes the JSON
 //!   baseline (`BENCH_engine.json` at the repo root by convention).
+//! * `tables -- bench-gate [--baseline <path>] [--tolerance <x>]
+//!   [--out <path>]` — the CI regression gate: remeasures, writes the
+//!   fresh JSON, and exits nonzero when `events_per_sec` collapsed
+//!   below `baseline / tolerance` (default tolerance 3x, generous
+//!   enough for shared-runner variance but not for a real regression).
 
 use std::time::Instant;
 
+use amacl_bench::baseline::{gate, json_number};
 use amacl_bench::experiments::*;
 use amacl_bench::parallel::{self, run_seeds};
 use amacl_core::harness::{alternating_inputs, run_wpaxos};
@@ -22,18 +28,34 @@ use amacl_model::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--smoke") {
-        run_smoke();
-        return;
-    }
-    if args.first().map(String::as_str) == Some("bench-engine") {
-        let out = args
-            .iter()
-            .position(|a| a == "--out")
+    let opt = |key: &str| {
+        args.iter()
+            .position(|a| a == key)
             .and_then(|i| args.get(i + 1))
-            .cloned();
-        bench_engine(out.as_deref());
-        return;
+            .cloned()
+    };
+    // Modes dispatch on the FIRST argument only, so a mode's own
+    // options can never be mistaken for another mode (e.g. a stray
+    // `--smoke` after `bench-gate` must not silently replace the
+    // regression gate with the smoke pass).
+    match args.first().map(String::as_str) {
+        Some("--smoke") => {
+            run_smoke();
+            return;
+        }
+        Some("bench-engine") => {
+            bench_engine(opt("--out").as_deref());
+            return;
+        }
+        Some("bench-gate") => {
+            let baseline_path = opt("--baseline").unwrap_or_else(|| "BENCH_engine.json".into());
+            let tolerance: f64 = opt("--tolerance")
+                .map(|s| s.parse().expect("--tolerance takes a number"))
+                .unwrap_or(3.0);
+            bench_gate(&baseline_path, tolerance, opt("--out").as_deref());
+            return;
+        }
+        _ => {}
     }
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
@@ -127,9 +149,9 @@ fn run_smoke() {
     println!("smoke OK");
 }
 
-/// Measures engine events/sec on the reference workload and writes the
-/// JSON baseline.
-fn bench_engine(out: Option<&str>) {
+/// Runs the reference measurement once; returns the baseline-shaped
+/// JSON and the serial events/sec figure.
+fn measure_engine() -> (String, f64) {
     let seeds: Vec<u64> = (0..32).collect();
     let threads = parallel::default_threads();
 
@@ -147,10 +169,49 @@ fn bench_engine(out: Option<&str>) {
         "{{\n  \"schema\": \"amacl-bench-engine/v1\",\n  \"workload\": \"wpaxos random_connected(32,0.15,seed), RandomScheduler(F_ack=4), seeds 0..32\",\n  \"seeds\": {},\n  \"events_total\": {events},\n  \"serial_wall_s\": {serial_wall:.4},\n  \"events_per_sec\": {events_per_sec:.0},\n  \"threads\": {threads},\n  \"parallel_wall_s\": {parallel_wall:.4},\n  \"parallel_speedup\": {speedup:.2}\n}}\n",
         seeds.len()
     );
+    (json, events_per_sec)
+}
+
+/// Measures engine events/sec on the reference workload and writes the
+/// JSON baseline.
+fn bench_engine(out: Option<&str>) {
+    let (json, _) = measure_engine();
     print!("{json}");
     if let Some(path) = out {
         std::fs::write(path, &json).expect("write baseline");
         eprintln!("wrote {path}");
+    }
+}
+
+/// The CI regression gate: remeasure, report, and exit nonzero when
+/// throughput collapsed relative to the committed baseline.
+fn bench_gate(baseline_path: &str, tolerance: f64, out: Option<&str>) {
+    let baseline_json = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let (fresh_json, fresh_eps) = measure_engine();
+    print!("{fresh_json}");
+    if let Some(path) = out {
+        std::fs::write(path, &fresh_json).expect("write fresh measurement");
+        eprintln!("wrote {path}");
+    }
+    match gate(&baseline_json, fresh_eps, tolerance) {
+        Ok(report) => {
+            println!(
+                "bench gate OK: {:.0} events/sec vs baseline {:.0} ({:.2}x, tolerance {tolerance}x)",
+                report.fresh,
+                report.baseline,
+                report.ratio()
+            );
+            // Context for log readers chasing a near-miss: the
+            // baseline's own serial wall time, if present.
+            if let Some(wall) = json_number(&baseline_json, "serial_wall_s") {
+                println!("baseline serial wall: {wall:.4}s");
+            }
+        }
+        Err(msg) => {
+            eprintln!("bench gate FAILED: {msg}");
+            std::process::exit(1);
+        }
     }
 }
 

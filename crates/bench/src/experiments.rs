@@ -424,7 +424,7 @@ pub mod e9 {
             max_jitter: Duration::from_micros(300),
             seed,
             timeout: Duration::from_secs(30),
-            crashes: Vec::new(),
+            ..RuntimeConfig::default()
         };
         let mut rows = Vec::new();
 

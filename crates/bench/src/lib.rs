@@ -19,5 +19,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 pub mod parallel;

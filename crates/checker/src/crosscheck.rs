@@ -146,7 +146,7 @@ mod tests {
                 max_jitter: Duration::from_micros(200),
                 seed,
                 timeout: Duration::from_secs(10),
-                crashes: Vec::new(),
+                ..RuntimeConfig::default()
             },
         )
     }

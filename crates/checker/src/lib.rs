@@ -60,8 +60,13 @@ pub mod crosscheck;
 pub mod explore;
 pub mod fuzz;
 pub mod machine;
+pub mod scenario;
 
 pub use crosscheck::{cross_check, CrossCheckConfig, CrossCheckOutcome};
 pub use explore::{ExploreConfig, ExploreOutcome, Explorer, SearchOrder, Violation, ViolationKind};
 pub use fuzz::{FuzzConfig, FuzzOutcome};
 pub use machine::{Choice, ExploreMachine};
+pub use scenario::{
+    sweep_scenario, Scenario, ScenarioAlgo, ScenarioInputs, ScenarioSched, ScenarioTopo,
+    SweepOutcome, SweepRow,
+};

@@ -61,14 +61,95 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             algo,
             topo,
             inputs,
+            sched,
             f_ack,
+            crashes,
             seed,
             jitter_us,
             timeout_ms,
             strict,
         } => crosscheck(
-            algo, topo, inputs, f_ack, seed, jitter_us, timeout_ms, strict,
+            algo, topo, inputs, sched, f_ack, crashes, seed, jitter_us, timeout_ms, strict,
         ),
+        Command::Sweep {
+            smoke,
+            scenario,
+            seeds,
+            list,
+        } => sweep(smoke, scenario, seeds, list),
+    }
+}
+
+/// Runs the named adversarial scenario catalogue on both backends,
+/// fanning (scenario, seed) jobs out over the parallel multi-seed
+/// driver, and reports per-row outcomes with the first diverging slot.
+fn sweep(
+    smoke: bool,
+    scenario: Option<String>,
+    seeds: usize,
+    list: bool,
+) -> Result<String, String> {
+    use amacl_bench::parallel::{default_threads, run_seeds};
+    use amacl_checker::scenario::{sweep_scenario, Scenario, SweepOutcome};
+
+    if list {
+        let mut out = String::from("scenario catalogue:\n");
+        for s in Scenario::catalogue() {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:?} on {:?}, sched {}, {} crash(es), inputs {:?}{}",
+                s.name,
+                s.algo,
+                s.topo,
+                s.sched.label(),
+                s.crashes.len(),
+                s.inputs,
+                if s.strict { ", strict" } else { "" }
+            );
+        }
+        return Ok(out);
+    }
+
+    let scenarios = match scenario {
+        Some(name) => vec![Scenario::by_name(&name)
+            .ok_or_else(|| format!("unknown scenario `{name}` (see `amacl sweep --list`)"))?],
+        None if smoke => Scenario::smoke(),
+        None => Scenario::catalogue(),
+    };
+    for s in &scenarios {
+        s.validate()?;
+    }
+
+    let seed_list: Vec<u64> = (0..seeds.max(1) as u64).collect();
+    let jobs: Vec<(usize, u64)> = scenarios
+        .iter()
+        .enumerate()
+        .flat_map(|(i, _)| seed_list.iter().map(move |&s| (i, s)))
+        .collect();
+    // Fan out over the parallel driver: one cross-check per job,
+    // results reassembled in (scenario, seed) order.
+    let indices: Vec<u64> = (0..jobs.len() as u64).collect();
+    let rows = run_seeds(&indices, default_threads(), |i| {
+        let (si, seed) = jobs[i as usize];
+        sweep_scenario(&scenarios[si], seed)
+    });
+    let outcome = SweepOutcome {
+        rows: rows.into_iter().map(|r| r.result).collect(),
+    };
+
+    let mut out = format!(
+        "sweep: {} scenario(s) x {} seed(s), engine vs threads\n",
+        scenarios.len(),
+        seed_list.len()
+    );
+    out.push_str(&outcome.render());
+    if outcome.ok() {
+        out.push_str("sweep OK\n");
+        Ok(out)
+    } else {
+        Err(format!(
+            "{out}sweep FAILED: backend divergence or property violation"
+        ))
     }
 }
 
@@ -79,7 +160,9 @@ fn crosscheck(
     algo: AlgoSpec,
     topo_spec: TopoSpec,
     inputs_spec: InputSpec,
+    sched: Option<SchedSpec>,
     f_ack: u64,
+    crashes: Vec<CrashSpec>,
     seed: u64,
     jitter_us: u64,
     timeout_ms: u64,
@@ -88,15 +171,44 @@ fn crosscheck(
     let topo = topo_spec.build();
     let n = topo.len();
     let inputs = inputs_spec.materialize(n)?;
-    let mut sim = SimBackend::new(topo.clone(), BackendSched::Random { f_ack, seed }).seed(seed);
+    if strict && !crashes.is_empty() {
+        return Err(
+            "--strict with --crash is unsound: a crashed slot may decide before its \
+             deadline on one backend but not the other (the two clocks are incommensurable), \
+             so identical decision vectors cannot be demanded"
+                .into(),
+        );
+    }
+    for (i, c) in crashes.iter().enumerate() {
+        if c.slot().index() >= n {
+            return Err(format!("crash slot {} out of range (n={n})", c.slot()));
+        }
+        if crashes[i + 1..].iter().any(|d| d.slot() == c.slot()) {
+            return Err(format!("duplicate crash for slot {}", c.slot()));
+        }
+    }
+    // Any engine-side adversary works here: the generalized SimBackend
+    // takes a scheduler factory, so `--sched` reaches partitions and
+    // scripted schedules too, not just the stock random scheduler.
+    let mut sim = match sched {
+        Some(spec) => {
+            let factory: amacl_model::mac::SchedulerFactory =
+                std::sync::Arc::new(move || spec.build());
+            SimBackend::with_factory(topo.clone(), format!("{spec:?}"), factory)
+        }
+        None => SimBackend::new(topo.clone(), BackendSched::Random { f_ack, seed }),
+    }
+    .seed(seed)
+    .crash_plan(CrashPlan::new(crashes.clone()));
     let mut rt = MacRuntime::new(
         topo,
         RuntimeConfig {
             max_jitter: Duration::from_micros(jitter_us),
             seed,
             timeout: Duration::from_millis(timeout_ms),
-            crashes: Vec::new(),
-        },
+            ..RuntimeConfig::default()
+        }
+        .with_crash_specs(&crashes, amacl_checker::Scenario::TICK),
     );
     let cfg = CrossCheckConfig {
         expect_identical_decisions: strict,
@@ -134,6 +246,12 @@ fn crosscheck(
         outcome.left.backend,
         outcome.right.backend
     );
+    if let Some(spec) = sched {
+        let _ = writeln!(out, "  engine sched: {spec:?}");
+    }
+    if !crashes.is_empty() {
+        let _ = writeln!(out, "  crashes (both backends): {crashes:?}");
+    }
     for report in [&outcome.left, &outcome.right] {
         let _ = writeln!(
             out,
@@ -690,6 +808,65 @@ mod tests {
     fn fuzz_rejects_clock_driven_algorithms() {
         let err = cli("fuzz --algo fd-paxos --topo clique:3").unwrap_err();
         assert!(err.contains("not fuzz-compatible"), "{err}");
+    }
+
+    #[test]
+    fn sweep_list_names_the_catalogue() {
+        let out = cli("sweep --list").unwrap();
+        assert!(out.contains("partition-heal"), "{out}");
+        assert!(out.contains("quorum-timed-crashes"), "{out}");
+        assert!(out.contains("scenario catalogue"), "{out}");
+    }
+
+    #[test]
+    fn sweep_single_scenario_passes() {
+        let out = cli("sweep --scenario sync-lockstep --seeds 1").unwrap();
+        assert!(out.contains("sweep OK"), "{out}");
+        assert!(out.contains("sync-lockstep"), "{out}");
+        assert!(out.contains("1 runs, 1 passed, 0 failed"), "{out}");
+    }
+
+    #[test]
+    fn sweep_smoke_runs_the_ci_subset() {
+        let out = cli("sweep --smoke --seeds 1").unwrap();
+        assert!(out.contains("sweep OK"), "{out}");
+        assert!(out.contains("partition-heal"), "{out}");
+        assert!(out.contains("0 failed"), "{out}");
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_scenarios() {
+        let err = cli("sweep --scenario nope").unwrap_err();
+        assert!(err.contains("unknown scenario"), "{err}");
+    }
+
+    #[test]
+    fn crosscheck_with_sched_and_crash() {
+        let out = cli(
+            "crosscheck --algo wpaxos --topo clique:5 --sched dual:2:8:3 \
+             --crash slot=0,time=3 --inputs const:4 --seed 5",
+        )
+        .unwrap();
+        assert!(out.contains("cross-check OK"), "{out}");
+        assert!(out.contains("engine sched"), "{out}");
+        assert!(out.contains("crashes (both backends)"), "{out}");
+    }
+
+    #[test]
+    fn crosscheck_rejects_out_of_range_crash() {
+        let err =
+            cli("crosscheck --algo wpaxos --topo clique:3 --crash slot=9,time=1").unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn crosscheck_rejects_strict_with_crashes() {
+        let err = cli(
+            "crosscheck --algo two-phase --topo clique:4 --inputs const:1 \
+             --crash slot=0,time=40 --strict",
+        )
+        .unwrap_err();
+        assert!(err.contains("unsound"), "{err}");
     }
 
     #[test]

@@ -48,8 +48,9 @@ USAGE:
               [--crash-budget <N>] [--walks <N>] [--seed <S>]
   amacl topo  --topo <TOPO>
   amacl crosscheck --algo <ALGO> --topo <TOPO> [--inputs <INPUTS>]
-              [--f-ack <N>] [--seed <S>] [--jitter-us <N>]
-              [--timeout-ms <N>] [--strict]
+              [--sched <SCHED>] [--crash <CRASH>]... [--f-ack <N>]
+              [--seed <S>] [--jitter-us <N>] [--timeout-ms <N>] [--strict]
+  amacl sweep [--smoke] [--scenario <NAME>] [--seeds <N>] [--list]
 
 ALGO:    two-phase | wpaxos | tree-gather | flood-gather | bitwise:<bits>
          | ben-or | fd-paxos[:<initial-timeout>]
@@ -75,8 +76,17 @@ safety at every move.
 `crosscheck` runs the same algorithm on BOTH execution backends — the
 discrete-event engine and the threaded runtime — through the shared
 `MacLayer` trait, verifies agreement/termination/validity on each, and
-reports the first diverging slot with both backends' views. `--strict`
-additionally demands bit-identical decisions (sound only for
-input-determined algorithms, e.g. uniform inputs). fd-paxos is
-excluded (its timeouts are clock-scale dependent).
+reports the first diverging slot with both backends' views. `--sched`
+picks the engine-side adversary; `--crash` injects the same crash plan
+into both backends (timed crashes map onto wall-clock deadlines on the
+threaded side). `--strict` additionally demands bit-identical decisions
+(sound only for crash-free, input-determined instances, e.g. uniform
+inputs). fd-paxos is excluded (its timeouts are clock-scale dependent).
+
+`sweep` runs the named adversarial scenario catalogue — healing
+partitions, quorum-member timed crashes, partial-delivery crashes,
+slow-ack/fast-progress skew, scripted worst-case interleavings — on
+both backends, fanned out over worker threads, and fails on any
+divergence or property violation. `--smoke` is the bounded subset CI
+runs on every PR; `--list` prints the catalogue.
 ";

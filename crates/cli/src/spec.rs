@@ -365,8 +365,13 @@ pub enum Command {
         topo: TopoSpec,
         /// Input assignment.
         inputs: InputSpec,
-        /// Engine scheduler bound.
+        /// Engine-side adversary (`None`: seeded random under
+        /// `f_ack`).
+        sched: Option<SchedSpec>,
+        /// Engine scheduler bound (used when `sched` is `None`).
         f_ack: u64,
+        /// Crashes injected on both backends.
+        crashes: Vec<CrashSpec>,
         /// Seed for both backends.
         seed: u64,
         /// Runtime delivery jitter, microseconds.
@@ -376,6 +381,18 @@ pub enum Command {
         /// Demand bit-identical per-slot decisions (only sound for
         /// input-determined algorithms).
         strict: bool,
+    },
+    /// `amacl sweep ...`: the named adversarial scenario catalogue on
+    /// both backends, fanned out over worker threads.
+    Sweep {
+        /// Run the bounded CI subset instead of the full catalogue.
+        smoke: bool,
+        /// Run only the named scenario.
+        scenario: Option<String>,
+        /// Seeds per scenario.
+        seeds: usize,
+        /// List the catalogue and exit.
+        list: bool,
     },
 }
 
@@ -442,6 +459,15 @@ impl Command {
                 algo: AlgoSpec::parse(&opts.required("--algo")?)?,
                 topo: TopoSpec::parse(&opts.required("--topo")?)?,
                 inputs: InputSpec::parse(&opts.optional("--inputs").unwrap_or("alt".into()))?,
+                sched: match opts.optional("--sched") {
+                    Some(s) => Some(SchedSpec::parse(&s)?),
+                    None => None,
+                },
+                crashes: opts
+                    .all("--crash")
+                    .iter()
+                    .map(|s| parse_crash(s))
+                    .collect::<Result<_, _>>()?,
                 f_ack: match opts.optional("--f-ack") {
                     Some(s) => num(&s, "--f-ack")?,
                     None => 4,
@@ -459,6 +485,15 @@ impl Command {
                     None => 10_000,
                 },
                 strict: opts.flag("--strict"),
+            },
+            "sweep" => Command::Sweep {
+                smoke: opts.flag("--smoke"),
+                scenario: opts.optional("--scenario"),
+                seeds: match opts.optional("--seeds") {
+                    Some(s) => num(&s, "--seeds")?,
+                    None => 2,
+                },
+                list: opts.flag("--list"),
             },
             "help" | "--help" | "-h" => return Err(crate::USAGE.to_string()),
             other => return Err(format!("unknown command `{other}`\n\n{}", crate::USAGE)),
@@ -721,6 +756,53 @@ mod tests {
         assert!(err.contains("--bogus"), "{err}");
         let err = Command::parse(&argv("fly --algo two-phase")).unwrap_err();
         assert!(err.contains("unknown command"), "{err}");
+    }
+
+    #[test]
+    fn command_parse_sweep() {
+        let cmd = Command::parse(&argv("sweep --smoke --seeds 3")).unwrap();
+        match cmd {
+            Command::Sweep {
+                smoke,
+                seeds,
+                scenario,
+                list,
+            } => {
+                assert!(smoke && !list);
+                assert_eq!(seeds, 3);
+                assert_eq!(scenario, None);
+            }
+            _ => panic!("expected Sweep"),
+        }
+        let cmd = Command::parse(&argv("sweep --scenario partition-heal")).unwrap();
+        match cmd {
+            Command::Sweep {
+                smoke,
+                seeds,
+                scenario,
+                ..
+            } => {
+                assert!(!smoke);
+                assert_eq!(seeds, 2);
+                assert_eq!(scenario.as_deref(), Some("partition-heal"));
+            }
+            _ => panic!("expected Sweep"),
+        }
+    }
+
+    #[test]
+    fn command_parse_crosscheck_with_sched_and_crash() {
+        let cmd = Command::parse(&argv(
+            "crosscheck --algo wpaxos --topo clique:5 --sched dual:2:8:7 --crash slot=0,time=3",
+        ))
+        .unwrap();
+        match cmd {
+            Command::CrossCheck { sched, crashes, .. } => {
+                assert_eq!(sched, Some(SchedSpec::Dual(2, 8, 7)));
+                assert_eq!(crashes.len(), 1);
+            }
+            _ => panic!("expected CrossCheck"),
+        }
     }
 
     #[test]

@@ -28,13 +28,17 @@
 //! crate.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
 
 use crate::ids::Slot;
 use crate::proc::{Process, Value};
+use crate::sim::crash::CrashPlan;
 use crate::sim::engine::{RunReport, SimBuilder};
 use crate::sim::sched::random::RandomScheduler;
 use crate::sim::sched::stall::MaxDelayScheduler;
 use crate::sim::sched::sync::SynchronousScheduler;
+use crate::sim::sched::Scheduler;
 use crate::sim::time::Time;
 use crate::topo::Topology;
 
@@ -331,27 +335,77 @@ pub enum BackendSched {
     MaxDelay(u64),
 }
 
+impl BackendSched {
+    /// Packages this selection as a [`SchedulerFactory`].
+    pub fn factory(self) -> SchedulerFactory {
+        Arc::new(move || match self {
+            BackendSched::Synchronous(f_ack) => Box::new(SynchronousScheduler::new(f_ack)),
+            BackendSched::Random { f_ack, seed } => Box::new(RandomScheduler::new(f_ack, seed)),
+            BackendSched::MaxDelay(f_ack) => Box::new(MaxDelayScheduler::new(f_ack)),
+        })
+    }
+}
+
+/// Produces a fresh boxed [`Scheduler`] for each execution.
+///
+/// Schedulers are stateful (per-broadcast counters, RNG streams), so a
+/// backend that runs many executions needs a *factory*, not an
+/// instance: every [`MacLayer::execute`] call starts from a pristine
+/// adversary. The factory is `Send + Sync` behind an [`Arc`] so one
+/// backend description can fan out across the parallel multi-seed
+/// driver.
+pub type SchedulerFactory = Arc<dyn Fn() -> Box<dyn Scheduler> + Send + Sync>;
+
 /// The discrete-event engine packaged as a [`MacLayer`] backend.
 ///
 /// Owns everything needed to build a fresh [`SimBuilder`] per
-/// [`execute`](MacLayer::execute) call, so one `SimBackend` can run
-/// many algorithms (or the same algorithm repeatedly) with identical
-/// settings — exactly what the conformance cross-check and multi-seed
-/// sweeps need.
-#[derive(Clone, Debug)]
+/// [`execute`](MacLayer::execute) call — including an arbitrary
+/// [`SchedulerFactory`] (any adversary: partitions, scripted
+/// worst cases, dual bounds, ...) and a [`CrashPlan`] — so one
+/// `SimBackend` can run many algorithms (or the same algorithm
+/// repeatedly) with identical settings — exactly what the conformance
+/// cross-check and adversarial scenario sweeps need.
+#[derive(Clone)]
 pub struct SimBackend {
     topo: Topology,
-    sched: BackendSched,
+    sched: SchedulerFactory,
+    sched_label: String,
+    crashes: CrashPlan,
     seed: u64,
     max_time: Time,
 }
 
+impl fmt::Debug for SimBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimBackend")
+            .field("topo", &self.topo)
+            .field("sched", &self.sched_label)
+            .field("crashes", &self.crashes)
+            .field("seed", &self.seed)
+            .field("max_time", &self.max_time)
+            .finish()
+    }
+}
+
 impl SimBackend {
-    /// A backend over `topo` driven by `sched`.
+    /// A backend over `topo` driven by one of the stock schedulers.
     pub fn new(topo: Topology, sched: BackendSched) -> Self {
+        let label = format!("{sched:?}");
+        Self::with_factory(topo, label, sched.factory())
+    }
+
+    /// A backend over `topo` driven by an arbitrary scheduler factory.
+    /// `label` names the adversary in `Debug` output and reports.
+    pub fn with_factory(
+        topo: Topology,
+        label: impl Into<String>,
+        factory: SchedulerFactory,
+    ) -> Self {
         Self {
             topo,
-            sched,
+            sched: factory,
+            sched_label: label.into(),
+            crashes: CrashPlan::none(),
             seed: 0,
             max_time: Time(10_000_000),
         }
@@ -369,9 +423,20 @@ impl SimBackend {
         self
     }
 
+    /// Schedules crash failures for every execution of this backend.
+    pub fn crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crashes = plan;
+        self
+    }
+
     /// The topology this backend runs over.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// The adversary label (for reports).
+    pub fn sched_label(&self) -> &str {
+        &self.sched_label
     }
 
     /// Runs one execution and also returns the full engine report
@@ -380,17 +445,13 @@ impl SimBackend {
         &mut self,
         init: &mut dyn FnMut(Slot) -> P,
     ) -> (MacReport, RunReport) {
-        let builder = SimBuilder::new(self.topo.clone(), init)
+        let report = SimBuilder::new(self.topo.clone(), init)
             .seed(self.seed)
-            .max_time(self.max_time);
-        let builder = match self.sched {
-            BackendSched::Synchronous(f_ack) => builder.scheduler(SynchronousScheduler::new(f_ack)),
-            BackendSched::Random { f_ack, seed } => {
-                builder.scheduler(RandomScheduler::new(f_ack, seed))
-            }
-            BackendSched::MaxDelay(f_ack) => builder.scheduler(MaxDelayScheduler::new(f_ack)),
-        };
-        let report = builder.build().run();
+            .max_time(self.max_time)
+            .crashes(self.crashes.clone())
+            .scheduler((self.sched)())
+            .build()
+            .run();
         (MacReport::from_run(&report), report)
     }
 }
@@ -517,6 +578,54 @@ mod tests {
             assert_eq!(*d, Some(i as Value));
         }
         assert_eq!(report.agreement_value(), None);
+    }
+
+    #[test]
+    fn sim_backend_takes_arbitrary_scheduler_factories() {
+        use crate::sim::sched::partition::{DirectedCut, EdgeDelayScheduler};
+
+        // A partition healing at t=40: node 0's broadcasts to node 1
+        // are withheld until then, so node 1's decision (on ack of its
+        // own broadcast) is unaffected but node 0's ack — which waits
+        // for the stalled delivery — lands at the release.
+        let factory: SchedulerFactory = Arc::new(|| {
+            Box::new(EdgeDelayScheduler::new(
+                SynchronousScheduler::new(1),
+                vec![DirectedCut::new([Slot(0)], [Slot(1)], Time(40))],
+            ))
+        });
+        let mut backend = SimBackend::with_factory(Topology::clique(2), "partition", factory);
+        assert_eq!(backend.sched_label(), "partition");
+        let (report, full) = backend.execute_full(&mut |s| Once(s.index() as Value));
+        assert!(report.all_decided);
+        // Node 0's ack stalls with the cut; node 1 acks in one tick.
+        assert_eq!(full.decisions[0].unwrap().time, Time(40));
+        assert_eq!(full.decisions[1].unwrap().time, Time(1));
+        // The factory hands out a *fresh* adversary per execution:
+        // the second run is bit-identical, not time-shifted.
+        let (again, _) = backend.execute_full(&mut |s| Once(s.index() as Value));
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn sim_backend_carries_a_crash_plan() {
+        use crate::sim::crash::{CrashPlan, CrashSpec};
+
+        let mut backend = SimBackend::new(Topology::clique(4), BackendSched::Synchronous(2))
+            .crash_plan(CrashPlan::new(vec![CrashSpec::AtTime {
+                slot: Slot(0),
+                time: Time(1),
+            }]));
+        let report = MacLayer::<Once>::execute(&mut backend, &mut |s| Once(s.index() as Value));
+        // Node 0 dies before its ack (acks take 2 ticks): undecided.
+        assert!(report.all_decided, "survivors decide");
+        assert_eq!(report.decisions[0], None);
+        for i in 1..4 {
+            assert_eq!(report.decisions[i], Some(i as Value));
+        }
+        // The plan applies to every execution of the backend.
+        let again = MacLayer::<Once>::execute(&mut backend, &mut |s| Once(s.index() as Value));
+        assert_eq!(report, again);
     }
 
     #[test]

@@ -40,4 +40,4 @@
 
 pub mod mac;
 
-pub use mac::{MacRuntime, RuntimeConfig, RuntimeCrash, RuntimeReport};
+pub use mac::{MacRuntime, RuntimeConfig, RuntimeCrash, RuntimeReport, TimedCrash};

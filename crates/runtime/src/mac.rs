@@ -28,6 +28,7 @@ use rand::{Rng, SeedableRng};
 use amacl_model::ids::{NodeId, Slot};
 use amacl_model::mac::{Admission, BcastLedger, MacLayer, MacReport};
 use amacl_model::proc::{NodeCell, Process, Value};
+use amacl_model::sim::crash::CrashSpec;
 use amacl_model::sim::time::Time;
 use amacl_model::topo::Topology;
 
@@ -45,6 +46,19 @@ pub struct RuntimeCrash {
     pub delivered: usize,
 }
 
+/// A timed crash to inject into a threaded run: the node dies `at` a
+/// wall-clock offset from the run start, whatever it is doing — the
+/// threaded counterpart of [`CrashSpec::AtTime`]. Deliveries of the
+/// node's in-flight broadcasts that have not left the ether yet are
+/// cancelled, matching the engine's semantics.
+#[derive(Clone, Copy, Debug)]
+pub struct TimedCrash {
+    /// Node to crash.
+    pub slot: usize,
+    /// Wall-clock offset from the run start.
+    pub at: Duration,
+}
+
 /// Configuration for a [`MacRuntime`] run.
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
@@ -55,8 +69,10 @@ pub struct RuntimeConfig {
     /// Wall-clock budget; undecided nodes after this long are reported
     /// as such.
     pub timeout: Duration,
-    /// Crashes to inject (at most one per node).
+    /// Mid-broadcast crashes to inject (at most one per node).
     pub crashes: Vec<RuntimeCrash>,
+    /// Timed crashes to inject (at most one per node).
+    pub timed_crashes: Vec<TimedCrash>,
 }
 
 impl Default for RuntimeConfig {
@@ -66,7 +82,35 @@ impl Default for RuntimeConfig {
             seed: 0,
             timeout: Duration::from_secs(20),
             crashes: Vec::new(),
+            timed_crashes: Vec::new(),
         }
+    }
+}
+
+impl RuntimeConfig {
+    /// Routes engine [`CrashSpec`]s into this threaded configuration:
+    /// mid-broadcast crashes map structurally, timed crashes map with
+    /// `tick` as the wall-clock length of one virtual tick. This is
+    /// how one crash plan drives both backends in a cross-check.
+    pub fn with_crash_specs(mut self, specs: &[CrashSpec], tick: Duration) -> Self {
+        for spec in specs {
+            match *spec {
+                CrashSpec::AtTime { slot, time } => self.timed_crashes.push(TimedCrash {
+                    slot: slot.index(),
+                    at: tick.saturating_mul(u32::try_from(time.ticks()).unwrap_or(u32::MAX)),
+                }),
+                CrashSpec::MidBroadcast {
+                    slot,
+                    nth_broadcast,
+                    delivered,
+                } => self.crashes.push(RuntimeCrash {
+                    slot: slot.index(),
+                    nth_broadcast,
+                    delivered,
+                }),
+            }
+        }
+        self
     }
 }
 
@@ -169,7 +213,15 @@ impl MacRuntime {
             let broadcasts = Arc::clone(&broadcasts);
             let deliveries = Arc::clone(&deliveries);
             thread::spawn(move || {
-                ether_loop(&topo, &cfg, &inboxes, &ether_rx, &broadcasts, &deliveries)
+                ether_loop(
+                    &topo,
+                    &cfg,
+                    start,
+                    &inboxes,
+                    &ether_rx,
+                    &broadcasts,
+                    &deliveries,
+                )
             })
         };
 
@@ -192,6 +244,9 @@ impl MacRuntime {
         let will_crash: Vec<bool> = {
             let mut v = vec![false; n];
             for c in &self.cfg.crashes {
+                v[c.slot] = true;
+            }
+            for c in &self.cfg.timed_crashes {
                 v[c.slot] = true;
             }
             v
@@ -356,6 +411,7 @@ impl<M> Ord for PendingDelivery<M> {
 fn ether_loop<M: Clone>(
     topo: &Topology,
     cfg: &RuntimeConfig,
+    start: Instant,
     inboxes: &[Sender<NodeEvent<M>>],
     rx: &Receiver<EtherMsg<M>>,
     broadcasts: &AtomicU64,
@@ -368,6 +424,17 @@ fn ether_loop<M: Clone>(
     for c in &cfg.crashes {
         ledger.arm_watch(c.slot, c.nth_broadcast, c.delivered);
     }
+    // Timed-crash deadlines, soonest LAST (so firing pops from the
+    // back). Per-broadcast sender ids let a crash cancel the dead
+    // node's still-queued deliveries, mirroring the engine's
+    // cancel-on-crash semantics.
+    let mut timed: Vec<(Instant, usize)> = cfg
+        .timed_crashes
+        .iter()
+        .map(|c| (start + c.at, c.slot))
+        .collect();
+    timed.sort_by(|a, b| b.cmp(a));
+    let mut bcast_sender: Vec<usize> = Vec::new();
     let mut next_bcast = 0u64;
     let mut seq = 0u64;
 
@@ -405,28 +472,56 @@ fn ether_loop<M: Clone>(
     };
 
     loop {
-        // Flush due deliveries.
+        // Fire due timed crashes and flush due deliveries in deadline
+        // order — the order matters because a crash cancels the dead
+        // sender's still-queued deliveries (the engine's
+        // cancel-on-crash semantics: a broadcast cut off by AtTime
+        // reaches nobody else).
         let now = Instant::now();
-        while heap.peek().is_some_and(|d| d.due <= now) {
-            let d = heap.pop().expect("peeked");
-            if ledger.is_crashed(d.to) {
-                // A dead receiver never confirms; its obligation is
-                // excused, which may complete the sender's ack.
-                if let Some(sender) = ledger.confirm(d.bcast, d.to) {
-                    let _ = inboxes[sender].send(NodeEvent::Ack);
+        loop {
+            let next_crash = timed.last().map(|&(due, _)| due);
+            let next_deliv = heap.peek().map(|d| d.due);
+            match (next_crash, next_deliv) {
+                (Some(c), d) if c <= now && d.is_none_or(|d| c <= d) => {
+                    let (_, slot) = timed.pop().expect("peeked");
+                    crash_node(&mut ledger, slot);
+                    let kept: Vec<PendingDelivery<M>> = std::mem::take(&mut heap)
+                        .into_vec()
+                        .into_iter()
+                        .filter(|d| bcast_sender[d.bcast as usize] != slot)
+                        .collect();
+                    heap = BinaryHeap::from(kept);
                 }
-                continue;
+                (_, Some(due)) if due <= now => {
+                    let d = heap.pop().expect("peeked");
+                    if ledger.is_crashed(d.to) {
+                        // A dead receiver never confirms; its
+                        // obligation is excused, which may complete
+                        // the sender's ack.
+                        if let Some(sender) = ledger.confirm(d.bcast, d.to) {
+                            let _ = inboxes[sender].send(NodeEvent::Ack);
+                        }
+                        continue;
+                    }
+                    deliveries.fetch_add(1, Ordering::Relaxed);
+                    let _ = inboxes[d.to].send(NodeEvent::Deliver {
+                        msg: d.msg,
+                        bcast: d.bcast,
+                    });
+                }
+                _ => break,
             }
-            deliveries.fetch_add(1, Ordering::Relaxed);
-            let _ = inboxes[d.to].send(NodeEvent::Deliver {
-                msg: d.msg,
-                bcast: d.bcast,
-            });
         }
         // Wait for traffic or the next deadline.
-        let timeout = heap
-            .peek()
-            .map(|d| d.due.saturating_duration_since(Instant::now()))
+        let deadline = match (
+            timed.last().map(|&(due, _)| due),
+            heap.peek().map(|d| d.due),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let timeout = deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(50));
         let msg = match rx.recv_timeout(timeout) {
             Ok(m) => m,
@@ -441,6 +536,8 @@ fn ether_loop<M: Clone>(
                 broadcasts.fetch_add(1, Ordering::Relaxed);
                 let bcast = next_bcast;
                 next_bcast += 1;
+                debug_assert_eq!(bcast_sender.len() as u64, bcast);
+                bcast_sender.push(from);
                 let alive_neighbors: Vec<usize> = topo
                     .neighbors(Slot(from))
                     .iter()
@@ -544,7 +641,7 @@ mod tests {
             max_jitter: Duration::from_micros(200),
             seed,
             timeout: Duration::from_secs(10),
-            crashes: Vec::new(),
+            ..RuntimeConfig::default()
         }
     }
 
@@ -668,6 +765,69 @@ mod tests {
             std::collections::BTreeSet::from([50]),
             "survivors did not converge on the partially-delivered minimum"
         );
+    }
+
+    #[test]
+    fn timed_crash_kills_the_node_and_frees_peers() {
+        // Node 0 dies at a wall-clock instant effectively before it
+        // can act (the ether fires the deadline on its first pass, so
+        // node 0's broadcast is refused). Survivors must still
+        // receive acks and converge; node 0 never decides.
+        let n = 5;
+        let mut config = cfg(21);
+        config.timed_crashes = vec![TimedCrash {
+            slot: 0,
+            at: Duration::ZERO,
+        }];
+        let rt = MacRuntime::new(Topology::clique(n), config);
+        let report = rt.run(|s| RelayMin {
+            best: 30 + s.index() as u64,
+            rounds_left: 6,
+            dirty: false,
+        });
+        assert!(report.all_decided, "{:?}", report.decisions);
+        assert!(report.decisions[0].is_none(), "crashed node decided");
+        let survivors: std::collections::BTreeSet<u64> =
+            report.decisions[1..].iter().flatten().copied().collect();
+        // Node 0's value (30, the global minimum) dies with it when
+        // its broadcast is refused; survivors converge on 31. If the
+        // race admits the broadcast first, cancellation may still let
+        // 30 through to a prefix — either way agreement holds.
+        assert_eq!(survivors.len(), 1, "disagreement: {:?}", report.decisions);
+        assert!(
+            survivors
+                .iter()
+                .next()
+                .is_some_and(|v| *v == 30 || *v == 31),
+            "unexpected value: {survivors:?}"
+        );
+    }
+
+    #[test]
+    fn crash_specs_route_into_the_runtime_config() {
+        use amacl_model::ids::Slot;
+
+        let config = RuntimeConfig::default().with_crash_specs(
+            &[
+                CrashSpec::AtTime {
+                    slot: Slot(1),
+                    time: Time(3),
+                },
+                CrashSpec::MidBroadcast {
+                    slot: Slot(2),
+                    nth_broadcast: 1,
+                    delivered: 2,
+                },
+            ],
+            Duration::from_millis(1),
+        );
+        assert_eq!(config.timed_crashes.len(), 1);
+        assert_eq!(config.timed_crashes[0].slot, 1);
+        assert_eq!(config.timed_crashes[0].at, Duration::from_millis(3));
+        assert_eq!(config.crashes.len(), 1);
+        assert_eq!(config.crashes[0].slot, 2);
+        assert_eq!(config.crashes[0].nth_broadcast, 1);
+        assert_eq!(config.crashes[0].delivered, 2);
     }
 
     #[test]

@@ -20,7 +20,7 @@ fn main() {
         max_jitter: Duration::from_micros(400),
         seed: 7,
         timeout: Duration::from_secs(20),
-        crashes: Vec::new(),
+        ..RuntimeConfig::default()
     };
 
     println!("Two-Phase Consensus on the threaded MAC (clique of 8):");

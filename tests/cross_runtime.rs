@@ -14,7 +14,7 @@ fn cfg(seed: u64) -> RuntimeConfig {
         max_jitter: Duration::from_micros(250),
         seed,
         timeout: Duration::from_secs(30),
-        crashes: Vec::new(),
+        ..RuntimeConfig::default()
     }
 }
 
@@ -131,6 +131,63 @@ fn both_backends_run_the_same_process_through_the_mac_layer_trait() {
     );
     outcome.assert_ok();
     assert_eq!(outcome.divergence, None);
+}
+
+#[test]
+fn timed_crash_agrees_slot_for_slot_across_backends() {
+    // A timed crash (`CrashSpec::AtTime`) routed through BOTH
+    // backends: the engine takes it on its virtual clock, the
+    // threaded ether on a wall-clock deadline. With uniform inputs
+    // the instance is input-determined, so the decision vectors must
+    // agree slot for slot: the crashed node (killed before it can be
+    // acked on either substrate) decides nowhere, every survivor
+    // decides the uniform input everywhere.
+    use amacl::checker::{cross_check, CrossCheckConfig};
+    use amacl::model::sim::conformance::compare_reports;
+    use amacl::runtime::TimedCrash;
+
+    let n = 5;
+    let crash = CrashSpec::AtTime {
+        slot: Slot(0),
+        time: Time(1),
+    };
+    let mut sim = SimBackend::new(
+        Topology::clique(n),
+        BackendSched::Random { f_ack: 4, seed: 6 },
+    )
+    .seed(6)
+    .crash_plan(CrashPlan::new(vec![crash]));
+    let mut config = cfg(6);
+    // Tick length zero: the ether fires the deadline before admitting
+    // any broadcast, the wall-clock analogue of dying at t=1 when
+    // every ack needs >= 2 more ticks.
+    config.timed_crashes = vec![TimedCrash {
+        slot: 0,
+        at: Duration::ZERO,
+    }];
+    let mut rt = MacRuntime::new(Topology::clique(n), config);
+
+    let outcome = cross_check(
+        &mut sim,
+        &mut rt,
+        &mut |_s| TwoPhase::new(1),
+        &[1; 5],
+        CrossCheckConfig {
+            expect_identical_decisions: true,
+            check_validity: true,
+        },
+    );
+    outcome.assert_ok();
+    assert_eq!(
+        compare_reports(&outcome.left, &outcome.right),
+        None,
+        "decision vectors diverged"
+    );
+    assert_eq!(outcome.left.decisions[0], None, "crashed node decided");
+    for slot in 1..n {
+        assert_eq!(outcome.left.decisions[slot], Some(1));
+        assert_eq!(outcome.right.decisions[slot], Some(1));
+    }
 }
 
 #[test]

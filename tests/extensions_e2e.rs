@@ -132,7 +132,7 @@ fn bitwise_runs_unmodified_on_the_threaded_runtime() {
             max_jitter: Duration::from_micros(200),
             seed: 9,
             timeout: Duration::from_secs(30),
-            crashes: Vec::new(),
+            ..RuntimeConfig::default()
         },
     );
     let inputs: Vec<Value> = (0..n as u64).map(|i| i * 3 % 16).collect();
@@ -160,6 +160,7 @@ fn fd_paxos_survives_a_crash_on_the_threaded_runtime() {
                 nth_broadcast: 1,
                 delivered: 2,
             }],
+            ..RuntimeConfig::default()
         },
     );
     let inputs: Vec<Value> = (0..n as u64).map(|i| i + 20).collect();
