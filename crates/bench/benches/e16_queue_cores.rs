@@ -1,0 +1,56 @@
+//! E16: engine scaling by queue core — the heap vs. calendar cores on
+//! the reference wPAXOS workload at n ∈ {32, 128, 512}, with seeds
+//! fanned out over the parallel multi-seed driver.
+//!
+//! The shape this measures: at small n the cores are comparable; as n
+//! grows (more live events per tick) the calendar core's O(1) bucket
+//! operations pull ahead of the heap's O(log n) sift. The committed
+//! numbers live in `BENCH_engine.json` (regenerate with
+//! `tables bench-engine`); this bench exists for interactive
+//! profiling of the same sweep.
+
+use amacl_bench::parallel::{default_threads, run_seeds};
+use amacl_bench::scaling;
+use amacl_model::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn sweep(core: QueueCoreKind, n: usize, seeds: &[u64]) -> u64 {
+    let results = run_seeds(seeds, default_threads(), |seed| {
+        scaling::workload(core, n, seed)
+    });
+    results.iter().map(|r| r.result).sum()
+}
+
+fn bench_e16(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_queue_cores");
+    group.sample_size(10);
+    let seeds: Vec<u64> = (0..4).collect();
+    for core in QueueCoreKind::all() {
+        for n in [32usize, 128] {
+            group.bench_with_input(BenchmarkId::new(core.name(), n), &n, |b, &n| {
+                b.iter(|| black_box(sweep(core, n, &seeds)));
+            });
+        }
+    }
+    group.finish();
+
+    // n = 512 runs seconds per sample; keep it in its own small group
+    // so the sweep still covers the size where the cores diverge most.
+    let mut large = c.benchmark_group("e16_queue_cores_large");
+    large.sample_size(2);
+    let seeds: Vec<u64> = vec![0];
+    for core in QueueCoreKind::all() {
+        large.bench_with_input(
+            BenchmarkId::new(core.name(), 512usize),
+            &512usize,
+            |b, &n| {
+                b.iter(|| black_box(sweep(core, n, &seeds)));
+            },
+        );
+    }
+    large.finish();
+}
+
+criterion_group!(benches, bench_e16);
+criterion_main!(benches);

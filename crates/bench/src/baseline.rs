@@ -13,6 +13,18 @@
 //! The JSON is parsed with a deliberately tiny field extractor rather
 //! than a serde dependency: the file is machine-written by `tables
 //! bench-engine`, flat, and one schema version old at most.
+//!
+//! Two schema versions are understood:
+//!
+//! * `amacl-bench-engine/v1` — a single flat object with one
+//!   `events_per_sec` figure; gated by [`gate`].
+//! * `amacl-bench-engine/v2` — the scaling sweep: a `rows` array with
+//!   one object per `(queue_core, n)` configuration (parsed by
+//!   [`parse_rows`]) plus a v1-compatible top-level `events_per_sec`
+//!   for the reference configuration (heap, n = 32), so a v1 reader
+//!   still gates something meaningful. [`gate_rows`] checks every
+//!   baseline row against its fresh counterpart with the same
+//!   tolerance.
 
 /// Extracts a numeric field's value from a flat JSON object, e.g.
 /// `json_number(s, "events_per_sec")`. Returns `None` when the field
@@ -25,6 +37,103 @@ pub fn json_number(json: &str, field: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Extracts a string field's value from a flat JSON object, e.g.
+/// `json_string(s, "queue_core")`. Returns `None` when the field is
+/// missing or not a quoted string.
+pub fn json_string(json: &str, field: &str) -> Option<String> {
+    let key = format!("\"{field}\"");
+    let rest = &json[json.find(&key)? + key.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// One per-configuration row of the v2 baseline schema.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BaselineRow {
+    /// Queue core the row measured (`"heap"` / `"calendar"`).
+    pub queue_core: String,
+    /// Network size of the reference workload.
+    pub n: u64,
+    /// Measured serial throughput.
+    pub events_per_sec: f64,
+}
+
+/// Extracts the v2 per-configuration rows from a baseline JSON.
+/// Returns an empty vector for v1 files (which have no rows).
+pub fn parse_rows(json: &str) -> Vec<BaselineRow> {
+    let mut rows = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"queue_core\"") {
+        let after = &rest[pos..];
+        let end = after.find('}').unwrap_or(after.len());
+        let chunk = &after[..end];
+        if let (Some(queue_core), Some(n), Some(events_per_sec)) = (
+            json_string(chunk, "queue_core"),
+            json_number(chunk, "n"),
+            json_number(chunk, "events_per_sec"),
+        ) {
+            rows.push(BaselineRow {
+                queue_core,
+                n: n as u64,
+                events_per_sec,
+            });
+        }
+        rest = &after[end..];
+    }
+    rows
+}
+
+/// Gates every baseline v2 row against the matching fresh row: each
+/// configuration must not have collapsed below `baseline / tolerance`,
+/// and every baseline configuration must have been re-measured.
+///
+/// Returns one human-readable verdict line per row.
+///
+/// # Errors
+///
+/// Returns the joined failure messages when any row is missing or
+/// collapsed.
+pub fn gate_rows(
+    baseline_json: &str,
+    fresh: &[BaselineRow],
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    assert!(tolerance >= 1.0, "tolerance must be >= 1");
+    let baseline = parse_rows(baseline_json);
+    if baseline.is_empty() {
+        return Err("baseline JSON has no v2 rows".into());
+    }
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for b in &baseline {
+        let label = format!("core={} n={}", b.queue_core, b.n);
+        match fresh
+            .iter()
+            .find(|f| f.queue_core == b.queue_core && f.n == b.n)
+        {
+            None => failures.push(format!("{label}: no fresh measurement")),
+            Some(f) if f.events_per_sec * tolerance < b.events_per_sec => failures.push(format!(
+                "{label}: collapsed to {:.0} events/sec vs baseline {:.0} ({}x slower, tolerance {tolerance}x)",
+                f.events_per_sec,
+                b.events_per_sec,
+                (b.events_per_sec / f.events_per_sec).round()
+            )),
+            Some(f) => lines.push(format!(
+                "{label}: {:.0} events/sec vs baseline {:.0} ({:.2}x, tolerance {tolerance}x)",
+                f.events_per_sec,
+                b.events_per_sec,
+                f.events_per_sec / b.events_per_sec
+            )),
+        }
+    }
+    if failures.is_empty() {
+        Ok(lines)
+    } else {
+        Err(failures.join("; "))
+    }
 }
 
 /// Outcome of one baseline comparison.
@@ -131,5 +240,76 @@ mod tests {
     fn gate_rejects_broken_baselines() {
         assert!(gate("{}", 1.0, 3.0).is_err());
         assert!(gate("{\"events_per_sec\": 0}", 1.0, 3.0).is_err());
+    }
+
+    const SAMPLE_V2: &str = r#"{
+  "schema": "amacl-bench-engine/v2",
+  "workload": "wpaxos random_connected(n,p(n),seed), RandomScheduler(F_ack=4)",
+  "threads": 1,
+  "events_per_sec": 2500000,
+  "rows": [
+    {"queue_core": "heap", "n": 32, "seeds": 16, "events_total": 140000, "serial_wall_s": 0.056, "events_per_sec": 2500000, "parallel_wall_s": 0.055, "parallel_speedup": 1.02},
+    {"queue_core": "heap", "n": 512, "seeds": 2, "events_total": 6800000, "serial_wall_s": 6.1, "events_per_sec": 1114754, "parallel_wall_s": 6.0, "parallel_speedup": 1.01},
+    {"queue_core": "calendar", "n": 32, "seeds": 16, "events_total": 140000, "serial_wall_s": 0.046, "events_per_sec": 3043478, "parallel_wall_s": 0.045, "parallel_speedup": 1.02}
+  ]
+}"#;
+
+    fn row(core: &str, n: u64, eps: f64) -> BaselineRow {
+        BaselineRow {
+            queue_core: core.into(),
+            n,
+            events_per_sec: eps,
+        }
+    }
+
+    #[test]
+    fn v2_rows_parse() {
+        let rows = parse_rows(SAMPLE_V2);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], row("heap", 32, 2_500_000.0));
+        assert_eq!(rows[1], row("heap", 512, 1_114_754.0));
+        assert_eq!(rows[2].queue_core, "calendar");
+        // v1 files have no rows.
+        assert!(parse_rows(SAMPLE).is_empty());
+        // The v1-compat top-level reference figure is still readable.
+        assert_eq!(json_number(SAMPLE_V2, "events_per_sec"), Some(2_500_000.0));
+        assert_eq!(
+            json_string(SAMPLE_V2, "schema").as_deref(),
+            Some("amacl-bench-engine/v2")
+        );
+    }
+
+    #[test]
+    fn gate_rows_passes_within_tolerance_per_row() {
+        let fresh = vec![
+            row("heap", 32, 900_000.0),    // 2.8x slower: within 3x
+            row("heap", 512, 1_200_000.0), // faster
+            row("calendar", 32, 3_043_478.0),
+        ];
+        let lines = gate_rows(SAMPLE_V2, &fresh, 3.0).unwrap();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("core=heap n=32"), "{lines:?}");
+    }
+
+    #[test]
+    fn gate_rows_fails_on_one_collapsed_row() {
+        let fresh = vec![
+            row("heap", 32, 2_500_000.0),
+            row("heap", 512, 100_000.0), // 11x slower
+            row("calendar", 32, 3_000_000.0),
+        ];
+        let err = gate_rows(SAMPLE_V2, &fresh, 3.0).unwrap_err();
+        assert!(err.contains("core=heap n=512"), "{err}");
+        assert!(err.contains("collapsed"), "{err}");
+    }
+
+    #[test]
+    fn gate_rows_fails_on_missing_configuration() {
+        let fresh = vec![row("heap", 32, 2_500_000.0), row("heap", 512, 1_200_000.0)];
+        let err = gate_rows(SAMPLE_V2, &fresh, 3.0).unwrap_err();
+        assert!(err.contains("core=calendar n=32"), "{err}");
+        assert!(err.contains("no fresh measurement"), "{err}");
+        // And a v1 baseline has no rows to gate.
+        assert!(gate_rows(SAMPLE, &fresh, 3.0).is_err());
     }
 }

@@ -8,21 +8,28 @@
 //!
 //! * `tables -- --smoke` — a seconds-long sanity pass (tiny e1/e2
 //!   slices plus a short engine throughput run) for CI.
-//! * `tables -- bench-engine [--out <path>]` — measures engine
-//!   events/sec on the reference multi-seed wPAXOS workload, serially
-//!   and with the parallel multi-seed driver, and writes the JSON
-//!   baseline (`BENCH_engine.json` at the repo root by convention).
+//! * `tables -- bench-engine [--out <path>]` — the scaling sweep:
+//!   measures engine events/sec on the reference wPAXOS workload for
+//!   every `(queue core, n)` configuration in
+//!   [`amacl_bench::scaling::SWEEP`] (n ∈ {32, 128,
+//!   512} × heap/calendar), serially and with the parallel multi-seed
+//!   driver, and writes the `amacl-bench-engine/v2` JSON baseline
+//!   (`BENCH_engine.json` at the repo root by convention). The file
+//!   keeps a v1-compatible top-level `events_per_sec` (the heap/n=32
+//!   reference figure).
 //! * `tables -- bench-gate [--baseline <path>] [--tolerance <x>]
 //!   [--out <path>]` — the CI regression gate: remeasures, writes the
-//!   fresh JSON, and exits nonzero when `events_per_sec` collapsed
+//!   fresh JSON, and exits nonzero when any configuration collapsed
 //!   below `baseline / tolerance` (default tolerance 3x, generous
-//!   enough for shared-runner variance but not for a real regression).
+//!   enough for shared-runner variance but not for a real
+//!   regression). v1 baselines gate on the single reference figure.
 
 use std::time::Instant;
 
-use amacl_bench::baseline::{gate, json_number};
+use amacl_bench::baseline::{gate, gate_rows, json_number, parse_rows, BaselineRow};
 use amacl_bench::experiments::*;
 use amacl_bench::parallel::{self, run_seeds};
+use amacl_bench::scaling;
 use amacl_core::harness::{alternating_inputs, run_wpaxos};
 use amacl_model::prelude::*;
 
@@ -149,33 +156,67 @@ fn run_smoke() {
     println!("smoke OK");
 }
 
-/// Runs the reference measurement once; returns the baseline-shaped
-/// JSON and the serial events/sec figure.
-fn measure_engine() -> (String, f64) {
-    let seeds: Vec<u64> = (0..32).collect();
+/// Runs the full scaling sweep — every `(queue core, n)` configuration
+/// in [`scaling::SWEEP`], seeds fanned out over the parallel driver —
+/// and returns the v2 JSON, the per-configuration rows, and the
+/// v1-compatible reference figure (heap, n = 32).
+fn measure_engine() -> (String, Vec<BaselineRow>, f64) {
     let threads = parallel::default_threads();
 
     // Warm-up (page in code and allocator state).
-    let _ = reference_workload(0);
+    let _ = scaling::workload(QueueCoreKind::Heap, 32, 0);
 
-    let report = parallel::measure_speedup(&seeds, threads, reference_workload);
-    let serial_wall = report.serial.as_secs_f64();
-    let parallel_wall = report.parallel.as_secs_f64();
-    let events: u64 = report.results.iter().map(|r| r.result).sum();
-
-    let events_per_sec = events as f64 / serial_wall;
-    let speedup = report.speedup();
+    let mut rows: Vec<BaselineRow> = Vec::new();
+    let mut row_json: Vec<String> = Vec::new();
+    let mut events_by_n: Vec<(usize, u64)> = Vec::new();
+    for core in QueueCoreKind::all() {
+        for &(n, nseeds) in scaling::SWEEP {
+            let seeds: Vec<u64> = (0..nseeds as u64).collect();
+            let report =
+                parallel::measure_speedup(&seeds, threads, |seed| scaling::workload(core, n, seed));
+            let serial_wall = report.serial.as_secs_f64();
+            let parallel_wall = report.parallel.as_secs_f64();
+            let events: u64 = report.results.iter().map(|r| r.result).sum();
+            // The event count is part of the determinism contract: the
+            // queue core must not change what the engine executes.
+            match events_by_n.iter().find(|&&(en, _)| en == n) {
+                None => events_by_n.push((n, events)),
+                Some(&(_, expected)) => assert_eq!(
+                    events, expected,
+                    "queue core {core} changed the n={n} event count"
+                ),
+            }
+            let events_per_sec = events as f64 / serial_wall;
+            eprintln!(
+                "measured core={core} n={n}: {events_per_sec:.0} events/sec ({events} events, {serial_wall:.3}s serial)"
+            );
+            row_json.push(format!(
+                "    {{\"queue_core\": \"{core}\", \"n\": {n}, \"seeds\": {nseeds}, \"events_total\": {events}, \"serial_wall_s\": {serial_wall:.4}, \"events_per_sec\": {events_per_sec:.0}, \"parallel_wall_s\": {parallel_wall:.4}, \"parallel_speedup\": {:.2}}}",
+                report.speedup()
+            ));
+            rows.push(BaselineRow {
+                queue_core: core.name().to_string(),
+                n: n as u64,
+                events_per_sec,
+            });
+        }
+    }
+    let reference = rows
+        .iter()
+        .find(|r| r.queue_core == "heap" && r.n == 32)
+        .expect("heap/n=32 reference row")
+        .events_per_sec;
     let json = format!(
-        "{{\n  \"schema\": \"amacl-bench-engine/v1\",\n  \"workload\": \"wpaxos random_connected(32,0.15,seed), RandomScheduler(F_ack=4), seeds 0..32\",\n  \"seeds\": {},\n  \"events_total\": {events},\n  \"serial_wall_s\": {serial_wall:.4},\n  \"events_per_sec\": {events_per_sec:.0},\n  \"threads\": {threads},\n  \"parallel_wall_s\": {parallel_wall:.4},\n  \"parallel_speedup\": {speedup:.2}\n}}\n",
-        seeds.len()
+        "{{\n  \"schema\": \"amacl-bench-engine/v2\",\n  \"workload\": \"wpaxos random_connected(n,p(n),seed), RandomScheduler(F_ack=4), both queue cores\",\n  \"threads\": {threads},\n  \"events_per_sec\": {reference:.0},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        row_json.join(",\n")
     );
-    (json, events_per_sec)
+    (json, rows, reference)
 }
 
-/// Measures engine events/sec on the reference workload and writes the
-/// JSON baseline.
+/// Measures engine events/sec across the scaling sweep and writes the
+/// v2 JSON baseline.
 fn bench_engine(out: Option<&str>) {
-    let (json, _) = measure_engine();
+    let (json, ..) = measure_engine();
     print!("{json}");
     if let Some(path) = out {
         std::fs::write(path, &json).expect("write baseline");
@@ -184,28 +225,41 @@ fn bench_engine(out: Option<&str>) {
 }
 
 /// The CI regression gate: remeasure, report, and exit nonzero when
-/// throughput collapsed relative to the committed baseline.
+/// throughput collapsed relative to the committed baseline. v2
+/// baselines gate every `(queue core, n)` row; v1 baselines gate the
+/// single reference figure.
 fn bench_gate(baseline_path: &str, tolerance: f64, out: Option<&str>) {
     let baseline_json = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
-    let (fresh_json, fresh_eps) = measure_engine();
+    let (fresh_json, fresh_rows, fresh_reference) = measure_engine();
     print!("{fresh_json}");
     if let Some(path) = out {
         std::fs::write(path, &fresh_json).expect("write fresh measurement");
         eprintln!("wrote {path}");
     }
-    match gate(&baseline_json, fresh_eps, tolerance) {
-        Ok(report) => {
-            println!(
-                "bench gate OK: {:.0} events/sec vs baseline {:.0} ({:.2}x, tolerance {tolerance}x)",
+    let verdict = if parse_rows(&baseline_json).is_empty() {
+        // v1 baseline: one reference figure.
+        gate(&baseline_json, fresh_reference, tolerance).map(|report| {
+            vec![format!(
+                "reference: {:.0} events/sec vs baseline {:.0} ({:.2}x, tolerance {tolerance}x)",
                 report.fresh,
                 report.baseline,
                 report.ratio()
-            );
+            )]
+        })
+    } else {
+        gate_rows(&baseline_json, &fresh_rows, tolerance)
+    };
+    match verdict {
+        Ok(lines) => {
+            println!("bench gate OK:");
+            for line in lines {
+                println!("  {line}");
+            }
             // Context for log readers chasing a near-miss: the
             // baseline's own serial wall time, if present.
             if let Some(wall) = json_number(&baseline_json, "serial_wall_s") {
-                println!("baseline serial wall: {wall:.4}s");
+                println!("baseline first serial wall: {wall:.4}s");
             }
         }
         Err(msg) => {

@@ -22,3 +22,4 @@
 pub mod baseline;
 pub mod experiments;
 pub mod parallel;
+pub mod scaling;

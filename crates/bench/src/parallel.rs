@@ -195,26 +195,43 @@ mod tests {
         assert_eq!(report.results, run_seeds(&seeds, 1, wpaxos_ticks));
     }
 
-    /// Wall-clock speedup needs real cores; run explicitly with
-    /// `cargo test -p amacl-bench -- --ignored` on a >= 4-core
-    /// machine.
+    /// Wall-clock speedup needs real cores: the assertion is guarded
+    /// by a core-count check, so the test runs (and gates) on capable
+    /// machines — CI's >= 4-vCPU runners — and self-skips on small
+    /// containers instead of hiding behind `#[ignore]`.
+    ///
+    /// `available_parallelism` counts *logical* CPUs, and shared
+    /// runners are noisy, so the measurement retries a few times and
+    /// keeps the best observation before asserting: a machine with 4
+    /// real schedulable threads reliably clears 1.5x at least once,
+    /// while a genuine parallelism regression (serialized workers)
+    /// never does.
     #[test]
-    #[ignore = "requires >= 4 physical cores for a meaningful speedup"]
     fn multi_core_speedup_exceeds_1_5x() {
         let threads = default_threads();
-        assert!(threads >= 4, "need >= 4 cores, have {threads}");
+        if threads < 4 {
+            eprintln!("skipping speedup assertion: {threads} core(s) < 4");
+            return;
+        }
         let seeds: Vec<u64> = (0..4 * threads as u64).collect();
-        let report = measure_speedup(&seeds, threads, |seed| {
-            let topo = Topology::random_connected(40, 0.12, seed);
-            let n = topo.len();
-            let run = run_wpaxos(topo, &alternating_inputs(n), RandomScheduler::new(4, seed));
-            run.check.assert_ok();
-            run.decision_ticks()
-        });
-        assert!(
-            report.speedup() > 1.5,
-            "expected > 1.5x on {threads} threads, got {:.2}x",
-            report.speedup()
-        );
+        let mut best = 0.0f64;
+        for attempt in 0..3 {
+            let report = measure_speedup(&seeds, threads, |seed| {
+                let topo = Topology::random_connected(40, 0.12, seed);
+                let n = topo.len();
+                let run = run_wpaxos(topo, &alternating_inputs(n), RandomScheduler::new(4, seed));
+                run.check.assert_ok();
+                run.decision_ticks()
+            });
+            best = best.max(report.speedup());
+            if best > 1.5 {
+                return;
+            }
+            eprintln!(
+                "attempt {attempt}: speedup {:.2}x (best {best:.2}x), retrying",
+                report.speedup()
+            );
+        }
+        panic!("expected > 1.5x on {threads} threads, best of 3 attempts was {best:.2}x");
     }
 }

@@ -1,0 +1,73 @@
+//! The scaling-aware engine workload behind `BENCH_engine.json` v2.
+//!
+//! One reference job — wPAXOS over a seeded random connected graph
+//! under the random scheduler — parameterized by the network size and
+//! the engine's queue core, so the same measurement sweeps
+//! n ∈ {32, 128, 512} × {heap, calendar}. Edge probability shrinks
+//! with `n` to keep node degree (and thus per-broadcast fan-out)
+//! realistic rather than quadratic, which is what makes the larger
+//! sizes exercise the queue instead of the allocator.
+//!
+//! Used by `tables bench-engine` / `bench-gate`, the
+//! `e16_queue_cores` Criterion bench, and any test that wants the
+//! reference workload; all of them fan seeds out over
+//! [`crate::parallel::run_seeds`].
+
+use amacl_core::harness::{alternating_inputs, run_wpaxos_on};
+use amacl_model::prelude::*;
+
+/// The `(n, seeds)` grid of the engine-throughput sweep. Seed counts
+/// shrink with `n` so one full sweep stays tens of seconds even on a
+/// slow CI runner (an n=512 run processes ~3.4M events).
+pub const SWEEP: &[(usize, usize)] = &[(32, 16), (128, 4), (512, 2)];
+
+/// Edge probability for the reference random graph at size `n` —
+/// denser when small, sparser when large, keeping mean degree in the
+/// single digits to low tens across the sweep.
+pub fn edge_probability(n: usize) -> f64 {
+    match n {
+        0..=32 => 0.15,
+        33..=128 => 0.05,
+        _ => 0.02,
+    }
+}
+
+/// Runs the reference workload once on the given queue core and
+/// returns the number of engine events processed (the unit of the
+/// events/sec figures in `BENCH_engine.json`).
+///
+/// The event count is a pure function of `(n, seed)` — the queue core
+/// must not change it, and the sweep asserts that it does not.
+pub fn workload(core: QueueCoreKind, n: usize, seed: u64) -> u64 {
+    let topo = Topology::random_connected(n, edge_probability(n), seed);
+    let run = run_wpaxos_on(
+        topo,
+        &alternating_inputs(n),
+        RandomScheduler::new(4, seed),
+        core,
+    );
+    run.check.assert_ok();
+    run.report.metrics.events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_core_independent_and_seed_sensitive() {
+        let heap = workload(QueueCoreKind::Heap, 32, 1);
+        let calendar = workload(QueueCoreKind::Calendar, 32, 1);
+        assert_eq!(heap, calendar, "queue core changed the event count");
+        assert_ne!(heap, workload(QueueCoreKind::Heap, 32, 2));
+    }
+
+    #[test]
+    fn sweep_grid_is_well_formed() {
+        assert!(SWEEP.iter().any(|&(n, _)| n == 512));
+        for &(n, seeds) in SWEEP {
+            assert!(seeds >= 1, "n={n} has no seeds");
+            assert!(edge_probability(n) * n as f64 >= 2.0, "n={n} too sparse");
+        }
+    }
+}

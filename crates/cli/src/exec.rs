@@ -68,15 +68,17 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             jitter_us,
             timeout_ms,
             strict,
+            queue,
         } => crosscheck(
-            algo, topo, inputs, sched, f_ack, crashes, seed, jitter_us, timeout_ms, strict,
+            algo, topo, inputs, sched, f_ack, crashes, seed, jitter_us, timeout_ms, strict, queue,
         ),
         Command::Sweep {
             smoke,
             scenario,
             seeds,
             list,
-        } => sweep(smoke, scenario, seeds, list),
+            queue,
+        } => sweep(smoke, scenario, seeds, list, queue),
     }
 }
 
@@ -88,9 +90,10 @@ fn sweep(
     scenario: Option<String>,
     seeds: usize,
     list: bool,
+    queue: Option<QueueCoreKind>,
 ) -> Result<String, String> {
     use amacl_bench::parallel::{default_threads, run_seeds};
-    use amacl_checker::scenario::{sweep_scenario, Scenario, SweepOutcome};
+    use amacl_checker::scenario::{sweep_scenario_on, Scenario, SweepOutcome};
 
     if list {
         let mut out = String::from("scenario catalogue:\n");
@@ -127,18 +130,21 @@ fn sweep(
         .flat_map(|(i, _)| seed_list.iter().map(move |&s| (i, s)))
         .collect();
     // Fan out over the parallel driver: one cross-check per job,
-    // results reassembled in (scenario, seed) order.
+    // results reassembled in (scenario, seed) order. Each job also
+    // proves the heap and calendar queue cores byte-identical on its
+    // scenario; `core` picks the engine core for the threads check.
+    let core = queue.unwrap_or_else(QueueCoreKind::from_env);
     let indices: Vec<u64> = (0..jobs.len() as u64).collect();
     let rows = run_seeds(&indices, default_threads(), |i| {
         let (si, seed) = jobs[i as usize];
-        sweep_scenario(&scenarios[si], seed)
+        sweep_scenario_on(&scenarios[si], seed, core)
     });
     let outcome = SweepOutcome {
         rows: rows.into_iter().map(|r| r.result).collect(),
     };
 
     let mut out = format!(
-        "sweep: {} scenario(s) x {} seed(s), engine vs threads\n",
+        "sweep: {} scenario(s) x {} seed(s), engine ({core} core) vs threads, heap vs calendar\n",
         scenarios.len(),
         seed_list.len()
     );
@@ -167,6 +173,7 @@ fn crosscheck(
     jitter_us: u64,
     timeout_ms: u64,
     strict: bool,
+    queue: Option<QueueCoreKind>,
 ) -> Result<String, String> {
     let topo = topo_spec.build();
     let n = topo.len();
@@ -199,6 +206,7 @@ fn crosscheck(
         None => SimBackend::new(topo.clone(), BackendSched::Random { f_ack, seed }),
     }
     .seed(seed)
+    .queue_core(queue.unwrap_or_else(QueueCoreKind::from_env))
     .crash_plan(CrashPlan::new(crashes.clone()));
     let mut rt = MacRuntime::new(
         topo,
@@ -248,6 +256,9 @@ fn crosscheck(
     );
     if let Some(spec) = sched {
         let _ = writeln!(out, "  engine sched: {spec:?}");
+    }
+    if let Some(core) = queue {
+        let _ = writeln!(out, "  engine queue core: {core}");
     }
     if !crashes.is_empty() {
         let _ = writeln!(out, "  crashes (both backends): {crashes:?}");
@@ -850,6 +861,27 @@ mod tests {
         assert!(out.contains("cross-check OK"), "{out}");
         assert!(out.contains("engine sched"), "{out}");
         assert!(out.contains("crashes (both backends)"), "{out}");
+    }
+
+    #[test]
+    fn crosscheck_accepts_queue_core_selection() {
+        let out = cli(
+            "crosscheck --algo two-phase --topo clique:4 --inputs const:1 \
+             --queue calendar --strict",
+        )
+        .unwrap();
+        assert!(out.contains("cross-check OK"), "{out}");
+        assert!(out.contains("engine queue core: calendar"), "{out}");
+        let err = cli("crosscheck --algo wpaxos --topo clique:3 --queue fifo").unwrap_err();
+        assert!(err.contains("unknown queue core"), "{err}");
+    }
+
+    #[test]
+    fn sweep_row_reports_core_equivalence() {
+        let out = cli("sweep --scenario multi-cut-heal --seeds 1 --queue calendar").unwrap();
+        assert!(out.contains("sweep OK"), "{out}");
+        assert!(out.contains("cores identical"), "{out}");
+        assert!(out.contains("calendar core"), "{out}");
     }
 
     #[test]

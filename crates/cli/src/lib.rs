@@ -50,7 +50,9 @@ USAGE:
   amacl crosscheck --algo <ALGO> --topo <TOPO> [--inputs <INPUTS>]
               [--sched <SCHED>] [--crash <CRASH>]... [--f-ack <N>]
               [--seed <S>] [--jitter-us <N>] [--timeout-ms <N>] [--strict]
+              [--queue heap|calendar]
   amacl sweep [--smoke] [--scenario <NAME>] [--seeds <N>] [--list]
+              [--queue heap|calendar]
 
 ALGO:    two-phase | wpaxos | tree-gather | flood-gather | bitwise:<bits>
          | ben-or | fd-paxos[:<initial-timeout>]
@@ -81,12 +83,18 @@ picks the engine-side adversary; `--crash` injects the same crash plan
 into both backends (timed crashes map onto wall-clock deadlines on the
 threaded side). `--strict` additionally demands bit-identical decisions
 (sound only for crash-free, input-determined instances, e.g. uniform
-inputs). fd-paxos is excluded (its timeouts are clock-scale dependent).
+inputs). `--queue` pins the engine's event-queue core (default: the
+AMACL_QUEUE_CORE env var, else heap). fd-paxos is excluded (its
+timeouts are clock-scale dependent).
 
 `sweep` runs the named adversarial scenario catalogue — healing
-partitions, quorum-member timed crashes, partial-delivery crashes,
+partitions (single and multi-cut), quorum-member timed crashes, crash
+storms at the f = minority boundary, partial-delivery crashes,
 slow-ack/fast-progress skew, scripted worst-case interleavings — on
 both backends, fanned out over worker threads, and fails on any
-divergence or property violation. `--smoke` is the bounded subset CI
-runs on every PR; `--list` prints the catalogue.
+divergence or property violation. Every row additionally runs the
+engine once per queue core (heap and calendar) and fails unless the
+two reports are byte-identical; `--queue` picks the core used for the
+vs-threads comparison. `--smoke` is the bounded subset CI runs on
+every PR; `--list` prints the catalogue.
 ";

@@ -381,6 +381,9 @@ pub enum Command {
         /// Demand bit-identical per-slot decisions (only sound for
         /// input-determined algorithms).
         strict: bool,
+        /// Engine event-queue core (`None`: the `AMACL_QUEUE_CORE`
+        /// default).
+        queue: Option<QueueCoreKind>,
     },
     /// `amacl sweep ...`: the named adversarial scenario catalogue on
     /// both backends, fanned out over worker threads.
@@ -393,6 +396,10 @@ pub enum Command {
         seeds: usize,
         /// List the catalogue and exit.
         list: bool,
+        /// Engine queue core for the vs-threads check (`None`: the
+        /// `AMACL_QUEUE_CORE` default). Both cores are always compared
+        /// against each other regardless.
+        queue: Option<QueueCoreKind>,
     },
 }
 
@@ -485,6 +492,7 @@ impl Command {
                     None => 10_000,
                 },
                 strict: opts.flag("--strict"),
+                queue: parse_queue(&mut opts)?,
             },
             "sweep" => Command::Sweep {
                 smoke: opts.flag("--smoke"),
@@ -494,6 +502,7 @@ impl Command {
                     None => 2,
                 },
                 list: opts.flag("--list"),
+                queue: parse_queue(&mut opts)?,
             },
             "help" | "--help" | "-h" => return Err(crate::USAGE.to_string()),
             other => return Err(format!("unknown command `{other}`\n\n{}", crate::USAGE)),
@@ -566,6 +575,14 @@ impl Opts {
             }
         }
         Ok(())
+    }
+}
+
+/// Parses an optional `--queue heap|calendar` selection.
+fn parse_queue(opts: &mut Opts) -> Result<Option<QueueCoreKind>, String> {
+    match opts.optional("--queue") {
+        Some(s) => s.parse().map(Some),
+        None => Ok(None),
     }
 }
 
@@ -760,17 +777,19 @@ mod tests {
 
     #[test]
     fn command_parse_sweep() {
-        let cmd = Command::parse(&argv("sweep --smoke --seeds 3")).unwrap();
+        let cmd = Command::parse(&argv("sweep --smoke --seeds 3 --queue calendar")).unwrap();
         match cmd {
             Command::Sweep {
                 smoke,
                 seeds,
                 scenario,
                 list,
+                queue,
             } => {
                 assert!(smoke && !list);
                 assert_eq!(seeds, 3);
                 assert_eq!(scenario, None);
+                assert_eq!(queue, Some(QueueCoreKind::Calendar));
             }
             _ => panic!("expected Sweep"),
         }

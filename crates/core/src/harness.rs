@@ -63,6 +63,19 @@ pub fn run_wpaxos(
     run_wpaxos_with(topo, inputs, WpaxosConfig::new(inputs.len()), scheduler)
 }
 
+/// Runs wPAXOS on an explicit engine queue core (the bench harness
+/// sweeps both cores; everything else inherits the
+/// `AMACL_QUEUE_CORE` default via [`run_wpaxos`]).
+pub fn run_wpaxos_on(
+    topo: Topology,
+    inputs: &[Value],
+    scheduler: impl Scheduler + 'static,
+    core: QueueCoreKind,
+) -> ConsensusRun {
+    let cfg = WpaxosConfig::new(inputs.len());
+    run_wpaxos_inner(topo, inputs, cfg, scheduler, Some(core))
+}
+
 /// Runs wPAXOS with an explicit configuration (ablations, the flooding
 /// baseline).
 pub fn run_wpaxos_with(
@@ -71,13 +84,27 @@ pub fn run_wpaxos_with(
     cfg: WpaxosConfig,
     scheduler: impl Scheduler + 'static,
 ) -> ConsensusRun {
+    run_wpaxos_inner(topo, inputs, cfg, scheduler, None)
+}
+
+/// The one wPAXOS run recipe every public wrapper shares; `core:
+/// None` keeps the builder's `AMACL_QUEUE_CORE` default.
+fn run_wpaxos_inner(
+    topo: Topology,
+    inputs: &[Value],
+    cfg: WpaxosConfig,
+    scheduler: impl Scheduler + 'static,
+    core: Option<QueueCoreKind>,
+) -> ConsensusRun {
     assert_eq!(topo.len(), inputs.len(), "one input per node");
     let iv = inputs.to_vec();
-    let mut sim = SimBuilder::new(topo, |s| WpaxosNode::new(iv[s.index()], cfg))
+    let mut builder = SimBuilder::new(topo, |s| WpaxosNode::new(iv[s.index()], cfg))
         .scheduler(scheduler)
-        .message_id_budget(10)
-        .build();
-    let report = sim.run();
+        .message_id_budget(10);
+    if let Some(core) = core {
+        builder = builder.queue_core(core);
+    }
+    let report = builder.build().run();
     let check = check_consensus(inputs, &report, &[]);
     ConsensusRun {
         inputs: inputs.to_vec(),

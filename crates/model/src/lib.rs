@@ -90,7 +90,9 @@ pub mod prelude {
     pub use crate::proc::{Context, Decision, NodeCell, Process, Value};
     pub use crate::sim::crash::{CrashPlan, CrashSpec};
     pub use crate::sim::engine::{RunOutcome, RunReport, Sim, SimBuilder};
-    pub use crate::sim::queue::{EventId, EventQueue, ScheduledEvent};
+    pub use crate::sim::queue::{
+        CalendarCore, EventId, EventQueue, HeapCore, QueueCore, QueueCoreKind, ScheduledEvent,
+    };
     pub use crate::sim::sched::{
         dual::DualBoundScheduler,
         partition::{DirectedCut, EdgeDelayScheduler},

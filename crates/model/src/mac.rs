@@ -27,7 +27,7 @@
 //! thread-backed implementation is `MacRuntime` in the `amacl-runtime`
 //! crate.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
@@ -35,6 +35,7 @@ use crate::ids::Slot;
 use crate::proc::{Process, Value};
 use crate::sim::crash::CrashPlan;
 use crate::sim::engine::{RunReport, SimBuilder};
+use crate::sim::queue::QueueCoreKind;
 use crate::sim::sched::random::RandomScheduler;
 use crate::sim::sched::stall::MaxDelayScheduler;
 use crate::sim::sched::sync::SynchronousScheduler;
@@ -144,13 +145,8 @@ pub enum Admission {
     },
 }
 
-/// Per-broadcast ack obligation: the confirmations still awaited
-/// before the sender may be acked.
-#[derive(Clone, Debug)]
-struct AckObligation {
-    sender: usize,
-    awaiting: BTreeSet<usize>,
-}
+/// Sentinel for "no sender recorded" in the dense broadcast table.
+const NO_SENDER: usize = usize::MAX;
 
 /// The shared delivery/ack/crash bookkeeping of the abstract MAC
 /// layer.
@@ -162,20 +158,35 @@ struct AckObligation {
 /// planned crash interrupt this broadcast, which confirmations gate
 /// this ack, which acks does a node's death release.
 ///
-/// All internal maps are ordered (`BTreeMap`/`BTreeSet`), so every
-/// list the ledger returns is deterministic across runs and platforms.
+/// All state lives in dense `Vec`-indexed tables: per-slot tables for
+/// crash flags, broadcast counts, armed watches, partial-delivery
+/// countdowns, and ack obligations (the model allows at most one
+/// outstanding broadcast per node, so one slot of each suffices), plus
+/// a broadcast-id → sender table resolving the id-keyed queries. No
+/// hashing, no tree walks on the per-delivery path, and every list the
+/// ledger returns is deterministic across runs and platforms.
 #[derive(Clone, Debug)]
 pub struct BcastLedger {
     crashed: Vec<bool>,
     counts: Vec<u64>,
-    /// Armed mid-broadcast crash plans: slot -> (nth broadcast,
+    /// Armed mid-broadcast crash plans, per slot: (nth broadcast,
     /// deliveries allowed).
-    watches: BTreeMap<usize, (u64, usize)>,
-    /// Live partial-delivery countdowns: broadcast id -> deliveries
-    /// remaining before the sender crashes.
-    active: BTreeMap<u64, usize>,
-    /// Outstanding ack obligations by broadcast id.
-    awaiting: BTreeMap<u64, AckObligation>,
+    watches: Vec<Option<(u64, usize)>>,
+    /// Live partial-delivery countdown, per *sender* slot: (broadcast
+    /// id, deliveries remaining before the sender crashes).
+    active: Vec<Option<(u64, usize)>>,
+    /// Outstanding ack obligation, per *sender* slot: (broadcast id,
+    /// confirmations still awaited before the sender may be acked).
+    awaiting: Vec<Option<(u64, BTreeSet<usize>)>>,
+    /// Broadcast id → sender slot ([`NO_SENDER`] when unrecorded).
+    /// Both backends allocate broadcast ids sequentially from zero, so
+    /// this stays dense. Deliberate trade-off: the table grows one
+    /// `usize` per broadcast ever admitted and is never truncated —
+    /// 8 bytes/broadcast buys O(1) sender resolution on every
+    /// delivery/confirm, and even a 10M-broadcast soak costs only
+    /// ~80 MB. Reclaim (reset completed ids to `NO_SENDER` and trim
+    /// the tail) is possible if soak memory ever matters.
+    senders: Vec<usize>,
 }
 
 impl BcastLedger {
@@ -184,9 +195,10 @@ impl BcastLedger {
         Self {
             crashed: vec![false; n],
             counts: vec![0; n],
-            watches: BTreeMap::new(),
-            active: BTreeMap::new(),
-            awaiting: BTreeMap::new(),
+            watches: vec![None; n],
+            active: vec![None; n],
+            awaiting: vec![None; n],
+            senders: Vec::new(),
         }
     }
 
@@ -195,7 +207,25 @@ impl BcastLedger {
     /// deliveries. At most one plan per slot; a later call replaces an
     /// earlier one.
     pub fn arm_watch(&mut self, slot: usize, nth_broadcast: u64, delivered: usize) {
-        self.watches.insert(slot, (nth_broadcast, delivered));
+        self.watches[slot] = Some((nth_broadcast, delivered));
+    }
+
+    /// Records `from` as the sender of broadcast `bcast` in the dense
+    /// id table.
+    fn record_sender(&mut self, bcast: u64, from: usize) {
+        let idx = bcast as usize;
+        if idx >= self.senders.len() {
+            self.senders.resize(idx + 1, NO_SENDER);
+        }
+        self.senders[idx] = from;
+    }
+
+    /// The recorded sender of `bcast`, if any.
+    fn sender_of(&self, bcast: u64) -> Option<usize> {
+        match self.senders.get(bcast as usize) {
+            Some(&s) if s != NO_SENDER => Some(s),
+            _ => None,
+        }
     }
 
     /// Whether `slot` has crashed.
@@ -223,15 +253,16 @@ impl BcastLedger {
     /// sender's sequence and resolves any armed mid-broadcast crash
     /// plan into an [`Admission`].
     pub fn admit_broadcast(&mut self, from: usize, bcast: u64) -> Admission {
+        self.record_sender(bcast, from);
         let nth = self.counts[from];
         self.counts[from] += 1;
-        match self.watches.get(&from) {
-            Some(&(watch_nth, delivered)) if watch_nth == nth => {
-                self.watches.remove(&from);
+        match self.watches[from] {
+            Some((watch_nth, delivered)) if watch_nth == nth => {
+                self.watches[from] = None;
                 if delivered == 0 {
                     Admission::CrashImmediately
                 } else {
-                    self.active.insert(bcast, delivered);
+                    self.active[from] = Some((bcast, delivered));
                     Admission::PartialThenCrash { delivered }
                 }
             }
@@ -244,11 +275,16 @@ impl BcastLedger {
     /// allows — the sender must crash now. Broadcasts without a
     /// countdown always return `false`.
     pub fn note_delivery(&mut self, bcast: u64) -> bool {
-        if let Some(rem) = self.active.get_mut(&bcast) {
-            *rem -= 1;
-            if *rem == 0 {
-                self.active.remove(&bcast);
-                return true;
+        let Some(sender) = self.sender_of(bcast) else {
+            return false;
+        };
+        if let Some((b, rem)) = &mut self.active[sender] {
+            if *b == bcast {
+                *rem -= 1;
+                if *rem == 0 {
+                    self.active[sender] = None;
+                    return true;
+                }
             }
         }
         false
@@ -267,8 +303,8 @@ impl BcastLedger {
         if awaiting.is_empty() {
             true
         } else {
-            self.awaiting
-                .insert(bcast, AckObligation { sender, awaiting });
+            self.record_sender(bcast, sender);
+            self.awaiting[sender] = Some((bcast, awaiting));
             false
         }
     }
@@ -279,11 +315,14 @@ impl BcastLedger {
     /// suppressed if the sender is itself crashed by then, which the
     /// ledger checks for the caller.
     pub fn confirm(&mut self, bcast: u64, by: usize) -> Option<usize> {
-        let obligation = self.awaiting.get_mut(&bcast)?;
-        obligation.awaiting.remove(&by);
-        if obligation.awaiting.is_empty() {
-            let sender = obligation.sender;
-            self.awaiting.remove(&bcast);
+        let sender = self.sender_of(bcast)?;
+        let (b, awaiting) = self.awaiting[sender].as_mut()?;
+        if *b != bcast {
+            return None;
+        }
+        awaiting.remove(&by);
+        if awaiting.is_empty() {
+            self.awaiting[sender] = None;
             if self.crashed[sender] {
                 None
             } else {
@@ -299,21 +338,19 @@ impl BcastLedger {
     /// sender)` pairs whose acks this completes, in deterministic
     /// (broadcast id) order.
     pub fn release_obligations_of(&mut self, dead: usize) -> Vec<(u64, usize)> {
-        let completed: Vec<u64> = self
-            .awaiting
-            .iter_mut()
-            .filter_map(|(&bcast, ob)| {
-                ob.awaiting.remove(&dead);
-                (ob.awaiting.is_empty()).then_some(bcast)
-            })
-            .collect();
+        let mut completed: Vec<(u64, usize)> = Vec::new();
+        for (sender, slot_ob) in self.awaiting.iter_mut().enumerate() {
+            if let Some((bcast, awaiting)) = slot_ob {
+                awaiting.remove(&dead);
+                if awaiting.is_empty() {
+                    completed.push((*bcast, sender));
+                    *slot_ob = None;
+                }
+            }
+        }
+        completed.sort_unstable();
+        completed.retain(|&(_, sender)| !self.crashed[sender]);
         completed
-            .into_iter()
-            .filter_map(|bcast| {
-                let ob = self.awaiting.remove(&bcast)?;
-                (!self.crashed[ob.sender]).then_some((bcast, ob.sender))
-            })
-            .collect()
     }
 }
 
@@ -373,6 +410,7 @@ pub struct SimBackend {
     crashes: CrashPlan,
     seed: u64,
     max_time: Time,
+    queue: QueueCoreKind,
 }
 
 impl fmt::Debug for SimBackend {
@@ -383,6 +421,7 @@ impl fmt::Debug for SimBackend {
             .field("crashes", &self.crashes)
             .field("seed", &self.seed)
             .field("max_time", &self.max_time)
+            .field("queue", &self.queue)
             .finish()
     }
 }
@@ -408,6 +447,7 @@ impl SimBackend {
             crashes: CrashPlan::none(),
             seed: 0,
             max_time: Time(10_000_000),
+            queue: QueueCoreKind::from_env(),
         }
     }
 
@@ -415,6 +455,20 @@ impl SimBackend {
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Selects the engine's event-queue core. Both cores realize the
+    /// identical execution (the conformance sweep proves it); this is
+    /// a performance knob, surfaced here so cross-checks can prove the
+    /// equivalence per scenario.
+    pub fn queue_core(mut self, kind: QueueCoreKind) -> Self {
+        self.queue = kind;
+        self
+    }
+
+    /// The queue core this backend builds engines on.
+    pub fn queue_kind(&self) -> QueueCoreKind {
+        self.queue
     }
 
     /// Sets the virtual-time horizon.
@@ -450,6 +504,7 @@ impl SimBackend {
             .max_time(self.max_time)
             .crashes(self.crashes.clone())
             .scheduler((self.sched)())
+            .queue_core(self.queue)
             .build()
             .run();
         (MacReport::from_run(&report), report)

@@ -8,11 +8,18 @@
 //! and lets the ledger answer the semantic questions (is this node
 //! crashed, does a planned mid-broadcast crash interrupt this
 //! broadcast). When a sender crashes, its in-flight broadcast's
-//! remaining events are *cancelled* on the queue (O(log n) tombstones)
+//! remaining events are *cancelled* on the queue (O(1) tombstones)
 //! rather than popped-and-skipped, which keeps the hot loop free of
 //! per-event liveness checks.
-
-use std::collections::HashMap;
+//!
+//! Hot-path state is laid out densely: in-flight broadcasts live in a
+//! per-slot table (no hash maps anywhere in the loop), the event-id
+//! vectors they carry are pooled across broadcasts, and a shared
+//! payload is cloned once per *delivery that actually happens* — the
+//! final delivery moves the payload out instead of cloning, and
+//! deliveries to crashed receivers never touch it. The queue core
+//! itself is selectable per [`SimBuilder::queue_core`]; see
+//! [`super::queue`] for the two implementations.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -26,7 +33,7 @@ use crate::topo::Topology;
 
 use super::crash::{CrashPlan, CrashSpec};
 use super::event::{BcastId, EventClass, EventKind};
-use super::queue::{EventId, EventQueue};
+use super::queue::{EventId, EventQueue, QueueCoreKind};
 use super::sched::random::RandomScheduler;
 use super::sched::Scheduler;
 use super::time::Time;
@@ -107,6 +114,7 @@ pub struct SimBuilder<P: Process> {
     trace_enabled: bool,
     seed: u64,
     unreliable: Option<(UnreliableOverlay, f64)>,
+    queue_core: QueueCoreKind,
 }
 
 impl<P: Process> SimBuilder<P> {
@@ -116,7 +124,9 @@ impl<P: Process> SimBuilder<P> {
     /// Defaults: ids equal to slot indices, a seeded
     /// [`RandomScheduler`] with `F_ack = 8`, no crashes, a large time
     /// horizon, stop-on-all-decided, no id-budget enforcement, tracing
-    /// off.
+    /// off, and the queue core named by the `AMACL_QUEUE_CORE`
+    /// environment variable (the heap when unset — see
+    /// [`QueueCoreKind::from_env`]).
     pub fn new(topo: Topology, mut init: impl FnMut(Slot) -> P) -> Self {
         let n = topo.len();
         let procs: Vec<P> = (0..n).map(|i| init(Slot(i))).collect();
@@ -134,12 +144,21 @@ impl<P: Process> SimBuilder<P> {
             trace_enabled: false,
             seed: 0,
             unreliable: None,
+            queue_core: QueueCoreKind::from_env(),
         }
     }
 
     /// Sets the message scheduler (the model's adversary).
     pub fn scheduler(mut self, s: impl Scheduler + 'static) -> Self {
         self.scheduler = Box::new(s);
+        self
+    }
+
+    /// Selects the event-queue core (heap or calendar). The two cores
+    /// are observably identical — same traces, same reports — so this
+    /// is purely a performance knob; see [`QueueCoreKind`].
+    pub fn queue_core(mut self, kind: QueueCoreKind) -> Self {
+        self.queue_core = kind;
         self
     }
 
@@ -221,7 +240,7 @@ impl<P: Process> SimBuilder<P> {
     pub fn build(self) -> Sim<P> {
         let n = self.topo.len();
         let mut ledger = BcastLedger::new(n);
-        let mut queue = EventQueue::new();
+        let mut queue = EventQueue::with_core(self.queue_core);
         let mut undecided = n;
         for spec in self.crash_plan.specs() {
             match *spec {
@@ -267,7 +286,9 @@ impl<P: Process> SimBuilder<P> {
             now: Time::ZERO,
             started: false,
             bcast_seq: 0,
-            messages: HashMap::new(),
+            inflight: (0..n).map(|_| Vec::new()).collect(),
+            events_pool: Vec::new(),
+            neighbor_scratch: Vec::new(),
             outstanding: vec![None; n],
             decisions: vec![None; n],
             ts_seqs: vec![0; n],
@@ -285,10 +306,11 @@ impl<P: Process> SimBuilder<P> {
     }
 }
 
-/// One in-flight broadcast: the payload, a count of still-pending
-/// queue events referencing it, and those events' ids (for bulk
-/// cancellation when the sender crashes).
+/// One in-flight broadcast: its id, the shared payload, a count of
+/// still-pending queue events referencing it, and those events' ids
+/// (for bulk cancellation when the sender crashes).
 struct InFlight<M> {
+    bcast: u64,
     msg: M,
     refs: usize,
     events: Vec<EventId>,
@@ -305,10 +327,19 @@ pub struct Sim<P: Process> {
     now: Time,
     started: bool,
     bcast_seq: u64,
-    /// In-flight broadcasts by id. Keyed lookups only — never
-    /// iterated, so the hash map cannot leak nondeterminism into
-    /// event order.
-    messages: HashMap<u64, InFlight<P::Msg>>,
+    /// In-flight broadcasts, densely indexed by the *sender's* slot.
+    /// Each node has at most one outstanding broadcast, so the inner
+    /// vector holds one entry in the common case; a second appears
+    /// only while an already-acked broadcast still has unreliable-
+    /// overlay deliveries pending. Lookups are positional scans of
+    /// these tiny vectors — no hashing on the hot path, and nothing
+    /// order-sensitive to leak nondeterminism.
+    inflight: Vec<Vec<InFlight<P::Msg>>>,
+    /// Recycled event-id vectors (the per-broadcast cancellation
+    /// lists), so steady-state broadcasting allocates nothing.
+    events_pool: Vec<Vec<EventId>>,
+    /// Recycled neighbor-list buffer for `start_broadcast`.
+    neighbor_scratch: Vec<Slot>,
     outstanding: Vec<Option<BcastId>>,
     decisions: Vec<Option<Decision>>,
     ts_seqs: Vec<u64>,
@@ -397,6 +428,16 @@ impl<P: Process> Sim<P> {
     }
 
     fn run_inner(&mut self, until: Option<Time>) -> RunOutcome {
+        let outcome = self.run_loop(until);
+        // Queue-core counters are folded into the metrics whenever the
+        // loop yields, so reports always carry up-to-date figures.
+        self.metrics.queue_pushes = self.queue.scheduled_total();
+        self.metrics.queue_cancellations = self.queue.cancelled_total();
+        self.metrics.queue_bucket_overflows = self.queue.bucket_overflows();
+        outcome
+    }
+
+    fn run_loop(&mut self, until: Option<Time>) -> RunOutcome {
         if !self.started {
             self.started = true;
             for i in 0..self.topo.len() {
@@ -456,48 +497,69 @@ impl<P: Process> Sim<P> {
             self.undecided -= 1;
         }
         if let Some(BcastId(b)) = self.outstanding[node.0].take() {
-            self.cancel_broadcast(b);
+            self.cancel_broadcast(node, b);
         }
     }
 
     /// Voids a crashed sender's in-flight broadcast: every still-
     /// pending delivery and the ack are cancelled on the queue, so
     /// they simply never fire.
-    fn cancel_broadcast(&mut self, bcast: u64) {
-        if let Some(entry) = self.messages.remove(&bcast) {
-            for id in entry.events {
+    fn cancel_broadcast(&mut self, sender: Slot, bcast: u64) {
+        let list = &mut self.inflight[sender.0];
+        if let Some(idx) = list.iter().position(|e| e.bcast == bcast) {
+            let entry = list.swap_remove(idx);
+            for &id in &entry.events {
                 self.queue.cancel(id);
             }
+            self.recycle(entry.events);
+        }
+    }
+
+    /// Returns an event-id vector to the pool for reuse.
+    fn recycle(&mut self, mut events: Vec<EventId>) {
+        if self.events_pool.len() < self.topo.len() {
+            events.clear();
+            self.events_pool.push(events);
         }
     }
 
     fn handle_receive(&mut self, to: Slot, from: Slot, bcast: BcastId, unreliable: bool) {
-        let msg = {
-            let entry = self
-                .messages
-                .get_mut(&bcast.0)
-                .expect("message for pending delivery");
-            entry.refs -= 1;
-            let msg = entry.msg.clone();
-            if entry.refs == 0 {
-                self.messages.remove(&bcast.0);
-            }
-            msg
-        };
         // The receiver may have crashed after this delivery was
-        // scheduled; the message is silently lost. The lost delivery
-        // still consumes its slot in any mid-broadcast crash
-        // countdown, so the sender's planned crash fires even when
-        // watched deliveries target dead receivers — the contract
-        // shared with the threaded ether, whose prefix over all
-        // neighbors likewise burns slots on dead receivers (see
-        // Admission::PartialThenCrash).
-        if self.ledger.is_crashed(to.0) {
+        // scheduled; the message is silently lost (and never cloned).
+        // The lost delivery still consumes its slot in any
+        // mid-broadcast crash countdown, so the sender's planned crash
+        // fires even when watched deliveries target dead receivers —
+        // the contract shared with the threaded ether, whose prefix
+        // over all neighbors likewise burns slots on dead receivers
+        // (see Admission::PartialThenCrash).
+        let to_crashed = self.ledger.is_crashed(to.0);
+        let msg = {
+            let list = &mut self.inflight[from.0];
+            let idx = list
+                .iter()
+                .position(|e| e.bcast == bcast.0)
+                .expect("message for pending delivery");
+            let entry = &mut list[idx];
+            entry.refs -= 1;
+            if entry.refs == 0 {
+                // Final reference: move the payload out, no clone.
+                let entry = list.swap_remove(idx);
+                let msg = (!to_crashed).then_some(entry.msg);
+                self.recycle(entry.events);
+                msg
+            } else if to_crashed {
+                None
+            } else {
+                Some(entry.msg.clone())
+            }
+        };
+        if to_crashed {
             if !unreliable && self.ledger.note_delivery(bcast.0) {
                 self.handle_crash(from);
             }
             return;
         }
+        let msg = msg.expect("payload for a live receiver");
         self.metrics.deliveries += u64::from(!unreliable);
         self.metrics.unreliable_deliveries += u64::from(unreliable);
         self.trace.push(TraceEvent::Deliver {
@@ -515,10 +577,13 @@ impl<P: Process> Sim<P> {
     }
 
     fn handle_ack(&mut self, node: Slot, bcast: BcastId) {
-        if let Some(entry) = self.messages.get_mut(&bcast.0) {
+        let list = &mut self.inflight[node.0];
+        if let Some(idx) = list.iter().position(|e| e.bcast == bcast.0) {
+            let entry = &mut list[idx];
             entry.refs -= 1;
             if entry.refs == 0 {
-                self.messages.remove(&bcast.0);
+                let entry = list.swap_remove(idx);
+                self.recycle(entry.events);
             }
         }
         // A crashed sender's ack event is cancelled with its broadcast,
@@ -597,13 +662,18 @@ impl<P: Process> Sim<P> {
         self.bcast_seq += 1;
         self.outstanding[slot.0] = Some(bcast);
 
-        let neighbors: Vec<Slot> = self.topo.neighbors(slot).to_vec();
+        // Reuse the scratch neighbor buffer (the scheduler borrows it
+        // while `self` stays mutable for the queue pushes below).
+        let mut neighbors = std::mem::take(&mut self.neighbor_scratch);
+        neighbors.clear();
+        neighbors.extend_from_slice(self.topo.neighbors(slot));
         let plan = self.scheduler.plan(self.now, slot, &neighbors);
         if let Err(e) = plan.validate(neighbors.len(), self.scheduler.f_ack()) {
             panic!("scheduler produced an invalid plan for {slot}: {e}");
         }
 
-        let mut events = Vec::with_capacity(neighbors.len() + 1);
+        let mut events = self.events_pool.pop().unwrap_or_default();
+        events.reserve(neighbors.len() + 1);
         for (i, &nbr) in neighbors.iter().enumerate() {
             let kind = EventKind::Receive {
                 to: nbr,
@@ -635,14 +705,12 @@ impl<P: Process> Sim<P> {
             }
         }
 
-        self.messages.insert(
-            bcast.0,
-            InFlight {
-                msg,
-                refs: events.len(),
-                events,
-            },
-        );
+        self.inflight[slot.0].push(InFlight {
+            bcast: bcast.0,
+            msg,
+            refs: events.len(),
+            events,
+        });
 
         // Resolve any planned mid-broadcast crash against this
         // broadcast via the shared ledger.
@@ -657,6 +725,7 @@ impl<P: Process> Sim<P> {
                 );
             }
         }
+        self.neighbor_scratch = neighbors;
     }
 }
 

@@ -128,6 +128,13 @@ pub struct Metrics {
     pub crashes: u64,
     /// Total events processed by the engine.
     pub events: u64,
+    /// Entries pushed onto the event-queue core.
+    pub queue_pushes: u64,
+    /// Entries tombstone-cancelled on the event-queue core.
+    pub queue_cancellations: u64,
+    /// Queue entries that missed the core's fast path (calendar
+    /// overflow-tier inserts; always 0 on the heap core).
+    pub queue_bucket_overflows: u64,
     /// Largest per-message id count observed.
     pub max_message_ids: usize,
     /// Sum of id counts over all broadcasts.

@@ -7,6 +7,11 @@
 //! 3. Identical seeds give identical traces (bit-reproducible engine
 //!    runs), and differing runs are reported with a first-divergence
 //!    diff, not a boolean.
+//! 4. The heap and calendar [`QueueCore`]s are observably identical:
+//!    the same interleaved insert/cancel/pop workload produces the
+//!    same pop sequence, cancel outcomes, and live counts on both —
+//!    and whole engine executions produce bit-identical traces
+//!    whichever core they run on.
 
 use amacl_model::prelude::*;
 use amacl_model::sim::conformance::compare_traces;
@@ -102,6 +107,123 @@ proptest! {
         let (ta, tb) = (to_trace(&a), to_trace(&b));
         prop_assert_eq!(compare_traces("a", &ta, "b", &tb), None);
     }
+
+    /// The two queue cores are interchangeable: a random interleaved
+    /// insert/cancel/pop workload (including far-future times that
+    /// exercise the calendar's overflow tier and lazy resize) produces
+    /// identical pop sequences, cancel outcomes, and live counts.
+    #[test]
+    fn heap_and_calendar_cores_agree_on_random_workloads(
+        ops in vec(
+            prop_oneof![
+                // Pushes land at a time offset in a band that
+                // straddles the calendar's ring horizon.
+                (0u64..220, 0u8..3).prop_map(|(dt, c)| Op::Push(dt, c)),
+                (0usize..64).prop_map(Op::Cancel),
+                Just(Op::Pop),
+            ],
+            1..250,
+        ),
+    ) {
+        let mut heap: EventQueue<usize> = EventQueue::with_core(QueueCoreKind::Heap);
+        let mut cal: EventQueue<usize> = EventQueue::with_core(QueueCoreKind::Calendar);
+        let mut ids: Vec<EventId> = Vec::new();
+        let mut clock = 0u64; // pops never rewind time
+        let mut payload = 0usize;
+        for op in ops {
+            match op {
+                Op::Push(dt, class) => {
+                    let t = Time(clock + dt);
+                    let a = heap.push(t, class, payload);
+                    let b = cal.push(t, class, payload);
+                    prop_assert_eq!(a, b, "id allocation diverged");
+                    ids.push(a);
+                    payload += 1;
+                }
+                Op::Cancel(k) => {
+                    if !ids.is_empty() {
+                        let id = ids[k % ids.len()];
+                        prop_assert_eq!(heap.cancel(id), cal.cancel(id));
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(heap.peek_time(), cal.peek_time());
+                    let (a, b) = (heap.pop(), cal.pop());
+                    match (a, b) {
+                        (None, None) => {}
+                        (Some(x), Some(y)) => {
+                            prop_assert_eq!((x.time, x.id, x.payload), (y.time, y.id, y.payload));
+                            clock = clock.max(x.time.ticks());
+                        }
+                        (x, y) => prop_assert!(false, "cores diverged: {:?} vs {:?}",
+                            x.map(|e| e.payload), y.map(|e| e.payload)),
+                    }
+                }
+            }
+            prop_assert_eq!(heap.len(), cal.len());
+        }
+        // Drain both: the tails must match too.
+        loop {
+            let (a, b) = (heap.pop(), cal.pop());
+            match (a, b) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    prop_assert_eq!((x.time, x.id, x.payload), (y.time, y.id, y.payload));
+                }
+                _ => prop_assert!(false, "cores diverged while draining"),
+            }
+        }
+        prop_assert_eq!(heap.cancelled_total(), cal.cancelled_total());
+    }
+
+    /// Swapping the queue core never changes an engine execution: the
+    /// full event traces are bit-identical on random connected
+    /// topologies under the random scheduler, with a crash injected.
+    #[test]
+    fn engine_traces_are_identical_across_queue_cores(
+        seed in 0u64..300,
+        n in 3usize..12,
+        f_ack in 1u64..7,
+        crash_slot in 0usize..12,
+        crash_time in 1u64..20,
+    ) {
+        let run = |core: QueueCoreKind| {
+            let mut sim = SimBuilder::new(
+                Topology::random_connected(n, 0.3, seed),
+                |slot| Flood { initiator: slot.index() == 0, relayed: false },
+            )
+            .scheduler(RandomScheduler::new(f_ack, seed))
+            .crashes(CrashPlan::new(vec![CrashSpec::AtTime {
+                slot: Slot(crash_slot % n),
+                time: Time(crash_time),
+            }]))
+            .seed(seed)
+            .queue_core(core)
+            .trace(true)
+            .build();
+            let report = sim.run();
+            (sim.trace().events().to_vec(), report.end_time, report.metrics.events)
+        };
+        let (ta, ea, eva) = run(QueueCoreKind::Heap);
+        let (tb, eb, evb) = run(QueueCoreKind::Calendar);
+        prop_assert_eq!(ea, eb);
+        prop_assert_eq!(eva, evb);
+        prop_assert_eq!(
+            compare_traces("heap", &to_trace(&ta), "calendar", &to_trace(&tb)),
+            None
+        );
+    }
+}
+
+/// One step of the cross-core workload generator.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Push at `now + offset` in the given class band.
+    Push(u64, u8),
+    /// Cancel the `k % len`-th id handed out so far.
+    Cancel(usize),
+    /// Pop (and compare) one entry from both cores.
+    Pop,
 }
 
 /// Minimal flooding process for the determinism properties.
