@@ -1,0 +1,48 @@
+//! E17: the sharded conservative-window engine vs. serial — the same
+//! reference wPAXOS workload at a fixed size, swept over shard counts
+//! on both queue cores.
+//!
+//! The execution is byte-identical at every shard count (the
+//! conformance suite proves it), so this measures pure coordination
+//! cost: the `(time, class, seq)` merge across shard heads, the
+//! window bookkeeping, and the mailbox flushes. The shape to expect
+//! on today's single-threaded coordinator: serial is fastest and the
+//! overhead grows with the cross-shard traffic share; wider-lookahead
+//! schedulers amortize more events per window. The committed numbers
+//! live in `BENCH_engine.json` (regenerate with
+//! `tables bench-engine`); this bench exists for interactive
+//! profiling of the sharding seam itself.
+
+use amacl_bench::parallel::{default_threads, run_seeds};
+use amacl_bench::scaling;
+use amacl_model::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn sweep(core: QueueCoreKind, n: usize, shards: usize, seeds: &[u64]) -> u64 {
+    let results = run_seeds(seeds, default_threads(), |seed| {
+        scaling::workload_sharded(core, n, shards, seed)
+    });
+    results.iter().map(|r| r.result.events).sum()
+}
+
+fn bench_e17(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_sharded");
+    group.sample_size(10);
+    let seeds: Vec<u64> = (0..4).collect();
+    for core in QueueCoreKind::all() {
+        for shards in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{core}-n128", core = core.name()), shards),
+                &shards,
+                |b, &shards| {
+                    b.iter(|| black_box(sweep(core, 128, shards, &seeds)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e17);
+criterion_main!(benches);

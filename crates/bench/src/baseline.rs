@@ -14,7 +14,7 @@
 //! than a serde dependency: the file is machine-written by `tables
 //! bench-engine`, flat, and one schema version old at most.
 //!
-//! Two schema versions are understood:
+//! Three schema versions are understood:
 //!
 //! * `amacl-bench-engine/v1` — a single flat object with one
 //!   `events_per_sec` figure; gated by [`gate`].
@@ -25,6 +25,12 @@
 //!   still gates something meaningful. [`gate_rows`] checks every
 //!   baseline row against its fresh counterpart with the same
 //!   tolerance.
+//! * `amacl-bench-engine/v3` — v2 plus a `shards` dimension: each row
+//!   carries the shard count it measured (the sharded
+//!   conservative-window engine; `1` = serial). v2 rows parse as
+//!   `shards = 1`, so a v3 gate still understands a committed v2
+//!   baseline, and the v1 top-level reference figure is kept (heap,
+//!   n = 32, serial).
 
 /// Extracts a numeric field's value from a flat JSON object, e.g.
 /// `json_number(s, "events_per_sec")`. Returns `None` when the field
@@ -50,19 +56,23 @@ pub fn json_string(json: &str, field: &str) -> Option<String> {
     Some(rest[..rest.find('"')?].to_string())
 }
 
-/// One per-configuration row of the v2 baseline schema.
+/// One per-configuration row of the v2/v3 baseline schemas.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BaselineRow {
     /// Queue core the row measured (`"heap"` / `"calendar"`).
     pub queue_core: String,
     /// Network size of the reference workload.
     pub n: u64,
+    /// Shard count of the engine (`1` = serial; v2 rows, which predate
+    /// sharding, parse as `1`).
+    pub shards: u64,
     /// Measured serial throughput.
     pub events_per_sec: f64,
 }
 
-/// Extracts the v2 per-configuration rows from a baseline JSON.
-/// Returns an empty vector for v1 files (which have no rows).
+/// Extracts the v2/v3 per-configuration rows from a baseline JSON.
+/// Returns an empty vector for v1 files (which have no rows). Rows
+/// without a `shards` field (v2) parse as serial (`shards = 1`).
 pub fn parse_rows(json: &str) -> Vec<BaselineRow> {
     let mut rows = Vec::new();
     let mut rest = json;
@@ -78,6 +88,7 @@ pub fn parse_rows(json: &str) -> Vec<BaselineRow> {
             rows.push(BaselineRow {
                 queue_core,
                 n: n as u64,
+                shards: json_number(chunk, "shards").map_or(1, |s| s as u64),
                 events_per_sec,
             });
         }
@@ -86,7 +97,7 @@ pub fn parse_rows(json: &str) -> Vec<BaselineRow> {
     rows
 }
 
-/// Gates every baseline v2 row against the matching fresh row: each
+/// Gates every baseline v2/v3 row against the matching fresh row: each
 /// configuration must not have collapsed below `baseline / tolerance`,
 /// and every baseline configuration must have been re-measured.
 ///
@@ -104,15 +115,15 @@ pub fn gate_rows(
     assert!(tolerance >= 1.0, "tolerance must be >= 1");
     let baseline = parse_rows(baseline_json);
     if baseline.is_empty() {
-        return Err("baseline JSON has no v2 rows".into());
+        return Err("baseline JSON has no v2/v3 rows".into());
     }
     let mut lines = Vec::new();
     let mut failures = Vec::new();
     for b in &baseline {
-        let label = format!("core={} n={}", b.queue_core, b.n);
+        let label = format!("core={} n={} shards={}", b.queue_core, b.n, b.shards);
         match fresh
             .iter()
-            .find(|f| f.queue_core == b.queue_core && f.n == b.n)
+            .find(|f| f.queue_core == b.queue_core && f.n == b.n && f.shards == b.shards)
         {
             None => failures.push(format!("{label}: no fresh measurement")),
             Some(f) if f.events_per_sec * tolerance < b.events_per_sec => failures.push(format!(
@@ -255,9 +266,14 @@ mod tests {
 }"#;
 
     fn row(core: &str, n: u64, eps: f64) -> BaselineRow {
+        sharded_row(core, n, 1, eps)
+    }
+
+    fn sharded_row(core: &str, n: u64, shards: u64, eps: f64) -> BaselineRow {
         BaselineRow {
             queue_core: core.into(),
             n,
+            shards,
             events_per_sec: eps,
         }
     }
@@ -269,6 +285,8 @@ mod tests {
         assert_eq!(rows[0], row("heap", 32, 2_500_000.0));
         assert_eq!(rows[1], row("heap", 512, 1_114_754.0));
         assert_eq!(rows[2].queue_core, "calendar");
+        // v2 rows predate sharding: they parse as serial.
+        assert!(rows.iter().all(|r| r.shards == 1));
         // v1 files have no rows.
         assert!(parse_rows(SAMPLE).is_empty());
         // The v1-compat top-level reference figure is still readable.
@@ -301,6 +319,55 @@ mod tests {
         let err = gate_rows(SAMPLE_V2, &fresh, 3.0).unwrap_err();
         assert!(err.contains("core=heap n=512"), "{err}");
         assert!(err.contains("collapsed"), "{err}");
+    }
+
+    const SAMPLE_V3: &str = r#"{
+  "schema": "amacl-bench-engine/v3",
+  "workload": "wpaxos random_connected(n,p(n),seed), RandomScheduler(F_ack=4)",
+  "threads": 1,
+  "events_per_sec": 2500000,
+  "rows": [
+    {"queue_core": "heap", "n": 32, "shards": 1, "seeds": 16, "events_total": 140000, "events_per_sec": 2500000},
+    {"queue_core": "heap", "n": 32, "shards": 4, "seeds": 16, "events_total": 140000, "events_per_sec": 1800000},
+    {"queue_core": "calendar", "n": 512, "shards": 4, "seeds": 2, "events_total": 6800000, "events_per_sec": 900000}
+  ]
+}"#;
+
+    #[test]
+    fn v3_rows_parse_with_shards() {
+        let rows = parse_rows(SAMPLE_V3);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], sharded_row("heap", 32, 1, 2_500_000.0));
+        assert_eq!(rows[1], sharded_row("heap", 32, 4, 1_800_000.0));
+        assert_eq!(rows[2], sharded_row("calendar", 512, 4, 900_000.0));
+    }
+
+    #[test]
+    fn gate_rows_distinguishes_shard_counts() {
+        // Same (core, n) at the other shard count must not satisfy a
+        // missing configuration.
+        let fresh = vec![
+            sharded_row("heap", 32, 1, 2_500_000.0),
+            sharded_row("heap", 32, 4, 1_800_000.0),
+        ];
+        let err = gate_rows(SAMPLE_V3, &fresh, 3.0).unwrap_err();
+        assert!(err.contains("core=calendar n=512 shards=4"), "{err}");
+        // A collapse in only the sharded row is caught per-row.
+        let fresh = vec![
+            sharded_row("heap", 32, 1, 2_500_000.0),
+            sharded_row("heap", 32, 4, 100_000.0), // 18x slower
+            sharded_row("calendar", 512, 4, 900_000.0),
+        ];
+        let err = gate_rows(SAMPLE_V3, &fresh, 3.0).unwrap_err();
+        assert!(err.contains("core=heap n=32 shards=4"), "{err}");
+        assert!(err.contains("collapsed"), "{err}");
+        // All present and healthy: one verdict line per row.
+        let fresh = vec![
+            sharded_row("heap", 32, 1, 2_400_000.0),
+            sharded_row("heap", 32, 4, 1_700_000.0),
+            sharded_row("calendar", 512, 4, 1_000_000.0),
+        ];
+        assert_eq!(gate_rows(SAMPLE_V3, &fresh, 3.0).unwrap().len(), 3);
     }
 
     #[test]

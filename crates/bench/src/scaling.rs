@@ -1,25 +1,33 @@
-//! The scaling-aware engine workload behind `BENCH_engine.json` v2.
+//! The scaling-aware engine workload behind `BENCH_engine.json` v3.
 //!
 //! One reference job — wPAXOS over a seeded random connected graph
-//! under the random scheduler — parameterized by the network size and
-//! the engine's queue core, so the same measurement sweeps
-//! n ∈ {32, 128, 512} × {heap, calendar}. Edge probability shrinks
-//! with `n` to keep node degree (and thus per-broadcast fan-out)
-//! realistic rather than quadratic, which is what makes the larger
-//! sizes exercise the queue instead of the allocator.
+//! under the random scheduler — parameterized by the network size, the
+//! engine's queue core, and the shard count, so the same measurement
+//! sweeps n ∈ {32, 128, 512} × {heap, calendar} × S ∈ {1, 4}. Edge
+//! probability shrinks with `n` to keep node degree (and thus
+//! per-broadcast fan-out) realistic rather than quadratic, which is
+//! what makes the larger sizes exercise the queue instead of the
+//! allocator. The shard dimension measures the conservative
+//! coordinator's overhead: the execution is byte-identical at every
+//! `S` (asserted), so any throughput delta is pure window/mailbox
+//! bookkeeping.
 //!
 //! Used by `tables bench-engine` / `bench-gate`, the
-//! `e16_queue_cores` Criterion bench, and any test that wants the
-//! reference workload; all of them fan seeds out over
+//! `e16_queue_cores` / `e17_sharded` Criterion benches, and any test
+//! that wants the reference workload; all of them fan seeds out over
 //! [`crate::parallel::run_seeds`].
 
-use amacl_core::harness::{alternating_inputs, run_wpaxos_on};
+use amacl_core::harness::{alternating_inputs, run_wpaxos_on, run_wpaxos_sharded};
 use amacl_model::prelude::*;
 
 /// The `(n, seeds)` grid of the engine-throughput sweep. Seed counts
 /// shrink with `n` so one full sweep stays tens of seconds even on a
 /// slow CI runner (an n=512 run processes ~3.4M events).
 pub const SWEEP: &[(usize, usize)] = &[(32, 16), (128, 4), (512, 2)];
+
+/// The shard counts the sweep measures per `(core, n)` cell: serial
+/// and one multi-shard configuration.
+pub const SHARD_SWEEP: &[usize] = &[1, 4];
 
 /// Edge probability for the reference random graph at size `n` —
 /// denser when small, sparser when large, keeping mean degree in the
@@ -50,6 +58,45 @@ pub fn workload(core: QueueCoreKind, n: usize, seed: u64) -> u64 {
     run.report.metrics.events
 }
 
+/// What one sharded reference run measured: the processed event count
+/// (identical at every shard count by the determinism contract) plus
+/// the coordinator counters `tables` surfaces per v3 row.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShardedWorkloadStats {
+    /// Engine events processed.
+    pub events: u64,
+    /// Deliveries routed through cross-shard mailboxes (0 when
+    /// `shards == 1`).
+    pub cross_shard_deliveries: u64,
+    /// Conservative windows the coordinator opened (0 when serial).
+    pub window_advances: u64,
+}
+
+/// [`workload`] on the sharded engine: same execution (asserted
+/// upstream by the identity tests; re-checked by the sweep's event
+/// counts), measured with `shards` worker shards.
+pub fn workload_sharded(
+    core: QueueCoreKind,
+    n: usize,
+    shards: usize,
+    seed: u64,
+) -> ShardedWorkloadStats {
+    let topo = Topology::random_connected(n, edge_probability(n), seed);
+    let run = run_wpaxos_sharded(
+        topo,
+        &alternating_inputs(n),
+        RandomScheduler::new(4, seed),
+        core,
+        shards,
+    );
+    run.check.assert_ok();
+    ShardedWorkloadStats {
+        events: run.report.metrics.events,
+        cross_shard_deliveries: run.report.metrics.cross_shard_deliveries,
+        window_advances: run.report.metrics.shard_window_advances,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +116,22 @@ mod tests {
             assert!(seeds >= 1, "n={n} has no seeds");
             assert!(edge_probability(n) * n as f64 >= 2.0, "n={n} too sparse");
         }
+        assert!(SHARD_SWEEP.contains(&1), "serial reference row required");
+        assert!(
+            SHARD_SWEEP.iter().any(|&s| s > 1),
+            "at least one multi-shard row required"
+        );
+    }
+
+    #[test]
+    fn sharded_workload_matches_serial_event_count() {
+        let serial = workload(QueueCoreKind::Heap, 32, 3);
+        let sharded = workload_sharded(QueueCoreKind::Heap, 32, 4, 3);
+        assert_eq!(serial, sharded.events, "sharding changed the execution");
+        assert!(sharded.cross_shard_deliveries > 0);
+        assert!(sharded.window_advances > 0);
+        let one = workload_sharded(QueueCoreKind::Calendar, 32, 1, 3);
+        assert_eq!(one.events, serial);
+        assert_eq!(one.cross_shard_deliveries, 0, "serial run used mailboxes");
     }
 }

@@ -13,9 +13,13 @@ use amacl_checker::scenario::{
     sweep_scenario, Scenario, ScenarioAlgo, ScenarioInputs, ScenarioSched, ScenarioTopo,
     SweepOutcome,
 };
+use amacl_core::wpaxos::{WpaxosConfig, WpaxosNode};
 use amacl_model::ids::Slot;
+use amacl_model::mac::MacReport;
 use amacl_model::sim::crash::CrashSpec;
+use amacl_model::sim::queue::QueueCoreKind;
 use amacl_model::sim::time::Time;
+use amacl_model::sim::trace::Trace;
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -26,6 +30,10 @@ fn arb_topo() -> impl Strategy<Value = ScenarioTopo> {
         (4usize..7).prop_map(ScenarioTopo::Ring),
         Just(ScenarioTopo::Grid(2, 2)),
         Just(ScenarioTopo::Grid(3, 2)),
+        Just(ScenarioTopo::Torus(3, 3)),
+        Just(ScenarioTopo::Hypercube(2)),
+        Just(ScenarioTopo::Hypercube(3)),
+        (0u64..40).prop_map(|seed| ScenarioTopo::RandomTree(5, seed)),
     ]
 }
 
@@ -142,5 +150,53 @@ proptest! {
         let second = SweepOutcome { rows: vec![sweep_scenario(&scenario, seed)] };
         prop_assert!(first.ok(), "sweep failed:\n{}", first.render());
         prop_assert_eq!(first.render(), second.render());
+    }
+}
+
+/// One traced wPAXOS engine run of `scenario` at the given queue core
+/// and shard count.
+fn traced_run(
+    scenario: &Scenario,
+    seed: u64,
+    core: QueueCoreKind,
+    shards: usize,
+) -> (MacReport, Trace) {
+    let n = scenario.topo.build().len();
+    let iv = scenario.inputs.materialize(n);
+    let mut backend = scenario.sim_backend_sharded(seed, core, shards);
+    let (report, _, trace) =
+        backend.execute_traced(&mut |s: Slot| WpaxosNode::new(iv[s.index()], WpaxosConfig::new(n)));
+    (report, trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The sharded engine's determinism contract over the full random
+    /// descriptor space: for shard counts {1, 2, 3, 7} and both queue
+    /// cores, the event **trace** — not just the condensed report — is
+    /// byte-identical to the serial engine's. Crashes (timed and
+    /// mid-broadcast), partitions, scripted schedules, and the new
+    /// torus/hypercube/random-tree topologies are all in scope.
+    #[test]
+    fn sharded_traces_are_byte_identical_to_serial(
+        scenario in arb_scenario(),
+        seed in 0u64..500,
+    ) {
+        prop_assert!(scenario.validate().is_ok(), "{scenario:?}");
+        for core in QueueCoreKind::all() {
+            let (serial_report, serial_trace) = traced_run(&scenario, seed, core, 1);
+            for shards in [2usize, 3, 7] {
+                let (report, trace) = traced_run(&scenario, seed, core, shards);
+                prop_assert_eq!(
+                    &serial_report, &report,
+                    "report diverged: {} core, {} shards, {:?}", core, shards, scenario
+                );
+                prop_assert_eq!(
+                    &serial_trace, &trace,
+                    "trace diverged: {} core, {} shards, {:?}", core, shards, scenario
+                );
+            }
+        }
     }
 }

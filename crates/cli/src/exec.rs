@@ -39,7 +39,10 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             trace,
             audit,
             id_budget,
-        } => run(algo, topo, sched, inputs, crashes, trace, audit, id_budget),
+            shards,
+        } => run(
+            algo, topo, sched, inputs, crashes, trace, audit, id_budget, shards,
+        ),
         Command::Check {
             algo,
             topo,
@@ -69,8 +72,10 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             timeout_ms,
             strict,
             queue,
+            shards,
         } => crosscheck(
             algo, topo, inputs, sched, f_ack, crashes, seed, jitter_us, timeout_ms, strict, queue,
+            shards,
         ),
         Command::Sweep {
             smoke,
@@ -78,7 +83,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             seeds,
             list,
             queue,
-        } => sweep(smoke, scenario, seeds, list, queue),
+            shards,
+        } => sweep(smoke, scenario, seeds, list, queue, shards),
     }
 }
 
@@ -91,9 +97,12 @@ fn sweep(
     seeds: usize,
     list: bool,
     queue: Option<QueueCoreKind>,
+    shards: Option<usize>,
 ) -> Result<String, String> {
     use amacl_bench::parallel::{default_threads, run_seeds};
-    use amacl_checker::scenario::{sweep_scenario_on, Scenario, SweepOutcome};
+    use amacl_checker::scenario::{
+        sweep_scenario_sharded, Scenario, SweepOutcome, SWEEP_SHARD_COUNTS,
+    };
 
     if list {
         let mut out = String::from("scenario catalogue:\n");
@@ -132,19 +141,31 @@ fn sweep(
     // Fan out over the parallel driver: one cross-check per job,
     // results reassembled in (scenario, seed) order. Each job also
     // proves the heap and calendar queue cores byte-identical on its
-    // scenario; `core` picks the engine core for the threads check.
+    // scenario, and the sharded engine byte-identical to serial at
+    // every shard count in `shard_counts`; `core` picks the engine
+    // core for the threads check.
     let core = queue.unwrap_or_else(QueueCoreKind::from_env);
+    let shard_counts: Vec<usize> = match shards {
+        Some(s) => vec![s],
+        None => SWEEP_SHARD_COUNTS.to_vec(),
+    };
     let indices: Vec<u64> = (0..jobs.len() as u64).collect();
     let rows = run_seeds(&indices, default_threads(), |i| {
         let (si, seed) = jobs[i as usize];
-        sweep_scenario_on(&scenarios[si], seed, core)
+        sweep_scenario_sharded(&scenarios[si], seed, core, &shard_counts)
     });
     let outcome = SweepOutcome {
         rows: rows.into_iter().map(|r| r.result).collect(),
     };
 
+    let shard_label = shard_counts
+        .iter()
+        .map(usize::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
     let mut out = format!(
-        "sweep: {} scenario(s) x {} seed(s), engine ({core} core) vs threads, heap vs calendar\n",
+        "sweep: {} scenario(s) x {} seed(s), engine ({core} core) vs threads, heap vs calendar, \
+         serial vs sharded (S={{{shard_label}}})\n",
         scenarios.len(),
         seed_list.len()
     );
@@ -174,6 +195,7 @@ fn crosscheck(
     timeout_ms: u64,
     strict: bool,
     queue: Option<QueueCoreKind>,
+    shards: Option<usize>,
 ) -> Result<String, String> {
     let topo = topo_spec.build();
     let n = topo.len();
@@ -207,6 +229,7 @@ fn crosscheck(
     }
     .seed(seed)
     .queue_core(queue.unwrap_or_else(QueueCoreKind::from_env))
+    .shards(shards.unwrap_or_else(|| ShardCount::from_env().get()))
     .crash_plan(CrashPlan::new(crashes.clone()));
     let mut rt = MacRuntime::new(
         topo,
@@ -259,6 +282,9 @@ fn crosscheck(
     }
     if let Some(core) = queue {
         let _ = writeln!(out, "  engine queue core: {core}");
+    }
+    if let Some(s) = shards {
+        let _ = writeln!(out, "  engine shards: {s}");
     }
     if !crashes.is_empty() {
         let _ = writeln!(out, "  crashes (both backends): {crashes:?}");
@@ -319,6 +345,7 @@ fn run(
     trace: bool,
     audit: bool,
     id_budget: Option<usize>,
+    shards: Option<usize>,
 ) -> Result<String, String> {
     let topo = topo_spec.build();
     let n = topo.len();
@@ -335,13 +362,16 @@ fn run(
     // One builder per algorithm arm: each has a distinct message type.
     macro_rules! simulate {
         ($mk:expr, $budget:expr) => {{
-            let mut sim = SimBuilder::new(topo.clone(), $mk)
+            let mut builder = SimBuilder::new(topo.clone(), $mk)
                 .scheduler(sched.build())
                 .crashes(CrashPlan::new(crashes.clone()))
                 .message_id_budget(id_budget.unwrap_or($budget))
                 .trace(trace || audit)
-                .max_time(Time(2_000_000))
-                .build();
+                .max_time(Time(2_000_000));
+            if let Some(s) = shards {
+                builder = builder.shards(s);
+            }
+            let mut sim = builder.build();
             let report = sim.run();
             let audit_text = if audit {
                 let a = check_trace(sim.topology(), sim.trace(), Some(sched.f_ack()), None);
@@ -441,6 +471,17 @@ fn run(
         report.metrics.broadcasts,
         report.metrics.deliveries
     );
+    if let Some(s) = shards {
+        let m = &report.metrics;
+        let _ = writeln!(
+            out,
+            "shards: {s} | cross-shard deliveries {} | windows {} | mailbox flushes {} | skew {:.2}",
+            m.cross_shard_deliveries,
+            m.shard_window_advances,
+            m.shard_mailbox_flushes,
+            m.shard_skew()
+        );
+    }
     let _ = writeln!(
         out,
         "consensus: agreement={} validity={} termination={} decided={:?}",
@@ -882,6 +923,57 @@ mod tests {
         assert!(out.contains("sweep OK"), "{out}");
         assert!(out.contains("cores identical"), "{out}");
         assert!(out.contains("calendar core"), "{out}");
+    }
+
+    #[test]
+    fn sweep_row_reports_shard_equivalence_and_counters() {
+        let out = cli("sweep --scenario torus-multi-cut --seeds 1").unwrap();
+        assert!(out.contains("sweep OK"), "{out}");
+        assert!(out.contains("shards identical"), "{out}");
+        assert!(out.contains("serial vs sharded (S={2,4})"), "{out}");
+        // The counter columns are present and aligned under headers.
+        for col in ["xdeliv", "windows", "flushes", "skew%"] {
+            assert!(out.contains(col), "missing column {col}: {out}");
+        }
+    }
+
+    #[test]
+    fn sweep_accepts_a_pinned_shard_count() {
+        let out = cli("sweep --scenario sync-lockstep --seeds 1 --shards 3").unwrap();
+        assert!(out.contains("sweep OK"), "{out}");
+        assert!(out.contains("serial vs sharded (S={3})"), "{out}");
+    }
+
+    #[test]
+    fn run_sharded_reports_counters_and_matches_serial() {
+        let serial = cli("run --algo wpaxos --topo torus:4x4 --sched random:4:9").unwrap();
+        let sharded =
+            cli("run --algo wpaxos --topo torus:4x4 --sched random:4:9 --shards 4").unwrap();
+        assert!(
+            sharded.contains("shards: 4 | cross-shard deliveries"),
+            "{sharded}"
+        );
+        // Identical outcome line (the sharded line is extra).
+        let outcome = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("outcome:"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(outcome(&serial), outcome(&sharded));
+    }
+
+    #[test]
+    fn crosscheck_accepts_shards() {
+        let out = cli(
+            "crosscheck --algo two-phase --topo clique:4 --inputs const:1 \
+             --shards 2 --strict",
+        )
+        .unwrap();
+        assert!(out.contains("cross-check OK"), "{out}");
+        assert!(out.contains("engine shards: 2"), "{out}");
+        let err = cli("crosscheck --algo wpaxos --topo clique:3 --shards 0").unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
     }
 
     #[test]

@@ -42,6 +42,7 @@ amacl — consensus with an abstract MAC layer (Newport, PODC 2014)
 USAGE:
   amacl run   --algo <ALGO> --topo <TOPO> [--sched <SCHED>] [--inputs <INPUTS>]
               [--crash <CRASH>]... [--trace] [--audit] [--id-budget <N>]
+              [--shards <S>]
   amacl check --algo <ALGO> --topo <TOPO> [--inputs <INPUTS>]
               [--crash-budget <N>] [--max-states <N>] [--bfs]
   amacl fuzz  --algo <ALGO> --topo <TOPO> [--inputs <INPUTS>]
@@ -50,9 +51,9 @@ USAGE:
   amacl crosscheck --algo <ALGO> --topo <TOPO> [--inputs <INPUTS>]
               [--sched <SCHED>] [--crash <CRASH>]... [--f-ack <N>]
               [--seed <S>] [--jitter-us <N>] [--timeout-ms <N>] [--strict]
-              [--queue heap|calendar]
+              [--queue heap|calendar] [--shards <S>]
   amacl sweep [--smoke] [--scenario <NAME>] [--seeds <N>] [--list]
-              [--queue heap|calendar]
+              [--queue heap|calendar] [--shards <S>]
 
 ALGO:    two-phase | wpaxos | tree-gather | flood-gather | bitwise:<bits>
          | ben-or | fd-paxos[:<initial-timeout>]
@@ -88,13 +89,24 @@ AMACL_QUEUE_CORE env var, else heap). fd-paxos is excluded (its
 timeouts are clock-scale dependent).
 
 `sweep` runs the named adversarial scenario catalogue — healing
-partitions (single and multi-cut), quorum-member timed crashes, crash
-storms at the f = minority boundary, partial-delivery crashes,
-slow-ack/fast-progress skew, scripted worst-case interleavings — on
-both backends, fanned out over worker threads, and fails on any
-divergence or property violation. Every row additionally runs the
-engine once per queue core (heap and calendar) and fails unless the
-two reports are byte-identical; `--queue` picks the core used for the
-vs-threads comparison. `--smoke` is the bounded subset CI runs on
-every PR; `--list` prints the catalogue.
+partitions (single and multi-cut, line and torus), quorum-member timed
+crashes, crash storms at the f = minority boundary (cliques and random
+trees), partial-delivery crashes, slow-ack/fast-progress skew (grids
+and hypercubes), scripted worst-case interleavings — on both backends,
+fanned out over worker threads, and fails on any divergence or
+property violation. Every row additionally (a) runs the engine once
+per queue core (heap and calendar) and (b) runs the SHARDED engine
+(default S in {2, 4}, alternating cores) and fails unless every report
+is byte-identical to serial; the cross-shard counters (mailbox
+deliveries, window advances, flushes, load skew) are printed as
+aligned columns. `--queue` picks the core used for the vs-threads
+comparison; `--shards` pins the serial-vs-sharded proof to one shard
+count. `--smoke` is the bounded subset CI runs on every PR; `--list`
+prints the catalogue.
+
+`--shards` on run/crosscheck executes the engine sharded (the
+conservative time-window coordinator; identical results by
+construction, surfaced so the claim is checkable from the CLI). The
+AMACL_SHARDS env var sets the default for every engine run; like
+AMACL_QUEUE_CORE, a typo is rejected rather than silently ignored.
 ";

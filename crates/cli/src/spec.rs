@@ -319,6 +319,8 @@ pub enum Command {
         audit: bool,
         /// Per-message id budget override.
         id_budget: Option<usize>,
+        /// Engine shard count (`None`: the `AMACL_SHARDS` default).
+        shards: Option<usize>,
     },
     /// `amacl check ...`
     Check {
@@ -384,6 +386,8 @@ pub enum Command {
         /// Engine event-queue core (`None`: the `AMACL_QUEUE_CORE`
         /// default).
         queue: Option<QueueCoreKind>,
+        /// Engine shard count (`None`: the `AMACL_SHARDS` default).
+        shards: Option<usize>,
     },
     /// `amacl sweep ...`: the named adversarial scenario catalogue on
     /// both backends, fanned out over worker threads.
@@ -400,6 +404,9 @@ pub enum Command {
         /// `AMACL_QUEUE_CORE` default). Both cores are always compared
         /// against each other regardless.
         queue: Option<QueueCoreKind>,
+        /// Shard count for the per-row serial-vs-sharded proof
+        /// (`None`: the default `{2, 4}` pair, alternating cores).
+        shards: Option<usize>,
     },
 }
 
@@ -427,6 +434,7 @@ impl Command {
                     Some(s) => Some(num(&s, "--id-budget")?),
                     None => None,
                 },
+                shards: parse_shards(&mut opts)?,
             },
             "check" => Command::Check {
                 algo: AlgoSpec::parse(&opts.required("--algo")?)?,
@@ -493,6 +501,7 @@ impl Command {
                 },
                 strict: opts.flag("--strict"),
                 queue: parse_queue(&mut opts)?,
+                shards: parse_shards(&mut opts)?,
             },
             "sweep" => Command::Sweep {
                 smoke: opts.flag("--smoke"),
@@ -503,6 +512,7 @@ impl Command {
                 },
                 list: opts.flag("--list"),
                 queue: parse_queue(&mut opts)?,
+                shards: parse_shards(&mut opts)?,
             },
             "help" | "--help" | "-h" => return Err(crate::USAGE.to_string()),
             other => return Err(format!("unknown command `{other}`\n\n{}", crate::USAGE)),
@@ -582,6 +592,17 @@ impl Opts {
 fn parse_queue(opts: &mut Opts) -> Result<Option<QueueCoreKind>, String> {
     match opts.optional("--queue") {
         Some(s) => s.parse().map(Some),
+        None => Ok(None),
+    }
+}
+
+/// Parses an optional `--shards <n>` selection (positive integer).
+fn parse_shards(opts: &mut Opts) -> Result<Option<usize>, String> {
+    match opts.optional("--shards") {
+        Some(s) => s
+            .parse::<ShardCount>()
+            .map(|c| Some(c.get()))
+            .map_err(|e| format!("--shards: {e}")),
         None => Ok(None),
     }
 }
@@ -777,7 +798,8 @@ mod tests {
 
     #[test]
     fn command_parse_sweep() {
-        let cmd = Command::parse(&argv("sweep --smoke --seeds 3 --queue calendar")).unwrap();
+        let cmd =
+            Command::parse(&argv("sweep --smoke --seeds 3 --queue calendar --shards 2")).unwrap();
         match cmd {
             Command::Sweep {
                 smoke,
@@ -785,11 +807,13 @@ mod tests {
                 scenario,
                 list,
                 queue,
+                shards,
             } => {
                 assert!(smoke && !list);
                 assert_eq!(seeds, 3);
                 assert_eq!(scenario, None);
                 assert_eq!(queue, Some(QueueCoreKind::Calendar));
+                assert_eq!(shards, Some(2));
             }
             _ => panic!("expected Sweep"),
         }
@@ -799,13 +823,28 @@ mod tests {
                 smoke,
                 seeds,
                 scenario,
+                shards,
                 ..
             } => {
                 assert!(!smoke);
                 assert_eq!(seeds, 2);
                 assert_eq!(scenario.as_deref(), Some("partition-heal"));
+                assert_eq!(shards, None);
             }
             _ => panic!("expected Sweep"),
+        }
+    }
+
+    #[test]
+    fn shards_option_rejects_zero_and_garbage() {
+        let err = Command::parse(&argv("run --algo wpaxos --topo line:4 --shards 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = Command::parse(&argv("sweep --smoke --shards many")).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let cmd = Command::parse(&argv("run --algo wpaxos --topo line:4 --shards 4")).unwrap();
+        match cmd {
+            Command::Run { shards, .. } => assert_eq!(shards, Some(4)),
+            _ => panic!("expected Run"),
         }
     }
 

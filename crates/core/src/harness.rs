@@ -73,7 +73,22 @@ pub fn run_wpaxos_on(
     core: QueueCoreKind,
 ) -> ConsensusRun {
     let cfg = WpaxosConfig::new(inputs.len());
-    run_wpaxos_inner(topo, inputs, cfg, scheduler, Some(core))
+    run_wpaxos_inner(topo, inputs, cfg, scheduler, Some(core), None)
+}
+
+/// Runs wPAXOS on an explicit queue core **and shard count** (the
+/// bench harness sweeps the full `(core, n, shards)` grid; sharding is
+/// observably identity-preserving, so this measures coordination
+/// overhead, not different executions).
+pub fn run_wpaxos_sharded(
+    topo: Topology,
+    inputs: &[Value],
+    scheduler: impl Scheduler + 'static,
+    core: QueueCoreKind,
+    shards: usize,
+) -> ConsensusRun {
+    let cfg = WpaxosConfig::new(inputs.len());
+    run_wpaxos_inner(topo, inputs, cfg, scheduler, Some(core), Some(shards))
 }
 
 /// Runs wPAXOS with an explicit configuration (ablations, the flooding
@@ -84,17 +99,19 @@ pub fn run_wpaxos_with(
     cfg: WpaxosConfig,
     scheduler: impl Scheduler + 'static,
 ) -> ConsensusRun {
-    run_wpaxos_inner(topo, inputs, cfg, scheduler, None)
+    run_wpaxos_inner(topo, inputs, cfg, scheduler, None, None)
 }
 
 /// The one wPAXOS run recipe every public wrapper shares; `core:
-/// None` keeps the builder's `AMACL_QUEUE_CORE` default.
+/// None` / `shards: None` keep the builder's `AMACL_QUEUE_CORE` /
+/// `AMACL_SHARDS` defaults.
 fn run_wpaxos_inner(
     topo: Topology,
     inputs: &[Value],
     cfg: WpaxosConfig,
     scheduler: impl Scheduler + 'static,
     core: Option<QueueCoreKind>,
+    shards: Option<usize>,
 ) -> ConsensusRun {
     assert_eq!(topo.len(), inputs.len(), "one input per node");
     let iv = inputs.to_vec();
@@ -103,6 +120,9 @@ fn run_wpaxos_inner(
         .message_id_budget(10);
     if let Some(core) = core {
         builder = builder.queue_core(core);
+    }
+    if let Some(shards) = shards {
+        builder = builder.shards(shards);
     }
     let report = builder.build().run();
     let check = check_consensus(inputs, &report, &[]);

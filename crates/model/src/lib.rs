@@ -85,7 +85,9 @@ pub mod topo;
 /// Convenience re-exports of the most commonly used types.
 pub mod prelude {
     pub use crate::ids::{NodeId, Slot};
-    pub use crate::mac::{BackendSched, MacLayer, MacReport, SchedulerFactory, SimBackend};
+    pub use crate::mac::{
+        BackendSched, LedgerShardView, MacLayer, MacReport, SchedulerFactory, SimBackend,
+    };
     pub use crate::msg::Payload;
     pub use crate::proc::{Context, Decision, NodeCell, Process, Value};
     pub use crate::sim::crash::{CrashPlan, CrashSpec};
@@ -102,6 +104,7 @@ pub mod prelude {
         sync::SynchronousScheduler,
         BroadcastPlan, Scheduler,
     };
+    pub use crate::sim::shard::{ShardCount, ShardMap};
     pub use crate::sim::time::{Time, Timestamp};
     pub use crate::topo::Topology;
 }

@@ -40,7 +40,9 @@ use crate::sim::sched::random::RandomScheduler;
 use crate::sim::sched::stall::MaxDelayScheduler;
 use crate::sim::sched::sync::SynchronousScheduler;
 use crate::sim::sched::Scheduler;
+use crate::sim::shard::ShardCount;
 use crate::sim::time::Time;
+use crate::sim::trace::Trace;
 use crate::topo::Topology;
 
 /// One execution substrate for the abstract MAC layer.
@@ -333,6 +335,30 @@ impl BcastLedger {
         }
     }
 
+    /// A read-only per-shard view over the ledger's per-slot tables:
+    /// the slot range `[lo, hi)` a shard owns, condensed to the counts
+    /// a coordinator or report needs (how many of the shard's slots
+    /// are crashed, how many crash watches are still armed, how many
+    /// partial-delivery countdowns and ack obligations are live).
+    ///
+    /// The tables themselves stay whole — a delivery on one shard may
+    /// legitimately tick a countdown owned by a *sender* on another
+    /// (see [`BcastLedger::note_delivery`]) — so the view is the
+    /// shard-local *summary*, not a partition of mutable state. It is
+    /// what the sharded engine exposes per shard for imbalance
+    /// reporting, and what a future thread-parallel stepper would
+    /// promote into true per-shard ownership.
+    pub fn shard_view(&self, lo: usize, hi: usize) -> LedgerShardView {
+        assert!(lo <= hi && hi <= self.crashed.len(), "slot range in bounds");
+        LedgerShardView {
+            slots: hi - lo,
+            crashed: self.crashed[lo..hi].iter().filter(|&&c| c).count(),
+            armed_watches: self.watches[lo..hi].iter().flatten().count(),
+            active_countdowns: self.active[lo..hi].iter().flatten().count(),
+            pending_obligations: self.awaiting[lo..hi].iter().flatten().count(),
+        }
+    }
+
     /// Releases every obligation awaiting the dead node `dead` (acks
     /// never wait on crashed neighbors). Returns the `(broadcast,
     /// sender)` pairs whose acks this completes, in deterministic
@@ -351,6 +377,29 @@ impl BcastLedger {
         completed.sort_unstable();
         completed.retain(|&(_, sender)| !self.crashed[sender]);
         completed
+    }
+}
+
+/// Shard-local summary of the [`BcastLedger`]'s per-slot tables; see
+/// [`BcastLedger::shard_view`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LedgerShardView {
+    /// Slots the shard owns.
+    pub slots: usize,
+    /// Crashed slots among them.
+    pub crashed: usize,
+    /// Mid-broadcast crash watches still armed.
+    pub armed_watches: usize,
+    /// Partial-delivery countdowns currently live.
+    pub active_countdowns: usize,
+    /// Ack obligations still awaiting confirmations.
+    pub pending_obligations: usize,
+}
+
+impl LedgerShardView {
+    /// Slots still alive in the shard.
+    pub fn alive(&self) -> usize {
+        self.slots - self.crashed
     }
 }
 
@@ -411,6 +460,7 @@ pub struct SimBackend {
     seed: u64,
     max_time: Time,
     queue: QueueCoreKind,
+    shards: usize,
 }
 
 impl fmt::Debug for SimBackend {
@@ -422,6 +472,7 @@ impl fmt::Debug for SimBackend {
             .field("seed", &self.seed)
             .field("max_time", &self.max_time)
             .field("queue", &self.queue)
+            .field("shards", &self.shards)
             .finish()
     }
 }
@@ -448,6 +499,7 @@ impl SimBackend {
             seed: 0,
             max_time: Time(10_000_000),
             queue: QueueCoreKind::from_env(),
+            shards: ShardCount::from_env().get(),
         }
     }
 
@@ -469,6 +521,26 @@ impl SimBackend {
     /// The queue core this backend builds engines on.
     pub fn queue_kind(&self) -> QueueCoreKind {
         self.queue
+    }
+
+    /// Shards every execution across `shards` workers via the
+    /// conservative time-window engine. Like the queue core, sharding
+    /// is observably identity-preserving (byte-identical traces and
+    /// reports at every shard count), surfaced here so cross-checks
+    /// can prove the equivalence per scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "shard count must be at least 1");
+        self.shards = shards;
+        self
+    }
+
+    /// The shard count this backend builds engines on.
+    pub fn shard_count(&self) -> usize {
+        self.shards
     }
 
     /// Sets the virtual-time horizon.
@@ -499,15 +571,37 @@ impl SimBackend {
         &mut self,
         init: &mut dyn FnMut(Slot) -> P,
     ) -> (MacReport, RunReport) {
-        let report = SimBuilder::new(self.topo.clone(), init)
+        let mut sim = self.build_sim(init, false);
+        let report = sim.run();
+        (MacReport::from_run(&report), report)
+    }
+
+    /// Runs one execution with event tracing enabled and returns the
+    /// recorded [`Trace`] alongside the reports — the byte-identity
+    /// witness the sharded-engine conformance checks compare.
+    pub fn execute_traced<P: Process>(
+        &mut self,
+        init: &mut dyn FnMut(Slot) -> P,
+    ) -> (MacReport, RunReport, Trace) {
+        let mut sim = self.build_sim(init, true);
+        let report = sim.run();
+        (MacReport::from_run(&report), report, sim.trace().clone())
+    }
+
+    fn build_sim<P: Process>(
+        &mut self,
+        init: &mut dyn FnMut(Slot) -> P,
+        trace: bool,
+    ) -> crate::sim::engine::Sim<P> {
+        SimBuilder::new(self.topo.clone(), init)
             .seed(self.seed)
             .max_time(self.max_time)
             .crashes(self.crashes.clone())
             .scheduler((self.sched)())
             .queue_core(self.queue)
+            .shards(self.shards)
+            .trace(trace)
             .build()
-            .run();
-        (MacReport::from_run(&report), report)
     }
 }
 

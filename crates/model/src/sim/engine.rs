@@ -1,5 +1,5 @@
-//! The discrete-event execution engine: a thin driver over the
-//! cancellable [`EventQueue`] core and the shared [`BcastLedger`]
+//! The discrete-event execution engine: a sharded driver over the
+//! cancellable [`EventQueue`] cores and the shared [`BcastLedger`]
 //! delivery/ack/crash bookkeeping.
 //!
 //! The engine's job is reduced to wiring: it asks the [`Scheduler`]
@@ -11,6 +11,24 @@
 //! remaining events are *cancelled* on the queue (O(1) tombstones)
 //! rather than popped-and-skipped, which keeps the hot loop free of
 //! per-event liveness checks.
+//!
+//! # Sharded execution
+//!
+//! The process set can be partitioned across `S` shards
+//! ([`SimBuilder::shards`], `AMACL_SHARDS`): each shard owns its own
+//! [`EventQueue`] and processes the events targeting its slots, while
+//! a **conservative time-window coordinator**
+//! ([`Sim::run`] → the windowed loop) advances all shards through
+//! `lookahead`-sized windows derived from the scheduler's minimum
+//! delay bound ([`Scheduler::min_delay`]). Events one shard schedules
+//! for another travel through deterministic per-edge mailboxes that
+//! are flushed at window boundaries; within a window the coordinator
+//! drains shard heads in global `(time, class, seq)` order, so the
+//! execution — trace, decisions, semantic counters — is
+//! **byte-identical** to the serial engine at every shard count. The
+//! full protocol and its cancellation-across-shards semantics are
+//! documented in [`super::shard`]. Serial (`S = 1`) takes a dedicated
+//! fast path with no window or routing overhead.
 //!
 //! Hot-path state is laid out densely: in-flight broadcasts live in a
 //! per-slot table (no hash maps anywhere in the loop), the event-id
@@ -25,7 +43,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::ids::{NodeId, Slot};
-use crate::mac::{Admission, BcastLedger};
+use crate::mac::{Admission, BcastLedger, LedgerShardView};
 use crate::msg::Payload;
 use crate::proc::{Context, Decision, Process, Value};
 use crate::topo::unreliable::UnreliableOverlay;
@@ -36,6 +54,7 @@ use super::event::{BcastId, EventClass, EventKind};
 use super::queue::{EventId, EventQueue, QueueCoreKind};
 use super::sched::random::RandomScheduler;
 use super::sched::Scheduler;
+use super::shard::{MailEntry, Mailbox, ShardCount, ShardMap};
 use super::time::Time;
 use super::trace::{Metrics, Trace, TraceEvent};
 
@@ -115,6 +134,7 @@ pub struct SimBuilder<P: Process> {
     seed: u64,
     unreliable: Option<(UnreliableOverlay, f64)>,
     queue_core: QueueCoreKind,
+    shards: usize,
 }
 
 impl<P: Process> SimBuilder<P> {
@@ -124,9 +144,10 @@ impl<P: Process> SimBuilder<P> {
     /// Defaults: ids equal to slot indices, a seeded
     /// [`RandomScheduler`] with `F_ack = 8`, no crashes, a large time
     /// horizon, stop-on-all-decided, no id-budget enforcement, tracing
-    /// off, and the queue core named by the `AMACL_QUEUE_CORE`
-    /// environment variable (the heap when unset — see
-    /// [`QueueCoreKind::from_env`]).
+    /// off, the queue core named by the `AMACL_QUEUE_CORE` environment
+    /// variable (the heap when unset — see [`QueueCoreKind::from_env`]),
+    /// and the shard count named by `AMACL_SHARDS` (serial when unset —
+    /// see [`ShardCount::from_env`]).
     pub fn new(topo: Topology, mut init: impl FnMut(Slot) -> P) -> Self {
         let n = topo.len();
         let procs: Vec<P> = (0..n).map(|i| init(Slot(i))).collect();
@@ -145,6 +166,7 @@ impl<P: Process> SimBuilder<P> {
             seed: 0,
             unreliable: None,
             queue_core: QueueCoreKind::from_env(),
+            shards: ShardCount::from_env().get(),
         }
     }
 
@@ -159,6 +181,22 @@ impl<P: Process> SimBuilder<P> {
     /// is purely a performance knob; see [`QueueCoreKind`].
     pub fn queue_core(mut self, kind: QueueCoreKind) -> Self {
         self.queue_core = kind;
+        self
+    }
+
+    /// Partitions the execution across `shards` worker shards driven
+    /// by the conservative time-window coordinator (clamped to the
+    /// node count; see [`super::shard`] for the protocol). Sharding is
+    /// observably identity-preserving — traces and reports are
+    /// byte-identical at every shard count — so, like the queue core,
+    /// this is purely an execution-architecture knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "shard count must be at least 1");
+        self.shards = shards;
         self
     }
 
@@ -237,10 +275,42 @@ impl<P: Process> SimBuilder<P> {
 
     /// Builds the simulator (processes have not started yet; the first
     /// call to [`Sim::run`] or [`Sim::run_until`] starts them).
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than one shard is requested and the scheduler
+    /// declares zero lookahead ([`Scheduler::min_delay`] returning 0):
+    /// a conservative sharded engine cannot advance on zero lookahead
+    /// — rejecting the configuration up front beats deadlocking in the
+    /// window loop.
     pub fn build(self) -> Sim<P> {
         let n = self.topo.len();
+        let shard_map = ShardMap::new(n, self.shards);
+        let nshards = shard_map.shards();
+        // The conservative window length. An unreliable overlay
+        // schedules extra deliveries as little as one tick out,
+        // regardless of what the scheduler promises, so it clamps the
+        // lookahead to the model floor.
+        let lookahead = if self.unreliable.is_some() {
+            self.scheduler.min_delay().min(1)
+        } else {
+            self.scheduler.min_delay()
+        };
+        if nshards > 1 {
+            assert!(
+                lookahead >= 1,
+                "scheduler declares zero lookahead (min_delay() == 0): the conservative \
+                 sharded engine cannot advance a time window on it; run with shards(1) \
+                 or fix the scheduler's min_delay()"
+            );
+        }
         let mut ledger = BcastLedger::new(n);
-        let mut queue = EventQueue::with_core(self.queue_core);
+        let mut shards: Vec<EventQueue<EventKind>> = (0..nshards)
+            .map(|_| EventQueue::with_core(self.queue_core))
+            .collect();
+        let mailboxes: Vec<Mailbox<EventKind>> =
+            (0..nshards * nshards).map(|_| Mailbox::new()).collect();
+        let mut next_event_id = 0u64;
         let mut undecided = n;
         for spec in self.crash_plan.specs() {
             match *spec {
@@ -249,9 +319,15 @@ impl<P: Process> SimBuilder<P> {
                         ledger.mark_crashed(slot.0);
                         undecided -= 1;
                     } else {
-                        queue.push(
+                        // Ids come from the engine-global counter in
+                        // spec order, exactly matching the serial
+                        // single-queue push order.
+                        let id = EventId(next_event_id);
+                        next_event_id += 1;
+                        shards[shard_map.shard_of(slot.0)].push_at(
                             time,
                             EventClass::Crash as u8,
+                            id,
                             EventKind::Crash { node: slot },
                         );
                     }
@@ -275,13 +351,20 @@ impl<P: Process> SimBuilder<P> {
                 )
             })
             .collect();
-        let metrics = Metrics::new(n);
+        let mut metrics = Metrics::new(n);
+        metrics.per_shard_events = vec![0; nshards];
         Sim {
             topo: self.topo,
             procs: self.procs,
             ids: self.ids,
             scheduler: self.scheduler,
-            queue,
+            shards,
+            shard_map,
+            mailboxes,
+            next_event_id,
+            lookahead,
+            mailbox_cancels: 0,
+            current_shard: 0,
             ledger,
             now: Time::ZERO,
             started: false,
@@ -307,13 +390,15 @@ impl<P: Process> SimBuilder<P> {
 }
 
 /// One in-flight broadcast: its id, the shared payload, a count of
-/// still-pending queue events referencing it, and those events' ids
-/// (for bulk cancellation when the sender crashes).
+/// still-pending queue events referencing it, and those events'
+/// `(id, destination shard)` pairs (for bulk cancellation when the
+/// sender crashes — the shard routes the cancel to the right queue or
+/// mailbox).
 struct InFlight<M> {
     bcast: u64,
     msg: M,
     refs: usize,
-    events: Vec<EventId>,
+    events: Vec<(EventId, u32)>,
 }
 
 /// A running (or runnable) simulation.
@@ -322,7 +407,27 @@ pub struct Sim<P: Process> {
     procs: Vec<P>,
     ids: Vec<NodeId>,
     scheduler: Box<dyn Scheduler>,
-    queue: EventQueue<EventKind>,
+    /// One event queue per shard; `shards.len() == 1` is the serial
+    /// fast path (no routing, no windows).
+    shards: Vec<EventQueue<EventKind>>,
+    /// Balanced block partition of slots onto shards.
+    shard_map: ShardMap,
+    /// Per-edge cross-shard mailboxes, indexed `src * S + dst`;
+    /// flushed at window boundaries (empty when serial).
+    mailboxes: Vec<Mailbox<EventKind>>,
+    /// Engine-global event-id allocator: ids double as the
+    /// deterministic `(time, class, seq)` tie-break, so they must be
+    /// allocated in scheduling order across all shards.
+    next_event_id: u64,
+    /// The scheduler's declared minimum delay — the conservative
+    /// window length.
+    lookahead: u64,
+    /// Cancellations that caught their event in a mailbox (in transit
+    /// between shards); folded into `queue_cancellations`.
+    mailbox_cancels: u64,
+    /// Shard whose event is currently being processed; routes the
+    /// events that processing schedules.
+    current_shard: u32,
     ledger: BcastLedger,
     now: Time,
     started: bool,
@@ -337,7 +442,7 @@ pub struct Sim<P: Process> {
     inflight: Vec<Vec<InFlight<P::Msg>>>,
     /// Recycled event-id vectors (the per-broadcast cancellation
     /// lists), so steady-state broadcasting allocates nothing.
-    events_pool: Vec<Vec<EventId>>,
+    events_pool: Vec<Vec<(EventId, u32)>>,
     /// Recycled neighbor-list buffer for `start_broadcast`.
     neighbor_scratch: Vec<Slot>,
     outstanding: Vec<Option<BcastId>>,
@@ -397,6 +502,29 @@ impl<P: Process> Sim<P> {
         &self.trace
     }
 
+    /// Number of shards this simulation runs on (1 = serial).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative window length (the scheduler's declared
+    /// minimum delay).
+    pub fn lookahead(&self) -> u64 {
+        self.lookahead
+    }
+
+    /// The slot range shard `shard` owns.
+    pub fn shard_slots(&self, shard: usize) -> std::ops::Range<usize> {
+        self.shard_map.slots_of(shard)
+    }
+
+    /// The ledger's shard-local summary for `shard` (crash/watch/
+    /// obligation counts over its slot range) — the imbalance view.
+    pub fn shard_ledger_view(&self, shard: usize) -> LedgerShardView {
+        let range = self.shard_map.slots_of(shard);
+        self.ledger.shard_view(range.start, range.end)
+    }
+
     /// `true` when every non-crashed node has decided.
     pub fn all_alive_decided(&self) -> bool {
         self.undecided == 0
@@ -428,29 +556,49 @@ impl<P: Process> Sim<P> {
     }
 
     fn run_inner(&mut self, until: Option<Time>) -> RunOutcome {
-        let outcome = self.run_loop(until);
+        let outcome = if self.shards.len() == 1 {
+            self.run_loop_serial(until)
+        } else {
+            self.run_loop_sharded(until)
+        };
         // Queue-core counters are folded into the metrics whenever the
-        // loop yields, so reports always carry up-to-date figures.
-        self.metrics.queue_pushes = self.queue.scheduled_total();
-        self.metrics.queue_cancellations = self.queue.cancelled_total();
-        self.metrics.queue_bucket_overflows = self.queue.bucket_overflows();
+        // loop yields, so reports always carry up-to-date figures. The
+        // pushes figure is the engine-global allocator (every event
+        // ever scheduled, on any shard); cancellations count tombstones
+        // on every shard's queue plus events caught in transit in a
+        // mailbox — together byte-identical to the serial figures.
+        self.metrics.queue_pushes = self.next_event_id;
+        self.metrics.queue_cancellations =
+            self.shards.iter().map(|q| q.cancelled_total()).sum::<u64>() + self.mailbox_cancels;
+        self.metrics.queue_bucket_overflows =
+            self.shards.iter().map(|q| q.bucket_overflows()).sum();
         outcome
     }
 
-    fn run_loop(&mut self, until: Option<Time>) -> RunOutcome {
-        if !self.started {
-            self.started = true;
-            for i in 0..self.topo.len() {
-                if !self.ledger.is_crashed(i) {
-                    self.dispatch(Slot(i), |p, ctx| p.on_start(ctx));
-                }
+    /// Starts every non-crashed process (first `run`/`run_until` call
+    /// only). Shared by both loop flavors; routing of the broadcasts
+    /// the starts issue follows `current_shard`.
+    fn start_procs(&mut self) {
+        self.started = true;
+        for i in 0..self.topo.len() {
+            if !self.ledger.is_crashed(i) {
+                self.current_shard = self.shard_map.shard_of(i) as u32;
+                self.dispatch(Slot(i), |p, ctx| p.on_start(ctx));
             }
+        }
+    }
+
+    /// The serial (`S = 1`) hot loop: one queue, no routing, no
+    /// windows — the exact pre-sharding fast path.
+    fn run_loop_serial(&mut self, until: Option<Time>) -> RunOutcome {
+        if !self.started {
+            self.start_procs();
         }
         loop {
             if self.stop_when_all_decided && self.undecided == 0 {
                 return RunOutcome::AllDecided;
             }
-            let Some(next_time) = self.queue.peek_time() else {
+            let Some(next_time) = self.shards[0].peek_time() else {
                 return if self.undecided == 0 {
                     RunOutcome::AllDecided
                 } else {
@@ -468,19 +616,172 @@ impl<P: Process> Sim<P> {
             if self.metrics.events >= self.max_events {
                 return RunOutcome::EventLimit;
             }
-            let ev = self.queue.pop().expect("peeked");
+            let ev = self.shards[0].pop().expect("peeked");
             self.now = ev.time;
             self.metrics.events += 1;
-            match ev.payload {
-                EventKind::Crash { node } => self.handle_crash(node),
-                EventKind::Receive {
-                    to,
-                    from,
-                    bcast,
-                    unreliable,
-                } => self.handle_receive(to, from, bcast, unreliable),
-                EventKind::Ack { node, bcast } => self.handle_ack(node, bcast),
+            self.process_event(ev.payload);
+        }
+    }
+
+    /// The conservative time-window coordinator (`S > 1`).
+    ///
+    /// Protocol per iteration: flush every cross-shard mailbox into
+    /// its destination queue, open a window `[W, W + lookahead)` at
+    /// the global minimum head time, and drain all shard heads due in
+    /// the window in global `(time, class, seq)` order. The lookahead
+    /// guarantees nothing processed inside the window schedules into
+    /// it, so mailboxes stay untouched until the next boundary, and
+    /// the merged order — hence the trace, decisions, and counters —
+    /// is byte-identical to the serial loop's. See [`super::shard`].
+    fn run_loop_sharded(&mut self, until: Option<Time>) -> RunOutcome {
+        debug_assert!(self.lookahead >= 1, "checked at build time");
+        if !self.started {
+            self.start_procs();
+        }
+        loop {
+            if self.stop_when_all_decided && self.undecided == 0 {
+                return RunOutcome::AllDecided;
             }
+            self.flush_mailboxes();
+            let Some(window_start) = self.min_head_time() else {
+                return if self.undecided == 0 {
+                    RunOutcome::AllDecided
+                } else {
+                    RunOutcome::Quiescent
+                };
+            };
+            if let Some(limit) = until {
+                if window_start > limit {
+                    return RunOutcome::MaxTime;
+                }
+            }
+            if window_start > self.max_time {
+                return RunOutcome::MaxTime;
+            }
+            let window_end = Time(window_start.ticks().saturating_add(self.lookahead - 1));
+            self.metrics.shard_window_advances += 1;
+            loop {
+                if self.stop_when_all_decided && self.undecided == 0 {
+                    return RunOutcome::AllDecided;
+                }
+                let Some((shard, next_time)) = self.min_head_in_window(window_end) else {
+                    break; // window drained; open the next one
+                };
+                if let Some(limit) = until {
+                    if next_time > limit {
+                        return RunOutcome::MaxTime;
+                    }
+                }
+                if next_time > self.max_time {
+                    return RunOutcome::MaxTime;
+                }
+                if self.metrics.events >= self.max_events {
+                    return RunOutcome::EventLimit;
+                }
+                let ev = self.shards[shard].pop().expect("peeked");
+                self.now = ev.time;
+                self.metrics.events += 1;
+                self.metrics.per_shard_events[shard] += 1;
+                self.current_shard = shard as u32;
+                self.process_event(ev.payload);
+            }
+        }
+    }
+
+    /// One engine step: dispatch a popped event to its handler. The
+    /// per-shard step function both loop flavors share.
+    fn process_event(&mut self, ev: EventKind) {
+        match ev {
+            EventKind::Crash { node } => self.handle_crash(node),
+            EventKind::Receive {
+                to,
+                from,
+                bcast,
+                unreliable,
+            } => self.handle_receive(to, from, bcast, unreliable),
+            EventKind::Ack { node, bcast } => self.handle_ack(node, bcast),
+        }
+    }
+
+    /// Drains every cross-shard mailbox into its destination queue
+    /// (entries keep their scheduling-time ids, so pop order is
+    /// unaffected by drain order). Counts one flush per non-empty
+    /// edge.
+    fn flush_mailboxes(&mut self) {
+        let s = self.shards.len();
+        for src in 0..s {
+            for dst in 0..s {
+                let mb = &mut self.mailboxes[src * s + dst];
+                if mb.is_empty() {
+                    continue;
+                }
+                self.metrics.shard_mailbox_flushes += 1;
+                let queue = &mut self.shards[dst];
+                mb.drain_into(|e: MailEntry<EventKind>| {
+                    queue.push_at(e.time, e.class, e.id, e.payload);
+                });
+            }
+        }
+    }
+
+    /// The earliest head time across all shard queues.
+    fn min_head_time(&mut self) -> Option<Time> {
+        self.shards.iter_mut().filter_map(|q| q.peek_time()).min()
+    }
+
+    /// The shard holding the globally smallest `(time, class, seq)`
+    /// head due at or before `window_end`, with that head's time.
+    fn min_head_in_window(&mut self, window_end: Time) -> Option<(usize, Time)> {
+        let mut best: Option<((Time, u8, u64), usize)> = None;
+        for (i, q) in self.shards.iter_mut().enumerate() {
+            if let Some(key) = q.peek_key() {
+                if key.0 <= window_end && best.is_none_or(|(b, _)| key < b) {
+                    best = Some((key, i));
+                }
+            }
+        }
+        best.map(|((t, ..), i)| (i, t))
+    }
+
+    /// Allocates the next event id and routes `kind` at `time`: into
+    /// the owning shard's queue directly, or into the per-edge mailbox
+    /// when the target slot lives on another shard. Returns the id and
+    /// the destination shard (the cancellation route).
+    fn schedule(&mut self, time: Time, kind: EventKind) -> (EventId, u32) {
+        let id = EventId(self.next_event_id);
+        self.next_event_id += 1;
+        let class = kind.class();
+        if self.shards.len() == 1 {
+            self.shards[0].push_at(time, class, id, kind);
+            return (id, 0);
+        }
+        let dst = self.shard_map.shard_of(kind.target().0) as u32;
+        let src = self.current_shard;
+        if dst == src {
+            self.shards[dst as usize].push_at(time, class, id, kind);
+        } else {
+            self.metrics.cross_shard_deliveries += 1;
+            self.mailboxes[src as usize * self.shards.len() + dst as usize].push(MailEntry {
+                time,
+                class,
+                id,
+                payload: kind,
+            });
+        }
+        (id, dst)
+    }
+
+    /// Cancels one scheduled event wherever it lives: on the
+    /// destination shard's queue (O(1) tombstone), or — when it is
+    /// still in transit between `src` and `dst` — in the mailbox. Ids
+    /// that already fired are a no-op in both places.
+    fn cancel_event(&mut self, id: EventId, dst: u32, src: u32) {
+        if self.shards[dst as usize].cancel(id) {
+            return;
+        }
+        if dst != src && self.mailboxes[src as usize * self.shards.len() + dst as usize].cancel(id)
+        {
+            self.mailbox_cancels += 1;
         }
     }
 
@@ -502,21 +803,27 @@ impl<P: Process> Sim<P> {
     }
 
     /// Voids a crashed sender's in-flight broadcast: every still-
-    /// pending delivery and the ack are cancelled on the queue, so
-    /// they simply never fire.
+    /// pending delivery and the ack are cancelled wherever they live —
+    /// queue tombstones on their destination shards, or removal from a
+    /// mailbox for entries still in transit — so they simply never
+    /// fire.
     fn cancel_broadcast(&mut self, sender: Slot, bcast: u64) {
         let list = &mut self.inflight[sender.0];
         if let Some(idx) = list.iter().position(|e| e.bcast == bcast) {
             let entry = list.swap_remove(idx);
-            for &id in &entry.events {
-                self.queue.cancel(id);
+            // All of this broadcast's events were scheduled from the
+            // sender's shard; that is the mailbox row to search for
+            // in-transit entries.
+            let src = self.shard_map.shard_of(sender.0) as u32;
+            for &(id, dst) in &entry.events {
+                self.cancel_event(id, dst, src);
             }
             self.recycle(entry.events);
         }
     }
 
     /// Returns an event-id vector to the pool for reuse.
-    fn recycle(&mut self, mut events: Vec<EventId>) {
+    fn recycle(&mut self, mut events: Vec<(EventId, u32)>) {
         if self.events_pool.len() < self.topo.len() {
             events.clear();
             self.events_pool.push(events);
@@ -671,6 +978,25 @@ impl<P: Process> Sim<P> {
         if let Err(e) = plan.validate(neighbors.len(), self.scheduler.f_ack()) {
             panic!("scheduler produced an invalid plan for {slot}: {e}");
         }
+        if self.shards.len() > 1 {
+            // The conservative windows are only sound if every plan
+            // honors the declared lookahead; a scheduler that
+            // undercuts its own min_delay() would let an event sneak
+            // into an already-open window.
+            let floor = plan
+                .receive_delays
+                .iter()
+                .copied()
+                .chain([plan.ack_delay])
+                .min()
+                .unwrap_or(plan.ack_delay);
+            assert!(
+                floor >= self.lookahead,
+                "scheduler violated its declared lookahead for {slot}: plans a delay of \
+                 {floor} ticks but min_delay() promised >= {}",
+                self.lookahead
+            );
+        }
 
         let mut events = self.events_pool.pop().unwrap_or_default();
         events.reserve(neighbors.len() + 1);
@@ -681,18 +1007,18 @@ impl<P: Process> Sim<P> {
                 bcast,
                 unreliable: false,
             };
-            events.push(
-                self.queue
-                    .push(self.now + plan.receive_delays[i], kind.class(), kind),
-            );
+            events.push(self.schedule(self.now + plan.receive_delays[i], kind));
         }
         let ack = EventKind::Ack { node: slot, bcast };
-        events.push(self.queue.push(self.now + plan.ack_delay, ack.class(), ack));
+        events.push(self.schedule(self.now + plan.ack_delay, ack));
 
-        if let Some((overlay, p)) = &self.unreliable {
+        // Take the overlay out while sampling so `schedule` can borrow
+        // `self` mutably (no clone on the hot path). Overlay delays are
+        // >= 1, which the build-time lookahead clamp accounts for.
+        if let Some((overlay, p)) = self.unreliable.take() {
             let f_ack = self.scheduler.f_ack().max(1);
             for nbr in overlay.neighbors(slot) {
-                if self.engine_rng.gen_bool(*p) {
+                if self.engine_rng.gen_bool(p) {
                     let delay = self.engine_rng.gen_range(1..=f_ack);
                     let kind = EventKind::Receive {
                         to: nbr,
@@ -700,9 +1026,10 @@ impl<P: Process> Sim<P> {
                         bcast,
                         unreliable: true,
                     };
-                    events.push(self.queue.push(self.now + delay, kind.class(), kind));
+                    events.push(self.schedule(self.now + delay, kind));
                 }
             }
+            self.unreliable = Some((overlay, p));
         }
 
         self.inflight[slot.0].push(InFlight {
@@ -1101,6 +1428,296 @@ mod tests {
         assert_eq!(report.metrics.deliveries, 1);
         assert_eq!(sim.process(Slot(2)).received, 1);
         assert_eq!(report.metrics.acks, 0, "interrupted broadcast acked");
+    }
+
+    /// A run configuration whose observables we compare across shard
+    /// counts: trace bytes, decisions, and the semantic counters.
+    fn observables(report: &RunReport, sim: &Sim<Flood>) -> impl PartialEq + std::fmt::Debug {
+        (
+            report.outcome,
+            report.end_time,
+            report.decisions.clone(),
+            report.metrics.broadcasts,
+            report.metrics.deliveries,
+            report.metrics.acks,
+            report.metrics.crashes,
+            report.metrics.events,
+            report.metrics.queue_pushes,
+            report.metrics.queue_cancellations,
+            sim.trace().clone(),
+        )
+    }
+
+    /// The sharded-engine contract: for every shard count and both
+    /// queue cores, the trace and report are byte-identical to serial.
+    #[test]
+    fn sharded_runs_are_byte_identical_to_serial() {
+        for core in QueueCoreKind::all() {
+            for topo in [
+                Topology::line(9),
+                Topology::clique(6),
+                Topology::random_connected(14, 0.2, 3),
+            ] {
+                let run = |shards: usize| {
+                    let mut sim = SimBuilder::new(topo.clone(), |s| Flood {
+                        initiator: s.0 == 0,
+                        relayed: false,
+                    })
+                    .scheduler(RandomScheduler::new(5, 11))
+                    .crashes(CrashPlan::new(vec![CrashSpec::AtTime {
+                        slot: Slot(topo.len() - 1),
+                        time: Time(2),
+                    }]))
+                    .queue_core(core)
+                    .shards(shards)
+                    .trace(true)
+                    .build();
+                    let report = sim.run();
+                    (observables(&report, &sim), sim.shard_count())
+                };
+                let (serial, s1) = run(1);
+                assert_eq!(s1, 1);
+                for shards in [2usize, 3, 7] {
+                    let (sharded, actual) = run(shards);
+                    assert_eq!(
+                        serial, sharded,
+                        "{core} core, {shards} shards ({actual} effective) diverged from serial"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Mid-broadcast crashes reach across shards: the countdown fires
+    /// on a delivery processed by one shard, crashes the sender on
+    /// another, and the remaining events — including any still in a
+    /// mailbox — are cancelled. Counters must match serial exactly.
+    #[test]
+    fn sharded_mid_broadcast_crash_matches_serial() {
+        let run = |shards: usize| {
+            let mut sim = SimBuilder::new(Topology::clique(6), |s| Counter {
+                received: 0,
+                emit: s.0 == 0,
+            })
+            .scheduler(SynchronousScheduler::new(1))
+            .crashes(CrashPlan::new(vec![CrashSpec::MidBroadcast {
+                slot: Slot(0),
+                nth_broadcast: 0,
+                delivered: 2,
+            }]))
+            .shards(shards)
+            .trace(true)
+            .build();
+            let report = sim.run();
+            (
+                report.metrics.deliveries,
+                report.metrics.acks,
+                report.metrics.crashes,
+                report.metrics.queue_cancellations,
+                sim.trace().clone(),
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial.0, 2, "exactly the allowed prefix");
+        for shards in [2usize, 3, 6] {
+            assert_eq!(serial, run(shards), "{shards} shards");
+        }
+    }
+
+    /// `run_until` pause/resume crosses window boundaries without
+    /// losing mailbox contents or disturbing the merged order.
+    #[test]
+    fn sharded_run_until_matches_serial() {
+        let run = |shards: usize| {
+            let mut sim = flood_sim(Topology::line(8));
+            let mut sim2 = SimBuilder::new(Topology::line(8), |s| Flood {
+                initiator: s.0 == 0,
+                relayed: false,
+            })
+            .scheduler(SynchronousScheduler::new(1))
+            .shards(shards)
+            .build();
+            sim.run_until(Time(3));
+            sim2.run_until(Time(3));
+            assert_eq!(sim.now(), sim2.now());
+            assert_eq!(sim.decisions(), sim2.decisions(), "{shards} shards paused");
+            let (a, b) = (sim.run(), sim2.run());
+            assert_eq!(a.decisions, b.decisions, "{shards} shards resumed");
+            assert_eq!(a.metrics.events, b.metrics.events);
+        };
+        for shards in [2usize, 4] {
+            run(shards);
+        }
+    }
+
+    /// Sharded runs populate the coordinator counters; serial runs
+    /// leave them zero.
+    #[test]
+    fn shard_counters_surface_in_metrics() {
+        // Shard counts pinned explicitly: this test's "serial" leg
+        // must stay serial even under an `AMACL_SHARDS` env default.
+        let run = |shards: usize| {
+            let mut sim = SimBuilder::new(Topology::ring(8), |s| Flood {
+                initiator: s.0 == 0,
+                relayed: false,
+            })
+            .scheduler(SynchronousScheduler::new(1))
+            .shards(shards)
+            .build();
+            sim.run().metrics
+        };
+        let serial = run(1);
+        assert_eq!(serial.cross_shard_deliveries, 0);
+        assert_eq!(serial.shard_window_advances, 0);
+        assert_eq!(serial.shard_mailbox_flushes, 0);
+        let sharded = run(4);
+        assert!(sharded.cross_shard_deliveries > 0, "{sharded:?}");
+        assert!(sharded.shard_window_advances > 0, "{sharded:?}");
+        assert!(sharded.shard_mailbox_flushes > 0, "{sharded:?}");
+        assert_eq!(sharded.per_shard_events.len(), 4);
+        assert_eq!(sharded.per_shard_events.iter().sum::<u64>(), sharded.events);
+        assert!(sharded.shard_skew() >= 1.0);
+    }
+
+    /// Shard counts beyond the node count clamp instead of creating
+    /// empty shards.
+    #[test]
+    fn shard_count_clamps_to_node_count() {
+        let mut sim = SimBuilder::new(Topology::clique(3), |s| Flood {
+            initiator: s.0 == 0,
+            relayed: false,
+        })
+        .scheduler(SynchronousScheduler::new(1))
+        .shards(64)
+        .build();
+        assert_eq!(sim.shard_count(), 3);
+        assert!(sim.run().all_decided());
+    }
+
+    /// A scheduler declaring zero lookahead is rejected at build time
+    /// with a clear error — the conservative engine must not deadlock
+    /// on it. Serial builds still accept it.
+    #[test]
+    fn zero_lookahead_scheduler_is_rejected_when_sharded() {
+        struct ZeroLookahead;
+        impl Scheduler for ZeroLookahead {
+            fn f_ack(&self) -> u64 {
+                4
+            }
+            fn min_delay(&self) -> u64 {
+                0
+            }
+            fn plan(&mut self, _now: Time, _sender: Slot, neighbors: &[Slot]) -> BroadcastPlan {
+                BroadcastPlan {
+                    receive_delays: vec![1; neighbors.len()],
+                    ack_delay: 1,
+                }
+            }
+        }
+        use super::super::sched::BroadcastPlan;
+        let build = |shards: usize| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                SimBuilder::new(Topology::clique(4), |s| Flood {
+                    initiator: s.0 == 0,
+                    relayed: false,
+                })
+                .scheduler(ZeroLookahead)
+                .shards(shards)
+                .build()
+            }))
+        };
+        // Serial: zero lookahead is irrelevant, the build succeeds.
+        assert!(build(1).is_ok());
+        // Sharded: rejected with a message naming the problem.
+        let err = match build(2) {
+            Ok(_) => panic!("zero-lookahead sharded build must be rejected"),
+            Err(e) => e,
+        };
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            msg.contains("zero lookahead"),
+            "panic message should name the problem: {msg}"
+        );
+    }
+
+    /// A scheduler whose plans undercut its declared lookahead is
+    /// caught by the per-broadcast check instead of corrupting the
+    /// window protocol.
+    #[test]
+    #[should_panic(expected = "violated its declared lookahead")]
+    fn lookahead_violations_are_caught() {
+        struct Overpromise;
+        impl Scheduler for Overpromise {
+            fn f_ack(&self) -> u64 {
+                8
+            }
+            fn min_delay(&self) -> u64 {
+                4 // promises 4, plans 1
+            }
+            fn plan(&mut self, _now: Time, _sender: Slot, neighbors: &[Slot]) -> BroadcastPlan {
+                BroadcastPlan {
+                    receive_delays: vec![1; neighbors.len()],
+                    ack_delay: 1,
+                }
+            }
+        }
+        use super::super::sched::BroadcastPlan;
+        let mut sim = SimBuilder::new(Topology::clique(4), |s| Flood {
+            initiator: s.0 == 0,
+            relayed: false,
+        })
+        .scheduler(Overpromise)
+        .shards(2)
+        .build();
+        sim.run();
+    }
+
+    /// The max-delay adversary declares `F_ack` lookahead, so the
+    /// coordinator batches a whole round per window.
+    #[test]
+    fn wide_lookahead_batches_windows() {
+        let mut sim = SimBuilder::new(Topology::clique(5), |s| Flood {
+            initiator: s.0 == 0,
+            relayed: false,
+        })
+        .scheduler(crate::sim::sched::stall::MaxDelayScheduler::new(8))
+        .shards(2)
+        .build();
+        assert_eq!(sim.lookahead(), 8);
+        let report = sim.run();
+        assert!(report.all_decided());
+        assert!(
+            report.metrics.shard_window_advances <= report.metrics.events,
+            "{:?}",
+            report.metrics
+        );
+    }
+
+    /// The ledger's shard view summarizes per-shard crash state.
+    #[test]
+    fn shard_ledger_view_reports_crashes() {
+        let mut sim = SimBuilder::new(Topology::clique(6), |s| Flood {
+            initiator: s.0 == 0,
+            relayed: false,
+        })
+        .scheduler(SynchronousScheduler::new(1))
+        .crashes(CrashPlan::new(vec![CrashSpec::AtTime {
+            slot: Slot(5),
+            time: Time::ZERO,
+        }]))
+        .shards(2)
+        .build();
+        sim.run();
+        let first = sim.shard_ledger_view(0);
+        let last = sim.shard_ledger_view(1);
+        assert_eq!(first.crashed, 0);
+        assert_eq!(last.crashed, 1, "slot 5 lives in the last shard");
+        assert_eq!(first.slots + last.slots, 6);
+        assert_eq!(last.alive(), last.slots - 1);
     }
 
     #[test]

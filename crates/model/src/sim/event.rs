@@ -50,6 +50,16 @@ impl EventKind {
             EventKind::Ack { .. } => EventClass::Ack,
         }) as u8
     }
+
+    /// The slot that processes this event — the slot whose owning
+    /// shard the sharded engine routes it to.
+    pub(crate) fn target(&self) -> Slot {
+        match *self {
+            EventKind::Receive { to, .. } => to,
+            EventKind::Ack { node, .. } => node,
+            EventKind::Crash { node } => node,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -23,5 +23,6 @@ pub mod engine;
 mod event;
 pub mod queue;
 pub mod sched;
+pub mod shard;
 pub mod time;
 pub mod trace;

@@ -95,6 +95,26 @@ pub trait QueueCore<E> {
     /// classes pop first at equal times). Returns the entry's id.
     fn push(&mut self, time: Time, class: u8, payload: E) -> EventId;
 
+    /// Schedules `payload` under a **caller-allocated** id.
+    ///
+    /// This is the sharded engine's seam (see [`super::shard`]): event
+    /// ids are allocated from one engine-global counter at scheduling
+    /// time, carried through cross-shard mailboxes, and inserted here
+    /// with their original id — so the `(time, class, id)` pop order of
+    /// a set of events is independent of which queue each one landed
+    /// in, and of the order mailboxes were drained.
+    ///
+    /// The caller owes the queue unique ids (never reused across
+    /// `push`/`push_at` on the same queue); the id participates in
+    /// cancellation and liveness accounting exactly like a
+    /// [`QueueCore::push`]-allocated one.
+    fn push_at(&mut self, time: Time, class: u8, id: EventId, payload: E);
+
+    /// The `(time, class, id)` key of the earliest live entry, purging
+    /// any cancelled entries that have reached the queue head. This is
+    /// what the sharded coordinator merges shard heads on.
+    fn peek_key(&mut self) -> Option<(Time, u8, u64)>;
+
     /// Cancels the entry with the given id, if it is still pending.
     ///
     /// Returns `true` if the entry was live (it will now never pop) and
@@ -261,6 +281,17 @@ impl Tombstones {
         id
     }
 
+    /// Registers an externally allocated id as pending (the
+    /// [`QueueCore::push_at`] path). Keeps `next_id` ahead of every
+    /// registered id so `scheduled_total` stays monotone even when
+    /// internal allocation and external ids are mixed.
+    fn register(&mut self, id: u64) {
+        debug_assert!(!self.pending.contains(&id), "id {id} already pending");
+        debug_assert!(!self.tombstones.contains(&id), "id {id} already dead");
+        self.pending.insert(id);
+        self.next_id = self.next_id.max(id + 1);
+    }
+
     fn cancel(&mut self, id: u64) -> bool {
         if self.pending.remove(&id) {
             self.tombstones.insert(id);
@@ -322,6 +353,21 @@ impl<E> QueueCore<E> for HeapCore<E> {
             payload,
         });
         EventId(id)
+    }
+
+    fn push_at(&mut self, time: Time, class: u8, id: EventId, payload: E) {
+        self.ts.register(id.0);
+        self.heap.push(Entry {
+            time,
+            class,
+            id: id.0,
+            payload,
+        });
+    }
+
+    fn peek_key(&mut self) -> Option<(Time, u8, u64)> {
+        self.purge_cancelled_head();
+        self.heap.peek().map(|e| (e.time, e.class, e.id))
     }
 
     fn cancel(&mut self, id: EventId) -> bool {
@@ -539,16 +585,11 @@ impl<E> CalendarCore<E> {
     }
 }
 
-impl<E> QueueCore<E> for CalendarCore<E> {
-    fn push(&mut self, time: Time, class: u8, payload: E) -> EventId {
-        let id = self.ts.alloc();
-        let entry = Entry {
-            time,
-            class,
-            id,
-            payload,
-        };
-        let day = Self::day_of(time);
+impl<E> CalendarCore<E> {
+    /// Places an entry into the right tier (staged day, ring bucket,
+    /// or overflow) — the shared body of `push` and `push_at`.
+    fn place(&mut self, entry: Entry<E>) {
+        let day = Self::day_of(entry.time);
         if day <= self.cur_day {
             // The entry's day has already been staged (or lies in the
             // past); it must pop before anything still in the ring.
@@ -562,7 +603,34 @@ impl<E> QueueCore<E> for CalendarCore<E> {
             self.overflows += 1;
             self.maybe_grow();
         }
+    }
+}
+
+impl<E> QueueCore<E> for CalendarCore<E> {
+    fn push(&mut self, time: Time, class: u8, payload: E) -> EventId {
+        let id = self.ts.alloc();
+        self.place(Entry {
+            time,
+            class,
+            id,
+            payload,
+        });
         EventId(id)
+    }
+
+    fn push_at(&mut self, time: Time, class: u8, id: EventId, payload: E) {
+        self.ts.register(id.0);
+        self.place(Entry {
+            time,
+            class,
+            id: id.0,
+            payload,
+        });
+    }
+
+    fn peek_key(&mut self) -> Option<(Time, u8, u64)> {
+        self.settle();
+        self.current.last().map(|e| (e.time, e.class, e.id))
     }
 
     fn cancel(&mut self, id: EventId) -> bool {
@@ -657,6 +725,18 @@ impl<E> EventQueue<E> {
     /// classes pop first at equal times). Returns the entry's id.
     pub fn push(&mut self, time: Time, class: u8, payload: E) -> EventId {
         on_core!(self, core => core.push(time, class, payload))
+    }
+
+    /// Schedules `payload` under a caller-allocated id; see
+    /// [`QueueCore::push_at`].
+    pub fn push_at(&mut self, time: Time, class: u8, id: EventId, payload: E) {
+        on_core!(self, core => core.push_at(time, class, id, payload))
+    }
+
+    /// The `(time, class, id)` key of the earliest live entry; see
+    /// [`QueueCore::peek_key`].
+    pub fn peek_key(&mut self) -> Option<(Time, u8, u64)> {
+        on_core!(self, core => core.peek_key())
     }
 
     /// Cancels the entry with the given id, if it is still pending.
@@ -815,6 +895,47 @@ mod tests {
         assert_eq!(popped.len(), expected.len());
         for (p, x) in popped.iter().zip(&expected) {
             assert_eq!((p.0, p.2), (x.0, x.2));
+        }
+    }
+
+    /// `push_at` entries interleave with `push`-allocated ones purely
+    /// by `(time, class, id)`, regardless of insertion order — the
+    /// property the sharded engine's mailbox drains rely on.
+    #[test]
+    fn push_at_orders_by_id_independent_of_insertion_order() {
+        for kind in QueueCoreKind::all() {
+            let mut q: EventQueue<u64> = EventQueue::with_core(kind);
+            // Insert out of id order, including a far-future entry.
+            q.push_at(Time(5), 1, EventId(3), 30);
+            q.push_at(Time(5), 1, EventId(1), 10);
+            q.push_at(Time(1_000_000), 0, EventId(4), 40);
+            q.push_at(Time(5), 0, EventId(2), 20);
+            q.push_at(Time(5), 1, EventId(0), 0);
+            assert_eq!(q.peek_key(), Some((Time(5), 0, 2)), "{kind}");
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+            assert_eq!(order, vec![20, 0, 10, 30, 40], "{kind} core");
+            // The external ids count toward scheduling/liveness totals.
+            assert_eq!(q.scheduled_total(), 5, "{kind}");
+            assert!(q.is_empty());
+        }
+    }
+
+    /// Cancellation and liveness accounting treat `push_at` ids like
+    /// internally allocated ones.
+    #[test]
+    fn push_at_entries_cancel_like_any_other() {
+        for kind in QueueCoreKind::all() {
+            let mut q: EventQueue<u8> = EventQueue::with_core(kind);
+            q.push_at(Time(1), 0, EventId(0), 1);
+            q.push_at(Time(2), 0, EventId(1), 2);
+            assert_eq!(q.len(), 2);
+            assert!(q.cancel(EventId(0)));
+            assert!(!q.cancel(EventId(0)));
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.peek_time(), Some(Time(2)), "{kind}");
+            assert_eq!(q.pop().unwrap().payload, 2);
+            assert!(q.pop().is_none());
+            assert_eq!(q.cancelled_total(), 1);
         }
     }
 

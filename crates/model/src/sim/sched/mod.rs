@@ -87,6 +87,23 @@ pub trait Scheduler {
     /// *nodes* — only the simulator and the analysis see it.
     fn f_ack(&self) -> u64;
 
+    /// The **minimum** delay this scheduler ever assigns to a delivery
+    /// or an ack, in ticks — the *lookahead* of the conservative
+    /// sharded engine (see [`crate::sim::shard`]).
+    ///
+    /// The abstract MAC layer gives every scheduler a strictly
+    /// positive floor for free: a broadcast is never received (and
+    /// certainly never acked) at the instant it is issued, so `1` — the
+    /// default — is always sound. Schedulers that provably delay more
+    /// (e.g. the max-delay adversary, which stalls everything the full
+    /// `F_ack`) may override this to widen the engine's time windows;
+    /// declaring more lookahead than a plan honors is an error the
+    /// engine panics on, and declaring `0` is rejected at build time
+    /// (a conservative engine cannot advance on zero lookahead).
+    fn min_delay(&self) -> u64 {
+        1
+    }
+
     /// Plans delivery for a broadcast issued by `sender` at `now` to
     /// the given neighbors (in sorted slot order).
     ///
@@ -99,6 +116,9 @@ pub trait Scheduler {
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     fn f_ack(&self) -> u64 {
         (**self).f_ack()
+    }
+    fn min_delay(&self) -> u64 {
+        (**self).min_delay()
     }
     fn plan(&mut self, now: Time, sender: Slot, neighbors: &[Slot]) -> BroadcastPlan {
         (**self).plan(now, sender, neighbors)

@@ -89,6 +89,12 @@ impl<S: Scheduler> Scheduler for EdgeDelayScheduler<S> {
         self.max_release().ticks() + self.inner.f_ack()
     }
 
+    /// Cuts only ever *postpone* deliveries (and drag the ack along),
+    /// so the base scheduler's floor still holds.
+    fn min_delay(&self) -> u64 {
+        self.inner.min_delay()
+    }
+
     fn plan(&mut self, now: Time, sender: Slot, neighbors: &[Slot]) -> BroadcastPlan {
         let mut plan = self.inner.plan(now, sender, neighbors);
         for (i, &nbr) in neighbors.iter().enumerate() {

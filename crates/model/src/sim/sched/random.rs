@@ -54,6 +54,12 @@ impl Scheduler for RandomScheduler {
         self.f_ack
     }
 
+    /// Delays are sampled from `[min_delay, F_ack]`, so the configured
+    /// floor is exactly the sharded engine's lookahead.
+    fn min_delay(&self) -> u64 {
+        self.min_delay
+    }
+
     fn plan(&mut self, _now: Time, _sender: Slot, neighbors: &[Slot]) -> BroadcastPlan {
         let receive_delays: Vec<u64> = neighbors
             .iter()

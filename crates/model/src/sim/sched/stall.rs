@@ -36,6 +36,12 @@ impl Scheduler for MaxDelayScheduler {
         self.f_ack
     }
 
+    /// Every delivery and ack takes exactly `F_ack`, so the sharded
+    /// engine gets the widest possible conservative window.
+    fn min_delay(&self) -> u64 {
+        self.f_ack
+    }
+
     fn plan(&mut self, _now: Time, _sender: Slot, neighbors: &[Slot]) -> BroadcastPlan {
         BroadcastPlan {
             receive_delays: vec![self.f_ack; neighbors.len()],

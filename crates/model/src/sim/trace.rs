@@ -67,7 +67,11 @@ impl TraceEvent {
 }
 
 /// An optionally-recorded event log.
-#[derive(Clone, Debug, Default)]
+///
+/// Equality compares the recorded events byte-for-byte (and the
+/// enabled flag) — the assertion the sharded engine's determinism
+/// contract is stated in.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Trace {
     enabled: bool,
     events: Vec<TraceEvent>,
@@ -135,6 +139,23 @@ pub struct Metrics {
     /// Queue entries that missed the core's fast path (calendar
     /// overflow-tier inserts; always 0 on the heap core).
     pub queue_bucket_overflows: u64,
+    /// Deliveries routed through a cross-shard mailbox (always 0 on a
+    /// serial, single-shard run). High values relative to `deliveries`
+    /// mean the shard partition cuts across the traffic pattern.
+    pub cross_shard_deliveries: u64,
+    /// Conservative time windows the sharded coordinator opened
+    /// (always 0 serial). `events / shard_window_advances` is the mean
+    /// batch the lookahead buys per window.
+    pub shard_window_advances: u64,
+    /// Non-empty per-edge mailboxes drained at window boundaries
+    /// (always 0 serial).
+    pub shard_mailbox_flushes: u64,
+    /// Events processed per shard (length = shard count). Populated
+    /// by the sharded coordinator only — a serial run reports `[0]`
+    /// (its fast path skips the per-shard accounting, and `events`
+    /// already carries the total). The spread is the load-imbalance
+    /// signal the sweep reports surface.
+    pub per_shard_events: Vec<u64>,
     /// Largest per-message id count observed.
     pub max_message_ids: usize,
     /// Sum of id counts over all broadcasts.
@@ -157,6 +178,19 @@ impl Metrics {
     /// lower bound discussed in Section 4.2.
     pub fn max_broadcasts_per_slot(&self) -> u64 {
         self.per_slot_broadcasts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Shard load imbalance: the busiest shard's event share over the
+    /// mean (`1.0` = perfectly balanced; `1.0` when nothing ran or the
+    /// run was serial).
+    pub fn shard_skew(&self) -> f64 {
+        let total: u64 = self.per_shard_events.iter().sum();
+        let max = self.per_shard_events.iter().copied().max().unwrap_or(0);
+        if total == 0 || self.per_shard_events.is_empty() {
+            1.0
+        } else {
+            max as f64 * self.per_shard_events.len() as f64 / total as f64
+        }
     }
 }
 
@@ -191,6 +225,18 @@ mod tests {
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.decisions().count(), 1);
         assert_eq!(t.events()[1].time(), Time(3));
+    }
+
+    #[test]
+    fn shard_skew_measures_imbalance() {
+        let mut m = Metrics::new(4);
+        assert_eq!(m.shard_skew(), 1.0, "no shards recorded");
+        m.per_shard_events = vec![10, 10];
+        assert_eq!(m.shard_skew(), 1.0, "balanced");
+        m.per_shard_events = vec![30, 10];
+        assert_eq!(m.shard_skew(), 1.5);
+        m.per_shard_events = vec![0, 0, 0];
+        assert_eq!(m.shard_skew(), 1.0, "empty run");
     }
 
     #[test]
