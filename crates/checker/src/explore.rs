@@ -225,6 +225,12 @@ where
             violations: Vec::new(),
             truncated: false,
         };
+        // Iteration-order audit (the PR 2 ack-order leak class): this
+        // is the walk's only hash collection, and it is queried by
+        // membership alone — never iterated — so hash order cannot
+        // reach the walk. Visit order is fully determined by the
+        // explicit frontier below plus `ExploreMachine::choices()`,
+        // which enumerates from dense per-slot tables in slot order.
         let mut seen: HashSet<u64> = HashSet::new();
         // Explicit frontier: (state, path to it). Paths are stored per
         // frame; for the small spaces this targets, the clone cost is
@@ -361,6 +367,39 @@ mod tests {
         // The schedule replays to the same bad state.
         let m = explorer.replay(&v.schedule);
         assert_eq!(m.decided_values().len(), 2);
+    }
+
+    /// Companion to the iteration-order audit on [`Explorer::run`]'s
+    /// `seen` set: with the only hash collection queried by membership
+    /// alone, repeated walks — violation schedules and decision bytes
+    /// included — must be identical, under both search orders and with
+    /// crashes in play.
+    #[test]
+    fn walks_are_deterministic_across_runs() {
+        for order in [SearchOrder::Dfs, SearchOrder::Bfs] {
+            let run = || {
+                Explorer::new(
+                    Topology::clique(3),
+                    vec![Selfish(0), Selfish(1), Selfish(1)],
+                    vec![0, 1, 1],
+                    1,
+                )
+                .run(ExploreConfig {
+                    order,
+                    max_violations: 4,
+                    ..ExploreConfig::default()
+                })
+            };
+            let (a, b) = (run(), run());
+            assert_eq!(a.states, b.states);
+            assert_eq!(a.max_depth_reached, b.max_depth_reached);
+            assert_eq!(a.violations.len(), b.violations.len());
+            for (x, y) in a.violations.iter().zip(&b.violations) {
+                assert_eq!(x.kind, y.kind);
+                assert_eq!(x.schedule, y.schedule);
+                assert_eq!(x.decisions, y.decisions);
+            }
+        }
     }
 
     #[test]

@@ -44,6 +44,14 @@
 //! [`MacLayer`](amacl_model::mac::MacLayer) trait, and any mismatch is
 //! reported as the first diverging slot with both backends' views.
 //!
+//! [`explore_mac`] is the next generation of the exhaustive walk: it
+//! drives the *real* [`BcastLedger`](amacl_model::mac::BcastLedger)
+//! (the bookkeeping both backends share) instead of a re-implemented
+//! branching machine, applies dynamic partial-order reduction so
+//! commuting deliveries are not re-explored, and lowers every
+//! counterexample into a [`Scenario`] that joins the sweep catalogue —
+//! closing the loop from search to regression suite.
+//!
 //! ## Scope
 //!
 //! The explorer treats executions as untimed event sequences — all
@@ -58,12 +66,17 @@
 
 pub mod crosscheck;
 pub mod explore;
+pub mod explore_mac;
 pub mod fuzz;
 pub mod machine;
 pub mod scenario;
 
 pub use crosscheck::{cross_check, CrossCheckConfig, CrossCheckOutcome};
 pub use explore::{ExploreConfig, ExploreOutcome, Explorer, SearchOrder, Violation, ViolationKind};
+pub use explore_mac::{
+    LedgerMutation, MacExploreConfig, MacExploreDescriptor, MacExploreOutcome, MacExplorer,
+    MacMachine, MacViolation, Reduction,
+};
 pub use fuzz::{FuzzConfig, FuzzOutcome};
 pub use machine::{Choice, ExploreMachine};
 pub use scenario::{

@@ -94,6 +94,7 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
                     ScenarioInputs::Alternating
                 },
                 strict: false,
+                expect_stall: false,
             }
         },
     )
@@ -110,6 +111,7 @@ fn arb_determined_scenario() -> impl Strategy<Value = Scenario> {
         crashes: vec![],
         inputs: ScenarioInputs::Uniform(v),
         strict: true,
+        expect_stall: false,
     })
 }
 

@@ -52,6 +52,9 @@ USAGE:
               [--sched <SCHED>] [--crash <CRASH>]... [--f-ack <N>]
               [--seed <S>] [--jitter-us <N>] [--timeout-ms <N>] [--strict]
               [--queue heap|calendar] [--shards <S>]
+  amacl explore --algo <ALGO> --topo <TOPO> [--inputs <INPUTS>]
+              [--crash-budget <N>] [--max-states <N>] [--max-depth <N>]
+              [--naive] [--mutate none|ack-early|drop-releases]
   amacl sweep [--smoke] [--scenario <NAME>] [--seeds <N>] [--list]
               [--queue heap|calendar] [--shards <S>]
 
@@ -87,6 +90,26 @@ threaded side). `--strict` additionally demands bit-identical decisions
 inputs). `--queue` pins the engine's event-queue core (default: the
 AMACL_QUEUE_CORE env var, else heap). fd-paxos is excluded (its
 timeouts are clock-scale dependent).
+
+`explore` model-checks the MacLayer seam itself: it enumerates every
+delivery/ack/crash interleaving of the shared broadcast ledger (DPOR
+with sleep sets by default; `--naive` for plain DFS + state dedup) and
+judges agreement/validity/termination in every reachable state.
+`--mutate` seeds a deliberate ledger bug (`ack-early` confirms
+broadcasts before all deliveries land; `drop-releases` leaks the ack
+obligations of crashed nodes) — the explorer must then find a
+violating schedule, and the command lowers it into a scripted-scheduler
++ crash-plan scenario and proves the round trip: the lowered scenario
+sweeps clean on the real backends, so it can be enrolled in the
+catalogue verbatim (`explored-ack-early-witness` is one such entry).
+A violation found with NO mutation is instead a genuine property of
+the algorithm (e.g. two-phase is not crash tolerant); since such a
+stall is existential — one backend's timing may escape the exact
+interleaving — its round trip gates on engine byte-identity across
+queue cores and shard counts plus safety, and reports whether the
+engine reproduces the stall. Supported: two-phase, wpaxos (note
+wPAXOS's untimed ballot space is far too large to cover exhaustively
+— expect truncation).
 
 `sweep` runs the named adversarial scenario catalogue — healing
 partitions (single and multi-cut, line and torus), quorum-member timed

@@ -389,6 +389,27 @@ pub enum Command {
         /// Engine shard count (`None`: the `AMACL_SHARDS` default).
         shards: Option<usize>,
     },
+    /// `amacl explore ...`: DPOR model checking of the delivery/ack/
+    /// crash interleavings behind the `MacLayer` seam, with violating
+    /// schedules lowered into sweep-ready scenarios.
+    Explore {
+        /// Algorithm (must be scenario-compatible: two-phase, wpaxos).
+        algo: AlgoSpec,
+        /// Topology (must have a scenario-descriptor form).
+        topo: TopoSpec,
+        /// Input assignment.
+        inputs: InputSpec,
+        /// Crash moves the explored scheduler may take.
+        crash_budget: usize,
+        /// State cap.
+        max_states: usize,
+        /// Depth cap.
+        max_depth: usize,
+        /// Plain DFS + state dedup instead of DPOR.
+        naive: bool,
+        /// Seeded ledger bug (`none` | `ack-early` | `drop-releases`).
+        mutate: Option<String>,
+    },
     /// `amacl sweep ...`: the named adversarial scenario catalogue on
     /// both backends, fanned out over worker threads.
     Sweep {
@@ -502,6 +523,25 @@ impl Command {
                 strict: opts.flag("--strict"),
                 queue: parse_queue(&mut opts)?,
                 shards: parse_shards(&mut opts)?,
+            },
+            "explore" => Command::Explore {
+                algo: AlgoSpec::parse(&opts.required("--algo")?)?,
+                topo: TopoSpec::parse(&opts.required("--topo")?)?,
+                inputs: InputSpec::parse(&opts.optional("--inputs").unwrap_or("alt".into()))?,
+                crash_budget: match opts.optional("--crash-budget") {
+                    Some(s) => num(&s, "--crash-budget")?,
+                    None => 0,
+                },
+                max_states: match opts.optional("--max-states") {
+                    Some(s) => num(&s, "--max-states")?,
+                    None => 500_000,
+                },
+                max_depth: match opts.optional("--max-depth") {
+                    Some(s) => num(&s, "--max-depth")?,
+                    None => 10_000,
+                },
+                naive: opts.flag("--naive"),
+                mutate: opts.optional("--mutate"),
             },
             "sweep" => Command::Sweep {
                 smoke: opts.flag("--smoke"),
@@ -860,6 +900,52 @@ mod tests {
                 assert_eq!(crashes.len(), 1);
             }
             _ => panic!("expected CrossCheck"),
+        }
+    }
+
+    #[test]
+    fn command_parse_explore() {
+        let cmd = Command::parse(&argv(
+            "explore --algo two-phase --topo clique:2 --inputs 0,1 --mutate ack-early",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Explore {
+                algo,
+                crash_budget,
+                max_states,
+                max_depth,
+                naive,
+                mutate,
+                ..
+            } => {
+                assert_eq!(algo, AlgoSpec::TwoPhase);
+                assert_eq!(crash_budget, 0);
+                assert_eq!(max_states, 500_000);
+                assert_eq!(max_depth, 10_000);
+                assert!(!naive);
+                assert_eq!(mutate.as_deref(), Some("ack-early"));
+            }
+            _ => panic!("expected Explore"),
+        }
+        let cmd = Command::parse(&argv(
+            "explore --algo wpaxos --topo ring:4 --crash-budget 1 --max-states 99 --naive",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Explore {
+                crash_budget,
+                max_states,
+                naive,
+                mutate,
+                ..
+            } => {
+                assert_eq!(crash_budget, 1);
+                assert_eq!(max_states, 99);
+                assert!(naive);
+                assert_eq!(mutate, None);
+            }
+            _ => panic!("expected Explore"),
         }
     }
 

@@ -147,6 +147,66 @@ pub enum Admission {
     },
 }
 
+/// One atomic scheduler step at the MAC-layer seam.
+///
+/// Both execution backends realize exactly three kinds of externally
+/// visible transition — deliver an in-flight broadcast to one
+/// neighbor, ack a completed broadcast back to its sender, crash a
+/// node — with timing attached. The exhaustive explorer in
+/// `amacl-checker` enumerates executions as *untimed* sequences of
+/// these choices, driving the same [`BcastLedger`] the backends share.
+///
+/// The derived `Ord` is meaningful: it sorts deliveries (by sender,
+/// then receiver) before acks before crashes, which fixes the
+/// deterministic enumeration order of
+/// [`BcastLedger::enabled_choices`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MacChoice {
+    /// Deliver the in-flight broadcast of `from` to neighbor `to`.
+    Deliver {
+        /// Sender slot whose broadcast is in flight.
+        from: usize,
+        /// Receiver slot that has not yet confirmed.
+        to: usize,
+    },
+    /// Ack the slot's broadcast (every confirmation is in).
+    Ack(usize),
+    /// Crash the slot (consumes one unit of the crash budget).
+    Crash(usize),
+}
+
+impl MacChoice {
+    /// The baseline independence (commutation) relation the explorer's
+    /// partial-order reduction uses: two independent choices, both
+    /// enabled, may be executed in either order with the same
+    /// resulting state, and neither disables the other.
+    ///
+    /// The relation is deliberately *conservative* (dependence is
+    /// over-approximated — extra dependence only costs re-exploration,
+    /// never soundness):
+    ///
+    /// * two deliveries commute iff they target different receivers
+    ///   (same receiver ⇒ the receiver's callback order differs);
+    /// * a delivery and an ack commute iff the acked node is neither
+    ///   the delivery's sender (the ack consumes that sender's
+    ///   obligation) nor its receiver (two callbacks at one node);
+    /// * two acks commute iff they ack different nodes;
+    /// * a crash commutes with nothing (it gates enabledness of every
+    ///   choice touching the dead node, and releases obligations at
+    ///   arbitrary other nodes).
+    pub fn independent(self, other: MacChoice) -> bool {
+        use MacChoice::*;
+        match (self, other) {
+            (Crash(_), _) | (_, Crash(_)) => false,
+            (Deliver { to: b, .. }, Deliver { to: d, .. }) => b != d,
+            (Deliver { from: a, to: b }, Ack(u)) | (Ack(u), Deliver { from: a, to: b }) => {
+                u != a && u != b
+            }
+            (Ack(u), Ack(v)) => u != v,
+        }
+    }
+}
+
 /// Sentinel for "no sender recorded" in the dense broadcast table.
 const NO_SENDER: usize = usize::MAX;
 
@@ -333,6 +393,89 @@ impl BcastLedger {
         } else {
             None
         }
+    }
+
+    /// The ack obligation outstanding for `slot`'s in-flight
+    /// broadcast: the broadcast id and the (ordered) set of neighbors
+    /// that have not yet confirmed. `None` when no obligation is
+    /// pending — either nothing is in flight, or every confirmation is
+    /// in and the ack may fire.
+    pub fn awaiting_confirmations(&self, slot: usize) -> Option<(u64, &BTreeSet<usize>)> {
+        self.awaiting[slot].as_ref().map(|(b, set)| (*b, set))
+    }
+
+    /// Enumerates every scheduler choice the ledger state enables, in
+    /// the deterministic [`MacChoice`] order: deliveries (by sender,
+    /// then receiver), then acks, then crashes.
+    ///
+    /// `outstanding[s]` tells the ledger whether slot `s` has a
+    /// broadcast in flight (the ledger itself forgets a broadcast the
+    /// moment its obligation resolves — the *ack event* is the
+    /// caller's to schedule); `crash_budget` is how many further
+    /// crashes the adversary may inject. Concretely:
+    ///
+    /// * `Deliver { from, to }` for every live sender with a pending
+    ///   obligation and every live, unconfirmed receiver `to` — a
+    ///   crashed sender's remaining deliveries are cancelled, exactly
+    ///   as both backends cancel them;
+    /// * `Ack(s)` for every live `s` with a broadcast outstanding and
+    ///   no pending obligation (all confirmations in);
+    /// * `Crash(s)` for every live `s`, if budget remains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outstanding.len()` differs from the node count.
+    pub fn enabled_choices(&self, outstanding: &[bool], crash_budget: usize) -> Vec<MacChoice> {
+        assert_eq!(outstanding.len(), self.crashed.len(), "one flag per slot");
+        let mut out = Vec::new();
+        for from in 0..self.crashed.len() {
+            if self.crashed[from] {
+                continue;
+            }
+            if let Some((_, awaiting)) = &self.awaiting[from] {
+                for &to in awaiting {
+                    if !self.crashed[to] {
+                        out.push(MacChoice::Deliver { from, to });
+                    }
+                }
+            }
+        }
+        for (slot, &in_flight) in outstanding.iter().enumerate() {
+            if in_flight && !self.crashed[slot] && self.awaiting[slot].is_none() {
+                out.push(MacChoice::Ack(slot));
+            }
+        }
+        if crash_budget > 0 {
+            for slot in 0..self.crashed.len() {
+                if !self.crashed[slot] {
+                    out.push(MacChoice::Crash(slot));
+                }
+            }
+        }
+        out
+    }
+
+    /// A 64-bit fingerprint of the complete ledger state — crash
+    /// flags, broadcast counts, armed watches, live countdowns, ack
+    /// obligations, and the id → sender table.
+    ///
+    /// Every hashed container is a `Vec` or `BTreeSet`, so the
+    /// fingerprint is a pure function of ledger state with no
+    /// iteration-order dependence; `DefaultHasher` uses fixed keys, so
+    /// it is also stable across runs of the same build. The explorer
+    /// combines it with a process-state hash to deduplicate (or merely
+    /// count) converging interleavings.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.crashed.hash(&mut h);
+        self.counts.hash(&mut h);
+        self.watches.hash(&mut h);
+        self.active.hash(&mut h);
+        self.awaiting.hash(&mut h);
+        self.senders.hash(&mut h);
+        h.finish()
     }
 
     /// A read-only per-shard view over the ledger's per-slot tables:
@@ -688,6 +831,108 @@ mod tests {
         ledger.confirm(0, 1);
         ledger.mark_crashed(0);
         assert_eq!(ledger.confirm(0, 2), None);
+    }
+
+    #[test]
+    fn enabled_choices_enumerate_in_deterministic_order() {
+        let mut ledger = BcastLedger::new(3);
+        // Slot 0 broadcasts to {1, 2}; slot 2 broadcasts to {0} and is
+        // fully confirmed (ack pending).
+        assert_eq!(ledger.admit_broadcast(0, 0), Admission::Deliver);
+        ledger.register_ack_obligation(0, 0, [1, 2].into());
+        assert_eq!(ledger.admit_broadcast(2, 1), Admission::Deliver);
+        ledger.register_ack_obligation(1, 2, [0].into());
+        assert_eq!(ledger.confirm(1, 0), Some(2));
+        let outstanding = [true, false, true];
+        assert_eq!(
+            ledger.enabled_choices(&outstanding, 1),
+            vec![
+                MacChoice::Deliver { from: 0, to: 1 },
+                MacChoice::Deliver { from: 0, to: 2 },
+                MacChoice::Ack(2),
+                MacChoice::Crash(0),
+                MacChoice::Crash(1),
+                MacChoice::Crash(2),
+            ]
+        );
+        // Budget exhausted: no crash choices.
+        assert_eq!(ledger.enabled_choices(&outstanding, 0).len(), 3);
+        // A crashed sender's remaining deliveries are cancelled, and
+        // crashed receivers drop out of delivery sets.
+        ledger.mark_crashed(0);
+        assert_eq!(
+            ledger.enabled_choices(&outstanding, 0),
+            vec![MacChoice::Ack(2)]
+        );
+    }
+
+    #[test]
+    fn choice_independence_is_symmetric_and_conservative() {
+        use MacChoice::*;
+        let d01 = Deliver { from: 0, to: 1 };
+        let d10 = Deliver { from: 1, to: 0 };
+        let d21 = Deliver { from: 2, to: 1 };
+        // Different receivers commute; same receiver does not.
+        assert!(d01.independent(d10));
+        assert!(!d01.independent(d21));
+        // Acks commute with deliveries not touching the acked node.
+        assert!(Ack(2).independent(d01));
+        assert!(
+            !Ack(0).independent(d01),
+            "ack consumes sender 0's obligation"
+        );
+        assert!(!Ack(1).independent(d01), "two callbacks at node 1");
+        assert!(Ack(0).independent(Ack(1)));
+        // Nothing commutes with a crash, or with itself.
+        for c in [d01, d10, Ack(0), Crash(2)] {
+            assert!(!c.independent(Crash(0)));
+            assert!(!Crash(0).independent(c));
+            assert!(!c.independent(c));
+        }
+        // Symmetry over a small universe.
+        let all = [d01, d10, d21, Ack(0), Ack(1), Crash(1)];
+        for a in all {
+            for b in all {
+                assert_eq!(a.independent(b), b.independent(a), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_fingerprint_tracks_state() {
+        let mut a = BcastLedger::new(3);
+        let mut b = BcastLedger::new(3);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.admit_broadcast(0, 0);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        b.admit_broadcast(0, 0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.register_ack_obligation(0, 0, [1, 2].into());
+        b.register_ack_obligation(0, 0, [1, 2].into());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Confirmations in a different interleaving converge to the
+        // same fingerprint once the same set has confirmed.
+        a.confirm(0, 1);
+        b.confirm(0, 2);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        a.confirm(0, 2);
+        b.confirm(0, 1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let snap = a.fingerprint();
+        assert_eq!(a.clone().fingerprint(), snap, "clone preserves state");
+    }
+
+    #[test]
+    fn awaiting_confirmations_reports_the_obligation() {
+        let mut ledger = BcastLedger::new(3);
+        assert_eq!(ledger.awaiting_confirmations(0), None);
+        ledger.register_ack_obligation(7, 0, [1, 2].into());
+        let (bcast, set) = ledger.awaiting_confirmations(0).unwrap();
+        assert_eq!(bcast, 7);
+        assert_eq!(set.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+        ledger.confirm(7, 1);
+        ledger.confirm(7, 2);
+        assert_eq!(ledger.awaiting_confirmations(0), None);
     }
 
     /// Minimal process: broadcast once, decide own value on ack.
