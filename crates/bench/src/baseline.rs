@@ -31,6 +31,12 @@
 //!   `shards = 1`, so a v3 gate still understands a committed v2
 //!   baseline, and the v1 top-level reference figure is kept (heap,
 //!   n = 32, serial).
+//! * `amacl-bench-engine/v4` — v3 plus a per-row `threads` dimension:
+//!   the worker thread count of the thread-per-shard parallel stepper
+//!   (`1` = single-threaded stepping). v3/v2 rows parse as `threads =
+//!   1`, so the v4 gate still understands older committed baselines;
+//!   the top-level `threads` field remains the *measurement driver's*
+//!   seed-fan-out width, unchanged since v1.
 
 /// Extracts a numeric field's value from a flat JSON object, e.g.
 /// `json_number(s, "events_per_sec")`. Returns `None` when the field
@@ -66,13 +72,19 @@ pub struct BaselineRow {
     /// Shard count of the engine (`1` = serial; v2 rows, which predate
     /// sharding, parse as `1`).
     pub shards: u64,
+    /// Worker threads stepping each conservative window (`1` =
+    /// single-threaded; v3/v2 rows, which predate the parallel
+    /// stepper, parse as `1`).
+    pub threads: u64,
     /// Measured serial throughput.
     pub events_per_sec: f64,
 }
 
-/// Extracts the v2/v3 per-configuration rows from a baseline JSON.
+/// Extracts the v2/v3/v4 per-configuration rows from a baseline JSON.
 /// Returns an empty vector for v1 files (which have no rows). Rows
-/// without a `shards` field (v2) parse as serial (`shards = 1`).
+/// without a `shards` field (v2) parse as serial (`shards = 1`); rows
+/// without a `threads` field (v3/v2) parse as single-threaded
+/// (`threads = 1`).
 pub fn parse_rows(json: &str) -> Vec<BaselineRow> {
     let mut rows = Vec::new();
     let mut rest = json;
@@ -89,6 +101,7 @@ pub fn parse_rows(json: &str) -> Vec<BaselineRow> {
                 queue_core,
                 n: n as u64,
                 shards: json_number(chunk, "shards").map_or(1, |s| s as u64),
+                threads: json_number(chunk, "threads").map_or(1, |t| t as u64),
                 events_per_sec,
             });
         }
@@ -97,7 +110,7 @@ pub fn parse_rows(json: &str) -> Vec<BaselineRow> {
     rows
 }
 
-/// Gates every baseline v2/v3 row against the matching fresh row: each
+/// Gates every baseline v2/v3/v4 row against the matching fresh row: each
 /// configuration must not have collapsed below `baseline / tolerance`,
 /// and every baseline configuration must have been re-measured.
 ///
@@ -115,16 +128,18 @@ pub fn gate_rows(
     assert!(tolerance >= 1.0, "tolerance must be >= 1");
     let baseline = parse_rows(baseline_json);
     if baseline.is_empty() {
-        return Err("baseline JSON has no v2/v3 rows".into());
+        return Err("baseline JSON has no v2/v3/v4 rows".into());
     }
     let mut lines = Vec::new();
     let mut failures = Vec::new();
     for b in &baseline {
-        let label = format!("core={} n={} shards={}", b.queue_core, b.n, b.shards);
-        match fresh
-            .iter()
-            .find(|f| f.queue_core == b.queue_core && f.n == b.n && f.shards == b.shards)
-        {
+        let label = format!(
+            "core={} n={} shards={} threads={}",
+            b.queue_core, b.n, b.shards, b.threads
+        );
+        match fresh.iter().find(|f| {
+            f.queue_core == b.queue_core && f.n == b.n && f.shards == b.shards && f.threads == b.threads
+        }) {
             None => failures.push(format!("{label}: no fresh measurement")),
             Some(f) if f.events_per_sec * tolerance < b.events_per_sec => failures.push(format!(
                 "{label}: collapsed to {:.0} events/sec vs baseline {:.0} ({}x slower, tolerance {tolerance}x)",
@@ -270,10 +285,15 @@ mod tests {
     }
 
     fn sharded_row(core: &str, n: u64, shards: u64, eps: f64) -> BaselineRow {
+        threaded_row(core, n, shards, 1, eps)
+    }
+
+    fn threaded_row(core: &str, n: u64, shards: u64, threads: u64, eps: f64) -> BaselineRow {
         BaselineRow {
             queue_core: core.into(),
             n,
             shards,
+            threads,
             events_per_sec: eps,
         }
     }
@@ -285,8 +305,9 @@ mod tests {
         assert_eq!(rows[0], row("heap", 32, 2_500_000.0));
         assert_eq!(rows[1], row("heap", 512, 1_114_754.0));
         assert_eq!(rows[2].queue_core, "calendar");
-        // v2 rows predate sharding: they parse as serial.
-        assert!(rows.iter().all(|r| r.shards == 1));
+        // v2 rows predate sharding and the parallel stepper: they
+        // parse as serial, single-threaded.
+        assert!(rows.iter().all(|r| r.shards == 1 && r.threads == 1));
         // v1 files have no rows.
         assert!(parse_rows(SAMPLE).is_empty());
         // The v1-compat top-level reference figure is still readable.
@@ -378,5 +399,54 @@ mod tests {
         assert!(err.contains("no fresh measurement"), "{err}");
         // And a v1 baseline has no rows to gate.
         assert!(gate_rows(SAMPLE, &fresh, 3.0).is_err());
+    }
+
+    const SAMPLE_V4: &str = r#"{
+  "schema": "amacl-bench-engine/v4",
+  "workload": "wpaxos random_connected(n,p(n),seed), RandomScheduler(F_ack=4)",
+  "threads": 1,
+  "events_per_sec": 2500000,
+  "rows": [
+    {"queue_core": "heap", "n": 32, "shards": 1, "threads": 1, "seeds": 16, "events_per_sec": 2500000},
+    {"queue_core": "heap", "n": 32, "shards": 4, "threads": 1, "seeds": 16, "events_per_sec": 1800000},
+    {"queue_core": "heap", "n": 32, "shards": 4, "threads": 4, "seeds": 16, "events_per_sec": 3600000}
+  ]
+}"#;
+
+    #[test]
+    fn v4_rows_parse_with_threads() {
+        let rows = parse_rows(SAMPLE_V4);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], threaded_row("heap", 32, 1, 1, 2_500_000.0));
+        assert_eq!(rows[1], threaded_row("heap", 32, 4, 1, 1_800_000.0));
+        assert_eq!(rows[2], threaded_row("heap", 32, 4, 4, 3_600_000.0));
+    }
+
+    #[test]
+    fn gate_rows_distinguishes_thread_counts() {
+        // Same (core, n, shards) at the other thread count must not
+        // satisfy a missing configuration...
+        let fresh = vec![
+            threaded_row("heap", 32, 1, 1, 2_500_000.0),
+            threaded_row("heap", 32, 4, 1, 1_800_000.0),
+        ];
+        let err = gate_rows(SAMPLE_V4, &fresh, 3.0).unwrap_err();
+        assert!(err.contains("core=heap n=32 shards=4 threads=4"), "{err}");
+        // ...and a collapse in only the threaded row is caught per-row.
+        let fresh = vec![
+            threaded_row("heap", 32, 1, 1, 2_500_000.0),
+            threaded_row("heap", 32, 4, 1, 1_800_000.0),
+            threaded_row("heap", 32, 4, 4, 100_000.0), // 36x slower
+        ];
+        let err = gate_rows(SAMPLE_V4, &fresh, 3.0).unwrap_err();
+        assert!(err.contains("core=heap n=32 shards=4 threads=4"), "{err}");
+        assert!(err.contains("collapsed"), "{err}");
+        // All present and healthy: one verdict line per row.
+        let fresh = vec![
+            threaded_row("heap", 32, 1, 1, 2_400_000.0),
+            threaded_row("heap", 32, 4, 1, 1_700_000.0),
+            threaded_row("heap", 32, 4, 4, 3_500_000.0),
+        ];
+        assert_eq!(gate_rows(SAMPLE_V4, &fresh, 3.0).unwrap().len(), 3);
     }
 }

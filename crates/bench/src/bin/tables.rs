@@ -10,22 +10,24 @@
 //!   slices plus a short engine throughput run) for CI.
 //! * `tables -- bench-engine [--out <path>]` — the scaling sweep:
 //!   measures engine events/sec on the reference wPAXOS workload for
-//!   every `(queue core, n, shards)` configuration in
-//!   [`amacl_bench::scaling::SWEEP`] × [`amacl_bench::scaling::SHARD_SWEEP`]
-//!   (n ∈ {32, 128, 512} × heap/calendar × S ∈ {1, 4}), serially and
-//!   with the parallel multi-seed driver, and writes the
-//!   `amacl-bench-engine/v3` JSON baseline (`BENCH_engine.json` at the
-//!   repo root by convention). Each row also records the coordinator's
-//!   cross-shard delivery and window counts; the file keeps a
-//!   v1-compatible top-level `events_per_sec` (the heap/n=32/serial
-//!   reference figure).
+//!   every `(queue core, n, shards, threads)` configuration in
+//!   [`amacl_bench::scaling::SWEEP`] × [`amacl_bench::scaling::CONFIG_SWEEP`]
+//!   (n ∈ {32, 128, 512} × heap/calendar × (S, T) ∈ {(1,1), (4,1),
+//!   (4,4)}), serially and with the parallel multi-seed driver, and
+//!   writes the `amacl-bench-engine/v4` JSON baseline
+//!   (`BENCH_engine.json` at the repo root by convention). Each row
+//!   also records the coordinator's cross-shard delivery and window
+//!   counts and — for threaded rows — the barrier-wait share; the file
+//!   keeps a v1-compatible top-level `events_per_sec` (the
+//!   heap/n=32/serial reference figure).
 //! * `tables -- bench-gate [--baseline <path>] [--tolerance <x>]
 //!   [--out <path>]` — the CI regression gate: remeasures, writes the
 //!   fresh JSON, and exits nonzero when any configuration collapsed
 //!   below `baseline / tolerance` (default tolerance 3x, generous
 //!   enough for shared-runner variance but not for a real
-//!   regression). Every v3 (or v2, `shards = 1` implied) row is gated
-//!   individually; v1 baselines gate on the single reference figure.
+//!   regression). Every v4 (or v3/v2, `threads = 1` / `shards = 1`
+//!   implied) row is gated individually; v1 baselines gate on the
+//!   single reference figure.
 
 use std::time::Instant;
 
@@ -159,11 +161,15 @@ fn run_smoke() {
     println!("smoke OK");
 }
 
-/// Runs the full scaling sweep — every `(queue core, n, shards)`
-/// configuration in [`scaling::SWEEP`] × [`scaling::SHARD_SWEEP`],
-/// seeds fanned out over the parallel driver — and returns the v3
-/// JSON, the per-configuration rows, and the v1-compatible reference
-/// figure (heap, n = 32, serial).
+/// Runs the full scaling sweep — every `(queue core, n, shards,
+/// threads)` configuration in [`scaling::SWEEP`] ×
+/// [`scaling::CONFIG_SWEEP`], seeds fanned out over the parallel
+/// driver — and returns the v4 JSON, the per-configuration rows, and
+/// the v1-compatible reference figure (heap, n = 32, serial).
+///
+/// The top-level `threads` field is the *driver's* seed-fan-out width
+/// (unchanged since v1); each row's `threads` is the engine's own
+/// worker thread count inside the conservative windows.
 fn measure_engine() -> (String, Vec<BaselineRow>, f64) {
     let threads = parallel::default_threads();
 
@@ -175,47 +181,55 @@ fn measure_engine() -> (String, Vec<BaselineRow>, f64) {
     let mut events_by_n: Vec<(usize, u64)> = Vec::new();
     for core in QueueCoreKind::all() {
         for &(n, nseeds) in scaling::SWEEP {
-            for &shards in scaling::SHARD_SWEEP {
+            for &(shards, step_threads) in scaling::CONFIG_SWEEP {
                 let seeds: Vec<u64> = (0..nseeds as u64).collect();
                 let report = parallel::measure_speedup(&seeds, threads, |seed| {
-                    scaling::workload_sharded(core, n, shards, seed)
+                    scaling::workload_threaded(core, n, shards, step_threads, seed)
                 });
                 let serial_wall = report.serial.as_secs_f64();
                 let parallel_wall = report.parallel.as_secs_f64();
-                let events: u64 = report.results.iter().map(|r| r.result.events).sum();
+                let events: u64 = report.results.iter().map(|r| r.result.sharded.events).sum();
                 let cross: u64 = report
                     .results
                     .iter()
-                    .map(|r| r.result.cross_shard_deliveries)
+                    .map(|r| r.result.sharded.cross_shard_deliveries)
                     .sum();
                 let windows: u64 = report
                     .results
                     .iter()
-                    .map(|r| r.result.window_advances)
+                    .map(|r| r.result.sharded.window_advances)
                     .sum();
+                let barrier_pct = report
+                    .results
+                    .iter()
+                    .map(|r| r.result.barrier_pct)
+                    .fold(0.0f64, f64::max);
                 // The event count is part of the determinism contract:
-                // neither the queue core nor the shard count may change
-                // what the engine executes.
+                // neither the queue core, the shard count, nor the
+                // worker thread count may change what the engine
+                // executes.
                 match events_by_n.iter().find(|&&(en, _)| en == n) {
                     None => events_by_n.push((n, events)),
                     Some(&(_, expected)) => assert_eq!(
                         events, expected,
-                        "core {core} / {shards} shard(s) changed the n={n} event count"
+                        "core {core} / S={shards} T={step_threads} changed the n={n} event count"
                     ),
                 }
                 let events_per_sec = events as f64 / serial_wall;
                 eprintln!(
-                    "measured core={core} n={n} shards={shards}: {events_per_sec:.0} events/sec \
-                     ({events} events, {serial_wall:.3}s serial, {cross} cross-shard)"
+                    "measured core={core} n={n} shards={shards} threads={step_threads}: \
+                     {events_per_sec:.0} events/sec ({events} events, {serial_wall:.3}s serial, \
+                     {cross} cross-shard, {barrier_pct:.1}% barrier)"
                 );
                 row_json.push(format!(
-                    "    {{\"queue_core\": \"{core}\", \"n\": {n}, \"shards\": {shards}, \"seeds\": {nseeds}, \"events_total\": {events}, \"cross_shard_deliveries\": {cross}, \"window_advances\": {windows}, \"serial_wall_s\": {serial_wall:.4}, \"events_per_sec\": {events_per_sec:.0}, \"parallel_wall_s\": {parallel_wall:.4}, \"parallel_speedup\": {:.2}}}",
+                    "    {{\"queue_core\": \"{core}\", \"n\": {n}, \"shards\": {shards}, \"threads\": {step_threads}, \"seeds\": {nseeds}, \"events_total\": {events}, \"cross_shard_deliveries\": {cross}, \"window_advances\": {windows}, \"barrier_pct\": {barrier_pct:.1}, \"serial_wall_s\": {serial_wall:.4}, \"events_per_sec\": {events_per_sec:.0}, \"parallel_wall_s\": {parallel_wall:.4}, \"parallel_speedup\": {:.2}}}",
                     report.speedup()
                 ));
                 rows.push(BaselineRow {
                     queue_core: core.name().to_string(),
                     n: n as u64,
                     shards: shards as u64,
+                    threads: step_threads as u64,
                     events_per_sec,
                 });
             }
@@ -223,19 +237,19 @@ fn measure_engine() -> (String, Vec<BaselineRow>, f64) {
     }
     let reference = rows
         .iter()
-        .find(|r| r.queue_core == "heap" && r.n == 32 && r.shards == 1)
+        .find(|r| r.queue_core == "heap" && r.n == 32 && r.shards == 1 && r.threads == 1)
         .expect("heap/n=32/serial reference row")
         .events_per_sec;
     let json = format!(
-        "{{\n  \"schema\": \"amacl-bench-engine/v3\",\n  \"workload\": \"wpaxos random_connected(n,p(n),seed), RandomScheduler(F_ack=4), both queue cores x shard counts {:?}\",\n  \"threads\": {threads},\n  \"events_per_sec\": {reference:.0},\n  \"rows\": [\n{}\n  ]\n}}\n",
-        scaling::SHARD_SWEEP,
+        "{{\n  \"schema\": \"amacl-bench-engine/v4\",\n  \"workload\": \"wpaxos random_connected(n,p(n),seed), RandomScheduler(F_ack=4), both queue cores x (shards, threads) {:?}\",\n  \"threads\": {threads},\n  \"events_per_sec\": {reference:.0},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        scaling::CONFIG_SWEEP,
         row_json.join(",\n")
     );
     (json, rows, reference)
 }
 
 /// Measures engine events/sec across the scaling sweep and writes the
-/// v3 JSON baseline.
+/// v4 JSON baseline.
 fn bench_engine(out: Option<&str>) {
     let (json, ..) = measure_engine();
     print!("{json}");
@@ -246,9 +260,9 @@ fn bench_engine(out: Option<&str>) {
 }
 
 /// The CI regression gate: remeasure, report, and exit nonzero when
-/// throughput collapsed relative to the committed baseline. v3/v2
-/// baselines gate every `(queue core, n, shards)` row; v1 baselines
-/// gate the single reference figure.
+/// throughput collapsed relative to the committed baseline. v4/v3/v2
+/// baselines gate every `(queue core, n, shards, threads)` row; v1
+/// baselines gate the single reference figure.
 fn bench_gate(baseline_path: &str, tolerance: f64, out: Option<&str>) {
     let baseline_json = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));

@@ -1,23 +1,27 @@
-//! The scaling-aware engine workload behind `BENCH_engine.json` v3.
+//! The scaling-aware engine workload behind `BENCH_engine.json` v4.
 //!
 //! One reference job — wPAXOS over a seeded random connected graph
 //! under the random scheduler — parameterized by the network size, the
-//! engine's queue core, and the shard count, so the same measurement
-//! sweeps n ∈ {32, 128, 512} × {heap, calendar} × S ∈ {1, 4}. Edge
-//! probability shrinks with `n` to keep node degree (and thus
-//! per-broadcast fan-out) realistic rather than quadratic, which is
-//! what makes the larger sizes exercise the queue instead of the
-//! allocator. The shard dimension measures the conservative
-//! coordinator's overhead: the execution is byte-identical at every
-//! `S` (asserted), so any throughput delta is pure window/mailbox
-//! bookkeeping.
+//! engine's queue core, the shard count, and the worker thread count,
+//! so the same measurement sweeps n ∈ {32, 128, 512} × {heap,
+//! calendar} × (S, T) ∈ {(1,1), (4,1), (4,4)}. Edge probability
+//! shrinks with `n` to keep node degree (and thus per-broadcast
+//! fan-out) realistic rather than quadratic, which is what makes the
+//! larger sizes exercise the queue instead of the allocator. The shard
+//! dimension measures the conservative coordinator's overhead; the
+//! thread dimension measures what the thread-per-shard parallel
+//! stepper buys back. The execution is byte-identical at every `(S,
+//! T)` (asserted), so any throughput delta is pure coordination cost
+//! or real parallel speedup — never different work.
 //!
 //! Used by `tables bench-engine` / `bench-gate`, the
 //! `e16_queue_cores` / `e17_sharded` Criterion benches, and any test
 //! that wants the reference workload; all of them fan seeds out over
 //! [`crate::parallel::run_seeds`].
 
-use amacl_core::harness::{alternating_inputs, run_wpaxos_on, run_wpaxos_sharded};
+use amacl_core::harness::{
+    alternating_inputs, run_wpaxos_on, run_wpaxos_sharded, run_wpaxos_threaded,
+};
 use amacl_model::prelude::*;
 
 /// The `(n, seeds)` grid of the engine-throughput sweep. Seed counts
@@ -28,6 +32,11 @@ pub const SWEEP: &[(usize, usize)] = &[(32, 16), (128, 4), (512, 2)];
 /// The shard counts the sweep measures per `(core, n)` cell: serial
 /// and one multi-shard configuration.
 pub const SHARD_SWEEP: &[usize] = &[1, 4];
+
+/// The `(shards, threads)` configurations of the v4 sweep: the serial
+/// reference, the single-threaded sharded coordinator (its overhead),
+/// and the thread-per-shard parallel stepper (its payoff).
+pub const CONFIG_SWEEP: &[(usize, usize)] = &[(1, 1), (4, 1), (4, 4)];
 
 /// Edge probability for the reference random graph at size `n` —
 /// denser when small, sparser when large, keeping mean degree in the
@@ -97,6 +106,59 @@ pub fn workload_sharded(
     }
 }
 
+/// What one threaded reference run measured: the sharded stats plus
+/// the barrier-overhead share the parallel stepper's worker timers
+/// expose.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadedWorkloadStats {
+    /// The deterministic coordinator stats (identical to the
+    /// single-threaded sharded run's by the byte-identity contract).
+    pub sharded: ShardedWorkloadStats,
+    /// Share of worker wall-clock lost to window barriers, in percent
+    /// (wall-clock derived — varies run to run).
+    pub barrier_pct: f64,
+}
+
+/// Equality covers only the deterministic coordinator stats: the
+/// barrier share is a wall-clock timer, so two runs of the identical
+/// execution legitimately differ on it (and the multi-seed driver's
+/// serial-vs-parallel result assertion must not trip over that).
+impl PartialEq for ThreadedWorkloadStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.sharded == other.sharded
+    }
+}
+
+/// [`workload_sharded`] on the thread-per-shard parallel stepper:
+/// byte-identical execution, `threads` worker threads inside each
+/// conservative window.
+pub fn workload_threaded(
+    core: QueueCoreKind,
+    n: usize,
+    shards: usize,
+    threads: usize,
+    seed: u64,
+) -> ThreadedWorkloadStats {
+    let topo = Topology::random_connected(n, edge_probability(n), seed);
+    let run = run_wpaxos_threaded(
+        topo,
+        &alternating_inputs(n),
+        RandomScheduler::new(4, seed),
+        core,
+        shards,
+        threads,
+    );
+    run.check.assert_ok();
+    ThreadedWorkloadStats {
+        sharded: ShardedWorkloadStats {
+            events: run.report.metrics.events,
+            cross_shard_deliveries: run.report.metrics.cross_shard_deliveries,
+            window_advances: run.report.metrics.shard_window_advances,
+        },
+        barrier_pct: run.report.metrics.barrier_pct(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +195,65 @@ mod tests {
         let one = workload_sharded(QueueCoreKind::Calendar, 32, 1, 3);
         assert_eq!(one.events, serial);
         assert_eq!(one.cross_shard_deliveries, 0, "serial run used mailboxes");
+    }
+
+    #[test]
+    fn threaded_workload_matches_sharded_stats_exactly() {
+        for core in QueueCoreKind::all() {
+            let sharded = workload_sharded(core, 32, 4, 5);
+            let threaded = workload_threaded(core, 32, 4, 4, 5);
+            assert_eq!(
+                sharded, threaded.sharded,
+                "{core}: threads changed the execution"
+            );
+            assert!(
+                (0.0..=100.0).contains(&threaded.barrier_pct),
+                "barrier_pct {}",
+                threaded.barrier_pct
+            );
+        }
+        assert_eq!(CONFIG_SWEEP[0], (1, 1), "serial reference row required");
+        assert!(
+            CONFIG_SWEEP.iter().any(|&(s, t)| s > 1 && t > 1),
+            "at least one parallel-stepper row required"
+        );
+    }
+
+    /// The tentpole claim: on a machine with >= 4 cores, the
+    /// thread-per-shard stepper beats the single-threaded sharded
+    /// coordinator by > 2x wall-clock on the n=512 reference workload
+    /// at S=4 — the same execution, byte for byte (event counts
+    /// asserted equal), just stepped in parallel. Guarded by a
+    /// core-count check so small containers self-skip honestly, and
+    /// best-of-3 so one noisy scheduler hiccup on a shared runner
+    /// cannot fail a genuine speedup.
+    #[test]
+    fn parallel_stepper_speedup_exceeds_2x_on_n512() {
+        let cores = crate::parallel::default_threads();
+        if cores < 4 {
+            eprintln!("skipping parallel-stepper speedup assertion: {cores} core(s) < 4");
+            return;
+        }
+        let (n, shards, threads, seed) = (512, 4, 4, 1);
+        let mut best = 0.0f64;
+        for attempt in 0..3 {
+            let t0 = std::time::Instant::now();
+            let single = workload_sharded(QueueCoreKind::Heap, n, shards, seed);
+            let single_elapsed = t0.elapsed();
+            let t1 = std::time::Instant::now();
+            let multi = workload_threaded(QueueCoreKind::Heap, n, shards, threads, seed);
+            let multi_elapsed = t1.elapsed();
+            assert_eq!(single, multi.sharded, "threads changed the execution");
+            let speedup = single_elapsed.as_secs_f64() / multi_elapsed.as_secs_f64().max(1e-9);
+            best = best.max(speedup);
+            if best > 2.0 {
+                return;
+            }
+            eprintln!(
+                "attempt {attempt}: {speedup:.2}x (best {best:.2}x, barrier {:.1}%), retrying",
+                multi.barrier_pct
+            );
+        }
+        panic!("expected > 2x at n={n} S={shards} T={threads}, best of 3 was {best:.2}x");
     }
 }

@@ -81,10 +81,15 @@ fn lowered_seeded_bug_counterexamples_conform_across_backends_cores_and_shards()
         // The full sweep row — engine-vs-threads cross-check included
         // — passes on both cores with the byte-identity gates on.
         for core in QueueCoreKind::all() {
-            let row = sweep_scenario_sharded(&scenario, 1, core, &[1, 2, 4]);
+            let row = sweep_scenario_sharded(&scenario, 1, core, &[1, 2, 4], 4);
             assert!(row.ok, "{label} on {core}: {:?}", row.failures);
             assert!(row.summary.contains("cores identical"), "{}", row.summary);
             assert!(row.summary.contains("shards identical"), "{}", row.summary);
+            assert!(
+                row.summary.contains("threaded identical"),
+                "{}",
+                row.summary
+            );
         }
     }
 }

@@ -40,8 +40,9 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             audit,
             id_budget,
             shards,
+            threads,
         } => run(
-            algo, topo, sched, inputs, crashes, trace, audit, id_budget, shards,
+            algo, topo, sched, inputs, crashes, trace, audit, id_budget, shards, threads,
         ),
         Command::Check {
             algo,
@@ -73,9 +74,10 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             strict,
             queue,
             shards,
+            threads,
         } => crosscheck(
             algo, topo, inputs, sched, f_ack, crashes, seed, jitter_us, timeout_ms, strict, queue,
-            shards,
+            shards, threads,
         ),
         Command::Explore {
             algo,
@@ -103,7 +105,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             list,
             queue,
             shards,
-        } => sweep(smoke, scenario, seeds, list, queue, shards),
+            threads,
+        } => sweep(smoke, scenario, seeds, list, queue, shards, threads),
     }
 }
 
@@ -349,6 +352,7 @@ fn sweep(
     list: bool,
     queue: Option<QueueCoreKind>,
     shards: Option<usize>,
+    threads: Option<usize>,
 ) -> Result<String, String> {
     use amacl_bench::parallel::{default_threads, run_seeds};
     use amacl_checker::scenario::{
@@ -404,10 +408,16 @@ fn sweep(
         Some(s) => vec![s],
         None => SWEEP_SHARD_COUNTS.to_vec(),
     };
+    // The per-row threaded proof re-runs the largest shard count on
+    // the parallel stepper; floor the worker count at 2 so the proof
+    // is never vacuous, even under a serial `AMACL_THREADS` default.
+    let step_threads = threads
+        .unwrap_or_else(|| ThreadCount::from_env().get())
+        .max(2);
     let indices: Vec<u64> = (0..jobs.len() as u64).collect();
     let rows = run_seeds(&indices, default_threads(), |i| {
         let (si, seed) = jobs[i as usize];
-        sweep_scenario_sharded(&scenarios[si], seed, core, &shard_counts)
+        sweep_scenario_sharded(&scenarios[si], seed, core, &shard_counts, step_threads)
     });
     let outcome = SweepOutcome {
         rows: rows.into_iter().map(|r| r.result).collect(),
@@ -420,7 +430,7 @@ fn sweep(
         .join(",");
     let mut out = format!(
         "sweep: {} scenario(s) x {} seed(s), engine ({core} core) vs threads, heap vs calendar, \
-         serial vs sharded (S={{{shard_label}}})\n",
+         serial vs sharded (S={{{shard_label}}}) vs parallel-stepped (T={step_threads})\n",
         scenarios.len(),
         seed_list.len()
     );
@@ -451,6 +461,7 @@ fn crosscheck(
     strict: bool,
     queue: Option<QueueCoreKind>,
     shards: Option<usize>,
+    threads: Option<usize>,
 ) -> Result<String, String> {
     let topo = topo_spec.build();
     let n = topo.len();
@@ -485,6 +496,7 @@ fn crosscheck(
     .seed(seed)
     .queue_core(queue.unwrap_or_else(QueueCoreKind::from_env))
     .shards(shards.unwrap_or_else(|| ShardCount::from_env().get()))
+    .threads(threads.unwrap_or_else(|| ThreadCount::from_env().get()))
     .crash_plan(CrashPlan::new(crashes.clone()));
     let mut rt = MacRuntime::new(
         topo,
@@ -540,6 +552,9 @@ fn crosscheck(
     }
     if let Some(s) = shards {
         let _ = writeln!(out, "  engine shards: {s}");
+    }
+    if let Some(t) = threads {
+        let _ = writeln!(out, "  engine threads: {t}");
     }
     if !crashes.is_empty() {
         let _ = writeln!(out, "  crashes (both backends): {crashes:?}");
@@ -601,6 +616,7 @@ fn run(
     audit: bool,
     id_budget: Option<usize>,
     shards: Option<usize>,
+    threads: Option<usize>,
 ) -> Result<String, String> {
     let topo = topo_spec.build();
     let n = topo.len();
@@ -625,6 +641,9 @@ fn run(
                 .max_time(Time(2_000_000));
             if let Some(s) = shards {
                 builder = builder.shards(s);
+            }
+            if let Some(t) = threads {
+                builder = builder.threads(t);
             }
             let mut sim = builder.build();
             let report = sim.run();
@@ -736,6 +755,15 @@ fn run(
             m.shard_mailbox_flushes,
             m.shard_skew()
         );
+        if let Some(t) = threads {
+            let _ = writeln!(
+                out,
+                "threads: {t} | busy {:.3} ms | barrier wait {:.3} ms ({:.1}%)",
+                m.shard_busy_ns.iter().sum::<u64>() as f64 / 1e6,
+                m.shard_barrier_wait_ns.iter().sum::<u64>() as f64 / 1e6,
+                m.barrier_pct()
+            );
+        }
     }
     let _ = writeln!(
         out,
@@ -1289,6 +1317,44 @@ mod tests {
                 .to_string()
         };
         assert_eq!(outcome(&serial), outcome(&sharded));
+    }
+
+    #[test]
+    fn sweep_row_reports_threaded_equivalence_and_barrier_column() {
+        let out = cli("sweep --scenario sync-lockstep --seeds 1 --threads 2").unwrap();
+        assert!(out.contains("sweep OK"), "{out}");
+        assert!(out.contains("shards identical"), "{out}");
+        assert!(out.contains("threaded identical"), "{out}");
+        assert!(out.contains("parallel-stepped (T=2)"), "{out}");
+        assert!(out.contains("barrier%"), "{out}");
+    }
+
+    #[test]
+    fn run_threaded_reports_worker_timers_and_matches_serial() {
+        let serial = cli("run --algo wpaxos --topo torus:4x4 --sched random:4:9").unwrap();
+        let threaded = cli("run --algo wpaxos --topo torus:4x4 --sched random:4:9 \
+             --shards 4 --threads 2")
+        .unwrap();
+        assert!(threaded.contains("threads: 2 | busy"), "{threaded}");
+        assert!(threaded.contains("barrier wait"), "{threaded}");
+        let outcome = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("outcome:"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(outcome(&serial), outcome(&threaded));
+    }
+
+    #[test]
+    fn crosscheck_accepts_threads() {
+        let out = cli(
+            "crosscheck --algo two-phase --topo clique:4 --inputs const:1 \
+             --shards 2 --threads 2 --strict",
+        )
+        .unwrap();
+        assert!(out.contains("cross-check OK"), "{out}");
+        assert!(out.contains("engine threads: 2"), "{out}");
     }
 
     #[test]

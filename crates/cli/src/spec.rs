@@ -321,6 +321,9 @@ pub enum Command {
         id_budget: Option<usize>,
         /// Engine shard count (`None`: the `AMACL_SHARDS` default).
         shards: Option<usize>,
+        /// Worker threads per conservative window (`None`: the
+        /// `AMACL_THREADS` default).
+        threads: Option<usize>,
     },
     /// `amacl check ...`
     Check {
@@ -388,6 +391,9 @@ pub enum Command {
         queue: Option<QueueCoreKind>,
         /// Engine shard count (`None`: the `AMACL_SHARDS` default).
         shards: Option<usize>,
+        /// Worker threads per conservative window (`None`: the
+        /// `AMACL_THREADS` default).
+        threads: Option<usize>,
     },
     /// `amacl explore ...`: DPOR model checking of the delivery/ack/
     /// crash interleavings behind the `MacLayer` seam, with violating
@@ -428,6 +434,10 @@ pub enum Command {
         /// Shard count for the per-row serial-vs-sharded proof
         /// (`None`: the default `{2, 4}` pair, alternating cores).
         shards: Option<usize>,
+        /// Worker threads for the per-row threaded proof (`None`: the
+        /// `AMACL_THREADS` default, floored at 2 so the parallel
+        /// stepper actually runs).
+        threads: Option<usize>,
     },
 }
 
@@ -456,6 +466,7 @@ impl Command {
                     None => None,
                 },
                 shards: parse_shards(&mut opts)?,
+                threads: parse_threads(&mut opts)?,
             },
             "check" => Command::Check {
                 algo: AlgoSpec::parse(&opts.required("--algo")?)?,
@@ -523,6 +534,7 @@ impl Command {
                 strict: opts.flag("--strict"),
                 queue: parse_queue(&mut opts)?,
                 shards: parse_shards(&mut opts)?,
+                threads: parse_threads(&mut opts)?,
             },
             "explore" => Command::Explore {
                 algo: AlgoSpec::parse(&opts.required("--algo")?)?,
@@ -553,6 +565,7 @@ impl Command {
                 list: opts.flag("--list"),
                 queue: parse_queue(&mut opts)?,
                 shards: parse_shards(&mut opts)?,
+                threads: parse_threads(&mut opts)?,
             },
             "help" | "--help" | "-h" => return Err(crate::USAGE.to_string()),
             other => return Err(format!("unknown command `{other}`\n\n{}", crate::USAGE)),
@@ -643,6 +656,18 @@ fn parse_shards(opts: &mut Opts) -> Result<Option<usize>, String> {
             .parse::<ShardCount>()
             .map(|c| Some(c.get()))
             .map_err(|e| format!("--shards: {e}")),
+        None => Ok(None),
+    }
+}
+
+/// Parses an optional `--threads <n>` selection (positive integer) —
+/// same grammar and typo rejection as [`ThreadCount`]'s env parsing.
+fn parse_threads(opts: &mut Opts) -> Result<Option<usize>, String> {
+    match opts.optional("--threads") {
+        Some(s) => s
+            .parse::<ThreadCount>()
+            .map(|c| Some(c.get()))
+            .map_err(|e| format!("--threads: {e}")),
         None => Ok(None),
     }
 }
@@ -838,8 +863,10 @@ mod tests {
 
     #[test]
     fn command_parse_sweep() {
-        let cmd =
-            Command::parse(&argv("sweep --smoke --seeds 3 --queue calendar --shards 2")).unwrap();
+        let cmd = Command::parse(&argv(
+            "sweep --smoke --seeds 3 --queue calendar --shards 2 --threads 4",
+        ))
+        .unwrap();
         match cmd {
             Command::Sweep {
                 smoke,
@@ -848,12 +875,14 @@ mod tests {
                 list,
                 queue,
                 shards,
+                threads,
             } => {
                 assert!(smoke && !list);
                 assert_eq!(seeds, 3);
                 assert_eq!(scenario, None);
                 assert_eq!(queue, Some(QueueCoreKind::Calendar));
                 assert_eq!(shards, Some(2));
+                assert_eq!(threads, Some(4));
             }
             _ => panic!("expected Sweep"),
         }
@@ -885,6 +914,23 @@ mod tests {
         match cmd {
             Command::Run { shards, .. } => assert_eq!(shards, Some(4)),
             _ => panic!("expected Run"),
+        }
+    }
+
+    #[test]
+    fn threads_option_rejects_zero_and_garbage() {
+        let err = Command::parse(&argv("run --algo wpaxos --topo line:4 --threads 0")).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        assert!(err.contains("at least 1"), "{err}");
+        let err = Command::parse(&argv("sweep --smoke --threads lots")).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        let cmd = Command::parse(&argv(
+            "crosscheck --algo wpaxos --topo line:4 --shards 2 --threads 2",
+        ))
+        .unwrap();
+        match cmd {
+            Command::CrossCheck { threads, .. } => assert_eq!(threads, Some(2)),
+            _ => panic!("expected CrossCheck"),
         }
     }
 

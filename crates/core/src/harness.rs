@@ -88,7 +88,30 @@ pub fn run_wpaxos_sharded(
     shards: usize,
 ) -> ConsensusRun {
     let cfg = WpaxosConfig::new(inputs.len());
-    run_wpaxos_inner(topo, inputs, cfg, scheduler, Some(core), Some(shards))
+    run_wpaxos_inner(topo, inputs, cfg, scheduler, Some(core), Some((shards, 1)))
+}
+
+/// Runs wPAXOS on an explicit queue core, shard count, **and worker
+/// thread count** — the thread-per-shard parallel stepper. The
+/// execution is byte-identical to the serial one at any `(shards,
+/// threads)`, so speedup comparisons measure the same work.
+pub fn run_wpaxos_threaded(
+    topo: Topology,
+    inputs: &[Value],
+    scheduler: impl Scheduler + 'static,
+    core: QueueCoreKind,
+    shards: usize,
+    threads: usize,
+) -> ConsensusRun {
+    let cfg = WpaxosConfig::new(inputs.len());
+    run_wpaxos_inner(
+        topo,
+        inputs,
+        cfg,
+        scheduler,
+        Some(core),
+        Some((shards, threads)),
+    )
 }
 
 /// Runs wPAXOS with an explicit configuration (ablations, the flooding
@@ -103,15 +126,15 @@ pub fn run_wpaxos_with(
 }
 
 /// The one wPAXOS run recipe every public wrapper shares; `core:
-/// None` / `shards: None` keep the builder's `AMACL_QUEUE_CORE` /
-/// `AMACL_SHARDS` defaults.
+/// None` / `sharding: None` keep the builder's `AMACL_QUEUE_CORE` /
+/// `AMACL_SHARDS` / `AMACL_THREADS` defaults.
 fn run_wpaxos_inner(
     topo: Topology,
     inputs: &[Value],
     cfg: WpaxosConfig,
     scheduler: impl Scheduler + 'static,
     core: Option<QueueCoreKind>,
-    shards: Option<usize>,
+    sharding: Option<(usize, usize)>,
 ) -> ConsensusRun {
     assert_eq!(topo.len(), inputs.len(), "one input per node");
     let iv = inputs.to_vec();
@@ -121,8 +144,8 @@ fn run_wpaxos_inner(
     if let Some(core) = core {
         builder = builder.queue_core(core);
     }
-    if let Some(shards) = shards {
-        builder = builder.shards(shards);
+    if let Some((shards, threads)) = sharding {
+        builder = builder.shards(shards).threads(threads);
     }
     let report = builder.build().run();
     let check = check_consensus(inputs, &report, &[]);

@@ -40,7 +40,7 @@ use crate::sim::sched::random::RandomScheduler;
 use crate::sim::sched::stall::MaxDelayScheduler;
 use crate::sim::sched::sync::SynchronousScheduler;
 use crate::sim::sched::Scheduler;
-use crate::sim::shard::ShardCount;
+use crate::sim::shard::{ShardCount, ThreadCount};
 use crate::sim::time::Time;
 use crate::sim::trace::Trace;
 use crate::topo::Topology;
@@ -249,6 +249,11 @@ pub struct BcastLedger {
     /// ~80 MB. Reclaim (reset completed ids to `NO_SENDER` and trim
     /// the tail) is possible if soak memory ever matters.
     senders: Vec<usize>,
+    /// Live entries in `watches` — O(1) answer for the parallel
+    /// stepper's per-window eligibility check ([`BcastLedger::parallel_step_safe`]).
+    armed_watches: usize,
+    /// Live entries in `active` — same purpose.
+    active_countdowns: usize,
 }
 
 impl BcastLedger {
@@ -261,6 +266,8 @@ impl BcastLedger {
             active: vec![None; n],
             awaiting: vec![None; n],
             senders: Vec::new(),
+            armed_watches: 0,
+            active_countdowns: 0,
         }
     }
 
@@ -269,6 +276,9 @@ impl BcastLedger {
     /// deliveries. At most one plan per slot; a later call replaces an
     /// earlier one.
     pub fn arm_watch(&mut self, slot: usize, nth_broadcast: u64, delivered: usize) {
+        if self.watches[slot].is_none() {
+            self.armed_watches += 1;
+        }
         self.watches[slot] = Some((nth_broadcast, delivered));
     }
 
@@ -321,9 +331,13 @@ impl BcastLedger {
         match self.watches[from] {
             Some((watch_nth, delivered)) if watch_nth == nth => {
                 self.watches[from] = None;
+                self.armed_watches -= 1;
                 if delivered == 0 {
                     Admission::CrashImmediately
                 } else {
+                    if self.active[from].is_none() {
+                        self.active_countdowns += 1;
+                    }
                     self.active[from] = Some((bcast, delivered));
                     Admission::PartialThenCrash { delivered }
                 }
@@ -345,11 +359,31 @@ impl BcastLedger {
                 *rem -= 1;
                 if *rem == 0 {
                     self.active[sender] = None;
+                    self.active_countdowns -= 1;
                     return true;
                 }
             }
         }
         false
+    }
+
+    /// Whether a conservative time window may be stepped with one
+    /// worker thread per shard *without* any cross-shard ledger
+    /// access: `true` iff no mid-broadcast crash watch is still armed
+    /// and no partial-delivery countdown is live.
+    ///
+    /// This is the ledger half of the parallel stepper's per-window
+    /// eligibility check (O(1) — backed by counters maintained at the
+    /// arm/admit/fire sites). The two tables it guards are the only
+    /// ledger state a *delivery* can mutate across shard boundaries
+    /// ([`BcastLedger::note_delivery`] ticks the **sender's** countdown
+    /// from the **receiver's** step); when both are empty,
+    /// `note_delivery` is a pure no-op for every broadcast in flight,
+    /// and each worker can step its shard against nothing but its own
+    /// [`LedgerShardSlice`]. A crashed sender's stale watch keeps a
+    /// run serial forever — conservative, and correct.
+    pub fn parallel_step_safe(&self) -> bool {
+        self.armed_watches == 0 && self.active_countdowns == 0
     }
 
     /// Registers the ack obligation for `bcast`: `sender` may be acked
@@ -502,6 +536,47 @@ impl BcastLedger {
         }
     }
 
+    /// Splits the ledger's per-slot hot tables into disjoint `&mut`
+    /// slices, one per shard — the **ownership half** of the
+    /// thread-per-shard stepper's contract (the summary half is
+    /// [`BcastLedger::shard_view`]).
+    ///
+    /// `bounds` must be the shard map's contiguous `(lo, hi)` slot
+    /// ranges, in order, exactly covering `[0, n)`. Each returned
+    /// [`LedgerShardSlice`] carries exclusive references into the
+    /// crash-flag table for its range, so the borrow checker itself
+    /// enforces the stepping invariant: **a worker may consult only
+    /// its own shard's slice**. Everything cross-shard — payload
+    /// refcounts for messages whose sender lives elsewhere,
+    /// mid-broadcast countdowns, ack obligations — reaches a shard as
+    /// a typed message through the engine's per-edge mailboxes (or is
+    /// proven absent for the window by
+    /// [`BcastLedger::parallel_step_safe`]), never by reaching into
+    /// another shard's tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bounds` is not a contiguous, in-order, exact cover
+    /// of the slot range.
+    pub fn shard_slices(&mut self, bounds: &[(usize, usize)]) -> Vec<LedgerShardSlice<'_>> {
+        let n = self.crashed.len();
+        let mut out = Vec::with_capacity(bounds.len());
+        let mut rest: &mut [bool] = &mut self.crashed;
+        let mut consumed = 0usize;
+        for &(lo, hi) in bounds {
+            assert!(lo == consumed && hi >= lo, "bounds must tile [0, n)");
+            let (head, tail) = rest.split_at_mut(hi - lo);
+            out.push(LedgerShardSlice {
+                base: lo,
+                crashed: head,
+            });
+            rest = tail;
+            consumed = hi;
+        }
+        assert_eq!(consumed, n, "bounds must cover every slot");
+        out
+    }
+
     /// Releases every obligation awaiting the dead node `dead` (acks
     /// never wait on crashed neighbors). Returns the `(broadcast,
     /// sender)` pairs whose acks this completes, in deterministic
@@ -543,6 +618,63 @@ impl LedgerShardView {
     /// Slots still alive in the shard.
     pub fn alive(&self) -> usize {
         self.slots - self.crashed
+    }
+}
+
+/// Exclusive per-shard ownership of the [`BcastLedger`]'s hot tables
+/// for one shard's contiguous slot range; see
+/// [`BcastLedger::shard_slices`].
+///
+/// A slice is handed to exactly one worker thread for the duration of
+/// one conservative time window. The invariants that make this sound:
+///
+/// * **Only the owning worker touches the slice.** The split is by
+///   `&mut` borrow, so this is compiler-enforced, not convention.
+/// * **Crash flags cannot change inside a parallel window.** Windows
+///   containing crash events fall back to the merged serial path, and
+///   [`BcastLedger::parallel_step_safe`] guarantees no mid-broadcast
+///   countdown can fire — so reading the local flags is reading frozen
+///   truth, and `to`-side flags are all a delivery step ever needs
+///   (a `Receive` event always targets the shard that owns it).
+/// * **Cross-shard effects travel as messages.** Payloads whose sender
+///   lives on another shard arrive as imported clones keyed by event
+///   id; countdowns and obligations are absent by eligibility. No
+///   worker ever reads, let alone writes, a sibling's range.
+#[derive(Debug)]
+pub struct LedgerShardSlice<'a> {
+    /// First global slot of the owned range.
+    base: usize,
+    /// Crash flags for the owned range (`crashed[slot - base]`).
+    crashed: &'a mut [bool],
+}
+
+impl LedgerShardSlice<'_> {
+    /// Whether the (globally indexed, shard-owned) `slot` has crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is outside the owned range — a cross-shard
+    /// lookup is a stepping-contract violation, never a query.
+    #[inline]
+    pub fn is_crashed(&self, slot: usize) -> bool {
+        self.crashed[slot - self.base]
+    }
+
+    /// First global slot of the owned range.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Number of slots owned.
+    pub fn len(&self) -> usize {
+        self.crashed.len()
+    }
+
+    /// `true` when the shard owns no slots (never produced by a valid
+    /// shard map, but `len` without `is_empty` trips clippy and
+    /// callers alike).
+    pub fn is_empty(&self) -> bool {
+        self.crashed.is_empty()
     }
 }
 
@@ -604,6 +736,7 @@ pub struct SimBackend {
     max_time: Time,
     queue: QueueCoreKind,
     shards: usize,
+    threads: usize,
 }
 
 impl fmt::Debug for SimBackend {
@@ -616,6 +749,7 @@ impl fmt::Debug for SimBackend {
             .field("max_time", &self.max_time)
             .field("queue", &self.queue)
             .field("shards", &self.shards)
+            .field("threads", &self.threads)
             .finish()
     }
 }
@@ -643,6 +777,7 @@ impl SimBackend {
             max_time: Time(10_000_000),
             queue: QueueCoreKind::from_env(),
             shards: ShardCount::from_env().get(),
+            threads: ThreadCount::from_env().get(),
         }
     }
 
@@ -684,6 +819,28 @@ impl SimBackend {
     /// The shard count this backend builds engines on.
     pub fn shard_count(&self) -> usize {
         self.shards
+    }
+
+    /// Steps every sharded execution with up to `threads` worker
+    /// threads (one per shard, capped at the shard count) inside each
+    /// conservative time window. Like sharding itself, threading is
+    /// observably identity-preserving — byte-identical traces and
+    /// reports at every thread count — so this too is purely a
+    /// performance knob, surfaced here so cross-checks can prove the
+    /// equivalence per scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "thread count must be at least 1");
+        self.threads = threads;
+        self
+    }
+
+    /// The worker-thread count this backend builds engines on.
+    pub fn thread_count(&self) -> usize {
+        self.threads
     }
 
     /// Sets the virtual-time horizon.
@@ -743,6 +900,7 @@ impl SimBackend {
             .scheduler((self.sched)())
             .queue_core(self.queue)
             .shards(self.shards)
+            .threads(self.threads)
             .trace(trace)
             .build()
     }

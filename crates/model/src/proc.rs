@@ -47,9 +47,14 @@ impl BroadcastOutcome {
 }
 
 /// An algorithm running at one node.
-pub trait Process: 'static {
+///
+/// `Send` is required (on the process and its messages) so the
+/// thread-per-shard parallel stepper can hand each shard's processes
+/// to a worker thread; node programs are plain owned data, so this
+/// costs implementations nothing.
+pub trait Process: Send + 'static {
     /// The message type this algorithm broadcasts.
-    type Msg: Clone + std::fmt::Debug + Payload + 'static;
+    type Msg: Clone + std::fmt::Debug + Payload + Send + 'static;
 
     /// Called once when the execution begins.
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>);

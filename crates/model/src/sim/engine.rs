@@ -30,20 +30,56 @@
 //! documented in [`super::shard`]. Serial (`S = 1`) takes a dedicated
 //! fast path with no window or routing overhead.
 //!
+//! # Thread-per-shard parallel stepping
+//!
+//! With [`SimBuilder::threads`] (or `AMACL_THREADS`) above 1, each
+//! conservative window is *executed* in parallel: one worker per
+//! shard (at most `threads` OS threads) flushes its shard's inbound
+//! mailboxes, drains its queue up to the window end, and runs its
+//! events — process callbacks included — against `&mut` borrows of
+//! exactly its shard's slice of every hot table (processes,
+//! decisions, RNGs, in-flight payloads, ledger crash flags). The
+//! borrow checker enforces the ownership contract; cross-shard
+//! effects only ever travel as typed messages (mailbox entries and
+//! per-destination imported payload clones), never as writes into
+//! another shard's tables.
+//!
+//! Byte-identity with the serial engine is preserved by splitting
+//! each step into a shard-local half and a deferred half. Workers
+//! perform the shard-local half and record, per step, what the
+//! global half needs (trace span, requested broadcast); after the
+//! window joins, a single-threaded commit replays those records in
+//! global `(time, class, seq)` order, allocating broadcast/event ids
+//! and consuming engine RNG exactly as the serial loop would have. A
+//! window only runs in parallel when a commit gate proves no step
+//! inside it can stop the run or mutate cross-shard state (no crash
+//! events, no armed mid-broadcast crash machinery, no horizon or
+//! event-limit crossing, at least one undecided node untouched);
+//! otherwise the drained events are pushed back — ids intact — and
+//! the window falls back to the merged single-threaded drain.
+//!
 //! Hot-path state is laid out densely: in-flight broadcasts live in a
 //! per-slot table (no hash maps anywhere in the loop), the event-id
 //! vectors they carry are pooled across broadcasts, and a shared
 //! payload is cloned once per *delivery that actually happens* — the
 //! final delivery moves the payload out instead of cloning, and
-//! deliveries to crashed receivers never touch it. The queue core
-//! itself is selectable per [`SimBuilder::queue_core`]; see
-//! [`super::queue`] for the two implementations.
+//! deliveries to crashed receivers never touch it. (Cross-shard
+//! deliveries instead clone at schedule time into the destination
+//! shard's imported table, so a worker never reads another shard's
+//! in-flight entries.) The queue core itself is selectable per
+//! [`SimBuilder::queue_core`]; see [`super::queue`] for the two
+//! implementations.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::ids::{NodeId, Slot};
-use crate::mac::{Admission, BcastLedger, LedgerShardView};
+use crate::mac::{Admission, BcastLedger, LedgerShardSlice, LedgerShardView};
 use crate::msg::Payload;
 use crate::proc::{Context, Decision, Process, Value};
 use crate::topo::unreliable::UnreliableOverlay;
@@ -54,7 +90,7 @@ use super::event::{BcastId, EventClass, EventKind};
 use super::queue::{EventId, EventQueue, QueueCoreKind};
 use super::sched::random::RandomScheduler;
 use super::sched::Scheduler;
-use super::shard::{MailEntry, Mailbox, ShardCount, ShardMap};
+use super::shard::{MailEntry, Mailbox, ShardCount, ShardMap, ThreadCount};
 use super::time::Time;
 use super::trace::{Metrics, Trace, TraceEvent};
 
@@ -135,6 +171,7 @@ pub struct SimBuilder<P: Process> {
     unreliable: Option<(UnreliableOverlay, f64)>,
     queue_core: QueueCoreKind,
     shards: usize,
+    threads: usize,
 }
 
 impl<P: Process> SimBuilder<P> {
@@ -146,8 +183,10 @@ impl<P: Process> SimBuilder<P> {
     /// horizon, stop-on-all-decided, no id-budget enforcement, tracing
     /// off, the queue core named by the `AMACL_QUEUE_CORE` environment
     /// variable (the heap when unset — see [`QueueCoreKind::from_env`]),
-    /// and the shard count named by `AMACL_SHARDS` (serial when unset —
-    /// see [`ShardCount::from_env`]).
+    /// the shard count named by `AMACL_SHARDS` (serial when unset —
+    /// see [`ShardCount::from_env`]), and the worker-thread budget
+    /// named by `AMACL_THREADS` (single-threaded when unset — see
+    /// [`ThreadCount::from_env`]).
     pub fn new(topo: Topology, mut init: impl FnMut(Slot) -> P) -> Self {
         let n = topo.len();
         let procs: Vec<P> = (0..n).map(|i| init(Slot(i))).collect();
@@ -167,6 +206,7 @@ impl<P: Process> SimBuilder<P> {
             unreliable: None,
             queue_core: QueueCoreKind::from_env(),
             shards: ShardCount::from_env().get(),
+            threads: ThreadCount::from_env().get(),
         }
     }
 
@@ -197,6 +237,24 @@ impl<P: Process> SimBuilder<P> {
     pub fn shards(mut self, shards: usize) -> Self {
         assert!(shards >= 1, "shard count must be at least 1");
         self.shards = shards;
+        self
+    }
+
+    /// Runs the sharded coordinator's windows with up to `threads`
+    /// worker threads — one worker per shard, so the effective
+    /// parallelism is `min(threads, shards)`. `threads == 1` (the
+    /// default unless `AMACL_THREADS` says otherwise) keeps the
+    /// merged single-threaded window drain; with one shard the knob
+    /// has no effect. Like sharding itself, threading is observably
+    /// identity-preserving: traces and reports stay byte-identical to
+    /// the serial engine at every `(shards, threads)` combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "thread count must be at least 1");
+        self.threads = threads;
         self
     }
 
@@ -361,6 +419,11 @@ impl<P: Process> SimBuilder<P> {
             shards,
             shard_map,
             mailboxes,
+            threads: self.threads,
+            imported: (0..nshards).map(|_| HashMap::new()).collect(),
+            local_pending: (0..nshards).map(|_| Vec::new()).collect(),
+            defer_local_pushes: false,
+            scratch: Vec::new(),
             next_event_id,
             lookahead,
             mailbox_cancels: 0,
@@ -401,6 +464,382 @@ struct InFlight<M> {
     events: Vec<(EventId, u32)>,
 }
 
+/// Placeholder a parallel-window worker installs in `outstanding`
+/// when a callback broadcasts: it keeps the node reading busy for
+/// later same-window callbacks, and the ordered commit replaces it
+/// with the real (serially allocated) [`BcastId`].
+const DEFERRED_BCAST: BcastId = BcastId(u64::MAX);
+
+/// What one parallel-window step defers to the ordered commit: its
+/// global ordering key, the broadcast the callback requested (if
+/// any), and the step's span in the shard's trace buffer. Steps with
+/// neither are never recorded — the commit has nothing to do for
+/// them.
+struct StepRec<M> {
+    key: (Time, u8, u64),
+    broadcast: Option<(Slot, M)>,
+    trace_start: usize,
+    trace_end: usize,
+}
+
+/// Per-shard scratch buffers for parallel windows, reused across
+/// windows so steady-state stepping allocates nothing.
+struct ShardScratch<M> {
+    /// Events drained for the current window, in shard-local key
+    /// order, with their full ordering keys (needed both for the
+    /// commit merge and to push them back verbatim on gate failure).
+    drained: Vec<((Time, u8, u64), EventKind)>,
+    /// Step records for the ordered commit (key-sorted by
+    /// construction).
+    records: Vec<StepRec<M>>,
+    /// Flat per-shard trace events; records index spans into it.
+    trace_buf: Vec<TraceEvent>,
+    /// Shard-local dedup flags for the distinct-undecided-targets
+    /// gate statistic (indexed by slot − base).
+    touched: Vec<bool>,
+    /// Which `touched` flags are set (for O(touched) clearing).
+    touched_list: Vec<usize>,
+}
+
+impl<M> Default for ShardScratch<M> {
+    fn default() -> Self {
+        Self {
+            drained: Vec::new(),
+            records: Vec::new(),
+            trace_buf: Vec::new(),
+            touched: Vec::new(),
+            touched_list: Vec::new(),
+        }
+    }
+}
+
+/// Order-independent counters one shard's worker accumulates over a
+/// window; folded into [`Metrics`] after the join (sums and maxes
+/// commute, so no ordering is needed).
+#[derive(Default)]
+struct ShardWindowOut {
+    events: u64,
+    deliveries: u64,
+    unreliable_deliveries: u64,
+    acks: u64,
+    busy_discards: u64,
+    decided: u64,
+    /// Time of the last (= latest) event this shard processed.
+    last_time: Option<Time>,
+    /// Wall-clock ns spent flushing, draining, and stepping.
+    busy_ns: u64,
+}
+
+/// Immutable context shared by every parallel-window worker.
+struct WorkerEnv<'a> {
+    ids: &'a [NodeId],
+    shard_map: &'a ShardMap,
+    budget: Option<usize>,
+    trace_enabled: bool,
+}
+
+/// Everything one worker may touch for one shard during a parallel
+/// window: exclusive `&mut` borrows of exactly that shard's slices
+/// of the engine's slot-indexed hot tables, its queue, inbound
+/// mailbox column, imported-payload table, deferred local pushes,
+/// and ledger crash flags. Constructing these via `split_at_mut`
+/// makes the ownership contract compiler-enforced: a worker cannot
+/// reach another shard's state even by bug.
+struct WorkerSpace<'a, P: Process> {
+    shard: usize,
+    /// First slot of the shard's contiguous range (slot − base
+    /// indexes the slices below).
+    base: usize,
+    queue: &'a mut EventQueue<EventKind>,
+    /// Inbound mailbox column (`mailboxes[src * S + shard]` for every
+    /// `src`, in ascending src order — the coordinator's flush
+    /// order).
+    inbound: Vec<&'a mut Mailbox<EventKind>>,
+    imported: &'a mut HashMap<EventId, <P as Process>::Msg>,
+    pending: &'a mut Vec<MailEntry<EventKind>>,
+    ledger: LedgerShardSlice<'a>,
+    procs: &'a mut [P],
+    decisions: &'a mut [Option<Decision>],
+    ts_seqs: &'a mut [u64],
+    rngs: &'a mut [SmallRng],
+    outstanding: &'a mut [Option<BcastId>],
+    inflight: &'a mut [Vec<InFlight<<P as Process>::Msg>>],
+    scratch: ShardScratch<<P as Process>::Msg>,
+    out: ShardWindowOut,
+}
+
+impl<'a, P: Process> WorkerSpace<'a, P> {
+    /// Phase 1: flush inbound mail and deferred local pushes into the
+    /// shard queue, drain everything due in the window, and publish
+    /// the statistics the commit gate needs.
+    fn phase1(
+        &mut self,
+        window_end: Time,
+        flush_edges: &AtomicU64,
+        total_drained: &AtomicU64,
+        any_crash: &AtomicBool,
+        undecided_touched: &AtomicU64,
+    ) {
+        let t0 = Instant::now();
+        for mb in &mut self.inbound {
+            if mb.is_empty() {
+                continue;
+            }
+            flush_edges.fetch_add(1, Ordering::Relaxed);
+            let queue = &mut *self.queue;
+            mb.drain_into(|e: MailEntry<EventKind>| {
+                queue.push_at(e.time, e.class, e.id, e.payload);
+            });
+        }
+        for e in self.pending.drain(..) {
+            self.queue.push_at(e.time, e.class, e.id, e.payload);
+        }
+        while let Some(key) = self.queue.peek_key() {
+            if key.0 > window_end {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked");
+            self.scratch.drained.push((key, ev.payload));
+        }
+        // Gate statistics. Event targets are always shard-local, so
+        // the per-shard distinct-undecided-target counts sum to the
+        // exact global figure.
+        if self.scratch.touched.len() < self.decisions.len() {
+            self.scratch.touched.resize(self.decisions.len(), false);
+        }
+        let mut crash = false;
+        let mut fresh = 0u64;
+        for (_, ev) in &self.scratch.drained {
+            if matches!(ev, EventKind::Crash { .. }) {
+                crash = true;
+                continue;
+            }
+            let target = ev.target().0;
+            let li = target - self.base;
+            if self.decisions[li].is_none()
+                && !self.ledger.is_crashed(target)
+                && !self.scratch.touched[li]
+            {
+                self.scratch.touched[li] = true;
+                self.scratch.touched_list.push(li);
+                fresh += 1;
+            }
+        }
+        for &li in &self.scratch.touched_list {
+            self.scratch.touched[li] = false;
+        }
+        self.scratch.touched_list.clear();
+        if crash {
+            any_crash.store(true, Ordering::Relaxed);
+        }
+        total_drained.fetch_add(self.scratch.drained.len() as u64, Ordering::Relaxed);
+        undecided_touched.fetch_add(fresh, Ordering::Relaxed);
+        self.out.busy_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Phase 2, gate passed: run every drained event in shard-local
+    /// key order, accumulating step records for the ordered commit.
+    fn phase2_commit(&mut self, env: &WorkerEnv<'_>) {
+        let t0 = Instant::now();
+        let mut drained = std::mem::take(&mut self.scratch.drained);
+        for (key, ev) in drained.drain(..) {
+            self.run_step(key, ev, env);
+        }
+        self.scratch.drained = drained;
+        self.out.busy_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// Phase 2, gate failed: push every drained event back, keys and
+    /// ids intact, so the merged fallback replays the window in the
+    /// exact serial order.
+    fn phase2_abort(&mut self) {
+        let t0 = Instant::now();
+        for ((time, class, id), ev) in self.scratch.drained.drain(..) {
+            self.queue.push_at(time, class, EventId(id), ev);
+        }
+        self.out.busy_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// The shard-local half of one engine step — mirrors
+    /// `handle_receive`/`handle_ack`/`dispatch` against the shard's
+    /// slices, deferring broadcast scheduling and trace assembly to
+    /// the ordered commit via a [`StepRec`].
+    fn run_step(&mut self, key: (Time, u8, u64), ev: EventKind, env: &WorkerEnv<'_>) {
+        let time = key.0;
+        self.out.events += 1;
+        self.out.last_time = Some(time);
+        let trace_start = self.scratch.trace_buf.len();
+        let broadcast = match ev {
+            EventKind::Crash { .. } => unreachable!("crash events force the merged fallback"),
+            EventKind::Receive {
+                to,
+                from,
+                bcast,
+                unreliable,
+            } => {
+                let to_crashed = self.ledger.is_crashed(to.0);
+                let msg = if env.shard_map.shard_of(from.0) == self.shard {
+                    let list = &mut self.inflight[from.0 - self.base];
+                    let idx = list
+                        .iter()
+                        .position(|e| e.bcast == bcast.0)
+                        .expect("message for pending delivery");
+                    let entry = &mut list[idx];
+                    entry.refs -= 1;
+                    if entry.refs == 0 {
+                        // Final shard-local reference: move the
+                        // payload out, no clone. (The events vec is
+                        // dropped, not pooled — the pool lives with
+                        // the coordinator.)
+                        let entry = list.swap_remove(idx);
+                        (!to_crashed).then_some(entry.msg)
+                    } else if to_crashed {
+                        None
+                    } else {
+                        Some(entry.msg.clone())
+                    }
+                } else {
+                    let msg = self
+                        .imported
+                        .remove(&EventId(key.2))
+                        .expect("imported payload for cross-shard delivery");
+                    (!to_crashed).then_some(msg)
+                };
+                if to_crashed {
+                    // `note_delivery` is skipped: windows only run in
+                    // parallel when no mid-broadcast crash machinery
+                    // is armed, which makes it a guaranteed no-op.
+                    return;
+                }
+                let msg = msg.expect("payload for a live receiver");
+                if unreliable {
+                    self.out.unreliable_deliveries += 1;
+                } else {
+                    self.out.deliveries += 1;
+                }
+                if env.trace_enabled {
+                    self.scratch.trace_buf.push(TraceEvent::Deliver {
+                        time,
+                        from,
+                        to,
+                        unreliable,
+                    });
+                }
+                self.dispatch_step(to, time, env, |p, ctx| p.on_receive(msg, ctx))
+            }
+            EventKind::Ack { node, bcast } => {
+                let li = node.0 - self.base;
+                let list = &mut self.inflight[li];
+                if let Some(idx) = list.iter().position(|e| e.bcast == bcast.0) {
+                    let entry = &mut list[idx];
+                    entry.refs -= 1;
+                    if entry.refs == 0 {
+                        list.swap_remove(idx);
+                    }
+                }
+                debug_assert!(!self.ledger.is_crashed(node.0), "ack for a crashed node");
+                debug_assert_eq!(self.outstanding[li], Some(bcast));
+                self.outstanding[li] = None;
+                self.out.acks += 1;
+                if env.trace_enabled {
+                    self.scratch
+                        .trace_buf
+                        .push(TraceEvent::Ack { time, slot: node });
+                }
+                self.dispatch_step(node, time, env, |p, ctx| p.on_ack(ctx))
+            }
+        };
+        let trace_end = self.scratch.trace_buf.len();
+        if broadcast.is_some() || trace_end > trace_start {
+            self.scratch.records.push(StepRec {
+                key,
+                broadcast,
+                trace_start,
+                trace_end,
+            });
+        }
+    }
+
+    /// Runs one process callback against the shard's slices; returns
+    /// the broadcast it requested (if any) for the ordered commit.
+    fn dispatch_step<F>(
+        &mut self,
+        slot: Slot,
+        time: Time,
+        env: &WorkerEnv<'_>,
+        f: F,
+    ) -> Option<(Slot, <P as Process>::Msg)>
+    where
+        F: FnOnce(&mut P, &mut Context<'_, <P as Process>::Msg>),
+    {
+        let li = slot.0 - self.base;
+        let had_decision = self.decisions[li].is_some();
+        let mut outbox: Option<<P as Process>::Msg> = None;
+        {
+            let mut ctx = Context {
+                id: env.ids[slot.0],
+                now: time,
+                busy: self.outstanding[li].is_some(),
+                outbox: &mut outbox,
+                decision: &mut self.decisions[li],
+                ts_seq: &mut self.ts_seqs[li],
+                busy_discards: &mut self.out.busy_discards,
+                rng: &mut self.rngs[li],
+            };
+            f(&mut self.procs[li], &mut ctx);
+        }
+        let broadcast = outbox.map(|m| {
+            let ids = m.id_count();
+            if let Some(budget) = env.budget {
+                assert!(
+                    ids <= budget,
+                    "message from {} carries {ids} ids, exceeding the O(1) budget of {budget}: {m:?}",
+                    env.ids[slot.0],
+                );
+            }
+            // Mirror the serial trace order (Broadcast precedes
+            // Decide) and leave the busy placeholder so later
+            // same-window callbacks on this node still read busy.
+            if env.trace_enabled {
+                self.scratch
+                    .trace_buf
+                    .push(TraceEvent::Broadcast { time, slot, ids });
+            }
+            self.outstanding[li] = Some(DEFERRED_BCAST);
+            (slot, m)
+        });
+        if !had_decision {
+            if let Some(d) = self.decisions[li] {
+                if env.trace_enabled {
+                    self.scratch.trace_buf.push(TraceEvent::Decide {
+                        time: d.time,
+                        slot,
+                        value: d.value,
+                    });
+                }
+                self.out.decided += 1;
+            }
+        }
+        broadcast
+    }
+}
+
+/// Splits a slot-indexed table into per-shard `&mut` slices along the
+/// shard map's contiguous ranges.
+fn slice_shards<'a, T>(mut table: &'a mut [T], bounds: &[(usize, usize)]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(bounds.len());
+    let mut offset = 0;
+    for &(start, end) in bounds {
+        debug_assert_eq!(start, offset, "shard ranges tile the slot space");
+        let (head, rest) = table.split_at_mut(end - start);
+        out.push(head);
+        table = rest;
+        offset = end;
+    }
+    debug_assert!(table.is_empty(), "shard ranges cover every slot");
+    out
+}
+
 /// A running (or runnable) simulation.
 pub struct Sim<P: Process> {
     topo: Topology,
@@ -415,6 +854,27 @@ pub struct Sim<P: Process> {
     /// Per-edge cross-shard mailboxes, indexed `src * S + dst`;
     /// flushed at window boundaries (empty when serial).
     mailboxes: Vec<Mailbox<EventKind>>,
+    /// Worker-thread budget for parallel window stepping; effective
+    /// parallelism is `min(threads, shards)`, and 1 keeps the merged
+    /// single-threaded drain.
+    threads: usize,
+    /// Per-destination-shard payload clones for cross-shard
+    /// deliveries, keyed by event id. A cross-shard `Receive` takes
+    /// its payload from the *receiving* shard's table here instead of
+    /// the sender's in-flight entry, so a worker thread never reads
+    /// another shard's tables. Serial runs never populate it.
+    imported: Vec<HashMap<EventId, P::Msg>>,
+    /// Own-shard queue pushes deferred by a parallel window's ordered
+    /// commit; the owning shard's worker absorbs them at the next
+    /// window boundary (cheaper than queue pushes on the
+    /// single-threaded commit path). Never populated serially.
+    local_pending: Vec<Vec<MailEntry<EventKind>>>,
+    /// True only while the ordered commit of a parallel window runs:
+    /// routes own-shard pushes into `local_pending`.
+    defer_local_pushes: bool,
+    /// Per-shard worker scratch (drained events, step records, trace
+    /// spans), reused across parallel windows.
+    scratch: Vec<ShardScratch<P::Msg>>,
     /// Engine-global event-id allocator: ids double as the
     /// deterministic `(time, class, seq)` tie-break, so they must be
     /// allocated in scheduling order across all shards.
@@ -507,6 +967,13 @@ impl<P: Process> Sim<P> {
         self.shards.len()
     }
 
+    /// Number of worker threads parallel windows may use — the
+    /// configured budget capped at the shard count (1 = merged
+    /// single-threaded windows).
+    pub fn thread_count(&self) -> usize {
+        self.threads.min(self.shards.len())
+    }
+
     /// The conservative window length (the scheduler's declared
     /// minimum delay).
     pub fn lookahead(&self) -> u64 {
@@ -558,6 +1025,8 @@ impl<P: Process> Sim<P> {
     fn run_inner(&mut self, until: Option<Time>) -> RunOutcome {
         let outcome = if self.shards.len() == 1 {
             self.run_loop_serial(until)
+        } else if self.threads > 1 {
+            self.run_loop_threaded(until)
         } else {
             self.run_loop_sharded(until)
         };
@@ -619,7 +1088,7 @@ impl<P: Process> Sim<P> {
             let ev = self.shards[0].pop().expect("peeked");
             self.now = ev.time;
             self.metrics.events += 1;
-            self.process_event(ev.payload);
+            self.process_event(ev.id, ev.payload);
         }
     }
 
@@ -660,37 +1129,120 @@ impl<P: Process> Sim<P> {
             }
             let window_end = Time(window_start.ticks().saturating_add(self.lookahead - 1));
             self.metrics.shard_window_advances += 1;
-            loop {
-                if self.stop_when_all_decided && self.undecided == 0 {
-                    return RunOutcome::AllDecided;
+            if let Some(outcome) = self.drain_window_merged(window_end, until) {
+                return outcome;
+            }
+        }
+    }
+
+    /// Drains one open window in global `(time, class, seq)` order on
+    /// the coordinator thread — the sharded engine's inner loop, also
+    /// the fallback the threaded coordinator uses for windows the
+    /// commit gate cannot prove stop-free. Mailboxes (and any
+    /// deferred local pushes) must already be flushed. Returns
+    /// `Some(outcome)` when the run stops mid-window, `None` when the
+    /// window drains and the next one may open.
+    fn drain_window_merged(&mut self, window_end: Time, until: Option<Time>) -> Option<RunOutcome> {
+        loop {
+            if self.stop_when_all_decided && self.undecided == 0 {
+                return Some(RunOutcome::AllDecided);
+            }
+            let Some((shard, next_time)) = self.min_head_in_window(window_end) else {
+                return None; // window drained; open the next one
+            };
+            if let Some(limit) = until {
+                if next_time > limit {
+                    return Some(RunOutcome::MaxTime);
                 }
-                let Some((shard, next_time)) = self.min_head_in_window(window_end) else {
-                    break; // window drained; open the next one
+            }
+            if next_time > self.max_time {
+                return Some(RunOutcome::MaxTime);
+            }
+            if self.metrics.events >= self.max_events {
+                return Some(RunOutcome::EventLimit);
+            }
+            let ev = self.shards[shard].pop().expect("peeked");
+            self.now = ev.time;
+            self.metrics.events += 1;
+            self.metrics.per_shard_events[shard] += 1;
+            self.current_shard = shard as u32;
+            self.process_event(ev.id, ev.payload);
+        }
+    }
+
+    /// The thread-per-shard parallel coordinator (`S > 1`,
+    /// `threads > 1`).
+    ///
+    /// Every window either executes **in parallel** — one worker per
+    /// shard, each holding `&mut` to exactly its shard's state — or
+    /// falls back to [`Sim::drain_window_merged`] when the commit
+    /// gate cannot prove the window stop-free. The parallel path
+    /// defers everything order- or globally-sensitive (broadcast
+    /// scheduling, trace assembly, `undecided` accounting) to a
+    /// single-threaded commit replaying step records in global
+    /// `(time, class, seq)` order, so the execution stays
+    /// byte-identical to the serial engine (see the module docs).
+    fn run_loop_threaded(&mut self, until: Option<Time>) -> RunOutcome {
+        debug_assert!(self.lookahead >= 1, "checked at build time");
+        if !self.started {
+            self.start_procs();
+        }
+        loop {
+            if self.stop_when_all_decided && self.undecided == 0 {
+                return RunOutcome::AllDecided;
+            }
+            // The window start is computed over queues, mailboxes,
+            // and deferred pushes *before* flushing: the workers (or
+            // the merged fallback) flush as their first act, and an
+            // unflushed entry has the same time either way.
+            let Some(window_start) = self.min_pending_time() else {
+                return if self.undecided == 0 {
+                    RunOutcome::AllDecided
+                } else {
+                    RunOutcome::Quiescent
                 };
-                if let Some(limit) = until {
-                    if next_time > limit {
-                        return RunOutcome::MaxTime;
-                    }
-                }
-                if next_time > self.max_time {
+            };
+            if let Some(limit) = until {
+                if window_start > limit {
                     return RunOutcome::MaxTime;
                 }
-                if self.metrics.events >= self.max_events {
-                    return RunOutcome::EventLimit;
+            }
+            if window_start > self.max_time {
+                return RunOutcome::MaxTime;
+            }
+            let window_end = Time(window_start.ticks().saturating_add(self.lookahead - 1));
+            self.metrics.shard_window_advances += 1;
+            // A window may run in parallel only when (a) no
+            // mid-broadcast crash machinery is armed — crash flags
+            // frozen, `note_delivery` a no-op — and (b) it cannot
+            // cross the time horizon, so no step inside it can be the
+            // one that stops the run on time.
+            let bounded =
+                window_end <= self.max_time && until.is_none_or(|limit| window_end <= limit);
+            if !(bounded && self.ledger.parallel_step_safe()) {
+                self.flush_mailboxes();
+                self.flush_local_pending();
+                if let Some(outcome) = self.drain_window_merged(window_end, until) {
+                    return outcome;
                 }
-                let ev = self.shards[shard].pop().expect("peeked");
-                self.now = ev.time;
-                self.metrics.events += 1;
-                self.metrics.per_shard_events[shard] += 1;
-                self.current_shard = shard as u32;
-                self.process_event(ev.payload);
+                continue;
+            }
+            if !self.run_window_parallel(window_end) {
+                // The gate refused the window: the workers flushed
+                // their inboxes and pushed the drained events back
+                // (keys and ids intact), so the merged drain replays
+                // it in the exact serial order.
+                if let Some(outcome) = self.drain_window_merged(window_end, until) {
+                    return outcome;
+                }
             }
         }
     }
 
     /// One engine step: dispatch a popped event to its handler. The
-    /// per-shard step function both loop flavors share.
-    fn process_event(&mut self, ev: EventKind) {
+    /// per-shard step function both loop flavors share. (`id` routes
+    /// cross-shard deliveries to their imported payload clone.)
+    fn process_event(&mut self, id: EventId, ev: EventKind) {
         match ev {
             EventKind::Crash { node } => self.handle_crash(node),
             EventKind::Receive {
@@ -698,7 +1250,7 @@ impl<P: Process> Sim<P> {
                 from,
                 bcast,
                 unreliable,
-            } => self.handle_receive(to, from, bcast, unreliable),
+            } => self.handle_receive(id, to, from, bcast, unreliable),
             EventKind::Ack { node, bcast } => self.handle_ack(node, bcast),
         }
     }
@@ -729,6 +1281,34 @@ impl<P: Process> Sim<P> {
         self.shards.iter_mut().filter_map(|q| q.peek_time()).min()
     }
 
+    /// The earliest pending time anywhere — queue heads, in-transit
+    /// mailbox entries, and deferred local pushes. Equals what
+    /// [`Sim::min_head_time`] would report after a flush, without
+    /// flushing (the threaded coordinator flushes inside the
+    /// workers).
+    fn min_pending_time(&mut self) -> Option<Time> {
+        let heads = self.shards.iter_mut().filter_map(|q| q.peek_time());
+        let mailed = self.mailboxes.iter().filter_map(|mb| mb.min_time());
+        let pending = self
+            .local_pending
+            .iter()
+            .flat_map(|p| p.iter().map(|e| e.time));
+        heads.chain(mailed).chain(pending).min()
+    }
+
+    /// Pushes every deferred own-shard entry into its queue (the
+    /// merged-fallback counterpart of the workers' phase-1 flush).
+    /// Unlike mailbox flushes these are not counted — the serial
+    /// engine pushed them directly at schedule time.
+    fn flush_local_pending(&mut self) {
+        for (shard, pend) in self.local_pending.iter_mut().enumerate() {
+            let queue = &mut self.shards[shard];
+            for e in pend.drain(..) {
+                queue.push_at(e.time, e.class, e.id, e.payload);
+            }
+        }
+    }
+
     /// The shard holding the globally smallest `(time, class, seq)`
     /// head due at or before `window_end`, with that head's time.
     fn min_head_in_window(&mut self, window_end: Time) -> Option<(usize, Time)> {
@@ -741,6 +1321,258 @@ impl<P: Process> Sim<P> {
             }
         }
         best.map(|((t, ..), i)| (i, t))
+    }
+
+    /// Runs one conservative window with one worker per shard (at
+    /// most `threads` OS threads). Returns `true` when the window
+    /// committed; `false` when the commit gate detected a possible
+    /// mid-window stop — a crash event, an event-limit crossing, or
+    /// enough undecided nodes targeted that all could decide — and
+    /// the workers pushed the drained events back for the merged
+    /// fallback.
+    ///
+    /// Worker protocol: phase 1 flushes and drains each shard and
+    /// publishes gate statistics into shared atomics; a barrier; then
+    /// every worker evaluates the same gate expression and either
+    /// steps its events or restores them. The gate's soundness
+    /// argument: with no crash events and no armed crash machinery,
+    /// crash flags are frozen; with the window inside every horizon
+    /// and the event budget covering the whole drain, no bound stops
+    /// the run mid-window; and with strictly fewer distinct undecided
+    /// targets than undecided nodes, at least one undecided node
+    /// receives nothing and cannot decide, so the all-decided stop
+    /// cannot fire inside the window either. Hence the merged loop
+    /// would have processed every drained event — and the parallel
+    /// execution commits them all unconditionally.
+    fn run_window_parallel(&mut self, window_end: Time) -> bool {
+        let s = self.shards.len();
+        if self.scratch.len() != s {
+            self.scratch = (0..s).map(|_| ShardScratch::default()).collect();
+        }
+        if self.metrics.shard_busy_ns.len() != s {
+            self.metrics.shard_busy_ns = vec![0; s];
+            self.metrics.shard_barrier_wait_ns = vec![0; s];
+        }
+        let nworkers = self.threads.min(s).max(1);
+        let events_before = self.metrics.events;
+        let undecided_before = self.undecided as u64;
+        let max_events = self.max_events;
+        let stop_all = self.stop_when_all_decided;
+        let bounds: Vec<(usize, usize)> = (0..s)
+            .map(|i| {
+                let r = self.shard_map.slots_of(i);
+                (r.start, r.end)
+            })
+            .collect();
+
+        // Split every slot-indexed hot table into per-shard `&mut`
+        // slices; the borrow checker enforces the ownership contract.
+        let Sim {
+            procs,
+            decisions,
+            ts_seqs,
+            rngs,
+            outstanding,
+            inflight,
+            shards,
+            mailboxes,
+            imported,
+            local_pending,
+            ledger,
+            ids,
+            shard_map,
+            scratch,
+            trace,
+            message_id_budget,
+            ..
+        } = self;
+        let env = WorkerEnv {
+            ids,
+            shard_map,
+            budget: *message_id_budget,
+            trace_enabled: trace.is_enabled(),
+        };
+        let proc_s = slice_shards(procs, &bounds);
+        let dec_s = slice_shards(decisions, &bounds);
+        let ts_s = slice_shards(ts_seqs, &bounds);
+        let rng_s = slice_shards(rngs, &bounds);
+        let out_s = slice_shards(outstanding, &bounds);
+        let inf_s = slice_shards(inflight, &bounds);
+        let ledger_s = ledger.shard_slices(&bounds);
+        let mut inbound: Vec<Vec<&mut Mailbox<EventKind>>> =
+            (0..s).map(|_| Vec::with_capacity(s)).collect();
+        for (i, mb) in mailboxes.iter_mut().enumerate() {
+            inbound[i % s].push(mb);
+        }
+        let mut spaces: Vec<WorkerSpace<'_, P>> = Vec::with_capacity(s);
+        for (shard, (((((((((queue, imp), pend), led), inb), pr), de), ts), rn), (ou, inf))) in
+            shards
+                .iter_mut()
+                .zip(imported.iter_mut())
+                .zip(local_pending.iter_mut())
+                .zip(ledger_s)
+                .zip(inbound)
+                .zip(proc_s)
+                .zip(dec_s)
+                .zip(ts_s)
+                .zip(rng_s)
+                .zip(out_s.into_iter().zip(inf_s))
+                .enumerate()
+        {
+            spaces.push(WorkerSpace {
+                shard,
+                base: bounds[shard].0,
+                queue,
+                inbound: inb,
+                imported: imp,
+                pending: pend,
+                ledger: led,
+                procs: pr,
+                decisions: de,
+                ts_seqs: ts,
+                rngs: rn,
+                outstanding: ou,
+                inflight: inf,
+                scratch: std::mem::take(&mut scratch[shard]),
+                out: ShardWindowOut::default(),
+            });
+        }
+
+        let total_drained = AtomicU64::new(0);
+        let any_crash = AtomicBool::new(false);
+        let undecided_touched = AtomicU64::new(0);
+        let flush_edges = AtomicU64::new(0);
+        let chunk = s.div_ceil(nworkers);
+        // The barrier must count the *groups actually spawned*: with
+        // `s` not a multiple of `nworkers`, ceil-sized chunks can
+        // cover the shards in fewer groups (e.g. 6 shards on 4
+        // threads is three groups of two).
+        let barrier = Barrier::new(s.div_ceil(chunk));
+        let t0 = Instant::now();
+        crossbeam::thread::scope(|sc| {
+            let barrier = &barrier;
+            let total_drained = &total_drained;
+            let any_crash = &any_crash;
+            let undecided_touched = &undecided_touched;
+            let flush_edges = &flush_edges;
+            let env = &env;
+            for group in spaces.chunks_mut(chunk) {
+                sc.spawn(move |_| {
+                    for sp in group.iter_mut() {
+                        sp.phase1(
+                            window_end,
+                            flush_edges,
+                            total_drained,
+                            any_crash,
+                            undecided_touched,
+                        );
+                    }
+                    barrier.wait();
+                    // Every worker evaluates the identical gate from
+                    // the now-complete shared statistics.
+                    let commit_ok = !any_crash.load(Ordering::Relaxed)
+                        && events_before + total_drained.load(Ordering::Relaxed) <= max_events
+                        && (!stop_all
+                            || undecided_touched.load(Ordering::Relaxed) < undecided_before);
+                    for sp in group.iter_mut() {
+                        if commit_ok {
+                            sp.phase2_commit(env);
+                        } else {
+                            sp.phase2_abort();
+                        }
+                    }
+                });
+            }
+        })
+        .expect("parallel window workers");
+        let elapsed = t0.elapsed().as_nanos() as u64;
+        let committed = !any_crash.into_inner()
+            && events_before + total_drained.into_inner() <= max_events
+            && (!stop_all || undecided_touched.into_inner() < undecided_before);
+
+        let mut outs: Vec<ShardWindowOut> = Vec::with_capacity(s);
+        let mut recs: Vec<Vec<StepRec<P::Msg>>> = Vec::with_capacity(s);
+        let mut traces: Vec<Vec<TraceEvent>> = Vec::with_capacity(s);
+        for (shard, mut sp) in spaces.into_iter().enumerate() {
+            outs.push(std::mem::take(&mut sp.out));
+            recs.push(std::mem::take(&mut sp.scratch.records));
+            traces.push(std::mem::take(&mut sp.scratch.trace_buf));
+            scratch[shard] = sp.scratch;
+        }
+
+        // Mailbox-flush accounting and wall-clock timing apply
+        // whether or not the window committed: the flushes happened,
+        // and the workers did the work.
+        self.metrics.shard_mailbox_flushes += flush_edges.into_inner();
+        for (shard, out) in outs.iter().enumerate() {
+            self.metrics.shard_busy_ns[shard] += out.busy_ns;
+            self.metrics.shard_barrier_wait_ns[shard] += elapsed.saturating_sub(out.busy_ns);
+        }
+        if !committed {
+            for (shard, (r, t)) in recs.into_iter().zip(traces).enumerate() {
+                self.scratch[shard].records = r;
+                self.scratch[shard].trace_buf = t;
+            }
+            return false;
+        }
+
+        // Order-independent commits: plain sums.
+        let mut decided_total = 0u64;
+        let mut end_time: Option<Time> = None;
+        for (shard, out) in outs.iter().enumerate() {
+            self.metrics.events += out.events;
+            self.metrics.per_shard_events[shard] += out.events;
+            self.metrics.deliveries += out.deliveries;
+            self.metrics.unreliable_deliveries += out.unreliable_deliveries;
+            self.metrics.acks += out.acks;
+            self.metrics.busy_discards += out.busy_discards;
+            decided_total += out.decided;
+            end_time = end_time.max(out.last_time);
+        }
+        // The gate guarantees a worker-dispatched node is alive, so
+        // every new decision decrements `undecided` — and strictly
+        // fewer than `undecided_before` can have decided.
+        self.undecided -= decided_total as usize;
+
+        // Ordered commit: replay step records in global key order
+        // (cursor merge over the per-shard key-sorted lists),
+        // re-creating the serial trace and broadcast/event-id/RNG
+        // sequences exactly. Own-shard pushes are deferred to the
+        // owning worker's next phase-1 flush.
+        self.defer_local_pushes = true;
+        let mut cursors = vec![0usize; s];
+        loop {
+            let mut best: Option<((Time, u8, u64), usize)> = None;
+            for (shard, rl) in recs.iter().enumerate() {
+                if let Some(rec) = rl.get(cursors[shard]) {
+                    if best.is_none_or(|(k, _)| rec.key < k) {
+                        best = Some((rec.key, shard));
+                    }
+                }
+            }
+            let Some((key, shard)) = best else { break };
+            let rec = &mut recs[shard][cursors[shard]];
+            cursors[shard] += 1;
+            for ev in &traces[shard][rec.trace_start..rec.trace_end] {
+                self.trace.push(*ev);
+            }
+            if let Some((slot, msg)) = rec.broadcast.take() {
+                self.now = key.0;
+                self.current_shard = shard as u32;
+                self.commit_deferred_broadcast(slot, msg);
+            }
+        }
+        self.defer_local_pushes = false;
+        if let Some(t) = end_time {
+            self.now = t;
+        }
+        for (shard, (mut r, mut t)) in recs.into_iter().zip(traces).enumerate() {
+            r.clear();
+            t.clear();
+            self.scratch[shard].records = r;
+            self.scratch[shard].trace_buf = t;
+        }
+        true
     }
 
     /// Allocates the next event id and routes `kind` at `time`: into
@@ -758,7 +1590,20 @@ impl<P: Process> Sim<P> {
         let dst = self.shard_map.shard_of(kind.target().0) as u32;
         let src = self.current_shard;
         if dst == src {
-            self.shards[dst as usize].push_at(time, class, id, kind);
+            if self.defer_local_pushes {
+                // Parallel-window commit: own-shard pushes are staged
+                // here and flushed by the owning worker at its next
+                // phase-1, keeping queue mutation off the serial
+                // commit path. Not a mailbox flush — never counted.
+                self.local_pending[dst as usize].push(MailEntry {
+                    time,
+                    class,
+                    id,
+                    payload: kind,
+                });
+            } else {
+                self.shards[dst as usize].push_at(time, class, id, kind);
+            }
         } else {
             self.metrics.cross_shard_deliveries += 1;
             self.mailboxes[src as usize * self.shards.len() + dst as usize].push(MailEntry {
@@ -786,6 +1631,15 @@ impl<P: Process> Sim<P> {
     }
 
     fn handle_crash(&mut self, node: Slot) {
+        // Crashes can cancel queued events, but cancellation never
+        // searches the deferred own-shard staging: the threaded
+        // coordinator only defers pushes inside a window the gate
+        // proved crash-free, and flushes the staging before any merged
+        // fallback runs.
+        debug_assert!(
+            self.local_pending.iter().all(|p| p.is_empty()),
+            "crash processed with deferred local pushes outstanding"
+        );
         if !self.ledger.mark_crashed(node.0) {
             return;
         }
@@ -817,6 +1671,12 @@ impl<P: Process> Sim<P> {
             let src = self.shard_map.shard_of(sender.0) as u32;
             for &(id, dst) in &entry.events {
                 self.cancel_event(id, dst, src);
+                if dst != src {
+                    // Cross-shard deliveries carried a payload clone in
+                    // the destination's imported table; drop it with
+                    // the event.
+                    self.imported[dst as usize].remove(&id);
+                }
             }
             self.recycle(entry.events);
         }
@@ -830,7 +1690,14 @@ impl<P: Process> Sim<P> {
         }
     }
 
-    fn handle_receive(&mut self, to: Slot, from: Slot, bcast: BcastId, unreliable: bool) {
+    fn handle_receive(
+        &mut self,
+        id: EventId,
+        to: Slot,
+        from: Slot,
+        bcast: BcastId,
+        unreliable: bool,
+    ) {
         // The receiver may have crashed after this delivery was
         // scheduled; the message is silently lost (and never cloned).
         // The lost delivery still consumes its slot in any
@@ -840,7 +1707,10 @@ impl<P: Process> Sim<P> {
         // over all neighbors likewise burns slots on dead receivers
         // (see Admission::PartialThenCrash).
         let to_crashed = self.ledger.is_crashed(to.0);
-        let msg = {
+        let msg = if self.shard_map.shard_of(from.0) == self.shard_map.shard_of(to.0) {
+            // Own-shard delivery: the sender's refcounted in-flight
+            // entry holds the payload (the common case, and the only
+            // case at S=1).
             let list = &mut self.inflight[from.0];
             let idx = list
                 .iter()
@@ -859,6 +1729,19 @@ impl<P: Process> Sim<P> {
             } else {
                 Some(entry.msg.clone())
             }
+        } else {
+            // Cross-shard delivery: the payload was cloned into the
+            // destination shard's imported table at schedule time, so
+            // this step never touches the sender's shard-owned
+            // in-flight entry (the parallel stepper's ownership
+            // contract).
+            let dst = self.shard_map.shard_of(to.0);
+            let msg = self
+                .imported
+                .get_mut(dst)
+                .and_then(|t| t.remove(&id))
+                .expect("imported payload for cross-shard delivery");
+            (!to_crashed).then_some(msg)
         };
         if to_crashed {
             if !unreliable && self.ledger.note_delivery(bcast.0) {
@@ -944,9 +1827,10 @@ impl<P: Process> Sim<P> {
         }
     }
 
-    fn start_broadcast(&mut self, slot: Slot, msg: P::Msg) {
-        debug_assert!(!self.ledger.is_crashed(slot.0), "crashed node broadcast");
-        debug_assert!(self.outstanding[slot.0].is_none(), "double broadcast");
+    /// Broadcast accounting shared by the immediate and deferred entry
+    /// points: the O(1) message-size budget assertion plus the
+    /// broadcast counters. Returns the message's id count.
+    fn note_broadcast_metrics(&mut self, slot: Slot, msg: &P::Msg) -> usize {
         let ids = msg.id_count();
         if let Some(budget) = self.message_id_budget {
             assert!(
@@ -959,16 +1843,53 @@ impl<P: Process> Sim<P> {
         self.metrics.per_slot_broadcasts[slot.0] += 1;
         self.metrics.max_message_ids = self.metrics.max_message_ids.max(ids);
         self.metrics.total_message_ids += ids as u64;
+        ids
+    }
+
+    /// Accepts a broadcast requested during serial or merged event
+    /// processing: records it, assigns the next broadcast id, and
+    /// schedules its deliveries and ack.
+    fn start_broadcast(&mut self, slot: Slot, msg: P::Msg) {
+        debug_assert!(!self.ledger.is_crashed(slot.0), "crashed node broadcast");
+        debug_assert!(self.outstanding[slot.0].is_none(), "double broadcast");
+        let ids = self.note_broadcast_metrics(slot, &msg);
         self.trace.push(TraceEvent::Broadcast {
             time: self.now,
             slot,
             ids,
         });
-
         let bcast = BcastId(self.bcast_seq);
         self.bcast_seq += 1;
         self.outstanding[slot.0] = Some(bcast);
+        self.commit_broadcast_events(slot, msg, bcast);
+    }
 
+    /// Second half of a broadcast a parallel-window worker already
+    /// dispatched: the worker ran the process callback, recorded the
+    /// [`TraceEvent::Broadcast`], and parked [`DEFERRED_BCAST`] as the
+    /// node's outstanding id; the coordinator replays the deferred
+    /// halves in global step order, so the broadcast/event-id/RNG
+    /// sequences come out exactly as a serial run's.
+    fn commit_deferred_broadcast(&mut self, slot: Slot, msg: P::Msg) {
+        debug_assert!(!self.ledger.is_crashed(slot.0), "crashed node broadcast");
+        debug_assert_eq!(
+            self.outstanding[slot.0],
+            Some(DEFERRED_BCAST),
+            "deferred broadcast without its worker-side placeholder"
+        );
+        self.note_broadcast_metrics(slot, &msg);
+        let bcast = BcastId(self.bcast_seq);
+        self.bcast_seq += 1;
+        self.outstanding[slot.0] = Some(bcast);
+        self.commit_broadcast_events(slot, msg, bcast);
+    }
+
+    /// Plans and schedules one accepted broadcast's deliveries and
+    /// ack, routing payload custody per the shard-ownership split: the
+    /// sender's in-flight entry refcounts only own-shard events, and
+    /// every cross-shard delivery gets a payload clone keyed by event
+    /// id in the destination shard's imported table.
+    fn commit_broadcast_events(&mut self, slot: Slot, msg: P::Msg, bcast: BcastId) {
         // Reuse the scratch neighbor buffer (the scheduler borrows it
         // while `self` stays mutable for the queue pushes below).
         let mut neighbors = std::mem::take(&mut self.neighbor_scratch);
@@ -998,6 +1919,8 @@ impl<P: Process> Sim<P> {
             );
         }
 
+        let src_shard = self.shard_map.shard_of(slot.0) as u32;
+        let mut refs = 0usize;
         let mut events = self.events_pool.pop().unwrap_or_default();
         events.reserve(neighbors.len() + 1);
         for (i, &nbr) in neighbors.iter().enumerate() {
@@ -1007,10 +1930,19 @@ impl<P: Process> Sim<P> {
                 bcast,
                 unreliable: false,
             };
-            events.push(self.schedule(self.now + plan.receive_delays[i], kind));
+            let (id, dst) = self.schedule(self.now + plan.receive_delays[i], kind);
+            if dst == src_shard {
+                refs += 1;
+            } else {
+                self.imported[dst as usize].insert(id, msg.clone());
+            }
+            events.push((id, dst));
         }
         let ack = EventKind::Ack { node: slot, bcast };
-        events.push(self.schedule(self.now + plan.ack_delay, ack));
+        let (id, dst) = self.schedule(self.now + plan.ack_delay, ack);
+        debug_assert_eq!(dst, src_shard, "ack routed off the sender's shard");
+        refs += 1;
+        events.push((id, dst));
 
         // Take the overlay out while sampling so `schedule` can borrow
         // `self` mutably (no clone on the hot path). Overlay delays are
@@ -1026,7 +1958,13 @@ impl<P: Process> Sim<P> {
                         bcast,
                         unreliable: true,
                     };
-                    events.push(self.schedule(self.now + delay, kind));
+                    let (id, dst) = self.schedule(self.now + delay, kind);
+                    if dst == src_shard {
+                        refs += 1;
+                    } else {
+                        self.imported[dst as usize].insert(id, msg.clone());
+                    }
+                    events.push((id, dst));
                 }
             }
             self.unreliable = Some((overlay, p));
@@ -1035,7 +1973,7 @@ impl<P: Process> Sim<P> {
         self.inflight[slot.0].push(InFlight {
             bcast: bcast.0,
             msg,
-            refs: events.len(),
+            refs,
             events,
         });
 
@@ -1744,5 +2682,218 @@ mod tests {
         // 1 delivery fired; 3 deliveries + 1 ack cancelled.
         assert_eq!(report.metrics.deliveries, 1);
         assert_eq!(report.metrics.acks, 0);
+    }
+
+    /// The parallel stepper's contract: for every shard count, thread
+    /// count, and queue core, trace and report stay byte-identical to
+    /// serial. The time-zero crash event forces at least one merged
+    /// fallback window, so both paths are exercised in one run.
+    #[test]
+    fn threaded_runs_are_byte_identical_to_serial() {
+        for core in QueueCoreKind::all() {
+            for topo in [
+                Topology::line(9),
+                Topology::clique(6),
+                Topology::random_connected(14, 0.2, 3),
+            ] {
+                let run = |shards: usize, threads: usize| {
+                    let mut sim = SimBuilder::new(topo.clone(), |s| Flood {
+                        initiator: s.0 == 0,
+                        relayed: false,
+                    })
+                    .scheduler(RandomScheduler::new(5, 11))
+                    .crashes(CrashPlan::new(vec![CrashSpec::AtTime {
+                        slot: Slot(topo.len() - 1),
+                        time: Time(2),
+                    }]))
+                    .queue_core(core)
+                    .shards(shards)
+                    .threads(threads)
+                    .trace(true)
+                    .build();
+                    let report = sim.run();
+                    (observables(&report, &sim), sim.thread_count())
+                };
+                let (serial, _) = run(1, 1);
+                for shards in [2usize, 3, 7] {
+                    for threads in [2usize, 4] {
+                        let (threaded, actual) = run(shards, threads);
+                        assert_eq!(
+                            serial, threaded,
+                            "{core} core, {shards} shards x {threads} threads \
+                             ({actual} effective) diverged from serial"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mid-broadcast crash machinery arms the ledger, so
+    /// `parallel_step_safe` steers those windows to the merged
+    /// fallback — and the counters still match serial exactly.
+    #[test]
+    fn threaded_mid_broadcast_crash_matches_serial() {
+        let run = |shards: usize, threads: usize| {
+            let mut sim = SimBuilder::new(Topology::clique(6), |s| Counter {
+                received: 0,
+                emit: s.0 == 0,
+            })
+            .scheduler(SynchronousScheduler::new(1))
+            .crashes(CrashPlan::new(vec![CrashSpec::MidBroadcast {
+                slot: Slot(0),
+                nth_broadcast: 0,
+                delivered: 2,
+            }]))
+            .shards(shards)
+            .threads(threads)
+            .trace(true)
+            .build();
+            let report = sim.run();
+            (
+                report.metrics.deliveries,
+                report.metrics.acks,
+                report.metrics.crashes,
+                report.metrics.queue_cancellations,
+                sim.trace().clone(),
+            )
+        };
+        let serial = run(1, 1);
+        assert_eq!(serial.0, 2, "exactly the allowed prefix");
+        for shards in [2usize, 3, 6] {
+            assert_eq!(serial, run(shards, 4), "{shards} shards, 4 threads");
+        }
+    }
+
+    /// `run_until` pause/resume under the parallel stepper: the time
+    /// horizon forces merged fallbacks near the limit, and the resumed
+    /// run still matches the serial engine step for step.
+    #[test]
+    fn threaded_run_until_matches_serial() {
+        for threads in [2usize, 4] {
+            let mut sim = flood_sim(Topology::line(8));
+            let mut sim2 = SimBuilder::new(Topology::line(8), |s| Flood {
+                initiator: s.0 == 0,
+                relayed: false,
+            })
+            .scheduler(SynchronousScheduler::new(1))
+            .shards(4)
+            .threads(threads)
+            .build();
+            sim.run_until(Time(3));
+            sim2.run_until(Time(3));
+            assert_eq!(sim.now(), sim2.now());
+            assert_eq!(
+                sim.decisions(),
+                sim2.decisions(),
+                "{threads} threads paused"
+            );
+            let (a, b) = (sim.run(), sim2.run());
+            assert_eq!(a.decisions, b.decisions, "{threads} threads resumed");
+            assert_eq!(a.metrics.events, b.metrics.events);
+        }
+    }
+
+    /// The deterministic metrics of a threaded run equal the
+    /// single-threaded sharded run's field for field, and the
+    /// wall-clock worker timings (excluded from that equality) are
+    /// populated with one entry per shard.
+    #[test]
+    fn threaded_metrics_match_sharded_and_time_the_workers() {
+        let run = |threads: usize| {
+            let mut sim = SimBuilder::new(Topology::ring(8), |s| Flood {
+                initiator: s.0 == 0,
+                relayed: false,
+            })
+            .scheduler(SynchronousScheduler::new(1))
+            .shards(4)
+            .threads(threads)
+            .build();
+            sim.run().metrics
+        };
+        let sharded = run(1);
+        let threaded = run(4);
+        assert_eq!(sharded, threaded, "deterministic counters diverged");
+        assert!(sharded.shard_busy_ns.is_empty(), "timers without threads");
+        assert_eq!(threaded.shard_busy_ns.len(), 4);
+        assert_eq!(threaded.shard_barrier_wait_ns.len(), 4);
+        assert!(
+            threaded.shard_busy_ns.iter().sum::<u64>() > 0,
+            "parallel windows ran but recorded no work: {threaded:?}"
+        );
+        let pct = threaded.barrier_pct();
+        assert!((0.0..=100.0).contains(&pct), "barrier_pct {pct}");
+    }
+
+    /// Thread counts beyond the shard count clamp: workers own whole
+    /// shards, so extra threads would have nothing to hold.
+    #[test]
+    fn thread_count_clamps_to_shard_count() {
+        let mut sim = SimBuilder::new(Topology::clique(6), |s| Flood {
+            initiator: s.0 == 0,
+            relayed: false,
+        })
+        .scheduler(SynchronousScheduler::new(1))
+        .shards(2)
+        .threads(16)
+        .build();
+        assert_eq!(sim.thread_count(), 2);
+        assert!(sim.run().all_decided());
+    }
+
+    /// Unreliable-overlay sampling draws from the engine RNG in
+    /// commit order, so overlay runs stay byte-identical across
+    /// thread counts (including the RNG-dependent trace).
+    #[test]
+    fn threaded_unreliable_overlay_matches_serial() {
+        let base = Topology::line(6);
+        let overlay = UnreliableOverlay::new(&base, &[(0, 2), (0, 3), (1, 4)]);
+        let run = |shards: usize, threads: usize| {
+            let mut sim = SimBuilder::new(base.clone(), |s| Flood {
+                initiator: s.0 == 0,
+                relayed: false,
+            })
+            .scheduler(SynchronousScheduler::new(3))
+            .unreliable(overlay.clone(), 0.5)
+            .shards(shards)
+            .threads(threads)
+            .stop_when_all_decided(false)
+            .trace(true)
+            .build();
+            let report = sim.run();
+            (
+                observables(&report, &sim),
+                report.metrics.unreliable_deliveries,
+            )
+        };
+        let (serial, extra) = run(1, 1);
+        assert!(extra > 0, "overlay never fired; the test is vacuous");
+        for threads in [2usize, 3] {
+            assert_eq!(serial, run(3, threads).0, "{threads} threads");
+        }
+    }
+
+    /// An event limit that lands mid-window trips the commit gate, so
+    /// the merged fallback stops at exactly the serial event count.
+    #[test]
+    fn threaded_event_limit_matches_serial() {
+        let run = |shards: usize, threads: usize| {
+            let mut sim = SimBuilder::new(Topology::clique(6), |s| Flood {
+                initiator: s.0 == 0,
+                relayed: false,
+            })
+            .scheduler(SynchronousScheduler::new(1))
+            .max_events(7)
+            .shards(shards)
+            .threads(threads)
+            .stop_when_all_decided(false)
+            .trace(true)
+            .build();
+            let report = sim.run();
+            (report.outcome, report.metrics.events, sim.trace().clone())
+        };
+        let serial = run(1, 1);
+        assert_eq!(serial.0, RunOutcome::EventLimit);
+        assert_eq!(serial, run(3, 4), "event limit diverged under threads");
     }
 }

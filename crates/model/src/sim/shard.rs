@@ -121,6 +121,85 @@ impl Default for ShardCount {
     }
 }
 
+/// Default worker-thread count for the parallel stepper, honoring the
+/// `AMACL_THREADS` environment variable.
+///
+/// Mirrors [`ShardCount`]/`AMACL_SHARDS`: unset means single-threaded
+/// stepping (`1`), and a set value must parse as a positive integer —
+/// a typo must not silently run serial while claiming threaded
+/// coverage. The engine runs at most `min(threads, shards)` workers:
+/// shards are the unit of parallelism, so extra threads never help and
+/// are not spawned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ThreadCount(usize);
+
+impl ThreadCount {
+    /// A validated thread count.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `0`: the coordinator always needs at least one stepper.
+    pub fn new(threads: usize) -> Result<Self, String> {
+        if threads == 0 {
+            Err("thread count must be at least 1".into())
+        } else {
+            Ok(Self(threads))
+        }
+    }
+
+    /// The raw count.
+    pub fn get(self) -> usize {
+        self.0
+    }
+
+    /// The default thread count from the `AMACL_THREADS` environment
+    /// variable (`1` when unset).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set to anything but a positive
+    /// integer: a typo must surface, not silently void threaded
+    /// coverage.
+    pub fn from_env() -> Self {
+        Self::from_env_value(std::env::var("AMACL_THREADS").ok().as_deref())
+            .unwrap_or_else(|e| panic!("AMACL_THREADS: {e}"))
+    }
+
+    /// [`ThreadCount::from_env`]'s pure core: `None` (unset) means
+    /// single-threaded; a set value must parse.
+    fn from_env_value(value: Option<&str>) -> Result<Self, String> {
+        match value {
+            None => Ok(Self(1)),
+            Some(v) => v.parse(),
+        }
+    }
+}
+
+impl Default for ThreadCount {
+    fn default() -> Self {
+        Self(1)
+    }
+}
+
+impl std::str::FromStr for ThreadCount {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.parse::<usize>() {
+            Ok(n) => Self::new(n),
+            Err(_) => Err(format!(
+                "unknown thread count `{s}` (expected a positive integer)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ThreadCount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
 impl std::str::FromStr for ShardCount {
     type Err = String;
 
@@ -229,6 +308,16 @@ impl<E> Mailbox<E> {
         self.entries.is_empty()
     }
 
+    /// The earliest due time among in-transit entries (`None` when
+    /// empty). The threaded stepper defers mailbox flushing to the
+    /// destination shard's worker, so the coordinator computes window
+    /// starts over queue heads *and* unflushed mailboxes; a linear
+    /// scan is fine — a mailbox only ever holds the entries of one
+    /// window's broadcasts.
+    pub(crate) fn min_time(&self) -> Option<Time> {
+        self.entries.iter().map(|e| e.time).min()
+    }
+
     /// Removes the in-transit entry with the given id, if present.
     /// Returns `true` on removal — the cancellation-in-flight path of
     /// the [module contract](self).
@@ -275,6 +364,43 @@ mod tests {
         assert_eq!(ShardCount::from_env_value(Some("7")).unwrap().get(), 7);
         assert!(ShardCount::from_env_value(Some("0")).is_err());
         assert!(ShardCount::from_env_value(Some("two")).is_err());
+    }
+
+    #[test]
+    fn thread_count_parses_and_rejects() {
+        assert_eq!("4".parse::<ThreadCount>().unwrap().get(), 4);
+        assert_eq!(ThreadCount::default().get(), 1);
+        assert!("0".parse::<ThreadCount>().is_err());
+        assert!("four".parse::<ThreadCount>().is_err());
+        assert!("".parse::<ThreadCount>().is_err());
+        assert_eq!(ThreadCount::new(3).unwrap().to_string(), "3");
+        assert!(ThreadCount::new(0).is_err());
+    }
+
+    #[test]
+    fn thread_env_selection_rejects_typos_instead_of_falling_back() {
+        // (Pure helper — no env mutation, safe under parallel tests.)
+        assert_eq!(ThreadCount::from_env_value(None).unwrap().get(), 1);
+        assert_eq!(ThreadCount::from_env_value(Some("7")).unwrap().get(), 7);
+        assert!(ThreadCount::from_env_value(Some("0")).is_err());
+        assert!(ThreadCount::from_env_value(Some("two")).is_err());
+    }
+
+    #[test]
+    fn mailbox_min_time_tracks_earliest_entry() {
+        let mut mb: Mailbox<u8> = Mailbox::new();
+        assert_eq!(mb.min_time(), None);
+        for (i, t) in [5u64, 2, 9].iter().enumerate() {
+            mb.push(MailEntry {
+                time: Time(*t),
+                class: 1,
+                id: EventId(i as u64),
+                payload: 0,
+            });
+        }
+        assert_eq!(mb.min_time(), Some(Time(2)));
+        assert!(mb.cancel(EventId(1)));
+        assert_eq!(mb.min_time(), Some(Time(5)));
     }
 
     #[test]

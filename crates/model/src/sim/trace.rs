@@ -116,7 +116,14 @@ impl Trace {
 }
 
 /// Aggregate counters for one execution.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Equality deliberately ignores the wall-clock thread-timing fields
+/// ([`Metrics::shard_busy_ns`], [`Metrics::shard_barrier_wait_ns`]):
+/// every other counter is a deterministic function of the execution
+/// and participates in the byte-identity contract across queue cores,
+/// shard counts, and thread counts, while the timing fields measure
+/// the host machine and legitimately differ between identical runs.
+#[derive(Clone, Debug, Default)]
 pub struct Metrics {
     /// Broadcasts accepted by the MAC layer.
     pub broadcasts: u64,
@@ -156,6 +163,19 @@ pub struct Metrics {
     /// already carries the total). The spread is the load-imbalance
     /// signal the sweep reports surface.
     pub per_shard_events: Vec<u64>,
+    /// Wall-clock nanoseconds each shard's worker spent doing real
+    /// work — flushing its inbox, draining its queue, and stepping its
+    /// events — summed over all parallel windows (length = shard
+    /// count; empty unless the thread-per-shard stepper ran). Wall
+    /// clock, so **excluded from equality**: see the type docs.
+    pub shard_busy_ns: Vec<u64>,
+    /// Wall-clock nanoseconds each shard's worker spent waiting at
+    /// window-boundary barriers for the slowest sibling (length =
+    /// shard count; empty unless the parallel stepper ran). Together
+    /// with [`Metrics::shard_busy_ns`] this makes coordination
+    /// overhead observable instead of inferred from end-to-end wall
+    /// clock: see [`Metrics::barrier_pct`]. Excluded from equality.
+    pub shard_barrier_wait_ns: Vec<u64>,
     /// Largest per-message id count observed.
     pub max_message_ids: usize,
     /// Sum of id counts over all broadcasts.
@@ -163,6 +183,33 @@ pub struct Metrics {
     /// Broadcast count per node (bottleneck analysis, experiment E3).
     pub per_slot_broadcasts: Vec<u64>,
 }
+
+impl PartialEq for Metrics {
+    /// Field-by-field equality over every *deterministic* counter; the
+    /// wall-clock `shard_busy_ns`/`shard_barrier_wait_ns` vectors are
+    /// intentionally skipped (see the type docs).
+    fn eq(&self, other: &Self) -> bool {
+        self.broadcasts == other.broadcasts
+            && self.busy_discards == other.busy_discards
+            && self.deliveries == other.deliveries
+            && self.unreliable_deliveries == other.unreliable_deliveries
+            && self.acks == other.acks
+            && self.crashes == other.crashes
+            && self.events == other.events
+            && self.queue_pushes == other.queue_pushes
+            && self.queue_cancellations == other.queue_cancellations
+            && self.queue_bucket_overflows == other.queue_bucket_overflows
+            && self.cross_shard_deliveries == other.cross_shard_deliveries
+            && self.shard_window_advances == other.shard_window_advances
+            && self.shard_mailbox_flushes == other.shard_mailbox_flushes
+            && self.per_shard_events == other.per_shard_events
+            && self.max_message_ids == other.max_message_ids
+            && self.total_message_ids == other.total_message_ids
+            && self.per_slot_broadcasts == other.per_slot_broadcasts
+    }
+}
+
+impl Eq for Metrics {}
 
 impl Metrics {
     /// Creates zeroed metrics for an `n`-node execution.
@@ -190,6 +237,21 @@ impl Metrics {
             1.0
         } else {
             max as f64 * self.per_shard_events.len() as f64 / total as f64
+        }
+    }
+
+    /// Share of the parallel stepper's worker time lost to
+    /// window-boundary barriers, in percent: `wait / (busy + wait)`
+    /// summed over all shards. `0.0` when the parallel stepper never
+    /// ran (or never did measurable work). Wall-clock derived, so this
+    /// is a diagnostic — never part of any identity comparison.
+    pub fn barrier_pct(&self) -> f64 {
+        let busy: u64 = self.shard_busy_ns.iter().sum();
+        let wait: u64 = self.shard_barrier_wait_ns.iter().sum();
+        if busy + wait == 0 {
+            0.0
+        } else {
+            wait as f64 * 100.0 / (busy + wait) as f64
         }
     }
 }
