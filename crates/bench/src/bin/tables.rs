@@ -20,19 +20,31 @@
 //!   counts and — for threaded rows — the barrier-wait share; the file
 //!   keeps a v1-compatible top-level `events_per_sec` (the
 //!   heap/n=32/serial reference figure).
+//! * `tables -- bench-latency [--out <path>]` — the open-loop latency
+//!   sweep: runs the steady-state workload once per
+//!   [`amacl_bench::latency::DEFAULT_GRID`] configuration (arrival
+//!   process × rate × engine shards/threads) and writes the
+//!   `amacl-bench-latency/v1` JSON baseline (`BENCH_latency.json` at
+//!   the repo root by convention). The p50/p99/p999 figures are in
+//!   virtual ticks and seed-determined — the sweep itself asserts they
+//!   are identical across engine configurations.
 //! * `tables -- bench-gate [--baseline <path>] [--tolerance <x>]
-//!   [--out <path>]` — the CI regression gate: remeasures, writes the
-//!   fresh JSON, and exits nonzero when any configuration collapsed
-//!   below `baseline / tolerance` (default tolerance 3x, generous
-//!   enough for shared-runner variance but not for a real
-//!   regression). Every v4 (or v3/v2, `threads = 1` / `shards = 1`
-//!   implied) row is gated individually; v1 baselines gate on the
-//!   single reference figure.
+//!   [--out <path>] [--latency-baseline <path>]` — the CI regression
+//!   gate: remeasures, writes the fresh JSON, and exits nonzero when
+//!   any configuration collapsed below `baseline / tolerance` (default
+//!   tolerance 3x, generous enough for shared-runner variance but not
+//!   for a real regression). Every v4 (or v3/v2, `threads = 1` /
+//!   `shards = 1` implied) row is gated individually; v1 baselines
+//!   gate on the single reference figure. When the latency baseline
+//!   file exists (default `BENCH_latency.json`), its rows are gated
+//!   alongside the engine rows: virtual-tick quantiles must match
+//!   exactly, wall-clock throughput within the same tolerance.
 
 use std::time::Instant;
 
 use amacl_bench::baseline::{gate, gate_rows, json_number, parse_rows, BaselineRow};
 use amacl_bench::experiments::*;
+use amacl_bench::latency::{gate_latency_rows, measure_latency, DEFAULT_GRID};
 use amacl_bench::parallel::{self, run_seeds};
 use amacl_bench::scaling;
 use amacl_core::harness::{alternating_inputs, run_wpaxos};
@@ -59,12 +71,23 @@ fn main() {
             bench_engine(opt("--out").as_deref());
             return;
         }
+        Some("bench-latency") => {
+            bench_latency(opt("--out").as_deref());
+            return;
+        }
         Some("bench-gate") => {
             let baseline_path = opt("--baseline").unwrap_or_else(|| "BENCH_engine.json".into());
+            let latency_path =
+                opt("--latency-baseline").unwrap_or_else(|| "BENCH_latency.json".into());
             let tolerance: f64 = opt("--tolerance")
                 .map(|s| s.parse().expect("--tolerance takes a number"))
                 .unwrap_or(3.0);
-            bench_gate(&baseline_path, tolerance, opt("--out").as_deref());
+            bench_gate(
+                &baseline_path,
+                &latency_path,
+                tolerance,
+                opt("--out").as_deref(),
+            );
             return;
         }
         _ => {}
@@ -259,11 +282,24 @@ fn bench_engine(out: Option<&str>) {
     }
 }
 
+/// Measures the open-loop latency grid and writes the
+/// `amacl-bench-latency/v1` JSON baseline.
+fn bench_latency(out: Option<&str>) {
+    let (json, _) = measure_latency(DEFAULT_GRID);
+    print!("{json}");
+    if let Some(path) = out {
+        std::fs::write(path, &json).expect("write latency baseline");
+        eprintln!("wrote {path}");
+    }
+}
+
 /// The CI regression gate: remeasure, report, and exit nonzero when
 /// throughput collapsed relative to the committed baseline. v4/v3/v2
 /// baselines gate every `(queue core, n, shards, threads)` row; v1
-/// baselines gate the single reference figure.
-fn bench_gate(baseline_path: &str, tolerance: f64, out: Option<&str>) {
+/// baselines gate the single reference figure. When the committed
+/// latency baseline exists, its rows are gated in the same pass
+/// (exact virtual-tick quantiles, tolerance-bounded throughput).
+fn bench_gate(baseline_path: &str, latency_path: &str, tolerance: f64, out: Option<&str>) {
     let baseline_json = std::fs::read_to_string(baseline_path)
         .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
     let (fresh_json, fresh_rows, fresh_reference) = measure_engine();
@@ -285,7 +321,25 @@ fn bench_gate(baseline_path: &str, tolerance: f64, out: Option<&str>) {
     } else {
         gate_rows(&baseline_json, &fresh_rows, tolerance)
     };
-    match verdict {
+    // The latency baseline rides alongside: gate it whenever the
+    // committed file is present (it is optional so older checkouts and
+    // engine-only invocations keep working).
+    let latency_verdict = match std::fs::read_to_string(latency_path) {
+        Err(_) => {
+            eprintln!("bench gate: no latency baseline at {latency_path}; skipping latency gate");
+            Ok(Vec::new())
+        }
+        Ok(latency_json) => {
+            let (_, fresh_latency) = measure_latency(DEFAULT_GRID);
+            gate_latency_rows(&latency_json, &fresh_latency, tolerance)
+        }
+    };
+    match verdict.and_then(|mut lines| {
+        latency_verdict.map(|latency_lines| {
+            lines.extend(latency_lines);
+            lines
+        })
+    }) {
         Ok(lines) => {
             println!("bench gate OK:");
             for line in lines {

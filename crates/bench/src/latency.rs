@@ -1,0 +1,505 @@
+//! Open-loop latency baseline: the `amacl-bench-latency/v1` schema,
+//! its parser, and the regression gate.
+//!
+//! The engine baseline (`baseline`) gates *throughput* — a wall-clock
+//! figure that drifts with the machine, hence the generous collapse
+//! tolerance. The latency baseline is different in kind: submit→decide
+//! latency is measured in **virtual ticks**, and for a fixed seed the
+//! open-loop workload is fully deterministic, so the latency surface
+//! (decided count, p50/p99/p999) must match the committed baseline
+//! **exactly** — any drift is a semantic change to the engine or the
+//! consensus pipeline, not measurement noise. Only the per-row
+//! `events_per_sec` (wall-clock) is gated with a tolerance, like the
+//! engine rows.
+//!
+//! Rows are keyed `(arrival, rate, n, shards, threads)`; the shard and
+//! thread axes exist to re-prove the identity theorem from the bench
+//! layer — [`measure_latency`] asserts that every engine configuration
+//! at the same `(arrival, rate)` produced the identical surface before
+//! a row is emitted.
+
+use std::time::Instant;
+
+use amacl_checker::workload::{run_load, ArrivalKind, LoadScenario, WorkloadSpec};
+use amacl_model::sim::queue::QueueCoreKind;
+
+use crate::baseline::{json_number, json_string};
+
+/// Schema identifier written into (and expected in) the JSON file.
+pub const LATENCY_SCHEMA: &str = "amacl-bench-latency/v1";
+
+/// One measurement configuration of the latency grid.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyConfig {
+    /// Arrival process of the open-loop workload.
+    pub arrival: ArrivalKind,
+    /// Target arrival rate (requests per 1000 ticks).
+    pub rate: u64,
+    /// Engine shard count (1 = serial).
+    pub shards: usize,
+    /// Worker threads stepping each conservative window.
+    pub threads: usize,
+}
+
+/// The default measurement grid: both arrival processes serially, the
+/// Poisson workload re-run sharded and thread-stepped (identity
+/// re-proof from the bench layer), and a higher-rate Poisson row for
+/// the throughput axis.
+pub const DEFAULT_GRID: &[LatencyConfig] = &[
+    LatencyConfig {
+        arrival: ArrivalKind::Deterministic,
+        rate: 5,
+        shards: 1,
+        threads: 1,
+    },
+    LatencyConfig {
+        arrival: ArrivalKind::Poisson,
+        rate: 5,
+        shards: 1,
+        threads: 1,
+    },
+    LatencyConfig {
+        arrival: ArrivalKind::Poisson,
+        rate: 5,
+        shards: 2,
+        threads: 1,
+    },
+    LatencyConfig {
+        arrival: ArrivalKind::Poisson,
+        rate: 5,
+        shards: 4,
+        threads: 4,
+    },
+    LatencyConfig {
+        arrival: ArrivalKind::Poisson,
+        rate: 10,
+        shards: 1,
+        threads: 1,
+    },
+];
+
+/// One per-configuration row of the latency baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyRow {
+    /// Arrival process name (`"det"` / `"poisson"`).
+    pub arrival: String,
+    /// Target arrival rate (requests per 1000 ticks).
+    pub rate: u64,
+    /// Network size of the workload.
+    pub n: u64,
+    /// Engine shard count (rows without the field parse as 1).
+    pub shards: u64,
+    /// Engine worker threads (rows without the field parse as 1).
+    pub threads: u64,
+    /// Requests decided over the run (deterministic).
+    pub decided: u64,
+    /// Median submit→decide latency in virtual ticks (deterministic).
+    pub p50: u64,
+    /// 99th-percentile latency in virtual ticks (deterministic).
+    pub p99: u64,
+    /// 99.9th-percentile latency in virtual ticks (deterministic).
+    pub p999: u64,
+    /// Wall-clock engine throughput (machine-dependent).
+    pub events_per_sec: f64,
+}
+
+impl LatencyRow {
+    /// The row's human-readable key, used in every gate verdict line.
+    pub fn label(&self) -> String {
+        format!(
+            "arrival={} rate={} n={} shards={} threads={}",
+            self.arrival, self.rate, self.n, self.shards, self.threads
+        )
+    }
+
+    fn same_key(&self, other: &LatencyRow) -> bool {
+        self.arrival == other.arrival
+            && self.rate == other.rate
+            && self.n == other.n
+            && self.shards == other.shards
+            && self.threads == other.threads
+    }
+}
+
+/// Extracts the per-configuration rows from a latency baseline JSON.
+/// Returns an empty vector when no rows are present (or the file is
+/// not a latency baseline at all).
+pub fn parse_latency_rows(json: &str) -> Vec<LatencyRow> {
+    let mut rows = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"arrival\"") {
+        let after = &rest[pos..];
+        let end = after.find('}').unwrap_or(after.len());
+        let chunk = &after[..end];
+        if let (
+            Some(arrival),
+            Some(rate),
+            Some(n),
+            Some(decided),
+            Some(p50),
+            Some(p99),
+            Some(p999),
+            Some(events_per_sec),
+        ) = (
+            json_string(chunk, "arrival"),
+            json_number(chunk, "rate"),
+            json_number(chunk, "n"),
+            json_number(chunk, "decided"),
+            json_number(chunk, "p50"),
+            json_number(chunk, "p99"),
+            json_number(chunk, "p999"),
+            json_number(chunk, "events_per_sec"),
+        ) {
+            rows.push(LatencyRow {
+                arrival,
+                rate: rate as u64,
+                n: n as u64,
+                shards: json_number(chunk, "shards").map_or(1, |s| s as u64),
+                threads: json_number(chunk, "threads").map_or(1, |t| t as u64),
+                decided: decided as u64,
+                p50: p50 as u64,
+                p99: p99 as u64,
+                p999: p999 as u64,
+                events_per_sec,
+            });
+        }
+        rest = &after[end..];
+    }
+    rows
+}
+
+/// Gates every baseline latency row against the matching fresh row:
+/// the deterministic surface (`decided`, `p50`, `p99`, `p999`) must
+/// match **exactly** (virtual-tick figures have no measurement noise
+/// — drift means the engine's semantics changed), the wall-clock
+/// `events_per_sec` must not have collapsed below
+/// `baseline / tolerance`, and every baseline configuration must have
+/// been re-measured.
+///
+/// Returns one human-readable verdict line per row.
+///
+/// # Errors
+///
+/// Returns the joined failure messages when any row is missing, moved,
+/// or collapsed.
+pub fn gate_latency_rows(
+    baseline_json: &str,
+    fresh: &[LatencyRow],
+    tolerance: f64,
+) -> Result<Vec<String>, String> {
+    assert!(tolerance >= 1.0, "tolerance must be >= 1");
+    let baseline = parse_latency_rows(baseline_json);
+    if baseline.is_empty() {
+        return Err("latency baseline JSON has no rows".into());
+    }
+    let mut lines = Vec::new();
+    let mut failures = Vec::new();
+    for b in &baseline {
+        let label = b.label();
+        match fresh.iter().find(|f| f.same_key(b)) {
+            None => failures.push(format!("{label}: no fresh measurement")),
+            Some(f)
+                if (f.decided, f.p50, f.p99, f.p999) != (b.decided, b.p50, b.p99, b.p999) =>
+            {
+                failures.push(format!(
+                    "{label}: deterministic latency surface moved: \
+                     decided/p50/p99/p999 {}/{}/{}/{} vs baseline {}/{}/{}/{} \
+                     (virtual ticks are seed-determined; this is a semantic change, not noise)",
+                    f.decided, f.p50, f.p99, f.p999, b.decided, b.p50, b.p99, b.p999
+                ));
+            }
+            Some(f) if f.events_per_sec * tolerance < b.events_per_sec => failures.push(format!(
+                "{label}: collapsed to {:.0} events/sec vs baseline {:.0} ({}x slower, tolerance {tolerance}x)",
+                f.events_per_sec,
+                b.events_per_sec,
+                (b.events_per_sec / f.events_per_sec).round()
+            )),
+            Some(f) => lines.push(format!(
+                "{label}: p50/p99/p999 {}/{}/{} ticks unchanged, {:.0} events/sec vs baseline {:.0} ({:.2}x, tolerance {tolerance}x)",
+                f.p50,
+                f.p99,
+                f.p999,
+                f.events_per_sec,
+                b.events_per_sec,
+                f.events_per_sec / b.events_per_sec
+            )),
+        }
+    }
+    if failures.is_empty() {
+        Ok(lines)
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
+/// Runs the open-loop steady-state workload once per grid
+/// configuration and returns the `amacl-bench-latency/v1` JSON plus
+/// the parsed rows.
+///
+/// Every configuration at the same `(arrival, rate)` must produce the
+/// identical deterministic surface — shards and threads may change
+/// wall-clock speed, never virtual-tick results — and steady state
+/// must fully drain; both are asserted here so a broken identity or an
+/// overloaded grid entry fails the measurement itself, not just the
+/// gate downstream.
+pub fn measure_latency(grid: &[LatencyConfig]) -> (String, Vec<LatencyRow>) {
+    let base = WorkloadSpec::default_spec();
+    // Warm-up (page in code and allocator state).
+    let _ = run_load(
+        &steady_state(&base, grid[0]),
+        QueueCoreKind::Heap,
+        1,
+        1,
+        false,
+    );
+
+    let mut rows: Vec<LatencyRow> = Vec::new();
+    let mut row_json: Vec<String> = Vec::new();
+    for &cfg in grid {
+        let scenario = steady_state(&base, cfg);
+        let t0 = Instant::now();
+        let run = run_load(
+            &scenario,
+            QueueCoreKind::Heap,
+            cfg.shards,
+            cfg.threads,
+            false,
+        );
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            run.unfinished, 0,
+            "latency grid entry {cfg:?} did not drain — raise the drain window or lower the rate"
+        );
+        let row = LatencyRow {
+            arrival: cfg.arrival.name().to_string(),
+            rate: cfg.rate,
+            n: scenario.spec.n as u64,
+            shards: cfg.shards as u64,
+            threads: cfg.threads as u64,
+            decided: run.histogram.count(),
+            p50: run.histogram.p50(),
+            p99: run.histogram.p99(),
+            p999: run.histogram.p999(),
+            events_per_sec: run.engine_events as f64 / wall,
+        };
+        if let Some(prev) = rows
+            .iter()
+            .find(|r| r.arrival == row.arrival && r.rate == row.rate)
+        {
+            assert_eq!(
+                (prev.decided, prev.p50, prev.p99, prev.p999),
+                (row.decided, row.p50, row.p99, row.p999),
+                "S={} T={} changed the {} rate={} latency surface",
+                cfg.shards,
+                cfg.threads,
+                row.arrival,
+                row.rate
+            );
+        }
+        eprintln!(
+            "measured arrival={} rate={} n={} shards={} threads={}: decided={} \
+             p50/p99/p999={}/{}/{} ticks, {:.0} events/sec ({:.3}s wall)",
+            row.arrival,
+            row.rate,
+            row.n,
+            row.shards,
+            row.threads,
+            row.decided,
+            row.p50,
+            row.p99,
+            row.p999,
+            row.events_per_sec,
+            wall
+        );
+        row_json.push(format!(
+            "    {{\"arrival\": \"{}\", \"rate\": {}, \"n\": {}, \"shards\": {}, \"threads\": {}, \"decided\": {}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}, \"decided_per_kilotick\": {:.3}, \"events_total\": {}, \"wall_s\": {wall:.4}, \"events_per_sec\": {:.0}}}",
+            row.arrival,
+            row.rate,
+            row.n,
+            row.shards,
+            row.threads,
+            row.decided,
+            row.p50,
+            row.p99,
+            row.p999,
+            run.histogram.max(),
+            run.decided_per_kilotick(),
+            run.engine_events,
+            row.events_per_sec
+        ));
+        rows.push(row);
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"{LATENCY_SCHEMA}\",\n  \"workload\": \"open-loop steady state: bitwise({}) pipeline on clique({}), RandomScheduler(F_ack={}), seed {}, {} ticks + {} drain\",\n  \"rows\": [\n{}\n  ]\n}}\n",
+        base.bits,
+        base.n,
+        base.f_ack,
+        base.seed,
+        base.duration,
+        base.drain,
+        row_json.join(",\n")
+    );
+    (json, rows)
+}
+
+/// The steady-state scenario (no crash, no partition) for one grid
+/// configuration: the default spec with the grid's arrival and rate.
+fn steady_state(base: &WorkloadSpec, cfg: LatencyConfig) -> LoadScenario {
+    LoadScenario {
+        name: format!("bench-{}-{}", cfg.arrival.name(), cfg.rate),
+        spec: WorkloadSpec {
+            arrival: cfg.arrival,
+            rate_per_kilotick: cfg.rate,
+            ..base.clone()
+        },
+        crash: None,
+        partition: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": "amacl-bench-latency/v1",
+  "workload": "open-loop steady state",
+  "rows": [
+    {"arrival": "det", "rate": 5, "n": 4, "shards": 1, "threads": 1, "decided": 100, "p50": 128, "p99": 256, "p999": 256, "events_per_sec": 500000},
+    {"arrival": "poisson", "rate": 5, "n": 4, "shards": 4, "threads": 4, "decided": 103, "p50": 128, "p99": 512, "p999": 512, "events_per_sec": 400000}
+  ]
+}"#;
+
+    fn row(arrival: &str, shards: u64, threads: u64, decided: u64, eps: f64) -> LatencyRow {
+        LatencyRow {
+            arrival: arrival.into(),
+            rate: 5,
+            n: 4,
+            shards,
+            threads,
+            decided,
+            p50: 128,
+            p99: if arrival == "det" { 256 } else { 512 },
+            p999: if arrival == "det" { 256 } else { 512 },
+            events_per_sec: eps,
+        }
+    }
+
+    #[test]
+    fn parses_latency_rows() {
+        let rows = parse_latency_rows(SAMPLE);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].arrival, "det");
+        assert_eq!(rows[0].decided, 100);
+        assert_eq!(rows[0].p999, 256);
+        assert_eq!(rows[1].shards, 4);
+        assert_eq!(rows[1].threads, 4);
+        assert_eq!(rows[1].events_per_sec, 400000.0);
+    }
+
+    #[test]
+    fn missing_shards_and_threads_parse_as_serial() {
+        let json = r#"{"rows": [{"arrival": "det", "rate": 5, "n": 4, "decided": 7, "p50": 1, "p99": 2, "p999": 3, "events_per_sec": 10}]}"#;
+        let rows = parse_latency_rows(json);
+        assert_eq!(rows.len(), 1);
+        assert_eq!((rows[0].shards, rows[0].threads), (1, 1));
+    }
+
+    #[test]
+    fn engine_baseline_has_no_latency_rows() {
+        let engine = r#"{"schema": "amacl-bench-engine/v4", "rows": [{"queue_core": "heap", "n": 32, "events_per_sec": 1}]}"#;
+        assert!(parse_latency_rows(engine).is_empty());
+    }
+
+    #[test]
+    fn gate_passes_identical_surface() {
+        let fresh = vec![
+            row("det", 1, 1, 100, 450000.0),
+            row("poisson", 4, 4, 103, 350000.0),
+        ];
+        let lines = gate_latency_rows(SAMPLE, &fresh, 3.0).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("arrival=det"));
+        assert!(lines[0].contains("unchanged"));
+    }
+
+    #[test]
+    fn gate_fails_on_moved_quantile() {
+        let mut fresh = vec![
+            row("det", 1, 1, 100, 450000.0),
+            row("poisson", 4, 4, 103, 350000.0),
+        ];
+        fresh[0].p99 = 512;
+        let err = gate_latency_rows(SAMPLE, &fresh, 3.0).unwrap_err();
+        assert!(err.contains("latency surface moved"), "{err}");
+        assert!(err.contains("arrival=det"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_on_moved_decided_count() {
+        let fresh = vec![
+            row("det", 1, 1, 99, 450000.0),
+            row("poisson", 4, 4, 103, 350000.0),
+        ];
+        let err = gate_latency_rows(SAMPLE, &fresh, 3.0).unwrap_err();
+        assert!(err.contains("semantic change"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_on_throughput_collapse() {
+        let fresh = vec![
+            row("det", 1, 1, 100, 100000.0),
+            row("poisson", 4, 4, 103, 350000.0),
+        ];
+        let err = gate_latency_rows(SAMPLE, &fresh, 3.0).unwrap_err();
+        assert!(err.contains("collapsed"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_on_missing_row() {
+        let fresh = vec![row("det", 1, 1, 100, 450000.0)];
+        let err = gate_latency_rows(SAMPLE, &fresh, 3.0).unwrap_err();
+        assert!(err.contains("no fresh measurement"), "{err}");
+        assert!(err.contains("arrival=poisson"), "{err}");
+    }
+
+    #[test]
+    fn gate_rejects_empty_baseline() {
+        let err = gate_latency_rows("{}", &[], 3.0).unwrap_err();
+        assert!(err.contains("no rows"), "{err}");
+    }
+
+    #[test]
+    fn measure_emits_parseable_deterministic_rows() {
+        // One serial entry plus a sharded re-run of the same workload:
+        // exercises the JSON round trip AND the surface-identity
+        // assertion inside measure_latency.
+        let grid = [
+            LatencyConfig {
+                arrival: ArrivalKind::Poisson,
+                rate: 5,
+                shards: 1,
+                threads: 1,
+            },
+            LatencyConfig {
+                arrival: ArrivalKind::Poisson,
+                rate: 5,
+                shards: 2,
+                threads: 1,
+            },
+        ];
+        let (json, rows) = measure_latency(&grid);
+        assert!(json.contains(LATENCY_SCHEMA));
+        let parsed = parse_latency_rows(&json);
+        assert_eq!(parsed.len(), rows.len());
+        for (p, r) in parsed.iter().zip(&rows) {
+            assert_eq!(
+                (p.decided, p.p50, p.p99, p.p999),
+                (r.decided, r.p50, r.p99, r.p999)
+            );
+        }
+        // Gating the fresh JSON against its own rows must pass.
+        let lines = gate_latency_rows(&json, &rows, 3.0).unwrap();
+        assert_eq!(lines.len(), 2);
+    }
+}

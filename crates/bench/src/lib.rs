@@ -14,12 +14,17 @@
 //! single-threaded engine per seed over crossbeam scoped threads, with
 //! results returned in seed order so parallel and serial sweeps are
 //! byte-identical. The `tables` binary's `bench-engine` mode uses it
-//! to produce the `BENCH_engine.json` throughput baseline.
+//! to produce the `BENCH_engine.json` throughput baseline; its
+//! `bench-latency` mode uses [`latency::measure_latency`] to produce
+//! the `BENCH_latency.json` open-loop latency baseline, whose
+//! virtual-tick quantiles are gated for *exact* equality (they are
+//! seed-determined, so drift is a semantic regression, not noise).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
 pub mod experiments;
+pub mod latency;
 pub mod parallel;
 pub mod scaling;

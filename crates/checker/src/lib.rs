@@ -70,6 +70,7 @@ pub mod explore_mac;
 pub mod fuzz;
 pub mod machine;
 pub mod scenario;
+pub mod workload;
 
 pub use crosscheck::{cross_check, CrossCheckConfig, CrossCheckOutcome};
 pub use explore::{ExploreConfig, ExploreOutcome, Explorer, SearchOrder, Violation, ViolationKind};
@@ -82,4 +83,8 @@ pub use machine::{Choice, ExploreMachine};
 pub use scenario::{
     sweep_scenario, Scenario, ScenarioAlgo, ScenarioInputs, ScenarioSched, ScenarioTopo,
     SweepOutcome, SweepRow,
+};
+pub use workload::{
+    render_load_rows, run_load, sweep_load, ArrivalKind, LatencyHistogram, LoadRun, LoadScenario,
+    LoadSweepRow, WorkloadSpec,
 };

@@ -20,7 +20,7 @@ use amacl_model::sim::conformance::check_trace;
 use amacl_model::sim::trace::TraceEvent;
 use amacl_runtime::{MacRuntime, RuntimeConfig};
 
-use crate::spec::{AlgoSpec, Command, InputSpec, SchedSpec, TopoSpec};
+use crate::spec::{AlgoSpec, Command, EngineFlags, InputSpec, SchedSpec, TopoSpec};
 
 /// Executes a parsed command, returning the rendered report.
 ///
@@ -39,10 +39,9 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             trace,
             audit,
             id_budget,
-            shards,
-            threads,
+            engine,
         } => run(
-            algo, topo, sched, inputs, crashes, trace, audit, id_budget, shards, threads,
+            algo, topo, sched, inputs, crashes, trace, audit, id_budget, engine,
         ),
         Command::Check {
             algo,
@@ -72,12 +71,9 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             jitter_us,
             timeout_ms,
             strict,
-            queue,
-            shards,
-            threads,
+            engine,
         } => crosscheck(
-            algo, topo, inputs, sched, f_ack, crashes, seed, jitter_us, timeout_ms, strict, queue,
-            shards, threads,
+            algo, topo, inputs, sched, f_ack, crashes, seed, jitter_us, timeout_ms, strict, engine,
         ),
         Command::Explore {
             algo,
@@ -103,10 +99,17 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             scenario,
             seeds,
             list,
-            queue,
-            shards,
-            threads,
-        } => sweep(smoke, scenario, seeds, list, queue, shards, threads),
+            engine,
+        } => sweep(smoke, scenario, seeds, list, engine),
+        Command::Load {
+            scenario,
+            arrival,
+            rate,
+            duration,
+            seed,
+            list,
+            engine,
+        } => load(scenario, arrival, rate, duration, seed, list, engine),
     }
 }
 
@@ -350,9 +353,7 @@ fn sweep(
     scenario: Option<String>,
     seeds: usize,
     list: bool,
-    queue: Option<QueueCoreKind>,
-    shards: Option<usize>,
-    threads: Option<usize>,
+    engine: EngineFlags,
 ) -> Result<String, String> {
     use amacl_bench::parallel::{default_threads, run_seeds};
     use amacl_checker::scenario::{
@@ -403,17 +404,16 @@ fn sweep(
     // scenario, and the sharded engine byte-identical to serial at
     // every shard count in `shard_counts`; `core` picks the engine
     // core for the threads check.
-    let core = queue.unwrap_or_else(QueueCoreKind::from_env);
-    let shard_counts: Vec<usize> = match shards {
+    let resolved = engine.resolve();
+    let core = resolved.queue_core;
+    let shard_counts: Vec<usize> = match engine.shards {
         Some(s) => vec![s],
         None => SWEEP_SHARD_COUNTS.to_vec(),
     };
     // The per-row threaded proof re-runs the largest shard count on
     // the parallel stepper; floor the worker count at 2 so the proof
     // is never vacuous, even under a serial `AMACL_THREADS` default.
-    let step_threads = threads
-        .unwrap_or_else(|| ThreadCount::from_env().get())
-        .max(2);
+    let step_threads = resolved.threads.get().max(2);
     let indices: Vec<u64> = (0..jobs.len() as u64).collect();
     let rows = run_seeds(&indices, default_threads(), |i| {
         let (si, seed) = jobs[i as usize];
@@ -445,6 +445,136 @@ fn sweep(
     }
 }
 
+/// Runs the open-loop sustained-load catalogue: arrivals at the target
+/// rate are injected into a long-lived consensus pipeline and the
+/// submit→decide latency surface (p50/p99/p999) is reported. Without
+/// engine flags every scenario is swept across the identity grid
+/// (queue cores, shard counts, the parallel stepper) with the same
+/// proof columns the closed-loop sweep carries; with an engine flag
+/// the run is pinned to the resolved configuration.
+fn load(
+    scenario: Option<String>,
+    arrival: Option<amacl_checker::ArrivalKind>,
+    rate: Option<u64>,
+    duration: Option<u64>,
+    seed: Option<u64>,
+    list: bool,
+    engine: EngineFlags,
+) -> Result<String, String> {
+    use amacl_checker::workload::{
+        render_load_rows, run_load, sweep_load, LoadScenario, LOAD_SWEEP_SHARD_COUNTS,
+        LOAD_SWEEP_THREADS,
+    };
+
+    let mut scenarios = LoadScenario::catalogue();
+    if list {
+        let mut out = String::from("load scenario catalogue:\n");
+        for s in &scenarios {
+            let _ = writeln!(
+                out,
+                "  {:<24} {} arrivals at {}/kilotick for {} ticks, n={}, {} bits{}{}",
+                s.name,
+                s.spec.arrival,
+                s.spec.rate_per_kilotick,
+                s.spec.duration,
+                s.spec.n,
+                s.spec.bits,
+                match s.crash {
+                    Some((slot, t)) => format!(", crash slot {slot} at t={t}"),
+                    None => String::new(),
+                },
+                match &s.partition {
+                    Some((_, _, release)) => format!(", partition heals at t={release}"),
+                    None => String::new(),
+                }
+            );
+        }
+        return Ok(out);
+    }
+    if let Some(name) = &scenario {
+        scenarios.retain(|s| &s.name == name);
+        if scenarios.is_empty() {
+            return Err(format!(
+                "unknown load scenario `{name}` (see `amacl load --list`)"
+            ));
+        }
+    }
+    for s in &mut scenarios {
+        if let Some(a) = arrival {
+            s.spec.arrival = a;
+        }
+        if let Some(r) = rate {
+            s.spec.rate_per_kilotick = r;
+        }
+        if let Some(d) = duration {
+            s.spec.duration = d;
+        }
+        if let Some(sd) = seed {
+            s.spec.seed = sd;
+        }
+        s.validate()?;
+    }
+
+    if engine != EngineFlags::default() {
+        // Pinned single-configuration mode: one run per scenario on
+        // the resolved engine, latency surface only.
+        let cfg = engine.resolve();
+        let mut out = format!(
+            "load: pinned engine ({} core, S={}, T={})\n",
+            cfg.queue_core,
+            cfg.shards.get(),
+            cfg.threads.get()
+        );
+        for s in &scenarios {
+            let run = run_load(
+                s,
+                cfg.queue_core,
+                cfg.shards.get(),
+                cfg.threads.get(),
+                false,
+            );
+            let _ = writeln!(
+                out,
+                "{}: {}/{} decided ({} unfinished) | p50 {} p99 {} p999 {} max {} ticks \
+                 | {:.2} decided/kilotick | {} engine events",
+                s.name,
+                run.histogram.count(),
+                run.submitted,
+                run.unfinished,
+                run.histogram.p50(),
+                run.histogram.p99(),
+                run.histogram.p999(),
+                run.histogram.max(),
+                run.decided_per_kilotick(),
+                run.engine_events
+            );
+        }
+        return Ok(out);
+    }
+
+    let mut out = format!(
+        "load: {} scenario(s), open-loop identity sweep (heap vs calendar, serial vs \
+         S={{{}}}, parallel-stepped T={})\n",
+        scenarios.len(),
+        LOAD_SWEEP_SHARD_COUNTS
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(","),
+        LOAD_SWEEP_THREADS
+    );
+    let rows: Vec<_> = scenarios.iter().map(sweep_load).collect();
+    out.push_str(&render_load_rows(&rows));
+    if rows.iter().all(|r| r.ok()) {
+        out.push_str("load OK\n");
+        Ok(out)
+    } else {
+        Err(format!(
+            "{out}load FAILED: open-loop run diverged across engine configurations"
+        ))
+    }
+}
+
 /// Runs `algo` on the engine and the threaded runtime through the
 /// shared `MacLayer` trait and diffs the outcomes.
 #[allow(clippy::too_many_arguments)]
@@ -459,9 +589,7 @@ fn crosscheck(
     jitter_us: u64,
     timeout_ms: u64,
     strict: bool,
-    queue: Option<QueueCoreKind>,
-    shards: Option<usize>,
-    threads: Option<usize>,
+    engine: EngineFlags,
 ) -> Result<String, String> {
     let topo = topo_spec.build();
     let n = topo.len();
@@ -493,10 +621,8 @@ fn crosscheck(
         }
         None => SimBackend::new(topo.clone(), BackendSched::Random { f_ack, seed }),
     }
+    .config(engine.resolve())
     .seed(seed)
-    .queue_core(queue.unwrap_or_else(QueueCoreKind::from_env))
-    .shards(shards.unwrap_or_else(|| ShardCount::from_env().get()))
-    .threads(threads.unwrap_or_else(|| ThreadCount::from_env().get()))
     .crash_plan(CrashPlan::new(crashes.clone()));
     let mut rt = MacRuntime::new(
         topo,
@@ -547,13 +673,13 @@ fn crosscheck(
     if let Some(spec) = sched {
         let _ = writeln!(out, "  engine sched: {spec:?}");
     }
-    if let Some(core) = queue {
+    if let Some(core) = engine.queue {
         let _ = writeln!(out, "  engine queue core: {core}");
     }
-    if let Some(s) = shards {
+    if let Some(s) = engine.shards {
         let _ = writeln!(out, "  engine shards: {s}");
     }
-    if let Some(t) = threads {
+    if let Some(t) = engine.threads {
         let _ = writeln!(out, "  engine threads: {t}");
     }
     if !crashes.is_empty() {
@@ -615,8 +741,7 @@ fn run(
     trace: bool,
     audit: bool,
     id_budget: Option<usize>,
-    shards: Option<usize>,
-    threads: Option<usize>,
+    engine: EngineFlags,
 ) -> Result<String, String> {
     let topo = topo_spec.build();
     let n = topo.len();
@@ -633,18 +758,13 @@ fn run(
     // One builder per algorithm arm: each has a distinct message type.
     macro_rules! simulate {
         ($mk:expr, $budget:expr) => {{
-            let mut builder = SimBuilder::new(topo.clone(), $mk)
+            let builder = SimBuilder::new(topo.clone(), $mk)
+                .config(engine.resolve())
                 .scheduler(sched.build())
                 .crashes(CrashPlan::new(crashes.clone()))
                 .message_id_budget(id_budget.unwrap_or($budget))
                 .trace(trace || audit)
                 .max_time(Time(2_000_000));
-            if let Some(s) = shards {
-                builder = builder.shards(s);
-            }
-            if let Some(t) = threads {
-                builder = builder.threads(t);
-            }
             let mut sim = builder.build();
             let report = sim.run();
             let audit_text = if audit {
@@ -745,7 +865,7 @@ fn run(
         report.metrics.broadcasts,
         report.metrics.deliveries
     );
-    if let Some(s) = shards {
+    if let Some(s) = engine.shards {
         let m = &report.metrics;
         let _ = writeln!(
             out,
@@ -755,7 +875,7 @@ fn run(
             m.shard_mailbox_flushes,
             m.shard_skew()
         );
-        if let Some(t) = threads {
+        if let Some(t) = engine.threads {
             let _ = writeln!(
                 out,
                 "threads: {t} | busy {:.3} ms | barrier wait {:.3} ms ({:.1}%)",
@@ -1392,6 +1512,50 @@ mod tests {
         let out = cli("topo --topo barbell:4:2").unwrap();
         assert!(out.contains("n = 10"), "{out}");
         assert!(out.contains("connected = true"), "{out}");
+    }
+
+    #[test]
+    fn load_list_names_the_catalogue() {
+        let out = cli("load --list").unwrap();
+        assert!(out.contains("load-steady-state"), "{out}");
+        assert!(out.contains("load-crash-steady-state"), "{out}");
+        assert!(out.contains("load-partition-backlog"), "{out}");
+        assert!(out.contains("partition heals"), "{out}");
+    }
+
+    #[test]
+    fn load_sweep_reports_identity_columns() {
+        let out = cli("load --scenario load-steady-state --duration 4000 --rate 5").unwrap();
+        assert!(out.contains("load-steady-state"), "{out}");
+        assert!(out.contains("cores identical"), "{out}");
+        assert!(out.contains("shards identical"), "{out}");
+        assert!(out.contains("threaded identical"), "{out}");
+        assert!(out.contains("p50"), "{out}");
+        assert!(out.contains("load OK"), "{out}");
+    }
+
+    #[test]
+    fn load_pinned_engine_reports_the_latency_surface() {
+        // All three engine flags are pinned so the expectation holds
+        // whatever AMACL_* environment the suite runs under (CI runs
+        // the whole suite with AMACL_THREADS=4 etc.; an explicit flag
+        // must beat the env var).
+        let out = cli("load --scenario load-steady-state --duration 4000 \
+             --queue calendar --shards 2 --threads 1")
+        .unwrap();
+        assert!(
+            out.contains("pinned engine (calendar core, S=2, T=1)"),
+            "{out}"
+        );
+        assert!(out.contains("p50"), "{out}");
+        assert!(out.contains("decided/kilotick"), "{out}");
+        assert!(!out.contains("identical"), "{out}");
+    }
+
+    #[test]
+    fn load_rejects_unknown_scenarios() {
+        let err = cli("load --scenario nope").unwrap_err();
+        assert!(err.contains("unknown load scenario"), "{err}");
     }
 
     #[test]

@@ -42,7 +42,7 @@ amacl — consensus with an abstract MAC layer (Newport, PODC 2014)
 USAGE:
   amacl run   --algo <ALGO> --topo <TOPO> [--sched <SCHED>] [--inputs <INPUTS>]
               [--crash <CRASH>]... [--trace] [--audit] [--id-budget <N>]
-              [--shards <S>]
+              [--queue heap|calendar] [--shards <S>] [--threads <T>]
   amacl check --algo <ALGO> --topo <TOPO> [--inputs <INPUTS>]
               [--crash-budget <N>] [--max-states <N>] [--bfs]
   amacl fuzz  --algo <ALGO> --topo <TOPO> [--inputs <INPUTS>]
@@ -51,12 +51,15 @@ USAGE:
   amacl crosscheck --algo <ALGO> --topo <TOPO> [--inputs <INPUTS>]
               [--sched <SCHED>] [--crash <CRASH>]... [--f-ack <N>]
               [--seed <S>] [--jitter-us <N>] [--timeout-ms <N>] [--strict]
-              [--queue heap|calendar] [--shards <S>]
+              [--queue heap|calendar] [--shards <S>] [--threads <T>]
   amacl explore --algo <ALGO> --topo <TOPO> [--inputs <INPUTS>]
               [--crash-budget <N>] [--max-states <N>] [--max-depth <N>]
               [--naive] [--mutate none|ack-early|drop-releases]
   amacl sweep [--smoke] [--scenario <NAME>] [--seeds <N>] [--list]
-              [--queue heap|calendar] [--shards <S>]
+              [--queue heap|calendar] [--shards <S>] [--threads <T>]
+  amacl load  [--scenario <NAME>] [--arrival det|poisson] [--rate <R>]
+              [--duration <TICKS>] [--seed <S>] [--list]
+              [--queue heap|calendar] [--shards <S>] [--threads <T>]
 
 ALGO:    two-phase | wpaxos | tree-gather | flood-gather | bitwise:<bits>
          | ben-or | fd-paxos[:<initial-timeout>]
@@ -127,9 +130,27 @@ comparison; `--shards` pins the serial-vs-sharded proof to one shard
 count. `--smoke` is the bounded subset CI runs on every PR; `--list`
 prints the catalogue.
 
-`--shards` on run/crosscheck executes the engine sharded (the
-conservative time-window coordinator; identical results by
-construction, surfaced so the claim is checkable from the CLI). The
-AMACL_SHARDS env var sets the default for every engine run; like
-AMACL_QUEUE_CORE, a typo is rejected rather than silently ignored.
+`load` drives an OPEN-LOOP sustained workload: client requests arrive
+continuously at a target rate (`--arrival det` evenly spaced, `poisson`
+exponential inter-arrival; `--rate` requests per 1000 ticks over
+`--duration` ticks), queue at a single proposer, and are decided by a
+pipeline of consensus instances over the bitwise machinery against one
+long-lived engine. It reports submit-to-decide latency histograms
+(p50/p99/p999/max) and sustained decisions per kilotick. By default
+every scenario — steady state, a follower crash mid-run, a partition
+building backlog before healing — is swept across the identity grid
+(heap vs calendar, serial vs sharded, parallel-stepped) and fails
+unless the trace, the histogram, and every per-request latency are
+byte-identical; with an engine flag the run is pinned to that
+configuration and only the latency surface is reported.
+
+`--queue/--shards/--threads` select the engine on every engine-running
+subcommand (run, crosscheck, sweep, load) through one shared parser and
+one resolution rule: an explicit flag beats the `AMACL_QUEUE_CORE` /
+`AMACL_SHARDS` / `AMACL_THREADS` env vars, which beat the serial-heap
+default (`EngineConfig::from_env` is the single documented env route).
+`--shards` executes the engine sharded (the conservative time-window
+coordinator; identical results by construction, surfaced so the claim
+is checkable from the CLI); a typo in any flag or env var is rejected
+rather than silently ignored, with the same message everywhere.
 ";

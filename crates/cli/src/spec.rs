@@ -1,5 +1,6 @@
 //! Plain-text specs (`family:params`) and argument parsing.
 
+use amacl_checker::workload::ArrivalKind;
 use amacl_model::prelude::*;
 
 /// Which algorithm to run.
@@ -298,6 +299,74 @@ pub fn parse_crash(s: &str) -> Result<CrashSpec, String> {
     }
 }
 
+/// The engine-selection flags (`--queue`, `--shards`, `--threads`)
+/// shared by every engine-running subcommand. Parsing lives at one
+/// site (the private `EngineFlags::parse`), so `--shards 0` and typos are
+/// rejected with identical messages everywhere, and resolution lives
+/// at one site ([`EngineFlags::resolve`]), so flags beat the
+/// documented `AMACL_*` env route beats the serial-heap default —
+/// uniformly across subcommands.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EngineFlags {
+    /// `--queue heap|calendar` (`None`: the `AMACL_QUEUE_CORE`
+    /// default).
+    pub queue: Option<QueueCoreKind>,
+    /// `--shards <n>` (`None`: the `AMACL_SHARDS` default).
+    pub shards: Option<usize>,
+    /// `--threads <n>` (`None`: the `AMACL_THREADS` default).
+    pub threads: Option<usize>,
+}
+
+impl EngineFlags {
+    /// Parses the three optional engine flags. Values go through the
+    /// same `FromStr` impls the env route uses, so the flag and env
+    /// grammars (and their rejections) cannot drift apart.
+    fn parse(opts: &mut Opts) -> Result<Self, String> {
+        let queue = match opts.optional("--queue") {
+            Some(s) => Some(s.parse::<QueueCoreKind>()?),
+            None => None,
+        };
+        let shards = match opts.optional("--shards") {
+            Some(s) => Some(
+                s.parse::<ShardCount>()
+                    .map_err(|e| format!("--shards: {e}"))?
+                    .get(),
+            ),
+            None => None,
+        };
+        let threads = match opts.optional("--threads") {
+            Some(s) => Some(
+                s.parse::<ThreadCount>()
+                    .map_err(|e| format!("--threads: {e}"))?
+                    .get(),
+            ),
+            None => None,
+        };
+        Ok(Self {
+            queue,
+            shards,
+            threads,
+        })
+    }
+
+    /// Resolves the flags against [`EngineConfig::from_env`] into a
+    /// full engine configuration: each explicitly given flag
+    /// overrides the corresponding env-derived knob.
+    pub fn resolve(self) -> EngineConfig {
+        let mut cfg = EngineConfig::from_env();
+        if let Some(q) = self.queue {
+            cfg = cfg.queue_core(q);
+        }
+        if let Some(s) = self.shards {
+            cfg = cfg.shards(s);
+        }
+        if let Some(t) = self.threads {
+            cfg = cfg.threads(t);
+        }
+        cfg
+    }
+}
+
 /// A fully parsed invocation.
 #[derive(Clone, Debug)]
 pub enum Command {
@@ -319,11 +388,8 @@ pub enum Command {
         audit: bool,
         /// Per-message id budget override.
         id_budget: Option<usize>,
-        /// Engine shard count (`None`: the `AMACL_SHARDS` default).
-        shards: Option<usize>,
-        /// Worker threads per conservative window (`None`: the
-        /// `AMACL_THREADS` default).
-        threads: Option<usize>,
+        /// Engine selection (`--queue/--shards/--threads`).
+        engine: EngineFlags,
     },
     /// `amacl check ...`
     Check {
@@ -386,14 +452,8 @@ pub enum Command {
         /// Demand bit-identical per-slot decisions (only sound for
         /// input-determined algorithms).
         strict: bool,
-        /// Engine event-queue core (`None`: the `AMACL_QUEUE_CORE`
-        /// default).
-        queue: Option<QueueCoreKind>,
-        /// Engine shard count (`None`: the `AMACL_SHARDS` default).
-        shards: Option<usize>,
-        /// Worker threads per conservative window (`None`: the
-        /// `AMACL_THREADS` default).
-        threads: Option<usize>,
+        /// Engine selection (`--queue/--shards/--threads`).
+        engine: EngineFlags,
     },
     /// `amacl explore ...`: DPOR model checking of the delivery/ack/
     /// crash interleavings behind the `MacLayer` seam, with violating
@@ -427,17 +487,37 @@ pub enum Command {
         seeds: usize,
         /// List the catalogue and exit.
         list: bool,
-        /// Engine queue core for the vs-threads check (`None`: the
-        /// `AMACL_QUEUE_CORE` default). Both cores are always compared
-        /// against each other regardless.
-        queue: Option<QueueCoreKind>,
-        /// Shard count for the per-row serial-vs-sharded proof
-        /// (`None`: the default `{2, 4}` pair, alternating cores).
-        shards: Option<usize>,
-        /// Worker threads for the per-row threaded proof (`None`: the
-        /// `AMACL_THREADS` default, floored at 2 so the parallel
-        /// stepper actually runs).
-        threads: Option<usize>,
+        /// Engine selection: `--queue` picks the core for the
+        /// vs-threads check (both cores are always compared against
+        /// each other regardless), `--shards` pins the per-row
+        /// serial-vs-sharded proof to one shard count (default: the
+        /// `{2, 4}` pair, alternating cores), `--threads` sets the
+        /// per-row threaded proof's worker count (floored at 2 so the
+        /// parallel stepper actually runs).
+        engine: EngineFlags,
+    },
+    /// `amacl load ...`: open-loop sustained consensus under a target
+    /// arrival rate, with submit→decide latency SLO reporting
+    /// (p50/p99/p999) and the serial/sharded/threaded identity proofs.
+    Load {
+        /// Run only the named scenario (`None`: full catalogue).
+        scenario: Option<String>,
+        /// Arrival process override (`det` | `poisson`).
+        arrival: Option<ArrivalKind>,
+        /// Target-rate override, requests per 1000 ticks.
+        rate: Option<u64>,
+        /// Arrival-window override, ticks.
+        duration: Option<u64>,
+        /// Workload seed override.
+        seed: Option<u64>,
+        /// List the catalogue and exit.
+        list: bool,
+        /// Engine selection. Without any engine flag, every scenario
+        /// is swept across the identity grid (cores, shards, threads)
+        /// with proof columns; with one, the run is pinned to the
+        /// resolved configuration and only the latency surface is
+        /// reported.
+        engine: EngineFlags,
     },
 }
 
@@ -465,8 +545,7 @@ impl Command {
                     Some(s) => Some(num(&s, "--id-budget")?),
                     None => None,
                 },
-                shards: parse_shards(&mut opts)?,
-                threads: parse_threads(&mut opts)?,
+                engine: EngineFlags::parse(&mut opts)?,
             },
             "check" => Command::Check {
                 algo: AlgoSpec::parse(&opts.required("--algo")?)?,
@@ -532,9 +611,7 @@ impl Command {
                     None => 10_000,
                 },
                 strict: opts.flag("--strict"),
-                queue: parse_queue(&mut opts)?,
-                shards: parse_shards(&mut opts)?,
-                threads: parse_threads(&mut opts)?,
+                engine: EngineFlags::parse(&mut opts)?,
             },
             "explore" => Command::Explore {
                 algo: AlgoSpec::parse(&opts.required("--algo")?)?,
@@ -563,9 +640,28 @@ impl Command {
                     None => 2,
                 },
                 list: opts.flag("--list"),
-                queue: parse_queue(&mut opts)?,
-                shards: parse_shards(&mut opts)?,
-                threads: parse_threads(&mut opts)?,
+                engine: EngineFlags::parse(&mut opts)?,
+            },
+            "load" => Command::Load {
+                scenario: opts.optional("--scenario"),
+                arrival: match opts.optional("--arrival") {
+                    Some(s) => Some(s.parse()?),
+                    None => None,
+                },
+                rate: match opts.optional("--rate") {
+                    Some(s) => Some(num(&s, "--rate")?),
+                    None => None,
+                },
+                duration: match opts.optional("--duration") {
+                    Some(s) => Some(num(&s, "--duration")?),
+                    None => None,
+                },
+                seed: match opts.optional("--seed") {
+                    Some(s) => Some(num(&s, "--seed")?),
+                    None => None,
+                },
+                list: opts.flag("--list"),
+                engine: EngineFlags::parse(&mut opts)?,
             },
             "help" | "--help" | "-h" => return Err(crate::USAGE.to_string()),
             other => return Err(format!("unknown command `{other}`\n\n{}", crate::USAGE)),
@@ -638,37 +734,6 @@ impl Opts {
             }
         }
         Ok(())
-    }
-}
-
-/// Parses an optional `--queue heap|calendar` selection.
-fn parse_queue(opts: &mut Opts) -> Result<Option<QueueCoreKind>, String> {
-    match opts.optional("--queue") {
-        Some(s) => s.parse().map(Some),
-        None => Ok(None),
-    }
-}
-
-/// Parses an optional `--shards <n>` selection (positive integer).
-fn parse_shards(opts: &mut Opts) -> Result<Option<usize>, String> {
-    match opts.optional("--shards") {
-        Some(s) => s
-            .parse::<ShardCount>()
-            .map(|c| Some(c.get()))
-            .map_err(|e| format!("--shards: {e}")),
-        None => Ok(None),
-    }
-}
-
-/// Parses an optional `--threads <n>` selection (positive integer) —
-/// same grammar and typo rejection as [`ThreadCount`]'s env parsing.
-fn parse_threads(opts: &mut Opts) -> Result<Option<usize>, String> {
-    match opts.optional("--threads") {
-        Some(s) => s
-            .parse::<ThreadCount>()
-            .map(|c| Some(c.get()))
-            .map_err(|e| format!("--threads: {e}")),
-        None => Ok(None),
     }
 }
 
@@ -873,16 +938,14 @@ mod tests {
                 seeds,
                 scenario,
                 list,
-                queue,
-                shards,
-                threads,
+                engine,
             } => {
                 assert!(smoke && !list);
                 assert_eq!(seeds, 3);
                 assert_eq!(scenario, None);
-                assert_eq!(queue, Some(QueueCoreKind::Calendar));
-                assert_eq!(shards, Some(2));
-                assert_eq!(threads, Some(4));
+                assert_eq!(engine.queue, Some(QueueCoreKind::Calendar));
+                assert_eq!(engine.shards, Some(2));
+                assert_eq!(engine.threads, Some(4));
             }
             _ => panic!("expected Sweep"),
         }
@@ -892,13 +955,13 @@ mod tests {
                 smoke,
                 seeds,
                 scenario,
-                shards,
+                engine,
                 ..
             } => {
                 assert!(!smoke);
                 assert_eq!(seeds, 2);
                 assert_eq!(scenario.as_deref(), Some("partition-heal"));
-                assert_eq!(shards, None);
+                assert_eq!(engine, EngineFlags::default());
             }
             _ => panic!("expected Sweep"),
         }
@@ -912,7 +975,7 @@ mod tests {
         assert!(err.contains("--shards"), "{err}");
         let cmd = Command::parse(&argv("run --algo wpaxos --topo line:4 --shards 4")).unwrap();
         match cmd {
-            Command::Run { shards, .. } => assert_eq!(shards, Some(4)),
+            Command::Run { engine, .. } => assert_eq!(engine.shards, Some(4)),
             _ => panic!("expected Run"),
         }
     }
@@ -929,9 +992,78 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::CrossCheck { threads, .. } => assert_eq!(threads, Some(2)),
+            Command::CrossCheck { engine, .. } => assert_eq!(engine.threads, Some(2)),
             _ => panic!("expected CrossCheck"),
         }
+    }
+
+    #[test]
+    fn command_parse_load() {
+        let cmd = Command::parse(&argv(
+            "load --scenario load-steady-state --arrival det --rate 8 --duration 5000 --seed 3",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Load {
+                scenario,
+                arrival,
+                rate,
+                duration,
+                seed,
+                list,
+                engine,
+            } => {
+                assert_eq!(scenario.as_deref(), Some("load-steady-state"));
+                assert_eq!(arrival, Some(ArrivalKind::Deterministic));
+                assert_eq!(rate, Some(8));
+                assert_eq!(duration, Some(5000));
+                assert_eq!(seed, Some(3));
+                assert!(!list);
+                assert_eq!(engine, EngineFlags::default());
+            }
+            _ => panic!("expected Load"),
+        }
+    }
+
+    #[test]
+    fn load_flags_share_the_engine_parser() {
+        // The same parse site serves every subcommand, so `load`
+        // rejects `--shards 0` and `--queue` typos with the exact
+        // messages `run`/`sweep` produce.
+        let err = Command::parse(&argv("load --shards 0")).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = Command::parse(&argv("load --queue fifo")).unwrap_err();
+        assert!(err.contains("unknown queue core"), "{err}");
+        let err = Command::parse(&argv("load --threads some")).unwrap_err();
+        assert!(err.contains("--threads"), "{err}");
+        let err = Command::parse(&argv("load --arrival psoison")).unwrap_err();
+        assert!(err.contains("unknown arrival process"), "{err}");
+        let cmd = Command::parse(&argv("load --queue calendar --shards 2 --threads 4")).unwrap();
+        match cmd {
+            Command::Load { engine, .. } => {
+                assert_eq!(engine.queue, Some(QueueCoreKind::Calendar));
+                assert_eq!(engine.shards, Some(2));
+                assert_eq!(engine.threads, Some(4));
+            }
+            _ => panic!("expected Load"),
+        }
+    }
+
+    #[test]
+    fn engine_flags_resolve_prefers_explicit_values() {
+        let cfg = EngineFlags {
+            queue: Some(QueueCoreKind::Calendar),
+            shards: Some(3),
+            threads: Some(2),
+        }
+        .resolve();
+        assert_eq!(cfg.queue_core, QueueCoreKind::Calendar);
+        assert_eq!(cfg.shards.get(), 3);
+        assert_eq!(cfg.threads.get(), 2);
+        // Unset flags fall back to the documented env route's values.
+        let env = EngineConfig::from_env();
+        let cfg = EngineFlags::default().resolve();
+        assert_eq!(cfg, env);
     }
 
     #[test]

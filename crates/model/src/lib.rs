@@ -90,6 +90,7 @@ pub mod prelude {
     };
     pub use crate::msg::Payload;
     pub use crate::proc::{Context, Decision, NodeCell, Process, Value};
+    pub use crate::sim::config::EngineConfig;
     pub use crate::sim::crash::{CrashPlan, CrashSpec};
     pub use crate::sim::engine::{RunOutcome, RunReport, Sim, SimBuilder};
     pub use crate::sim::queue::{

@@ -33,6 +33,7 @@ use std::sync::Arc;
 
 use crate::ids::Slot;
 use crate::proc::{Process, Value};
+use crate::sim::config::EngineConfig;
 use crate::sim::crash::CrashPlan;
 use crate::sim::engine::{RunReport, SimBuilder};
 use crate::sim::queue::QueueCoreKind;
@@ -40,7 +41,6 @@ use crate::sim::sched::random::RandomScheduler;
 use crate::sim::sched::stall::MaxDelayScheduler;
 use crate::sim::sched::sync::SynchronousScheduler;
 use crate::sim::sched::Scheduler;
-use crate::sim::shard::{ShardCount, ThreadCount};
 use crate::sim::time::Time;
 use crate::sim::trace::Trace;
 use crate::topo::Topology;
@@ -731,12 +731,8 @@ pub struct SimBackend {
     topo: Topology,
     sched: SchedulerFactory,
     sched_label: String,
-    crashes: CrashPlan,
-    seed: u64,
+    cfg: EngineConfig,
     max_time: Time,
-    queue: QueueCoreKind,
-    shards: usize,
-    threads: usize,
 }
 
 impl fmt::Debug for SimBackend {
@@ -744,12 +740,12 @@ impl fmt::Debug for SimBackend {
         f.debug_struct("SimBackend")
             .field("topo", &self.topo)
             .field("sched", &self.sched_label)
-            .field("crashes", &self.crashes)
-            .field("seed", &self.seed)
+            .field("crashes", &self.cfg.crash_plan)
+            .field("seed", &self.cfg.seed)
             .field("max_time", &self.max_time)
-            .field("queue", &self.queue)
-            .field("shards", &self.shards)
-            .field("threads", &self.threads)
+            .field("queue", &self.cfg.queue_core)
+            .field("shards", &self.cfg.shards.get())
+            .field("threads", &self.cfg.threads.get())
             .finish()
     }
 }
@@ -763,6 +759,7 @@ impl SimBackend {
 
     /// A backend over `topo` driven by an arbitrary scheduler factory.
     /// `label` names the adversary in `Debug` output and reports.
+    /// Engine knobs start from [`EngineConfig::from_env`].
     pub fn with_factory(
         topo: Topology,
         label: impl Into<String>,
@@ -772,18 +769,27 @@ impl SimBackend {
             topo,
             sched: factory,
             sched_label: label.into(),
-            crashes: CrashPlan::none(),
-            seed: 0,
+            cfg: EngineConfig::from_env(),
             max_time: Time(10_000_000),
-            queue: QueueCoreKind::from_env(),
-            shards: ShardCount::from_env().get(),
-            threads: ThreadCount::from_env().get(),
         }
+    }
+
+    /// Replaces the whole engine configuration in one call; the
+    /// individual fluent knobs below are thin delegates onto the same
+    /// stored [`EngineConfig`], so the two styles compose.
+    pub fn config(mut self, cfg: EngineConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The engine configuration every execution of this backend uses.
+    pub fn engine_config(&self) -> &EngineConfig {
+        &self.cfg
     }
 
     /// Sets the per-node randomness seed.
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.cfg = self.cfg.seed(seed);
         self
     }
 
@@ -792,13 +798,13 @@ impl SimBackend {
     /// a performance knob, surfaced here so cross-checks can prove the
     /// equivalence per scenario.
     pub fn queue_core(mut self, kind: QueueCoreKind) -> Self {
-        self.queue = kind;
+        self.cfg = self.cfg.queue_core(kind);
         self
     }
 
     /// The queue core this backend builds engines on.
     pub fn queue_kind(&self) -> QueueCoreKind {
-        self.queue
+        self.cfg.queue_core
     }
 
     /// Shards every execution across `shards` workers via the
@@ -811,14 +817,13 @@ impl SimBackend {
     ///
     /// Panics if `shards == 0`.
     pub fn shards(mut self, shards: usize) -> Self {
-        assert!(shards >= 1, "shard count must be at least 1");
-        self.shards = shards;
+        self.cfg = self.cfg.shards(shards);
         self
     }
 
     /// The shard count this backend builds engines on.
     pub fn shard_count(&self) -> usize {
-        self.shards
+        self.cfg.shards.get()
     }
 
     /// Steps every sharded execution with up to `threads` worker
@@ -833,14 +838,13 @@ impl SimBackend {
     ///
     /// Panics if `threads == 0`.
     pub fn threads(mut self, threads: usize) -> Self {
-        assert!(threads >= 1, "thread count must be at least 1");
-        self.threads = threads;
+        self.cfg = self.cfg.threads(threads);
         self
     }
 
     /// The worker-thread count this backend builds engines on.
     pub fn thread_count(&self) -> usize {
-        self.threads
+        self.cfg.threads.get()
     }
 
     /// Sets the virtual-time horizon.
@@ -851,7 +855,7 @@ impl SimBackend {
 
     /// Schedules crash failures for every execution of this backend.
     pub fn crash_plan(mut self, plan: CrashPlan) -> Self {
-        self.crashes = plan;
+        self.cfg = self.cfg.crash_plan(plan);
         self
     }
 
@@ -894,13 +898,9 @@ impl SimBackend {
         trace: bool,
     ) -> crate::sim::engine::Sim<P> {
         SimBuilder::new(self.topo.clone(), init)
-            .seed(self.seed)
+            .config(self.cfg.clone())
             .max_time(self.max_time)
-            .crashes(self.crashes.clone())
             .scheduler((self.sched)())
-            .queue_core(self.queue)
-            .shards(self.shards)
-            .threads(self.threads)
             .trace(trace)
             .build()
     }

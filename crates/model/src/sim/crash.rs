@@ -48,7 +48,7 @@ impl CrashSpec {
 }
 
 /// A set of scheduled crashes (at most one per node).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CrashPlan {
     specs: Vec<CrashSpec>,
 }

@@ -85,12 +85,13 @@ use crate::proc::{Context, Decision, Process, Value};
 use crate::topo::unreliable::UnreliableOverlay;
 use crate::topo::Topology;
 
+use super::config::EngineConfig;
 use super::crash::{CrashPlan, CrashSpec};
 use super::event::{BcastId, EventClass, EventKind};
 use super::queue::{EventId, EventQueue, QueueCoreKind};
 use super::sched::random::RandomScheduler;
 use super::sched::Scheduler;
-use super::shard::{MailEntry, Mailbox, ShardCount, ShardMap, ThreadCount};
+use super::shard::{MailEntry, Mailbox, ShardMap};
 use super::time::Time;
 use super::trace::{Metrics, Trace, TraceEvent};
 
@@ -161,17 +162,13 @@ pub struct SimBuilder<P: Process> {
     procs: Vec<P>,
     ids: Vec<NodeId>,
     scheduler: Box<dyn Scheduler>,
-    crash_plan: CrashPlan,
+    cfg: EngineConfig,
     max_time: Time,
     max_events: u64,
     stop_when_all_decided: bool,
     message_id_budget: Option<usize>,
     trace_enabled: bool,
-    seed: u64,
     unreliable: Option<(UnreliableOverlay, f64)>,
-    queue_core: QueueCoreKind,
-    shards: usize,
-    threads: usize,
 }
 
 impl<P: Process> SimBuilder<P> {
@@ -179,14 +176,12 @@ impl<P: Process> SimBuilder<P> {
     /// `init`.
     ///
     /// Defaults: ids equal to slot indices, a seeded
-    /// [`RandomScheduler`] with `F_ack = 8`, no crashes, a large time
-    /// horizon, stop-on-all-decided, no id-budget enforcement, tracing
-    /// off, the queue core named by the `AMACL_QUEUE_CORE` environment
-    /// variable (the heap when unset — see [`QueueCoreKind::from_env`]),
-    /// the shard count named by `AMACL_SHARDS` (serial when unset —
-    /// see [`ShardCount::from_env`]), and the worker-thread budget
-    /// named by `AMACL_THREADS` (single-threaded when unset — see
-    /// [`ThreadCount::from_env`]).
+    /// [`RandomScheduler`] with `F_ack = 8`, a large time horizon,
+    /// stop-on-all-decided, no id-budget enforcement, tracing off, and
+    /// the engine configuration from [`EngineConfig::from_env`] — seed
+    /// 0, no crashes, and the queue core / shard count / worker-thread
+    /// budget named by `AMACL_QUEUE_CORE` / `AMACL_SHARDS` /
+    /// `AMACL_THREADS` (heap / serial / single-threaded when unset).
     pub fn new(topo: Topology, mut init: impl FnMut(Slot) -> P) -> Self {
         let n = topo.len();
         let procs: Vec<P> = (0..n).map(|i| init(Slot(i))).collect();
@@ -196,18 +191,26 @@ impl<P: Process> SimBuilder<P> {
             procs,
             ids,
             scheduler: Box::new(RandomScheduler::new(8, 0)),
-            crash_plan: CrashPlan::none(),
+            cfg: EngineConfig::from_env(),
             max_time: Time(10_000_000),
             max_events: 200_000_000,
             stop_when_all_decided: true,
             message_id_budget: None,
             trace_enabled: false,
-            seed: 0,
             unreliable: None,
-            queue_core: QueueCoreKind::from_env(),
-            shards: ShardCount::from_env().get(),
-            threads: ThreadCount::from_env().get(),
         }
+    }
+
+    /// Replaces the whole engine configuration — seed, queue core,
+    /// shards, threads, and crash plan — in one call. The individual
+    /// fluent setters ([`seed`](Self::seed),
+    /// [`queue_core`](Self::queue_core), [`shards`](Self::shards),
+    /// [`threads`](Self::threads), [`crashes`](Self::crashes)) are
+    /// thin delegates onto the same stored [`EngineConfig`], so the
+    /// two styles compose: later calls win knob by knob.
+    pub fn config(mut self, cfg: EngineConfig) -> Self {
+        self.cfg = cfg;
+        self
     }
 
     /// Sets the message scheduler (the model's adversary).
@@ -220,7 +223,7 @@ impl<P: Process> SimBuilder<P> {
     /// are observably identical — same traces, same reports — so this
     /// is purely a performance knob; see [`QueueCoreKind`].
     pub fn queue_core(mut self, kind: QueueCoreKind) -> Self {
-        self.queue_core = kind;
+        self.cfg = self.cfg.queue_core(kind);
         self
     }
 
@@ -235,8 +238,7 @@ impl<P: Process> SimBuilder<P> {
     ///
     /// Panics if `shards == 0`.
     pub fn shards(mut self, shards: usize) -> Self {
-        assert!(shards >= 1, "shard count must be at least 1");
-        self.shards = shards;
+        self.cfg = self.cfg.shards(shards);
         self
     }
 
@@ -253,8 +255,7 @@ impl<P: Process> SimBuilder<P> {
     ///
     /// Panics if `threads == 0`.
     pub fn threads(mut self, threads: usize) -> Self {
-        assert!(threads >= 1, "thread count must be at least 1");
-        self.threads = threads;
+        self.cfg = self.cfg.threads(threads);
         self
     }
 
@@ -275,7 +276,7 @@ impl<P: Process> SimBuilder<P> {
 
     /// Schedules crash failures.
     pub fn crashes(mut self, plan: CrashPlan) -> Self {
-        self.crash_plan = plan;
+        self.cfg = self.cfg.crash_plan(plan);
         self
     }
 
@@ -313,7 +314,7 @@ impl<P: Process> SimBuilder<P> {
 
     /// Seeds per-node randomness and unreliable-overlay sampling.
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.cfg = self.cfg.seed(seed);
         self
     }
 
@@ -343,7 +344,7 @@ impl<P: Process> SimBuilder<P> {
     /// window loop.
     pub fn build(self) -> Sim<P> {
         let n = self.topo.len();
-        let shard_map = ShardMap::new(n, self.shards);
+        let shard_map = ShardMap::new(n, self.cfg.shards.get());
         let nshards = shard_map.shards();
         // The conservative window length. An unreliable overlay
         // schedules extra deliveries as little as one tick out,
@@ -364,13 +365,13 @@ impl<P: Process> SimBuilder<P> {
         }
         let mut ledger = BcastLedger::new(n);
         let mut shards: Vec<EventQueue<EventKind>> = (0..nshards)
-            .map(|_| EventQueue::with_core(self.queue_core))
+            .map(|_| EventQueue::with_core(self.cfg.queue_core))
             .collect();
         let mailboxes: Vec<Mailbox<EventKind>> =
             (0..nshards * nshards).map(|_| Mailbox::new()).collect();
         let mut next_event_id = 0u64;
         let mut undecided = n;
-        for spec in self.crash_plan.specs() {
+        for spec in self.cfg.crash_plan.specs() {
             match *spec {
                 CrashSpec::AtTime { slot, time } => {
                     if time == Time::ZERO {
@@ -402,7 +403,7 @@ impl<P: Process> SimBuilder<P> {
         let rngs: Vec<SmallRng> = (0..n)
             .map(|i| {
                 SmallRng::seed_from_u64(
-                    self.seed
+                    self.cfg.seed
                         ^ (i as u64)
                             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                             .wrapping_add(1),
@@ -419,7 +420,7 @@ impl<P: Process> SimBuilder<P> {
             shards,
             shard_map,
             mailboxes,
-            threads: self.threads,
+            threads: self.cfg.threads.get(),
             imported: (0..nshards).map(|_| HashMap::new()).collect(),
             local_pending: (0..nshards).map(|_| Vec::new()).collect(),
             defer_local_pushes: false,
@@ -439,7 +440,7 @@ impl<P: Process> SimBuilder<P> {
             decisions: vec![None; n],
             ts_seqs: vec![0; n],
             rngs,
-            engine_rng: SmallRng::seed_from_u64(self.seed.wrapping_add(0xA5A5_5A5A)),
+            engine_rng: SmallRng::seed_from_u64(self.cfg.seed.wrapping_add(0xA5A5_5A5A)),
             undecided,
             max_time: self.max_time,
             max_events: self.max_events,
@@ -1020,6 +1021,35 @@ impl<P: Process> Sim<P> {
             self.now = until;
         }
         outcome
+    }
+
+    /// Runs one external callback against a live node — the open-loop
+    /// injection seam. Call only while the engine is *paused* between
+    /// [`Sim::run_until`] calls; the callback runs at the current
+    /// virtual time with a full [`Context`] (it may broadcast, decide,
+    /// draw randomness), and any broadcast it requests is scheduled
+    /// through the normal path — event ids from the engine-global
+    /// counter, deliveries routed to shard queues or cross-shard
+    /// mailboxes — so a fixed injection schedule stays byte-identical
+    /// across queue cores, shard counts, and thread counts.
+    ///
+    /// On the first call (or the first `run*` call, whichever comes
+    /// first) all processes are started. Injections into crashed nodes
+    /// are ignored; returns `false` in that case and `true` when the
+    /// callback ran.
+    pub fn inject<F>(&mut self, slot: Slot, f: F) -> bool
+    where
+        F: FnOnce(&mut P, &mut Context<'_, P::Msg>),
+    {
+        if !self.started {
+            self.start_procs();
+        }
+        if self.ledger.is_crashed(slot.0) {
+            return false;
+        }
+        self.current_shard = self.shard_map.shard_of(slot.0) as u32;
+        self.dispatch(slot, f);
+        true
     }
 
     fn run_inner(&mut self, until: Option<Time>) -> RunOutcome {

@@ -1,0 +1,154 @@
+//! Property tests for [`EngineConfig`]: the unified configuration
+//! struct must be a pure repackaging of the older fluent knobs.
+//!
+//! 1. A `Sim` built via `.config(EngineConfig)` is byte-identical —
+//!    full trace, end time, event count, decisions — to one built via
+//!    the original fluent path (`.seed().queue_core().shards()
+//!    .threads().crashes()`), for every knob combination.
+//! 2. Knob-by-knob override order holds: a fluent setter applied
+//!    *after* `.config()` wins over the config's value for that knob
+//!    and only that knob.
+
+use amacl_model::prelude::*;
+use amacl_model::sim::conformance::compare_traces;
+use proptest::prelude::*;
+
+/// Minimal flooding process for the equivalence properties.
+struct Flood {
+    initiator: bool,
+    relayed: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Tok;
+impl Payload for Tok {
+    fn id_count(&self) -> usize {
+        0
+    }
+}
+
+impl Process for Flood {
+    type Msg = Tok;
+    fn on_start(&mut self, ctx: &mut Context<'_, Tok>) {
+        if self.initiator {
+            self.relayed = true;
+            ctx.broadcast(Tok);
+            ctx.decide(0);
+        }
+    }
+    fn on_receive(&mut self, _m: Tok, ctx: &mut Context<'_, Tok>) {
+        if !self.relayed {
+            self.relayed = true;
+            ctx.broadcast(Tok);
+        }
+        if ctx.decided().is_none() {
+            ctx.decide(1);
+        }
+    }
+    fn on_ack(&mut self, _ctx: &mut Context<'_, Tok>) {}
+}
+
+/// The builder skeleton shared by both construction paths.
+fn builder(n: usize, seed: u64, f_ack: u64) -> SimBuilder<Flood> {
+    SimBuilder::new(Topology::random_connected(n, 0.3, seed), |slot| Flood {
+        initiator: slot.index() == 0,
+        relayed: false,
+    })
+    .scheduler(RandomScheduler::new(f_ack, seed))
+    .trace(true)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `.config(cfg)` ≡ the original fluent path, for every knob
+    /// combination (both queue cores, shards {1, 2, 4}, threads
+    /// {1, 4}, with and without a timed crash).
+    #[test]
+    fn config_path_is_byte_identical_to_fluent_path(
+        seed in 0u64..300,
+        n in 3usize..12,
+        f_ack in 1u64..7,
+        core_idx in 0usize..2,
+        shards_idx in 0usize..3,
+        threaded in any::<bool>(),
+        crashed in any::<bool>(),
+        crash_slot in 1usize..12,
+        crash_time in 1u64..20,
+    ) {
+        let core = [QueueCoreKind::Heap, QueueCoreKind::Calendar][core_idx];
+        let shards = [1usize, 2, 4][shards_idx];
+        let threads = if threaded { 4 } else { 1 };
+        let plan = if crashed {
+            CrashPlan::new(vec![CrashSpec::AtTime {
+                slot: Slot(crash_slot % n),
+                time: Time(crash_time),
+            }])
+        } else {
+            CrashPlan::none()
+        };
+
+        let via_config = {
+            let cfg = EngineConfig::new()
+                .seed(seed)
+                .queue_core(core)
+                .shards(shards)
+                .threads(threads)
+                .crash_plan(plan.clone());
+            let mut sim = builder(n, seed, f_ack).config(cfg).build();
+            let report = sim.run();
+            (sim.trace().clone(), report.end_time, report.metrics.events, sim.decisions().to_vec())
+        };
+        let via_fluent = {
+            let mut sim = builder(n, seed, f_ack)
+                .seed(seed)
+                .queue_core(core)
+                .shards(shards)
+                .threads(threads)
+                .crashes(plan)
+                .build();
+            let report = sim.run();
+            (sim.trace().clone(), report.end_time, report.metrics.events, sim.decisions().to_vec())
+        };
+
+        prop_assert_eq!(via_config.1, via_fluent.1);
+        prop_assert_eq!(via_config.2, via_fluent.2);
+        prop_assert_eq!(via_config.3, via_fluent.3);
+        prop_assert_eq!(
+            compare_traces("config", &via_config.0, "fluent", &via_fluent.0),
+            None
+        );
+    }
+
+    /// Later fluent setters override the config knob-by-knob: seeding
+    /// after `.config()` replaces only the seed, leaving the config's
+    /// queue core in force — the result equals the pure fluent build
+    /// with exactly those final values.
+    #[test]
+    fn fluent_setter_after_config_wins_knob_by_knob(
+        seed_a in 0u64..150,
+        seed_b in 150u64..300,
+        n in 3usize..10,
+        f_ack in 1u64..6,
+    ) {
+        let cfg = EngineConfig::new().seed(seed_a).queue_core(QueueCoreKind::Calendar);
+        let overridden = {
+            let mut sim = builder(n, seed_a, f_ack).config(cfg).seed(seed_b).build();
+            let report = sim.run();
+            (sim.trace().clone(), report.metrics.events)
+        };
+        let direct = {
+            let mut sim = builder(n, seed_a, f_ack)
+                .seed(seed_b)
+                .queue_core(QueueCoreKind::Calendar)
+                .build();
+            let report = sim.run();
+            (sim.trace().clone(), report.metrics.events)
+        };
+        prop_assert_eq!(overridden.1, direct.1);
+        prop_assert_eq!(
+            compare_traces("config+override", &overridden.0, "direct", &direct.0),
+            None
+        );
+    }
+}
