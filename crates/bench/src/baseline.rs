@@ -37,6 +37,16 @@
 //!   1`, so the v4 gate still understands older committed baselines;
 //!   the top-level `threads` field remains the *measurement driver's*
 //!   seed-fan-out width, unchanged since v1.
+//! * `amacl-bench-engine/v5` — v4 plus the payload-arena counters per
+//!   row: `payload_clones` (deep copies the arena performed; summed
+//!   over the row's seeds) and `arena_bytes_peak` (high-water live
+//!   payload bytes; max over the row's seeds). Both are deterministic
+//!   for a fixed configuration, so a committed `payload_clones` is
+//!   gated **exactly** — drift means the custody protocol changed, not
+//!   the machine. v4-and-older rows parse both fields as `0`, which
+//!   disables the exact check (0 means "field predates v5"), so the
+//!   v5 gate still understands every older committed baseline down to
+//!   v1.
 
 /// Extracts a numeric field's value from a flat JSON object, e.g.
 /// `json_number(s, "events_per_sec")`. Returns `None` when the field
@@ -76,15 +86,22 @@ pub struct BaselineRow {
     /// single-threaded; v3/v2 rows, which predate the parallel
     /// stepper, parse as `1`).
     pub threads: u64,
+    /// Payload-arena clones over the row's seeds (deterministic;
+    /// pre-v5 rows parse as `0`, which disables the exact gate).
+    pub payload_clones: u64,
+    /// High-water live arena payload bytes over the row's seeds
+    /// (informational; pre-v5 rows parse as `0`).
+    pub arena_bytes_peak: u64,
     /// Measured serial throughput.
     pub events_per_sec: f64,
 }
 
-/// Extracts the v2/v3/v4 per-configuration rows from a baseline JSON.
-/// Returns an empty vector for v1 files (which have no rows). Rows
-/// without a `shards` field (v2) parse as serial (`shards = 1`); rows
-/// without a `threads` field (v3/v2) parse as single-threaded
-/// (`threads = 1`).
+/// Extracts the v2/v3/v4/v5 per-configuration rows from a baseline
+/// JSON. Returns an empty vector for v1 files (which have no rows).
+/// Rows without a `shards` field (v2) parse as serial (`shards = 1`);
+/// rows without a `threads` field (v3/v2) parse as single-threaded
+/// (`threads = 1`); rows without the arena counters (v4 and older)
+/// parse them as `0`.
 pub fn parse_rows(json: &str) -> Vec<BaselineRow> {
     let mut rows = Vec::new();
     let mut rest = json;
@@ -102,6 +119,8 @@ pub fn parse_rows(json: &str) -> Vec<BaselineRow> {
                 n: n as u64,
                 shards: json_number(chunk, "shards").map_or(1, |s| s as u64),
                 threads: json_number(chunk, "threads").map_or(1, |t| t as u64),
+                payload_clones: json_number(chunk, "payload_clones").map_or(0, |c| c as u64),
+                arena_bytes_peak: json_number(chunk, "arena_bytes_peak").map_or(0, |b| b as u64),
                 events_per_sec,
             });
         }
@@ -110,16 +129,20 @@ pub fn parse_rows(json: &str) -> Vec<BaselineRow> {
     rows
 }
 
-/// Gates every baseline v2/v3/v4 row against the matching fresh row: each
-/// configuration must not have collapsed below `baseline / tolerance`,
-/// and every baseline configuration must have been re-measured.
+/// Gates every baseline v2–v5 row against the matching fresh row:
+/// each configuration must not have collapsed below
+/// `baseline / tolerance`, every baseline configuration must have been
+/// re-measured, and — when the baseline row carries a v5
+/// `payload_clones` figure — the fresh clone count must match
+/// **exactly** (arena clones are seed-determined; drift means the
+/// payload custody protocol changed, which no machine noise produces).
 ///
 /// Returns one human-readable verdict line per row.
 ///
 /// # Errors
 ///
-/// Returns the joined failure messages when any row is missing or
-/// collapsed.
+/// Returns the joined failure messages when any row is missing,
+/// collapsed, or moved its deterministic clone count.
 pub fn gate_rows(
     baseline_json: &str,
     fresh: &[BaselineRow],
@@ -128,7 +151,7 @@ pub fn gate_rows(
     assert!(tolerance >= 1.0, "tolerance must be >= 1");
     let baseline = parse_rows(baseline_json);
     if baseline.is_empty() {
-        return Err("baseline JSON has no v2/v3/v4 rows".into());
+        return Err("baseline JSON has no v2/v3/v4/v5 rows".into());
     }
     let mut lines = Vec::new();
     let mut failures = Vec::new();
@@ -141,6 +164,14 @@ pub fn gate_rows(
             f.queue_core == b.queue_core && f.n == b.n && f.shards == b.shards && f.threads == b.threads
         }) {
             None => failures.push(format!("{label}: no fresh measurement")),
+            Some(f) if b.payload_clones != 0 && f.payload_clones != b.payload_clones => {
+                failures.push(format!(
+                    "{label}: payload clone count moved: {} vs baseline {} \
+                     (arena clones are seed-determined; this is a custody-protocol change, \
+                     not noise)",
+                    f.payload_clones, b.payload_clones
+                ));
+            }
             Some(f) if f.events_per_sec * tolerance < b.events_per_sec => failures.push(format!(
                 "{label}: collapsed to {:.0} events/sec vs baseline {:.0} ({}x slower, tolerance {tolerance}x)",
                 f.events_per_sec,
@@ -294,6 +325,8 @@ mod tests {
             n,
             shards,
             threads,
+            payload_clones: 0,
+            arena_bytes_peak: 0,
             events_per_sec: eps,
         }
     }
@@ -446,6 +479,67 @@ mod tests {
             threaded_row("heap", 32, 1, 1, 2_400_000.0),
             threaded_row("heap", 32, 4, 1, 1_700_000.0),
             threaded_row("heap", 32, 4, 4, 3_500_000.0),
+        ];
+        assert_eq!(gate_rows(SAMPLE_V4, &fresh, 3.0).unwrap().len(), 3);
+    }
+
+    const SAMPLE_V5: &str = r#"{
+  "schema": "amacl-bench-engine/v5",
+  "workload": "wpaxos random_connected(n,p(n),seed), RandomScheduler(F_ack=4)",
+  "threads": 1,
+  "events_per_sec": 2500000,
+  "rows": [
+    {"queue_core": "heap", "n": 32, "shards": 1, "threads": 1, "payload_clones": 41000, "arena_bytes_peak": 2048, "events_per_sec": 2500000},
+    {"queue_core": "heap", "n": 32, "shards": 4, "threads": 1, "payload_clones": 52000, "arena_bytes_peak": 2048, "events_per_sec": 1800000}
+  ]
+}"#;
+
+    fn v5_row(shards: u64, clones: u64, eps: f64) -> BaselineRow {
+        BaselineRow {
+            payload_clones: clones,
+            arena_bytes_peak: 2048,
+            ..threaded_row("heap", 32, shards, 1, eps)
+        }
+    }
+
+    #[test]
+    fn v5_rows_parse_with_arena_counters() {
+        let rows = parse_rows(SAMPLE_V5);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].payload_clones, 41_000);
+        assert_eq!(rows[0].arena_bytes_peak, 2_048);
+        assert_eq!(rows[1].payload_clones, 52_000);
+        // Pre-v5 rows parse the arena counters as 0.
+        assert!(parse_rows(SAMPLE_V4)
+            .iter()
+            .all(|r| r.payload_clones == 0 && r.arena_bytes_peak == 0));
+    }
+
+    #[test]
+    fn gate_rows_pins_v5_payload_clones_exactly() {
+        // Identical clone counts pass (throughput within tolerance).
+        let fresh = vec![
+            v5_row(1, 41_000, 2_400_000.0),
+            v5_row(4, 52_000, 1_700_000.0),
+        ];
+        assert_eq!(gate_rows(SAMPLE_V5, &fresh, 3.0).unwrap().len(), 2);
+        // A moved clone count fails even when throughput is healthy.
+        let fresh = vec![
+            v5_row(1, 41_000, 2_400_000.0),
+            v5_row(4, 52_001, 1_700_000.0),
+        ];
+        let err = gate_rows(SAMPLE_V5, &fresh, 3.0).unwrap_err();
+        assert!(err.contains("payload clone count moved"), "{err}");
+        assert!(err.contains("core=heap n=32 shards=4"), "{err}");
+        // A pre-v5 baseline (clones parse as 0) never runs the exact
+        // check, whatever the fresh rows report.
+        let fresh = vec![
+            v5_row(1, 41_000, 2_500_000.0),
+            v5_row(4, 52_000, 1_800_000.0),
+            BaselineRow {
+                payload_clones: 99,
+                ..threaded_row("heap", 32, 4, 4, 3_500_000.0)
+            },
         ];
         assert_eq!(gate_rows(SAMPLE_V4, &fresh, 3.0).unwrap().len(), 3);
     }

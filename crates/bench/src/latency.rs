@@ -99,6 +99,10 @@ pub struct LatencyRow {
     pub p99: u64,
     /// 99.9th-percentile latency in virtual ticks (deterministic).
     pub p999: u64,
+    /// Share of parallel-stepper worker time lost to window barriers,
+    /// in percent (wall-clock derived; 0 for serial rows; rows without
+    /// the field parse as 0). Recorded for the report, never gated.
+    pub barrier_pct: u64,
     /// Wall-clock engine throughput (machine-dependent).
     pub events_per_sec: f64,
 }
@@ -156,6 +160,7 @@ pub fn parse_latency_rows(json: &str) -> Vec<LatencyRow> {
                 n: n as u64,
                 shards: json_number(chunk, "shards").map_or(1, |s| s as u64),
                 threads: json_number(chunk, "threads").map_or(1, |t| t as u64),
+                barrier_pct: json_number(chunk, "barrier_pct").map_or(0, |b| b as u64),
                 decided: decided as u64,
                 p50: p50 as u64,
                 p99: p99 as u64,
@@ -280,6 +285,7 @@ pub fn measure_latency(grid: &[LatencyConfig]) -> (String, Vec<LatencyRow>) {
             p50: run.histogram.p50(),
             p99: run.histogram.p99(),
             p999: run.histogram.p999(),
+            barrier_pct: run.barrier_pct.round() as u64,
             events_per_sec: run.engine_events as f64 / wall,
         };
         if let Some(prev) = rows
@@ -298,7 +304,7 @@ pub fn measure_latency(grid: &[LatencyConfig]) -> (String, Vec<LatencyRow>) {
         }
         eprintln!(
             "measured arrival={} rate={} n={} shards={} threads={}: decided={} \
-             p50/p99/p999={}/{}/{} ticks, {:.0} events/sec ({:.3}s wall)",
+             p50/p99/p999={}/{}/{} ticks, barrier {}%, {:.0} events/sec ({:.3}s wall)",
             row.arrival,
             row.rate,
             row.n,
@@ -308,11 +314,12 @@ pub fn measure_latency(grid: &[LatencyConfig]) -> (String, Vec<LatencyRow>) {
             row.p50,
             row.p99,
             row.p999,
+            row.barrier_pct,
             row.events_per_sec,
             wall
         );
         row_json.push(format!(
-            "    {{\"arrival\": \"{}\", \"rate\": {}, \"n\": {}, \"shards\": {}, \"threads\": {}, \"decided\": {}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}, \"decided_per_kilotick\": {:.3}, \"events_total\": {}, \"wall_s\": {wall:.4}, \"events_per_sec\": {:.0}}}",
+            "    {{\"arrival\": \"{}\", \"rate\": {}, \"n\": {}, \"shards\": {}, \"threads\": {}, \"decided\": {}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}, \"decided_per_kilotick\": {:.3}, \"events_total\": {}, \"barrier_pct\": {}, \"wall_s\": {wall:.4}, \"events_per_sec\": {:.0}}}",
             row.arrival,
             row.rate,
             row.n,
@@ -325,6 +332,7 @@ pub fn measure_latency(grid: &[LatencyConfig]) -> (String, Vec<LatencyRow>) {
             run.histogram.max(),
             run.decided_per_kilotick(),
             run.engine_events,
+            row.barrier_pct,
             row.events_per_sec
         ));
         rows.push(row);
@@ -366,7 +374,7 @@ mod tests {
   "workload": "open-loop steady state",
   "rows": [
     {"arrival": "det", "rate": 5, "n": 4, "shards": 1, "threads": 1, "decided": 100, "p50": 128, "p99": 256, "p999": 256, "events_per_sec": 500000},
-    {"arrival": "poisson", "rate": 5, "n": 4, "shards": 4, "threads": 4, "decided": 103, "p50": 128, "p99": 512, "p999": 512, "events_per_sec": 400000}
+    {"arrival": "poisson", "rate": 5, "n": 4, "shards": 4, "threads": 4, "decided": 103, "p50": 128, "p99": 512, "p999": 512, "barrier_pct": 7, "events_per_sec": 400000}
   ]
 }"#;
 
@@ -381,6 +389,7 @@ mod tests {
             p50: 128,
             p99: if arrival == "det" { 256 } else { 512 },
             p999: if arrival == "det" { 256 } else { 512 },
+            barrier_pct: 0,
             events_per_sec: eps,
         }
     }
@@ -394,6 +403,9 @@ mod tests {
         assert_eq!(rows[0].p999, 256);
         assert_eq!(rows[1].shards, 4);
         assert_eq!(rows[1].threads, 4);
+        // barrier_pct is additive: absent rows parse as 0.
+        assert_eq!(rows[0].barrier_pct, 0);
+        assert_eq!(rows[1].barrier_pct, 7);
         assert_eq!(rows[1].events_per_sec, 400000.0);
     }
 

@@ -1,4 +1,4 @@
-//! The scaling-aware engine workload behind `BENCH_engine.json` v4.
+//! The scaling-aware engine workload behind `BENCH_engine.json` v5.
 //!
 //! One reference job — wPAXOS over a seeded random connected graph
 //! under the random scheduler — parameterized by the network size, the
@@ -33,7 +33,7 @@ pub const SWEEP: &[(usize, usize)] = &[(32, 16), (128, 4), (512, 2)];
 /// and one multi-shard configuration.
 pub const SHARD_SWEEP: &[usize] = &[1, 4];
 
-/// The `(shards, threads)` configurations of the v4 sweep: the serial
+/// The `(shards, threads)` configurations of the engine sweep: the serial
 /// reference, the single-threaded sharded coordinator (its overhead),
 /// and the thread-per-shard parallel stepper (its payoff).
 pub const CONFIG_SWEEP: &[(usize, usize)] = &[(1, 1), (4, 1), (4, 4)];
@@ -69,7 +69,14 @@ pub fn workload(core: QueueCoreKind, n: usize, seed: u64) -> u64 {
 
 /// What one sharded reference run measured: the processed event count
 /// (identical at every shard count by the determinism contract) plus
-/// the coordinator counters `tables` surfaces per v3 row.
+/// the coordinator counters `tables` surfaces per v3 row and the
+/// payload-arena counters surfaced per v5 row.
+///
+/// The arena counters are deterministic for a fixed `(n, seed,
+/// shards)` — clones happen once per extra own-shard consumer and once
+/// per extra destination shard per broadcast, never per wall-clock
+/// accident — so they participate in equality (and thus in the
+/// serial-vs-parallel driver assertion) like the event count does.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ShardedWorkloadStats {
     /// Engine events processed.
@@ -79,6 +86,11 @@ pub struct ShardedWorkloadStats {
     pub cross_shard_deliveries: u64,
     /// Conservative windows the coordinator opened (0 when serial).
     pub window_advances: u64,
+    /// Payload-arena clones the run performed (non-last release plus
+    /// one per extra destination shard per cross-shard broadcast).
+    pub payload_clones: u64,
+    /// High-water mark of live arena payload bytes across all shards.
+    pub arena_bytes_peak: u64,
 }
 
 /// [`workload`] on the sharded engine: same execution (asserted
@@ -103,6 +115,8 @@ pub fn workload_sharded(
         events: run.report.metrics.events,
         cross_shard_deliveries: run.report.metrics.cross_shard_deliveries,
         window_advances: run.report.metrics.shard_window_advances,
+        payload_clones: run.report.metrics.payload_clones,
+        arena_bytes_peak: run.report.metrics.arena_bytes_peak,
     }
 }
 
@@ -154,6 +168,8 @@ pub fn workload_threaded(
             events: run.report.metrics.events,
             cross_shard_deliveries: run.report.metrics.cross_shard_deliveries,
             window_advances: run.report.metrics.shard_window_advances,
+            payload_clones: run.report.metrics.payload_clones,
+            arena_bytes_peak: run.report.metrics.arena_bytes_peak,
         },
         barrier_pct: run.report.metrics.barrier_pct(),
     }
@@ -192,6 +208,8 @@ mod tests {
         assert_eq!(serial, sharded.events, "sharding changed the execution");
         assert!(sharded.cross_shard_deliveries > 0);
         assert!(sharded.window_advances > 0);
+        assert!(sharded.payload_clones > 0, "cross-shard broadcasts clone");
+        assert!(sharded.arena_bytes_peak > 0, "arena never held a payload");
         let one = workload_sharded(QueueCoreKind::Calendar, 32, 1, 3);
         assert_eq!(one.events, serial);
         assert_eq!(one.cross_shard_deliveries, 0, "serial run used mailboxes");

@@ -795,6 +795,10 @@ pub struct LoadRun {
     /// The recorded event trace, when tracing was on — the strongest
     /// identity witness.
     pub trace: Trace,
+    /// Share of parallel-stepper worker time lost to window barriers,
+    /// in percent. Wall-clock derived (0 for serial runs) and never an
+    /// identity witness: the sweep's run-diffing ignores it.
+    pub barrier_pct: f64,
 }
 
 impl LoadRun {
@@ -871,6 +875,7 @@ pub fn run_load(
         unfinished,
         engine_events: report.metrics.events,
         end_time: horizon,
+        barrier_pct: report.metrics.barrier_pct(),
         report: MacReport::from_run(&report),
         trace: sim.trace().clone(),
         completed,

@@ -865,6 +865,13 @@ fn run(
         report.metrics.broadcasts,
         report.metrics.deliveries
     );
+    let _ = writeln!(
+        out,
+        "memory: payload clones {} | payload moves {} | arena peak {} B",
+        report.metrics.payload_clones,
+        report.metrics.payload_moves,
+        report.metrics.arena_bytes_peak
+    );
     if let Some(s) = engine.shards {
         let m = &report.metrics;
         let _ = writeln!(
@@ -1408,7 +1415,7 @@ mod tests {
         assert!(out.contains("shards identical"), "{out}");
         assert!(out.contains("serial vs sharded (S={2,4})"), "{out}");
         // The counter columns are present and aligned under headers.
-        for col in ["xdeliv", "windows", "flushes", "skew%"] {
+        for col in ["xdeliv", "windows", "flushes", "skew%", "pclones"] {
             assert!(out.contains(col), "missing column {col}: {out}");
         }
     }

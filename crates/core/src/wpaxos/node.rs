@@ -41,6 +41,10 @@ pub struct WpaxosNode {
     cfg: WpaxosConfig,
     inner: Option<Inner>,
     stats: WpaxosStats,
+    /// Reusable fixed-point work stack for
+    /// [`Self::process_proposer_msg`] — empty between messages, kept
+    /// for its capacity so the per-delivery hot path never allocates.
+    work_stack: Vec<ProposerMsg>,
 }
 
 /// State that exists only once the node knows its own id (assigned by
@@ -72,6 +76,7 @@ impl WpaxosNode {
             cfg,
             inner: None,
             stats: WpaxosStats::default(),
+            work_stack: Vec::new(),
         }
     }
 
@@ -174,7 +179,12 @@ impl WpaxosNode {
     /// point — on a singleton network a proposal races from prepare to
     /// decision entirely locally.
     fn process_proposer_msg(&mut self, first: ProposerMsg, ctx: &mut Context<'_, WMsg>) {
-        let mut work = vec![first];
+        // Reuse the node's scratch stack (this function never
+        // re-enters itself: `Emit` actions are pushed, not dispatched,
+        // and `handle_action` is only called for the other variants).
+        let mut work = std::mem::take(&mut self.work_stack);
+        debug_assert!(work.is_empty());
+        work.push(first);
         while let Some(pm) = work.pop() {
             if let ProposerMsg::Decide { value } = pm {
                 self.adopt_decision(value, ctx);
@@ -207,6 +217,7 @@ impl WpaxosNode {
                 self.route_response(resp);
             }
         }
+        self.work_stack = work;
     }
 
     /// Feeds an aggregated response to the local proposer, recording

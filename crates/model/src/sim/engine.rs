@@ -60,15 +60,18 @@
 //!
 //! Hot-path state is laid out densely: in-flight broadcasts live in a
 //! per-slot table (no hash maps anywhere in the loop), the event-id
-//! vectors they carry are pooled across broadcasts, and a shared
-//! payload is cloned once per *delivery that actually happens* — the
-//! final delivery moves the payload out instead of cloning, and
-//! deliveries to crashed receivers never touch it. (Cross-shard
-//! deliveries instead clone at schedule time into the destination
-//! shard's imported table, so a worker never reads another shard's
-//! in-flight entries.) The queue core itself is selectable per
-//! [`SimBuilder::queue_core`]; see [`super::queue`] for the two
-//! implementations.
+//! vectors they carry are pooled across broadcasts, and payloads live
+//! in per-shard generation-indexed arenas ([`super::arena`]) that
+//! events reference by word-sized handle. The arena's refcounting
+//! makes copies minimal and observable ([`Metrics::payload_clones`] /
+//! [`Metrics::payload_moves`]): the final consumer of a payload moves
+//! it out, earlier shared consumers clone, and deliveries to crashed
+//! receivers never touch it. Cross-shard broadcasts import **one**
+//! clone per destination shard into that shard's arena at schedule
+//! time — shared by refcount among the shard's deliveries — so a
+//! worker never reads another shard's in-flight entries. The queue
+//! core itself is selectable per [`SimBuilder::queue_core`]; see
+//! [`super::queue`] for the two implementations.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -85,6 +88,7 @@ use crate::proc::{Context, Decision, Process, Value};
 use crate::topo::unreliable::UnreliableOverlay;
 use crate::topo::Topology;
 
+use super::arena::{PayloadArena, PayloadHandle};
 use super::config::EngineConfig;
 use super::crash::{CrashPlan, CrashSpec};
 use super::event::{BcastId, EventClass, EventKind};
@@ -422,6 +426,8 @@ impl<P: Process> SimBuilder<P> {
             mailboxes,
             threads: self.cfg.threads.get(),
             imported: (0..nshards).map(|_| HashMap::new()).collect(),
+            arenas: (0..nshards).map(|_| PayloadArena::new()).collect(),
+            import_scratch: vec![None; nshards],
             local_pending: (0..nshards).map(|_| Vec::new()).collect(),
             defer_local_pushes: false,
             scratch: Vec::new(),
@@ -453,15 +459,16 @@ impl<P: Process> SimBuilder<P> {
     }
 }
 
-/// One in-flight broadcast: its id, the shared payload, a count of
-/// still-pending queue events referencing it, and those events'
-/// `(id, destination shard)` pairs (for bulk cancellation when the
-/// sender crashes — the shard routes the cancel to the right queue or
-/// mailbox).
-struct InFlight<M> {
+/// One in-flight broadcast: its id, the arena handle of the shared
+/// payload (the refcount lives with the payload in the sender shard's
+/// [`PayloadArena`]), and its events' `(id, destination shard)` pairs
+/// (for bulk cancellation when the sender crashes — the shard routes
+/// the cancel to the right queue or mailbox). The entry exists exactly
+/// as long as the arena slot is live: the step that consumes the last
+/// own-shard reference removes both.
+struct InFlight {
     bcast: u64,
-    msg: M,
-    refs: usize,
+    payload: PayloadHandle,
     events: Vec<(EventId, u32)>,
 }
 
@@ -556,7 +563,11 @@ struct WorkerSpace<'a, P: Process> {
     /// `src`, in ascending src order — the coordinator's flush
     /// order).
     inbound: Vec<&'a mut Mailbox<EventKind>>,
-    imported: &'a mut HashMap<EventId, <P as Process>::Msg>,
+    imported: &'a mut HashMap<EventId, PayloadHandle>,
+    /// This shard's payload arena — holds both the shard's own
+    /// senders' in-flight payloads and the clones imported for
+    /// cross-shard deliveries targeting it.
+    arena: &'a mut PayloadArena<<P as Process>::Msg>,
     pending: &'a mut Vec<MailEntry<EventKind>>,
     ledger: LedgerShardSlice<'a>,
     procs: &'a mut [P],
@@ -564,7 +575,7 @@ struct WorkerSpace<'a, P: Process> {
     ts_seqs: &'a mut [u64],
     rngs: &'a mut [SmallRng],
     outstanding: &'a mut [Option<BcastId>],
-    inflight: &'a mut [Vec<InFlight<<P as Process>::Msg>>],
+    inflight: &'a mut [Vec<InFlight>],
     scratch: ShardScratch<<P as Process>::Msg>,
     out: ShardWindowOut,
 }
@@ -680,31 +691,37 @@ impl<'a, P: Process> WorkerSpace<'a, P> {
             } => {
                 let to_crashed = self.ledger.is_crashed(to.0);
                 let msg = if env.shard_map.shard_of(from.0) == self.shard {
-                    let list = &mut self.inflight[from.0 - self.base];
-                    let idx = list
+                    let li = from.0 - self.base;
+                    let idx = self.inflight[li]
                         .iter()
                         .position(|e| e.bcast == bcast.0)
                         .expect("message for pending delivery");
-                    let entry = &mut list[idx];
-                    entry.refs -= 1;
-                    if entry.refs == 0 {
-                        // Final shard-local reference: move the
-                        // payload out, no clone. (The events vec is
-                        // dropped, not pooled — the pool lives with
-                        // the coordinator.)
-                        let entry = list.swap_remove(idx);
-                        (!to_crashed).then_some(entry.msg)
-                    } else if to_crashed {
-                        None
+                    let h = self.inflight[li][idx].payload;
+                    let (msg, last) = if to_crashed {
+                        (None, self.arena.discard(h))
                     } else {
-                        Some(entry.msg.clone())
+                        let (m, last) = self.arena.release(h);
+                        (Some(m), last)
+                    };
+                    if last {
+                        // Final shard-local reference: the arena slot
+                        // is free and the entry retires with it. (The
+                        // events vec is dropped, not pooled — the pool
+                        // lives with the coordinator.)
+                        self.inflight[li].swap_remove(idx);
                     }
+                    msg
                 } else {
-                    let msg = self
+                    let h = self
                         .imported
                         .remove(&EventId(key.2))
                         .expect("imported payload for cross-shard delivery");
-                    (!to_crashed).then_some(msg)
+                    if to_crashed {
+                        self.arena.discard(h);
+                        None
+                    } else {
+                        Some(self.arena.release(h).0)
+                    }
                 };
                 if to_crashed {
                     // `note_delivery` is skipped: windows only run in
@@ -730,12 +747,10 @@ impl<'a, P: Process> WorkerSpace<'a, P> {
             }
             EventKind::Ack { node, bcast } => {
                 let li = node.0 - self.base;
-                let list = &mut self.inflight[li];
-                if let Some(idx) = list.iter().position(|e| e.bcast == bcast.0) {
-                    let entry = &mut list[idx];
-                    entry.refs -= 1;
-                    if entry.refs == 0 {
-                        list.swap_remove(idx);
+                if let Some(idx) = self.inflight[li].iter().position(|e| e.bcast == bcast.0) {
+                    let h = self.inflight[li][idx].payload;
+                    if self.arena.discard(h) {
+                        self.inflight[li].swap_remove(idx);
                     }
                 }
                 debug_assert!(!self.ledger.is_crashed(node.0), "ack for a crashed node");
@@ -859,12 +874,26 @@ pub struct Sim<P: Process> {
     /// parallelism is `min(threads, shards)`, and 1 keeps the merged
     /// single-threaded drain.
     threads: usize,
-    /// Per-destination-shard payload clones for cross-shard
-    /// deliveries, keyed by event id. A cross-shard `Receive` takes
-    /// its payload from the *receiving* shard's table here instead of
-    /// the sender's in-flight entry, so a worker thread never reads
-    /// another shard's tables. Serial runs never populate it.
-    imported: Vec<HashMap<EventId, P::Msg>>,
+    /// Per-destination-shard imported-payload tables for cross-shard
+    /// deliveries: event id → handle into the *destination* shard's
+    /// arena. A cross-shard `Receive` takes its payload from here
+    /// instead of the sender's in-flight entry, so a worker thread
+    /// never reads another shard's tables; a broadcast clones its
+    /// payload **once per destination shard** (not per event) and the
+    /// shard's deliveries share the slot by refcount. Serial runs
+    /// never populate it.
+    imported: Vec<HashMap<EventId, PayloadHandle>>,
+    /// One payload arena per shard: the shard's own senders' in-flight
+    /// payloads plus its imported cross-shard clones. All inserts
+    /// happen on the single-threaded coordinator paths; a parallel
+    /// window's worker only releases references on its own shard's
+    /// arena.
+    arenas: Vec<PayloadArena<P::Msg>>,
+    /// Per-destination-shard scratch for `commit_broadcast_events`:
+    /// the arena handle this broadcast already imported into each
+    /// shard (so later deliveries to the same shard retain instead of
+    /// re-cloning). Cleared after every broadcast.
+    import_scratch: Vec<Option<PayloadHandle>>,
     /// Own-shard queue pushes deferred by a parallel window's ordered
     /// commit; the owning shard's worker absorbs them at the next
     /// window boundary (cheaper than queue pushes on the
@@ -900,7 +929,7 @@ pub struct Sim<P: Process> {
     /// overlay deliveries pending. Lookups are positional scans of
     /// these tiny vectors — no hashing on the hot path, and nothing
     /// order-sensitive to leak nondeterminism.
-    inflight: Vec<Vec<InFlight<P::Msg>>>,
+    inflight: Vec<Vec<InFlight>>,
     /// Recycled event-id vectors (the per-broadcast cancellation
     /// lists), so steady-state broadcasting allocates nothing.
     events_pool: Vec<Vec<(EventId, u32)>>,
@@ -1071,6 +1100,12 @@ impl<P: Process> Sim<P> {
             self.shards.iter().map(|q| q.cancelled_total()).sum::<u64>() + self.mailbox_cancels;
         self.metrics.queue_bucket_overflows =
             self.shards.iter().map(|q| q.bucket_overflows()).sum();
+        // Payload-custody counters live in the per-shard arenas
+        // (workers own theirs during parallel windows); assigned, not
+        // accumulated, because the arenas count cumulatively.
+        self.metrics.payload_clones = self.arenas.iter().map(|a| a.clones()).sum();
+        self.metrics.payload_moves = self.arenas.iter().map(|a| a.moves()).sum();
+        self.metrics.arena_bytes_peak = self.arenas.iter().map(|a| a.bytes_peak()).sum();
         outcome
     }
 
@@ -1407,6 +1442,7 @@ impl<P: Process> Sim<P> {
             shards,
             mailboxes,
             imported,
+            arenas,
             local_pending,
             ledger,
             ids,
@@ -1435,19 +1471,22 @@ impl<P: Process> Sim<P> {
             inbound[i % s].push(mb);
         }
         let mut spaces: Vec<WorkerSpace<'_, P>> = Vec::with_capacity(s);
-        for (shard, (((((((((queue, imp), pend), led), inb), pr), de), ts), rn), (ou, inf))) in
-            shards
-                .iter_mut()
-                .zip(imported.iter_mut())
-                .zip(local_pending.iter_mut())
-                .zip(ledger_s)
-                .zip(inbound)
-                .zip(proc_s)
-                .zip(dec_s)
-                .zip(ts_s)
-                .zip(rng_s)
-                .zip(out_s.into_iter().zip(inf_s))
-                .enumerate()
+        for (
+            shard,
+            ((((((((((queue, imp), ar), pend), led), inb), pr), de), ts), rn), (ou, inf)),
+        ) in shards
+            .iter_mut()
+            .zip(imported.iter_mut())
+            .zip(arenas.iter_mut())
+            .zip(local_pending.iter_mut())
+            .zip(ledger_s)
+            .zip(inbound)
+            .zip(proc_s)
+            .zip(dec_s)
+            .zip(ts_s)
+            .zip(rng_s)
+            .zip(out_s.into_iter().zip(inf_s))
+            .enumerate()
         {
             spaces.push(WorkerSpace {
                 shard,
@@ -1455,6 +1494,7 @@ impl<P: Process> Sim<P> {
                 queue,
                 inbound: inb,
                 imported: imp,
+                arena: ar,
                 pending: pend,
                 ledger: led,
                 procs: pr,
@@ -1697,15 +1737,19 @@ impl<P: Process> Sim<P> {
             let entry = list.swap_remove(idx);
             // All of this broadcast's events were scheduled from the
             // sender's shard; that is the mailbox row to search for
-            // in-transit entries.
+            // in-transit entries. Every still-pending own-shard
+            // reference dies with the sender's arena slot at once.
             let src = self.shard_map.shard_of(sender.0) as u32;
+            self.arenas[src as usize].discard_all(entry.payload);
             for &(id, dst) in &entry.events {
                 self.cancel_event(id, dst, src);
                 if dst != src {
-                    // Cross-shard deliveries carried a payload clone in
-                    // the destination's imported table; drop it with
-                    // the event.
-                    self.imported[dst as usize].remove(&id);
+                    // Cross-shard deliveries hold a reference on the
+                    // destination shard's imported arena slot; drop it
+                    // with the event (the last one frees the slot).
+                    if let Some(h) = self.imported[dst as usize].remove(&id) {
+                        self.arenas[dst as usize].discard(h);
+                    }
                 }
             }
             self.recycle(entry.events);
@@ -1737,41 +1781,46 @@ impl<P: Process> Sim<P> {
         // over all neighbors likewise burns slots on dead receivers
         // (see Admission::PartialThenCrash).
         let to_crashed = self.ledger.is_crashed(to.0);
-        let msg = if self.shard_map.shard_of(from.0) == self.shard_map.shard_of(to.0) {
-            // Own-shard delivery: the sender's refcounted in-flight
-            // entry holds the payload (the common case, and the only
-            // case at S=1).
-            let list = &mut self.inflight[from.0];
-            let idx = list
+        let from_shard = self.shard_map.shard_of(from.0);
+        let to_shard = self.shard_map.shard_of(to.0);
+        let msg = if from_shard == to_shard {
+            // Own-shard delivery: the sender's in-flight entry names
+            // the arena slot holding the payload (the common case,
+            // and the only case at S=1). The arena moves the payload
+            // out on the last reference, clones otherwise, and never
+            // copies for a crashed receiver.
+            let idx = self.inflight[from.0]
                 .iter()
                 .position(|e| e.bcast == bcast.0)
                 .expect("message for pending delivery");
-            let entry = &mut list[idx];
-            entry.refs -= 1;
-            if entry.refs == 0 {
-                // Final reference: move the payload out, no clone.
-                let entry = list.swap_remove(idx);
-                let msg = (!to_crashed).then_some(entry.msg);
-                self.recycle(entry.events);
-                msg
-            } else if to_crashed {
-                None
+            let h = self.inflight[from.0][idx].payload;
+            let (msg, last) = if to_crashed {
+                (None, self.arenas[from_shard].discard(h))
             } else {
-                Some(entry.msg.clone())
+                let (m, last) = self.arenas[from_shard].release(h);
+                (Some(m), last)
+            };
+            if last {
+                let entry = self.inflight[from.0].swap_remove(idx);
+                self.recycle(entry.events);
             }
+            msg
         } else {
-            // Cross-shard delivery: the payload was cloned into the
-            // destination shard's imported table at schedule time, so
+            // Cross-shard delivery: the payload was imported into the
+            // destination shard's arena at schedule time (one clone
+            // per destination shard, shared by its deliveries), so
             // this step never touches the sender's shard-owned
             // in-flight entry (the parallel stepper's ownership
             // contract).
-            let dst = self.shard_map.shard_of(to.0);
-            let msg = self
-                .imported
-                .get_mut(dst)
-                .and_then(|t| t.remove(&id))
+            let h = self.imported[to_shard]
+                .remove(&id)
                 .expect("imported payload for cross-shard delivery");
-            (!to_crashed).then_some(msg)
+            if to_crashed {
+                self.arenas[to_shard].discard(h);
+                None
+            } else {
+                Some(self.arenas[to_shard].release(h).0)
+            }
         };
         if to_crashed {
             if !unreliable && self.ledger.note_delivery(bcast.0) {
@@ -1797,12 +1846,14 @@ impl<P: Process> Sim<P> {
     }
 
     fn handle_ack(&mut self, node: Slot, bcast: BcastId) {
-        let list = &mut self.inflight[node.0];
-        if let Some(idx) = list.iter().position(|e| e.bcast == bcast.0) {
-            let entry = &mut list[idx];
-            entry.refs -= 1;
-            if entry.refs == 0 {
-                let entry = list.swap_remove(idx);
+        if let Some(idx) = self.inflight[node.0]
+            .iter()
+            .position(|e| e.bcast == bcast.0)
+        {
+            let h = self.inflight[node.0][idx].payload;
+            let shard = self.shard_map.shard_of(node.0);
+            if self.arenas[shard].discard(h) {
+                let entry = self.inflight[node.0].swap_remove(idx);
                 self.recycle(entry.events);
             }
         }
@@ -1914,11 +1965,33 @@ impl<P: Process> Sim<P> {
         self.commit_broadcast_events(slot, msg, bcast);
     }
 
+    /// Registers one cross-shard delivery's payload with destination
+    /// shard `dst`: the broadcast's first event into `dst` clones the
+    /// payload into that shard's arena (memoized in `import_scratch`),
+    /// every later one just retains the shared slot, and each event id
+    /// maps to the handle in the destination's imported table.
+    fn import_payload(&mut self, msg: &P::Msg, id: EventId, dst: u32) {
+        let dst = dst as usize;
+        let h = match self.import_scratch[dst] {
+            Some(h) => {
+                self.arenas[dst].retain(h);
+                h
+            }
+            None => {
+                let h = self.arenas[dst].insert_cloned(msg, 1);
+                self.import_scratch[dst] = Some(h);
+                h
+            }
+        };
+        self.imported[dst].insert(id, h);
+    }
+
     /// Plans and schedules one accepted broadcast's deliveries and
     /// ack, routing payload custody per the shard-ownership split: the
-    /// sender's in-flight entry refcounts only own-shard events, and
-    /// every cross-shard delivery gets a payload clone keyed by event
-    /// id in the destination shard's imported table.
+    /// sender's arena slot refcounts only own-shard events, and each
+    /// destination shard a delivery crosses into gets **one** payload
+    /// clone in its own arena, shared by refcount among that shard's
+    /// deliveries and keyed per event id in its imported table.
     fn commit_broadcast_events(&mut self, slot: Slot, msg: P::Msg, bcast: BcastId) {
         // Reuse the scratch neighbor buffer (the scheduler borrows it
         // while `self` stays mutable for the queue pushes below).
@@ -1950,7 +2023,7 @@ impl<P: Process> Sim<P> {
         }
 
         let src_shard = self.shard_map.shard_of(slot.0) as u32;
-        let mut refs = 0usize;
+        let mut refs = 0u32;
         let mut events = self.events_pool.pop().unwrap_or_default();
         events.reserve(neighbors.len() + 1);
         for (i, &nbr) in neighbors.iter().enumerate() {
@@ -1964,7 +2037,7 @@ impl<P: Process> Sim<P> {
             if dst == src_shard {
                 refs += 1;
             } else {
-                self.imported[dst as usize].insert(id, msg.clone());
+                self.import_payload(&msg, id, dst);
             }
             events.push((id, dst));
         }
@@ -1992,7 +2065,7 @@ impl<P: Process> Sim<P> {
                     if dst == src_shard {
                         refs += 1;
                     } else {
-                        self.imported[dst as usize].insert(id, msg.clone());
+                        self.import_payload(&msg, id, dst);
                     }
                     events.push((id, dst));
                 }
@@ -2000,12 +2073,20 @@ impl<P: Process> Sim<P> {
             self.unreliable = Some((overlay, p));
         }
 
+        // The ack always lands on the sender's shard, so refs >= 1 and
+        // the sender's arena slot is live until at least the ack (or a
+        // cancellation).
+        let payload = self.arenas[src_shard as usize].insert(msg, refs);
         self.inflight[slot.0].push(InFlight {
             bcast: bcast.0,
-            msg,
-            refs,
+            payload,
             events,
         });
+        // Reset the per-destination import memo for the next broadcast
+        // (O(S); S is small and this runs once per broadcast).
+        for slot_memo in &mut self.import_scratch {
+            *slot_memo = None;
+        }
 
         // Resolve any planned mid-broadcast crash against this
         // broadcast via the shared ledger.

@@ -17,6 +17,7 @@
 //!   neighbors with the message;
 //! * local computation takes zero virtual time.
 
+pub mod arena;
 pub mod config;
 pub mod conformance;
 pub mod crash;

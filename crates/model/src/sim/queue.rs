@@ -221,35 +221,82 @@ impl std::fmt::Display for QueueCoreKind {
     }
 }
 
-/// Internal entry shared by both cores. Keyed by `(time, class, id)`.
-struct Entry<E> {
+/// The **hot** half of one queue entry, shared by both cores: the
+/// full `(time, class, id)` ordering key plus the slab slot of its
+/// payload. `Copy` and a few words wide, so every comparison-heavy
+/// structure — heap sift, bucket staging sort, tombstone scan — moves
+/// and touches only these words; payload bytes stay parked in the
+/// core's `PayloadSlab` until the entry actually pops.
+#[derive(Clone, Copy)]
+struct HotEntry {
     time: Time,
     class: u8,
     id: u64,
-    payload: E,
+    slab: u32,
 }
 
-impl<E> Entry<E> {
+impl HotEntry {
     fn key(&self) -> (Time, u8, u64) {
         (self.time, self.class, self.id)
     }
 }
 
-impl<E> PartialEq for Entry<E> {
+impl PartialEq for HotEntry {
     fn eq(&self, other: &Self) -> bool {
         self.key() == other.key()
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
+impl Eq for HotEntry {}
+impl PartialOrd for HotEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Entry<E> {
+impl Ord for HotEntry {
     // Reversed (`BinaryHeap` is a max-heap) over the key.
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         other.key().cmp(&self.key())
+    }
+}
+
+/// The **cold** half: payload storage indexed by [`HotEntry::slab`],
+/// recycled through a free list so steady-state scheduling allocates
+/// nothing. Slots are freed both when an entry pops and when a
+/// tombstoned entry is reaped, so cancelled payloads never outlive
+/// their tombstone.
+struct PayloadSlab<E> {
+    slots: Vec<Option<E>>,
+    free: Vec<u32>,
+}
+
+impl<E> PayloadSlab<E> {
+    fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, payload: E) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(payload);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("slab slots fit u32");
+                self.slots.push(Some(payload));
+                slot
+            }
+        }
+    }
+
+    /// Removes and returns the payload at `slot`, recycling the slot.
+    fn take(&mut self, slot: u32) -> E {
+        let payload = self.slots[slot as usize].take().expect("live slab slot");
+        self.free.push(slot);
+        payload
     }
 }
 
@@ -310,8 +357,13 @@ impl Tombstones {
 
 /// The indexed-binary-heap [`QueueCore`]: `O(log n)` push and pop,
 /// tombstoned cancellation. See the [module docs](self).
+///
+/// Storage is structure-of-arrays: the heap orders word-sized
+/// `HotEntry`s while payloads sit in a `PayloadSlab`, so sifting
+/// never moves payload bytes.
 pub struct HeapCore<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: BinaryHeap<HotEntry>,
+    slab: PayloadSlab<E>,
     ts: Tombstones,
 }
 
@@ -326,16 +378,18 @@ impl<E> HeapCore<E> {
     pub fn new() -> Self {
         Self {
             heap: BinaryHeap::new(),
+            slab: PayloadSlab::new(),
             ts: Tombstones::new(),
         }
     }
 
     /// Drops cancelled entries sitting at the top of the heap,
-    /// reclaiming their tombstones.
+    /// reclaiming their tombstones and slab slots.
     fn purge_cancelled_head(&mut self) {
         while let Some(top) = self.heap.peek() {
             if self.ts.reap(top.id) {
-                self.heap.pop();
+                let top = self.heap.pop().expect("peeked");
+                drop(self.slab.take(top.slab));
             } else {
                 break;
             }
@@ -346,22 +400,24 @@ impl<E> HeapCore<E> {
 impl<E> QueueCore<E> for HeapCore<E> {
     fn push(&mut self, time: Time, class: u8, payload: E) -> EventId {
         let id = self.ts.alloc();
-        self.heap.push(Entry {
+        let slab = self.slab.insert(payload);
+        self.heap.push(HotEntry {
             time,
             class,
             id,
-            payload,
+            slab,
         });
         EventId(id)
     }
 
     fn push_at(&mut self, time: Time, class: u8, id: EventId, payload: E) {
         self.ts.register(id.0);
-        self.heap.push(Entry {
+        let slab = self.slab.insert(payload);
+        self.heap.push(HotEntry {
             time,
             class,
             id: id.0,
-            payload,
+            slab,
         });
     }
 
@@ -386,7 +442,7 @@ impl<E> QueueCore<E> for HeapCore<E> {
         Some(ScheduledEvent {
             time: entry.time,
             id: EventId(entry.id),
-            payload: entry.payload,
+            payload: self.slab.take(entry.slab),
         })
     }
 
@@ -429,6 +485,13 @@ const CALENDAR_MAX_BUCKETS: usize = 1 << 16;
 ///
 /// Ordering, cancellation, and liveness behave bit-identically to
 /// [`HeapCore`]; the property suite enforces it.
+///
+/// Like the heap core, storage is structure-of-arrays: every tier —
+/// the staged day, the ring buckets, the overflow map — holds
+/// word-sized `HotEntry`s (the overflow tier maps keys to slab
+/// slots), so staging sorts, ring rebuilds, and tier migrations never
+/// move payload bytes; payloads sit in one `PayloadSlab` until
+/// their entry pops.
 pub struct CalendarCore<E> {
     /// Number of ring buckets (always a power of two).
     nbuckets: usize,
@@ -437,15 +500,18 @@ pub struct CalendarCore<E> {
     cur_day: u64,
     /// Entries of days `<= cur_day`, sorted descending by key so pops
     /// take from the back.
-    current: Vec<Entry<E>>,
+    current: Vec<HotEntry>,
     /// Ring buckets for days `cur_day + 1 ..= cur_day + nbuckets`
     /// (day `d` lives at `d % nbuckets`), unsorted until staged.
-    buckets: Vec<Vec<Entry<E>>>,
+    buckets: Vec<Vec<HotEntry>>,
     /// Total entries (live or tombstoned) in the ring.
     in_wheel: usize,
-    /// Far-future tier: days beyond the ring, in key order.
-    overflow: BTreeMap<(Time, u8, u64), E>,
+    /// Far-future tier: days beyond the ring, in key order; values are
+    /// slab slots.
+    overflow: BTreeMap<(Time, u8, u64), u32>,
     overflows: u64,
+    /// Payload storage for every tier.
+    slab: PayloadSlab<E>,
     ts: Tombstones,
 }
 
@@ -466,6 +532,7 @@ impl<E> CalendarCore<E> {
             in_wheel: 0,
             overflow: BTreeMap::new(),
             overflows: 0,
+            slab: PayloadSlab::new(),
             ts: Tombstones::new(),
         }
     }
@@ -475,7 +542,7 @@ impl<E> CalendarCore<E> {
     }
 
     /// Binary-inserts into `current` (kept sorted descending by key).
-    fn insert_current(&mut self, entry: Entry<E>) {
+    fn insert_current(&mut self, entry: HotEntry) {
         let key = entry.key();
         let pos = self.current.partition_point(|e| e.key() > key);
         self.current.insert(pos, entry);
@@ -488,7 +555,8 @@ impl<E> CalendarCore<E> {
         loop {
             while let Some(e) = self.current.last() {
                 if self.ts.reap(e.id) {
-                    self.current.pop();
+                    let e = self.current.pop().expect("peeked");
+                    drop(self.slab.take(e.slab));
                 } else {
                     return;
                 }
@@ -529,12 +597,12 @@ impl<E> CalendarCore<E> {
                 if day > horizon {
                     break;
                 }
-                let payload = entry.remove();
-                let e = Entry {
+                let slab = entry.remove();
+                let e = HotEntry {
                     time,
                     class,
                     id,
-                    payload,
+                    slab,
                 };
                 if day <= self.cur_day {
                     staged.push(e);
@@ -558,7 +626,7 @@ impl<E> CalendarCore<E> {
         while self.overflow.len() > self.nbuckets && self.nbuckets < CALENDAR_MAX_BUCKETS {
             self.nbuckets *= 2;
         }
-        let old: Vec<Entry<E>> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
+        let old: Vec<HotEntry> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
         self.buckets = (0..self.nbuckets).map(|_| Vec::new()).collect();
         self.in_wheel = 0;
         let horizon = self.cur_day + self.nbuckets as u64;
@@ -573,12 +641,12 @@ impl<E> CalendarCore<E> {
             if day > horizon {
                 break;
             }
-            let payload = entry.remove();
-            self.buckets[(day % self.nbuckets as u64) as usize].push(Entry {
+            let slab = entry.remove();
+            self.buckets[(day % self.nbuckets as u64) as usize].push(HotEntry {
                 time,
                 class,
                 id,
-                payload,
+                slab,
             });
             self.in_wheel += 1;
         }
@@ -588,7 +656,7 @@ impl<E> CalendarCore<E> {
 impl<E> CalendarCore<E> {
     /// Places an entry into the right tier (staged day, ring bucket,
     /// or overflow) — the shared body of `push` and `push_at`.
-    fn place(&mut self, entry: Entry<E>) {
+    fn place(&mut self, entry: HotEntry) {
         let day = Self::day_of(entry.time);
         if day <= self.cur_day {
             // The entry's day has already been staged (or lies in the
@@ -599,7 +667,7 @@ impl<E> CalendarCore<E> {
             self.in_wheel += 1;
         } else {
             self.overflow
-                .insert((entry.time, entry.class, entry.id), entry.payload);
+                .insert((entry.time, entry.class, entry.id), entry.slab);
             self.overflows += 1;
             self.maybe_grow();
         }
@@ -609,22 +677,24 @@ impl<E> CalendarCore<E> {
 impl<E> QueueCore<E> for CalendarCore<E> {
     fn push(&mut self, time: Time, class: u8, payload: E) -> EventId {
         let id = self.ts.alloc();
-        self.place(Entry {
+        let slab = self.slab.insert(payload);
+        self.place(HotEntry {
             time,
             class,
             id,
-            payload,
+            slab,
         });
         EventId(id)
     }
 
     fn push_at(&mut self, time: Time, class: u8, id: EventId, payload: E) {
         self.ts.register(id.0);
-        self.place(Entry {
+        let slab = self.slab.insert(payload);
+        self.place(HotEntry {
             time,
             class,
             id: id.0,
-            payload,
+            slab,
         });
     }
 
@@ -649,7 +719,7 @@ impl<E> QueueCore<E> for CalendarCore<E> {
         Some(ScheduledEvent {
             time: entry.time,
             id: EventId(entry.id),
-            payload: entry.payload,
+            payload: self.slab.take(entry.slab),
         })
     }
 

@@ -66,16 +66,117 @@ impl TraceEvent {
     }
 }
 
+/// Record tags for the binary trace ring (3 bits of word 1).
+const TAG_BROADCAST: u64 = 0;
+const TAG_DELIVER: u64 = 1;
+const TAG_ACK: u64 = 2;
+const TAG_CRASH: u64 = 3;
+const TAG_DECIDE: u64 = 4;
+/// Slot fields are packed into 30 bits each (bits 3..33 and 33..63 of
+/// word 1); simulations are bounded far below 2^30 nodes.
+const SLOT_BITS: u64 = 30;
+const SLOT_MASK: u64 = (1 << SLOT_BITS) - 1;
+/// The `unreliable` flag of a Deliver record (bit 63 of word 1).
+const UNRELIABLE_BIT: u64 = 1 << 63;
+/// Words per ring record.
+const RECORD_WORDS: usize = 3;
+
+/// Packs one [`TraceEvent`] into a fixed-width three-word record:
+/// word 0 is the time in ticks, word 1 packs `tag | slot/from << 3 |
+/// to << 33 | unreliable << 63`, word 2 carries the tag-specific
+/// payload (id count for Broadcast, decided value for Decide, 0
+/// otherwise). The encoding is injective, so comparing ring words is
+/// exactly comparing event sequences.
+fn encode(ev: &TraceEvent) -> [u64; RECORD_WORDS] {
+    let pack = |tag: u64, a: Slot, b: u64| {
+        debug_assert!((a.0 as u64) <= SLOT_MASK && b <= SLOT_MASK);
+        tag | ((a.0 as u64) << 3) | (b << (3 + SLOT_BITS))
+    };
+    match *ev {
+        TraceEvent::Broadcast { time, slot, ids } => {
+            [time.ticks(), pack(TAG_BROADCAST, slot, 0), ids as u64]
+        }
+        TraceEvent::Deliver {
+            time,
+            from,
+            to,
+            unreliable,
+        } => [
+            time.ticks(),
+            pack(TAG_DELIVER, from, to.0 as u64) | if unreliable { UNRELIABLE_BIT } else { 0 },
+            0,
+        ],
+        TraceEvent::Ack { time, slot } => [time.ticks(), pack(TAG_ACK, slot, 0), 0],
+        TraceEvent::Crash { time, slot } => [time.ticks(), pack(TAG_CRASH, slot, 0), 0],
+        TraceEvent::Decide { time, slot, value } => {
+            [time.ticks(), pack(TAG_DECIDE, slot, 0), value]
+        }
+    }
+}
+
+/// Inverse of [`encode`] for one record.
+fn decode(rec: &[u64]) -> TraceEvent {
+    let time = Time(rec[0]);
+    let slot = Slot(((rec[1] >> 3) & SLOT_MASK) as usize);
+    match rec[1] & 0b111 {
+        TAG_BROADCAST => TraceEvent::Broadcast {
+            time,
+            slot,
+            ids: rec[2] as usize,
+        },
+        TAG_DELIVER => TraceEvent::Deliver {
+            time,
+            from: slot,
+            to: Slot(((rec[1] >> (3 + SLOT_BITS)) & SLOT_MASK) as usize),
+            unreliable: rec[1] & UNRELIABLE_BIT != 0,
+        },
+        TAG_ACK => TraceEvent::Ack { time, slot },
+        TAG_CRASH => TraceEvent::Crash { time, slot },
+        TAG_DECIDE => TraceEvent::Decide {
+            time,
+            slot,
+            value: rec[2],
+        },
+        tag => unreachable!("corrupt trace ring record tag {tag}"),
+    }
+}
+
 /// An optionally-recorded event log.
 ///
-/// Equality compares the recorded events byte-for-byte (and the
-/// enabled flag) — the assertion the sharded engine's determinism
-/// contract is stated in.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// # Storage: an append-only binary ring
+///
+/// The hot path never stores [`TraceEvent`]s: [`Trace::push`] packs
+/// each event into a fixed-width three-word record (the private
+/// `encode` function) appended to a flat `Vec<u64>` — one branch-free
+/// stamp, no
+/// per-variant layout, a third the footprint of the enum. The typed
+/// view the rest of the codebase consumes ([`Trace::events`],
+/// [`Trace::decisions`]) is **rendered lazily** on first access and
+/// cached; a later push invalidates the cache. Rendering invariant:
+/// `decode(encode(ev)) == ev` for every event, so the rendered view
+/// is bit-identical to what an eager `Vec<TraceEvent>` would have
+/// recorded — conformance checking, cross-config identity, and DPOR
+/// replay see exactly the traces they saw before the ring existed.
+///
+/// Equality compares the enabled flag and the raw ring words; since
+/// the encoding is injective this is precisely event-sequence
+/// equality — the assertion the sharded engine's determinism contract
+/// is stated in.
+#[derive(Clone, Debug, Default)]
 pub struct Trace {
     enabled: bool,
-    events: Vec<TraceEvent>,
+    ring: Vec<u64>,
+    /// Lazily rendered typed view of `ring`; invalidated on push.
+    rendered: std::sync::OnceLock<Vec<TraceEvent>>,
 }
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        self.enabled == other.enabled && self.ring == other.ring
+    }
+}
+
+impl Eq for Trace {}
 
 impl Trace {
     /// Creates a trace; events are recorded only when `enabled`.
@@ -86,14 +187,18 @@ impl Trace {
     pub fn new(enabled: bool) -> Self {
         Self {
             enabled,
-            events: Vec::new(),
+            ring: Vec::new(),
+            rendered: std::sync::OnceLock::new(),
         }
     }
 
     /// Appends an event (no-op when recording is disabled).
     pub fn push(&mut self, ev: TraceEvent) {
         if self.enabled {
-            self.events.push(ev);
+            self.ring.extend_from_slice(&encode(&ev));
+            if self.rendered.get().is_some() {
+                self.rendered = std::sync::OnceLock::new();
+            }
         }
     }
 
@@ -102,14 +207,26 @@ impl Trace {
         self.enabled
     }
 
-    /// All recorded events, in processing order.
+    /// Number of recorded events (no rendering).
+    pub fn len(&self) -> usize {
+        self.ring.len() / RECORD_WORDS
+    }
+
+    /// `true` when nothing has been recorded (no rendering).
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// All recorded events, in processing order (rendered from the
+    /// ring on first call after a push, then cached).
     pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+        self.rendered
+            .get_or_init(|| self.ring.chunks_exact(RECORD_WORDS).map(decode).collect())
     }
 
     /// Recorded decide events, in order.
     pub fn decisions(&self) -> impl Iterator<Item = &TraceEvent> {
-        self.events
+        self.events()
             .iter()
             .filter(|e| matches!(e, TraceEvent::Decide { .. }))
     }
@@ -118,11 +235,17 @@ impl Trace {
 /// Aggregate counters for one execution.
 ///
 /// Equality deliberately ignores the wall-clock thread-timing fields
-/// ([`Metrics::shard_busy_ns`], [`Metrics::shard_barrier_wait_ns`]):
-/// every other counter is a deterministic function of the execution
-/// and participates in the byte-identity contract across queue cores,
-/// shard counts, and thread counts, while the timing fields measure
-/// the host machine and legitimately differ between identical runs.
+/// ([`Metrics::shard_busy_ns`], [`Metrics::shard_barrier_wait_ns`])
+/// and the payload-custody layout counters
+/// ([`Metrics::payload_clones`], [`Metrics::payload_moves`],
+/// [`Metrics::arena_bytes_peak`]): every other counter is a
+/// deterministic function of the execution and participates in the
+/// byte-identity contract across queue cores, shard counts, and
+/// thread counts. The timing fields measure the host machine, and the
+/// custody counters measure the memory layout — a cross-shard
+/// delivery legitimately clones at `S = 4` where `S = 1` moves — so
+/// both families legitimately differ between semantically identical
+/// runs.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
     /// Broadcasts accepted by the MAC layer.
@@ -176,6 +299,21 @@ pub struct Metrics {
     /// overhead observable instead of inferred from end-to-end wall
     /// clock: see [`Metrics::barrier_pct`]. Excluded from equality.
     pub shard_barrier_wait_ns: Vec<u64>,
+    /// Payload clones the engine's arena performed: one per
+    /// shared-reference delivery (an earlier consumer of a payload
+    /// some later event still needs) plus one per destination shard a
+    /// cross-shard broadcast imports into. Configuration-dependent —
+    /// sharding trades moves for per-shard import clones — so
+    /// **excluded from equality** like the wall-clock fields.
+    pub payload_clones: u64,
+    /// Payloads handed to their final consumer by move (no copy) —
+    /// the arena hot path's common case. Excluded from equality (see
+    /// [`Metrics::payload_clones`]).
+    pub payload_moves: u64,
+    /// High-water in-flight payload footprint in bytes, summed over
+    /// the per-shard arenas: peak live payload count × payload size.
+    /// Excluded from equality (see [`Metrics::payload_clones`]).
+    pub arena_bytes_peak: u64,
     /// Largest per-message id count observed.
     pub max_message_ids: usize,
     /// Sum of id counts over all broadcasts.
@@ -186,8 +324,10 @@ pub struct Metrics {
 
 impl PartialEq for Metrics {
     /// Field-by-field equality over every *deterministic* counter; the
-    /// wall-clock `shard_busy_ns`/`shard_barrier_wait_ns` vectors are
-    /// intentionally skipped (see the type docs).
+    /// wall-clock `shard_busy_ns`/`shard_barrier_wait_ns` vectors and
+    /// the layout-dependent `payload_clones`/`payload_moves`/
+    /// `arena_bytes_peak` counters are intentionally skipped (see the
+    /// type docs).
     fn eq(&self, other: &Self) -> bool {
         self.broadcasts == other.broadcasts
             && self.busy_discards == other.busy_discards
@@ -287,6 +427,71 @@ mod tests {
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.decisions().count(), 1);
         assert_eq!(t.events()[1].time(), Time(3));
+    }
+
+    #[test]
+    fn ring_roundtrips_every_event_shape() {
+        let events = [
+            TraceEvent::Broadcast {
+                time: Time(0),
+                slot: Slot(0),
+                ids: 7,
+            },
+            TraceEvent::Deliver {
+                time: Time(12),
+                from: Slot(3),
+                to: Slot((1 << 30) - 1),
+                unreliable: false,
+            },
+            TraceEvent::Deliver {
+                time: Time(u64::MAX),
+                from: Slot((1 << 30) - 1),
+                to: Slot(0),
+                unreliable: true,
+            },
+            TraceEvent::Ack {
+                time: Time(5),
+                slot: Slot(9),
+            },
+            TraceEvent::Crash {
+                time: Time(6),
+                slot: Slot(1),
+            },
+            TraceEvent::Decide {
+                time: Time(7),
+                slot: Slot(2),
+                value: u64::MAX,
+            },
+        ];
+        let mut t = Trace::new(true);
+        for ev in events {
+            assert_eq!(decode(&encode(&ev)), ev, "{ev:?}");
+            t.push(ev);
+        }
+        assert_eq!(t.events(), &events[..]);
+        assert_eq!(t.len(), events.len());
+        // A push after rendering invalidates the cached view.
+        t.push(events[0]);
+        assert_eq!(t.events().len(), events.len() + 1);
+        assert_eq!(t.events().last(), Some(&events[0]));
+    }
+
+    #[test]
+    fn ring_equality_is_event_equality() {
+        let ev = TraceEvent::Ack {
+            time: Time(3),
+            slot: Slot(1),
+        };
+        let mut a = Trace::new(true);
+        let mut b = Trace::new(true);
+        a.push(ev);
+        // Rendering one side must not affect equality.
+        let _ = a.events();
+        assert_ne!(a, b);
+        b.push(ev);
+        assert_eq!(a, b);
+        b.push(ev);
+        assert_ne!(a, b);
     }
 
     #[test]
