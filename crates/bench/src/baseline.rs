@@ -47,6 +47,15 @@
 //!   disables the exact check (0 means "field predates v5"), so the
 //!   v5 gate still understands every older committed baseline down to
 //!   v1.
+//! * `amacl-bench-engine/v6` — v5 plus the persistent pool's
+//!   wake-policy counters per row: `superstep_count` (pool wakeups,
+//!   each covering up to `window_batch` consecutive windows) and
+//!   `worker_wakeups` (supersteps times the pool size). Both follow
+//!   the measuring machine's core count, so they are **informational**
+//!   — parsed, surfaced in the verdict lines, never gated exactly.
+//!   Pre-v6 rows parse them as `0`, so the v6 gate still understands
+//!   every older committed baseline down to v1 (the v5 → v1 fallback
+//!   chain is unchanged).
 
 /// Extracts a numeric field's value from a flat JSON object, e.g.
 /// `json_number(s, "events_per_sec")`. Returns `None` when the field
@@ -92,16 +101,24 @@ pub struct BaselineRow {
     /// High-water live arena payload bytes over the row's seeds
     /// (informational; pre-v5 rows parse as `0`).
     pub arena_bytes_peak: u64,
+    /// Persistent-pool supersteps over the row's seeds
+    /// (informational — follows the runner's core count; pre-v6 rows
+    /// parse as `0`).
+    pub superstep_count: u64,
+    /// Individual pool-worker wakeups over the row's seeds
+    /// (informational; pre-v6 rows parse as `0`).
+    pub worker_wakeups: u64,
     /// Measured serial throughput.
     pub events_per_sec: f64,
 }
 
-/// Extracts the v2/v3/v4/v5 per-configuration rows from a baseline
+/// Extracts the v2–v6 per-configuration rows from a baseline
 /// JSON. Returns an empty vector for v1 files (which have no rows).
 /// Rows without a `shards` field (v2) parse as serial (`shards = 1`);
 /// rows without a `threads` field (v3/v2) parse as single-threaded
 /// (`threads = 1`); rows without the arena counters (v4 and older)
-/// parse them as `0`.
+/// parse them as `0`; rows without the pool counters (v5 and older)
+/// parse them as `0` too.
 pub fn parse_rows(json: &str) -> Vec<BaselineRow> {
     let mut rows = Vec::new();
     let mut rest = json;
@@ -121,6 +138,8 @@ pub fn parse_rows(json: &str) -> Vec<BaselineRow> {
                 threads: json_number(chunk, "threads").map_or(1, |t| t as u64),
                 payload_clones: json_number(chunk, "payload_clones").map_or(0, |c| c as u64),
                 arena_bytes_peak: json_number(chunk, "arena_bytes_peak").map_or(0, |b| b as u64),
+                superstep_count: json_number(chunk, "superstep_count").map_or(0, |c| c as u64),
+                worker_wakeups: json_number(chunk, "worker_wakeups").map_or(0, |w| w as u64),
                 events_per_sec,
             });
         }
@@ -129,7 +148,7 @@ pub fn parse_rows(json: &str) -> Vec<BaselineRow> {
     rows
 }
 
-/// Gates every baseline v2–v5 row against the matching fresh row:
+/// Gates every baseline v2–v6 row against the matching fresh row:
 /// each configuration must not have collapsed below
 /// `baseline / tolerance`, every baseline configuration must have been
 /// re-measured, and — when the baseline row carries a v5
@@ -151,7 +170,7 @@ pub fn gate_rows(
     assert!(tolerance >= 1.0, "tolerance must be >= 1");
     let baseline = parse_rows(baseline_json);
     if baseline.is_empty() {
-        return Err("baseline JSON has no v2/v3/v4/v5 rows".into());
+        return Err("baseline JSON has no v2-v6 rows".into());
     }
     let mut lines = Vec::new();
     let mut failures = Vec::new();
@@ -327,6 +346,8 @@ mod tests {
             threads,
             payload_clones: 0,
             arena_bytes_peak: 0,
+            superstep_count: 0,
+            worker_wakeups: 0,
             events_per_sec: eps,
         }
     }
@@ -513,6 +534,57 @@ mod tests {
         assert!(parse_rows(SAMPLE_V4)
             .iter()
             .all(|r| r.payload_clones == 0 && r.arena_bytes_peak == 0));
+    }
+
+    const SAMPLE_V6: &str = r#"{
+  "schema": "amacl-bench-engine/v6",
+  "workload": "wpaxos random_connected(n,p(n),seed), RandomScheduler(F_ack=4)",
+  "threads": 1,
+  "events_per_sec": 2500000,
+  "rows": [
+    {"queue_core": "heap", "n": 32, "shards": 1, "threads": 1, "payload_clones": 41000, "arena_bytes_peak": 2048, "superstep_count": 0, "worker_wakeups": 0, "events_per_sec": 2500000},
+    {"queue_core": "heap", "n": 32, "shards": 4, "threads": 4, "payload_clones": 52000, "arena_bytes_peak": 2048, "superstep_count": 310, "worker_wakeups": 620, "events_per_sec": 3600000}
+  ]
+}"#;
+
+    #[test]
+    fn v6_rows_parse_with_pool_counters_and_older_fallbacks_hold() {
+        let rows = parse_rows(SAMPLE_V6);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].superstep_count, 0);
+        assert_eq!(rows[1].superstep_count, 310);
+        assert_eq!(rows[1].worker_wakeups, 620);
+        assert_eq!(rows[1].payload_clones, 52_000);
+        // Pre-v6 rows parse the pool counters as 0 — the whole v5 → v1
+        // fallback chain still parses.
+        for sample in [SAMPLE_V5, SAMPLE_V4, SAMPLE_V3, SAMPLE_V2] {
+            assert!(parse_rows(sample)
+                .iter()
+                .all(|r| r.superstep_count == 0 && r.worker_wakeups == 0));
+        }
+        assert!(parse_rows(SAMPLE).is_empty(), "v1 keeps its no-rows shape");
+    }
+
+    #[test]
+    fn gate_rows_treats_v6_pool_counters_as_informational() {
+        // A fresh run whose superstep/wakeup counts differ from the
+        // baseline (different core count on this runner) still gates
+        // green as long as throughput and clone counts hold.
+        let fresh = vec![
+            BaselineRow {
+                payload_clones: 41_000,
+                arena_bytes_peak: 2048,
+                ..threaded_row("heap", 32, 1, 1, 2_400_000.0)
+            },
+            BaselineRow {
+                payload_clones: 52_000,
+                arena_bytes_peak: 2048,
+                superstep_count: 17,
+                worker_wakeups: 34,
+                ..threaded_row("heap", 32, 4, 4, 3_500_000.0)
+            },
+        ];
+        assert_eq!(gate_rows(SAMPLE_V6, &fresh, 3.0).unwrap().len(), 2);
     }
 
     #[test]

@@ -14,14 +14,15 @@
 //!   [`amacl_bench::scaling::SWEEP`] × [`amacl_bench::scaling::CONFIG_SWEEP`]
 //!   (n ∈ {32, 128, 512} × heap/calendar × (S, T) ∈ {(1,1), (4,1),
 //!   (4,4)}), serially and with the parallel multi-seed driver, and
-//!   writes the `amacl-bench-engine/v5` JSON baseline
+//!   writes the `amacl-bench-engine/v6` JSON baseline
 //!   (`BENCH_engine.json` at the repo root by convention). Each row
 //!   also records the coordinator's cross-shard delivery and window
 //!   counts, the payload-arena counters (`payload_clones` summed and
 //!   `arena_bytes_peak` maxed over the row's seeds) and — for threaded
-//!   rows — the barrier-wait share; the file keeps a v1-compatible
-//!   top-level `events_per_sec` (the heap/n=32/serial reference
-//!   figure).
+//!   rows — the barrier-wait share plus the persistent pool's
+//!   superstep and worker-wakeup counts (summed over the row's
+//!   seeds); the file keeps a v1-compatible top-level
+//!   `events_per_sec` (the heap/n=32/serial reference figure).
 //! * `tables -- bench-latency [--out <path>]` — the open-loop latency
 //!   sweep: runs the steady-state workload once per
 //!   [`amacl_bench::latency::DEFAULT_GRID`] configuration (arrival
@@ -35,9 +36,11 @@
 //!   gate: remeasures, writes the fresh JSON, and exits nonzero when
 //!   any configuration collapsed below `baseline / tolerance` (default
 //!   tolerance 3x, generous enough for shared-runner variance but not
-//!   for a real regression). Every v5 (or v4/v3/v2 with the newer
-//!   fields implied) row is gated individually — v5 rows additionally
-//!   pin their deterministic `payload_clones` count exactly; v1
+//!   for a real regression). Every v6 (or v5/v4/v3/v2 with the newer
+//!   fields implied) row is gated individually — v5+ rows additionally
+//!   pin their deterministic `payload_clones` count exactly (the v6
+//!   superstep/wakeup counters are informational: they follow the
+//!   runner's core count); v1
 //!   baselines gate on the single reference figure. When the latency baseline
 //!   file exists (default `BENCH_latency.json`), its rows are gated
 //!   alongside the engine rows: virtual-tick quantiles must match
@@ -190,7 +193,7 @@ fn run_smoke() {
 /// Runs the full scaling sweep — every `(queue core, n, shards,
 /// threads)` configuration in [`scaling::SWEEP`] ×
 /// [`scaling::CONFIG_SWEEP`], seeds fanned out over the parallel
-/// driver — and returns the v5 JSON, the per-configuration rows, and
+/// driver — and returns the v6 JSON, the per-configuration rows, and
 /// the v1-compatible reference figure (heap, n = 32, serial).
 ///
 /// The top-level `threads` field is the *driver's* seed-fan-out width
@@ -241,6 +244,12 @@ fn measure_engine() -> (String, Vec<BaselineRow>, f64) {
                     .iter()
                     .map(|r| r.result.barrier_pct)
                     .fold(0.0f64, f64::max);
+                let supersteps: u64 = report
+                    .results
+                    .iter()
+                    .map(|r| r.result.superstep_count)
+                    .sum();
+                let wakeups: u64 = report.results.iter().map(|r| r.result.worker_wakeups).sum();
                 // The event count is part of the determinism contract:
                 // neither the queue core, the shard count, nor the
                 // worker thread count may change what the engine
@@ -257,10 +266,10 @@ fn measure_engine() -> (String, Vec<BaselineRow>, f64) {
                     "measured core={core} n={n} shards={shards} threads={step_threads}: \
                      {events_per_sec:.0} events/sec ({events} events, {serial_wall:.3}s serial, \
                      {cross} cross-shard, {clones} payload clones, {arena_peak} B arena peak, \
-                     {barrier_pct:.1}% barrier)"
+                     {barrier_pct:.1}% barrier, {supersteps} supersteps, {wakeups} wakeups)"
                 );
                 row_json.push(format!(
-                    "    {{\"queue_core\": \"{core}\", \"n\": {n}, \"shards\": {shards}, \"threads\": {step_threads}, \"seeds\": {nseeds}, \"events_total\": {events}, \"cross_shard_deliveries\": {cross}, \"window_advances\": {windows}, \"payload_clones\": {clones}, \"arena_bytes_peak\": {arena_peak}, \"barrier_pct\": {barrier_pct:.1}, \"serial_wall_s\": {serial_wall:.4}, \"events_per_sec\": {events_per_sec:.0}, \"parallel_wall_s\": {parallel_wall:.4}, \"parallel_speedup\": {:.2}}}",
+                    "    {{\"queue_core\": \"{core}\", \"n\": {n}, \"shards\": {shards}, \"threads\": {step_threads}, \"seeds\": {nseeds}, \"events_total\": {events}, \"cross_shard_deliveries\": {cross}, \"window_advances\": {windows}, \"payload_clones\": {clones}, \"arena_bytes_peak\": {arena_peak}, \"barrier_pct\": {barrier_pct:.1}, \"superstep_count\": {supersteps}, \"worker_wakeups\": {wakeups}, \"serial_wall_s\": {serial_wall:.4}, \"events_per_sec\": {events_per_sec:.0}, \"parallel_wall_s\": {parallel_wall:.4}, \"parallel_speedup\": {:.2}}}",
                     report.speedup()
                 ));
                 rows.push(BaselineRow {
@@ -270,6 +279,8 @@ fn measure_engine() -> (String, Vec<BaselineRow>, f64) {
                     threads: step_threads as u64,
                     payload_clones: clones,
                     arena_bytes_peak: arena_peak,
+                    superstep_count: supersteps,
+                    worker_wakeups: wakeups,
                     events_per_sec,
                 });
             }
@@ -281,7 +292,7 @@ fn measure_engine() -> (String, Vec<BaselineRow>, f64) {
         .expect("heap/n=32/serial reference row")
         .events_per_sec;
     let json = format!(
-        "{{\n  \"schema\": \"amacl-bench-engine/v5\",\n  \"workload\": \"wpaxos random_connected(n,p(n),seed), RandomScheduler(F_ack=4), both queue cores x (shards, threads) {:?}\",\n  \"threads\": {threads},\n  \"events_per_sec\": {reference:.0},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"amacl-bench-engine/v6\",\n  \"workload\": \"wpaxos random_connected(n,p(n),seed), RandomScheduler(F_ack=4), both queue cores x (shards, threads) {:?}\",\n  \"threads\": {threads},\n  \"events_per_sec\": {reference:.0},\n  \"rows\": [\n{}\n  ]\n}}\n",
         scaling::CONFIG_SWEEP,
         row_json.join(",\n")
     );
@@ -289,7 +300,7 @@ fn measure_engine() -> (String, Vec<BaselineRow>, f64) {
 }
 
 /// Measures engine events/sec across the scaling sweep and writes the
-/// v5 JSON baseline.
+/// v6 JSON baseline.
 fn bench_engine(out: Option<&str>) {
     let (json, ..) = measure_engine();
     print!("{json}");
@@ -311,10 +322,10 @@ fn bench_latency(out: Option<&str>) {
 }
 
 /// The CI regression gate: remeasure, report, and exit nonzero when
-/// throughput collapsed relative to the committed baseline. v5/v4/v3/v2
-/// baselines gate every `(queue core, n, shards, threads)` row (v5
-/// rows additionally pin `payload_clones` exactly); v1 baselines gate
-/// the single reference figure. When the committed
+/// throughput collapsed relative to the committed baseline.
+/// v6/v5/v4/v3/v2 baselines gate every `(queue core, n, shards,
+/// threads)` row (v5+ rows additionally pin `payload_clones` exactly);
+/// v1 baselines gate the single reference figure. When the committed
 /// latency baseline exists, its rows are gated in the same pass
 /// (exact virtual-tick quantiles, tolerance-bounded throughput).
 fn bench_gate(baseline_path: &str, latency_path: &str, tolerance: f64, out: Option<&str>) {

@@ -131,12 +131,21 @@ pub struct ThreadedWorkloadStats {
     /// Share of worker wall-clock lost to window barriers, in percent
     /// (wall-clock derived — varies run to run).
     pub barrier_pct: f64,
+    /// Supersteps the persistent pool executed (each covers up to
+    /// `window_batch` consecutive windows per worker wakeup). Pool
+    /// wake-policy: varies with the machine's core count, never with
+    /// the execution.
+    pub superstep_count: u64,
+    /// Individual worker wakeups (`superstep_count x` pool size).
+    pub worker_wakeups: u64,
 }
 
 /// Equality covers only the deterministic coordinator stats: the
-/// barrier share is a wall-clock timer, so two runs of the identical
-/// execution legitimately differ on it (and the multi-seed driver's
-/// serial-vs-parallel result assertion must not trip over that).
+/// barrier share is a wall-clock timer and the superstep/wakeup
+/// counts follow the machine's pool size, so two runs of the
+/// identical execution legitimately differ on them (and the
+/// multi-seed driver's serial-vs-parallel result assertion must not
+/// trip over that).
 impl PartialEq for ThreadedWorkloadStats {
     fn eq(&self, other: &Self) -> bool {
         self.sharded == other.sharded
@@ -172,6 +181,8 @@ pub fn workload_threaded(
             arena_bytes_peak: run.report.metrics.arena_bytes_peak,
         },
         barrier_pct: run.report.metrics.barrier_pct(),
+        superstep_count: run.report.metrics.superstep_count,
+        worker_wakeups: run.report.metrics.worker_wakeups,
     }
 }
 

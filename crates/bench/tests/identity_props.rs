@@ -12,6 +12,12 @@
 //! that happens to dodge the six recorded descriptors (a cancellation
 //! race at one topology, a refcount slip at one crash time) has to
 //! dodge every sampled one too.
+//!
+//! The second property extends the grid along the persistent pool's
+//! superstep dimension: window batch K ∈ {1, 2, 8, auto} (with pool
+//! workers forced on, so the pool protocol actually runs on
+//! single-core CI machines) must be pure wake-policy — the digest
+//! never moves.
 
 use amacl_core::wpaxos::{WpaxosConfig, WpaxosNode};
 use amacl_model::prelude::*;
@@ -44,6 +50,7 @@ fn run_digest(
     core: QueueCoreKind,
     shards: usize,
     threads: usize,
+    batch: Option<WindowBatch>,
 ) -> u64 {
     let topo = Topology::random_connected(n, edge_p, topo_seed);
     let cfg = WpaxosConfig::new(n);
@@ -56,7 +63,7 @@ fn run_digest(
     } else {
         CrashPlan::none()
     };
-    let mut sim = SimBuilder::new(topo, |s| WpaxosNode::new(inputs[s.index()], cfg))
+    let mut builder = SimBuilder::new(topo, |s| WpaxosNode::new(inputs[s.index()], cfg))
         .scheduler(RandomScheduler::new(f_ack, sched_seed))
         .queue_core(core)
         .shards(shards)
@@ -64,8 +71,13 @@ fn run_digest(
         .seed(engine_seed)
         .crashes(plan)
         .message_id_budget(10)
-        .trace(true)
-        .build();
+        .trace(true);
+    if let Some(batch) = batch {
+        // Force real parked pool workers so the superstep protocol
+        // runs even on single-core CI machines.
+        builder = builder.window_batch(batch).debug_force_pool_workers(2);
+    }
+    let mut sim = builder.build();
     let report = sim.run();
 
     let mut h = FNV_OFFSET;
@@ -119,19 +131,68 @@ proptest! {
         let edge_p = edge_centi_p as f64 / 100.0;
         let reference = run_digest(
             n, topo_seed, edge_p, f_ack, sched_seed, engine_seed, crash_at,
-            QueueCoreKind::Heap, 1, 1,
+            QueueCoreKind::Heap, 1, 1, None,
         );
         for core in QueueCoreKind::all() {
             for &shards in &[1usize, 2, 3, 7] {
                 for &threads in &[1usize, 4] {
                     let got = run_digest(
                         n, topo_seed, edge_p, f_ack, sched_seed, engine_seed, crash_at,
-                        core, shards, threads,
+                        core, shards, threads, None,
                     );
                     prop_assert_eq!(
                         got, reference,
                         "n={} topo_seed={} crash_at={} diverged at core={} shards={} threads={}",
                         n, topo_seed, crash_at, core, shards, threads
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case runs 1 + 2 x 4 x 4 = 33 engine executions, but on
+    // small networks; 6 cases keep the binary fast while sweeping the
+    // whole batch dimension with the pool protocol forced on.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random descriptor × batch K ∈ {1, 2, 8, auto} × shards
+    /// {1, 2, 3, 7} × both cores, pool workers forced: the superstep
+    /// batch size is pure wake-policy and the digest never moves from
+    /// the serial heap reference.
+    #[test]
+    fn window_batch_sizes_are_byte_identical_across_the_grid(
+        n in 8usize..=16,
+        topo_seed in any::<u64>(),
+        edge_centi_p in 25u64..=75,
+        f_ack in 3u64..=8,
+        sched_seed in any::<u64>(),
+        engine_seed in any::<u64>(),
+        crash_at in 0u64..=14,
+    ) {
+        let edge_p = edge_centi_p as f64 / 100.0;
+        let reference = run_digest(
+            n, topo_seed, edge_p, f_ack, sched_seed, engine_seed, crash_at,
+            QueueCoreKind::Heap, 1, 1, None,
+        );
+        let batches = [
+            WindowBatch::Fixed(1),
+            WindowBatch::Fixed(2),
+            WindowBatch::Fixed(8),
+            WindowBatch::Auto,
+        ];
+        for core in QueueCoreKind::all() {
+            for &shards in &[1usize, 2, 3, 7] {
+                for batch in batches {
+                    let got = run_digest(
+                        n, topo_seed, edge_p, f_ack, sched_seed, engine_seed, crash_at,
+                        core, shards, 4, Some(batch),
+                    );
+                    prop_assert_eq!(
+                        got, reference,
+                        "n={} topo_seed={} crash_at={} diverged at core={} shards={} batch={:?}",
+                        n, topo_seed, crash_at, core, shards, batch
                     );
                 }
             }

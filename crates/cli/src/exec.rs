@@ -890,6 +890,11 @@ fn run(
                 m.shard_barrier_wait_ns.iter().sum::<u64>() as f64 / 1e6,
                 m.barrier_pct()
             );
+            let _ = writeln!(
+                out,
+                "pool: spawns {} | wakeups {} | supersteps {} | serial shortcuts {}",
+                m.worker_spawns, m.worker_wakeups, m.superstep_count, m.serial_window_shortcuts
+            );
         }
     }
     let _ = writeln!(
@@ -1464,6 +1469,8 @@ mod tests {
         .unwrap();
         assert!(threaded.contains("threads: 2 | busy"), "{threaded}");
         assert!(threaded.contains("barrier wait"), "{threaded}");
+        assert!(threaded.contains("pool: spawns"), "{threaded}");
+        assert!(threaded.contains("| supersteps"), "{threaded}");
         let outcome = |s: &str| {
             s.lines()
                 .find(|l| l.starts_with("outcome:"))
@@ -1471,6 +1478,22 @@ mod tests {
                 .to_string()
         };
         assert_eq!(outcome(&serial), outcome(&threaded));
+    }
+
+    #[test]
+    fn run_accepts_window_batch_and_matches_serial() {
+        let serial = cli("run --algo wpaxos --topo torus:4x4 --sched random:4:9").unwrap();
+        let batched = cli("run --algo wpaxos --topo torus:4x4 --sched random:4:9 \
+             --shards 4 --threads 2 --window-batch 8")
+        .unwrap();
+        assert!(batched.contains("pool: spawns"), "{batched}");
+        let outcome = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("outcome:"))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(outcome(&serial), outcome(&batched));
     }
 
     #[test]

@@ -15,48 +15,67 @@
 //! # Sharded execution
 //!
 //! The process set can be partitioned across `S` shards
-//! ([`SimBuilder::shards`], `AMACL_SHARDS`): each shard owns its own
-//! [`EventQueue`] and processes the events targeting its slots, while
-//! a **conservative time-window coordinator**
-//! ([`Sim::run`] → the windowed loop) advances all shards through
-//! `lookahead`-sized windows derived from the scheduler's minimum
-//! delay bound ([`Scheduler::min_delay`]). Events one shard schedules
-//! for another travel through deterministic per-edge mailboxes that
-//! are flushed at window boundaries; within a window the coordinator
-//! drains shard heads in global `(time, class, seq)` order, so the
-//! execution — trace, decisions, semantic counters — is
-//! **byte-identical** to the serial engine at every shard count. The
-//! full protocol and its cancellation-across-shards semantics are
-//! documented in [`super::shard`]. Serial (`S = 1`) takes a dedicated
-//! fast path with no window or routing overhead.
+//! ([`SimBuilder::shards`], `AMACL_SHARDS`): each shard owns a
+//! `ShardCell` — its own [`EventQueue`], payload arena, and the
+//! shard's slice of every slot-indexed hot table — and processes the
+//! events targeting its slots, while a **conservative time-window
+//! coordinator** ([`Sim::run`] → the windowed loop) advances all
+//! shards through `lookahead`-sized windows derived from the
+//! scheduler's minimum delay bound ([`Scheduler::min_delay`]). Events
+//! one shard schedules for another travel through deterministic
+//! per-edge mailboxes that are flushed at window boundaries; within a
+//! window the coordinator drains shard heads in global
+//! `(time, class, seq)` order, so the execution — trace, decisions,
+//! semantic counters — is **byte-identical** to the serial engine at
+//! every shard count. The full protocol and its
+//! cancellation-across-shards semantics are documented in
+//! [`super::shard`]. Serial (`S = 1`) takes a dedicated fast path
+//! with no window or routing overhead.
 //!
-//! # Thread-per-shard parallel stepping
+//! # Persistent pool, parallel stepping, and supersteps
 //!
-//! With [`SimBuilder::threads`] (or `AMACL_THREADS`) above 1, each
-//! conservative window is *executed* in parallel: one worker per
-//! shard (at most `threads` OS threads) flushes its shard's inbound
-//! mailboxes, drains its queue up to the window end, and runs its
-//! events — process callbacks included — against `&mut` borrows of
-//! exactly its shard's slice of every hot table (processes,
-//! decisions, RNGs, in-flight payloads, ledger crash flags). The
-//! borrow checker enforces the ownership contract; cross-shard
-//! effects only ever travel as typed messages (mailbox entries and
-//! per-destination imported payload clones), never as writes into
-//! another shard's tables.
+//! With [`SimBuilder::threads`] (or `AMACL_THREADS`) above 1, windows
+//! are *executed* in parallel by a **persistent worker pool**: one
+//! worker per shard group, spawned **once per `run`/`run_until` call**
+//! (thread spawns are O(1) in the window count, surfaced as
+//! [`Metrics::worker_spawns`]), coordinated through epoch-stamped
+//! supersteps. Each `ShardCell` sits behind a mutex; a worker locks
+//! exactly its own cells during a window's two phases, and the
+//! coordinator locks all of them between windows — the lock is never
+//! contended, it only *transfers* ownership at the barriers. Within a
+//! window each worker flushes its shard's inbound mailboxes, drains
+//! its queue up to the window end, and runs its events — process
+//! callbacks included — against its cells; cross-shard effects only
+//! ever travel as typed messages (mailbox entries and per-destination
+//! imported payload clones), never as writes into another shard's
+//! cell.
+//!
+//! Workers park on a condvar between supersteps: the coordinator
+//! wakes the pool once per batch of up to
+//! [`super::shard::WindowBatch`] consecutive windows
+//! ([`Metrics::superstep_count`] / [`Metrics::worker_wakeups`]), and
+//! an **adaptive serial gate** steps windows whose predecessor drained
+//! fewer than `SERIAL_WINDOW_MIN_EVENTS` events inline on the
+//! coordinator without waking workers at all
+//! ([`Metrics::serial_window_shortcuts`]) — tiny windows dominate at
+//! small `n`, and a merged drain is cheaper than a barrier round.
+//! Both policies are pure wake-policy: the window sequence and every
+//! deterministic counter are unchanged.
 //!
 //! Byte-identity with the serial engine is preserved by splitting
 //! each step into a shard-local half and a deferred half. Workers
 //! perform the shard-local half and record, per step, what the
 //! global half needs (trace span, requested broadcast); after the
-//! window joins, a single-threaded commit replays those records in
-//! global `(time, class, seq)` order, allocating broadcast/event ids
-//! and consuming engine RNG exactly as the serial loop would have. A
-//! window only runs in parallel when a commit gate proves no step
-//! inside it can stop the run or mutate cross-shard state (no crash
-//! events, no armed mid-broadcast crash machinery, no horizon or
-//! event-limit crossing, at least one undecided node untouched);
-//! otherwise the drained events are pushed back — ids intact — and
-//! the window falls back to the merged single-threaded drain.
+//! window's last barrier, the single-threaded commit replays those
+//! records in global `(time, class, seq)` order, allocating
+//! broadcast/event ids and consuming engine RNG exactly as the serial
+//! loop would have. A window only runs in parallel when a commit gate
+//! proves no step inside it can stop the run or mutate cross-shard
+//! state (no crash events, no armed mid-broadcast crash machinery, no
+//! horizon or event-limit crossing, at least one undecided node
+//! untouched); otherwise the drained events are pushed back — ids
+//! intact — and the window falls back to the merged single-threaded
+//! drain.
 //!
 //! Hot-path state is laid out densely: in-flight broadcasts live in a
 //! per-slot table (no hash maps anywhere in the loop), the event-id
@@ -73,16 +92,18 @@
 //! core itself is selectable per [`SimBuilder::queue_core`]; see
 //! [`super::queue`] for the two implementations.
 
+use std::any::Any;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Barrier, Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::ids::{NodeId, Slot};
-use crate::mac::{Admission, BcastLedger, LedgerShardSlice, LedgerShardView};
+use crate::mac::{Admission, BcastLedger, LedgerShardView};
 use crate::msg::Payload;
 use crate::proc::{Context, Decision, Process, Value};
 use crate::topo::unreliable::UnreliableOverlay;
@@ -95,7 +116,7 @@ use super::event::{BcastId, EventClass, EventKind};
 use super::queue::{EventId, EventQueue, QueueCoreKind};
 use super::sched::random::RandomScheduler;
 use super::sched::Scheduler;
-use super::shard::{MailEntry, Mailbox, ShardMap};
+use super::shard::{MailEntry, Mailbox, ShardMap, WindowBatch};
 use super::time::Time;
 use super::trace::{Metrics, Trace, TraceEvent};
 
@@ -173,6 +194,7 @@ pub struct SimBuilder<P: Process> {
     message_id_budget: Option<usize>,
     trace_enabled: bool,
     unreliable: Option<(UnreliableOverlay, f64)>,
+    pool_workers: Option<usize>,
 }
 
 impl<P: Process> SimBuilder<P> {
@@ -184,8 +206,9 @@ impl<P: Process> SimBuilder<P> {
     /// stop-on-all-decided, no id-budget enforcement, tracing off, and
     /// the engine configuration from [`EngineConfig::from_env`] — seed
     /// 0, no crashes, and the queue core / shard count / worker-thread
-    /// budget named by `AMACL_QUEUE_CORE` / `AMACL_SHARDS` /
-    /// `AMACL_THREADS` (heap / serial / single-threaded when unset).
+    /// budget / window batch named by `AMACL_QUEUE_CORE` /
+    /// `AMACL_SHARDS` / `AMACL_THREADS` / `AMACL_WINDOW_BATCH` (heap /
+    /// serial / single-threaded / auto when unset).
     pub fn new(topo: Topology, mut init: impl FnMut(Slot) -> P) -> Self {
         let n = topo.len();
         let procs: Vec<P> = (0..n).map(|i| init(Slot(i))).collect();
@@ -202,16 +225,19 @@ impl<P: Process> SimBuilder<P> {
             message_id_budget: None,
             trace_enabled: false,
             unreliable: None,
+            pool_workers: None,
         }
     }
 
     /// Replaces the whole engine configuration — seed, queue core,
-    /// shards, threads, and crash plan — in one call. The individual
-    /// fluent setters ([`seed`](Self::seed),
+    /// shards, threads, window batch, and crash plan — in one call.
+    /// The individual fluent setters ([`seed`](Self::seed),
     /// [`queue_core`](Self::queue_core), [`shards`](Self::shards),
-    /// [`threads`](Self::threads), [`crashes`](Self::crashes)) are
-    /// thin delegates onto the same stored [`EngineConfig`], so the
-    /// two styles compose: later calls win knob by knob.
+    /// [`threads`](Self::threads),
+    /// [`window_batch`](Self::window_batch),
+    /// [`crashes`](Self::crashes)) are thin delegates onto the same
+    /// stored [`EngineConfig`], so the two styles compose: later calls
+    /// win knob by knob.
     pub fn config(mut self, cfg: EngineConfig) -> Self {
         self.cfg = cfg;
         self
@@ -260,6 +286,25 @@ impl<P: Process> SimBuilder<P> {
     /// Panics if `threads == 0`.
     pub fn threads(mut self, threads: usize) -> Self {
         self.cfg = self.cfg.threads(threads);
+        self
+    }
+
+    /// Sets how many consecutive conservative windows the persistent
+    /// worker pool may batch per wakeup (a superstep); see
+    /// [`WindowBatch`]. Pure wake-policy: the window sequence and all
+    /// deterministic counters are byte-identical at every batch size.
+    pub fn window_batch(mut self, batch: WindowBatch) -> Self {
+        self.cfg = self.cfg.window_batch(batch);
+        self
+    }
+
+    /// Test hook: forces the persistent pool to spawn exactly `n`
+    /// workers (clamped to the shard count), bypassing the
+    /// `available_parallelism` cap. Lets pool-protocol tests exercise
+    /// real parked workers on single-core machines.
+    #[doc(hidden)]
+    pub fn debug_force_pool_workers(mut self, n: usize) -> Self {
+        self.pool_workers = Some(n);
         self
     }
 
@@ -368,11 +413,9 @@ impl<P: Process> SimBuilder<P> {
             );
         }
         let mut ledger = BcastLedger::new(n);
-        let mut shards: Vec<EventQueue<EventKind>> = (0..nshards)
+        let mut queues: Vec<EventQueue<EventKind>> = (0..nshards)
             .map(|_| EventQueue::with_core(self.cfg.queue_core))
             .collect();
-        let mailboxes: Vec<Mailbox<EventKind>> =
-            (0..nshards * nshards).map(|_| Mailbox::new()).collect();
         let mut next_event_id = 0u64;
         let mut undecided = n;
         for spec in self.cfg.crash_plan.specs() {
@@ -387,7 +430,7 @@ impl<P: Process> SimBuilder<P> {
                         // single-queue push order.
                         let id = EventId(next_event_id);
                         next_event_id += 1;
-                        shards[shard_map.shard_of(slot.0)].push_at(
+                        queues[shard_map.shard_of(slot.0)].push_at(
                             time,
                             EventClass::Crash as u8,
                             id,
@@ -404,57 +447,76 @@ impl<P: Process> SimBuilder<P> {
                 }
             }
         }
-        let rngs: Vec<SmallRng> = (0..n)
-            .map(|i| {
-                SmallRng::seed_from_u64(
-                    self.cfg.seed
-                        ^ (i as u64)
-                            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                            .wrapping_add(1),
-                )
+        let seed = self.cfg.seed;
+        let mut rngs = (0..n).map(|i| {
+            SmallRng::seed_from_u64(
+                seed ^ (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(1),
+            )
+        });
+        let mut procs = self.procs.into_iter();
+        let mut queues = queues.drain(..);
+        let cells: Vec<ShardCell<P>> = (0..nshards)
+            .map(|shard| {
+                let r = shard_map.slots_of(shard);
+                let len = r.end - r.start;
+                ShardCell {
+                    shard,
+                    base: r.start,
+                    queue: queues.next().expect("one queue per shard"),
+                    inbox: (0..nshards).map(|_| Mailbox::new()).collect(),
+                    imported: HashMap::new(),
+                    arena: PayloadArena::new(),
+                    pending: Vec::new(),
+                    crashed: (r.start..r.end).map(|i| ledger.is_crashed(i)).collect(),
+                    procs: procs.by_ref().take(len).collect(),
+                    decisions: vec![None; len],
+                    ts_seqs: vec![0; len],
+                    rngs: rngs.by_ref().take(len).collect(),
+                    outstanding: vec![None; len],
+                    inflight: (0..len).map(|_| Vec::new()).collect(),
+                    scratch: ShardScratch::default(),
+                    out: ShardWindowOut::default(),
+                }
             })
             .collect();
         let mut metrics = Metrics::new(n);
         metrics.per_shard_events = vec![0; nshards];
         Sim {
-            topo: self.topo,
-            procs: self.procs,
-            ids: self.ids,
-            scheduler: self.scheduler,
-            shards,
-            shard_map,
-            mailboxes,
-            threads: self.cfg.threads.get(),
-            imported: (0..nshards).map(|_| HashMap::new()).collect(),
-            arenas: (0..nshards).map(|_| PayloadArena::new()).collect(),
-            import_scratch: vec![None; nshards],
-            local_pending: (0..nshards).map(|_| Vec::new()).collect(),
-            defer_local_pushes: false,
-            scratch: Vec::new(),
-            next_event_id,
-            lookahead,
-            mailbox_cancels: 0,
-            current_shard: 0,
-            ledger,
-            now: Time::ZERO,
-            started: false,
-            bcast_seq: 0,
-            inflight: (0..n).map(|_| Vec::new()).collect(),
-            events_pool: Vec::new(),
-            neighbor_scratch: Vec::new(),
-            outstanding: vec![None; n],
-            decisions: vec![None; n],
-            ts_seqs: vec![0; n],
-            rngs,
-            engine_rng: SmallRng::seed_from_u64(self.cfg.seed.wrapping_add(0xA5A5_5A5A)),
-            undecided,
-            max_time: self.max_time,
-            max_events: self.max_events,
-            stop_when_all_decided: self.stop_when_all_decided,
-            message_id_budget: self.message_id_budget,
-            trace: Trace::new(self.trace_enabled),
-            metrics,
-            unreliable: self.unreliable,
+            sh: Shared {
+                topo: self.topo,
+                ids: self.ids,
+                shard_map,
+                lookahead,
+                threads: self.cfg.threads.get(),
+                window_batch: self.cfg.window_batch,
+                pool_workers: self.pool_workers,
+                max_time: self.max_time,
+                max_events: self.max_events,
+                message_id_budget: self.message_id_budget,
+            },
+            core: Core {
+                scheduler: self.scheduler,
+                next_event_id,
+                mailbox_cancels: 0,
+                current_shard: 0,
+                ledger,
+                now: Time::ZERO,
+                started: false,
+                bcast_seq: 0,
+                events_pool: Vec::new(),
+                neighbor_scratch: Vec::new(),
+                import_scratch: vec![None; nshards],
+                defer_local_pushes: false,
+                engine_rng: SmallRng::seed_from_u64(seed.wrapping_add(0xA5A5_5A5A)),
+                undecided,
+                stop_when_all_decided: self.stop_when_all_decided,
+                trace: Trace::new(self.trace_enabled),
+                metrics,
+                unreliable: self.unreliable,
+            },
+            cells,
         }
     }
 }
@@ -522,8 +584,8 @@ impl<M> Default for ShardScratch<M> {
 }
 
 /// Order-independent counters one shard's worker accumulates over a
-/// window; folded into [`Metrics`] after the join (sums and maxes
-/// commute, so no ordering is needed).
+/// window; folded into [`Metrics`] after the window's last barrier
+/// (sums and maxes commute, so no ordering is needed).
 #[derive(Default)]
 struct ShardWindowOut {
     events: u64,
@@ -539,6 +601,7 @@ struct ShardWindowOut {
 }
 
 /// Immutable context shared by every parallel-window worker.
+#[derive(Clone, Copy)]
 struct WorkerEnv<'a> {
     ids: &'a [NodeId],
     shard_map: &'a ShardMap,
@@ -546,41 +609,64 @@ struct WorkerEnv<'a> {
     trace_enabled: bool,
 }
 
-/// Everything one worker may touch for one shard during a parallel
-/// window: exclusive `&mut` borrows of exactly that shard's slices
-/// of the engine's slot-indexed hot tables, its queue, inbound
-/// mailbox column, imported-payload table, deferred local pushes,
-/// and ledger crash flags. Constructing these via `split_at_mut`
-/// makes the ownership contract compiler-enforced: a worker cannot
+/// Everything one shard owns: its event queue, inbound mailbox row,
+/// payload arena, imported-payload table, deferred local pushes, and
+/// the shard's slice of every slot-indexed hot table (`slot − base`
+/// indexes the vectors). The engine is a `Vec<ShardCell>` plus the
+/// global [`Core`]; during a parallel window each cell sits behind a
+/// mutex and a worker locks exactly its own cells — the type system
+/// and the lock discipline together enforce that a worker cannot
 /// reach another shard's state even by bug.
-struct WorkerSpace<'a, P: Process> {
+struct ShardCell<P: Process> {
     shard: usize,
-    /// First slot of the shard's contiguous range (slot − base
-    /// indexes the slices below).
+    /// First slot of the shard's contiguous range.
     base: usize,
-    queue: &'a mut EventQueue<EventKind>,
-    /// Inbound mailbox column (`mailboxes[src * S + shard]` for every
-    /// `src`, in ascending src order — the coordinator's flush
-    /// order).
-    inbound: Vec<&'a mut Mailbox<EventKind>>,
-    imported: &'a mut HashMap<EventId, PayloadHandle>,
-    /// This shard's payload arena — holds both the shard's own
-    /// senders' in-flight payloads and the clones imported for
-    /// cross-shard deliveries targeting it.
-    arena: &'a mut PayloadArena<<P as Process>::Msg>,
-    pending: &'a mut Vec<MailEntry<EventKind>>,
-    ledger: LedgerShardSlice<'a>,
-    procs: &'a mut [P],
-    decisions: &'a mut [Option<Decision>],
-    ts_seqs: &'a mut [u64],
-    rngs: &'a mut [SmallRng],
-    outstanding: &'a mut [Option<BcastId>],
-    inflight: &'a mut [Vec<InFlight>],
-    scratch: ShardScratch<<P as Process>::Msg>,
+    queue: EventQueue<EventKind>,
+    /// Inbound mailbox row, indexed by *source* shard (entry `shard`
+    /// itself stays empty — own-shard traffic goes straight to the
+    /// queue or through `pending`).
+    inbox: Vec<Mailbox<EventKind>>,
+    /// Imported cross-shard payloads: event id → handle into this
+    /// shard's arena. A cross-shard `Receive` takes its payload from
+    /// here instead of the sender's in-flight entry, so a worker
+    /// never reads another shard's tables; a broadcast clones its
+    /// payload **once per destination shard** (not per event) and the
+    /// shard's deliveries share the slot by refcount. Serial runs
+    /// never populate it.
+    imported: HashMap<EventId, PayloadHandle>,
+    /// This shard's payload arena — its own senders' in-flight
+    /// payloads plus its imported cross-shard clones. All inserts
+    /// happen on the single-threaded coordinator paths; a parallel
+    /// window's worker only releases references on its own arena.
+    arena: PayloadArena<P::Msg>,
+    /// Own-shard queue pushes deferred by a parallel window's ordered
+    /// commit; absorbed at the next window boundary (worker phase-1
+    /// or the coordinator's pre-merged flush).
+    pending: Vec<MailEntry<EventKind>>,
+    /// Engine-owned mirror of the ledger crash flags for this shard's
+    /// slots (windows only run in parallel when the flags are frozen,
+    /// so workers read the mirror instead of the shared ledger).
+    crashed: Vec<bool>,
+    procs: Vec<P>,
+    decisions: Vec<Option<Decision>>,
+    ts_seqs: Vec<u64>,
+    rngs: Vec<SmallRng>,
+    outstanding: Vec<Option<BcastId>>,
+    /// In-flight broadcasts, densely indexed by the *sender's* local
+    /// slot. Each node has at most one outstanding broadcast, so the
+    /// inner vector holds one entry in the common case; a second
+    /// appears only while an already-acked broadcast still has
+    /// unreliable-overlay deliveries pending. Lookups are positional
+    /// scans of these tiny vectors — no hashing on the hot path.
+    inflight: Vec<Vec<InFlight>>,
+    /// Worker scratch (drained events, step records, trace spans),
+    /// reused across parallel windows.
+    scratch: ShardScratch<P::Msg>,
+    /// The current window's order-independent counters.
     out: ShardWindowOut,
 }
 
-impl<'a, P: Process> WorkerSpace<'a, P> {
+impl<P: Process> ShardCell<P> {
     /// Phase 1: flush inbound mail and deferred local pushes into the
     /// shard queue, drain everything due in the window, and publish
     /// the statistics the commit gate needs.
@@ -593,24 +679,24 @@ impl<'a, P: Process> WorkerSpace<'a, P> {
         undecided_touched: &AtomicU64,
     ) {
         let t0 = Instant::now();
-        for mb in &mut self.inbound {
+        let queue = &mut self.queue;
+        for mb in &mut self.inbox {
             if mb.is_empty() {
                 continue;
             }
             flush_edges.fetch_add(1, Ordering::Relaxed);
-            let queue = &mut *self.queue;
             mb.drain_into(|e: MailEntry<EventKind>| {
                 queue.push_at(e.time, e.class, e.id, e.payload);
             });
         }
         for e in self.pending.drain(..) {
-            self.queue.push_at(e.time, e.class, e.id, e.payload);
+            queue.push_at(e.time, e.class, e.id, e.payload);
         }
-        while let Some(key) = self.queue.peek_key() {
+        while let Some(key) = queue.peek_key() {
             if key.0 > window_end {
                 break;
             }
-            let ev = self.queue.pop().expect("peeked");
+            let ev = queue.pop().expect("peeked");
             self.scratch.drained.push((key, ev.payload));
         }
         // Gate statistics. Event targets are always shard-local, so
@@ -626,12 +712,8 @@ impl<'a, P: Process> WorkerSpace<'a, P> {
                 crash = true;
                 continue;
             }
-            let target = ev.target().0;
-            let li = target - self.base;
-            if self.decisions[li].is_none()
-                && !self.ledger.is_crashed(target)
-                && !self.scratch.touched[li]
-            {
+            let li = ev.target().0 - self.base;
+            if self.decisions[li].is_none() && !self.crashed[li] && !self.scratch.touched[li] {
                 self.scratch.touched[li] = true;
                 self.scratch.touched_list.push(li);
                 fresh += 1;
@@ -674,7 +756,7 @@ impl<'a, P: Process> WorkerSpace<'a, P> {
 
     /// The shard-local half of one engine step — mirrors
     /// `handle_receive`/`handle_ack`/`dispatch` against the shard's
-    /// slices, deferring broadcast scheduling and trace assembly to
+    /// tables, deferring broadcast scheduling and trace assembly to
     /// the ordered commit via a [`StepRec`].
     fn run_step(&mut self, key: (Time, u8, u64), ev: EventKind, env: &WorkerEnv<'_>) {
         let time = key.0;
@@ -689,7 +771,7 @@ impl<'a, P: Process> WorkerSpace<'a, P> {
                 bcast,
                 unreliable,
             } => {
-                let to_crashed = self.ledger.is_crashed(to.0);
+                let to_crashed = self.crashed[to.0 - self.base];
                 let msg = if env.shard_map.shard_of(from.0) == self.shard {
                     let li = from.0 - self.base;
                     let idx = self.inflight[li]
@@ -753,7 +835,7 @@ impl<'a, P: Process> WorkerSpace<'a, P> {
                         self.inflight[li].swap_remove(idx);
                     }
                 }
-                debug_assert!(!self.ledger.is_crashed(node.0), "ack for a crashed node");
+                debug_assert!(!self.crashed[li], "ack for a crashed node");
                 debug_assert_eq!(self.outstanding[li], Some(bcast));
                 self.outstanding[li] = None;
                 self.out.acks += 1;
@@ -776,7 +858,7 @@ impl<'a, P: Process> WorkerSpace<'a, P> {
         }
     }
 
-    /// Runs one process callback against the shard's slices; returns
+    /// Runs one process callback against the shard's tables; returns
     /// the broadcast it requested (if any) for the ordered commit.
     fn dispatch_step<F>(
         &mut self,
@@ -840,78 +922,191 @@ impl<'a, P: Process> WorkerSpace<'a, P> {
     }
 }
 
-/// Splits a slot-indexed table into per-shard `&mut` slices along the
-/// shard map's contiguous ranges.
-fn slice_shards<'a, T>(mut table: &'a mut [T], bounds: &[(usize, usize)]) -> Vec<&'a mut [T]> {
-    let mut out = Vec::with_capacity(bounds.len());
-    let mut offset = 0;
-    for &(start, end) in bounds {
-        debug_assert_eq!(start, offset, "shard ranges tile the slot space");
-        let (head, rest) = table.split_at_mut(end - start);
-        out.push(head);
-        table = rest;
-        offset = end;
-    }
-    debug_assert!(table.is_empty(), "shard ranges cover every slot");
-    out
+/// Windows whose predecessor drained fewer events than this are
+/// stepped inline by the coordinator (the merged drain) without
+/// waking the worker pool: tiny windows dominate at small `n`, and a
+/// merged drain is cheaper than a barrier round. Pure wake-policy —
+/// the merged and parallel paths produce identical executions
+/// ([`Metrics::serial_window_shortcuts`] counts the skips).
+const SERIAL_WINDOW_MIN_EVENTS: u64 = 128;
+
+/// Pool command published before the first barrier of a round: run a
+/// window ([`CMD_WINDOW`]), park until the next superstep
+/// ([`CMD_PARK`]), or exit ([`CMD_SHUTDOWN`]).
+const CMD_WINDOW: u8 = 0;
+const CMD_PARK: u8 = 1;
+const CMD_SHUTDOWN: u8 = 2;
+
+/// Locks a mutex, absorbing poisoning: a worker that panicked is
+/// already being reported through [`PoolCtl::panic`] and the whole
+/// run is about to unwind, so the guard's data is never trusted past
+/// that — refusing the lock would just turn one panic into a
+/// deadlock at the next barrier.
+fn plock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// A running (or runnable) simulation.
-pub struct Sim<P: Process> {
+/// Shared coordination state for one `run`/`run_until` call's
+/// persistent worker pool.
+///
+/// Protocol: workers park on `epoch_cv` until the coordinator bumps
+/// `epoch` (opening a superstep). Within a superstep, each window is
+/// three barrier rounds — descriptor published / gate statistics
+/// complete / phases done — all `cmd == CMD_WINDOW`; the coordinator
+/// ends the superstep with a two-round `CMD_PARK` handshake (publish,
+/// then a worker acknowledgement that keeps `cmd` stable until every
+/// worker has read it — only then may the next superstep's
+/// `CMD_WINDOW` store overwrite it) and ends the run with a
+/// `CMD_SHUTDOWN` round (or, for parked workers, the `shutdown` flag
+/// plus a wakeup; after `CMD_SHUTDOWN` the command is never
+/// overwritten, so no acknowledgement is needed). A worker that panics stashes the
+/// payload in `panic` and keeps hitting barriers so nobody deadlocks;
+/// the coordinator re-raises it after the window.
+struct PoolCtl {
+    barrier: Barrier,
+    cmd: AtomicU8,
+    /// The open window's end (ticks), published before the first
+    /// barrier.
+    window_end: AtomicU64,
+    /// Gate inputs published by the coordinator with the descriptor.
+    events_before: AtomicU64,
+    undecided_before: AtomicU64,
+    /// Gate statistics accumulated by workers during phase 1.
+    total_drained: AtomicU64,
+    undecided_touched: AtomicU64,
+    flush_edges: AtomicU64,
+    any_crash: AtomicBool,
+    /// Read by parked workers (under `epoch`) to exit.
+    shutdown: AtomicBool,
+    /// Superstep stamp; bumping it (under the mutex, with a
+    /// `notify_all`) wakes the pool. Checking the stamp under the
+    /// same mutex makes lost wakeups impossible.
+    epoch: Mutex<u64>,
+    epoch_cv: Condvar,
+    /// First panic payload caught worker-side this window.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// The persistent pool worker: parks between supersteps, and inside
+/// one runs barrier-paced windows over its group of shard cells. All
+/// atomics use relaxed ordering — the barriers provide every
+/// happens-before edge the protocol needs. Panics from shard phases
+/// (e.g. the message-id-budget assertion) are caught, stashed in
+/// [`PoolCtl::panic`], and re-raised by the coordinator: a worker
+/// that unwound past a barrier would deadlock the pool.
+fn pool_worker<P: Process>(
+    ctl: &PoolCtl,
+    cells: &[Mutex<&mut ShardCell<P>>],
+    env: WorkerEnv<'_>,
+    max_events: u64,
+    stop_all: bool,
+) {
+    let mut my_epoch = 0u64;
+    loop {
+        // Park until the next superstep opens (or shutdown).
+        {
+            let mut e = plock(&ctl.epoch);
+            while *e == my_epoch && !ctl.shutdown.load(Ordering::Relaxed) {
+                e = ctl.epoch_cv.wait(e).unwrap_or_else(|p| p.into_inner());
+            }
+            if ctl.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            my_epoch = *e;
+        }
+        loop {
+            ctl.barrier.wait(); // W0: window descriptor published
+            match ctl.cmd.load(Ordering::Relaxed) {
+                CMD_PARK => {
+                    // Acknowledge before parking: the coordinator may
+                    // not overwrite `cmd` (for the next superstep's
+                    // first window) until every worker has read the
+                    // park command — a worker that missed it would
+                    // stay in the window loop one barrier round out
+                    // of step with the rest of the pool.
+                    ctl.barrier.wait();
+                    break;
+                }
+                CMD_SHUTDOWN => return,
+                _ => {}
+            }
+            let window_end = Time(ctl.window_end.load(Ordering::Relaxed));
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                for cell in cells {
+                    plock(cell).phase1(
+                        window_end,
+                        &ctl.flush_edges,
+                        &ctl.total_drained,
+                        &ctl.any_crash,
+                        &ctl.undecided_touched,
+                    );
+                }
+            }));
+            if let Err(p) = r {
+                plock(&ctl.panic).get_or_insert(p);
+            }
+            ctl.barrier.wait(); // W1: gate statistics complete
+                                // Every worker evaluates the identical gate from the
+                                // now-complete shared statistics.
+            let commit_ok = !ctl.any_crash.load(Ordering::Relaxed)
+                && ctl.events_before.load(Ordering::Relaxed)
+                    + ctl.total_drained.load(Ordering::Relaxed)
+                    <= max_events
+                && (!stop_all
+                    || ctl.undecided_touched.load(Ordering::Relaxed)
+                        < ctl.undecided_before.load(Ordering::Relaxed));
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                for cell in cells {
+                    let mut cell = plock(cell);
+                    if commit_ok {
+                        cell.phase2_commit(&env);
+                    } else {
+                        cell.phase2_abort();
+                    }
+                }
+            }));
+            if let Err(p) = r {
+                plock(&ctl.panic).get_or_insert(p);
+            }
+            ctl.barrier.wait(); // W2: phases done; coordinator commits
+        }
+    }
+}
+
+/// The engine's execution-wide knobs and lookup tables — everything
+/// immutable while a run is in flight, so the coordinator and the
+/// pool workers can share it by plain reference.
+struct Shared {
     topo: Topology,
-    procs: Vec<P>,
     ids: Vec<NodeId>,
-    scheduler: Box<dyn Scheduler>,
-    /// One event queue per shard; `shards.len() == 1` is the serial
-    /// fast path (no routing, no windows).
-    shards: Vec<EventQueue<EventKind>>,
     /// Balanced block partition of slots onto shards.
     shard_map: ShardMap,
-    /// Per-edge cross-shard mailboxes, indexed `src * S + dst`;
-    /// flushed at window boundaries (empty when serial).
-    mailboxes: Vec<Mailbox<EventKind>>,
+    /// The scheduler's declared minimum delay — the conservative
+    /// window length.
+    lookahead: u64,
     /// Worker-thread budget for parallel window stepping; effective
     /// parallelism is `min(threads, shards)`, and 1 keeps the merged
     /// single-threaded drain.
     threads: usize,
-    /// Per-destination-shard imported-payload tables for cross-shard
-    /// deliveries: event id → handle into the *destination* shard's
-    /// arena. A cross-shard `Receive` takes its payload from here
-    /// instead of the sender's in-flight entry, so a worker thread
-    /// never reads another shard's tables; a broadcast clones its
-    /// payload **once per destination shard** (not per event) and the
-    /// shard's deliveries share the slot by refcount. Serial runs
-    /// never populate it.
-    imported: Vec<HashMap<EventId, PayloadHandle>>,
-    /// One payload arena per shard: the shard's own senders' in-flight
-    /// payloads plus its imported cross-shard clones. All inserts
-    /// happen on the single-threaded coordinator paths; a parallel
-    /// window's worker only releases references on its own shard's
-    /// arena.
-    arenas: Vec<PayloadArena<P::Msg>>,
-    /// Per-destination-shard scratch for `commit_broadcast_events`:
-    /// the arena handle this broadcast already imported into each
-    /// shard (so later deliveries to the same shard retain instead of
-    /// re-cloning). Cleared after every broadcast.
-    import_scratch: Vec<Option<PayloadHandle>>,
-    /// Own-shard queue pushes deferred by a parallel window's ordered
-    /// commit; the owning shard's worker absorbs them at the next
-    /// window boundary (cheaper than queue pushes on the
-    /// single-threaded commit path). Never populated serially.
-    local_pending: Vec<Vec<MailEntry<EventKind>>>,
-    /// True only while the ordered commit of a parallel window runs:
-    /// routes own-shard pushes into `local_pending`.
-    defer_local_pushes: bool,
-    /// Per-shard worker scratch (drained events, step records, trace
-    /// spans), reused across parallel windows.
-    scratch: Vec<ShardScratch<P::Msg>>,
+    /// Superstep batch policy for the persistent pool.
+    window_batch: WindowBatch,
+    /// Test hook: forced pool size (bypasses the
+    /// `available_parallelism` cap).
+    pool_workers: Option<usize>,
+    max_time: Time,
+    max_events: u64,
+    message_id_budget: Option<usize>,
+}
+
+/// The engine's global mutable state — everything that is *not*
+/// owned by a single shard. Only the single-threaded coordinator
+/// paths touch it; parallel-window workers see shard cells only.
+struct Core {
+    scheduler: Box<dyn Scheduler>,
     /// Engine-global event-id allocator: ids double as the
     /// deterministic `(time, class, seq)` tie-break, so they must be
     /// allocated in scheduling order across all shards.
     next_event_id: u64,
-    /// The scheduler's declared minimum delay — the conservative
-    /// window length.
-    lookahead: u64,
     /// Cancellations that caught their event in a mailbox (in transit
     /// between shards); folded into `queue_cancellations`.
     mailbox_cancels: u64,
@@ -922,109 +1117,140 @@ pub struct Sim<P: Process> {
     now: Time,
     started: bool,
     bcast_seq: u64,
-    /// In-flight broadcasts, densely indexed by the *sender's* slot.
-    /// Each node has at most one outstanding broadcast, so the inner
-    /// vector holds one entry in the common case; a second appears
-    /// only while an already-acked broadcast still has unreliable-
-    /// overlay deliveries pending. Lookups are positional scans of
-    /// these tiny vectors — no hashing on the hot path, and nothing
-    /// order-sensitive to leak nondeterminism.
-    inflight: Vec<Vec<InFlight>>,
     /// Recycled event-id vectors (the per-broadcast cancellation
     /// lists), so steady-state broadcasting allocates nothing.
     events_pool: Vec<Vec<(EventId, u32)>>,
     /// Recycled neighbor-list buffer for `start_broadcast`.
     neighbor_scratch: Vec<Slot>,
-    outstanding: Vec<Option<BcastId>>,
-    decisions: Vec<Option<Decision>>,
-    ts_seqs: Vec<u64>,
-    rngs: Vec<SmallRng>,
+    /// Per-destination-shard scratch for `commit_broadcast_events`:
+    /// the arena handle this broadcast already imported into each
+    /// shard (so later deliveries to the same shard retain instead of
+    /// re-cloning). Cleared after every broadcast.
+    import_scratch: Vec<Option<PayloadHandle>>,
+    /// True only while the ordered commit of a parallel window runs:
+    /// routes own-shard pushes into the cells' `pending` staging.
+    defer_local_pushes: bool,
     engine_rng: SmallRng,
     undecided: usize,
-    max_time: Time,
-    max_events: u64,
     stop_when_all_decided: bool,
-    message_id_budget: Option<usize>,
     trace: Trace,
     metrics: Metrics,
     unreliable: Option<(UnreliableOverlay, f64)>,
 }
 
+/// A running (or runnable) simulation: the immutable `Shared`
+/// tables, the global `Core`, and one `ShardCell` per shard
+/// (`cells.len() == 1` is the serial fast path — no routing, no
+/// windows).
+pub struct Sim<P: Process> {
+    sh: Shared,
+    core: Core,
+    cells: Vec<ShardCell<P>>,
+}
+
+/// One borrow of the whole engine: the immutable shared tables, the
+/// global core, and `&mut` access to every shard cell. All engine
+/// logic lives here; [`Sim`] entry points construct one via
+/// [`Sim::exec`], and the pooled coordinator constructs them over
+/// lock guards between barrier rounds. The indirection (`&mut [&mut
+/// ShardCell]`) is what lets the same methods run over plain cells
+/// and over locked ones.
+struct Exec<'e, 'c, P: Process> {
+    sh: &'e Shared,
+    core: &'e mut Core,
+    cells: &'e mut [&'c mut ShardCell<P>],
+}
+
 impl<P: Process> Sim<P> {
+    /// Runs `f` over an [`Exec`] borrowing this simulation whole.
+    fn exec<R>(&mut self, f: impl FnOnce(&mut Exec<'_, '_, P>) -> R) -> R {
+        let mut refs: Vec<&mut ShardCell<P>> = self.cells.iter_mut().collect();
+        f(&mut Exec {
+            sh: &self.sh,
+            core: &mut self.core,
+            cells: &mut refs,
+        })
+    }
+
     /// The topology under simulation.
     pub fn topology(&self) -> &Topology {
-        &self.topo
+        &self.sh.topo
     }
 
     /// Current virtual time.
     pub fn now(&self) -> Time {
-        self.now
+        self.core.now
     }
 
     /// The id assigned to `slot`.
     pub fn id_of(&self, slot: Slot) -> NodeId {
-        self.ids[slot.0]
+        self.sh.ids[slot.0]
     }
 
     /// Immutable access to a process (for state inspection between
     /// [`Sim::run_until`] calls, e.g. indistinguishability checks).
     pub fn process(&self, slot: Slot) -> &P {
-        &self.procs[slot.0]
+        let cell = &self.cells[self.sh.shard_map.shard_of(slot.0)];
+        &cell.procs[slot.0 - cell.base]
     }
 
     /// Whether `slot` has crashed.
     pub fn is_crashed(&self, slot: Slot) -> bool {
-        self.ledger.is_crashed(slot.0)
+        self.core.ledger.is_crashed(slot.0)
     }
 
-    /// Per-slot decisions so far.
-    pub fn decisions(&self) -> &[Option<Decision>] {
-        &self.decisions
+    /// Per-slot decisions so far, gathered across shards in slot
+    /// order.
+    pub fn decisions(&self) -> Vec<Option<Decision>> {
+        self.cells
+            .iter()
+            .flat_map(|c| c.decisions.iter().copied())
+            .collect()
     }
 
     /// Counters so far.
     pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+        &self.core.metrics
     }
 
     /// The event trace (empty unless enabled at build time).
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        &self.core.trace
     }
 
     /// Number of shards this simulation runs on (1 = serial).
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.cells.len()
     }
 
     /// Number of worker threads parallel windows may use — the
     /// configured budget capped at the shard count (1 = merged
     /// single-threaded windows).
     pub fn thread_count(&self) -> usize {
-        self.threads.min(self.shards.len())
+        self.sh.threads.min(self.cells.len())
     }
 
     /// The conservative window length (the scheduler's declared
     /// minimum delay).
     pub fn lookahead(&self) -> u64 {
-        self.lookahead
+        self.sh.lookahead
     }
 
     /// The slot range shard `shard` owns.
     pub fn shard_slots(&self, shard: usize) -> std::ops::Range<usize> {
-        self.shard_map.slots_of(shard)
+        self.sh.shard_map.slots_of(shard)
     }
 
     /// The ledger's shard-local summary for `shard` (crash/watch/
     /// obligation counts over its slot range) — the imbalance view.
     pub fn shard_ledger_view(&self, shard: usize) -> LedgerShardView {
-        let range = self.shard_map.slots_of(shard);
-        self.ledger.shard_view(range.start, range.end)
+        let range = self.sh.shard_map.slots_of(shard);
+        self.core.ledger.shard_view(range.start, range.end)
     }
 
     /// `true` when every non-crashed node has decided.
     pub fn all_alive_decided(&self) -> bool {
-        self.undecided == 0
+        self.core.undecided == 0
     }
 
     /// Runs to completion and reports.
@@ -1032,9 +1258,9 @@ impl<P: Process> Sim<P> {
         let outcome = self.run_inner(None);
         RunReport {
             outcome,
-            end_time: self.now,
-            decisions: self.decisions.clone(),
-            metrics: self.metrics.clone(),
+            end_time: self.core.now,
+            decisions: self.decisions(),
+            metrics: self.core.metrics.clone(),
         }
     }
 
@@ -1042,12 +1268,12 @@ impl<P: Process> Sim<P> {
     /// ignoring the stop-on-all-decided rule (used for lockstep
     /// inspection of executions).
     pub fn run_until(&mut self, until: Time) -> RunOutcome {
-        let saved = self.stop_when_all_decided;
-        self.stop_when_all_decided = false;
+        let saved = self.core.stop_when_all_decided;
+        self.core.stop_when_all_decided = false;
         let outcome = self.run_inner(Some(until));
-        self.stop_when_all_decided = saved;
-        if self.now < until {
-            self.now = until;
+        self.core.stop_when_all_decided = saved;
+        if self.core.now < until {
+            self.core.now = until;
         }
         outcome
     }
@@ -1070,24 +1296,51 @@ impl<P: Process> Sim<P> {
     where
         F: FnOnce(&mut P, &mut Context<'_, P::Msg>),
     {
-        if !self.started {
-            self.start_procs();
+        if !self.core.started {
+            self.exec(|ex| ex.start_procs());
         }
-        if self.ledger.is_crashed(slot.0) {
+        if self.core.ledger.is_crashed(slot.0) {
             return false;
         }
-        self.current_shard = self.shard_map.shard_of(slot.0) as u32;
-        self.dispatch(slot, f);
+        let shard = self.sh.shard_map.shard_of(slot.0) as u32;
+        self.exec(|ex| {
+            ex.core.current_shard = shard;
+            ex.dispatch(slot, f);
+        });
         true
     }
 
     fn run_inner(&mut self, until: Option<Time>) -> RunOutcome {
-        let outcome = if self.shards.len() == 1 {
-            self.run_loop_serial(until)
-        } else if self.threads > 1 {
-            self.run_loop_threaded(until)
+        let s = self.cells.len();
+        // The pool only pays off with real hardware parallelism:
+        // below two available cores every window would serialize on
+        // one CPU anyway, so the merged inline loop (identical
+        // execution, no barrier or wakeup cost) is strictly better.
+        // The test hook bypasses the cap to exercise the pool
+        // protocol deterministically on any machine.
+        let nworkers = if s > 1 && self.sh.threads > 1 {
+            match self.sh.pool_workers {
+                Some(k) => k.clamp(1, s),
+                None => self
+                    .sh
+                    .threads
+                    .min(s)
+                    .min(
+                        std::thread::available_parallelism()
+                            .map(|n| n.get())
+                            .unwrap_or(1),
+                    )
+                    .max(1),
+            }
         } else {
-            self.run_loop_sharded(until)
+            1
+        };
+        let outcome = if s == 1 {
+            self.exec(|ex| ex.run_loop_serial(until))
+        } else if nworkers > 1 {
+            self.run_pooled(until, nworkers)
+        } else {
+            self.exec(|ex| ex.run_loop_sharded(until))
         };
         // Queue-core counters are folded into the metrics whenever the
         // loop yields, so reports always carry up-to-date figures. The
@@ -1095,28 +1348,248 @@ impl<P: Process> Sim<P> {
         // ever scheduled, on any shard); cancellations count tombstones
         // on every shard's queue plus events caught in transit in a
         // mailbox — together byte-identical to the serial figures.
-        self.metrics.queue_pushes = self.next_event_id;
-        self.metrics.queue_cancellations =
-            self.shards.iter().map(|q| q.cancelled_total()).sum::<u64>() + self.mailbox_cancels;
-        self.metrics.queue_bucket_overflows =
-            self.shards.iter().map(|q| q.bucket_overflows()).sum();
+        self.core.metrics.queue_pushes = self.core.next_event_id;
+        self.core.metrics.queue_cancellations = self
+            .cells
+            .iter()
+            .map(|c| c.queue.cancelled_total())
+            .sum::<u64>()
+            + self.core.mailbox_cancels;
+        self.core.metrics.queue_bucket_overflows =
+            self.cells.iter().map(|c| c.queue.bucket_overflows()).sum();
         // Payload-custody counters live in the per-shard arenas
         // (workers own theirs during parallel windows); assigned, not
         // accumulated, because the arenas count cumulatively.
-        self.metrics.payload_clones = self.arenas.iter().map(|a| a.clones()).sum();
-        self.metrics.payload_moves = self.arenas.iter().map(|a| a.moves()).sum();
-        self.metrics.arena_bytes_peak = self.arenas.iter().map(|a| a.bytes_peak()).sum();
+        self.core.metrics.payload_clones = self.cells.iter().map(|c| c.arena.clones()).sum();
+        self.core.metrics.payload_moves = self.cells.iter().map(|c| c.arena.moves()).sum();
+        self.core.metrics.arena_bytes_peak = self.cells.iter().map(|c| c.arena.bytes_peak()).sum();
         outcome
     }
+}
 
+/// How one parallel-coordinator planning pass (run under all cell
+/// locks) resolved: stop the run, a window already drained inline,
+/// or a window to hand to the pool.
+enum Plan {
+    Stop(RunOutcome),
+    Continue,
+    Parallel {
+        window_end: Time,
+        events_before: u64,
+        undecided_before: u64,
+    },
+}
+
+impl<P: Process> Sim<P> {
+    /// The persistent-pool parallel coordinator (`S > 1`, `nworkers >
+    /// 1`).
+    ///
+    /// Spawns `nworkers` pool workers **once** (ceil-partitioning the
+    /// shards into contiguous groups — [`Metrics::worker_spawns`]
+    /// counts them) and then drives conservative windows to
+    /// completion. Each window either executes in parallel — three
+    /// barrier rounds against the pool, then a single-threaded
+    /// ordered commit — or drains inline on this thread: eligibility
+    /// is the same commit-gate precondition as before (no armed crash
+    /// machinery, window inside every horizon), and on top of it the
+    /// adaptive serial gate skips the pool for windows following a
+    /// sub-[`SERIAL_WINDOW_MIN_EVENTS`] window. Workers park on a
+    /// condvar between supersteps; one wakeup covers up to
+    /// `window_batch` consecutive parallel windows. Every stop path —
+    /// normal outcomes, coordinator panics (e.g. a lookahead
+    /// violation caught mid-commit), and re-raised worker panics —
+    /// shuts the pool down before the scope joins, so the engine
+    /// never deadlocks on a barrier.
+    fn run_pooled(&mut self, until: Option<Time>, nworkers: usize) -> RunOutcome {
+        if !self.core.started {
+            self.exec(|ex| ex.start_procs());
+        }
+        let s = self.cells.len();
+        if self.core.metrics.shard_busy_ns.len() != s {
+            self.core.metrics.shard_busy_ns = vec![0; s];
+            self.core.metrics.shard_barrier_wait_ns = vec![0; s];
+        }
+        let chunk = s.div_ceil(nworkers);
+        // Ceil-sized chunks can cover the shards in fewer groups than
+        // `nworkers` (6 shards on 4 threads is three groups of two);
+        // spawn — and count — only the groups that exist.
+        let groups = s.div_ceil(chunk);
+        self.core.metrics.worker_spawns += groups as u64;
+        let batch_cap = self.sh.window_batch.cap().max(1);
+        let stop_all = self.core.stop_when_all_decided;
+        let max_events = self.sh.max_events;
+        let trace_enabled = self.core.trace.is_enabled();
+        let sh = &self.sh;
+        let core = &mut self.core;
+        let env = WorkerEnv {
+            ids: &sh.ids,
+            shard_map: &sh.shard_map,
+            budget: sh.message_id_budget,
+            trace_enabled,
+        };
+        let locks: Vec<Mutex<&mut ShardCell<P>>> = self.cells.iter_mut().map(Mutex::new).collect();
+        let ctl = PoolCtl {
+            barrier: Barrier::new(groups + 1),
+            cmd: AtomicU8::new(CMD_PARK),
+            window_end: AtomicU64::new(0),
+            events_before: AtomicU64::new(0),
+            undecided_before: AtomicU64::new(0),
+            total_drained: AtomicU64::new(0),
+            undecided_touched: AtomicU64::new(0),
+            flush_edges: AtomicU64::new(0),
+            any_crash: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            epoch: Mutex::new(0),
+            epoch_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        };
+        // Whether a superstep is open — i.e. the workers are inside
+        // their barrier loop (waiting at W0) rather than parked on
+        // the condvar. Decides which shutdown handshake to use.
+        let epoch_open = std::cell::Cell::new(false);
+        let result = crossbeam::thread::scope(|sc| {
+            let ctl = &ctl;
+            for lo in (0..s).step_by(chunk) {
+                let hi = (lo + chunk).min(s);
+                let group = &locks[lo..hi];
+                sc.spawn(move |_| pool_worker(ctl, group, env, max_events, stop_all));
+            }
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                let mut windows_in_epoch = 0usize;
+                // The serial gate keys off the previous window's
+                // event count; MAX sends the first window to the
+                // pool.
+                let mut last_window_events = u64::MAX;
+                loop {
+                    // Plan under all cell locks; the guards must drop
+                    // before any barrier round.
+                    let plan = {
+                        let mut guards: Vec<MutexGuard<'_, &mut ShardCell<P>>> =
+                            locks.iter().map(plock).collect();
+                        let mut refs: Vec<&mut ShardCell<P>> =
+                            guards.iter_mut().map(|g| &mut ***g).collect();
+                        let mut ex = Exec {
+                            sh,
+                            core,
+                            cells: &mut refs,
+                        };
+                        ex.plan_window(until, &mut last_window_events)
+                    };
+                    let (window_end, events_before, undecided_before) = match plan {
+                        Plan::Stop(outcome) => return outcome,
+                        Plan::Continue => continue,
+                        Plan::Parallel {
+                            window_end,
+                            events_before,
+                            undecided_before,
+                        } => (window_end, events_before, undecided_before),
+                    };
+                    // Superstep management: close a full batch with a
+                    // PARK round, open a new one with an epoch bump.
+                    if epoch_open.get() && windows_in_epoch >= batch_cap {
+                        ctl.cmd.store(CMD_PARK, Ordering::Relaxed);
+                        ctl.barrier.wait();
+                        // Second rendezvous: workers acknowledge the
+                        // park command between the two rounds, so the
+                        // CMD_WINDOW store below cannot overwrite it
+                        // before a slow worker reads it.
+                        ctl.barrier.wait();
+                        epoch_open.set(false);
+                    }
+                    if !epoch_open.get() {
+                        core.metrics.superstep_count += 1;
+                        core.metrics.worker_wakeups += groups as u64;
+                        {
+                            let mut e = plock(&ctl.epoch);
+                            *e += 1;
+                            ctl.epoch_cv.notify_all();
+                        }
+                        epoch_open.set(true);
+                        windows_in_epoch = 0;
+                    }
+                    // Publish the descriptor and run the three
+                    // barrier rounds.
+                    ctl.window_end.store(window_end.ticks(), Ordering::Relaxed);
+                    ctl.events_before.store(events_before, Ordering::Relaxed);
+                    ctl.undecided_before
+                        .store(undecided_before, Ordering::Relaxed);
+                    ctl.total_drained.store(0, Ordering::Relaxed);
+                    ctl.undecided_touched.store(0, Ordering::Relaxed);
+                    ctl.flush_edges.store(0, Ordering::Relaxed);
+                    ctl.any_crash.store(false, Ordering::Relaxed);
+                    ctl.cmd.store(CMD_WINDOW, Ordering::Relaxed);
+                    let t0 = Instant::now();
+                    ctl.barrier.wait(); // W0: descriptor out
+                    ctl.barrier.wait(); // W1: gate statistics in
+                    ctl.barrier.wait(); // W2: phases done, cells quiescent
+                    let elapsed = t0.elapsed().as_nanos() as u64;
+                    windows_in_epoch += 1;
+                    // Re-lock the cells and absorb the window.
+                    if let Some(p) = plock(&ctl.panic).take() {
+                        resume_unwind(p);
+                    }
+                    let committed = !ctl.any_crash.load(Ordering::Relaxed)
+                        && events_before + ctl.total_drained.load(Ordering::Relaxed) <= max_events
+                        && (!stop_all
+                            || ctl.undecided_touched.load(Ordering::Relaxed) < undecided_before);
+                    let mut guards: Vec<MutexGuard<'_, &mut ShardCell<P>>> =
+                        locks.iter().map(plock).collect();
+                    let mut refs: Vec<&mut ShardCell<P>> =
+                        guards.iter_mut().map(|g| &mut ***g).collect();
+                    let mut ex = Exec {
+                        sh,
+                        core,
+                        cells: &mut refs,
+                    };
+                    ex.absorb_parallel_window(
+                        committed,
+                        elapsed,
+                        ctl.flush_edges.load(Ordering::Relaxed),
+                    );
+                    if committed {
+                        last_window_events = ex.core.metrics.events - events_before;
+                    } else {
+                        // The gate refused the window: the workers
+                        // flushed their inboxes and pushed the
+                        // drained events back (keys and ids intact),
+                        // so the merged drain — no re-flush — replays
+                        // it in the exact serial order.
+                        if let Some(outcome) = ex.drain_window_merged(window_end, until) {
+                            return outcome;
+                        }
+                        last_window_events = ex.core.metrics.events - events_before;
+                    }
+                }
+            }));
+            // Shut the pool down on every exit path — normal stop or
+            // unwind — so the scope's implicit join cannot deadlock.
+            if epoch_open.get() {
+                ctl.cmd.store(CMD_SHUTDOWN, Ordering::Relaxed);
+                ctl.barrier.wait();
+            } else {
+                let _e = plock(&ctl.epoch);
+                ctl.shutdown.store(true, Ordering::Relaxed);
+                ctl.epoch_cv.notify_all();
+            }
+            r
+        })
+        .expect("persistent pool workers");
+        match result {
+            Ok(outcome) => outcome,
+            Err(p) => resume_unwind(p),
+        }
+    }
+}
+
+impl<P: Process> Exec<'_, '_, P> {
     /// Starts every non-crashed process (first `run`/`run_until` call
-    /// only). Shared by both loop flavors; routing of the broadcasts
+    /// only). Shared by every loop flavor; routing of the broadcasts
     /// the starts issue follows `current_shard`.
     fn start_procs(&mut self) {
-        self.started = true;
-        for i in 0..self.topo.len() {
-            if !self.ledger.is_crashed(i) {
-                self.current_shard = self.shard_map.shard_of(i) as u32;
+        self.core.started = true;
+        for i in 0..self.sh.topo.len() {
+            if !self.core.ledger.is_crashed(i) {
+                self.core.current_shard = self.sh.shard_map.shard_of(i) as u32;
                 self.dispatch(Slot(i), |p, ctx| p.on_start(ctx));
             }
         }
@@ -1125,15 +1598,15 @@ impl<P: Process> Sim<P> {
     /// The serial (`S = 1`) hot loop: one queue, no routing, no
     /// windows — the exact pre-sharding fast path.
     fn run_loop_serial(&mut self, until: Option<Time>) -> RunOutcome {
-        if !self.started {
+        if !self.core.started {
             self.start_procs();
         }
         loop {
-            if self.stop_when_all_decided && self.undecided == 0 {
+            if self.core.stop_when_all_decided && self.core.undecided == 0 {
                 return RunOutcome::AllDecided;
             }
-            let Some(next_time) = self.shards[0].peek_time() else {
-                return if self.undecided == 0 {
+            let Some(next_time) = self.cells[0].queue.peek_time() else {
+                return if self.core.undecided == 0 {
                     RunOutcome::AllDecided
                 } else {
                     RunOutcome::Quiescent
@@ -1144,41 +1617,44 @@ impl<P: Process> Sim<P> {
                     return RunOutcome::MaxTime;
                 }
             }
-            if next_time > self.max_time {
+            if next_time > self.sh.max_time {
                 return RunOutcome::MaxTime;
             }
-            if self.metrics.events >= self.max_events {
+            if self.core.metrics.events >= self.sh.max_events {
                 return RunOutcome::EventLimit;
             }
-            let ev = self.shards[0].pop().expect("peeked");
-            self.now = ev.time;
-            self.metrics.events += 1;
+            let ev = self.cells[0].queue.pop().expect("peeked");
+            self.core.now = ev.time;
+            self.core.metrics.events += 1;
             self.process_event(ev.id, ev.payload);
         }
     }
 
-    /// The conservative time-window coordinator (`S > 1`).
+    /// The conservative time-window coordinator (`S > 1`, merged
+    /// stepping).
     ///
     /// Protocol per iteration: flush every cross-shard mailbox into
-    /// its destination queue, open a window `[W, W + lookahead)` at
-    /// the global minimum head time, and drain all shard heads due in
+    /// its destination queue (and any local pushes a previous pooled
+    /// run deferred), open a window `[W, W + lookahead)` at the
+    /// global minimum head time, and drain all shard heads due in
     /// the window in global `(time, class, seq)` order. The lookahead
     /// guarantees nothing processed inside the window schedules into
     /// it, so mailboxes stay untouched until the next boundary, and
     /// the merged order — hence the trace, decisions, and counters —
     /// is byte-identical to the serial loop's. See [`super::shard`].
     fn run_loop_sharded(&mut self, until: Option<Time>) -> RunOutcome {
-        debug_assert!(self.lookahead >= 1, "checked at build time");
-        if !self.started {
+        debug_assert!(self.sh.lookahead >= 1, "checked at build time");
+        if !self.core.started {
             self.start_procs();
         }
         loop {
-            if self.stop_when_all_decided && self.undecided == 0 {
+            if self.core.stop_when_all_decided && self.core.undecided == 0 {
                 return RunOutcome::AllDecided;
             }
             self.flush_mailboxes();
+            self.flush_local_pending();
             let Some(window_start) = self.min_head_time() else {
-                return if self.undecided == 0 {
+                return if self.core.undecided == 0 {
                     RunOutcome::AllDecided
                 } else {
                     RunOutcome::Quiescent
@@ -1189,27 +1665,100 @@ impl<P: Process> Sim<P> {
                     return RunOutcome::MaxTime;
                 }
             }
-            if window_start > self.max_time {
+            if window_start > self.sh.max_time {
                 return RunOutcome::MaxTime;
             }
-            let window_end = Time(window_start.ticks().saturating_add(self.lookahead - 1));
-            self.metrics.shard_window_advances += 1;
+            let window_end = Time(window_start.ticks().saturating_add(self.sh.lookahead - 1));
+            self.core.metrics.shard_window_advances += 1;
             if let Some(outcome) = self.drain_window_merged(window_end, until) {
                 return outcome;
             }
         }
     }
 
+    /// One planning pass of the pooled coordinator, run under all
+    /// cell locks: decides whether the run stops, steps a window
+    /// inline (commit-gate ineligible, or skipped by the adaptive
+    /// serial gate), or hands a window descriptor to the pool.
+    /// `last_window_events` carries the serial gate's estimate across
+    /// calls (updated by inline windows here and by parallel windows
+    /// in the caller).
+    fn plan_window(&mut self, until: Option<Time>, last_window_events: &mut u64) -> Plan {
+        if self.core.stop_when_all_decided && self.core.undecided == 0 {
+            return Plan::Stop(RunOutcome::AllDecided);
+        }
+        // The window start is computed over queues, mailboxes, and
+        // deferred pushes *before* flushing: the workers (or the
+        // merged fallback) flush as their first act, and an unflushed
+        // entry has the same time either way.
+        let window_start = self.min_pending_time();
+        let horizon_stop = match window_start {
+            None => Some(if self.core.undecided == 0 {
+                RunOutcome::AllDecided
+            } else {
+                RunOutcome::Quiescent
+            }),
+            Some(t) if until.is_some_and(|limit| t > limit) || t > self.sh.max_time => {
+                Some(RunOutcome::MaxTime)
+            }
+            Some(_) => None,
+        };
+        if let Some(outcome) = horizon_stop {
+            // The merged loop flushes at the top of every round —
+            // including the final one that discovers the stop. Mirror
+            // it, so flush accounting and post-run queue state stay
+            // byte-identical (and a later `run*` call resumes from
+            // the same place either way).
+            self.flush_mailboxes();
+            self.flush_local_pending();
+            return Plan::Stop(outcome);
+        }
+        let window_start = window_start.expect("stop paths handled above");
+        let window_end = Time(window_start.ticks().saturating_add(self.sh.lookahead - 1));
+        self.core.metrics.shard_window_advances += 1;
+        // A window may run in parallel only when (a) no mid-broadcast
+        // crash machinery is armed — crash flags frozen,
+        // `note_delivery` a no-op — and (b) it cannot cross the time
+        // horizon, so no step inside it can be the one that stops the
+        // run on time.
+        let bounded =
+            window_end <= self.sh.max_time && until.is_none_or(|limit| window_end <= limit);
+        let eligible = bounded && self.core.ledger.parallel_step_safe();
+        if !eligible || *last_window_events < SERIAL_WINDOW_MIN_EVENTS {
+            if eligible {
+                // Eligible but skipped purely as wake-policy: the
+                // merged drain below is byte-identical to what the
+                // pool would have produced.
+                self.core.metrics.serial_window_shortcuts += 1;
+            }
+            self.flush_mailboxes();
+            self.flush_local_pending();
+            let before = self.core.metrics.events;
+            return match self.drain_window_merged(window_end, until) {
+                Some(outcome) => Plan::Stop(outcome),
+                None => {
+                    *last_window_events = self.core.metrics.events - before;
+                    Plan::Continue
+                }
+            };
+        }
+        Plan::Parallel {
+            window_end,
+            events_before: self.core.metrics.events,
+            undecided_before: self.core.undecided as u64,
+        }
+    }
+
     /// Drains one open window in global `(time, class, seq)` order on
     /// the coordinator thread — the sharded engine's inner loop, also
-    /// the fallback the threaded coordinator uses for windows the
+    /// the fallback the pooled coordinator uses for windows the
     /// commit gate cannot prove stop-free. Mailboxes (and any
     /// deferred local pushes) must already be flushed. Returns
     /// `Some(outcome)` when the run stops mid-window, `None` when the
     /// window drains and the next one may open.
     fn drain_window_merged(&mut self, window_end: Time, until: Option<Time>) -> Option<RunOutcome> {
         loop {
-            if self.stop_when_all_decided && self.undecided == 0 {
+            if self.core.stop_when_all_decided && self.core.undecided == 0 {
                 return Some(RunOutcome::AllDecided);
             }
             let Some((shard, next_time)) = self.min_head_in_window(window_end) else {
@@ -1220,92 +1769,23 @@ impl<P: Process> Sim<P> {
                     return Some(RunOutcome::MaxTime);
                 }
             }
-            if next_time > self.max_time {
+            if next_time > self.sh.max_time {
                 return Some(RunOutcome::MaxTime);
             }
-            if self.metrics.events >= self.max_events {
+            if self.core.metrics.events >= self.sh.max_events {
                 return Some(RunOutcome::EventLimit);
             }
-            let ev = self.shards[shard].pop().expect("peeked");
-            self.now = ev.time;
-            self.metrics.events += 1;
-            self.metrics.per_shard_events[shard] += 1;
-            self.current_shard = shard as u32;
+            let ev = self.cells[shard].queue.pop().expect("peeked");
+            self.core.now = ev.time;
+            self.core.metrics.events += 1;
+            self.core.metrics.per_shard_events[shard] += 1;
+            self.core.current_shard = shard as u32;
             self.process_event(ev.id, ev.payload);
         }
     }
 
-    /// The thread-per-shard parallel coordinator (`S > 1`,
-    /// `threads > 1`).
-    ///
-    /// Every window either executes **in parallel** — one worker per
-    /// shard, each holding `&mut` to exactly its shard's state — or
-    /// falls back to [`Sim::drain_window_merged`] when the commit
-    /// gate cannot prove the window stop-free. The parallel path
-    /// defers everything order- or globally-sensitive (broadcast
-    /// scheduling, trace assembly, `undecided` accounting) to a
-    /// single-threaded commit replaying step records in global
-    /// `(time, class, seq)` order, so the execution stays
-    /// byte-identical to the serial engine (see the module docs).
-    fn run_loop_threaded(&mut self, until: Option<Time>) -> RunOutcome {
-        debug_assert!(self.lookahead >= 1, "checked at build time");
-        if !self.started {
-            self.start_procs();
-        }
-        loop {
-            if self.stop_when_all_decided && self.undecided == 0 {
-                return RunOutcome::AllDecided;
-            }
-            // The window start is computed over queues, mailboxes,
-            // and deferred pushes *before* flushing: the workers (or
-            // the merged fallback) flush as their first act, and an
-            // unflushed entry has the same time either way.
-            let Some(window_start) = self.min_pending_time() else {
-                return if self.undecided == 0 {
-                    RunOutcome::AllDecided
-                } else {
-                    RunOutcome::Quiescent
-                };
-            };
-            if let Some(limit) = until {
-                if window_start > limit {
-                    return RunOutcome::MaxTime;
-                }
-            }
-            if window_start > self.max_time {
-                return RunOutcome::MaxTime;
-            }
-            let window_end = Time(window_start.ticks().saturating_add(self.lookahead - 1));
-            self.metrics.shard_window_advances += 1;
-            // A window may run in parallel only when (a) no
-            // mid-broadcast crash machinery is armed — crash flags
-            // frozen, `note_delivery` a no-op — and (b) it cannot
-            // cross the time horizon, so no step inside it can be the
-            // one that stops the run on time.
-            let bounded =
-                window_end <= self.max_time && until.is_none_or(|limit| window_end <= limit);
-            if !(bounded && self.ledger.parallel_step_safe()) {
-                self.flush_mailboxes();
-                self.flush_local_pending();
-                if let Some(outcome) = self.drain_window_merged(window_end, until) {
-                    return outcome;
-                }
-                continue;
-            }
-            if !self.run_window_parallel(window_end) {
-                // The gate refused the window: the workers flushed
-                // their inboxes and pushed the drained events back
-                // (keys and ids intact), so the merged drain replays
-                // it in the exact serial order.
-                if let Some(outcome) = self.drain_window_merged(window_end, until) {
-                    return outcome;
-                }
-            }
-        }
-    }
-
     /// One engine step: dispatch a popped event to its handler. The
-    /// per-shard step function both loop flavors share. (`id` routes
+    /// per-shard step function every loop flavor shares. (`id` routes
     /// cross-shard deliveries to their imported payload clone.)
     fn process_event(&mut self, id: EventId, ev: EventKind) {
         match ev {
@@ -1325,15 +1805,14 @@ impl<P: Process> Sim<P> {
     /// unaffected by drain order). Counts one flush per non-empty
     /// edge.
     fn flush_mailboxes(&mut self) {
-        let s = self.shards.len();
-        for src in 0..s {
-            for dst in 0..s {
-                let mb = &mut self.mailboxes[src * s + dst];
+        for i in 0..self.cells.len() {
+            let cell = &mut *self.cells[i];
+            let (inbox, queue) = (&mut cell.inbox, &mut cell.queue);
+            for mb in inbox.iter_mut() {
                 if mb.is_empty() {
                     continue;
                 }
-                self.metrics.shard_mailbox_flushes += 1;
-                let queue = &mut self.shards[dst];
+                self.core.metrics.shard_mailbox_flushes += 1;
                 mb.drain_into(|e: MailEntry<EventKind>| {
                     queue.push_at(e.time, e.class, e.id, e.payload);
                 });
@@ -1343,32 +1822,38 @@ impl<P: Process> Sim<P> {
 
     /// The earliest head time across all shard queues.
     fn min_head_time(&mut self) -> Option<Time> {
-        self.shards.iter_mut().filter_map(|q| q.peek_time()).min()
+        self.cells
+            .iter_mut()
+            .filter_map(|c| c.queue.peek_time())
+            .min()
     }
 
     /// The earliest pending time anywhere — queue heads, in-transit
     /// mailbox entries, and deferred local pushes. Equals what
-    /// [`Sim::min_head_time`] would report after a flush, without
-    /// flushing (the threaded coordinator flushes inside the
-    /// workers).
+    /// [`Exec::min_head_time`] would report after a flush, without
+    /// flushing (the pooled coordinator flushes inside the workers).
     fn min_pending_time(&mut self) -> Option<Time> {
-        let heads = self.shards.iter_mut().filter_map(|q| q.peek_time());
-        let mailed = self.mailboxes.iter().filter_map(|mb| mb.min_time());
-        let pending = self
-            .local_pending
-            .iter()
-            .flat_map(|p| p.iter().map(|e| e.time));
-        heads.chain(mailed).chain(pending).min()
+        self.cells
+            .iter_mut()
+            .flat_map(|c| {
+                let head = c.queue.peek_time();
+                let mailed = c.inbox.iter().filter_map(|mb| mb.min_time()).min();
+                let pending = c.pending.iter().map(|e| e.time).min();
+                [head, mailed, pending]
+            })
+            .flatten()
+            .min()
     }
 
     /// Pushes every deferred own-shard entry into its queue (the
-    /// merged-fallback counterpart of the workers' phase-1 flush).
+    /// merged-path counterpart of the workers' phase-1 flush).
     /// Unlike mailbox flushes these are not counted — the serial
     /// engine pushed them directly at schedule time.
     fn flush_local_pending(&mut self) {
-        for (shard, pend) in self.local_pending.iter_mut().enumerate() {
-            let queue = &mut self.shards[shard];
-            for e in pend.drain(..) {
+        for cell in self.cells.iter_mut() {
+            let cell = &mut **cell;
+            let (pending, queue) = (&mut cell.pending, &mut cell.queue);
+            for e in pending.drain(..) {
                 queue.push_at(e.time, e.class, e.id, e.payload);
             }
         }
@@ -1378,8 +1863,8 @@ impl<P: Process> Sim<P> {
     /// head due at or before `window_end`, with that head's time.
     fn min_head_in_window(&mut self, window_end: Time) -> Option<(usize, Time)> {
         let mut best: Option<((Time, u8, u64), usize)> = None;
-        for (i, q) in self.shards.iter_mut().enumerate() {
-            if let Some(key) = q.peek_key() {
+        for (i, c) in self.cells.iter_mut().enumerate() {
+            if let Some(key) = c.queue.peek_key() {
                 if key.0 <= window_end && best.is_none_or(|(b, _)| key < b) {
                     best = Some((key, i));
                 }
@@ -1388,228 +1873,52 @@ impl<P: Process> Sim<P> {
         best.map(|((t, ..), i)| (i, t))
     }
 
-    /// Runs one conservative window with one worker per shard (at
-    /// most `threads` OS threads). Returns `true` when the window
-    /// committed; `false` when the commit gate detected a possible
-    /// mid-window stop — a crash event, an event-limit crossing, or
-    /// enough undecided nodes targeted that all could decide — and
-    /// the workers pushed the drained events back for the merged
-    /// fallback.
-    ///
-    /// Worker protocol: phase 1 flushes and drains each shard and
-    /// publishes gate statistics into shared atomics; a barrier; then
-    /// every worker evaluates the same gate expression and either
-    /// steps its events or restores them. The gate's soundness
-    /// argument: with no crash events and no armed crash machinery,
-    /// crash flags are frozen; with the window inside every horizon
-    /// and the event budget covering the whole drain, no bound stops
-    /// the run mid-window; and with strictly fewer distinct undecided
-    /// targets than undecided nodes, at least one undecided node
-    /// receives nothing and cannot decide, so the all-decided stop
-    /// cannot fire inside the window either. Hence the merged loop
-    /// would have processed every drained event — and the parallel
-    /// execution commits them all unconditionally.
-    fn run_window_parallel(&mut self, window_end: Time) -> bool {
-        let s = self.shards.len();
-        if self.scratch.len() != s {
-            self.scratch = (0..s).map(|_| ShardScratch::default()).collect();
-        }
-        if self.metrics.shard_busy_ns.len() != s {
-            self.metrics.shard_busy_ns = vec![0; s];
-            self.metrics.shard_barrier_wait_ns = vec![0; s];
-        }
-        let nworkers = self.threads.min(s).max(1);
-        let events_before = self.metrics.events;
-        let undecided_before = self.undecided as u64;
-        let max_events = self.max_events;
-        let stop_all = self.stop_when_all_decided;
-        let bounds: Vec<(usize, usize)> = (0..s)
-            .map(|i| {
-                let r = self.shard_map.slots_of(i);
-                (r.start, r.end)
-            })
-            .collect();
-
-        // Split every slot-indexed hot table into per-shard `&mut`
-        // slices; the borrow checker enforces the ownership contract.
-        let Sim {
-            procs,
-            decisions,
-            ts_seqs,
-            rngs,
-            outstanding,
-            inflight,
-            shards,
-            mailboxes,
-            imported,
-            arenas,
-            local_pending,
-            ledger,
-            ids,
-            shard_map,
-            scratch,
-            trace,
-            message_id_budget,
-            ..
-        } = self;
-        let env = WorkerEnv {
-            ids,
-            shard_map,
-            budget: *message_id_budget,
-            trace_enabled: trace.is_enabled(),
-        };
-        let proc_s = slice_shards(procs, &bounds);
-        let dec_s = slice_shards(decisions, &bounds);
-        let ts_s = slice_shards(ts_seqs, &bounds);
-        let rng_s = slice_shards(rngs, &bounds);
-        let out_s = slice_shards(outstanding, &bounds);
-        let inf_s = slice_shards(inflight, &bounds);
-        let ledger_s = ledger.shard_slices(&bounds);
-        let mut inbound: Vec<Vec<&mut Mailbox<EventKind>>> =
-            (0..s).map(|_| Vec::with_capacity(s)).collect();
-        for (i, mb) in mailboxes.iter_mut().enumerate() {
-            inbound[i % s].push(mb);
-        }
-        let mut spaces: Vec<WorkerSpace<'_, P>> = Vec::with_capacity(s);
-        for (
-            shard,
-            ((((((((((queue, imp), ar), pend), led), inb), pr), de), ts), rn), (ou, inf)),
-        ) in shards
-            .iter_mut()
-            .zip(imported.iter_mut())
-            .zip(arenas.iter_mut())
-            .zip(local_pending.iter_mut())
-            .zip(ledger_s)
-            .zip(inbound)
-            .zip(proc_s)
-            .zip(dec_s)
-            .zip(ts_s)
-            .zip(rng_s)
-            .zip(out_s.into_iter().zip(inf_s))
-            .enumerate()
-        {
-            spaces.push(WorkerSpace {
-                shard,
-                base: bounds[shard].0,
-                queue,
-                inbound: inb,
-                imported: imp,
-                arena: ar,
-                pending: pend,
-                ledger: led,
-                procs: pr,
-                decisions: de,
-                ts_seqs: ts,
-                rngs: rn,
-                outstanding: ou,
-                inflight: inf,
-                scratch: std::mem::take(&mut scratch[shard]),
-                out: ShardWindowOut::default(),
-            });
-        }
-
-        let total_drained = AtomicU64::new(0);
-        let any_crash = AtomicBool::new(false);
-        let undecided_touched = AtomicU64::new(0);
-        let flush_edges = AtomicU64::new(0);
-        let chunk = s.div_ceil(nworkers);
-        // The barrier must count the *groups actually spawned*: with
-        // `s` not a multiple of `nworkers`, ceil-sized chunks can
-        // cover the shards in fewer groups (e.g. 6 shards on 4
-        // threads is three groups of two).
-        let barrier = Barrier::new(s.div_ceil(chunk));
-        let t0 = Instant::now();
-        crossbeam::thread::scope(|sc| {
-            let barrier = &barrier;
-            let total_drained = &total_drained;
-            let any_crash = &any_crash;
-            let undecided_touched = &undecided_touched;
-            let flush_edges = &flush_edges;
-            let env = &env;
-            for group in spaces.chunks_mut(chunk) {
-                sc.spawn(move |_| {
-                    for sp in group.iter_mut() {
-                        sp.phase1(
-                            window_end,
-                            flush_edges,
-                            total_drained,
-                            any_crash,
-                            undecided_touched,
-                        );
-                    }
-                    barrier.wait();
-                    // Every worker evaluates the identical gate from
-                    // the now-complete shared statistics.
-                    let commit_ok = !any_crash.load(Ordering::Relaxed)
-                        && events_before + total_drained.load(Ordering::Relaxed) <= max_events
-                        && (!stop_all
-                            || undecided_touched.load(Ordering::Relaxed) < undecided_before);
-                    for sp in group.iter_mut() {
-                        if commit_ok {
-                            sp.phase2_commit(env);
-                        } else {
-                            sp.phase2_abort();
-                        }
-                    }
-                });
-            }
-        })
-        .expect("parallel window workers");
-        let elapsed = t0.elapsed().as_nanos() as u64;
-        let committed = !any_crash.into_inner()
-            && events_before + total_drained.into_inner() <= max_events
-            && (!stop_all || undecided_touched.into_inner() < undecided_before);
-
-        let mut outs: Vec<ShardWindowOut> = Vec::with_capacity(s);
-        let mut recs: Vec<Vec<StepRec<P::Msg>>> = Vec::with_capacity(s);
-        let mut traces: Vec<Vec<TraceEvent>> = Vec::with_capacity(s);
-        for (shard, mut sp) in spaces.into_iter().enumerate() {
-            outs.push(std::mem::take(&mut sp.out));
-            recs.push(std::mem::take(&mut sp.scratch.records));
-            traces.push(std::mem::take(&mut sp.scratch.trace_buf));
-            scratch[shard] = sp.scratch;
-        }
-
+    /// Absorbs one pool-executed window after its last barrier:
+    /// wall-clock and flush accounting either way, and — when the
+    /// gate committed — the order-independent counter sums plus the
+    /// ordered commit, which replays step records in global key order
+    /// (cursor merge over the per-shard key-sorted lists),
+    /// re-creating the serial trace and broadcast/event-id/RNG
+    /// sequences exactly. Own-shard pushes are deferred into the
+    /// cells' `pending` staging for the next window-boundary flush.
+    fn absorb_parallel_window(&mut self, committed: bool, elapsed: u64, flush_edges: u64) {
+        let s = self.cells.len();
         // Mailbox-flush accounting and wall-clock timing apply
         // whether or not the window committed: the flushes happened,
         // and the workers did the work.
-        self.metrics.shard_mailbox_flushes += flush_edges.into_inner();
-        for (shard, out) in outs.iter().enumerate() {
-            self.metrics.shard_busy_ns[shard] += out.busy_ns;
-            self.metrics.shard_barrier_wait_ns[shard] += elapsed.saturating_sub(out.busy_ns);
-        }
-        if !committed {
-            for (shard, (r, t)) in recs.into_iter().zip(traces).enumerate() {
-                self.scratch[shard].records = r;
-                self.scratch[shard].trace_buf = t;
-            }
-            return false;
-        }
-
-        // Order-independent commits: plain sums.
+        self.core.metrics.shard_mailbox_flushes += flush_edges;
         let mut decided_total = 0u64;
         let mut end_time: Option<Time> = None;
-        for (shard, out) in outs.iter().enumerate() {
-            self.metrics.events += out.events;
-            self.metrics.per_shard_events[shard] += out.events;
-            self.metrics.deliveries += out.deliveries;
-            self.metrics.unreliable_deliveries += out.unreliable_deliveries;
-            self.metrics.acks += out.acks;
-            self.metrics.busy_discards += out.busy_discards;
+        let mut recs: Vec<Vec<StepRec<P::Msg>>> = Vec::with_capacity(s);
+        let mut traces: Vec<Vec<TraceEvent>> = Vec::with_capacity(s);
+        for shard in 0..s {
+            let cell = &mut *self.cells[shard];
+            let out = std::mem::take(&mut cell.out);
+            self.core.metrics.shard_busy_ns[shard] += out.busy_ns;
+            self.core.metrics.shard_barrier_wait_ns[shard] += elapsed.saturating_sub(out.busy_ns);
+            if !committed {
+                continue;
+            }
+            // Order-independent commits: plain sums.
+            self.core.metrics.events += out.events;
+            self.core.metrics.per_shard_events[shard] += out.events;
+            self.core.metrics.deliveries += out.deliveries;
+            self.core.metrics.unreliable_deliveries += out.unreliable_deliveries;
+            self.core.metrics.acks += out.acks;
+            self.core.metrics.busy_discards += out.busy_discards;
             decided_total += out.decided;
             end_time = end_time.max(out.last_time);
+            recs.push(std::mem::take(&mut cell.scratch.records));
+            traces.push(std::mem::take(&mut cell.scratch.trace_buf));
+        }
+        if !committed {
+            return;
         }
         // The gate guarantees a worker-dispatched node is alive, so
         // every new decision decrements `undecided` — and strictly
         // fewer than `undecided_before` can have decided.
-        self.undecided -= decided_total as usize;
-
-        // Ordered commit: replay step records in global key order
-        // (cursor merge over the per-shard key-sorted lists),
-        // re-creating the serial trace and broadcast/event-id/RNG
-        // sequences exactly. Own-shard pushes are deferred to the
-        // owning worker's next phase-1 flush.
-        self.defer_local_pushes = true;
+        self.core.undecided -= decided_total as usize;
+        self.core.defer_local_pushes = true;
         let mut cursors = vec![0usize; s];
         loop {
             let mut best: Option<((Time, u8, u64), usize)> = None;
@@ -1624,59 +1933,63 @@ impl<P: Process> Sim<P> {
             let rec = &mut recs[shard][cursors[shard]];
             cursors[shard] += 1;
             for ev in &traces[shard][rec.trace_start..rec.trace_end] {
-                self.trace.push(*ev);
+                self.core.trace.push(*ev);
             }
             if let Some((slot, msg)) = rec.broadcast.take() {
-                self.now = key.0;
-                self.current_shard = shard as u32;
+                self.core.now = key.0;
+                self.core.current_shard = shard as u32;
                 self.commit_deferred_broadcast(slot, msg);
             }
         }
-        self.defer_local_pushes = false;
+        self.core.defer_local_pushes = false;
         if let Some(t) = end_time {
-            self.now = t;
+            self.core.now = t;
         }
         for (shard, (mut r, mut t)) in recs.into_iter().zip(traces).enumerate() {
             r.clear();
             t.clear();
-            self.scratch[shard].records = r;
-            self.scratch[shard].trace_buf = t;
+            let cell = &mut *self.cells[shard];
+            cell.scratch.records = r;
+            cell.scratch.trace_buf = t;
         }
-        true
     }
+}
 
+impl<P: Process> Exec<'_, '_, P> {
     /// Allocates the next event id and routes `kind` at `time`: into
-    /// the owning shard's queue directly, or into the per-edge mailbox
-    /// when the target slot lives on another shard. Returns the id and
-    /// the destination shard (the cancellation route).
+    /// the owning shard's queue directly, or into the destination's
+    /// inbound mailbox when the target slot lives on another shard.
+    /// Returns the id and the destination shard (the cancellation
+    /// route).
     fn schedule(&mut self, time: Time, kind: EventKind) -> (EventId, u32) {
-        let id = EventId(self.next_event_id);
-        self.next_event_id += 1;
+        let id = EventId(self.core.next_event_id);
+        self.core.next_event_id += 1;
         let class = kind.class();
-        if self.shards.len() == 1 {
-            self.shards[0].push_at(time, class, id, kind);
+        if self.cells.len() == 1 {
+            self.cells[0].queue.push_at(time, class, id, kind);
             return (id, 0);
         }
-        let dst = self.shard_map.shard_of(kind.target().0) as u32;
-        let src = self.current_shard;
+        let dst = self.sh.shard_map.shard_of(kind.target().0) as u32;
+        let src = self.core.current_shard;
         if dst == src {
-            if self.defer_local_pushes {
+            let cell = &mut *self.cells[dst as usize];
+            if self.core.defer_local_pushes {
                 // Parallel-window commit: own-shard pushes are staged
-                // here and flushed by the owning worker at its next
-                // phase-1, keeping queue mutation off the serial
-                // commit path. Not a mailbox flush — never counted.
-                self.local_pending[dst as usize].push(MailEntry {
+                // here and flushed at the next window boundary,
+                // keeping queue mutation off the serial commit path.
+                // Not a mailbox flush — never counted.
+                cell.pending.push(MailEntry {
                     time,
                     class,
                     id,
                     payload: kind,
                 });
             } else {
-                self.shards[dst as usize].push_at(time, class, id, kind);
+                cell.queue.push_at(time, class, id, kind);
             }
         } else {
-            self.metrics.cross_shard_deliveries += 1;
-            self.mailboxes[src as usize * self.shards.len() + dst as usize].push(MailEntry {
+            self.core.metrics.cross_shard_deliveries += 1;
+            self.cells[dst as usize].inbox[src as usize].push(MailEntry {
                 time,
                 class,
                 id,
@@ -1691,37 +2004,46 @@ impl<P: Process> Sim<P> {
     /// still in transit between `src` and `dst` — in the mailbox. Ids
     /// that already fired are a no-op in both places.
     fn cancel_event(&mut self, id: EventId, dst: u32, src: u32) {
-        if self.shards[dst as usize].cancel(id) {
+        if self.cells[dst as usize].queue.cancel(id) {
             return;
         }
-        if dst != src && self.mailboxes[src as usize * self.shards.len() + dst as usize].cancel(id)
-        {
-            self.mailbox_cancels += 1;
+        if dst != src && self.cells[dst as usize].inbox[src as usize].cancel(id) {
+            self.core.mailbox_cancels += 1;
         }
     }
 
     fn handle_crash(&mut self, node: Slot) {
         // Crashes can cancel queued events, but cancellation never
-        // searches the deferred own-shard staging: the threaded
-        // coordinator only defers pushes inside a window the gate
-        // proved crash-free, and flushes the staging before any merged
+        // searches the deferred own-shard staging: the coordinator
+        // only defers pushes inside a window the gate proved
+        // crash-free, and flushes the staging before any merged
         // fallback runs.
         debug_assert!(
-            self.local_pending.iter().all(|p| p.is_empty()),
+            self.cells.iter().all(|c| c.pending.is_empty()),
             "crash processed with deferred local pushes outstanding"
         );
-        if !self.ledger.mark_crashed(node.0) {
+        if !self.core.ledger.mark_crashed(node.0) {
             return;
         }
-        self.metrics.crashes += 1;
-        self.trace.push(TraceEvent::Crash {
-            time: self.now,
+        let shard = self.sh.shard_map.shard_of(node.0);
+        let (was_undecided, outstanding) = {
+            let cell = &mut *self.cells[shard];
+            let li = node.0 - cell.base;
+            // Keep the engine-owned crash mirror in lockstep with the
+            // ledger (workers read the mirror during parallel
+            // windows).
+            cell.crashed[li] = true;
+            (cell.decisions[li].is_none(), cell.outstanding[li].take())
+        };
+        self.core.metrics.crashes += 1;
+        self.core.trace.push(TraceEvent::Crash {
+            time: self.core.now,
             slot: node,
         });
-        if self.decisions[node.0].is_none() {
-            self.undecided -= 1;
+        if was_undecided {
+            self.core.undecided -= 1;
         }
-        if let Some(BcastId(b)) = self.outstanding[node.0].take() {
+        if let Some(BcastId(b)) = outstanding {
             self.cancel_broadcast(node, b);
         }
     }
@@ -1732,35 +2054,41 @@ impl<P: Process> Sim<P> {
     /// mailbox for entries still in transit — so they simply never
     /// fire.
     fn cancel_broadcast(&mut self, sender: Slot, bcast: u64) {
-        let list = &mut self.inflight[sender.0];
-        if let Some(idx) = list.iter().position(|e| e.bcast == bcast) {
-            let entry = list.swap_remove(idx);
-            // All of this broadcast's events were scheduled from the
-            // sender's shard; that is the mailbox row to search for
-            // in-transit entries. Every still-pending own-shard
-            // reference dies with the sender's arena slot at once.
-            let src = self.shard_map.shard_of(sender.0) as u32;
-            self.arenas[src as usize].discard_all(entry.payload);
-            for &(id, dst) in &entry.events {
-                self.cancel_event(id, dst, src);
-                if dst != src {
-                    // Cross-shard deliveries hold a reference on the
-                    // destination shard's imported arena slot; drop it
-                    // with the event (the last one frees the slot).
-                    if let Some(h) = self.imported[dst as usize].remove(&id) {
-                        self.arenas[dst as usize].discard(h);
-                    }
+        // All of this broadcast's events were scheduled from the
+        // sender's shard; that is the mailbox row to search for
+        // in-transit entries. Every still-pending own-shard reference
+        // dies with the sender's arena slot at once.
+        let src = self.sh.shard_map.shard_of(sender.0) as u32;
+        let entry = {
+            let cell = &mut *self.cells[src as usize];
+            let li = sender.0 - cell.base;
+            let Some(idx) = cell.inflight[li].iter().position(|e| e.bcast == bcast) else {
+                return;
+            };
+            let entry = cell.inflight[li].swap_remove(idx);
+            cell.arena.discard_all(entry.payload);
+            entry
+        };
+        for &(id, dst) in &entry.events {
+            self.cancel_event(id, dst, src);
+            if dst != src {
+                // Cross-shard deliveries hold a reference on the
+                // destination shard's imported arena slot; drop it
+                // with the event (the last one frees the slot).
+                let cell = &mut *self.cells[dst as usize];
+                if let Some(h) = cell.imported.remove(&id) {
+                    cell.arena.discard(h);
                 }
             }
-            self.recycle(entry.events);
         }
+        self.recycle(entry.events);
     }
 
     /// Returns an event-id vector to the pool for reuse.
     fn recycle(&mut self, mut events: Vec<(EventId, u32)>) {
-        if self.events_pool.len() < self.topo.len() {
+        if self.core.events_pool.len() < self.sh.topo.len() {
             events.clear();
-            self.events_pool.push(events);
+            self.core.events_pool.push(events);
         }
     }
 
@@ -1780,31 +2108,30 @@ impl<P: Process> Sim<P> {
         // the contract shared with the threaded ether, whose prefix
         // over all neighbors likewise burns slots on dead receivers
         // (see Admission::PartialThenCrash).
-        let to_crashed = self.ledger.is_crashed(to.0);
-        let from_shard = self.shard_map.shard_of(from.0);
-        let to_shard = self.shard_map.shard_of(to.0);
-        let msg = if from_shard == to_shard {
+        let to_crashed = self.core.ledger.is_crashed(to.0);
+        let from_shard = self.sh.shard_map.shard_of(from.0);
+        let to_shard = self.sh.shard_map.shard_of(to.0);
+        let (msg, retired) = if from_shard == to_shard {
             // Own-shard delivery: the sender's in-flight entry names
             // the arena slot holding the payload (the common case,
             // and the only case at S=1). The arena moves the payload
             // out on the last reference, clones otherwise, and never
             // copies for a crashed receiver.
-            let idx = self.inflight[from.0]
+            let cell = &mut *self.cells[from_shard];
+            let li = from.0 - cell.base;
+            let idx = cell.inflight[li]
                 .iter()
                 .position(|e| e.bcast == bcast.0)
                 .expect("message for pending delivery");
-            let h = self.inflight[from.0][idx].payload;
+            let h = cell.inflight[li][idx].payload;
             let (msg, last) = if to_crashed {
-                (None, self.arenas[from_shard].discard(h))
+                (None, cell.arena.discard(h))
             } else {
-                let (m, last) = self.arenas[from_shard].release(h);
+                let (m, last) = cell.arena.release(h);
                 (Some(m), last)
             };
-            if last {
-                let entry = self.inflight[from.0].swap_remove(idx);
-                self.recycle(entry.events);
-            }
-            msg
+            let retired = last.then(|| cell.inflight[li].swap_remove(idx).events);
+            (msg, retired)
         } else {
             // Cross-shard delivery: the payload was imported into the
             // destination shard's arena at schedule time (one clone
@@ -1812,27 +2139,32 @@ impl<P: Process> Sim<P> {
             // this step never touches the sender's shard-owned
             // in-flight entry (the parallel stepper's ownership
             // contract).
-            let h = self.imported[to_shard]
+            let cell = &mut *self.cells[to_shard];
+            let h = cell
+                .imported
                 .remove(&id)
                 .expect("imported payload for cross-shard delivery");
             if to_crashed {
-                self.arenas[to_shard].discard(h);
-                None
+                cell.arena.discard(h);
+                (None, None)
             } else {
-                Some(self.arenas[to_shard].release(h).0)
+                (Some(cell.arena.release(h).0), None)
             }
         };
+        if let Some(events) = retired {
+            self.recycle(events);
+        }
         if to_crashed {
-            if !unreliable && self.ledger.note_delivery(bcast.0) {
+            if !unreliable && self.core.ledger.note_delivery(bcast.0) {
                 self.handle_crash(from);
             }
             return;
         }
         let msg = msg.expect("payload for a live receiver");
-        self.metrics.deliveries += u64::from(!unreliable);
-        self.metrics.unreliable_deliveries += u64::from(unreliable);
-        self.trace.push(TraceEvent::Deliver {
-            time: self.now,
+        self.core.metrics.deliveries += u64::from(!unreliable);
+        self.core.metrics.unreliable_deliveries += u64::from(unreliable);
+        self.core.trace.push(TraceEvent::Deliver {
+            time: self.core.now,
             from,
             to,
             unreliable,
@@ -1840,31 +2172,36 @@ impl<P: Process> Sim<P> {
         self.dispatch(to, |p, ctx| p.on_receive(msg, ctx));
         // Mid-broadcast crash: the sender dies immediately after this
         // delivery; the rest of the broadcast never happens.
-        if !unreliable && self.ledger.note_delivery(bcast.0) {
+        if !unreliable && self.core.ledger.note_delivery(bcast.0) {
             self.handle_crash(from);
         }
     }
 
     fn handle_ack(&mut self, node: Slot, bcast: BcastId) {
-        if let Some(idx) = self.inflight[node.0]
-            .iter()
-            .position(|e| e.bcast == bcast.0)
-        {
-            let h = self.inflight[node.0][idx].payload;
-            let shard = self.shard_map.shard_of(node.0);
-            if self.arenas[shard].discard(h) {
-                let entry = self.inflight[node.0].swap_remove(idx);
-                self.recycle(entry.events);
+        let shard = self.sh.shard_map.shard_of(node.0);
+        let retired = {
+            let cell = &mut *self.cells[shard];
+            let li = node.0 - cell.base;
+            let mut retired = None;
+            if let Some(idx) = cell.inflight[li].iter().position(|e| e.bcast == bcast.0) {
+                let h = cell.inflight[li][idx].payload;
+                if cell.arena.discard(h) {
+                    retired = Some(cell.inflight[li].swap_remove(idx).events);
+                }
             }
+            // A crashed sender's ack event is cancelled with its
+            // broadcast, so this only fires for live nodes.
+            debug_assert!(!cell.crashed[li], "ack for a crashed node");
+            debug_assert_eq!(cell.outstanding[li], Some(bcast));
+            cell.outstanding[li] = None;
+            retired
+        };
+        if let Some(events) = retired {
+            self.recycle(events);
         }
-        // A crashed sender's ack event is cancelled with its broadcast,
-        // so this only fires for live nodes.
-        debug_assert!(!self.ledger.is_crashed(node.0), "ack for a crashed node");
-        debug_assert_eq!(self.outstanding[node.0], Some(bcast));
-        self.outstanding[node.0] = None;
-        self.metrics.acks += 1;
-        self.trace.push(TraceEvent::Ack {
-            time: self.now,
+        self.core.metrics.acks += 1;
+        self.core.trace.push(TraceEvent::Ack {
+            time: self.core.now,
             slot: node,
         });
         self.dispatch(node, |p, ctx| p.on_ack(ctx));
@@ -1876,33 +2213,41 @@ impl<P: Process> Sim<P> {
     where
         F: FnOnce(&mut P, &mut Context<'_, P::Msg>),
     {
-        let had_decision = self.decisions[slot.0].is_some();
+        let shard = self.sh.shard_map.shard_of(slot.0);
         let mut outbox: Option<P::Msg> = None;
+        let had_decision;
         {
+            let cell = &mut *self.cells[shard];
+            let li = slot.0 - cell.base;
+            had_decision = cell.decisions[li].is_some();
             let mut ctx = Context {
-                id: self.ids[slot.0],
-                now: self.now,
-                busy: self.outstanding[slot.0].is_some(),
+                id: self.sh.ids[slot.0],
+                now: self.core.now,
+                busy: cell.outstanding[li].is_some(),
                 outbox: &mut outbox,
-                decision: &mut self.decisions[slot.0],
-                ts_seq: &mut self.ts_seqs[slot.0],
-                busy_discards: &mut self.metrics.busy_discards,
-                rng: &mut self.rngs[slot.0],
+                decision: &mut cell.decisions[li],
+                ts_seq: &mut cell.ts_seqs[li],
+                busy_discards: &mut self.core.metrics.busy_discards,
+                rng: &mut cell.rngs[li],
             };
-            f(&mut self.procs[slot.0], &mut ctx);
+            f(&mut cell.procs[li], &mut ctx);
         }
         if let Some(m) = outbox {
             self.start_broadcast(slot, m);
         }
         if !had_decision {
-            if let Some(d) = self.decisions[slot.0] {
-                self.trace.push(TraceEvent::Decide {
+            let decision = {
+                let cell = &*self.cells[shard];
+                cell.decisions[slot.0 - cell.base]
+            };
+            if let Some(d) = decision {
+                self.core.trace.push(TraceEvent::Decide {
                     time: d.time,
                     slot,
                     value: d.value,
                 });
-                if !self.ledger.is_crashed(slot.0) {
-                    self.undecided -= 1;
+                if !self.core.ledger.is_crashed(slot.0) {
+                    self.core.undecided -= 1;
                 }
             }
         }
@@ -1913,17 +2258,17 @@ impl<P: Process> Sim<P> {
     /// broadcast counters. Returns the message's id count.
     fn note_broadcast_metrics(&mut self, slot: Slot, msg: &P::Msg) -> usize {
         let ids = msg.id_count();
-        if let Some(budget) = self.message_id_budget {
+        if let Some(budget) = self.sh.message_id_budget {
             assert!(
                 ids <= budget,
                 "message from {} carries {ids} ids, exceeding the O(1) budget of {budget}: {msg:?}",
-                self.ids[slot.0],
+                self.sh.ids[slot.0],
             );
         }
-        self.metrics.broadcasts += 1;
-        self.metrics.per_slot_broadcasts[slot.0] += 1;
-        self.metrics.max_message_ids = self.metrics.max_message_ids.max(ids);
-        self.metrics.total_message_ids += ids as u64;
+        self.core.metrics.broadcasts += 1;
+        self.core.metrics.per_slot_broadcasts[slot.0] += 1;
+        self.core.metrics.max_message_ids = self.core.metrics.max_message_ids.max(ids);
+        self.core.metrics.total_message_ids += ids as u64;
         ids
     }
 
@@ -1931,17 +2276,24 @@ impl<P: Process> Sim<P> {
     /// processing: records it, assigns the next broadcast id, and
     /// schedules its deliveries and ack.
     fn start_broadcast(&mut self, slot: Slot, msg: P::Msg) {
-        debug_assert!(!self.ledger.is_crashed(slot.0), "crashed node broadcast");
-        debug_assert!(self.outstanding[slot.0].is_none(), "double broadcast");
+        debug_assert!(
+            !self.core.ledger.is_crashed(slot.0),
+            "crashed node broadcast"
+        );
         let ids = self.note_broadcast_metrics(slot, &msg);
-        self.trace.push(TraceEvent::Broadcast {
-            time: self.now,
+        self.core.trace.push(TraceEvent::Broadcast {
+            time: self.core.now,
             slot,
             ids,
         });
-        let bcast = BcastId(self.bcast_seq);
-        self.bcast_seq += 1;
-        self.outstanding[slot.0] = Some(bcast);
+        let bcast = BcastId(self.core.bcast_seq);
+        self.core.bcast_seq += 1;
+        {
+            let cell = &mut *self.cells[self.sh.shard_map.shard_of(slot.0)];
+            let li = slot.0 - cell.base;
+            debug_assert!(cell.outstanding[li].is_none(), "double broadcast");
+            cell.outstanding[li] = Some(bcast);
+        }
         self.commit_broadcast_events(slot, msg, bcast);
     }
 
@@ -1952,16 +2304,23 @@ impl<P: Process> Sim<P> {
     /// halves in global step order, so the broadcast/event-id/RNG
     /// sequences come out exactly as a serial run's.
     fn commit_deferred_broadcast(&mut self, slot: Slot, msg: P::Msg) {
-        debug_assert!(!self.ledger.is_crashed(slot.0), "crashed node broadcast");
-        debug_assert_eq!(
-            self.outstanding[slot.0],
-            Some(DEFERRED_BCAST),
-            "deferred broadcast without its worker-side placeholder"
+        debug_assert!(
+            !self.core.ledger.is_crashed(slot.0),
+            "crashed node broadcast"
         );
         self.note_broadcast_metrics(slot, &msg);
-        let bcast = BcastId(self.bcast_seq);
-        self.bcast_seq += 1;
-        self.outstanding[slot.0] = Some(bcast);
+        let bcast = BcastId(self.core.bcast_seq);
+        self.core.bcast_seq += 1;
+        {
+            let cell = &mut *self.cells[self.sh.shard_map.shard_of(slot.0)];
+            let li = slot.0 - cell.base;
+            debug_assert_eq!(
+                cell.outstanding[li],
+                Some(DEFERRED_BCAST),
+                "deferred broadcast without its worker-side placeholder"
+            );
+            cell.outstanding[li] = Some(bcast);
+        }
         self.commit_broadcast_events(slot, msg, bcast);
     }
 
@@ -1972,18 +2331,19 @@ impl<P: Process> Sim<P> {
     /// maps to the handle in the destination's imported table.
     fn import_payload(&mut self, msg: &P::Msg, id: EventId, dst: u32) {
         let dst = dst as usize;
-        let h = match self.import_scratch[dst] {
+        let cell = &mut *self.cells[dst];
+        let h = match self.core.import_scratch[dst] {
             Some(h) => {
-                self.arenas[dst].retain(h);
+                cell.arena.retain(h);
                 h
             }
             None => {
-                let h = self.arenas[dst].insert_cloned(msg, 1);
-                self.import_scratch[dst] = Some(h);
+                let h = cell.arena.insert_cloned(msg, 1);
+                self.core.import_scratch[dst] = Some(h);
                 h
             }
         };
-        self.imported[dst].insert(id, h);
+        cell.imported.insert(id, h);
     }
 
     /// Plans and schedules one accepted broadcast's deliveries and
@@ -1995,14 +2355,15 @@ impl<P: Process> Sim<P> {
     fn commit_broadcast_events(&mut self, slot: Slot, msg: P::Msg, bcast: BcastId) {
         // Reuse the scratch neighbor buffer (the scheduler borrows it
         // while `self` stays mutable for the queue pushes below).
-        let mut neighbors = std::mem::take(&mut self.neighbor_scratch);
+        let now = self.core.now;
+        let mut neighbors = std::mem::take(&mut self.core.neighbor_scratch);
         neighbors.clear();
-        neighbors.extend_from_slice(self.topo.neighbors(slot));
-        let plan = self.scheduler.plan(self.now, slot, &neighbors);
-        if let Err(e) = plan.validate(neighbors.len(), self.scheduler.f_ack()) {
+        neighbors.extend_from_slice(self.sh.topo.neighbors(slot));
+        let plan = self.core.scheduler.plan(now, slot, &neighbors);
+        if let Err(e) = plan.validate(neighbors.len(), self.core.scheduler.f_ack()) {
             panic!("scheduler produced an invalid plan for {slot}: {e}");
         }
-        if self.shards.len() > 1 {
+        if self.cells.len() > 1 {
             // The conservative windows are only sound if every plan
             // honors the declared lookahead; a scheduler that
             // undercuts its own min_delay() would let an event sneak
@@ -2015,16 +2376,16 @@ impl<P: Process> Sim<P> {
                 .min()
                 .unwrap_or(plan.ack_delay);
             assert!(
-                floor >= self.lookahead,
+                floor >= self.sh.lookahead,
                 "scheduler violated its declared lookahead for {slot}: plans a delay of \
                  {floor} ticks but min_delay() promised >= {}",
-                self.lookahead
+                self.sh.lookahead
             );
         }
 
-        let src_shard = self.shard_map.shard_of(slot.0) as u32;
+        let src_shard = self.sh.shard_map.shard_of(slot.0) as u32;
         let mut refs = 0u32;
-        let mut events = self.events_pool.pop().unwrap_or_default();
+        let mut events = self.core.events_pool.pop().unwrap_or_default();
         events.reserve(neighbors.len() + 1);
         for (i, &nbr) in neighbors.iter().enumerate() {
             let kind = EventKind::Receive {
@@ -2033,7 +2394,7 @@ impl<P: Process> Sim<P> {
                 bcast,
                 unreliable: false,
             };
-            let (id, dst) = self.schedule(self.now + plan.receive_delays[i], kind);
+            let (id, dst) = self.schedule(now + plan.receive_delays[i], kind);
             if dst == src_shard {
                 refs += 1;
             } else {
@@ -2042,26 +2403,26 @@ impl<P: Process> Sim<P> {
             events.push((id, dst));
         }
         let ack = EventKind::Ack { node: slot, bcast };
-        let (id, dst) = self.schedule(self.now + plan.ack_delay, ack);
+        let (id, dst) = self.schedule(now + plan.ack_delay, ack);
         debug_assert_eq!(dst, src_shard, "ack routed off the sender's shard");
         refs += 1;
         events.push((id, dst));
 
         // Take the overlay out while sampling so `schedule` can borrow
-        // `self` mutably (no clone on the hot path). Overlay delays are
-        // >= 1, which the build-time lookahead clamp accounts for.
-        if let Some((overlay, p)) = self.unreliable.take() {
-            let f_ack = self.scheduler.f_ack().max(1);
+        // the exec mutably (no clone on the hot path). Overlay delays
+        // are >= 1, which the build-time lookahead clamp accounts for.
+        if let Some((overlay, p)) = self.core.unreliable.take() {
+            let f_ack = self.core.scheduler.f_ack().max(1);
             for nbr in overlay.neighbors(slot) {
-                if self.engine_rng.gen_bool(p) {
-                    let delay = self.engine_rng.gen_range(1..=f_ack);
+                if self.core.engine_rng.gen_bool(p) {
+                    let delay = self.core.engine_rng.gen_range(1..=f_ack);
                     let kind = EventKind::Receive {
                         to: nbr,
                         from: slot,
                         bcast,
                         unreliable: true,
                     };
-                    let (id, dst) = self.schedule(self.now + delay, kind);
+                    let (id, dst) = self.schedule(now + delay, kind);
                     if dst == src_shard {
                         refs += 1;
                     } else {
@@ -2070,27 +2431,31 @@ impl<P: Process> Sim<P> {
                     events.push((id, dst));
                 }
             }
-            self.unreliable = Some((overlay, p));
+            self.core.unreliable = Some((overlay, p));
         }
 
         // The ack always lands on the sender's shard, so refs >= 1 and
         // the sender's arena slot is live until at least the ack (or a
         // cancellation).
-        let payload = self.arenas[src_shard as usize].insert(msg, refs);
-        self.inflight[slot.0].push(InFlight {
-            bcast: bcast.0,
-            payload,
-            events,
-        });
+        {
+            let cell = &mut *self.cells[src_shard as usize];
+            let payload = cell.arena.insert(msg, refs);
+            let li = slot.0 - cell.base;
+            cell.inflight[li].push(InFlight {
+                bcast: bcast.0,
+                payload,
+                events,
+            });
+        }
         // Reset the per-destination import memo for the next broadcast
         // (O(S); S is small and this runs once per broadcast).
-        for slot_memo in &mut self.import_scratch {
+        for slot_memo in &mut self.core.import_scratch {
             *slot_memo = None;
         }
 
         // Resolve any planned mid-broadcast crash against this
         // broadcast via the shared ledger.
-        match self.ledger.admit_broadcast(slot.0, bcast.0) {
+        match self.core.ledger.admit_broadcast(slot.0, bcast.0) {
             Admission::Deliver => {}
             Admission::CrashImmediately => self.handle_crash(slot),
             Admission::PartialThenCrash { delivered } => {
@@ -2101,10 +2466,9 @@ impl<P: Process> Sim<P> {
                 );
             }
         }
-        self.neighbor_scratch = neighbors;
+        self.core.neighbor_scratch = neighbors;
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2905,33 +3269,36 @@ mod tests {
         }
     }
 
-    /// The deterministic metrics of a threaded run equal the
+    /// The deterministic metrics of a pooled run equal the
     /// single-threaded sharded run's field for field, and the
     /// wall-clock worker timings (excluded from that equality) are
-    /// populated with one entry per shard.
+    /// populated with one entry per shard. The forced pool size
+    /// exercises real parked workers regardless of host parallelism.
     #[test]
     fn threaded_metrics_match_sharded_and_time_the_workers() {
         let run = |threads: usize| {
-            let mut sim = SimBuilder::new(Topology::ring(8), |s| Flood {
+            let mut builder = SimBuilder::new(Topology::ring(8), |s| Flood {
                 initiator: s.0 == 0,
                 relayed: false,
             })
             .scheduler(SynchronousScheduler::new(1))
             .shards(4)
-            .threads(threads)
-            .build();
+            .threads(threads);
+            if threads > 1 {
+                builder = builder.debug_force_pool_workers(2);
+            }
+            let mut sim = builder.build();
             sim.run().metrics
         };
         let sharded = run(1);
         let threaded = run(4);
         assert_eq!(sharded, threaded, "deterministic counters diverged");
         assert!(sharded.shard_busy_ns.is_empty(), "timers without threads");
+        assert_eq!(sharded.worker_spawns, 0, "workers without threads");
         assert_eq!(threaded.shard_busy_ns.len(), 4);
         assert_eq!(threaded.shard_barrier_wait_ns.len(), 4);
-        assert!(
-            threaded.shard_busy_ns.iter().sum::<u64>() > 0,
-            "parallel windows ran but recorded no work: {threaded:?}"
-        );
+        assert!(threaded.worker_spawns > 0, "pool never spawned");
+        assert!(threaded.superstep_count > 0, "pool never woke");
         let pct = threaded.barrier_pct();
         assert!((0.0..=100.0).contains(&pct), "barrier_pct {pct}");
     }
@@ -3006,5 +3373,178 @@ mod tests {
         let serial = run(1, 1);
         assert_eq!(serial.0, RunOutcome::EventLimit);
         assert_eq!(serial, run(3, 4), "event limit diverged under threads");
+    }
+
+    /// A dense pooled sim: clique(64) `Chatter` keeps every window
+    /// above [`SERIAL_WINDOW_MIN_EVENTS`], so parallel windows (and
+    /// the pool protocol) actually run even with the serial gate on.
+    fn dense_pool_sim(batch: WindowBatch, max_time: u64) -> Sim<Chatter> {
+        SimBuilder::new(Topology::clique(64), |_| Chatter)
+            .scheduler(SynchronousScheduler::new(1))
+            .max_time(Time(max_time))
+            .shards(4)
+            .threads(4)
+            .window_batch(batch)
+            .debug_force_pool_workers(2)
+            .build()
+    }
+
+    /// The tentpole invariant: one `run` call spawns the pool exactly
+    /// once (O(1) in the window count), and supersteps batch several
+    /// windows per wakeup — strictly fewer wakeups than windows.
+    #[test]
+    fn pool_spawns_once_per_run_and_batches_windows() {
+        let mut sim = dense_pool_sim(WindowBatch::Fixed(4), 10);
+        let report = sim.run();
+        assert_eq!(report.outcome, RunOutcome::MaxTime);
+        let m = &report.metrics;
+        // 4 shards on 2 forced workers = 2 groups, spawned once.
+        assert_eq!(m.worker_spawns, 2, "thread spawns must be O(1) per run");
+        // 10 windows (the start broadcasts land at t = 1, so windows
+        // open at t = 1..=10) at batch 4 → 3 supersteps.
+        assert_eq!(m.shard_window_advances, 10);
+        assert_eq!(m.superstep_count, 3, "batching collapsed wakeups");
+        assert_eq!(m.worker_wakeups, m.superstep_count * 2);
+        assert_eq!(m.serial_window_shortcuts, 0, "every window is dense");
+        // And the pooled execution matches the merged sharded one.
+        let mut inline = SimBuilder::new(Topology::clique(64), |_| Chatter)
+            .scheduler(SynchronousScheduler::new(1))
+            .max_time(Time(10))
+            .shards(4)
+            .build();
+        assert_eq!(inline.run().metrics, report.metrics, "pool diverged");
+    }
+
+    /// Window batching is pure wake-policy: every batch size (and
+    /// auto) yields byte-identical traces and deterministic metrics,
+    /// with the same window sequence; only the wakeup accounting
+    /// moves.
+    #[test]
+    fn window_batch_sizes_are_observably_identical() {
+        let run = |batch: WindowBatch| {
+            let mut sim = SimBuilder::new(Topology::clique(64), |_| Chatter)
+                .scheduler(SynchronousScheduler::new(1))
+                .max_time(Time(8))
+                .shards(4)
+                .threads(4)
+                .window_batch(batch)
+                .debug_force_pool_workers(2)
+                .trace(true)
+                .build();
+            let report = sim.run();
+            (report.metrics, sim.trace().clone())
+        };
+        let baseline = run(WindowBatch::Fixed(1));
+        // Batch 1 parks after every window: one superstep per window.
+        assert_eq!(
+            baseline.0.superstep_count, baseline.0.shard_window_advances,
+            "batch 1 must wake the pool once per window"
+        );
+        for batch in [
+            WindowBatch::Fixed(2),
+            WindowBatch::Fixed(8),
+            WindowBatch::Auto,
+        ] {
+            let other = run(batch);
+            assert_eq!(baseline.0, other.0, "{batch:?} diverged");
+            assert_eq!(baseline.1, other.1, "{batch:?} trace diverged");
+            assert!(
+                other.0.superstep_count < other.0.shard_window_advances,
+                "{batch:?} never batched"
+            );
+        }
+    }
+
+    /// A crash event landing mid-superstep fails the commit gate: the
+    /// window aborts to the merged path verbatim, and the whole run —
+    /// trace included — stays byte-identical to serial.
+    #[test]
+    fn superstep_gate_failure_mid_batch_aborts_to_merged() {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mode {
+            Serial,
+            Inline,
+            Pooled,
+        }
+        let run = |mode: Mode| {
+            let mut builder = SimBuilder::new(Topology::clique(16), |_| Chatter)
+                .scheduler(SynchronousScheduler::new(1))
+                .crashes(CrashPlan::new(vec![CrashSpec::AtTime {
+                    slot: Slot(3),
+                    time: Time(5),
+                }]))
+                .max_time(Time(12))
+                .trace(true);
+            if mode != Mode::Serial {
+                builder = builder.shards(4);
+            }
+            if mode == Mode::Pooled {
+                builder = builder
+                    .threads(4)
+                    .window_batch(WindowBatch::Fixed(8))
+                    .debug_force_pool_workers(2);
+            }
+            let mut sim = builder.build();
+            let report = sim.run();
+            (report.outcome, report.metrics, sim.trace().clone())
+        };
+        let serial = run(Mode::Serial);
+        let inline = run(Mode::Inline);
+        let pooled = run(Mode::Pooled);
+        // The trace is the byte-identity artifact across every shard
+        // and thread count; metrics carry shard-topology counters, so
+        // they are compared against the merged run at the same S.
+        assert_eq!(serial.0, pooled.0);
+        assert_eq!(serial.2, pooled.2, "crash-window trace diverged");
+        assert_eq!(inline.0, pooled.0);
+        assert_eq!(inline.1, pooled.1, "crash-window abort diverged");
+        assert_eq!(pooled.1.crashes, 1, "the planned crash never fired");
+        assert!(
+            pooled.1.superstep_count > 0,
+            "the crash test never exercised the pool"
+        );
+    }
+
+    /// Every early stop condition — a `run_until` horizon and an
+    /// event limit — shuts the pool down cleanly (parked or
+    /// mid-superstep), and the next `run*` call spawns a fresh pool
+    /// that picks up exactly where the last one stopped.
+    #[test]
+    fn pool_shuts_down_on_early_stop() {
+        let mut sim = dense_pool_sim(WindowBatch::Fixed(4), 20);
+        assert_eq!(sim.run_until(Time(5)), RunOutcome::MaxTime);
+        let spawns_after_first = sim.metrics().worker_spawns;
+        assert_eq!(spawns_after_first, 2, "first run_until spawns one pool");
+        assert_eq!(sim.run_until(Time(9)), RunOutcome::MaxTime);
+        assert_eq!(
+            sim.metrics().worker_spawns,
+            spawns_after_first + 2,
+            "resume spawns a fresh pool once"
+        );
+        // An event limit mid-superstep: the gate aborts the window,
+        // the merged path stops at the exact count, the pool shuts
+        // down on the way out.
+        let mut inline = SimBuilder::new(Topology::clique(64), |_| Chatter)
+            .scheduler(SynchronousScheduler::new(1))
+            .max_time(Time(20))
+            .shards(4)
+            .max_events(10_000)
+            .stop_when_all_decided(false)
+            .build();
+        let want = inline.run();
+        assert_eq!(want.outcome, RunOutcome::EventLimit);
+        let mut capped = SimBuilder::new(Topology::clique(64), |_| Chatter)
+            .scheduler(SynchronousScheduler::new(1))
+            .max_time(Time(20))
+            .shards(4)
+            .threads(4)
+            .window_batch(WindowBatch::Fixed(4))
+            .debug_force_pool_workers(2)
+            .max_events(10_000)
+            .stop_when_all_decided(false)
+            .build();
+        let got = capped.run();
+        assert_eq!(got.outcome, RunOutcome::EventLimit);
+        assert_eq!(got.metrics, want.metrics, "event-limit stop diverged");
     }
 }

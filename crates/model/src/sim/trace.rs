@@ -235,17 +235,20 @@ impl Trace {
 /// Aggregate counters for one execution.
 ///
 /// Equality deliberately ignores the wall-clock thread-timing fields
-/// ([`Metrics::shard_busy_ns`], [`Metrics::shard_barrier_wait_ns`])
-/// and the payload-custody layout counters
+/// ([`Metrics::shard_busy_ns`], [`Metrics::shard_barrier_wait_ns`]),
+/// the payload-custody layout counters
 /// ([`Metrics::payload_clones`], [`Metrics::payload_moves`],
-/// [`Metrics::arena_bytes_peak`]): every other counter is a
-/// deterministic function of the execution and participates in the
-/// byte-identity contract across queue cores, shard counts, and
-/// thread counts. The timing fields measure the host machine, and the
-/// custody counters measure the memory layout — a cross-shard
-/// delivery legitimately clones at `S = 4` where `S = 1` moves — so
-/// both families legitimately differ between semantically identical
-/// runs.
+/// [`Metrics::arena_bytes_peak`]), and the pool-scheduling counters
+/// ([`Metrics::worker_wakeups`], [`Metrics::superstep_count`],
+/// [`Metrics::serial_window_shortcuts`], [`Metrics::worker_spawns`]):
+/// every other counter is a deterministic function of the execution
+/// and participates in the byte-identity contract across queue cores,
+/// shard counts, and thread counts. The timing fields measure the
+/// host machine, the custody counters measure the memory layout — a
+/// cross-shard delivery legitimately clones at `S = 4` where `S = 1`
+/// moves — and the pool counters measure wake policy (batch cap,
+/// serial gate, worker availability), so all three families
+/// legitimately differ between semantically identical runs.
 #[derive(Clone, Debug, Default)]
 pub struct Metrics {
     /// Broadcasts accepted by the MAC layer.
@@ -299,6 +302,28 @@ pub struct Metrics {
     /// overhead observable instead of inferred from end-to-end wall
     /// clock: see [`Metrics::barrier_pct`]. Excluded from equality.
     pub shard_barrier_wait_ns: Vec<u64>,
+    /// Times a parked pool worker was woken for a superstep, summed
+    /// over all workers (always 0 serial/inline). Scheduling policy,
+    /// not execution semantics — the serial gate and batch cap change
+    /// it freely — so **excluded from equality** like the wall-clock
+    /// fields.
+    pub worker_wakeups: u64,
+    /// Supersteps the persistent pool ran: each wakes every worker
+    /// once and covers up to `window_batch` consecutive windows
+    /// (always 0 serial/inline). Excluded from equality (see
+    /// [`Metrics::worker_wakeups`]).
+    pub superstep_count: u64,
+    /// Windows the adaptive serial gate stepped inline on the
+    /// coordinator without waking workers, because the previous
+    /// window's event count fell below the shortcut threshold (always
+    /// 0 serial). Excluded from equality (see
+    /// [`Metrics::worker_wakeups`]).
+    pub serial_window_shortcuts: u64,
+    /// OS threads the engine spawned for this run: the persistent pool
+    /// spawns its workers once per `run`/`run_until` call, so this is
+    /// O(1) in the window count (always 0 serial/inline). Excluded
+    /// from equality (see [`Metrics::worker_wakeups`]).
+    pub worker_spawns: u64,
     /// Payload clones the engine's arena performed: one per
     /// shared-reference delivery (an earlier consumer of a payload
     /// some later event still needs) plus one per destination shard a
@@ -324,9 +349,11 @@ pub struct Metrics {
 
 impl PartialEq for Metrics {
     /// Field-by-field equality over every *deterministic* counter; the
-    /// wall-clock `shard_busy_ns`/`shard_barrier_wait_ns` vectors and
-    /// the layout-dependent `payload_clones`/`payload_moves`/
-    /// `arena_bytes_peak` counters are intentionally skipped (see the
+    /// wall-clock `shard_busy_ns`/`shard_barrier_wait_ns` vectors, the
+    /// layout-dependent `payload_clones`/`payload_moves`/
+    /// `arena_bytes_peak` counters, and the wake-policy
+    /// `worker_wakeups`/`superstep_count`/`serial_window_shortcuts`/
+    /// `worker_spawns` counters are intentionally skipped (see the
     /// type docs).
     fn eq(&self, other: &Self) -> bool {
         self.broadcasts == other.broadcasts
